@@ -1,0 +1,246 @@
+(* Command-line front-end: run single scenarios or regenerate any of the
+   paper's figures.  `sof --help` lists the commands. *)
+
+module Simtime = Sof_sim.Simtime
+module Scheme = Sof_crypto.Scheme
+module H = Sof_harness
+
+open Cmdliner
+
+(* ------------------------------------------------------- shared args *)
+
+let scheme_arg =
+  let parse s =
+    match Scheme.of_name s with
+    | scheme -> Ok scheme
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  let print fmt s = Scheme.pp fmt s in
+  Arg.conv (parse, print)
+
+let scheme =
+  Arg.(
+    value
+    & opt scheme_arg Scheme.md5_rsa1024
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Crypto scheme: md5-rsa1024, md5-rsa1536, sha1-dsa1024, mock or null.")
+
+let f_param =
+  Arg.(value & opt int 2 & info [ "f"; "faults" ] ~docv:"F" ~doc:"Fault tolerance parameter.")
+
+let seed =
+  Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+(* --------------------------------------------------------------- run *)
+
+let protocol_arg =
+  let all =
+    [
+      ("sc", H.Cluster.Sc_protocol);
+      ("scr", H.Cluster.Scr_protocol);
+      ("bft", H.Cluster.Bft_protocol);
+      ("ct", H.Cluster.Ct_protocol);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum all) H.Cluster.Sc_protocol
+    & info [ "protocol" ] ~docv:"PROTOCOL" ~doc:"One of sc, scr, bft, ct.")
+
+let run_cmd =
+  let run protocol f scheme interval_ms rate duration_s seed =
+    let spec =
+      {
+        (H.Cluster.default_spec ~kind:protocol ~f) with
+        H.Cluster.scheme;
+        batching_interval = Simtime.ms interval_ms;
+        pair_delay_estimate = Simtime.sec 30;
+        heartbeat_interval = Simtime.sec 3600;
+        seed;
+      }
+    in
+    let cluster = H.Cluster.build spec in
+    let duration = Simtime.sec duration_s in
+    H.Workload.install cluster (H.Workload.make ~rate_per_sec:rate ()) ~duration;
+    H.Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 1));
+    let warmup = Simtime.sec (min 2 (duration_s / 3)) in
+    let window = Simtime.diff duration warmup in
+    let p = H.Metrics.analyze cluster ~warmup ~window in
+    Format.printf "%a@." H.Metrics.pp_point p
+  in
+  let interval =
+    Arg.(value & opt int 100 & info [ "interval" ] ~docv:"MS" ~doc:"Batching interval (ms).")
+  in
+  let rate =
+    Arg.(value & opt float 400.0 & info [ "rate" ] ~docv:"RPS" ~doc:"Client request rate.")
+  in
+  let duration =
+    Arg.(value & opt int 10 & info [ "duration" ] ~docv:"S" ~doc:"Run length (seconds).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one fail-free scenario and print its metrics.")
+    Term.(const run $ protocol_arg $ f_param $ scheme $ interval $ rate $ duration $ seed)
+
+(* --------------------------------------------------------------- fig *)
+
+let sub_figures =
+  [
+    ("fig4a", `Fig45 (Scheme.md5_rsa1024, `Latency));
+    ("fig4b", `Fig45 (Scheme.md5_rsa1536, `Latency));
+    ("fig4c", `Fig45 (Scheme.sha1_dsa1024, `Latency));
+    ("fig5a", `Fig45 (Scheme.md5_rsa1024, `Throughput));
+    ("fig5b", `Fig45 (Scheme.md5_rsa1536, `Throughput));
+    ("fig5c", `Fig45 (Scheme.sha1_dsa1024, `Throughput));
+    ("fig6", `Fig6);
+    ("f3", `F3);
+    ("msgs", `Msgs);
+  ]
+
+let run_figure ~f ~seed = function
+  | name, `Fig45 (scheme, which) ->
+    let series = H.Experiments.fig4_5 ~f ~seed ~scheme () in
+    let title =
+      Printf.sprintf "%s: %s vs batching interval, f=%d, %s" name
+        (match which with `Latency -> "order latency (ms)" | `Throughput -> "throughput (req/s)")
+        f scheme.Scheme.name
+    in
+    (match which with
+    | `Latency -> H.Report.print_fig4 ~title series
+    | `Throughput -> H.Report.print_fig5 ~title series);
+    H.Report.print_shape_checks series
+  | name, `Fig6 ->
+    let run scheme =
+      let series = H.Experiments.fig6 ~f ~seed ~scheme () in
+      H.Report.print_fig6
+        ~title:(Printf.sprintf "%s: fail-over latency, f=%d, %s" name f scheme.Scheme.name)
+        series
+    in
+    List.iter run Scheme.paper_schemes
+  | _, `F3 ->
+    let series = H.Experiments.fig4_5 ~f:3 ~seed ~scheme:Scheme.md5_rsa1024 () in
+    H.Report.print_fig4
+      ~title:"f3: order latency (ms) vs batching interval, f=3, md5-rsa1024" series;
+    H.Report.print_fig5
+      ~title:"f3: throughput (req/s) vs batching interval, f=3, md5-rsa1024" series;
+    H.Report.print_shape_checks series
+  | _, `Msgs -> H.Report.print_message_counts (H.Experiments.message_counts ~f ())
+
+let fig_cmd =
+  let fig name f seed =
+    match List.assoc_opt name sub_figures with
+    | Some what ->
+      run_figure ~f ~seed (name, what);
+      `Ok ()
+    | None ->
+      if name = "all" then begin
+        List.iter (fun (n, w) -> run_figure ~f ~seed (n, w)) sub_figures;
+        `Ok ()
+      end
+      else
+        `Error
+          (false, "unknown figure; use fig4a..fig4c, fig5a..fig5c, fig6, f3, msgs or all")
+  in
+  let fig_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc:"Figure id.")
+  in
+  Cmd.v
+    (Cmd.info "fig"
+       ~doc:"Regenerate a figure of the paper (fig4a..c, fig5a..c, fig6, f3, msgs, all).")
+    Term.(ret (const fig $ fig_name $ f_param $ seed))
+
+(* ----------------------------------------------------------- failover *)
+
+let failover_cmd =
+  let failover f scheme target =
+    let series = H.Experiments.fig6 ~f ~targets:[ target ] ~scheme () in
+    H.Report.print_fig6
+      ~title:(Printf.sprintf "fail-over with %d uncommitted batches, %s" target
+                scheme.Scheme.name)
+      series
+  in
+  let target =
+    Arg.(value & opt int 6 & info [ "target" ] ~docv:"N" ~doc:"Uncommitted batches at fault time.")
+  in
+  Cmd.v
+    (Cmd.info "failover" ~doc:"Inject a value-domain coordinator fault and report fail-over latency.")
+    Term.(const failover $ f_param $ scheme $ target)
+
+(* --------------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let trace protocol f scheme duration_s seed corrupt_at =
+    let faults =
+      match corrupt_at with
+      | Some o -> [ (0, Sof_protocol.Fault.Corrupt_digest_at o) ]
+      | None -> []
+    in
+    let spec =
+      {
+        (H.Cluster.default_spec ~kind:protocol ~f) with
+        H.Cluster.scheme;
+        batching_interval = Simtime.ms 100;
+        pair_delay_estimate = Simtime.ms 300;
+        seed;
+        faults;
+      }
+    in
+    let cluster = H.Cluster.build spec in
+    let duration = Simtime.sec duration_s in
+    H.Workload.install cluster (H.Workload.make ~rate_per_sec:60.0 ()) ~duration;
+    H.Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 1));
+    List.iter
+      (fun (at, who, event) ->
+        Format.printf "%10.3fms  p%-2d %a@." (Simtime.to_ms at) who
+          Sof_protocol.Context.pp_event event)
+      (H.Cluster.events cluster)
+  in
+  let duration =
+    Arg.(value & opt int 2 & info [ "duration" ] ~docv:"S" ~doc:"Run length (seconds).")
+  in
+  let corrupt_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "corrupt-at" ] ~docv:"SEQ"
+          ~doc:"Inject a value-domain fault at this sequence number.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the full protocol event timeline of a short run.")
+    Term.(const trace $ protocol_arg $ f_param $ scheme $ duration $ seed $ corrupt_at)
+
+(* -------------------------------------------------------------- census *)
+
+let census_cmd =
+  let census protocol f scheme duration_s seed =
+    let spec =
+      {
+        (H.Cluster.default_spec ~kind:protocol ~f) with
+        H.Cluster.scheme;
+        batching_interval = Simtime.ms 100;
+        pair_delay_estimate = Simtime.sec 30;
+        heartbeat_interval = Simtime.sec 3600;
+        seed;
+      }
+    in
+    let cluster = H.Cluster.build spec in
+    let census = H.Census.attach cluster in
+    let duration = Simtime.sec duration_s in
+    H.Workload.install cluster (H.Workload.make ~rate_per_sec:200.0 ()) ~duration;
+    H.Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 1));
+    Format.printf "%a" H.Census.pp census
+  in
+  let duration =
+    Arg.(value & opt int 5 & info [ "duration" ] ~docv:"S" ~doc:"Run length (seconds).")
+  in
+  Cmd.v
+    (Cmd.info "census" ~doc:"Per-message-type traffic census of a fail-free run.")
+    Term.(const census $ protocol_arg $ f_param $ scheme $ duration $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "sof" ~version:"1.0.0"
+       ~doc:"Signal-on-fail Byzantine total-order protocols (DSN'06 reproduction).")
+    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd ]
+
+let () = exit (Cmd.eval main)

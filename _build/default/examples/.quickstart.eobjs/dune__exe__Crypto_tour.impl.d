@@ -1,0 +1,1 @@
+examples/crypto_tour.ml: Digest_alg Dsa Format Hmac List Md5 Rsa Scheme Sha1 Sha256 Sof_crypto Sof_util String Unix

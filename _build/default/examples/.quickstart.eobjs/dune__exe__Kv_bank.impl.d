@@ -1,0 +1,1 @@
+examples/kv_bank.ml: Format Fun List Option Printf Sof_harness Sof_protocol Sof_sim Sof_smr Sof_util

@@ -1,0 +1,1 @@
+examples/lan_demo.ml: Format List Printf Sof_runtime Sof_smr Unix

@@ -1,0 +1,1 @@
+examples/lan_demo.mli:

@@ -1,0 +1,1 @@
+examples/lock_demo.ml: Format List Sof_harness Sof_sim Sof_smr

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fun List Sof_harness Sof_protocol Sof_sim Sof_smr Sof_util

@@ -1,0 +1,1 @@
+examples/wan_recovery.ml: Format List Sof_harness Sof_net Sof_protocol Sof_sim

@@ -1,0 +1,1 @@
+lib/core/batch.ml: Buffer Format List Sof_crypto Sof_sim Sof_smr

@@ -1,0 +1,1 @@
+lib/core/batch.mli: Format Sof_crypto Sof_sim Sof_smr

@@ -1,0 +1,1 @@
+lib/core/bft.ml: Batch Bytes Char Context Fault Fun Hashtbl Int List Message Set Sof_crypto Sof_sim Sof_smr

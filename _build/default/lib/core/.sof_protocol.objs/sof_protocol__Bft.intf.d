@@ -1,0 +1,1 @@
+lib/core/bft.mli: Context Fault Message Sof_crypto Sof_sim Sof_smr

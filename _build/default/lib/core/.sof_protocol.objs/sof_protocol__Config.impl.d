@@ -1,0 +1,1 @@
+lib/core/config.ml: Format Fun List Printf Sof_crypto Sof_sim

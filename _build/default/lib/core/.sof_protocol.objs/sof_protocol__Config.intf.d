@@ -1,0 +1,1 @@
+lib/core/config.mli: Format Sof_crypto Sof_sim

@@ -1,0 +1,1 @@
+lib/core/context.ml: Batch Format List Message Sof_sim Sof_smr

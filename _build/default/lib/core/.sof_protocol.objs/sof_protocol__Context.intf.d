@@ -1,0 +1,1 @@
+lib/core/context.mli: Batch Format Message Sof_sim Sof_smr

@@ -1,0 +1,1 @@
+lib/core/ct.ml: Batch Context Fun Hashtbl Int List Message Set Sof_crypto Sof_sim Sof_smr

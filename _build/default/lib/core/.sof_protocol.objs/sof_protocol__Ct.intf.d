@@ -1,0 +1,1 @@
+lib/core/ct.mli: Context Message Sof_crypto Sof_sim Sof_smr

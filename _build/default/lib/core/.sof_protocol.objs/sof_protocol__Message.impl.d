@@ -1,0 +1,1 @@
+lib/core/message.ml: Format Printf Sof_smr Sof_util String

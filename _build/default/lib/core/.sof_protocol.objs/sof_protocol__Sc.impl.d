@@ -1,0 +1,1 @@
+lib/core/sc.ml: Batch Bytes Char Config Context Fault Hashtbl Int List Message Option Set Sof_crypto Sof_sim Sof_smr String

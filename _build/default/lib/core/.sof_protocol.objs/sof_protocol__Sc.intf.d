@@ -1,0 +1,1 @@
+lib/core/sc.mli: Config Context Fault Message Sof_smr

@@ -1,0 +1,1 @@
+lib/core/scr.mli: Config Context Fault Message Sof_smr

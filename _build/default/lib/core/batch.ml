@@ -1,0 +1,53 @@
+module Request = Sof_smr.Request
+
+type t = { requests : Request.t list }
+
+let make requests = { requests }
+
+let keys t = List.map (fun r -> r.Request.key) t.requests
+
+let digest alg t =
+  let buf = Buffer.create 256 in
+  List.iter (fun r -> Buffer.add_string buf (Request.encode r)) t.requests;
+  Sof_crypto.Digest_alg.digest alg (Buffer.contents buf)
+
+let encoded_size t =
+  List.fold_left (fun acc r -> acc + Request.encoded_size r) 0 t.requests
+
+let request_count t = List.length t.requests
+
+let take_from_pool ~limit ~pool =
+  let rec take bindings size acc =
+    match bindings with
+    | [] -> List.rev acc
+    | (_, r) :: rest ->
+      let s = Request.encoded_size r in
+      if size + s > limit && acc <> [] then List.rev acc
+      else take rest (size + s) (r :: acc)
+  in
+  take (Request.Key_map.bindings pool) 0 []
+
+let take_oldest ~limit ~pool ~arrival =
+  let age k =
+    match Request.Key_map.find_opt k arrival with
+    | Some at -> Sof_sim.Simtime.to_ns at
+    | None -> max_int
+  in
+  let bindings =
+    Request.Key_map.bindings pool
+    |> List.sort (fun (k1, _) (k2, _) ->
+           let c = compare (age k1) (age k2) in
+           if c <> 0 then c else Request.compare_key k1 k2)
+  in
+  let rec take bindings size acc =
+    match bindings with
+    | [] -> List.rev acc
+    | (_, r) :: rest ->
+      let s = Request.encoded_size r in
+      if size + s > limit && acc <> [] then List.rev acc
+      else take rest (size + s) (r :: acc)
+  in
+  take bindings 0 []
+
+let pp fmt t =
+  Format.fprintf fmt "batch[%d reqs, %dB]" (request_count t) (encoded_size t)

@@ -1,0 +1,393 @@
+module Simtime = Sof_sim.Simtime
+module Request = Sof_smr.Request
+module Key_map = Request.Key_map
+module Key_set = Request.Key_set
+module Int_set = Set.Make (Int)
+
+type config = {
+  f : int;
+  batching_interval : Simtime.t;
+  batch_size_limit : int;
+  digest : Sof_crypto.Digest_alg.t;
+  view_change_timeout : Simtime.t;
+}
+
+let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
+    ?(digest = Sof_crypto.Digest_alg.MD5) ?(view_change_timeout = Simtime.sec 2)
+    ~f () =
+  if f < 1 then invalid_arg "Bft.make_config: f must be at least 1";
+  { f; batching_interval; batch_size_limit; digest; view_change_timeout }
+
+let process_count config = (3 * config.f) + 1
+
+type order_state = {
+  o : int;
+  mutable digest : string;
+  mutable keys : Request.key list;
+  mutable pre_prepared : bool;  (* authentic pre-prepare stored *)
+  mutable view_of : int;
+  mutable prepares : Int_set.t;
+  mutable commits : Int_set.t;
+  mutable sent_prepare : bool;
+  mutable sent_commit : bool;
+  mutable committed : bool;
+}
+
+type t = {
+  ctx : Context.t;
+  config : config;
+  fault : Fault.t;
+  all_ids : int list;
+  mutable view : int;
+  mutable pending : Request.t Key_map.t;
+  mutable arrival : Simtime.t Key_map.t;
+  mutable ordered_keys : Key_set.t;
+  orders : (int, order_state) Hashtbl.t;
+  mutable max_committed : int;
+  mutable delivered : int;
+  mutable next_seq : int;
+  mutable batch_timer : Context.timer option;
+  mutable vc_timer : Context.timer option;
+  mutable last_progress : Simtime.t;
+  mutable view_changes : (int, Int_set.t ref * Message.order_info list ref) Hashtbl.t;
+  mutable changing_view : bool;
+}
+
+let id t = t.ctx.Context.id
+let view t = t.view
+let n t = process_count t.config
+let primary t = t.view mod n t
+let i_am_primary t = id t = primary t
+let max_committed t = t.max_committed
+let delivered_seq t = t.delivered
+
+let others t = List.filter (fun p -> p <> id t) t.all_ids
+
+let make_signed t body =
+  let payload = Message.encode_body body in
+  {
+    Message.sender = id t;
+    body;
+    signature = t.ctx.Context.sign payload;
+    endorsement = None;
+  }
+
+let authentic t (env : Message.envelope) =
+  env.Message.endorsement = None
+  && t.ctx.Context.verify ~signer:env.Message.sender
+       ~msg:(Message.encode_body env.Message.body)
+       ~signature:env.Message.signature
+
+let can_transmit t = not (Fault.is_mute t.fault ~now:(t.ctx.Context.now ()))
+
+let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts env
+
+let get_order t o =
+  match Hashtbl.find_opt t.orders o with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        o;
+        digest = "";
+        keys = [];
+        pre_prepared = false;
+        view_of = 0;
+        prepares = Int_set.empty;
+        commits = Int_set.empty;
+        sent_prepare = false;
+        sent_commit = false;
+        committed = false;
+      }
+    in
+    Hashtbl.replace t.orders o st;
+    st
+
+let rec advance_delivery t =
+  match Hashtbl.find_opt t.orders (t.delivered + 1) with
+  | None -> ()
+  | Some st when not st.committed -> ()
+  | Some st ->
+    if st.keys = [] then begin
+      t.delivered <- st.o;
+      let batch = Batch.make [] in
+      t.ctx.Context.deliver ~seq:st.o batch;
+      t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+      advance_delivery t
+    end
+    else begin
+      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys in
+      if List.length requests = List.length st.keys then begin
+        t.delivered <- st.o;
+        List.iter
+          (fun k ->
+            t.pending <- Key_map.remove k t.pending;
+            t.arrival <- Key_map.remove k t.arrival)
+          st.keys;
+        let batch = Batch.make requests in
+        t.ctx.Context.deliver ~seq:st.o batch;
+        t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+        advance_delivery t
+      end
+    end
+
+let try_commit_point t st =
+  if st.pre_prepared && (not st.committed) && Int_set.cardinal st.commits >= (2 * t.config.f) + 1
+  then begin
+    st.committed <- true;
+    t.last_progress <- t.ctx.Context.now ();
+    if st.o > t.max_committed then t.max_committed <- st.o;
+    t.ctx.Context.emit
+      (Context.Committed { seq = st.o; digest = st.digest; keys = st.keys });
+    advance_delivery t
+  end
+
+let try_prepared_point t st =
+  if
+    st.pre_prepared && st.sent_prepare && (not st.sent_commit)
+    && Int_set.cardinal st.prepares >= 2 * t.config.f
+  then begin
+    st.sent_commit <- true;
+    let body = Message.Commit { v = st.view_of; o = st.o; digest = st.digest } in
+    let env = make_signed t body in
+    multicast t ~dsts:t.all_ids env
+  end
+
+let send_prepare t st =
+  if not st.sent_prepare then begin
+    st.sent_prepare <- true;
+    let body = Message.Prepare { v = st.view_of; o = st.o; digest = st.digest } in
+    let env = make_signed t body in
+    multicast t ~dsts:t.all_ids env
+  end
+
+let accept_pre_prepare t ~(info : Message.order_info) ~v =
+  let st = get_order t info.Message.o in
+  if st.pre_prepared && (st.view_of > v || st.digest <> info.Message.digest) then ()
+  else begin
+    st.pre_prepared <- true;
+    st.view_of <- v;
+    st.digest <- info.Message.digest;
+    st.keys <- info.Message.keys;
+    List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+    send_prepare t st;
+    try_prepared_point t st;
+    try_commit_point t st
+  end
+
+(* ----------------------------------------------------------- batching *)
+
+let issue_pre_prepare t info =
+  let body = Message.Pre_prepare { v = t.view; info } in
+  let env = make_signed t body in
+  multicast t ~dsts:(others t) env;
+  accept_pre_prepare t ~info ~v:t.view
+
+let rec arm_batch_timer t =
+  let h =
+    t.ctx.Context.set_timer ~delay:t.config.batching_interval (fun () -> batch_tick t)
+  in
+  t.batch_timer <- Some h
+
+and batch_tick t =
+  if i_am_primary t && not t.changing_view then begin
+    let pool = Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.pending in
+    if not (Key_map.is_empty pool) then begin
+      let requests = Batch.take_from_pool ~limit:t.config.batch_size_limit ~pool in
+      let batch = Batch.make requests in
+      let o = t.next_seq in
+      t.next_seq <- o + 1;
+      t.ctx.Context.digest_charge (Batch.encoded_size batch);
+      let digest = Batch.digest t.config.digest batch in
+      let digest =
+        match t.fault with
+        | Fault.Corrupt_digest_at at when at = o ->
+          let b = Bytes.of_string digest in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+          Bytes.to_string b
+        | _ -> digest
+      in
+      let info = { Message.o; digest; keys = Batch.keys batch } in
+      t.ctx.Context.emit
+        (Context.Batched
+           { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+      List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+      issue_pre_prepare t info
+    end;
+    arm_batch_timer t
+  end
+
+(* ---------------------------------------------------------- view change *)
+
+let prepared_set t =
+  Hashtbl.fold
+    (fun o st acc ->
+      if
+        st.pre_prepared && (not st.committed) && o > t.max_committed
+        && Int_set.cardinal st.prepares >= 2 * t.config.f
+      then { Message.o; digest = st.digest; keys = st.keys } :: acc
+      else acc)
+    t.orders []
+  |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+
+let rec arm_vc_timer t =
+  let h =
+    t.ctx.Context.set_timer ~delay:t.config.view_change_timeout (fun () ->
+        vc_tick t)
+  in
+  t.vc_timer <- Some h
+
+and vc_tick t =
+  let budget = Simtime.add t.config.batching_interval t.config.view_change_timeout in
+  let now = t.ctx.Context.now () in
+  let stalled =
+    Simtime.compare (Simtime.add t.last_progress budget) now <= 0
+    && Key_map.exists
+         (fun k since ->
+           (not (Key_set.mem k t.ordered_keys))
+           && Simtime.compare (Simtime.add since budget) now <= 0)
+         t.arrival
+  in
+  if stalled && not t.changing_view then start_view_change t (t.view + 1);
+  arm_vc_timer t
+
+and start_view_change t v =
+  if v > t.view then begin
+    t.changing_view <- true;
+    (match t.batch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.batch_timer <- None;
+    let body =
+      Message.Bft_view_change { v; prepared = prepared_set t }
+    in
+    let env = make_signed t body in
+    multicast t ~dsts:t.all_ids env
+  end
+
+let rec handle_view_change t ~src:_ ~v ~prepared (env : Message.envelope) =
+  if v > t.view || (v = t.view && t.changing_view) then begin
+    let voters, infos =
+      match Hashtbl.find_opt t.view_changes v with
+      | Some (voters, infos) -> (voters, infos)
+      | None ->
+        let cell = (ref Int_set.empty, ref []) in
+        Hashtbl.replace t.view_changes v cell;
+        cell
+    in
+    if not (Int_set.mem env.Message.sender !voters) then begin
+      voters := Int_set.add env.Message.sender !voters;
+      infos := prepared @ !infos;
+      (* Join the view change once f+1 replicas vouch for it (a correct
+         replica must be among them). *)
+      if Int_set.cardinal !voters = t.config.f + 1 && not t.changing_view then
+        start_view_change t v;
+      if Int_set.cardinal !voters >= (2 * t.config.f) + 1 && v mod n t = id t then begin
+        (* New primary: re-issue pre-prepares for every prepared order. *)
+        let by_o = Hashtbl.create 16 in
+        List.iter
+          (fun (info : Message.order_info) ->
+            if info.Message.o > t.max_committed then
+              Hashtbl.replace by_o info.Message.o info)
+          !infos;
+        let pre_prepares =
+          Hashtbl.fold (fun _ info acc -> info :: acc) by_o []
+          |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+        in
+        let body = Message.Bft_new_view { v; pre_prepares } in
+        let env' = make_signed t body in
+        multicast t ~dsts:(others t) env';
+        enter_view t v pre_prepares
+      end
+    end
+  end
+
+and enter_view t v pre_prepares =
+  t.view <- v;
+  t.changing_view <- false;
+  t.ctx.Context.emit (Context.View_installed { v });
+  let top =
+    List.fold_left
+      (fun acc (i : Message.order_info) -> max acc i.Message.o)
+      t.max_committed pre_prepares
+  in
+  let top = Hashtbl.fold (fun o _ acc -> max o acc) t.orders top in
+  List.iter (fun (info : Message.order_info) -> accept_pre_prepare t ~info ~v) pre_prepares;
+  if i_am_primary t then begin
+    t.next_seq <- top + 1;
+    arm_batch_timer t
+  end;
+  (* Give fresh grace to everything still pending. *)
+  let now = t.ctx.Context.now () in
+  t.arrival <- Key_map.map (fun _ -> now) t.arrival
+
+let handle_new_view t ~v ~pre_prepares (env : Message.envelope) =
+  if v >= t.view && env.Message.sender = v mod n t then enter_view t v pre_prepares
+
+(* -------------------------------------------------------------- inbound *)
+
+let on_request t (req : Request.t) =
+  let key = req.Request.key in
+  if not (Key_map.mem key t.pending) then begin
+    t.pending <- Key_map.add key req t.pending;
+    if not (Key_set.mem key t.ordered_keys) then
+      t.arrival <- Key_map.add key (t.ctx.Context.now ()) t.arrival;
+    advance_delivery t
+  end
+
+let on_message t ~src (env : Message.envelope) =
+  ignore src;
+  match env.Message.body with
+  | Message.Pre_prepare { v; info } ->
+    if v = t.view && (not t.changing_view) && env.Message.sender = primary t
+       && authentic t env
+    then accept_pre_prepare t ~info ~v
+  | Message.Prepare { v; o; digest } ->
+    if v <= t.view && authentic t env then begin
+      let st = get_order t o in
+      if (not st.pre_prepared) || st.digest = digest then begin
+        st.prepares <- Int_set.add env.Message.sender st.prepares;
+        try_prepared_point t st;
+        try_commit_point t st
+      end
+    end
+  | Message.Commit { v; o; digest } ->
+    if v <= t.view && authentic t env then begin
+      let st = get_order t o in
+      if (not st.pre_prepared) || st.digest = digest then begin
+        st.commits <- Int_set.add env.Message.sender st.commits;
+        try_commit_point t st
+      end
+    end
+  | Message.Bft_view_change { v; prepared } ->
+    if authentic t env then handle_view_change t ~src ~v ~prepared env
+  | Message.Bft_new_view { v; pre_prepares } ->
+    if authentic t env then handle_new_view t ~v ~pre_prepares env
+  | Message.Order _ | Message.Ack _ | Message.Fail_signal _ | Message.Back_log _
+  | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
+  | Message.View_change _ | Message.New_view _ | Message.Unwilling _
+  | Message.Heartbeat _ ->
+    ()
+
+let start t =
+  if i_am_primary t then arm_batch_timer t;
+  arm_vc_timer t
+
+let create ~ctx ~config ?(fault = Fault.Honest) () =
+  {
+    ctx;
+    config;
+    fault;
+    all_ids = List.init (process_count config) Fun.id;
+    view = 0;
+    pending = Key_map.empty;
+    arrival = Key_map.empty;
+    ordered_keys = Key_set.empty;
+    orders = Hashtbl.create 64;
+    max_committed = 0;
+    delivered = 0;
+    next_seq = 1;
+    batch_timer = None;
+    vc_timer = None;
+    last_progress = Simtime.zero;
+    view_changes = Hashtbl.create 4;
+    changing_view = false;
+  }

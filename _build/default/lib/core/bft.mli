@@ -1,0 +1,49 @@
+(** The BFT baseline: Castro & Liskov's PBFT order protocol (OSDI '99), the
+    comparison point of the paper's evaluation.
+
+    n = 3f+1 replicas, primary = v mod n.  Fail-free flow (Figure 3b):
+    pre-prepare (1-to-n from the primary), prepare (n-to-n; a replica is
+    {e prepared} with a matching pre-prepare plus 2f prepares), commit
+    (n-to-n; {e committed} with 2f+1 commits).  Requests are batched exactly
+    as in SC so the comparison is one-to-one.
+
+    Simplifications relative to the full system (documented in DESIGN.md):
+    no checkpointing/garbage collection and a compact view change — on
+    timeout a replica broadcasts its prepared set; the new primary collects
+    2f+1 view-change messages and re-issues pre-prepares for every prepared
+    order above the highest order it knows committed.  Neither feature is on
+    the fail-free critical path the paper measures. *)
+
+type config = {
+  f : int;
+  batching_interval : Sof_sim.Simtime.t;
+  batch_size_limit : int;
+  digest : Sof_crypto.Digest_alg.t;
+  view_change_timeout : Sof_sim.Simtime.t;
+}
+
+val make_config :
+  ?batching_interval:Sof_sim.Simtime.t ->
+  ?batch_size_limit:int ->
+  ?digest:Sof_crypto.Digest_alg.t ->
+  ?view_change_timeout:Sof_sim.Simtime.t ->
+  f:int ->
+  unit ->
+  config
+(** @raise Invalid_argument when [f < 1]. *)
+
+val process_count : config -> int
+(** [3f+1]. *)
+
+type t
+
+val create : ctx:Context.t -> config:config -> ?fault:Fault.t -> unit -> t
+val start : t -> unit
+val on_request : t -> Sof_smr.Request.t -> unit
+val on_message : t -> src:int -> Message.envelope -> unit
+
+val id : t -> int
+val view : t -> int
+val primary : t -> int
+val max_committed : t -> int
+val delivered_seq : t -> int

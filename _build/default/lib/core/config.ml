@@ -1,0 +1,80 @@
+module Simtime = Sof_sim.Simtime
+
+type variant = SC | SCR
+
+type t = {
+  f : int;
+  variant : variant;
+  batching_interval : Simtime.t;
+  batch_size_limit : int;
+  digest : Sof_crypto.Digest_alg.t;
+  pair_delay_estimate : Simtime.t;
+  heartbeat_interval : Simtime.t;
+  dumb_optimization : bool;
+}
+
+let make ?(variant = SC) ?(batching_interval = Simtime.ms 100)
+    ?(batch_size_limit = 1024) ?(digest = Sof_crypto.Digest_alg.MD5)
+    ?(pair_delay_estimate = Simtime.ms 10) ?(heartbeat_interval = Simtime.ms 20)
+    ?(dumb_optimization = true) ~f () =
+  if f < 1 then invalid_arg "Config.make: f must be at least 1";
+  {
+    f;
+    variant;
+    batching_interval;
+    batch_size_limit;
+    digest;
+    pair_delay_estimate;
+    heartbeat_interval;
+    dumb_optimization;
+  }
+
+let replica_count t = (2 * t.f) + 1
+
+let pair_count t = match t.variant with SC -> t.f | SCR -> t.f + 1
+
+let process_count t = replica_count t + pair_count t
+
+let candidate_count t = t.f + 1
+
+let check_rank t r =
+  if r < 1 || r > candidate_count t then
+    invalid_arg (Printf.sprintf "Config: candidate rank %d out of range" r)
+
+let primary_of_pair t r =
+  check_rank t r;
+  r - 1
+
+let shadow_of_pair t r =
+  check_rank t r;
+  if r > pair_count t then invalid_arg "Config.shadow_of_pair: candidate is unpaired";
+  replica_count t + r - 1
+
+let pair_rank_of t id =
+  if id < pair_count t then Some (id + 1)
+  else if id >= replica_count t && id < process_count t then
+    Some (id - replica_count t + 1)
+  else None
+
+let counterpart t id =
+  match pair_rank_of t id with
+  | None -> None
+  | Some r ->
+    Some (if id < replica_count t then shadow_of_pair t r else primary_of_pair t r)
+
+let is_shadow t id = id >= replica_count t
+
+let candidate_is_pair t r =
+  check_rank t r;
+  r <= pair_count t
+
+let candidate_members t r =
+  if candidate_is_pair t r then [ primary_of_pair t r; shadow_of_pair t r ]
+  else [ primary_of_pair t r ]
+
+let all_processes t = List.init (process_count t) Fun.id
+
+let pp fmt t =
+  Format.fprintf fmt "%s(f=%d, n=%d, interval=%a, batch<=%dB)"
+    (match t.variant with SC -> "SC" | SCR -> "SCR")
+    t.f (process_count t) Simtime.pp t.batching_interval t.batch_size_limit

@@ -1,0 +1,91 @@
+(** Protocol deployment configuration and process layout.
+
+    Process identifiers are dense integers shared with the network layer.
+    For a configuration with [2f+1] replica nodes and [k] pairs (k = f for
+    SC, f+1 for SCR):
+
+    - ids [0 .. 2f]  are the replica order processes p1 .. p(2f+1);
+    - ids [2f+1 .. 2f+k] are the shadows p'1 .. p'k.
+
+    Pair (coordinator-candidate) ranks are 1-based, matching the paper: pair
+    [r] is [{p_r, p'_r}].  In SC the (f+1)-th coordinator candidate is the
+    unpaired process p(f+1). *)
+
+type variant =
+  | SC
+      (** Signal-on-crash set-up: assumptions 3(a) — synchronous pair links
+          with accurate delay estimates, sequential failure pattern.
+          n = 3f+1. *)
+  | SCR
+      (** Signal-on-crash-and-recovery set-up: assumptions 3(b) — eventually
+          accurate estimates, at most one fault per pair.  n = 3f+2. *)
+
+type t = {
+  f : int;  (** Fault-tolerance parameter, f >= 1. *)
+  variant : variant;
+  batching_interval : Sof_sim.Simtime.t;
+      (** The coordinator forms at most one batch per interval (paper
+          Section 4.3, second optimisation). *)
+  batch_size_limit : int;  (** Max encoded request bytes per batch (1 KB). *)
+  digest : Sof_crypto.Digest_alg.t;  (** For request/batch digests. *)
+  pair_delay_estimate : Sof_sim.Simtime.t;
+      (** The differential delay bound used for timeliness checking inside a
+          pair (Section 2.1.1). *)
+  heartbeat_interval : Sof_sim.Simtime.t;
+      (** Mutual-checking cadence inside a pair when there is no protocol
+          traffic to check. *)
+  dumb_optimization : bool;
+      (** The first optimisation of Section 4.3: installed-away pairs turn
+          dumb, n shrinks by 2 and f by 1.  On by default; off for ablation
+          runs. *)
+}
+
+val make :
+  ?variant:variant ->
+  ?batching_interval:Sof_sim.Simtime.t ->
+  ?batch_size_limit:int ->
+  ?digest:Sof_crypto.Digest_alg.t ->
+  ?pair_delay_estimate:Sof_sim.Simtime.t ->
+  ?heartbeat_interval:Sof_sim.Simtime.t ->
+  ?dumb_optimization:bool ->
+  f:int ->
+  unit ->
+  t
+(** Defaults: SC, 100 ms interval, 1024-byte batches, MD5 digests, 10 ms
+    delay estimate, 20 ms heartbeat.  @raise Invalid_argument when [f < 1]. *)
+
+val replica_count : t -> int
+(** [2f+1]. *)
+
+val pair_count : t -> int
+(** [f] for SC, [f+1] for SCR. *)
+
+val process_count : t -> int
+(** [3f+1] for SC, [3f+2] for SCR. *)
+
+val candidate_count : t -> int
+(** Coordinator candidates: [f+1] in both variants. *)
+
+val primary_of_pair : t -> int -> int
+(** Process id of [p_r] for pair rank [r] (1-based).
+    @raise Invalid_argument on out-of-range ranks. *)
+
+val shadow_of_pair : t -> int -> int
+(** Process id of [p'_r]. *)
+
+val pair_rank_of : t -> int -> int option
+(** [Some r] when the process belongs to pair [r]. *)
+
+val counterpart : t -> int -> int option
+(** The other member of the process's pair, if paired. *)
+
+val is_shadow : t -> int -> bool
+
+val candidate_members : t -> int -> int list
+(** Process ids making up coordinator candidate rank [r]: two for a pair,
+    one for SC's final unpaired candidate. *)
+
+val candidate_is_pair : t -> int -> bool
+
+val all_processes : t -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type timer = { cancel : unit -> unit }
+
+type event =
+  | Batched of { seq : int; requests : int; bytes : int }
+  | Committed of { seq : int; digest : string; keys : Sof_smr.Request.key list }
+  | Delivered of { seq : int; batch : Batch.t }
+  | Fail_signal_emitted of { pair : int; value_domain : bool }
+  | Fail_signal_observed of { pair : int }
+  | Coordinator_installed of { rank : int }
+  | View_installed of { v : int }
+  | Pair_recovered of { pair : int }
+  | Value_fault_detected of { pair : int }
+
+type t = {
+  id : int;
+  now : unit -> Sof_sim.Simtime.t;
+  sign : string -> string;
+  verify : signer:int -> msg:string -> signature:string -> bool;
+  digest_charge : int -> unit;
+  send : dst:int -> Message.envelope -> unit;
+  multicast : dsts:int list -> Message.envelope -> unit;
+  set_timer : delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
+  deliver : seq:int -> Batch.t -> unit;
+  emit : event -> unit;
+}
+
+let null_timer = { cancel = (fun () -> ()) }
+
+let pp_event fmt = function
+  | Batched { seq; requests; bytes } ->
+    Format.fprintf fmt "batched(seq=%d, %d reqs, %dB)" seq requests bytes
+  | Committed { seq; keys; _ } ->
+    Format.fprintf fmt "committed(seq=%d, %d reqs)" seq (List.length keys)
+  | Delivered { seq; batch } ->
+    Format.fprintf fmt "delivered(seq=%d, %a)" seq Batch.pp batch
+  | Fail_signal_emitted { pair; value_domain } ->
+    Format.fprintf fmt "fail_signal_emitted(pair=%d, %s)" pair
+      (if value_domain then "value" else "time")
+  | Fail_signal_observed { pair } -> Format.fprintf fmt "fail_signal_observed(pair=%d)" pair
+  | Coordinator_installed { rank } -> Format.fprintf fmt "coordinator_installed(%d)" rank
+  | View_installed { v } -> Format.fprintf fmt "view_installed(%d)" v
+  | Pair_recovered { pair } -> Format.fprintf fmt "pair_recovered(%d)" pair
+  | Value_fault_detected { pair } -> Format.fprintf fmt "value_fault_detected(%d)" pair

@@ -1,0 +1,47 @@
+(** Runtime context for a protocol process.
+
+    Protocol modules are written against this record of capabilities, so the
+    same code runs under the discrete-event harness (which charges CPU time
+    for [sign]/[verify] and routes [send] through the simulated network) and
+    under plain in-memory drivers in unit tests. *)
+
+type timer = { cancel : unit -> unit }
+
+type event =
+  | Batched of { seq : int; requests : int; bytes : int }
+      (** The coordinator formed a batch — the latency clock starts here
+          (the paper's latency excludes time spent waiting to be batched). *)
+  | Committed of { seq : int; digest : string; keys : Sof_smr.Request.key list }
+      (** An order became irreversible at this process. *)
+  | Delivered of { seq : int; batch : Batch.t }
+      (** Batch handed to the service in sequence order. *)
+  | Fail_signal_emitted of { pair : int; value_domain : bool }
+  | Fail_signal_observed of { pair : int }
+  | Coordinator_installed of { rank : int }
+      (** SC install part finished (the fail-over latency endpoint). *)
+  | View_installed of { v : int }  (** SCR / BFT. *)
+  | Pair_recovered of { pair : int }  (** SCR only. *)
+  | Value_fault_detected of { pair : int }
+
+type t = {
+  id : int;  (** This process's id (network endpoint). *)
+  now : unit -> Sof_sim.Simtime.t;
+  sign : string -> string;
+      (** Sign as this process; the harness charges one sign cost. *)
+  verify : signer:int -> msg:string -> signature:string -> bool;
+      (** Check another process's signature; charges one verify cost. *)
+  digest_charge : int -> unit;
+      (** Account for hashing [n] bytes (digesting is done with real digest
+          functions; this only charges the virtual CPU). *)
+  send : dst:int -> Message.envelope -> unit;
+  multicast : dsts:int list -> Message.envelope -> unit;
+      (** One underlying send per destination; the envelope is signed once. *)
+  set_timer : delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
+  deliver : seq:int -> Batch.t -> unit;
+      (** Committed batch, called in strict sequence order. *)
+  emit : event -> unit;  (** Observation hook for tests and experiments. *)
+}
+
+val null_timer : timer
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,252 @@
+module Simtime = Sof_sim.Simtime
+module Request = Sof_smr.Request
+module Key_map = Request.Key_map
+module Key_set = Request.Key_set
+module Int_set = Set.Make (Int)
+
+type config = {
+  f : int;
+  batching_interval : Simtime.t;
+  batch_size_limit : int;
+  digest : Sof_crypto.Digest_alg.t;
+  suspect_timeout : Simtime.t;
+}
+
+let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
+    ?(digest = Sof_crypto.Digest_alg.MD5) ?(suspect_timeout = Simtime.ms 500) ~f ()
+    =
+  if f < 1 then invalid_arg "Ct.make_config: f must be at least 1";
+  { f; batching_interval; batch_size_limit; digest; suspect_timeout }
+
+let process_count config = (2 * config.f) + 1
+
+type order_state = {
+  o : int;
+  mutable digest : string;
+  mutable keys : Request.key list;
+  mutable have_order : bool;
+  mutable sources : Int_set.t;
+  mutable acked : bool;
+  mutable committed : bool;
+}
+
+type t = {
+  ctx : Context.t;
+  config : config;
+  all_ids : int list;
+  mutable epoch : int;  (* coordinator = epoch mod n *)
+  mutable pending : Request.t Key_map.t;
+  mutable arrival : Simtime.t Key_map.t;
+  mutable ordered_keys : Key_set.t;
+  orders : (int, order_state) Hashtbl.t;
+  mutable max_committed : int;
+  mutable delivered : int;
+  mutable next_seq : int;
+  mutable batch_timer : Context.timer option;
+  mutable suspect_timer : Context.timer option;
+  mutable last_progress : Simtime.t;  (* last local commit *)
+}
+
+let id t = t.ctx.Context.id
+let coordinator t = t.epoch mod process_count t.config
+let max_committed t = t.max_committed
+let delivered_seq t = t.delivered
+let quorum t = t.config.f + 1
+let i_am_coordinator t = id t = coordinator t
+
+let get_order t o =
+  match Hashtbl.find_opt t.orders o with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        o;
+        digest = "";
+        keys = [];
+        have_order = false;
+        sources = Int_set.empty;
+        acked = false;
+        committed = false;
+      }
+    in
+    Hashtbl.replace t.orders o st;
+    st
+
+let rec advance_delivery t =
+  match Hashtbl.find_opt t.orders (t.delivered + 1) with
+  | None -> ()
+  | Some st when not st.committed -> ()
+  | Some st ->
+    let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys in
+    if List.length requests = List.length st.keys then begin
+      t.delivered <- st.o;
+      List.iter
+        (fun k ->
+          t.pending <- Key_map.remove k t.pending;
+          t.arrival <- Key_map.remove k t.arrival)
+        st.keys;
+      let batch = Batch.make requests in
+      t.ctx.Context.deliver ~seq:st.o batch;
+      t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+      advance_delivery t
+    end
+
+let try_commit t st =
+  if st.have_order && (not st.committed) && Int_set.cardinal st.sources >= quorum t
+  then begin
+    st.committed <- true;
+    t.last_progress <- t.ctx.Context.now ();
+    if st.o > t.max_committed then t.max_committed <- st.o;
+    t.ctx.Context.emit
+      (Context.Committed { seq = st.o; digest = st.digest; keys = st.keys });
+    advance_delivery t
+  end
+
+let send_ack t st =
+  if st.have_order && not st.acked then begin
+    st.acked <- true;
+    let body = Message.Ack { c = t.epoch; o = st.o; digest = st.digest } in
+    t.ctx.Context.multicast ~dsts:t.all_ids
+      { Message.sender = id t; body; signature = ""; endorsement = None }
+  end
+
+let accept_order t ~sender ~(info : Message.order_info) =
+  let st = get_order t info.Message.o in
+  if st.have_order && st.digest <> info.Message.digest then
+    (* Crash-only model: conflicting orders do not arise from honest
+       coordinators; keep the first. *)
+    ()
+  else begin
+    if not st.have_order then begin
+      st.have_order <- true;
+      st.digest <- info.Message.digest;
+      st.keys <- info.Message.keys;
+      List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys
+    end;
+    st.sources <- Int_set.add sender st.sources;
+    send_ack t st;
+    try_commit t st
+  end
+
+let rec arm_batch_timer t =
+  let h =
+    t.ctx.Context.set_timer ~delay:t.config.batching_interval (fun () -> batch_tick t)
+  in
+  t.batch_timer <- Some h
+
+and batch_tick t =
+  if i_am_coordinator t then begin
+    let pool = Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.pending in
+    if not (Key_map.is_empty pool) then begin
+      let requests = Batch.take_from_pool ~limit:t.config.batch_size_limit ~pool in
+      let batch = Batch.make requests in
+      let o = t.next_seq in
+      t.next_seq <- o + 1;
+      t.ctx.Context.digest_charge (Batch.encoded_size batch);
+      let info =
+        { Message.o; digest = Batch.digest t.config.digest batch; keys = Batch.keys batch }
+      in
+      t.ctx.Context.emit
+        (Context.Batched
+           { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+      List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+      let body = Message.Order { c = t.epoch; info } in
+      let env = { Message.sender = id t; body; signature = ""; endorsement = None } in
+      t.ctx.Context.multicast
+        ~dsts:(List.filter (fun p -> p <> id t) t.all_ids)
+        env;
+      accept_order t ~sender:(id t) ~info
+    end;
+    arm_batch_timer t
+  end
+
+let rec arm_suspect_timer t =
+  let h =
+    t.ctx.Context.set_timer ~delay:t.config.suspect_timeout (fun () -> suspect_tick t)
+  in
+  t.suspect_timer <- Some h
+
+and suspect_tick t =
+  (* Crash fail-over: rotate the coordinator when a request has been waiting
+     longer than the batching interval plus the suspicion timeout. *)
+  let budget = Simtime.add t.config.batching_interval t.config.suspect_timeout in
+  let now = t.ctx.Context.now () in
+  let stalled =
+    Simtime.compare (Simtime.add t.last_progress budget) now <= 0
+    && Key_map.exists
+         (fun k since ->
+           (not (Key_set.mem k t.ordered_keys))
+           && Simtime.compare (Simtime.add since budget) now <= 0)
+         t.arrival
+  in
+  if stalled then begin
+    t.last_progress <- now;
+    t.epoch <- t.epoch + 1;
+    (* Refresh arrivals so the next coordinator gets a full grace period. *)
+    t.arrival <- Key_map.map (fun _ -> now) t.arrival;
+    if i_am_coordinator t then begin
+      (* Continue above everything this process knows of. *)
+      t.next_seq <-
+        1 + Hashtbl.fold (fun o _ acc -> max o acc) t.orders t.max_committed;
+      arm_batch_timer t
+    end
+  end;
+  arm_suspect_timer t
+
+let on_request t (req : Request.t) =
+  let key = req.Request.key in
+  if not (Key_map.mem key t.pending) then begin
+    t.pending <- Key_map.add key req t.pending;
+    if not (Key_set.mem key t.ordered_keys) then
+      t.arrival <- Key_map.add key (t.ctx.Context.now ()) t.arrival;
+    advance_delivery t
+  end
+
+let on_message t ~src (env : Message.envelope) =
+  ignore src;
+  match env.Message.body with
+  | Message.Order { c; info } ->
+    (* Accept orders from the coordinator of this or a later epoch (a
+       rotated coordinator may be ahead of our suspicion). *)
+    if c >= t.epoch && env.Message.sender = c mod process_count t.config then begin
+      if c > t.epoch then t.epoch <- c;
+      accept_order t ~sender:env.Message.sender ~info
+    end
+  | Message.Ack { o; digest; _ } ->
+    let st = get_order t o in
+    if st.have_order && st.digest = digest then begin
+      st.sources <- Int_set.add env.Message.sender st.sources;
+      try_commit t st
+    end
+    else if not st.have_order then
+      (* Buffer the vote until the order arrives (crash-only: all votes for
+         a sequence number reference the same batch). *)
+      st.sources <- Int_set.add env.Message.sender st.sources
+  | Message.Heartbeat _ | Message.Fail_signal _ | Message.Back_log _
+  | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
+  | Message.View_change _ | Message.New_view _ | Message.Unwilling _
+  | Message.Pre_prepare _ | Message.Prepare _ | Message.Commit _
+  | Message.Bft_view_change _ | Message.Bft_new_view _ ->
+    ()
+
+let start t =
+  if i_am_coordinator t then arm_batch_timer t;
+  arm_suspect_timer t
+
+let create ~ctx ~config =
+  {
+    ctx;
+    config;
+    all_ids = List.init (process_count config) Fun.id;
+    epoch = 0;
+    pending = Key_map.empty;
+    arrival = Key_map.empty;
+    ordered_keys = Key_set.empty;
+    orders = Hashtbl.create 64;
+    max_committed = 0;
+    delivered = 0;
+    next_seq = 1;
+    batch_timer = None;
+    suspect_timer = None;
+    last_progress = Simtime.zero;
+  }

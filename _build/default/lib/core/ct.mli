@@ -1,0 +1,49 @@
+(** The CT crash-tolerant baseline (paper Section 5).
+
+    "CT is simply derived from SC, with no process being paired and no
+    cryptographic techniques used": n = 2f+1 processes tolerating f crash
+    faults, a fixed-rank coordinator that multicasts its order message
+    directly to all (SC's phases 1 and 2 collapse into one 1-to-n
+    dissemination), and the same n-to-n ack/commit phase with quorum n-f.
+
+    The paper uses CT only to show how much slower the Byzantine-tolerant
+    protocols are than a crash-tolerant one; a simple timeout-based
+    coordinator rotation is included so the protocol is live under crash
+    faults, but it is not part of the measured scenarios. *)
+
+type config = {
+  f : int;
+  batching_interval : Sof_sim.Simtime.t;
+  batch_size_limit : int;
+  digest : Sof_crypto.Digest_alg.t;
+  suspect_timeout : Sof_sim.Simtime.t;
+      (** How long a request may stay unordered before the coordinator is
+          suspected of having crashed. *)
+}
+
+val make_config :
+  ?batching_interval:Sof_sim.Simtime.t ->
+  ?batch_size_limit:int ->
+  ?digest:Sof_crypto.Digest_alg.t ->
+  ?suspect_timeout:Sof_sim.Simtime.t ->
+  f:int ->
+  unit ->
+  config
+(** @raise Invalid_argument when [f < 1]. *)
+
+val process_count : config -> int
+(** [2f+1]. *)
+
+type t
+
+val create : ctx:Context.t -> config:config -> t
+val start : t -> unit
+val on_request : t -> Sof_smr.Request.t -> unit
+val on_message : t -> src:int -> Message.envelope -> unit
+
+val id : t -> int
+val coordinator : t -> int
+(** Current coordinator's process id. *)
+
+val max_committed : t -> int
+val delivered_seq : t -> int

@@ -1,0 +1,18 @@
+type t =
+  | Honest
+  | Corrupt_digest_at of int
+  | Endorse_corrupt_at of int
+  | Mute_at of Sof_sim.Simtime.t
+  | Drop_endorsements
+
+let is_mute t ~now =
+  match t with
+  | Mute_at at -> Sof_sim.Simtime.compare now at >= 0
+  | Honest | Corrupt_digest_at _ | Endorse_corrupt_at _ | Drop_endorsements -> false
+
+let pp fmt = function
+  | Honest -> Format.pp_print_string fmt "honest"
+  | Corrupt_digest_at o -> Format.fprintf fmt "corrupt_digest@%d" o
+  | Endorse_corrupt_at o -> Format.fprintf fmt "endorse_corrupt@%d" o
+  | Mute_at at -> Format.fprintf fmt "mute@%a" Sof_sim.Simtime.pp at
+  | Drop_endorsements -> Format.pp_print_string fmt "drop_endorsements"

@@ -1,0 +1,28 @@
+(** Byzantine fault injection.
+
+    A fault is attached to one process and drives its misbehaviour at the
+    protocol's decision points.  Faulty processes still cannot forge other
+    processes' signatures (keyring enforcement), so every injected behaviour
+    is within the cryptography-constrained Byzantine model. *)
+
+type t =
+  | Honest
+  | Corrupt_digest_at of int
+      (** As coordinator primary: the order with this sequence number
+          carries a wrong batch digest — a value-domain failure the shadow
+          must catch. *)
+  | Endorse_corrupt_at of int
+      (** As coordinator shadow: endorse even an invalid order with this
+          sequence number (colluding shadow; exercises the receivers'
+          independent checks). *)
+  | Mute_at of Sof_sim.Simtime.t
+      (** Stop transmitting at the given instant (crash / time-domain
+          failure as seen by the counterpart). *)
+  | Drop_endorsements
+      (** As shadow: receive orders but never endorse them (time-domain
+          failure as seen by the primary). *)
+
+val is_mute : t -> now:Sof_sim.Simtime.t -> bool
+(** Whether a process with this fault transmits nothing at [now]. *)
+
+val pp : Format.formatter -> t -> unit

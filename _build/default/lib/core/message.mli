@@ -1,0 +1,92 @@
+(** Protocol messages.
+
+    A message is a [body] wrapped in an [envelope] carrying the creator's
+    identity, the creator's signature over the encoded body, and optionally
+    an endorsement: a second process's signature over body-plus-first-
+    signature.  "Doubly-signed" in the paper is exactly an envelope with an
+    endorsement (Section 3, "the second process considers the signature of
+    the first as a part of the contents it signs for").
+
+    Envelopes are what travel on the wire; their encoded size is what the
+    network charges for. *)
+
+type order_info = {
+  o : int;  (** Sequence number. *)
+  digest : string;  (** Batch digest D(m). *)
+  keys : Sof_smr.Request.key list;  (** Which requests the batch contains. *)
+}
+
+type body =
+  (* --- normal part (SC/SCR §4.1); also reused by CT --- *)
+  | Order of { c : int; info : order_info }
+      (** order<c, o, D(m)> decided by coordinator candidate [c]. *)
+  | Ack of { c : int; o : int; digest : string }  (** Step N1. *)
+  (* --- signal-on-crash machinery (§3.2) --- *)
+  | Fail_signal of { pair : int }
+      (** Pre-signed at initialisation by the counterpart; doubly-signed
+          when emitted. *)
+  (* --- install part (§4.2) --- *)
+  | Back_log of {
+      c : int;  (** Rank of the coordinator this backlog helps install. *)
+      failed_pair : int;
+      max_committed : int;  (** 0 when nothing committed. *)
+      committed_digest : string;
+      proof_c : int;  (** Coordinator rank under which it committed. *)
+      proof : (int * string) list;
+          (** (signer, ack signature) set proving the commitment. *)
+      uncommitted : order_info list;  (** Acked but uncommitted orders. *)
+    }
+  | Start of {
+      c : int;
+      start_o : int;
+      anchor : int;  (** max({max_committed}) over the collected backlogs. *)
+      new_back_log : order_info list;
+    }
+  | Start_ack of { c : int; start_digest : string }  (** Step IN3. *)
+  | Start_tuples of { c : int; tuples : (int * string) list }  (** Step IN4. *)
+  (* --- SCR view change (§4.4) --- *)
+  | View_change of {
+      v : int;
+      max_committed : int;
+      committed_digest : string;
+      uncommitted : order_info list;
+    }
+  | New_view of { v : int; start_o : int; anchor : int; new_back_log : order_info list }
+  | Unwilling of { v : int; pair : int }
+  (* --- pair mutual checking --- *)
+  | Heartbeat of { pair : int; beat : int }
+  (* --- BFT baseline --- *)
+  | Pre_prepare of { v : int; info : order_info }
+  | Prepare of { v : int; o : int; digest : string }
+  | Commit of { v : int; o : int; digest : string }
+  | Bft_view_change of { v : int; prepared : order_info list }
+  | Bft_new_view of { v : int; pre_prepares : order_info list }
+
+type envelope = {
+  sender : int;  (** Creator (first signatory), not the transport source. *)
+  body : body;
+  signature : string;  (** Creator's signature over [encode_body body]. *)
+  endorsement : (int * string) option;
+      (** Second signatory and signature over [encode_body body ^ signature]. *)
+}
+
+val encode_body : body -> string
+val decode_body : string -> body
+(** @raise Sof_util.Codec.Reader.Truncated on malformed input. *)
+
+val encode : envelope -> string
+val decode : string -> envelope
+
+val encoded_size : envelope -> int
+
+val signature_count : envelope -> int
+(** 1 or 2 — how many verifications a receiver performs. *)
+
+val endorsement_payload : body -> string -> string
+(** [endorsement_payload body first_sig] is the byte string the second
+    signatory signs. *)
+
+val body_tag : body -> string
+(** Short constructor name for tracing and per-type accounting. *)
+
+val pp : Format.formatter -> envelope -> unit

@@ -1,0 +1,1181 @@
+module Simtime = Sof_sim.Simtime
+module Request = Sof_smr.Request
+module Key_map = Request.Key_map
+module Key_set = Request.Key_set
+module Int_set = Set.Make (Int)
+
+(* Votes for one sequence number, keyed by digest: a vote is either being a
+   signatory of the doubly-signed order or having sent a matching ack.  The
+   proof tuples back the BackLog's "proof of commitment". *)
+type votes = {
+  mutable sources : Int_set.t;
+  mutable proof : (int * string) list;
+}
+
+type order_state = {
+  o : int;
+  mutable digest : string;  (* authoritative once [have_order] *)
+  mutable keys : Request.key list;
+  mutable have_order : bool;
+  mutable vote_c : int;  (* coordinator rank that produced the order *)
+  mutable acked : bool;
+  mutable committed : bool;
+  mutable null : bool;  (* gap filler or Start placeholder: delivers nothing *)
+  votes_by_digest : (string, votes) Hashtbl.t;
+}
+
+type backlog_rec = {
+  bl_failed_pair : int;
+  bl_max_committed : int;
+  bl_committed_digest : string;
+  bl_proof_c : int;
+  bl_proof : (int * string) list;
+  bl_uncommitted : Message.order_info list;
+}
+
+type t = {
+  ctx : Context.t;
+  config : Config.t;
+  fault : Fault.t;
+  counterpart_fail_signal : string option;
+  pair_rank : int option;
+  counterpart : int option;
+  all_ids : int list;
+  (* coordinator tracking *)
+  mutable coord : int;
+  mutable failed_pairs : Int_set.t;
+  mutable dumbed_pairs : Int_set.t;
+  mutable installing : bool;
+  (* request pool *)
+  mutable pending : Request.t Key_map.t;
+  mutable arrival : Simtime.t Key_map.t;
+  mutable ordered_keys : Key_set.t;
+  (* order log *)
+  orders : (int, order_state) Hashtbl.t;
+  mutable max_committed : int;
+  mutable committed_digest : string;
+  mutable committed_proof_c : int;
+  mutable committed_proof : (int * string) list;
+  mutable delivered : int;
+  (* coordinator primary *)
+  mutable next_seq : int;
+  mutable batch_timer : Context.timer option;
+  mutable endorsement_watches : (int * Context.timer) list;
+  (* coordinator shadow *)
+  mutable expected_seq : int;
+  mutable last_progress : Simtime.t;  (* last endorsement made as shadow *)
+  mutable stashed_endorsements : (Simtime.t * Message.envelope) list;
+  mutable watch_timer : Context.timer option;
+  (* pair liveness *)
+  mutable pair_active : bool;
+  mutable fail_signalled : bool;
+  mutable last_heard : Simtime.t;
+  mutable heartbeat_timer : Context.timer option;
+  mutable beat : int;
+  (* install *)
+  backlogs_by_c : (int, (int * backlog_rec) list ref) Hashtbl.t;
+  mutable start_env : Message.envelope option;
+  mutable start_acks : (int * string) list;
+  mutable have_tuples : bool;
+  mutable sent_tuples : bool;
+  mutable start_sent : bool;
+  mutable start_covers : Message.order_info list;
+  mutable stash_future : (int * Message.envelope) list;
+}
+
+(* ------------------------------------------------------------ accessors *)
+
+let id t = t.ctx.Context.id
+let coordinator_rank t = t.coord
+let max_committed t = t.max_committed
+let delivered_seq t = t.delivered
+let is_installing t = t.installing
+let has_fail_signalled t = t.fail_signalled
+let pending_requests t = Key_map.cardinal t.pending
+
+let live_f t = t.config.Config.f - Int_set.cardinal t.dumbed_pairs
+
+let quorum t =
+  Config.process_count t.config - t.config.Config.f - Int_set.cardinal t.dumbed_pairs
+
+let dumb_ids t =
+  Int_set.fold
+    (fun r acc ->
+      List.fold_left (fun acc m -> Int_set.add m acc) acc (Config.candidate_members t.config r))
+    t.dumbed_pairs Int_set.empty
+
+let is_dumb t = Int_set.mem (id t) (dumb_ids t)
+
+let i_am_coordinator_primary t =
+  (not t.installing) && id t = Config.primary_of_pair t.config t.coord
+
+let coordinator_is_pair t = Config.candidate_is_pair t.config t.coord
+
+let i_am_coordinator_shadow t =
+  (not t.installing) && coordinator_is_pair t
+  && id t = Config.shadow_of_pair t.config t.coord
+
+let null_digest t = Batch.digest t.config.Config.digest (Batch.make [])
+
+(* --------------------------------------------------------- transmission *)
+
+let can_transmit t =
+  (not (is_dumb t)) && not (Fault.is_mute t.fault ~now:(t.ctx.Context.now ()))
+
+let send t ~dst env = if can_transmit t then t.ctx.Context.send ~dst env
+
+let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts env
+
+let others t = List.filter (fun p -> p <> id t) t.all_ids
+
+let make_signed t body =
+  let payload = Message.encode_body body in
+  {
+    Message.sender = id t;
+    body;
+    signature = t.ctx.Context.sign payload;
+    endorsement = None;
+  }
+
+let endorse t (env : Message.envelope) =
+  let payload = Message.endorsement_payload env.Message.body env.Message.signature in
+  { env with Message.endorsement = Some (id t, t.ctx.Context.sign payload) }
+
+(* Verify every signature an envelope carries. *)
+let authentic t (env : Message.envelope) =
+  let payload = Message.encode_body env.Message.body in
+  t.ctx.Context.verify ~signer:env.Message.sender ~msg:payload
+    ~signature:env.Message.signature
+  && begin
+       match env.Message.endorsement with
+       | None -> true
+       | Some (who, s) ->
+         who <> env.Message.sender
+         && t.ctx.Context.verify ~signer:who
+              ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
+              ~signature:s
+     end
+
+(* Is this envelope doubly-signed by exactly the members of pair [rank]? *)
+let doubly_signed_by_pair t ~rank (env : Message.envelope) =
+  Config.candidate_is_pair t.config rank
+  && begin
+       match env.Message.endorsement with
+       | None -> false
+       | Some (who, _) ->
+         let members = Config.candidate_members t.config rank in
+         List.mem env.Message.sender members && List.mem who members
+     end
+
+(* An order from candidate [rank] is acceptable when doubly-signed by the
+   pair, or singly-signed when the candidate is SC's final unpaired
+   process (which, by SC2 and the ranking argument, must be non-faulty when
+   it coordinates). *)
+let valid_coordinator_message t ~rank (env : Message.envelope) =
+  if Config.candidate_is_pair t.config rank then doubly_signed_by_pair t ~rank env
+  else
+    env.Message.endorsement = None
+    && env.Message.sender = Config.primary_of_pair t.config rank
+
+(* ----------------------------------------------------------- order log *)
+
+let get_order t o =
+  match Hashtbl.find_opt t.orders o with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        o;
+        digest = "";
+        keys = [];
+        have_order = false;
+        vote_c = 0;
+        acked = false;
+        committed = false;
+        null = false;
+        votes_by_digest = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.orders o st;
+    st
+
+let votes_for st digest =
+  match Hashtbl.find_opt st.votes_by_digest digest with
+  | Some v -> v
+  | None ->
+    let v = { sources = Int_set.empty; proof = [] } in
+    Hashtbl.replace st.votes_by_digest digest v;
+    v
+
+let add_vote st ~digest ~source ~signature =
+  let v = votes_for st digest in
+  if not (Int_set.mem source v.sources) then begin
+    v.sources <- Int_set.add source v.sources;
+    v.proof <- (source, signature) :: v.proof
+  end
+
+(* ------------------------------------------------------------- delivery *)
+
+let rec advance_delivery t =
+  match Hashtbl.find_opt t.orders (t.delivered + 1) with
+  | None -> ()
+  | Some st when not st.committed -> ()
+  | Some st ->
+    if st.null || st.keys = [] then begin
+      t.delivered <- st.o;
+      let batch = Batch.make [] in
+      t.ctx.Context.deliver ~seq:st.o batch;
+      t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+      advance_delivery t
+    end
+    else begin
+      let requests =
+        List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys
+      in
+      if List.length requests = List.length st.keys then begin
+        t.delivered <- st.o;
+        List.iter
+          (fun k ->
+            t.pending <- Key_map.remove k t.pending;
+            t.arrival <- Key_map.remove k t.arrival)
+          st.keys;
+        let batch = Batch.make requests in
+        t.ctx.Context.deliver ~seq:st.o batch;
+        t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+        advance_delivery t
+      end
+      (* else: some requests not here yet; clients broadcast to all over a
+         reliable network, so they will arrive and retrigger delivery. *)
+    end
+
+let record_commit t st =
+  if not st.committed then begin
+    st.committed <- true;
+    if st.o > t.max_committed then begin
+      t.max_committed <- st.o;
+      t.committed_digest <- st.digest;
+      t.committed_proof_c <- st.vote_c;
+      t.committed_proof <-
+        (match Hashtbl.find_opt st.votes_by_digest st.digest with
+        | Some v -> v.proof
+        | None -> [])
+    end;
+    t.ctx.Context.emit (Context.Committed { seq = st.o; digest = st.digest; keys = st.keys });
+    advance_delivery t
+  end
+
+let try_commit t st =
+  if st.have_order && not st.committed then begin
+    let v = votes_for st st.digest in
+    if Int_set.cardinal v.sources >= quorum t then begin
+      record_commit t st;
+      (* Committing the Start placeholder commits everything it covers. *)
+      if st.null && t.start_covers <> [] then begin
+        let covered = t.start_covers in
+        t.start_covers <- [];
+        List.iter
+          (fun (info : Message.order_info) ->
+            let cst = get_order t info.Message.o in
+            if not cst.committed then begin
+              cst.have_order <- true;
+              cst.digest <- info.Message.digest;
+              cst.keys <- info.Message.keys;
+              record_commit t cst
+            end)
+          covered
+      end;
+      advance_delivery t
+    end
+  end
+
+(* --------------------------------------------------------------- acking *)
+
+let send_ack t st =
+  if st.have_order && not st.acked then begin
+    st.acked <- true;
+    let body = Message.Ack { c = st.vote_c; o = st.o; digest = st.digest } in
+    let env = make_signed t body in
+    multicast t ~dsts:t.all_ids env
+  end
+
+(* Process an authentic order from the current coordinator (doubly-signed
+   for pairs, singly-signed for the unpaired last candidate). *)
+let accept_order t (env : Message.envelope) ~c ~(info : Message.order_info) =
+  let st = get_order t info.Message.o in
+  if st.have_order then begin
+    (* Duplicate (the 2-to-n phase delivers two copies); votes still count. *)
+    if st.digest = info.Message.digest then begin
+      add_vote st ~digest:st.digest ~source:env.Message.sender
+        ~signature:env.Message.signature;
+      (match env.Message.endorsement with
+      | Some (who, s) -> add_vote st ~digest:st.digest ~source:who ~signature:s
+      | None -> ());
+      send_ack t st;
+      try_commit t st
+    end
+    (* Conflicting doubly-signed orders would mean both pair members failed
+       — outside the fault model; first writer wins. *)
+  end
+  else begin
+    st.have_order <- true;
+    st.digest <- info.Message.digest;
+    st.keys <- info.Message.keys;
+    st.vote_c <- c;
+    if info.Message.keys = [] then st.null <- true;
+    List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+    add_vote st ~digest:st.digest ~source:env.Message.sender
+      ~signature:env.Message.signature;
+    (match env.Message.endorsement with
+    | Some (who, s) -> add_vote st ~digest:st.digest ~source:who ~signature:s
+    | None -> ());
+    send_ack t st;
+    try_commit t st
+  end
+
+(* ---------------------------------------------------- pair fail-signals *)
+
+let cancel_pair_timers t =
+  (match t.watch_timer with Some h -> h.Context.cancel () | None -> ());
+  t.watch_timer <- None;
+  (match t.heartbeat_timer with Some h -> h.Context.cancel () | None -> ());
+  t.heartbeat_timer <- None;
+  List.iter (fun (_, h) -> h.Context.cancel ()) t.endorsement_watches;
+  t.endorsement_watches <- []
+
+let rec emit_fail_signal t ~value_domain =
+  match (t.pair_rank, t.counterpart_fail_signal, t.counterpart) with
+  | Some rank, Some presig, Some cp when (not t.fail_signalled) && t.pair_active ->
+    t.fail_signalled <- true;
+    t.pair_active <- false;
+    cancel_pair_timers t;
+    (match t.batch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.batch_timer <- None;
+    let body = Message.Fail_signal { pair = rank } in
+    let env =
+      { Message.sender = cp; body; signature = presig; endorsement = None }
+    in
+    let env = endorse t env in
+    t.ctx.Context.emit (Context.Fail_signal_emitted { pair = rank; value_domain });
+    if value_domain then t.ctx.Context.emit (Context.Value_fault_detected { pair = rank });
+    multicast t ~dsts:(others t) env;
+    note_pair_failed t rank
+  | _ -> ()
+
+and note_pair_failed t rank =
+  if not (Int_set.mem rank t.failed_pairs) then begin
+    t.failed_pairs <- Int_set.add rank t.failed_pairs;
+    t.ctx.Context.emit (Context.Fail_signal_observed { pair = rank });
+    (* Member of the pair that hasn't signalled yet: join in (the paper's
+       rule that receiving the counterpart's fail-signal makes you emit
+       yours). *)
+    (match t.pair_rank with
+    | Some r when r = rank && not t.fail_signalled -> emit_fail_signal t ~value_domain:false
+    | Some _ | None -> ());
+    if rank = t.coord then begin_install t
+  end
+
+(* ----------------------------------------------------------- install *)
+
+and begin_install t =
+  let rec next_candidate r =
+    if r > Config.candidate_count t.config then r (* exhausted: f faults already *)
+    else if Int_set.mem r t.failed_pairs then next_candidate (r + 1)
+    else r
+  in
+  let failed = t.coord in
+  t.coord <- next_candidate (t.coord + 1);
+  t.installing <- true;
+  t.start_env <- None;
+  t.start_acks <- [];
+  t.have_tuples <- false;
+  t.sent_tuples <- false;
+  t.start_sent <- false;
+  (match t.watch_timer with Some h -> h.Context.cancel () | None -> ());
+  t.watch_timer <- None;
+  (match t.batch_timer with Some h -> h.Context.cancel () | None -> ());
+  t.batch_timer <- None;
+  (* Messages stashed for this epoch (e.g. backlogs that raced ahead of the
+     fail-signal) become processable now. *)
+  let stash = List.rev t.stash_future in
+  t.stash_future <- [];
+  let replay () = List.iter (fun (src, env) -> on_message t ~src env) stash in
+  (* IN1: multicast BackLog. *)
+  let uncommitted =
+    Hashtbl.fold
+      (fun o st acc ->
+        if st.have_order && (not st.committed) && o > t.max_committed then
+          { Message.o; digest = st.digest; keys = st.keys } :: acc
+        else acc)
+      t.orders []
+    |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+  in
+  let body =
+    Message.Back_log
+      {
+        c = t.coord;
+        failed_pair = failed;
+        max_committed = t.max_committed;
+        committed_digest = t.committed_digest;
+        proof_c = t.committed_proof_c;
+        proof = t.committed_proof;
+        uncommitted;
+      }
+  in
+  let env = make_signed t body in
+  multicast t ~dsts:(others t) env;
+  store_backlog t ~src:(id t)
+    {
+      bl_failed_pair = failed;
+      bl_max_committed = t.max_committed;
+      bl_committed_digest = t.committed_digest;
+      bl_proof_c = t.committed_proof_c;
+      bl_proof = t.committed_proof;
+      bl_uncommitted = uncommitted;
+    };
+  replay ()
+
+and store_backlog t ~src rec_ =
+  let cell =
+    match Hashtbl.find_opt t.backlogs_by_c t.coord with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.replace t.backlogs_by_c t.coord cell;
+      cell
+  in
+  if not (List.mem_assoc src !cell) then begin
+    cell := (src, rec_) :: !cell;
+    maybe_send_start t
+  end
+
+(* IN2 at the new coordinator primary: compute NewBackLog and Start. *)
+and maybe_send_start t =
+  let am_new_primary =
+    t.installing && id t = Config.primary_of_pair t.config t.coord
+  in
+  if am_new_primary && not t.start_sent then begin
+    match Hashtbl.find_opt t.backlogs_by_c t.coord with
+    | Some cell when List.length !cell >= quorum t ->
+      t.start_sent <- true;
+      let backlogs = List.map snd !cell in
+      let start_o, anchor, new_back_log = compute_new_back_log t backlogs in
+      let body = Message.Start { c = t.coord; start_o; anchor; new_back_log } in
+      let env = make_signed t body in
+      if Config.candidate_is_pair t.config t.coord then
+        (* 1-signed to the shadow for endorsement. *)
+        send t ~dst:(Config.shadow_of_pair t.config t.coord) env
+      else begin
+        (* The unpaired last candidate multicasts directly. *)
+        multicast t ~dsts:(others t) env;
+        handle_start t env
+      end
+    | Some _ | None -> ()
+  end
+
+and compute_new_back_log t backlogs =
+  (* Anchor: the highest proven committed sequence number. *)
+  let anchor =
+    List.fold_left (fun acc b -> max acc b.bl_max_committed) 0 backlogs
+  in
+  (* Candidate uncommitted orders above the anchor, grouped by (o, digest)
+     with their support counts.  The paper's principle: an order possibly
+     committed by a correct process appears in at least f+1 of any (n-f)
+     backlogs, so the best-supported digest is the only safe choice. *)
+  let support : (int * string, int * Message.order_info) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (info : Message.order_info) ->
+          if info.Message.o > anchor then begin
+            let key = (info.Message.o, info.Message.digest) in
+            match Hashtbl.find_opt support key with
+            | Some (n, i) -> Hashtbl.replace support key (n + 1, i)
+            | None -> Hashtbl.replace support key (1, info)
+          end)
+        b.bl_uncommitted)
+    backlogs;
+  let by_o : (int, (int * Message.order_info) list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (o, _) (n, info) ->
+      let cur = Option.value (Hashtbl.find_opt by_o o) ~default:[] in
+      Hashtbl.replace by_o o ((n, info) :: cur))
+    support;
+  let chosen =
+    Hashtbl.fold
+      (fun _o cands acc ->
+        let best =
+          List.sort
+            (fun (n1, i1) (n2, i2) ->
+              let c = compare n2 n1 in
+              if c <> 0 then c else compare i1.Message.digest i2.Message.digest)
+            cands
+        in
+        match best with [] -> acc | (_, info) :: _ -> info :: acc)
+      by_o []
+    |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+  in
+  let start_o =
+    1 + List.fold_left (fun acc (i : Message.order_info) -> max acc i.Message.o) anchor chosen
+  in
+  (* Fill holes with null orders so delivery never stalls. *)
+  let nd = null_digest t in
+  let filled =
+    List.init (start_o - anchor - 1) (fun idx ->
+        let o = anchor + 1 + idx in
+        match List.find_opt (fun (i : Message.order_info) -> i.Message.o = o) chosen with
+        | Some info -> info
+        | None -> { Message.o; digest = nd; keys = [] })
+  in
+  (start_o, anchor, filled)
+
+(* Shadow of the new coordinator: verify the primary's Start against the
+   backlogs received directly (the paper's p'c verification), endorse and
+   multicast. *)
+and handle_start_proposal t (env : Message.envelope) ~start_o ~anchor ~new_back_log =
+  let my_backlogs =
+    match Hashtbl.find_opt t.backlogs_by_c t.coord with
+    | Some cell -> List.map snd !cell
+    | None -> []
+  in
+  (* The primary may have seen commits we did not (its backlog quorum need
+     not include ours), so the anchor may legitimately sit below our own
+     max_committed; what the Start must never do is contradict an order we
+     know committed or conflict with an (f+1)-supported digest. *)
+  let commits_preserved =
+    let rec check o =
+      o > t.max_committed
+      || begin
+           (match Hashtbl.find_opt t.orders o with
+           | Some st when st.committed ->
+             List.exists
+               (fun (i : Message.order_info) ->
+                 i.Message.o = o && i.Message.digest = st.digest)
+               new_back_log
+           | Some _ | None -> true)
+           && check (o + 1)
+         end
+    in
+    check (anchor + 1)
+  in
+  let plausible =
+    start_o > anchor && commits_preserved
+    && List.for_all
+         (fun (info : Message.order_info) ->
+           let competing =
+             List.filter
+               (fun b ->
+                 List.exists
+                   (fun (i : Message.order_info) ->
+                     i.Message.o = info.Message.o
+                     && i.Message.digest <> info.Message.digest)
+                   b.bl_uncommitted)
+               my_backlogs
+           in
+           List.length competing < t.config.Config.f + 1)
+         new_back_log
+  in
+  if plausible then begin
+    let endorsed = endorse t env in
+    multicast t ~dsts:(others t) endorsed;
+    handle_start t endorsed
+  end
+  else emit_fail_signal t ~value_domain:true
+
+and handle_start t (env : Message.envelope) =
+  match env.Message.body with
+  | Message.Start { c; _ } when c = t.coord && t.installing && t.start_env = None ->
+    t.start_env <- Some env;
+    (* IN3: sign the Start and send the identifier-signature tuple to the
+       new coordinator (skipped when f-effective is 1). *)
+    let members = Config.candidate_members t.config c in
+    if live_f t > 1 && not (List.mem (id t) members) then begin
+      let start_digest = start_digest_of t env in
+      let body = Message.Start_ack { c; start_digest } in
+      let ack = make_signed t body in
+      List.iter (fun m -> send t ~dst:m ack) members
+    end;
+    try_finish_install t
+  | _ -> ()
+
+and start_digest_of t (env : Message.envelope) =
+  let payload = Message.encode_body env.Message.body in
+  t.ctx.Context.digest_charge (String.length payload);
+  Sof_crypto.Digest_alg.digest t.config.Config.digest payload
+
+and handle_start_ack t (env : Message.envelope) ~c ~start_digest =
+  let members = Config.candidate_members t.config c in
+  if
+    t.installing && c = t.coord
+    && List.mem (id t) members
+    && (not (List.mem env.Message.sender members))
+    && not (List.mem_assoc env.Message.sender t.start_acks)
+  then begin
+    (* Only count tuples that match our own Start. *)
+    let matches =
+      match t.start_env with
+      | Some start -> start_digest_of t start = start_digest
+      | None -> false
+    in
+    if matches then begin
+      t.start_acks <- (env.Message.sender, env.Message.signature) :: t.start_acks;
+      if List.length t.start_acks >= live_f t - 1 && not t.sent_tuples then begin
+        t.sent_tuples <- true;
+        let body = Message.Start_tuples { c; tuples = t.start_acks } in
+        let env' = make_signed t body in
+        multicast t ~dsts:(others t) env';
+        t.have_tuples <- true;
+        try_finish_install t
+      end
+    end
+  end
+
+and handle_start_tuples t (env : Message.envelope) ~c ~tuples =
+  ignore env;
+  if t.installing && c = t.coord && not t.have_tuples then begin
+    match t.start_env with
+    | None -> () (* Start not here yet; tuples will be re-derived from stash *)
+    | Some start ->
+      let start_digest = start_digest_of t start in
+      let body_bytes =
+        Message.encode_body (Message.Start_ack { c; start_digest })
+      in
+      let members = Config.candidate_members t.config c in
+      let valid =
+        List.filter
+          (fun (signer, signature) ->
+            (not (List.mem signer members))
+            && t.ctx.Context.verify ~signer ~msg:body_bytes ~signature)
+          tuples
+      in
+      let distinct = List.sort_uniq compare (List.map fst valid) in
+      if List.length distinct >= live_f t - 1 then begin
+        t.have_tuples <- true;
+        try_finish_install t
+      end
+  end
+
+and try_finish_install t =
+  if t.installing then begin
+    match t.start_env with
+    | None -> ()
+    | Some start_env ->
+      let ready = live_f t <= 1 || t.have_tuples in
+      if ready then finish_install t start_env
+  end
+
+and finish_install t (start_env : Message.envelope) =
+  match start_env.Message.body with
+  | Message.Start { c; start_o; anchor; new_back_log } ->
+    t.installing <- false;
+    (* First optimisation (Section 4.3): every passed-over pair turns dumb;
+       n shrinks by 2 and f by 1 per pair. *)
+    if t.config.Config.dumb_optimization then
+      t.dumbed_pairs <- Int_set.filter (fun r -> r < t.coord) t.failed_pairs;
+    (* Adopt the NewBackLog. *)
+    t.start_covers <- List.filter (fun (i : Message.order_info) -> i.Message.o > t.max_committed) new_back_log;
+    List.iter
+      (fun (info : Message.order_info) ->
+        let st = get_order t info.Message.o in
+        if not st.committed then begin
+          st.have_order <- true;
+          st.digest <- info.Message.digest;
+          st.keys <- info.Message.keys;
+          st.vote_c <- c;
+          if info.Message.keys = [] then st.null <- true;
+          List.iter
+            (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys)
+            info.Message.keys
+        end)
+      new_back_log;
+    ignore anchor;
+    (* The Start itself is an order at start_o (step IN5). *)
+    let start_digest = start_digest_of t start_env in
+    let st = get_order t start_o in
+    if not st.committed then begin
+      st.have_order <- true;
+      st.digest <- start_digest;
+      st.keys <- [];
+      st.null <- true;
+      st.vote_c <- c;
+      add_vote st ~digest:start_digest ~source:start_env.Message.sender
+        ~signature:start_env.Message.signature;
+      (match start_env.Message.endorsement with
+      | Some (who, s) -> add_vote st ~digest:start_digest ~source:who ~signature:s
+      | None -> ())
+    end;
+    (* New coordinator roles. *)
+    if id t = Config.primary_of_pair t.config t.coord && not (is_dumb t) then begin
+      t.next_seq <- start_o + 1;
+      arm_batch_timer t
+    end;
+    if
+      Config.candidate_is_pair t.config t.coord
+      && id t = Config.shadow_of_pair t.config t.coord
+    then begin
+      t.expected_seq <- start_o + 1;
+      t.last_progress <- t.ctx.Context.now ()
+    end;
+    t.ctx.Context.emit (Context.Coordinator_installed { rank = t.coord });
+    (* Ack the Start through the normal part. *)
+    send_ack t st;
+    try_commit t st;
+    (* Replay messages that raced ahead of this install. *)
+    let stash = List.rev t.stash_future in
+    t.stash_future <- [];
+    List.iter (fun (src, env) -> on_message t ~src env) stash
+  | _ -> assert false
+
+(* ------------------------------------------------------ normal batching *)
+
+and arm_batch_timer t =
+  let h =
+    t.ctx.Context.set_timer ~delay:t.config.Config.batching_interval (fun () ->
+        batch_tick t)
+  in
+  t.batch_timer <- Some h
+
+and batch_tick t =
+  if i_am_coordinator_primary t && pair_active_or_unpaired t then begin
+    let pool =
+      Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.pending
+    in
+    if not (Key_map.is_empty pool) then issue_batch t pool;
+    arm_batch_timer t
+  end
+
+and pair_active_or_unpaired t =
+  (* The unpaired candidate has no pair to lose; pairs batch only while the
+     collaboration is alive. *)
+  match t.pair_rank with None -> true | Some _ -> t.pair_active
+
+and issue_batch t pool =
+  let requests =
+    Batch.take_oldest ~limit:t.config.Config.batch_size_limit ~pool ~arrival:t.arrival
+  in
+  let batch = Batch.make requests in
+  let o = t.next_seq in
+  t.next_seq <- o + 1;
+  t.ctx.Context.digest_charge (Batch.encoded_size batch);
+  let digest = Batch.digest t.config.Config.digest batch in
+  let digest =
+    match t.fault with
+    | Fault.Corrupt_digest_at at when at = o ->
+      (* Value-domain fault: lie about the batch's contents. *)
+      let b = Bytes.of_string digest in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      Bytes.to_string b
+    | _ -> digest
+  in
+  let keys = Batch.keys batch in
+  List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) keys;
+  let info = { Message.o; digest; keys } in
+  t.ctx.Context.emit
+    (Context.Batched
+       { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+  let body = Message.Order { c = t.coord; info } in
+  let env = make_signed t body in
+  if coordinator_is_pair t then begin
+    (* Phase 1: 1-to-1 to the shadow for endorsement. *)
+    send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
+    let watch =
+      t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+          endorsement_overdue t o)
+    in
+    t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+  end
+  else begin
+    (* Unpaired coordinator: singly-signed order straight to everyone. *)
+    multicast t ~dsts:(others t) env;
+    accept_order t env ~c:t.coord ~info
+  end
+
+and endorsement_overdue t o =
+  t.endorsement_watches <- List.remove_assoc o t.endorsement_watches;
+  let endorsed =
+    match Hashtbl.find_opt t.orders o with Some st -> st.have_order | None -> false
+  in
+  if not endorsed then
+    (* Time-domain failure of the shadow (assumption 3(a)(i): the estimate is
+       accurate, so lateness means failure). *)
+    emit_fail_signal t ~value_domain:false
+
+(* ------------------------------------- shadow checking and endorsement *)
+
+and shadow_validate_order t (env : Message.envelope) ~(info : Message.order_info) =
+  (* Returns [`Valid], [`Defer] (requests not all here yet) or [`Invalid]. *)
+  if info.Message.o <> t.expected_seq then
+    if info.Message.o < t.expected_seq then `Duplicate else `Invalid
+  else if List.exists (fun k -> Key_set.mem k t.ordered_keys) info.Message.keys then `Invalid
+  else if info.Message.keys = [] then `Invalid
+  else begin
+    let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) info.Message.keys in
+    if List.length requests <> List.length info.Message.keys then `Defer
+    else begin
+      let batch = Batch.make requests in
+      t.ctx.Context.digest_charge (Batch.encoded_size batch);
+      let expected = Batch.digest t.config.Config.digest batch in
+      ignore env;
+      if expected = info.Message.digest then `Valid else `Invalid
+    end
+  end
+
+and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) =
+  match t.fault with
+  | Fault.Drop_endorsements -> ()
+  | _ -> begin
+    match shadow_validate_order t env ~info with
+    | `Duplicate -> ()
+    | `Defer ->
+      t.stashed_endorsements <- (t.ctx.Context.now (), env) :: t.stashed_endorsements;
+      retry_stashed_later t
+    | `Invalid -> begin
+      match t.fault with
+      | Fault.Endorse_corrupt_at at when at = info.Message.o ->
+        shadow_endorse t env ~info
+      | _ -> emit_fail_signal t ~value_domain:true
+    end
+    | `Valid -> shadow_endorse t env ~info
+  end
+
+and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
+  t.expected_seq <- info.Message.o + 1;
+  t.last_progress <- t.ctx.Context.now ();
+  List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+  let endorsed = endorse t env in
+  (* Phase 2: 2-to-n — the shadow multicasts the endorsed order... *)
+  multicast t ~dsts:(others t) endorsed;
+  accept_order t endorsed ~c:t.coord ~info;
+  rearm_shadow_watch t
+
+and retry_stashed_later t =
+  (* Requests the primary referenced should arrive shortly (clients
+     broadcast); recheck after the pair delay estimate and treat a still-
+     unresolvable order as a value-domain failure (the primary invented
+     request identities). *)
+  ignore
+    (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+         retry_stashed t))
+
+and retry_stashed t =
+  let stashed = t.stashed_endorsements in
+  t.stashed_endorsements <- [];
+  List.iter
+    (fun (since, env) ->
+      match env.Message.body with
+      | Message.Order { info; _ } -> begin
+        match shadow_validate_order t env ~info with
+        | `Valid -> shadow_endorse t env ~info
+        | `Duplicate -> ()
+        | `Invalid -> emit_fail_signal t ~value_domain:true
+        | `Defer ->
+          let age = Simtime.diff (t.ctx.Context.now ()) since in
+          if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
+            emit_fail_signal t ~value_domain:true
+          else t.stashed_endorsements <- (since, env) :: t.stashed_endorsements
+      end
+      | _ -> ())
+    stashed
+
+(* Shadow watches the primary: every known request must be ordered within
+   batching_interval + pair_delay_estimate of its arrival (time-domain check,
+   Section 3.1 (ii)). *)
+and rearm_shadow_watch t =
+  (match t.watch_timer with Some h -> h.Context.cancel () | None -> ());
+  t.watch_timer <- None;
+  if i_am_coordinator_shadow t && t.pair_active then begin
+    let unordered =
+      Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.arrival
+    in
+    match Key_map.min_binding_opt unordered with
+    | None -> ()
+    | Some (_, oldest) ->
+      let budget =
+        Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+      in
+      (* The primary is timely as long as it keeps ordering: it must produce
+         an endorsable order within [budget] of max(last endorsement, oldest
+         unordered arrival) — per-request age alone would falsely accuse a
+         merely backlogged primary. *)
+      let deadline = Simtime.add (Simtime.max oldest t.last_progress) budget in
+      let now = t.ctx.Context.now () in
+      let delay =
+        if Simtime.compare deadline now <= 0 then Simtime.ns 1
+        else Simtime.diff deadline now
+      in
+      let h = t.ctx.Context.set_timer ~delay (fun () -> shadow_watch_fired t) in
+      t.watch_timer <- Some h
+  end
+
+and shadow_watch_fired t =
+  t.watch_timer <- None;
+  if i_am_coordinator_shadow t && t.pair_active then begin
+    let budget =
+      Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+    in
+    let now = t.ctx.Context.now () in
+    let stalled =
+      Simtime.compare (Simtime.add t.last_progress budget) now <= 0
+      && Key_map.exists
+           (fun k since ->
+             (not (Key_set.mem k t.ordered_keys))
+             && Simtime.compare (Simtime.add since budget) now <= 0)
+           t.arrival
+    in
+    if stalled then emit_fail_signal t ~value_domain:false else rearm_shadow_watch t
+  end
+
+(* ------------------------------------------------------------ heartbeat *)
+
+and arm_heartbeat t =
+  match (t.pair_rank, t.counterpart) with
+  | Some rank, Some cp when t.pair_active ->
+    let h =
+      t.ctx.Context.set_timer ~delay:t.config.Config.heartbeat_interval (fun () ->
+          heartbeat_tick t rank cp)
+    in
+    t.heartbeat_timer <- Some h
+  | _ -> ()
+
+and heartbeat_tick t rank cp =
+  if t.pair_active then begin
+    t.beat <- t.beat + 1;
+    let env = make_signed t (Message.Heartbeat { pair = rank; beat = t.beat }) in
+    send t ~dst:cp env;
+    let silence = Simtime.diff (t.ctx.Context.now ()) t.last_heard in
+    let tolerance =
+      Simtime.add
+        (Simtime.add t.config.Config.heartbeat_interval t.config.Config.heartbeat_interval)
+        t.config.Config.pair_delay_estimate
+    in
+    if Simtime.compare silence tolerance > 0 then emit_fail_signal t ~value_domain:false
+    else arm_heartbeat t
+  end
+
+(* -------------------------------------------------------------- inbound *)
+
+and on_message t ~src (env : Message.envelope) =
+  (match t.counterpart with
+  | Some cp when cp = src -> t.last_heard <- t.ctx.Context.now ()
+  | Some _ | None -> ());
+  match env.Message.body with
+  | Message.Heartbeat _ -> () (* liveness note above is all they carry *)
+  | Message.Fail_signal { pair } ->
+    if
+      pair >= 1
+      && pair <= Config.pair_count t.config
+      && (not (Int_set.mem pair t.failed_pairs))
+      && fail_signal_authentic t ~pair env
+    then begin
+      (* Echo to the first signatory in case the second maliciously omitted
+         it (Section 3.2). *)
+      send t ~dst:env.Message.sender env;
+      note_pair_failed t pair
+    end
+  | Message.Order { c; info } ->
+    if c = t.coord && not t.installing then begin
+      if env.Message.endorsement = None && coordinator_is_pair t then begin
+        (* Phase-1 unendorsed order: only meaningful at the shadow. *)
+        if
+          i_am_coordinator_shadow t && t.pair_active
+          && src = Config.primary_of_pair t.config t.coord
+          && env.Message.sender = src
+          && authentic t env
+        then shadow_handle_order t env ~info
+      end
+      else if valid_coordinator_message t ~rank:c env && authentic t env then begin
+        (* The primary forwards the endorsed order to everyone (phase 2). *)
+        if
+          i_am_coordinator_primary t
+          && env.Message.sender = id t
+          && src <> id t
+        then begin
+          t.endorsement_watches <-
+            (match List.assoc_opt info.Message.o t.endorsement_watches with
+            | Some h ->
+              h.Context.cancel ();
+              List.remove_assoc info.Message.o t.endorsement_watches
+            | None -> t.endorsement_watches);
+          multicast t ~dsts:(others t) env
+        end;
+        accept_order t env ~c ~info
+      end
+    end
+    else if c > t.coord || t.installing then
+      t.stash_future <- (src, env) :: t.stash_future
+  | Message.Ack { c; o; digest } ->
+    ignore c;
+    if authentic t env then begin
+      let st = get_order t o in
+      add_vote st ~digest ~source:env.Message.sender ~signature:env.Message.signature;
+      if st.have_order && st.digest = digest then try_commit t st
+    end
+  | Message.Back_log
+      { c; failed_pair; max_committed; committed_digest; proof_c; proof; uncommitted }
+    ->
+    if authentic t env then begin
+      if c = t.coord && t.installing then begin
+        let rec_ =
+          {
+            bl_failed_pair = failed_pair;
+            bl_max_committed = max_committed;
+            bl_committed_digest = committed_digest;
+            bl_proof_c = proof_c;
+            bl_proof = proof;
+            bl_uncommitted = uncommitted;
+          }
+        in
+        let rec_ = validate_backlog t rec_ in
+        store_backlog t ~src:env.Message.sender rec_
+      end
+      else if c > t.coord then t.stash_future <- (src, env) :: t.stash_future
+    end
+  | Message.Start { c; start_o; anchor; new_back_log } ->
+    if authentic t env then begin
+      if c = t.coord && t.installing then begin
+        if env.Message.endorsement = None && Config.candidate_is_pair t.config c then begin
+          (* 1-signed proposal: only the shadow of the new pair endorses. *)
+          if
+            id t = Config.shadow_of_pair t.config c
+            && env.Message.sender = Config.primary_of_pair t.config c
+          then handle_start_proposal t env ~start_o ~anchor ~new_back_log
+        end
+        else if valid_coordinator_message t ~rank:c env then begin
+          (* The new primary also forwards the endorsed Start outward. *)
+          if id t = Config.primary_of_pair t.config c && env.Message.sender = id t && src <> id t
+          then multicast t ~dsts:(others t) env;
+          handle_start t env
+        end
+      end
+      else if c > t.coord then t.stash_future <- (src, env) :: t.stash_future
+    end
+  | Message.Start_ack { c; start_digest } ->
+    if authentic t env then handle_start_ack t env ~c ~start_digest
+  | Message.Start_tuples { c; tuples } ->
+    if authentic t env then begin
+      if c = t.coord && t.installing then handle_start_tuples t env ~c ~tuples
+      else if c > t.coord then t.stash_future <- (src, env) :: t.stash_future
+    end
+  | Message.View_change _ | Message.New_view _ | Message.Unwilling _
+  | Message.Pre_prepare _ | Message.Prepare _ | Message.Commit _
+  | Message.Bft_view_change _ | Message.Bft_new_view _ ->
+    () (* other protocols' traffic: not ours *)
+
+and fail_signal_authentic t ~pair (env : Message.envelope) =
+  let members = Config.candidate_members t.config pair in
+  List.length members = 2
+  && List.mem env.Message.sender members
+  && begin
+       match env.Message.endorsement with
+       | Some (who, _) -> List.mem who members && who <> env.Message.sender
+       | None -> false
+     end
+  && authentic t env
+
+(* New-coordinator-side sanity check of a backlog's commitment proof: at
+   least f+1 matching ack signatures, otherwise treat it as committing
+   nothing.  Only pair-c members pay these verifications. *)
+and validate_backlog t rec_ =
+  let am_new_member =
+    List.mem (id t) (Config.candidate_members t.config t.coord)
+  in
+  if (not am_new_member) || rec_.bl_max_committed = 0 then rec_
+  else begin
+    let body_bytes =
+      Message.encode_body
+        (Message.Ack
+           {
+             c = rec_.bl_proof_c;
+             o = rec_.bl_max_committed;
+             digest = rec_.bl_committed_digest;
+           })
+    in
+    let valid =
+      List.filter
+        (fun (signer, signature) ->
+          t.ctx.Context.verify ~signer ~msg:body_bytes ~signature)
+        rec_.bl_proof
+      |> List.map fst |> List.sort_uniq compare
+    in
+    if List.length valid >= t.config.Config.f + 1 then rec_
+    else
+      {
+        rec_ with
+        bl_max_committed = 0;
+        bl_committed_digest = "";
+        bl_proof = [];
+      }
+  end
+
+(* ------------------------------------------------------------- requests *)
+
+let on_request t (req : Request.t) =
+  let key = req.Request.key in
+  if (not (Key_set.mem key t.ordered_keys)) && not (Key_map.mem key t.pending) then begin
+    t.pending <- Key_map.add key req t.pending;
+    t.arrival <- Key_map.add key (t.ctx.Context.now ()) t.arrival;
+    (* A newly known request lets stashed endorsements re-validate and
+       (re)arms the shadow's timeliness watch. *)
+    if t.stashed_endorsements <> [] then retry_stashed t;
+    if i_am_coordinator_shadow t && t.watch_timer = None then rearm_shadow_watch t;
+    advance_delivery t
+  end
+  else if Key_map.mem key t.pending then ()
+  else
+    (* Already ordered; keep the body so delivery can complete. *)
+    t.pending <- Key_map.add key req t.pending
+
+let start t =
+  if Option.is_some t.pair_rank then arm_heartbeat t;
+  if i_am_coordinator_primary t then arm_batch_timer t
+
+let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
+  let pid = ctx.Context.id in
+  let pair_rank = Config.pair_rank_of config pid in
+  (match (pair_rank, counterpart_fail_signal) with
+  | Some _, None ->
+    invalid_arg "Sc.create: paired process needs counterpart_fail_signal"
+  | None, Some _ ->
+    invalid_arg "Sc.create: unpaired process cannot hold a fail-signal"
+  | _ -> ());
+  {
+    ctx;
+    config;
+    fault;
+    counterpart_fail_signal;
+    pair_rank;
+    counterpart = Config.counterpart config pid;
+    all_ids = Config.all_processes config;
+    coord = 1;
+    failed_pairs = Int_set.empty;
+    dumbed_pairs = Int_set.empty;
+    installing = false;
+    pending = Key_map.empty;
+    arrival = Key_map.empty;
+    ordered_keys = Key_set.empty;
+    orders = Hashtbl.create 64;
+    max_committed = 0;
+    committed_digest = "";
+    committed_proof_c = 0;
+    committed_proof = [];
+    delivered = 0;
+    next_seq = 1;
+    batch_timer = None;
+    endorsement_watches = [];
+    expected_seq = 1;
+    last_progress = Simtime.zero;
+    stashed_endorsements = [];
+    watch_timer = None;
+    pair_active = Option.is_some pair_rank;
+    fail_signalled = false;
+    last_heard = Simtime.zero;
+    heartbeat_timer = None;
+    beat = 0;
+    backlogs_by_c = Hashtbl.create 4;
+    start_env = None;
+    start_acks = [];
+    have_tuples = false;
+    sent_tuples = false;
+    start_sent = false;
+    start_covers = [];
+    stash_future = [];
+  }

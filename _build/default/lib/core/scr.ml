@@ -1,0 +1,953 @@
+module Simtime = Sof_sim.Simtime
+module Request = Sof_smr.Request
+module Key_map = Request.Key_map
+module Key_set = Request.Key_set
+module Int_set = Set.Make (Int)
+
+type status = Up | Down | Permanently_down
+
+type votes = {
+  mutable sources : Int_set.t;
+  mutable proof : (int * string) list;
+}
+
+type order_state = {
+  o : int;
+  mutable digest : string;
+  mutable keys : Request.key list;
+  mutable have_order : bool;
+  mutable vote_v : int;
+  mutable acked : bool;
+  mutable committed : bool;
+  mutable null : bool;
+  votes_by_digest : (string, votes) Hashtbl.t;
+}
+
+type vc_rec = {
+  vc_max_committed : int;
+  vc_uncommitted : Message.order_info list;
+}
+
+type t = {
+  ctx : Context.t;
+  config : Config.t;
+  fault : Fault.t;
+  counterpart_fail_signal : string option;
+  pair_rank : int option;
+  counterpart : int option;
+  all_ids : int list;
+  (* view *)
+  mutable view : int;
+  mutable changing_view : bool;
+  mutable target_view : int;  (* the view we are trying to install *)
+  (* own pair *)
+  mutable status : status;
+  mutable fail_signalled : bool;  (* for the current down episode *)
+  mutable last_heard : Simtime.t;
+  mutable heartbeat_timer : Context.timer option;
+  mutable beat : int;
+  (* requests *)
+  mutable pending : Request.t Key_map.t;
+  mutable arrival : Simtime.t Key_map.t;
+  mutable ordered_keys : Key_set.t;
+  (* orders *)
+  orders : (int, order_state) Hashtbl.t;
+  mutable max_committed : int;
+  mutable committed_digest : string;
+  mutable delivered : int;
+  (* coordinator primary *)
+  mutable next_seq : int;
+  mutable batch_timer : Context.timer option;
+  mutable endorsement_watches : (int * Context.timer) list;
+  (* coordinator shadow *)
+  mutable expected_seq : int;
+  mutable last_progress : Simtime.t;
+  mutable stashed_endorsements : (Simtime.t * Message.envelope) list;
+  mutable watch_timer : Context.timer option;
+  (* view change *)
+  view_changes : (int, (int * vc_rec) list ref) Hashtbl.t;
+  mutable new_view_sent : bool;
+  mutable nv_watch : Context.timer option;
+  mutable start_covers : Message.order_info list;
+  mutable stash_future : (int * Message.envelope) list;
+  echoed_fail_signals : (int * int * int, unit) Hashtbl.t;
+      (* (pair, first signatory, view): echo and react once per view *)
+}
+
+(* ------------------------------------------------------------ accessors *)
+
+let id t = t.ctx.Context.id
+let view t = t.view
+let pair_status t = t.status
+let max_committed t = t.max_committed
+let delivered_seq t = t.delivered
+let changing_view t = t.changing_view
+
+let candidate_of_view t v =
+  let k = Config.candidate_count t.config in
+  let m = v mod k in
+  if m = 0 then k else m
+
+let coordinator_rank t = candidate_of_view t t.view
+
+let quorum t = Config.process_count t.config - t.config.Config.f
+
+let others t = List.filter (fun p -> p <> id t) t.all_ids
+
+let i_am_coordinator_primary t =
+  (not t.changing_view)
+  && id t = Config.primary_of_pair t.config (coordinator_rank t)
+  && t.status = Up
+
+let i_am_coordinator_shadow t =
+  (not t.changing_view)
+  && id t = Config.shadow_of_pair t.config (coordinator_rank t)
+  && t.status = Up
+
+let null_digest t = Batch.digest t.config.Config.digest (Batch.make [])
+
+let can_transmit t = not (Fault.is_mute t.fault ~now:(t.ctx.Context.now ()))
+
+let send t ~dst env = if can_transmit t then t.ctx.Context.send ~dst env
+let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts env
+
+let make_signed t body =
+  let payload = Message.encode_body body in
+  {
+    Message.sender = id t;
+    body;
+    signature = t.ctx.Context.sign payload;
+    endorsement = None;
+  }
+
+let endorse t (env : Message.envelope) =
+  let payload = Message.endorsement_payload env.Message.body env.Message.signature in
+  { env with Message.endorsement = Some (id t, t.ctx.Context.sign payload) }
+
+let authentic t (env : Message.envelope) =
+  let payload = Message.encode_body env.Message.body in
+  t.ctx.Context.verify ~signer:env.Message.sender ~msg:payload
+    ~signature:env.Message.signature
+  && begin
+       match env.Message.endorsement with
+       | None -> true
+       | Some (who, s) ->
+         who <> env.Message.sender
+         && t.ctx.Context.verify ~signer:who
+              ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
+              ~signature:s
+     end
+
+let doubly_signed_by_pair t ~rank (env : Message.envelope) =
+  match env.Message.endorsement with
+  | None -> false
+  | Some (who, _) ->
+    let members = Config.candidate_members t.config rank in
+    List.mem env.Message.sender members && List.mem who members
+
+(* ----------------------------------------------------------- order log *)
+
+let get_order t o =
+  match Hashtbl.find_opt t.orders o with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        o;
+        digest = "";
+        keys = [];
+        have_order = false;
+        vote_v = 0;
+        acked = false;
+        committed = false;
+        null = false;
+        votes_by_digest = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.orders o st;
+    st
+
+let votes_for st digest =
+  match Hashtbl.find_opt st.votes_by_digest digest with
+  | Some v -> v
+  | None ->
+    let v = { sources = Int_set.empty; proof = [] } in
+    Hashtbl.replace st.votes_by_digest digest v;
+    v
+
+let add_vote st ~digest ~source ~signature =
+  let v = votes_for st digest in
+  if not (Int_set.mem source v.sources) then begin
+    v.sources <- Int_set.add source v.sources;
+    v.proof <- (source, signature) :: v.proof
+  end
+
+let rec advance_delivery t =
+  match Hashtbl.find_opt t.orders (t.delivered + 1) with
+  | None -> ()
+  | Some st when not st.committed -> ()
+  | Some st ->
+    if st.null || st.keys = [] then begin
+      t.delivered <- st.o;
+      let batch = Batch.make [] in
+      t.ctx.Context.deliver ~seq:st.o batch;
+      t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+      advance_delivery t
+    end
+    else begin
+      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys in
+      if List.length requests = List.length st.keys then begin
+        t.delivered <- st.o;
+        List.iter
+          (fun k ->
+            t.pending <- Key_map.remove k t.pending;
+            t.arrival <- Key_map.remove k t.arrival)
+          st.keys;
+        let batch = Batch.make requests in
+        t.ctx.Context.deliver ~seq:st.o batch;
+        t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+        advance_delivery t
+      end
+    end
+
+let record_commit t st =
+  if not st.committed then begin
+    st.committed <- true;
+    if st.o > t.max_committed then begin
+      t.max_committed <- st.o;
+      t.committed_digest <- st.digest
+    end;
+    t.ctx.Context.emit (Context.Committed { seq = st.o; digest = st.digest; keys = st.keys });
+    advance_delivery t
+  end
+
+let try_commit t st =
+  if st.have_order && not st.committed then begin
+    let v = votes_for st st.digest in
+    if Int_set.cardinal v.sources >= quorum t then begin
+      record_commit t st;
+      if st.null && t.start_covers <> [] then begin
+        let covered = t.start_covers in
+        t.start_covers <- [];
+        List.iter
+          (fun (info : Message.order_info) ->
+            let cst = get_order t info.Message.o in
+            if not cst.committed then begin
+              cst.have_order <- true;
+              cst.digest <- info.Message.digest;
+              cst.keys <- info.Message.keys;
+              record_commit t cst
+            end)
+          covered
+      end;
+      advance_delivery t
+    end
+  end
+
+let send_ack t st =
+  if st.have_order && not st.acked then begin
+    st.acked <- true;
+    let body = Message.Ack { c = st.vote_v; o = st.o; digest = st.digest } in
+    multicast t ~dsts:t.all_ids (make_signed t body)
+  end
+
+let accept_order t (env : Message.envelope) ~v ~(info : Message.order_info) =
+  let st = get_order t info.Message.o in
+  if st.have_order then begin
+    if st.digest = info.Message.digest then begin
+      add_vote st ~digest:st.digest ~source:env.Message.sender
+        ~signature:env.Message.signature;
+      (match env.Message.endorsement with
+      | Some (who, s) -> add_vote st ~digest:st.digest ~source:who ~signature:s
+      | None -> ());
+      send_ack t st;
+      try_commit t st
+    end
+  end
+  else begin
+    st.have_order <- true;
+    st.digest <- info.Message.digest;
+    st.keys <- info.Message.keys;
+    st.vote_v <- v;
+    if info.Message.keys = [] then st.null <- true;
+    List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+    add_vote st ~digest:st.digest ~source:env.Message.sender
+      ~signature:env.Message.signature;
+    (match env.Message.endorsement with
+    | Some (who, s) -> add_vote st ~digest:st.digest ~source:who ~signature:s
+    | None -> ());
+    send_ack t st;
+    try_commit t st
+  end
+
+(* ----------------------------------------------------- pair fail-signal *)
+
+let cancel_pair_timers t =
+  (match t.watch_timer with Some h -> h.Context.cancel () | None -> ());
+  t.watch_timer <- None;
+  List.iter (fun (_, h) -> h.Context.cancel ()) t.endorsement_watches;
+  t.endorsement_watches <- []
+
+let rec emit_fail_signal t ~value_domain =
+  match (t.pair_rank, t.counterpart_fail_signal, t.counterpart) with
+  | Some rank, Some presig, Some cp when t.status = Up && not t.fail_signalled ->
+    t.fail_signalled <- true;
+    t.status <- (if value_domain then Permanently_down else Down);
+    cancel_pair_timers t;
+    (match t.batch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.batch_timer <- None;
+    let body = Message.Fail_signal { pair = rank } in
+    let env = { Message.sender = cp; body; signature = presig; endorsement = None } in
+    let env = endorse t env in
+    t.ctx.Context.emit (Context.Fail_signal_emitted { pair = rank; value_domain });
+    if value_domain then t.ctx.Context.emit (Context.Value_fault_detected { pair = rank });
+    multicast t ~dsts:(others t) env;
+    note_pair_failed t rank
+  | _ -> ()
+
+and note_pair_failed t rank =
+  t.ctx.Context.emit (Context.Fail_signal_observed { pair = rank });
+  if rank = coordinator_rank t && not t.changing_view then
+    propose_view_change t (t.view + 1)
+
+and propose_view_change t v =
+  if v > t.view && (not t.changing_view || v > t.target_view) then begin
+    t.changing_view <- true;
+    t.target_view <- v;
+    t.new_view_sent <- false;
+    (match t.batch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.batch_timer <- None;
+    (match t.watch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.watch_timer <- None;
+    (match t.nv_watch with Some h -> h.Context.cancel () | None -> ());
+    t.nv_watch <- None;
+    let uncommitted =
+      Hashtbl.fold
+        (fun o st acc ->
+          if st.have_order && (not st.committed) && o > t.max_committed then
+            { Message.o; digest = st.digest; keys = st.keys } :: acc
+          else acc)
+        t.orders []
+      |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+    in
+    let body =
+      Message.View_change
+        {
+          v;
+          max_committed = t.max_committed;
+          committed_digest = t.committed_digest;
+          uncommitted;
+        }
+    in
+    multicast t ~dsts:(others t) (make_signed t body);
+    store_view_change t ~src:(id t) ~v
+      { vc_max_committed = t.max_committed; vc_uncommitted = uncommitted };
+    (* The candidate pair for v declares unwillingness at once. *)
+    maybe_unwilling t v
+  end
+
+and maybe_unwilling t v =
+  match t.pair_rank with
+  | Some rank when rank = candidate_of_view t v && t.status <> Up ->
+    let body = Message.Unwilling { v; pair = rank } in
+    multicast t ~dsts:(others t) (make_signed t body)
+  | Some _ | None -> ()
+
+and store_view_change t ~src ~v rec_ =
+  let cell =
+    match Hashtbl.find_opt t.view_changes v with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.replace t.view_changes v cell;
+      cell
+  in
+  if not (List.mem_assoc src !cell) then begin
+    cell := (src, rec_) :: !cell;
+    maybe_send_new_view t v;
+    arm_nv_watch t v
+  end
+
+(* The new coordinator primary computes the new backlog out of n-f
+   ViewChange messages and multicasts the shadow-endorsed NewView. *)
+and maybe_send_new_view t v =
+  let rank = candidate_of_view t v in
+  if
+    t.changing_view && v = t.target_view && t.status = Up
+    && id t = Config.primary_of_pair t.config rank
+    && not t.new_view_sent
+  then begin
+    match Hashtbl.find_opt t.view_changes v with
+    | Some cell when List.length !cell >= quorum t ->
+      t.new_view_sent <- true;
+      let vcs = List.map snd !cell in
+      let anchor = List.fold_left (fun acc r -> max acc r.vc_max_committed) 0 vcs in
+      let support : (int * string, int * Message.order_info) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (info : Message.order_info) ->
+              if info.Message.o > anchor then begin
+                let key = (info.Message.o, info.Message.digest) in
+                match Hashtbl.find_opt support key with
+                | Some (n, i) -> Hashtbl.replace support key (n + 1, i)
+                | None -> Hashtbl.replace support key (1, info)
+              end)
+            r.vc_uncommitted)
+        vcs;
+      let by_o : (int, (int * Message.order_info) list) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun (o, _) (n, info) ->
+          let cur = Option.value (Hashtbl.find_opt by_o o) ~default:[] in
+          Hashtbl.replace by_o o ((n, info) :: cur))
+        support;
+      let chosen =
+        Hashtbl.fold
+          (fun _o cands acc ->
+            match
+              List.sort
+                (fun (n1, i1) (n2, i2) ->
+                  let c = compare n2 n1 in
+                  if c <> 0 then c else compare i1.Message.digest i2.Message.digest)
+                cands
+            with
+            | [] -> acc
+            | (_, info) :: _ -> info :: acc)
+          by_o []
+        |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+      in
+      let start_o =
+        1
+        + List.fold_left
+            (fun acc (i : Message.order_info) -> max acc i.Message.o)
+            anchor chosen
+      in
+      let nd = null_digest t in
+      let filled =
+        List.init (start_o - anchor - 1) (fun idx ->
+            let o = anchor + 1 + idx in
+            match
+              List.find_opt (fun (i : Message.order_info) -> i.Message.o = o) chosen
+            with
+            | Some info -> info
+            | None -> { Message.o; digest = nd; keys = [] })
+      in
+      let body = Message.New_view { v; start_o; anchor; new_back_log = filled } in
+      let env = make_signed t body in
+      send t ~dst:(Config.shadow_of_pair t.config rank) env
+    | Some _ | None -> ()
+  end
+
+(* The shadow of the candidate pair watches its primary during a view
+   change: if the primary has a quorum of ViewChanges but produces no
+   NewView proposal within the delay estimate, that is a time-domain
+   failure. *)
+and arm_nv_watch t v =
+  let rank = candidate_of_view t v in
+  if
+    t.changing_view && v = t.target_view && t.status = Up && t.nv_watch = None
+    && id t = Config.shadow_of_pair t.config rank
+  then begin
+    match Hashtbl.find_opt t.view_changes v with
+    | Some cell when List.length !cell >= quorum t ->
+      let h =
+        t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+            t.nv_watch <- None;
+            if t.changing_view && v = t.target_view && t.status = Up then begin
+              emit_fail_signal t ~value_domain:false;
+              maybe_unwilling t v
+            end)
+      in
+      t.nv_watch <- Some h
+    | Some _ | None -> ()
+  end
+
+and handle_new_view_proposal t (env : Message.envelope) ~v ~start_o ~anchor
+    ~new_back_log =
+  (* Shadow-side plausibility check mirroring SC's Start verification. *)
+  let my_vcs =
+    match Hashtbl.find_opt t.view_changes v with
+    | Some cell -> List.map snd !cell
+    | None -> []
+  in
+  (* A correct primary may know fewer commits than we do (its quorum of
+     ViewChanges need not include ours), so the anchor may be below our own
+     max_committed.  What it must never do: contradict an order we know
+     committed, drop a well-supported order, or overshoot. *)
+  let commits_preserved =
+    let rec check o =
+      o > t.max_committed
+      || begin
+           (match Hashtbl.find_opt t.orders o with
+           | Some st when st.committed ->
+             List.exists
+               (fun (i : Message.order_info) ->
+                 i.Message.o = o && i.Message.digest = st.digest)
+               new_back_log
+           | Some _ | None -> true)
+           && check (o + 1)
+         end
+    in
+    check (anchor + 1)
+  in
+  let plausible =
+    start_o > anchor && commits_preserved
+    && List.for_all
+         (fun (info : Message.order_info) ->
+           let competing =
+             List.filter
+               (fun r ->
+                 List.exists
+                   (fun (i : Message.order_info) ->
+                     i.Message.o = info.Message.o
+                     && i.Message.digest <> info.Message.digest)
+                   r.vc_uncommitted)
+               my_vcs
+           in
+           List.length competing < t.config.Config.f + 1)
+         new_back_log
+  in
+  if plausible then begin
+    let endorsed = endorse t env in
+    multicast t ~dsts:(others t) endorsed;
+    install_view t endorsed ~v ~start_o ~new_back_log
+  end
+  else emit_fail_signal t ~value_domain:true
+
+and install_view t (env : Message.envelope) ~v ~start_o ~new_back_log =
+  if v >= t.target_view || v > t.view then begin
+    t.view <- v;
+    t.changing_view <- false;
+    t.target_view <- v;
+    (match t.nv_watch with Some h -> h.Context.cancel () | None -> ());
+    t.nv_watch <- None;
+    t.start_covers <-
+      List.filter (fun (i : Message.order_info) -> i.Message.o > t.max_committed) new_back_log;
+    List.iter
+      (fun (info : Message.order_info) ->
+        let st = get_order t info.Message.o in
+        if not st.committed then begin
+          st.have_order <- true;
+          st.digest <- info.Message.digest;
+          st.keys <- info.Message.keys;
+          st.vote_v <- v;
+          if info.Message.keys = [] then st.null <- true;
+          List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys
+        end)
+      new_back_log;
+    let payload = Message.encode_body env.Message.body in
+    t.ctx.Context.digest_charge (String.length payload);
+    let nv_digest = Sof_crypto.Digest_alg.digest t.config.Config.digest payload in
+    let st = get_order t start_o in
+    if not st.committed then begin
+      st.have_order <- true;
+      st.digest <- nv_digest;
+      st.keys <- [];
+      st.null <- true;
+      st.vote_v <- v;
+      add_vote st ~digest:nv_digest ~source:env.Message.sender
+        ~signature:env.Message.signature;
+      (match env.Message.endorsement with
+      | Some (who, s) -> add_vote st ~digest:nv_digest ~source:who ~signature:s
+      | None -> ())
+    end;
+    let rank = candidate_of_view t v in
+    if id t = Config.primary_of_pair t.config rank && t.status = Up then begin
+      t.next_seq <- start_o + 1;
+      arm_batch_timer t
+    end;
+    if id t = Config.shadow_of_pair t.config rank then begin
+      t.expected_seq <- start_o + 1;
+      t.last_progress <- t.ctx.Context.now ()
+    end;
+    t.ctx.Context.emit (Context.View_installed { v });
+    send_ack t st;
+    try_commit t st;
+    let stash = List.rev t.stash_future in
+    t.stash_future <- [];
+    List.iter (fun (src, env) -> on_message t ~src env) stash
+  end
+
+(* ------------------------------------------------------ normal batching *)
+
+and arm_batch_timer t =
+  let h =
+    t.ctx.Context.set_timer ~delay:t.config.Config.batching_interval (fun () ->
+        batch_tick t)
+  in
+  t.batch_timer <- Some h
+
+and batch_tick t =
+  if i_am_coordinator_primary t then begin
+    let pool = Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.pending in
+    if not (Key_map.is_empty pool) then issue_batch t pool;
+    arm_batch_timer t
+  end
+
+and issue_batch t pool =
+  let requests =
+    Batch.take_oldest ~limit:t.config.Config.batch_size_limit ~pool ~arrival:t.arrival
+  in
+  let batch = Batch.make requests in
+  let o = t.next_seq in
+  t.next_seq <- o + 1;
+  t.ctx.Context.digest_charge (Batch.encoded_size batch);
+  let digest = Batch.digest t.config.Config.digest batch in
+  let digest =
+    match t.fault with
+    | Fault.Corrupt_digest_at at when at = o ->
+      let b = Bytes.of_string digest in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      Bytes.to_string b
+    | _ -> digest
+  in
+  let keys = Batch.keys batch in
+  List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) keys;
+  let info = { Message.o; digest; keys } in
+  t.ctx.Context.emit
+    (Context.Batched
+       { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+  let body = Message.Order { c = t.view; info } in
+  let env = make_signed t body in
+  send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
+  let watch =
+    t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+        endorsement_overdue t o)
+  in
+  t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+
+and endorsement_overdue t o =
+  t.endorsement_watches <- List.remove_assoc o t.endorsement_watches;
+  let endorsed =
+    match Hashtbl.find_opt t.orders o with Some st -> st.have_order | None -> false
+  in
+  if not endorsed then emit_fail_signal t ~value_domain:false
+
+(* ----------------------------------------- shadow checks and endorsement *)
+
+and shadow_validate_order t ~(info : Message.order_info) =
+  if info.Message.o <> t.expected_seq then
+    if info.Message.o < t.expected_seq then `Duplicate else `Invalid
+  else if List.exists (fun k -> Key_set.mem k t.ordered_keys) info.Message.keys then
+    `Invalid
+  else if info.Message.keys = [] then `Invalid
+  else begin
+    let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) info.Message.keys in
+    if List.length requests <> List.length info.Message.keys then `Defer
+    else begin
+      let batch = Batch.make requests in
+      t.ctx.Context.digest_charge (Batch.encoded_size batch);
+      if Batch.digest t.config.Config.digest batch = info.Message.digest then `Valid
+      else `Invalid
+    end
+  end
+
+and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) =
+  match t.fault with
+  | Fault.Drop_endorsements -> ()
+  | _ -> begin
+    match shadow_validate_order t ~info with
+    | `Duplicate -> ()
+    | `Defer ->
+      t.stashed_endorsements <- (t.ctx.Context.now (), env) :: t.stashed_endorsements;
+      ignore
+        (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate
+           (fun () -> retry_stashed t))
+    | `Invalid -> begin
+      match t.fault with
+      | Fault.Endorse_corrupt_at at when at = info.Message.o -> shadow_endorse t env ~info
+      | _ -> emit_fail_signal t ~value_domain:true
+    end
+    | `Valid -> shadow_endorse t env ~info
+  end
+
+and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
+  t.expected_seq <- info.Message.o + 1;
+  t.last_progress <- t.ctx.Context.now ();
+  List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+  let endorsed = endorse t env in
+  multicast t ~dsts:(others t) endorsed;
+  accept_order t endorsed ~v:t.view ~info;
+  rearm_shadow_watch t
+
+and retry_stashed t =
+  let stashed = t.stashed_endorsements in
+  t.stashed_endorsements <- [];
+  List.iter
+    (fun (since, env) ->
+      match env.Message.body with
+      | Message.Order { info; _ } -> begin
+        match shadow_validate_order t ~info with
+        | `Valid -> shadow_endorse t env ~info
+        | `Duplicate -> ()
+        | `Invalid -> emit_fail_signal t ~value_domain:true
+        | `Defer ->
+          let age = Simtime.diff (t.ctx.Context.now ()) since in
+          if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
+            emit_fail_signal t ~value_domain:true
+          else t.stashed_endorsements <- (since, env) :: t.stashed_endorsements
+      end
+      | _ -> ())
+    stashed
+
+and rearm_shadow_watch t =
+  (match t.watch_timer with Some h -> h.Context.cancel () | None -> ());
+  t.watch_timer <- None;
+  if i_am_coordinator_shadow t then begin
+    let unordered =
+      Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.arrival
+    in
+    match Key_map.min_binding_opt unordered with
+    | None -> ()
+    | Some (_, oldest) ->
+      let budget =
+        Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+      in
+      (* Progress-based, as in SC: a backlogged-but-ordering primary is
+         timely. *)
+      let deadline = Simtime.add (Simtime.max oldest t.last_progress) budget in
+      let now = t.ctx.Context.now () in
+      let delay =
+        if Simtime.compare deadline now <= 0 then Simtime.ns 1
+        else Simtime.diff deadline now
+      in
+      t.watch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> shadow_watch_fired t))
+  end
+
+and shadow_watch_fired t =
+  t.watch_timer <- None;
+  if i_am_coordinator_shadow t then begin
+    let budget =
+      Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+    in
+    let now = t.ctx.Context.now () in
+    let stalled =
+      Simtime.compare (Simtime.add t.last_progress budget) now <= 0
+      && Key_map.exists
+           (fun k since ->
+             (not (Key_set.mem k t.ordered_keys))
+             && Simtime.compare (Simtime.add since budget) now <= 0)
+           t.arrival
+    in
+    if stalled then emit_fail_signal t ~value_domain:false else rearm_shadow_watch t
+  end
+
+(* --------------------------------------------------- heartbeat/recovery *)
+
+and arm_heartbeat t =
+  match (t.pair_rank, t.counterpart) with
+  | Some rank, Some cp ->
+    let h =
+      t.ctx.Context.set_timer ~delay:t.config.Config.heartbeat_interval (fun () ->
+          heartbeat_tick t rank cp)
+    in
+    t.heartbeat_timer <- Some h
+  | _ -> ()
+
+and heartbeat_tick t rank cp =
+  if t.status <> Permanently_down then begin
+    t.beat <- t.beat + 1;
+    send t ~dst:cp (make_signed t (Message.Heartbeat { pair = rank; beat = t.beat }));
+    let silence = Simtime.diff (t.ctx.Context.now ()) t.last_heard in
+    let tolerance =
+      Simtime.add
+        (Simtime.add t.config.Config.heartbeat_interval t.config.Config.heartbeat_interval)
+        t.config.Config.pair_delay_estimate
+    in
+    match t.status with
+    | Up -> if Simtime.compare silence tolerance > 0 then emit_fail_signal t ~value_domain:false
+    | Down ->
+      (* Continued mutual checking: hearing from the counterpart again in a
+         timely way means the bad period has passed (assumption 3(b)(i)) —
+         resume working as a pair. *)
+      if Simtime.compare silence tolerance <= 0 then begin
+        t.status <- Up;
+        t.fail_signalled <- false;
+        t.ctx.Context.emit
+          (Context.Pair_recovered { pair = Option.value t.pair_rank ~default:0 })
+      end
+    | Permanently_down -> ()
+  end;
+  if t.status <> Permanently_down then arm_heartbeat t
+
+(* -------------------------------------------------------------- inbound *)
+
+and on_message t ~src (env : Message.envelope) =
+  (match t.counterpart with
+  | Some cp when cp = src -> t.last_heard <- t.ctx.Context.now ()
+  | Some _ | None -> ());
+  match env.Message.body with
+  | Message.Heartbeat _ -> ()
+  | Message.Fail_signal { pair } ->
+    let key = (pair, env.Message.sender, t.view) in
+    if
+      pair >= 1
+      && pair <= Config.pair_count t.config
+      && (not (Hashtbl.mem t.echoed_fail_signals key))
+      && fail_signal_authentic t ~pair env
+    then begin
+      Hashtbl.replace t.echoed_fail_signals key ();
+      (* Echo once to the first signatory (not to ourselves). *)
+      if env.Message.sender <> id t then send t ~dst:env.Message.sender env;
+      (* A member that has not signalled joins its counterpart's signal. *)
+      (match t.pair_rank with
+      | Some r when r = pair && t.status = Up -> emit_fail_signal t ~value_domain:false
+      | Some _ | None -> ());
+      note_pair_failed t pair
+    end
+  | Message.Order { c = v; info } ->
+    if v = t.view && not t.changing_view then begin
+      let rank = coordinator_rank t in
+      if env.Message.endorsement = None then begin
+        if
+          i_am_coordinator_shadow t
+          && src = Config.primary_of_pair t.config rank
+          && env.Message.sender = src
+          && authentic t env
+        then shadow_handle_order t env ~info
+      end
+      else if doubly_signed_by_pair t ~rank env && authentic t env then begin
+        if i_am_coordinator_primary t && env.Message.sender = id t && src <> id t then begin
+          (match List.assoc_opt info.Message.o t.endorsement_watches with
+          | Some h ->
+            h.Context.cancel ();
+            t.endorsement_watches <- List.remove_assoc info.Message.o t.endorsement_watches
+          | None -> ());
+          multicast t ~dsts:(others t) env
+        end;
+        accept_order t env ~v ~info
+      end
+    end
+    else if v > t.view || t.changing_view then
+      t.stash_future <- (src, env) :: t.stash_future
+  | Message.Ack { o; digest; _ } ->
+    if authentic t env then begin
+      let st = get_order t o in
+      add_vote st ~digest ~source:env.Message.sender ~signature:env.Message.signature;
+      if st.have_order && st.digest = digest then try_commit t st
+    end
+  | Message.View_change { v; max_committed; uncommitted; _ } ->
+    if v > t.view && authentic t env then begin
+      store_view_change t ~src:env.Message.sender ~v
+        { vc_max_committed = max_committed; vc_uncommitted = uncommitted };
+      (* Seeing f+1 view changes means at least one correct process saw the
+         coordinator's fail-signal: join. *)
+      (match Hashtbl.find_opt t.view_changes v with
+      | Some cell ->
+        if List.length !cell > t.config.Config.f && (v > t.target_view || not t.changing_view)
+        then propose_view_change t v
+      | None -> ())
+    end
+  | Message.New_view { v; start_o; anchor; new_back_log } ->
+    if (v > t.view || (t.changing_view && v = t.target_view)) && authentic t env then begin
+      let rank = candidate_of_view t v in
+      if env.Message.endorsement = None then begin
+        if
+          id t = Config.shadow_of_pair t.config rank
+          && env.Message.sender = Config.primary_of_pair t.config rank
+          && t.status = Up
+        then handle_new_view_proposal t env ~v ~start_o ~anchor ~new_back_log
+      end
+      else if doubly_signed_by_pair t ~rank env then begin
+        if id t = Config.primary_of_pair t.config rank && env.Message.sender = id t && src <> id t
+        then multicast t ~dsts:(others t) env;
+        install_view t env ~v ~start_o ~new_back_log
+      end
+    end
+  | Message.Unwilling { v; pair } ->
+    if
+      (v > t.view || (t.changing_view && v >= t.target_view))
+      && pair = candidate_of_view t v
+      && List.mem env.Message.sender (Config.candidate_members t.config pair)
+      && authentic t env
+    then begin
+      (* Echo back to both members, then move on to the next view. *)
+      List.iter
+        (fun m -> if m <> id t then send t ~dst:m env)
+        (Config.candidate_members t.config pair);
+      propose_view_change t (v + 1)
+    end
+  | Message.Back_log _ | Message.Start _ | Message.Start_ack _
+  | Message.Start_tuples _ | Message.Pre_prepare _ | Message.Prepare _
+  | Message.Commit _ | Message.Bft_view_change _ | Message.Bft_new_view _ ->
+    ()
+
+and fail_signal_authentic t ~pair (env : Message.envelope) =
+  let members = Config.candidate_members t.config pair in
+  List.length members = 2
+  && List.mem env.Message.sender members
+  && begin
+       match env.Message.endorsement with
+       | Some (who, _) -> List.mem who members && who <> env.Message.sender
+       | None -> false
+     end
+  && authentic t env
+
+(* ------------------------------------------------------------- requests *)
+
+let on_request t (req : Request.t) =
+  let key = req.Request.key in
+  if (not (Key_set.mem key t.ordered_keys)) && not (Key_map.mem key t.pending) then begin
+    t.pending <- Key_map.add key req t.pending;
+    t.arrival <- Key_map.add key (t.ctx.Context.now ()) t.arrival;
+    if t.stashed_endorsements <> [] then retry_stashed t;
+    if i_am_coordinator_shadow t && t.watch_timer = None then rearm_shadow_watch t;
+    advance_delivery t
+  end
+  else if not (Key_map.mem key t.pending) then begin
+    t.pending <- Key_map.add key req t.pending;
+    advance_delivery t
+  end
+
+let start t =
+  if Option.is_some t.pair_rank then arm_heartbeat t;
+  if i_am_coordinator_primary t then arm_batch_timer t
+
+let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
+  if config.Config.variant <> Config.SCR then
+    invalid_arg "Scr.create: config must use the SCR variant";
+  let pid = ctx.Context.id in
+  let pair_rank = Config.pair_rank_of config pid in
+  (match (pair_rank, counterpart_fail_signal) with
+  | Some _, None -> invalid_arg "Scr.create: paired process needs counterpart_fail_signal"
+  | None, Some _ -> invalid_arg "Scr.create: unpaired process cannot hold a fail-signal"
+  | _ -> ());
+  {
+    ctx;
+    config;
+    fault;
+    counterpart_fail_signal;
+    pair_rank;
+    counterpart = Config.counterpart config pid;
+    all_ids = Config.all_processes config;
+    view = 1;
+    changing_view = false;
+    target_view = 1;
+    status = Up;
+    fail_signalled = false;
+    last_heard = Simtime.zero;
+    heartbeat_timer = None;
+    beat = 0;
+    pending = Key_map.empty;
+    arrival = Key_map.empty;
+    ordered_keys = Key_set.empty;
+    orders = Hashtbl.create 64;
+    max_committed = 0;
+    committed_digest = "";
+    delivered = 0;
+    next_seq = 1;
+    batch_timer = None;
+    endorsement_watches = [];
+    expected_seq = 1;
+    last_progress = Simtime.zero;
+    stashed_endorsements = [];
+    watch_timer = None;
+    view_changes = Hashtbl.create 4;
+    new_view_sent = false;
+    nv_watch = None;
+    start_covers = [];
+    stash_future = [];
+    echoed_fail_signals = Hashtbl.create 8;
+  }

@@ -1,0 +1,1 @@
+lib/crypto/digest_alg.ml: Format Md5 Sha1 Sha256

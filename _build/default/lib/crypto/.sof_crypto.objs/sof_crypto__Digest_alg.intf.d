@@ -1,0 +1,1 @@
+lib/crypto/digest_alg.mli: Format

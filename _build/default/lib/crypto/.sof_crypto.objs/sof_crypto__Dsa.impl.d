@@ -1,0 +1,1 @@
+lib/crypto/dsa.ml: Bignum Digest_alg String

@@ -1,0 +1,1 @@
+lib/crypto/dsa.mli: Bignum Digest_alg Sof_util

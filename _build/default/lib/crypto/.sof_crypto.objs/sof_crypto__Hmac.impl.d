@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Digest_alg String

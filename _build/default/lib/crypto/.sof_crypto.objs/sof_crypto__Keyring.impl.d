@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Array Bytes Digest_alg Dsa Hmac Option Rsa Scheme Sof_util String

@@ -1,0 +1,1 @@
+lib/crypto/keyring.mli: Scheme Sof_util

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytes Digest_alg String

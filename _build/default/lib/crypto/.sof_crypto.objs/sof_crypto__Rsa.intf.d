@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Bignum Digest_alg Sof_util

@@ -1,0 +1,1 @@
+lib/crypto/scheme.ml: Digest_alg Format List

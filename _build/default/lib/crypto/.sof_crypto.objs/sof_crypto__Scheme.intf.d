@@ -1,0 +1,1 @@
+lib/crypto/scheme.mli: Digest_alg Format

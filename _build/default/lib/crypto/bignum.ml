@@ -1,0 +1,432 @@
+(* Little-endian arrays of 26-bit limbs with no trailing zero limb; zero is
+   the empty array.  26-bit limbs keep every intermediate product of the
+   schoolbook multiplication and of Algorithm D within 52 bits. *)
+
+let bits_per_limb = 26
+let base = 1 lsl bits_per_limb
+let limb_mask = base - 1
+
+type t = int array
+
+exception Negative_result
+
+(* ------------------------------------------------------------ invariants *)
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero : t = [||]
+let is_zero a = Array.length a = 0
+
+(* ------------------------------------------------------------- conversion *)
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs v acc = if v = 0 then List.rev acc else limbs (v lsr bits_per_limb) ((v land limb_mask) :: acc) in
+  Array.of_list (limbs v [])
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int a =
+  let n = Array.length a in
+  (* 3 limbs = 78 bits > 62, so only up to 2 full limbs plus a small third are
+     representable; do it carefully via fold with overflow check. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > max_int lsr bits_per_limb then None
+    else go (i - 1) ((acc lsl bits_per_limb) lor a.(i))
+  in
+  go (n - 1) 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let is_even a = is_zero a || a.(0) land 1 = 0
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * bits_per_limb) + width 0
+  end
+
+let test_bit a i =
+  let limb = i / bits_per_limb and off = i mod bits_per_limb in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+(* ------------------------------------------------------------- arithmetic *)
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr bits_per_limb
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then raise Negative_result;
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    out.(i) <- d land limb_mask;
+    borrow := if d < 0 then 1 else 0
+  done;
+  assert (!borrow = 0);
+  normalize out
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- v land limb_mask;
+        carry := v lsr bits_per_limb
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    normalize out
+  end
+
+let shift_left a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / bits_per_limb and bit_shift = k mod bits_per_limb in
+    let la = Array.length a in
+    let out = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      out.(i + limb_shift) <- out.(i + limb_shift) lor (v land limb_mask);
+      out.(i + limb_shift + 1) <- v lsr bits_per_limb
+    done;
+    normalize out
+  end
+
+let shift_right a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / bits_per_limb and bit_shift = k mod bits_per_limb in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (bits_per_limb - bit_shift)) land limb_mask
+        in
+        out.(i) <- lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+(* Division by a single limb, used as the base case of Algorithm D. *)
+let divmod_limb (u : t) d =
+  let n = Array.length u in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl bits_per_limb) lor u.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, of_int !r)
+
+(* Knuth TAOCP vol 2, 4.3.1, Algorithm D. *)
+let divmod_long (u : t) (v : t) =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  (* D1: normalise so the top limb of v has its high bit set. *)
+  let s =
+    let top = v.(n - 1) in
+    let rec go w = if top lsr w = 0 then w else go (w + 1) in
+    bits_per_limb - go 0
+  in
+  let vn =
+    let shifted = shift_left v s in
+    if Array.length shifted = n then shifted
+    else Array.sub shifted 0 n (* cannot happen: normalisation keeps length *)
+  in
+  let un =
+    let shifted = shift_left u s in
+    let out = Array.make (m + n + 1) 0 in
+    Array.blit shifted 0 out 0 (Array.length shifted);
+    out
+  in
+  let q = Array.make (m + 1) 0 in
+  let vtop = vn.(n - 1) in
+  let vsecond = if n >= 2 then vn.(n - 2) else 0 in
+  for j = m downto 0 do
+    (* D3: estimate the quotient digit, then correct the (rare) one-or-two
+       overshoot with the classical two-limb test. *)
+    let cur = (un.(j + n) lsl bits_per_limb) lor un.(j + n - 1) in
+    let qhat = ref (cur / vtop) and rhat = ref (cur mod vtop) in
+    let second_u = if n >= 2 then un.(j + n - 2) else 0 in
+    let continue = ref true in
+    while
+      !continue
+      && (!qhat >= base
+         || !qhat * vsecond > (!rhat lsl bits_per_limb) lor second_u)
+    do
+      decr qhat;
+      rhat := !rhat + vtop;
+      (* Once rhat no longer fits in a limb the test can't fire again. *)
+      if !rhat >= base then continue := false
+    done;
+    (* D4: multiply and subtract. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * vn.(i) + !carry in
+      carry := p lsr bits_per_limb;
+      let t = un.(i + j) - (p land limb_mask) - !borrow in
+      un.(i + j) <- t land limb_mask;
+      borrow := if t < 0 then 1 else 0
+    done;
+    let t = un.(j + n) - !carry - !borrow in
+    un.(j + n) <- t land limb_mask;
+    (* D5/D6: if we overshot, add one multiple of v back. *)
+    if t < 0 then begin
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s2 = un.(i + j) + vn.(i) + !carry in
+        un.(i + j) <- s2 land limb_mask;
+        carry := s2 lsr bits_per_limb
+      done;
+      un.(j + n) <- (un.(j + n) + !carry) land limb_mask
+    end;
+    q.(j) <- !qhat
+  done;
+  (* D8: denormalise the remainder. *)
+  let r = normalize (Array.sub un 0 n) in
+  (normalize q, shift_right r s)
+
+let divmod u v =
+  if is_zero v then raise Division_by_zero;
+  if compare u v < 0 then (zero, u)
+  else if Array.length v = 1 then divmod_limb u v.(0)
+  else divmod_long u v
+
+let div u v = fst (divmod u v)
+let rem u v = snd (divmod u v)
+
+(* -------------------------------------------------------------- modular *)
+
+let mod_pow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let b = rem b modulus in
+    let result = ref one and b = ref b in
+    let nbits = bit_length exp in
+    (* Right-to-left binary exponentiation. *)
+    for i = 0 to nbits - 1 do
+      if test_bit exp i then result := rem (mul !result !b) modulus;
+      if i < nbits - 1 then b := rem (mul !b !b) modulus
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let mod_inverse a m =
+  (* Iterative extended Euclid; coefficients tracked as (sign, magnitude)
+     because t is unsigned. *)
+  if is_zero m || equal m one then None
+  else begin
+    let a = rem a m in
+    if is_zero a then None
+    else begin
+      let signed_sub (sa, va) (sb, vb) =
+        (* (sa,va) - (sb,vb) *)
+        if sa = sb then
+          if compare va vb >= 0 then (sa, sub va vb) else (not sa, sub vb va)
+        else (sa, add va vb)
+      in
+      let rec go (r0, t0) (r1, t1) =
+        if is_zero r1 then
+          if equal r0 one then
+            let sign, v = t0 in
+            Some (if sign then sub m (rem v m) else rem v m)
+          else None
+        else begin
+          let q, r2 = divmod r0 r1 in
+          let qt = (fst t1, mul q (snd t1)) in
+          go (r1, t1) (r2, signed_sub t0 qt)
+        end
+      in
+      go (m, (false, zero)) (a, (false, one))
+    end
+  end
+
+(* ------------------------------------------------------ bytes/hex *)
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?length a =
+  let nbytes = (bit_length a + 7) / 8 in
+  let nbytes = max nbytes 1 in
+  let out_len =
+    match length with
+    | None -> nbytes
+    | Some l ->
+      if l < nbytes then invalid_arg "Bignum.to_bytes_be: value too large";
+      l
+  in
+  let out = Bytes.make out_len '\000' in
+  let v = ref a in
+  let i = ref (out_len - 1) in
+  while not (is_zero !v) do
+    let q, r = divmod_limb !v 256 in
+    let r = match to_int r with Some x -> x | None -> assert false in
+    Bytes.set out !i (Char.chr r);
+    decr i;
+    v := q
+  done;
+  Bytes.unsafe_to_string out
+
+let of_hex s =
+  let s = if String.length s mod 2 = 1 then "0" ^ s else s in
+  of_bytes_be (Sof_util.Hex.decode s)
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let h = Sof_util.Hex.encode (to_bytes_be a) in
+    (* Strip at most one leading zero nibble for a minimal rendering. *)
+    if String.length h > 1 && h.[0] = '0' then String.sub h 1 (String.length h - 1)
+    else h
+  end
+
+(* ------------------------------------------------------------ randomness *)
+
+let random_bits rng bits =
+  if bits <= 0 then zero
+  else begin
+    let nlimbs = (bits + bits_per_limb - 1) / bits_per_limb in
+    let out = Array.make nlimbs 0 in
+    for i = 0 to nlimbs - 1 do
+      out.(i) <- Sof_util.Rng.int rng base
+    done;
+    let top_bits = bits - ((nlimbs - 1) * bits_per_limb) in
+    out.(nlimbs - 1) <- out.(nlimbs - 1) land ((1 lsl top_bits) - 1);
+    normalize out
+  end
+
+let random_below rng n =
+  if is_zero n then invalid_arg "Bignum.random_below: zero bound";
+  let bits = bit_length n in
+  let rec draw () =
+    let candidate = random_bits rng bits in
+    if compare candidate n < 0 then candidate else draw ()
+  in
+  draw ()
+
+let small_primes =
+  [
+    2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67;
+    71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149;
+    151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227;
+    229; 233; 239; 241; 251; 257; 263; 269; 271; 277; 281; 283; 293; 307;
+    311; 313; 317; 331; 337; 347; 349; 353; 359; 367; 373; 379; 383; 389;
+    397; 401; 409; 419; 421; 431; 433; 439; 443; 449; 457; 461; 463; 467;
+    479; 487; 491; 499; 503; 509; 521; 523; 541;
+  ]
+
+let is_probable_prime ?(rounds = 20) rng n =
+  if compare n two < 0 then false
+  else if equal n two then true
+  else if is_even n then false
+  else begin
+    let divisible_by_small =
+      List.exists
+        (fun p ->
+          let p' = of_int p in
+          if compare n p' = 0 then false
+          else is_zero (rem n p'))
+        small_primes
+    in
+    if List.exists (fun p -> equal n (of_int p)) small_primes then true
+    else if divisible_by_small then false
+    else begin
+      (* Miller–Rabin: n-1 = d * 2^r with d odd. *)
+      let n_minus_1 = sub n one in
+      let rec split d r = if is_even d then split (shift_right d 1) (r + 1) else (d, r) in
+      let d, r = split n_minus_1 0 in
+      let witness a =
+        let x = ref (mod_pow ~base:a ~exp:d ~modulus:n) in
+        if equal !x one || equal !x n_minus_1 then false
+        else begin
+          let composite = ref true in
+          (try
+             for _ = 1 to r - 1 do
+               x := rem (mul !x !x) n;
+               if equal !x n_minus_1 then begin
+                 composite := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !composite
+        end
+      in
+      let rec rounds_left k =
+        if k = 0 then true
+        else begin
+          let a = add two (random_below rng (sub n (of_int 4))) in
+          if witness a then false else rounds_left (k - 1)
+        end
+      in
+      rounds_left rounds
+    end
+  end
+
+let generate_prime rng ~bits =
+  if bits < 8 then invalid_arg "Bignum.generate_prime: need at least 8 bits";
+  (* Top two bits set so that a product of two such primes has exactly
+     [2*bits] bits; low bit set for oddness. *)
+  let top = shift_left (of_int 3) (bits - 2) in
+  let rec attempt () =
+    let c = add top (random_bits rng (bits - 2)) in
+    let c = if is_even c then add c one else c in
+    if is_probable_prime rng c then c else attempt ()
+  in
+  attempt ()
+
+let pp fmt a = Format.pp_print_string fmt (to_hex a)

@@ -1,0 +1,105 @@
+(** Arbitrary-precision natural numbers.
+
+    The container has no bignum library (no zarith), so RSA and DSA are built
+    on this module.  Values are immutable non-negative integers stored as
+    little-endian arrays of 26-bit limbs; all products of two limbs fit
+    comfortably in OCaml's 63-bit native int.
+
+    Division is Knuth's Algorithm D (TAOCP vol. 2, 4.3.1), so modular
+    exponentiation is quadratic per step rather than cubic, fast enough for
+    1024/1536-bit RSA and DSA keys in tests and demos. *)
+
+type t
+
+exception Negative_result
+(** Raised by {!sub} when the result would be negative. *)
+
+(** {1 Constants and conversion} *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int option
+(** [None] when the value does not fit in a native int. *)
+
+val of_hex : string -> t
+(** Big-endian hex string, any length, upper or lower case.
+    @raise Invalid_argument on non-hex characters. *)
+
+val to_hex : t -> string
+(** Minimal-length lower-case big-endian hex; ["0"] for zero. *)
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned interpretation of the bytes. *)
+
+val to_bytes_be : ?length:int -> t -> string
+(** Minimal big-endian bytes, or left-zero-padded to [length].
+    @raise Invalid_argument if the value needs more than [length] bytes. *)
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_even : t -> bool
+
+val bit_length : t -> int
+(** Position of the highest set bit plus one; 0 for zero. *)
+
+val test_bit : t -> int -> bool
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Negative_result when the subtrahend is larger. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod u v] is [(q, r)] with [u = q*v + r] and [0 <= r < v].
+    @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** {1 Modular arithmetic} *)
+
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+(** [mod_pow ~base ~exp ~modulus] is [base^exp mod modulus].
+    @raise Division_by_zero when [modulus] is zero. *)
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a*x = 1 (mod m)], or [None] when
+    [gcd a m <> 1]. *)
+
+val gcd : t -> t -> t
+
+(** {1 Randomness and primality} *)
+
+val random_bits : Sof_util.Rng.t -> int -> t
+(** Uniform in [0, 2^bits). *)
+
+val random_below : Sof_util.Rng.t -> t -> t
+(** Uniform in [0, n); rejection sampling.  @raise Invalid_argument on
+    zero. *)
+
+val is_probable_prime : ?rounds:int -> Sof_util.Rng.t -> t -> bool
+(** Miller–Rabin after trial division by small primes; [rounds] defaults
+    to 20 (error probability below 4^-20 for random candidates). *)
+
+val generate_prime : Sof_util.Rng.t -> bits:int -> t
+(** Random probable prime with the top two bits and the low bit set (so
+    products of two such primes have exactly [2*bits] bits).
+    @raise Invalid_argument when [bits < 8]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering. *)

@@ -1,0 +1,22 @@
+type t = MD5 | SHA1 | SHA256
+
+let size = function MD5 -> 16 | SHA1 -> 20 | SHA256 -> 32
+
+let digest = function
+  | MD5 -> Md5.digest
+  | SHA1 -> Sha1.digest
+  | SHA256 -> Sha256.digest
+
+let name = function MD5 -> "md5" | SHA1 -> "sha1" | SHA256 -> "sha256"
+
+let of_name = function
+  | "md5" -> MD5
+  | "sha1" -> SHA1
+  | "sha256" -> SHA256
+  | s -> invalid_arg ("Digest_alg.of_name: unknown algorithm " ^ s)
+
+let block_size = function MD5 | SHA1 | SHA256 -> 64
+
+let equal a b = a = b
+
+let pp fmt t = Format.pp_print_string fmt (name t)

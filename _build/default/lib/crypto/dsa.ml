@@ -1,0 +1,98 @@
+module B = Bignum
+
+type params = { p : B.t; q : B.t; g : B.t }
+
+type public = { params : params; y : B.t }
+
+type secret = { pub : public; x : B.t }
+
+let public_of_secret s = s.pub
+
+let generate_params rng ~pbits ~qbits =
+  if qbits < 32 || pbits < qbits + 32 then
+    invalid_arg "Dsa.generate_params: need qbits >= 32 and pbits >= qbits + 32";
+  let q = B.generate_prime rng ~bits:qbits in
+  let two_q = B.shift_left q 1 in
+  (* Search for p = k*2q + 1 of exactly pbits bits. *)
+  let rec find_p () =
+    let x = B.add (B.shift_left B.one (pbits - 1)) (B.random_bits rng (pbits - 1)) in
+    let p = B.add (B.sub x (B.rem x two_q)) B.one in
+    if B.bit_length p = pbits && B.is_probable_prime rng p then p else find_p ()
+  in
+  let p = find_p () in
+  let exponent = B.div (B.sub p B.one) q in
+  let rec find_g h =
+    let g = B.mod_pow ~base:(B.of_int h) ~exp:exponent ~modulus:p in
+    if B.equal g B.one then find_g (h + 1) else g
+  in
+  { p; q; g = find_g 2 }
+
+let validate_params rng { p; q; g } =
+  B.is_probable_prime rng p
+  && B.is_probable_prime rng q
+  && B.is_zero (B.rem (B.sub p B.one) q)
+  && (not (B.equal g B.one))
+  && B.equal (B.mod_pow ~base:g ~exp:q ~modulus:p) B.one
+
+let generate_key rng params =
+  let x = B.add B.one (B.random_below rng (B.sub params.q B.one)) in
+  let y = B.mod_pow ~base:params.g ~exp:x ~modulus:params.p in
+  { pub = { params; y }; x }
+
+(* Leftmost min(qbits, hash bits) bits of the digest, per FIPS 186. *)
+let digest_to_number ~alg params msg =
+  let h = Digest_alg.digest alg msg in
+  let z = B.of_bytes_be h in
+  let hash_bits = 8 * String.length h in
+  let qbits = B.bit_length params.q in
+  if hash_bits > qbits then B.shift_right z (hash_bits - qbits) else z
+
+let field_size params = (B.bit_length params.q + 7) / 8
+
+let signature_size params = 2 * field_size params
+
+let sign rng key ~alg msg =
+  let { params; _ } = key.pub in
+  let z = digest_to_number ~alg params msg in
+  let rec attempt () =
+    let k = B.add B.one (B.random_below rng (B.sub params.q B.one)) in
+    let r = B.rem (B.mod_pow ~base:params.g ~exp:k ~modulus:params.p) params.q in
+    if B.is_zero r then attempt ()
+    else begin
+      match B.mod_inverse k params.q with
+      | None -> attempt ()
+      | Some k_inv ->
+        let s = B.rem (B.mul k_inv (B.add z (B.mul key.x r))) params.q in
+        if B.is_zero s then attempt ()
+        else begin
+          let w = field_size params in
+          B.to_bytes_be ~length:w r ^ B.to_bytes_be ~length:w s
+        end
+    end
+  in
+  attempt ()
+
+let verify pub ~alg ~msg ~signature =
+  let params = pub.params in
+  let w = field_size params in
+  String.length signature = 2 * w
+  && begin
+       let r = B.of_bytes_be (String.sub signature 0 w) in
+       let s = B.of_bytes_be (String.sub signature w w) in
+       (not (B.is_zero r))
+       && (not (B.is_zero s))
+       && B.compare r params.q < 0
+       && B.compare s params.q < 0
+       && begin
+            match B.mod_inverse s params.q with
+            | None -> false
+            | Some w_inv ->
+              let z = digest_to_number ~alg params msg in
+              let u1 = B.rem (B.mul z w_inv) params.q in
+              let u2 = B.rem (B.mul r w_inv) params.q in
+              let v1 = B.mod_pow ~base:params.g ~exp:u1 ~modulus:params.p in
+              let v2 = B.mod_pow ~base:pub.y ~exp:u2 ~modulus:params.p in
+              let v = B.rem (B.rem (B.mul v1 v2) params.p) params.q in
+              B.equal v r
+          end
+     end

@@ -1,0 +1,35 @@
+(** DSA signatures (FIPS 186 style).
+
+    The paper's third crypto configuration is SHA1 with DSA, key size 1024.
+    Domain parameters (p, q, g) are generated on demand rather than
+    hardcoded; tests use small parameters, the benchmarks' timing comes from
+    the scheme cost model rather than from running 1024-bit DSA per
+    message. *)
+
+type params = { p : Bignum.t; q : Bignum.t; g : Bignum.t }
+(** [p] prime, [q] prime divisor of [p-1], [g] of order [q] mod [p]. *)
+
+type public = { params : params; y : Bignum.t }
+
+type secret
+
+val public_of_secret : secret -> public
+
+val generate_params : Sof_util.Rng.t -> pbits:int -> qbits:int -> params
+(** @raise Invalid_argument unless [qbits >= 32] and [pbits >= qbits + 32]. *)
+
+val validate_params : Sof_util.Rng.t -> params -> bool
+(** Checks primality of [p] and [q], that [q] divides [p-1], and that [g]
+    has order [q]. *)
+
+val generate_key : Sof_util.Rng.t -> params -> secret
+
+val sign : Sof_util.Rng.t -> secret -> alg:Digest_alg.t -> string -> string
+(** [(r, s)] as two [qbits/8]-byte big-endian fields.  Fresh random [k] per
+    signature (the RNG is the caller's; use a well-seeded one). *)
+
+val verify : public -> alg:Digest_alg.t -> msg:string -> signature:string -> bool
+(** Total: malformed signatures return [false]. *)
+
+val signature_size : params -> int
+(** Bytes in a signature: [2 * ceil(qbits/8)]. *)

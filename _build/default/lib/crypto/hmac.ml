@@ -1,0 +1,22 @@
+let xor_pad key pad_byte block =
+  let out = Bytes.make block (Char.chr pad_byte) in
+  String.iteri
+    (fun i c -> Bytes.set out i (Char.chr (Char.code c lxor pad_byte)))
+    key;
+  Bytes.unsafe_to_string out
+
+let mac ~alg ~key msg =
+  let block = Digest_alg.block_size alg in
+  let key = if String.length key > block then Digest_alg.digest alg key else key in
+  let inner = Digest_alg.digest alg (xor_pad key 0x36 block ^ msg) in
+  Digest_alg.digest alg (xor_pad key 0x5c block ^ inner)
+
+let constant_time_equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end
+
+let verify ~alg ~key ~msg ~tag = constant_time_equal (mac ~alg ~key msg) tag

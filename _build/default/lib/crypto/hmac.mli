@@ -1,0 +1,13 @@
+(** HMAC keyed message authentication (RFC 2104).
+
+    Used by the mock signature scheme: in simulation runs we authenticate
+    messages with HMAC under per-node keys held by a trusted keyring instead
+    of paying for public-key operations on every message (the timing cost of
+    the real schemes is charged separately by the simulator's cost model). *)
+
+val mac : alg:Digest_alg.t -> key:string -> string -> string
+(** [mac ~alg ~key msg] is HMAC-alg of [msg] under [key].  Keys longer than
+    the digest block size are hashed first, per the RFC. *)
+
+val verify : alg:Digest_alg.t -> key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of [tag] against the recomputed MAC. *)

@@ -1,0 +1,84 @@
+type node_key =
+  | Hmac_key of string
+  | Rsa_key of Rsa.secret
+  | Dsa_key of Dsa.secret
+
+type t = {
+  scheme : Scheme.t;
+  keys : node_key array;
+  rng : Sof_util.Rng.t; (* for DSA per-signature nonces *)
+  signature_size : int;
+}
+
+let create ?key_bits ~scheme ~rng ~node_count () =
+  let keys =
+    match scheme.Scheme.mechanism with
+    | Scheme.Unsigned -> Array.make node_count (Hmac_key "")
+    | Scheme.Mock_hmac ->
+      Array.init node_count (fun _ ->
+          Hmac_key (Bytes.to_string (Sof_util.Rng.bytes rng 32)))
+    | Scheme.Rsa nominal_bits ->
+      let bits = Option.value key_bits ~default:nominal_bits in
+      Array.init node_count (fun _ -> Rsa_key (Rsa.generate rng ~bits))
+    | Scheme.Dsa nominal_bits ->
+      let pbits = Option.value key_bits ~default:nominal_bits in
+      let qbits = min 160 (pbits - 32) in
+      let params = Dsa.generate_params rng ~pbits ~qbits in
+      Array.init node_count (fun _ -> Dsa_key (Dsa.generate_key rng params))
+  in
+  let signature_size =
+    match scheme.Scheme.mechanism with
+    | Scheme.Unsigned -> 0
+    | Scheme.Mock_hmac ->
+      (* Pad mock signatures up to the scheme's nominal wire size so that
+         message sizes — and hence serialisation and transfer costs — match
+         the real mechanism. *)
+      max (Digest_alg.size Digest_alg.SHA256) scheme.Scheme.costs.Scheme.signature_bytes
+    | Scheme.Rsa _ | Scheme.Dsa _ -> begin
+      match keys.(0) with
+      | Rsa_key k -> Rsa.signature_size (Rsa.public_of_secret k)
+      | Dsa_key k -> Dsa.signature_size (Dsa.public_of_secret k).Dsa.params
+      | Hmac_key _ -> assert false
+    end
+  in
+  { scheme; keys; rng; signature_size }
+
+let scheme t = t.scheme
+
+let node_count t = Array.length t.keys
+
+let signature_size t = t.signature_size
+
+let check_range t signer =
+  if signer < 0 || signer >= Array.length t.keys then
+    invalid_arg "Keyring.sign: signer out of range"
+
+let pad_mock t tag =
+  let pad = t.signature_size - String.length tag in
+  if pad <= 0 then tag else tag ^ String.make pad '\000'
+
+let sign t ~signer msg =
+  check_range t signer;
+  match t.keys.(signer) with
+  | Hmac_key "" -> ""
+  | Hmac_key key -> pad_mock t (Hmac.mac ~alg:Digest_alg.SHA256 ~key msg)
+  | Rsa_key key -> Rsa.sign key ~alg:t.scheme.Scheme.digest msg
+  | Dsa_key key -> Dsa.sign t.rng key ~alg:t.scheme.Scheme.digest msg
+
+let verify t ~signer ~msg ~signature =
+  signer >= 0
+  && signer < Array.length t.keys
+  && begin
+       match t.keys.(signer) with
+       | Hmac_key "" -> String.length signature = 0
+       | Hmac_key key ->
+         String.length signature = t.signature_size
+         && Hmac.verify ~alg:Digest_alg.SHA256 ~key ~msg
+              ~tag:(String.sub signature 0 (Digest_alg.size Digest_alg.SHA256))
+       | Rsa_key key ->
+         Rsa.verify (Rsa.public_of_secret key) ~alg:t.scheme.Scheme.digest ~msg
+           ~signature
+       | Dsa_key key ->
+         Dsa.verify (Dsa.public_of_secret key) ~alg:t.scheme.Scheme.digest ~msg
+           ~signature
+     end

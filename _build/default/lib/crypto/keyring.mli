@@ -1,0 +1,38 @@
+(** Trusted-dealer key management (paper, Assumption 2).
+
+    The paper assumes "a trusted dealer initializes the system and the nodes
+    with cryptographic keys and hash functions".  A keyring is that dealer's
+    output: per-node signing keys plus everything needed to verify any node's
+    signature.
+
+    Non-forgeability is enforced at the API: [sign t ~signer msg] is the only
+    way to produce node [signer]'s signature, and the simulator only lets a
+    node call it with its own identity.  A Byzantine node can therefore emit
+    wrong {e contents} but cannot fake another node's endorsement — exactly
+    the cryptography-constrained Byzantine model. *)
+
+type t
+
+val create :
+  ?key_bits:int -> scheme:Scheme.t -> rng:Sof_util.Rng.t -> node_count:int -> unit -> t
+(** Provision keys for nodes [0 .. node_count-1] under [scheme].  For real
+    RSA/DSA mechanisms [key_bits] overrides the scheme's nominal key size so
+    tests can run with small, fast keys; the default is the scheme's size.
+    All DSA nodes share one set of domain parameters, as a dealer would
+    arrange. *)
+
+val scheme : t -> Scheme.t
+
+val node_count : t -> int
+
+val signature_size : t -> int
+(** Wire size of one signature in bytes (0 for the unsigned scheme).  For
+    real mechanisms this is derived from the actual key size in use, which
+    differs from [ (scheme t).costs.signature_bytes ] when [key_bits]
+    overrides the nominal size. *)
+
+val sign : t -> signer:int -> string -> string
+(** @raise Invalid_argument when [signer] is out of range. *)
+
+val verify : t -> signer:int -> msg:string -> signature:string -> bool
+(** Total: returns [false] on malformed signatures or out-of-range ids. *)

@@ -1,0 +1,34 @@
+(** RSA signatures (PKCS#1 v1.5-style padding).
+
+    The paper's first two crypto configurations sign with RSA using key sizes
+    1024 and 1536.  Key generation, signing and verification are implemented
+    on {!Bignum}; padding is EMSA-PKCS1-v1_5 except that the ASN.1
+    DigestInfo prefix is replaced by a one-byte algorithm tag (we control
+    both ends, and the tag binds the digest algorithm exactly as DigestInfo
+    does). *)
+
+type public = { n : Bignum.t; e : Bignum.t; bits : int }
+(** [bits] is the modulus size; signatures are [bits/8] bytes. *)
+
+type secret
+
+val public_of_secret : secret -> public
+
+val generate : Sof_util.Rng.t -> bits:int -> secret
+(** Fresh key with two [bits/2]-bit primes and [e = 65537].
+    @raise Invalid_argument when [bits < 64] or odd. *)
+
+val sign : secret -> alg:Digest_alg.t -> string -> string
+(** [sign key ~alg msg] is the [bits/8]-byte signature over the [alg] digest
+    of [msg].  Uses CRT (two half-size exponentiations + Garner
+    recombination), ~4x faster than the plain private exponentiation. *)
+
+val sign_without_crt : secret -> alg:Digest_alg.t -> string -> string
+(** Plain [em^d mod n] — same output as {!sign}; kept for cross-checking and
+    benchmarks. *)
+
+val verify : public -> alg:Digest_alg.t -> msg:string -> signature:string -> bool
+(** Total: malformed or wrong-length signatures return [false]. *)
+
+val signature_size : public -> int
+(** Bytes in a signature: [bits/8]. *)

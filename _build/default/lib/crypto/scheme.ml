@@ -1,0 +1,79 @@
+type mechanism = Unsigned | Mock_hmac | Rsa of int | Dsa of int
+
+type costs = {
+  sign_ns : int;
+  verify_ns : int;
+  digest_ns_per_byte : int;
+  signature_bytes : int;
+}
+
+type t = {
+  name : string;
+  digest : Digest_alg.t;
+  mechanism : mechanism;
+  costs : costs;
+}
+
+let ms n = int_of_float (n *. 1e6)
+let us n = int_of_float (n *. 1e3)
+
+(* Cost calibration: JDK 1.5 crypto on a 2.8 GHz Pentium IV (the paper's
+   testbed).  The load-bearing relationships are (i) RSA verify is ~15x
+   cheaper than RSA sign, (ii) DSA verify costs about as much as DSA sign,
+   and (iii) signing time is similar across RSA-1024 and DSA-1024 — these
+   are the asymmetries the paper's Section 5 analysis builds on. *)
+
+let md5_rsa1024 =
+  {
+    name = "md5-rsa1024";
+    digest = Digest_alg.MD5;
+    mechanism = Rsa 1024;
+    costs =
+      { sign_ns = ms 7.5; verify_ns = us 450.0; digest_ns_per_byte = 25; signature_bytes = 128 };
+  }
+
+let md5_rsa1536 =
+  {
+    name = "md5-rsa1536";
+    digest = Digest_alg.MD5;
+    mechanism = Rsa 1536;
+    costs =
+      { sign_ns = ms 19.0; verify_ns = us 900.0; digest_ns_per_byte = 25; signature_bytes = 192 };
+  }
+
+let sha1_dsa1024 =
+  {
+    name = "sha1-dsa1024";
+    digest = Digest_alg.SHA1;
+    mechanism = Dsa 1024;
+    costs =
+      { sign_ns = ms 7.0; verify_ns = ms 8.5; digest_ns_per_byte = 35; signature_bytes = 40 };
+  }
+
+let mock =
+  {
+    name = "mock";
+    digest = Digest_alg.SHA256;
+    mechanism = Mock_hmac;
+    costs =
+      { sign_ns = us 20.0; verify_ns = us 15.0; digest_ns_per_byte = 5; signature_bytes = 32 };
+  }
+
+let null =
+  {
+    name = "null";
+    digest = Digest_alg.SHA256;
+    mechanism = Unsigned;
+    costs = { sign_ns = 0; verify_ns = 0; digest_ns_per_byte = 0; signature_bytes = 0 };
+  }
+
+let paper_schemes = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024 ]
+
+let all = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024; mock; null ]
+
+let of_name name =
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> s
+  | None -> invalid_arg ("Scheme.of_name: unknown scheme " ^ name)
+
+let pp fmt t = Format.pp_print_string fmt t.name

@@ -1,0 +1,62 @@
+(** Signature scheme selection and timing cost model.
+
+    The paper evaluates three digest/signature combinations: MD5 with
+    RSA-1024, MD5 with RSA-1536, and SHA1 with DSA-1024.  A scheme value
+    bundles (i) which digest and signature mechanism to use for real
+    authentication, and (ii) a {e cost model}: the virtual CPU time a
+    2.8 GHz Pentium-IV-era node (the paper's testbed, running Java crypto)
+    spends on one sign, one verify, and hashing one byte.
+
+    The simulator charges the cost model to each node's CPU; actual signature
+    bytes are produced by the mechanism (HMAC for the default mock, or real
+    RSA/DSA).  Correctness never depends on the cost model and timing never
+    depends on which mechanism computes the bytes, so tests can run fast
+    (mock) while benchmarks still see 2006-era crypto timing. *)
+
+type mechanism =
+  | Unsigned  (** No signature bytes at all (the CT baseline). *)
+  | Mock_hmac  (** HMAC-SHA256 under per-node keys held by the keyring. *)
+  | Rsa of int  (** Real RSA with the given modulus bits. *)
+  | Dsa of int  (** Real DSA with the given p bits (q is 160). *)
+
+type costs = {
+  sign_ns : int;  (** CPU time to produce one signature. *)
+  verify_ns : int;  (** CPU time to check one signature. *)
+  digest_ns_per_byte : int;  (** CPU time to hash one byte. *)
+  signature_bytes : int;  (** Wire size of one signature. *)
+}
+
+type t = {
+  name : string;
+  digest : Digest_alg.t;
+  mechanism : mechanism;
+  costs : costs;
+}
+
+val md5_rsa1024 : t
+(** The paper's figure (a) configuration. *)
+
+val md5_rsa1536 : t
+(** The paper's figure (b) configuration. *)
+
+val sha1_dsa1024 : t
+(** The paper's figure (c) configuration.  DSA verification is markedly
+    slower than RSA verification — the asymmetry the paper's Section 5
+    discussion turns on. *)
+
+val mock : t
+(** Fast HMAC-based scheme with negligible costs, for protocol tests. *)
+
+val null : t
+(** No authentication at all (empty signatures, zero cost); the paper's CT
+    baseline "uses no cryptographic techniques". *)
+
+val paper_schemes : t list
+(** [[md5_rsa1024; md5_rsa1536; sha1_dsa1024]] — the three evaluated
+    configurations, in figure order. *)
+
+val of_name : string -> t
+(** Accepts the [name] field of any scheme above.
+    @raise Invalid_argument on unknown names. *)
+
+val pp : Format.formatter -> t -> unit

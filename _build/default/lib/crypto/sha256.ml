@@ -1,0 +1,138 @@
+(* FIPS 180-2.  Big-endian, 64-round compression; 32-bit words in masked
+   native ints. *)
+
+let digest_size = 32
+
+let mask = 0xffffffff
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+(* First 32 bits of the fractional parts of the cube roots of the first 64
+   primes. *)
+let k_table =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+type ctx = {
+  h : int array; (* 8 chaining words *)
+  mutable len : int;
+  block : Bytes.t;
+  mutable fill : int;
+  w : int array; (* 64-word message schedule *)
+}
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+        0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
+      |];
+    len = 0;
+    block = Bytes.create 64;
+    fill = 0;
+    w = Array.make 64 0;
+  }
+
+let compress ctx =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let o = 4 * i in
+    w.(i) <-
+      (Char.code (Bytes.get ctx.block o) lsl 24)
+      lor (Char.code (Bytes.get ctx.block (o + 1)) lsl 16)
+      lor (Char.code (Bytes.get ctx.block (o + 2)) lsl 8)
+      lor Char.code (Bytes.get ctx.block (o + 3))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
+    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let a = ref ctx.h.(0)
+  and b = ref ctx.h.(1)
+  and c = ref ctx.h.(2)
+  and d = ref ctx.h.(3)
+  and e = ref ctx.h.(4)
+  and f = ref ctx.h.(5)
+  and g = ref ctx.h.(6)
+  and h = ref ctx.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g land mask) in
+    let t1 = (!h + s1 + ch + k_table.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask
+  done;
+  ctx.h.(0) <- (ctx.h.(0) + !a) land mask;
+  ctx.h.(1) <- (ctx.h.(1) + !b) land mask;
+  ctx.h.(2) <- (ctx.h.(2) + !c) land mask;
+  ctx.h.(3) <- (ctx.h.(3) + !d) land mask;
+  ctx.h.(4) <- (ctx.h.(4) + !e) land mask;
+  ctx.h.(5) <- (ctx.h.(5) + !f) land mask;
+  ctx.h.(6) <- (ctx.h.(6) + !g) land mask;
+  ctx.h.(7) <- (ctx.h.(7) + !h) land mask
+
+let feed ctx s =
+  ctx.len <- ctx.len + String.length s;
+  let pos = ref 0 in
+  let n = String.length s in
+  while !pos < n do
+    let take = min (64 - ctx.fill) (n - !pos) in
+    Bytes.blit_string s !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  done
+
+let finalize ctx =
+  let bit_len = 8 * ctx.len in
+  let pad_len =
+    let r = ctx.len mod 64 in
+    if r < 56 then 56 - r else 120 - r
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail (pad_len + i) (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
+  done;
+  feed ctx (Bytes.unsafe_to_string tail);
+  assert (ctx.fill = 0);
+  let out = Bytes.create 32 in
+  for j = 0 to 7 do
+    let v = ctx.h.(j) in
+    for i = 0 to 3 do
+      Bytes.set out ((4 * j) + i) (Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest msg =
+  let ctx = init () in
+  feed ctx msg;
+  finalize ctx
+
+let hex msg = Sof_util.Hex.encode (digest msg)

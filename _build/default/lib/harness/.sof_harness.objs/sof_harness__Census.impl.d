@@ -1,0 +1,1 @@
+lib/harness/census.ml: Cluster Format Hashtbl List Sof_net Sof_protocol Sof_util String

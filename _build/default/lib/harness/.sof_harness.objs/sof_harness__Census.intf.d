@@ -1,0 +1,1 @@
+lib/harness/census.mli: Cluster Format

@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Array Cost_model Hashtbl List Option Sof_crypto Sof_net Sof_protocol Sof_sim Sof_smr Sof_util String

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Cost_model Sof_crypto Sof_net Sof_protocol Sof_sim Sof_smr

@@ -1,0 +1,1 @@
+lib/harness/cost_model.ml: Float Sof_sim

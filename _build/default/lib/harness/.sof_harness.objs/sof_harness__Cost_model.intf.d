@@ -1,0 +1,1 @@
+lib/harness/cost_model.mli: Sof_sim

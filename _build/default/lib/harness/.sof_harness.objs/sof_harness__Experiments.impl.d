@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Cluster Int64 List Metrics Option Printf Sof_crypto Sof_net Sof_protocol Sof_sim Sof_util String Workload

@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Cluster Format Hashtbl List Sof_net Sof_protocol Sof_sim Sof_util

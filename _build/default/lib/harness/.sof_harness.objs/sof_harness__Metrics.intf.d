@@ -1,0 +1,1 @@
+lib/harness/metrics.mli: Cluster Format Sof_sim Sof_util

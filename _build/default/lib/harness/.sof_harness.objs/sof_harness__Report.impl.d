@@ -1,0 +1,1 @@
+lib/harness/report.ml: Experiments Float List Printf String

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Bytes Cluster Printf Sof_sim Sof_smr Sof_util String

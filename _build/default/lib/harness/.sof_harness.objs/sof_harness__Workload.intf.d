@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Cluster Sof_sim Sof_smr Sof_util

@@ -1,0 +1,37 @@
+module P = Sof_protocol
+
+type t = { by_tag : (string, int ref * int ref) Hashtbl.t }
+
+let attach cluster =
+  let t = { by_tag = Hashtbl.create 16 } in
+  Sof_net.Network.on_deliver (Cluster.network cluster)
+    (fun ~src:_ ~dst:_ ~payload ->
+      match P.Message.decode payload with
+      | env ->
+        let tag = P.Message.body_tag env.P.Message.body in
+        let msgs, bytes =
+          match Hashtbl.find_opt t.by_tag tag with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0) in
+            Hashtbl.replace t.by_tag tag cell;
+            cell
+        in
+        incr msgs;
+        bytes := !bytes + String.length payload
+      | exception Sof_util.Codec.Reader.Truncated -> ());
+  t
+
+let counts t =
+  Hashtbl.fold (fun tag (m, b) acc -> (tag, !m, !b) :: acc) t.by_tag []
+  |> List.sort (fun (_, m1, _) (_, m2, _) -> compare m2 m1)
+
+let total_messages t = List.fold_left (fun acc (_, m, _) -> acc + m) 0 (counts t)
+let total_bytes t = List.fold_left (fun acc (_, _, b) -> acc + b) 0 (counts t)
+
+let pp fmt t =
+  Format.fprintf fmt "%-14s %10s %12s@." "message" "count" "bytes";
+  List.iter
+    (fun (tag, m, b) -> Format.fprintf fmt "%-14s %10d %12d@." tag m b)
+    (counts t);
+  Format.fprintf fmt "%-14s %10d %12d@." "total" (total_messages t) (total_bytes t)

@@ -1,0 +1,22 @@
+(** Per-message-type traffic accounting.
+
+    Attach to a cluster before running it; every delivered message is
+    decoded and tallied by its body tag.  This makes the protocols'
+    structure visible as data: SC shows [order]/[ack] (and no [prepare]),
+    BFT shows [pre_prepare]/[prepare]/[commit], the install part shows up as
+    [back_log]/[start]/[start_ack]/[start_tuples], and so on. *)
+
+type t
+
+val attach : Cluster.t -> t
+(** Register a network observer.  Messages delivered from then on are
+    counted. *)
+
+val counts : t -> (string * int * int) list
+(** [(tag, messages, bytes)] rows, sorted by descending message count. *)
+
+val total_messages : t -> int
+val total_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Render the census as an aligned table. *)

@@ -1,0 +1,335 @@
+module Simtime = Sof_sim.Simtime
+module Engine = Sof_sim.Engine
+module Cpu = Sof_sim.Cpu
+module Network = Sof_net.Network
+module Delay_model = Sof_net.Delay_model
+module Scheme = Sof_crypto.Scheme
+module Keyring = Sof_crypto.Keyring
+module Request = Sof_smr.Request
+module P = Sof_protocol
+
+type kind = Sc_protocol | Scr_protocol | Bft_protocol | Ct_protocol
+
+type spec = {
+  kind : kind;
+  f : int;
+  scheme : Scheme.t;
+  batching_interval : Simtime.t;
+  batch_size_limit : int;
+  pair_delay_estimate : Simtime.t;
+  heartbeat_interval : Simtime.t;
+  cost : Cost_model.t;
+  lan : Delay_model.t;
+  pair_link : Delay_model.t;
+  seed : int64;
+  faults : (int * P.Fault.t) list;
+  attach_machines : bool;
+  machine_factory : unit -> Sof_smr.State_machine.t;
+  dumb_optimization : bool;
+  real_crypto : bool;
+}
+
+let default_spec ~kind ~f =
+  {
+    kind;
+    f;
+    scheme = Scheme.mock;
+    batching_interval = Simtime.ms 100;
+    batch_size_limit = 1024;
+    pair_delay_estimate = Simtime.ms 100;
+    heartbeat_interval = Simtime.ms 25;
+    cost = Cost_model.default;
+    lan = Delay_model.lan_default;
+    pair_link = Delay_model.pair_link_default;
+    seed = 1L;
+    faults = [];
+    attach_machines = true;
+    machine_factory = Sof_smr.Kv_store.machine;
+    dumb_optimization = true;
+    real_crypto = false;
+  }
+
+type proc = Sc of P.Sc.t | Scr of P.Scr.t | Bft of P.Bft.t | Ct of P.Ct.t
+
+type node = {
+  node_cpu : Cpu.t;
+  mutable node_proc : proc option;
+  node_machine : Sof_smr.State_machine.t option;
+}
+
+type t = {
+  spec : spec;
+  engine : Engine.t;
+  net : Network.t;
+  keyring : Keyring.t;
+  nodes : node array;
+  mutable event_log : (Simtime.t * int * P.Context.event) list;
+  replies : (Request.key, (int * string) list ref) Hashtbl.t;
+}
+
+let process_count_of_spec spec =
+  match spec.kind with
+  | Sc_protocol -> (3 * spec.f) + 1
+  | Scr_protocol -> (3 * spec.f) + 2
+  | Bft_protocol -> (3 * spec.f) + 1
+  | Ct_protocol -> (2 * spec.f) + 1
+
+let process_count t = Array.length t.nodes
+let engine t = t.engine
+let network t = t.net
+
+let proc t i =
+  match t.nodes.(i).node_proc with
+  | Some p -> p
+  | None -> invalid_arg "Cluster.proc: node not initialised"
+
+let cpu t i = t.nodes.(i).node_cpu
+let machine t i = t.nodes.(i).node_machine
+
+let events t = List.rev t.event_log
+
+let run t ~until = Engine.run ~until t.engine
+
+let crash t i = Network.crash t.net i
+
+(* Context with all CPU charging for node [i]. *)
+let make_context t i =
+  let node = t.nodes.(i) in
+  let costs = t.spec.scheme.Scheme.costs in
+  let sign payload =
+    Cpu.extend node.node_cpu (Simtime.ns costs.Scheme.sign_ns);
+    Keyring.sign t.keyring ~signer:i payload
+  in
+  let verify ~signer ~msg ~signature =
+    Cpu.extend node.node_cpu (Simtime.ns costs.Scheme.verify_ns);
+    Keyring.verify t.keyring ~signer ~msg ~signature
+  in
+  let digest_charge n =
+    Cpu.extend node.node_cpu (Simtime.ns (n * costs.Scheme.digest_ns_per_byte))
+  in
+  let send ~dst env =
+    let payload = P.Message.encode env in
+    let cost = Cost_model.send_cost t.spec.cost ~size:(String.length payload) in
+    Cpu.submit node.node_cpu ~cost (fun () -> Network.send t.net ~src:i ~dst payload)
+  in
+  let multicast ~dsts env =
+    let payload = P.Message.encode env in
+    let cost = Cost_model.send_cost t.spec.cost ~size:(String.length payload) in
+    List.iter
+      (fun dst ->
+        Cpu.submit node.node_cpu ~cost (fun () ->
+            Network.send t.net ~src:i ~dst payload))
+      dsts
+  in
+  let set_timer ~delay k =
+    let h = Engine.schedule t.engine ~delay k in
+    { P.Context.cancel = (fun () -> Engine.cancel h) }
+  in
+  let deliver ~seq:_ batch =
+    match node.node_machine with
+    | None -> ()
+    | Some m ->
+      List.iter
+        (fun r ->
+          let reply = Sof_smr.State_machine.apply m r.Request.op in
+          let cell =
+            match Hashtbl.find_opt t.replies r.Request.key with
+            | Some cell -> cell
+            | None ->
+              let cell = ref [] in
+              Hashtbl.replace t.replies r.Request.key cell;
+              cell
+          in
+          cell := (i, reply) :: !cell)
+        batch.P.Batch.requests
+  in
+  let emit ev = t.event_log <- (Engine.now t.engine, i, ev) :: t.event_log in
+  {
+    P.Context.id = i;
+    now = (fun () -> Engine.now t.engine);
+    sign;
+    verify;
+    digest_charge;
+    send;
+    multicast;
+    set_timer;
+    deliver;
+    emit;
+  }
+
+(* The trusted dealer supplies each pair member with a fail-signal signed
+   by its counterpart (Section 3.2). *)
+let fail_signal_presig t ~config ~for_process =
+  match (P.Config.pair_rank_of config for_process, P.Config.counterpart config for_process) with
+  | Some rank, Some counterpart ->
+    let payload = P.Message.encode_body (P.Message.Fail_signal { pair = rank }) in
+    Keyring.sign t.keyring ~signer:counterpart payload
+  | _ -> invalid_arg "fail_signal_presig: unpaired process"
+
+let fault_for spec i =
+  match List.assoc_opt i spec.faults with Some f -> f | None -> P.Fault.Honest
+
+let build spec =
+  let n = process_count_of_spec spec in
+  let engine = Engine.create ~seed:spec.seed () in
+  let net_rng = Engine.fork_rng engine in
+  let key_rng = Engine.fork_rng engine in
+  let net =
+    Network.create ~engine ~rng:net_rng ~node_count:n ~default_delay:spec.lan
+  in
+  let scheme =
+    match spec.kind with Ct_protocol -> Scheme.null | _ -> spec.scheme
+  in
+  (* Timing comes from the scheme's cost model; the signature bytes come
+     from the real mechanism only when [real_crypto] is set — otherwise
+     HMAC stands in so a 20-second simulated run doesn't pay thousands of
+     real RSA exponentiations (see Scheme's documentation). *)
+  let wire_scheme =
+    if spec.real_crypto then scheme
+    else
+      match scheme.Scheme.mechanism with
+      | Scheme.Unsigned | Scheme.Mock_hmac -> scheme
+      | Scheme.Rsa _ | Scheme.Dsa _ -> { scheme with Scheme.mechanism = Scheme.Mock_hmac }
+  in
+  let keyring = Keyring.create ~scheme:wire_scheme ~rng:key_rng ~node_count:n () in
+  let nodes =
+    Array.init n (fun _ ->
+        {
+          node_cpu = Cpu.create engine;
+          node_proc = None;
+          node_machine =
+            (if spec.attach_machines then Some (spec.machine_factory ()) else None);
+        })
+  in
+  let t =
+    {
+      spec = { spec with scheme };
+      engine;
+      net;
+      keyring;
+      nodes;
+      event_log = [];
+      replies = Hashtbl.create 256;
+    }
+  in
+  (* Protocol processes. *)
+  (match spec.kind with
+  | Sc_protocol | Scr_protocol ->
+    let variant = if spec.kind = Sc_protocol then P.Config.SC else P.Config.SCR in
+    let config =
+      P.Config.make ~variant ~batching_interval:spec.batching_interval
+        ~batch_size_limit:spec.batch_size_limit
+        ~digest:scheme.Scheme.digest
+        ~pair_delay_estimate:spec.pair_delay_estimate
+        ~heartbeat_interval:spec.heartbeat_interval
+        ~dumb_optimization:spec.dumb_optimization ~f:spec.f ()
+    in
+    (* Fast links inside each pair, both directions. *)
+    for rank = 1 to P.Config.pair_count config do
+      let p = P.Config.primary_of_pair config rank in
+      let s = P.Config.shadow_of_pair config rank in
+      Network.set_link net ~src:p ~dst:s spec.pair_link;
+      Network.set_link net ~src:s ~dst:p spec.pair_link
+    done;
+    for i = 0 to n - 1 do
+      let ctx = make_context t i in
+      let counterpart_fail_signal =
+        match P.Config.pair_rank_of config i with
+        | Some _ -> Some (fail_signal_presig t ~config ~for_process:i)
+        | None -> None
+      in
+      let fault = fault_for spec i in
+      let p =
+        if spec.kind = Sc_protocol then
+          Sc (P.Sc.create ~ctx ~config ~fault ?counterpart_fail_signal ())
+        else Scr (P.Scr.create ~ctx ~config ~fault ?counterpart_fail_signal ())
+      in
+      t.nodes.(i).node_proc <- Some p
+    done
+  | Bft_protocol ->
+    let config =
+      P.Bft.make_config ~batching_interval:spec.batching_interval
+        ~batch_size_limit:spec.batch_size_limit ~digest:scheme.Scheme.digest
+        ~f:spec.f ()
+    in
+    for i = 0 to n - 1 do
+      let ctx = make_context t i in
+      let fault = fault_for spec i in
+      t.nodes.(i).node_proc <- Some (Bft (P.Bft.create ~ctx ~config ~fault ()))
+    done
+  | Ct_protocol ->
+    let config =
+      P.Ct.make_config ~batching_interval:spec.batching_interval
+        ~batch_size_limit:spec.batch_size_limit ~f:spec.f ()
+    in
+    for i = 0 to n - 1 do
+      let ctx = make_context t i in
+      t.nodes.(i).node_proc <- Some (Ct (P.Ct.create ~ctx ~config))
+    done);
+  (* Inbound path: network -> CPU (receive cost) -> decode -> protocol. *)
+  for i = 0 to n - 1 do
+    Network.set_handler net i (fun ~src payload ->
+        let node = t.nodes.(i) in
+        let cost =
+          Cost_model.recv_cost spec.cost
+            ~backlog:(Cpu.queue_delay node.node_cpu)
+            ~size:(String.length payload)
+        in
+        Cpu.submit node.node_cpu ~cost (fun () ->
+            match P.Message.decode payload with
+            | env -> begin
+              match node.node_proc with
+              | Some (Sc p) -> P.Sc.on_message p ~src env
+              | Some (Scr p) -> P.Scr.on_message p ~src env
+              | Some (Bft p) -> P.Bft.on_message p ~src env
+              | Some (Ct p) -> P.Ct.on_message p ~src env
+              | None -> ()
+            end
+            | exception Sof_util.Codec.Reader.Truncated -> ()))
+  done;
+  (* Start timers. *)
+  Array.iter
+    (fun node ->
+      match node.node_proc with
+      | Some (Sc p) -> P.Sc.start p
+      | Some (Scr p) -> P.Scr.start p
+      | Some (Bft p) -> P.Bft.start p
+      | Some (Ct p) -> P.Ct.start p
+      | None -> ())
+    t.nodes;
+  t
+
+let inject_request t req =
+  let payload_size = Request.encoded_size req in
+  Array.iteri
+    (fun i node ->
+      let cost =
+        Cost_model.recv_cost t.spec.cost
+          ~backlog:(Cpu.queue_delay node.node_cpu)
+          ~size:payload_size
+      in
+      Cpu.submit node.node_cpu ~cost (fun () ->
+          match t.nodes.(i).node_proc with
+          | Some (Sc p) -> P.Sc.on_request p req
+          | Some (Scr p) -> P.Scr.on_request p req
+          | Some (Bft p) -> P.Bft.on_request p req
+          | Some (Ct p) -> P.Ct.on_request p req
+          | None -> ()))
+    t.nodes
+
+let replies_for t key =
+  match Hashtbl.find_opt t.replies key with Some cell -> !cell | None -> []
+
+let reply_certificate t key =
+  (* The state-machine-replication acceptance rule: a client trusts a reply
+     vouched for by f+1 distinct replicas (at least one is correct). *)
+  let by_reply = Hashtbl.create 4 in
+  List.iter
+    (fun (node, reply) ->
+      let voters = Option.value (Hashtbl.find_opt by_reply reply) ~default:[] in
+      if not (List.mem node voters) then Hashtbl.replace by_reply reply (node :: voters))
+    (replies_for t key);
+  Hashtbl.fold
+    (fun reply voters acc ->
+      if List.length voters >= t.spec.f + 1 then Some reply else acc)
+    by_reply None

@@ -1,0 +1,78 @@
+(** Cluster construction: a whole protocol deployment under the simulator.
+
+    [build] wires n protocol processes to a simulated LAN, one single-server
+    CPU per node, a trusted-dealer keyring, and (optionally) a replicated
+    state machine per node.  All virtual CPU charging happens here: message
+    receipt, sends, signatures, verifications and digests, per the cost
+    model and the scheme's cost table. *)
+
+type kind = Sc_protocol | Scr_protocol | Bft_protocol | Ct_protocol
+
+type spec = {
+  kind : kind;
+  f : int;
+  scheme : Sof_crypto.Scheme.t;
+  batching_interval : Sof_sim.Simtime.t;
+  batch_size_limit : int;
+  pair_delay_estimate : Sof_sim.Simtime.t;
+  heartbeat_interval : Sof_sim.Simtime.t;
+  cost : Cost_model.t;
+  lan : Sof_net.Delay_model.t;
+  pair_link : Sof_net.Delay_model.t;
+  seed : int64;
+  faults : (int * Sof_protocol.Fault.t) list;  (** (process id, fault). *)
+  attach_machines : bool;
+      (** Give each node a state machine fed by delivered batches. *)
+  machine_factory : unit -> Sof_smr.State_machine.t;
+      (** Which service each node replicates (default: the KV store). *)
+  dumb_optimization : bool;  (** SC's Section-4.3 first optimisation. *)
+  real_crypto : bool;
+      (** Sign with the scheme's real RSA/DSA instead of HMAC stand-ins.
+          Timing is unaffected either way (the cost model rules); real
+          crypto makes runs much slower and is meant for end-to-end
+          authenticity demos. *)
+}
+
+val default_spec : kind:kind -> f:int -> spec
+(** Mock scheme, 100 ms batching, 1 KB batches, 100 ms pair delay estimate,
+    LAN defaults, no faults, machines attached. *)
+
+type proc =
+  | Sc of Sof_protocol.Sc.t
+  | Scr of Sof_protocol.Scr.t
+  | Bft of Sof_protocol.Bft.t
+  | Ct of Sof_protocol.Ct.t
+
+type t
+
+val build : spec -> t
+(** Constructs and starts every process.  Deterministic in [spec.seed]. *)
+
+val process_count : t -> int
+val engine : t -> Sof_sim.Engine.t
+val network : t -> Sof_net.Network.t
+val proc : t -> int -> proc
+val cpu : t -> int -> Sof_sim.Cpu.t
+val machine : t -> int -> Sof_smr.State_machine.t option
+
+val inject_request : t -> Sof_smr.Request.t -> unit
+(** Deliver a client request to every process (clients broadcast), charging
+    each CPU the receive cost. *)
+
+val crash : t -> int -> unit
+(** Hard-crash a node at the network level (silent, loses in-flight). *)
+
+val events : t -> (Sof_sim.Simtime.t * int * Sof_protocol.Context.event) list
+(** All protocol events so far, in emission order, as
+    [(time, process, event)]. *)
+
+val run : t -> until:Sof_sim.Simtime.t -> unit
+(** Advance the simulation to the given virtual instant. *)
+
+val replies_for : t -> Sof_smr.Request.key -> (int * string) list
+(** Replies each node's state machine produced for the request, as
+    [(process, reply bytes)]; requires [attach_machines]. *)
+
+val reply_certificate : t -> Sof_smr.Request.key -> string option
+(** The reply a correct client would accept: vouched for by at least f+1
+    distinct replicas (the state-machine-replication acceptance rule). *)

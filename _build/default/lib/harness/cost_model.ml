@@ -1,0 +1,33 @@
+module Simtime = Sof_sim.Simtime
+
+type t = {
+  recv_overhead : Simtime.t;
+  recv_per_byte_ns : int;
+  send_overhead : Simtime.t;
+  send_per_byte_ns : int;
+  backlog_penalty_per_ms : float;
+}
+
+let default =
+  {
+    recv_overhead = Simtime.us 1000;
+    recv_per_byte_ns = 600;
+    send_overhead = Simtime.us 180;
+    send_per_byte_ns = 300;
+    backlog_penalty_per_ms = 0.001;
+  }
+
+let max_penalty_factor = 4.0
+
+let recv_cost t ~backlog ~size =
+  let base =
+    Simtime.add t.recv_overhead (Simtime.ns (size * t.recv_per_byte_ns))
+  in
+  let factor =
+    Float.min max_penalty_factor
+      (1.0 +. (t.backlog_penalty_per_ms *. Simtime.to_ms backlog))
+  in
+  Simtime.scale base factor
+
+let send_cost t ~size =
+  Simtime.add t.send_overhead (Simtime.ns (size * t.send_per_byte_ns))

@@ -1,0 +1,34 @@
+(** Per-node CPU cost model.
+
+    Together with the crypto scheme costs (see {!Sof_crypto.Scheme}) this
+    calibrates the simulator to the paper's testbed: 2.8 GHz Pentium IV
+    machines running a JDK 1.5 implementation, where handling one message
+    costs on the order of a millisecond (deserialisation, dispatch,
+    allocation) and every byte moved costs tens of nanoseconds.
+
+    [backlog_penalty_per_ms] inflates handling costs as the node's CPU queue
+    grows, a proxy for the memory/GC pressure a saturated Java process
+    suffers; it is what bends throughput {e downwards} past the saturation
+    point (paper Figure 5) instead of plateauing. *)
+
+type t = {
+  recv_overhead : Sof_sim.Simtime.t;  (** Fixed cost per received message. *)
+  recv_per_byte_ns : int;
+  send_overhead : Sof_sim.Simtime.t;  (** Fixed cost per destination sent. *)
+  send_per_byte_ns : int;
+  backlog_penalty_per_ms : float;
+      (** Fractional handling-cost increase per millisecond of CPU backlog,
+          capped at {!max_penalty_factor}. *)
+}
+
+val default : t
+(** 1.0 ms receive, 0.18 ms send, 600/300 ns per byte (Java-era object
+    serialisation), 0.1%% penalty/ms. *)
+
+val max_penalty_factor : float
+(** Handling costs grow at most this much (4x). *)
+
+val recv_cost : t -> backlog:Sof_sim.Simtime.t -> size:int -> Sof_sim.Simtime.t
+(** Cost of receiving a [size]-byte message with the given CPU backlog. *)
+
+val send_cost : t -> size:int -> Sof_sim.Simtime.t

@@ -1,0 +1,224 @@
+module Simtime = Sof_sim.Simtime
+module Scheme = Sof_crypto.Scheme
+module P = Sof_protocol
+
+type series_point = {
+  batching_interval_ms : float;
+  latency_ms : float option;
+  throughput_rps : float;
+}
+
+type series = { label : string; points : series_point list }
+
+type failover_point = {
+  target_uncommitted : int;
+  backlog_bytes : int;
+  failover_ms : float;
+}
+
+type failover_series = { fo_label : string; fo_points : failover_point list }
+
+let default_intervals_ms = [ 40; 60; 80; 100; 150; 200; 300; 400; 500 ]
+
+(* Fail-free runs honour assumption 3(a)(i): delay estimates never falsely
+   accuse, so the pair timeliness machinery is configured out of the way. *)
+let failfree_spec ~kind ~f ~scheme ~interval ~seed =
+  {
+    (Cluster.default_spec ~kind ~f) with
+    Cluster.scheme;
+    batching_interval = interval;
+    pair_delay_estimate = Simtime.sec 30;
+    heartbeat_interval = Simtime.sec 3600;
+    seed;
+  }
+
+let run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed =
+  let interval = Simtime.ms interval_ms in
+  let cluster = Cluster.build (failfree_spec ~kind ~f ~scheme ~interval ~seed) in
+  let warmup = Simtime.sec 3 in
+  let window = Simtime.sec 8 in
+  let duration = Simtime.add warmup (Simtime.add window (Simtime.sec 1)) in
+  Workload.install cluster (Workload.make ~rate_per_sec:rate ()) ~duration;
+  Cluster.run cluster ~until:duration;
+  let p = Metrics.analyze cluster ~warmup ~window in
+  {
+    batching_interval_ms = float_of_int interval_ms;
+    latency_ms =
+      Option.map (fun s -> s.Sof_util.Statistics.mean) p.Metrics.latency;
+    throughput_rps = p.Metrics.throughput_rps;
+  }
+
+let fig4_5 ?(f = 2) ?(intervals_ms = default_intervals_ms) ?(rate = 400.0)
+    ?(seed = 7L) ~scheme () =
+  let protocols =
+    [ ("CT", Cluster.Ct_protocol); ("SC", Cluster.Sc_protocol); ("BFT", Cluster.Bft_protocol) ]
+  in
+  List.map
+    (fun (label, kind) ->
+      let points =
+        List.map
+          (fun interval_ms -> run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed)
+          intervals_ms
+      in
+      { label; points })
+    protocols
+
+(* ------------------------------------------------------------ Figure 6 *)
+
+(* Pre-load [target] uncommitted orders: requests are burst-injected, acks
+   are held back by a network filter (asynchrony permits arbitrary delay),
+   and the coordinator primary corrupts the digest of order [target+1].
+   The fail-over latency is fail-signal -> installation; the measured
+   BackLog (SC) or ViewChange (SCR) size gives the x-axis. *)
+let run_failover ~kind ~f ~scheme ~target ~seed =
+  (* 25 ms batching lets the ~1.2 ms/request receive pipeline fill whole
+     1 KB batches, so the coordinator issues [target] full batches before
+     the corrupted order [target+1]. *)
+  let spec =
+    {
+      (Cluster.default_spec ~kind ~f) with
+      Cluster.scheme;
+      batching_interval = Simtime.ms 25;
+      pair_delay_estimate = Simtime.sec 30;
+      heartbeat_interval = Simtime.sec 3600;
+      seed;
+      faults = [ (0, P.Fault.Corrupt_digest_at (target + 1)) ];
+    }
+  in
+  let cluster = Cluster.build spec in
+  let net = Cluster.network cluster in
+  let backlog_tag =
+    match kind with Cluster.Scr_protocol -> "view_change" | _ -> "back_log"
+  in
+  let max_backlog = ref 0 in
+  Sof_net.Network.on_deliver net (fun ~src:_ ~dst:_ ~payload ->
+      match P.Message.decode payload with
+      | env ->
+        if P.Message.body_tag env.P.Message.body = backlog_tag then
+          max_backlog := max !max_backlog (String.length payload)
+      | exception Sof_util.Codec.Reader.Truncated -> ());
+  (* Hold back every ack until the fault has been detected. *)
+  Sof_net.Network.set_filter net
+    (Some
+       (fun ~src:_ ~dst:_ ~payload ->
+         match P.Message.decode payload with
+         | env -> (
+           match env.P.Message.body with P.Message.Ack _ -> false | _ -> true)
+         | exception Sof_util.Codec.Reader.Truncated -> true));
+  (* Requests filling [target+2] one-KB batches, paced just under the
+     receive pipeline's capacity so the CPUs stay drained: fail-over latency
+     then reflects the install part itself rather than leftover request
+     processing. *)
+  let engine = Cluster.engine cluster in
+  let rng = Sof_sim.Engine.fork_rng engine in
+  let per_batch = 11 in
+  for i = 1 to (target + 2) * per_batch do
+    ignore
+      (Sof_sim.Engine.schedule engine
+         ~delay:(Simtime.us (1600 * i))
+         (fun () ->
+           Cluster.inject_request cluster
+             (Workload.make_request rng ~client:(i mod 4) ~client_seq:i ~op_bytes:95)))
+  done;
+  (* Advance until the fail-signal, then release the acks. *)
+  let fail_signalled () =
+    List.exists
+      (fun (_, _, e) ->
+        match e with P.Context.Fail_signal_emitted _ -> true | _ -> false)
+      (Cluster.events cluster)
+  in
+  let t = ref 0 in
+  while (not (fail_signalled ())) && !t < 60_000 do
+    t := !t + 20;
+    Cluster.run cluster ~until:(Simtime.ms !t)
+  done;
+  Sof_net.Network.set_filter net None;
+  Cluster.run cluster ~until:(Simtime.ms (!t + 30_000));
+  let p = Metrics.analyze cluster ~warmup:Simtime.zero ~window:(Simtime.sec 60) in
+  match p.Metrics.failover_ms with
+  | Some failover_ms ->
+    { target_uncommitted = target; backlog_bytes = !max_backlog; failover_ms }
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Experiments.fig6: no fail-over completed (target=%d)" target)
+
+let fig6 ?(f = 2) ?(targets = [ 15; 30; 45; 60; 75 ]) ?(seed = 11L) ~scheme () =
+  (* Each point is averaged over three seeds: fail-over latency depends on
+     where the fault lands relative to CPU and network schedules, and the
+     paper likewise averages 100 runs per point. *)
+  let seeds = [ seed; Int64.add seed 1L; Int64.add seed 2L ] in
+  List.map
+    (fun (fo_label, kind) ->
+      let fo_points =
+        List.map
+          (fun target ->
+            let runs =
+              List.map (fun seed -> run_failover ~kind ~f ~scheme ~target ~seed) seeds
+            in
+            let n = float_of_int (List.length runs) in
+            {
+              target_uncommitted = target;
+              backlog_bytes =
+                List.fold_left (fun acc r -> acc + r.backlog_bytes) 0 runs
+                / List.length runs;
+              failover_ms =
+                List.fold_left (fun acc r -> acc +. r.failover_ms) 0.0 runs /. n;
+            })
+          targets
+      in
+      { fo_label; fo_points })
+    [ ("SC", Cluster.Sc_protocol); ("SCR", Cluster.Scr_protocol) ]
+
+(* ----------------------------------------- saturation threshold finder *)
+
+let saturation_threshold ?(f = 2) ?(rate = 400.0) ?(seed = 7L) ~scheme kind =
+  (* Steady-state reference at the largest interval of the paper's sweep;
+     an interval counts as saturated when mean latency exceeds three times
+     the reference (or nothing commits at all).  Binary search to 10 ms
+     granularity over [10, 500]. *)
+  let reference =
+    match (run_point ~kind ~f ~scheme ~interval_ms:500 ~rate ~seed).latency_ms with
+    | Some l -> l
+    | None -> invalid_arg "saturation_threshold: no steady state at 500 ms"
+  in
+  let saturated interval_ms =
+    match (run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed).latency_ms with
+    | None -> true
+    | Some l -> l > 3.0 *. reference
+  in
+  let rec search lo hi =
+    (* invariant: lo saturated (or floor), hi not saturated *)
+    if hi - lo <= 10 then hi
+    else begin
+      let mid = (lo + hi) / 2 / 10 * 10 in
+      let mid = if mid <= lo then lo + 10 else mid in
+      if saturated mid then search mid hi else search lo mid
+    end
+  in
+  if not (saturated 10) then 10 else search 10 500
+
+(* ------------------------------------------------- message overhead *)
+
+let message_counts ?(f = 2) ?(seed = 3L) () =
+  let run kind =
+    let cluster =
+      Cluster.build
+        (failfree_spec ~kind ~f ~scheme:Scheme.mock ~interval:(Simtime.ms 100)
+           ~seed)
+    in
+    Workload.install cluster
+      (Workload.make ~rate_per_sec:200.0 ())
+      ~duration:(Simtime.sec 10);
+    Cluster.run cluster ~until:(Simtime.sec 11);
+    let s = Sof_net.Network.stats (Cluster.network cluster) in
+    (s.Sof_net.Network.messages_sent, s.Sof_net.Network.bytes_sent)
+  in
+  List.map
+    (fun (label, kind) ->
+      let m, b = run kind in
+      (label, m, b))
+    [
+      ("CT", Cluster.Ct_protocol);
+      ("SC", Cluster.Sc_protocol);
+      ("BFT", Cluster.Bft_protocol);
+    ]

@@ -1,0 +1,69 @@
+(** Reproduction of every figure in the paper's evaluation (Section 5).
+
+    Each experiment returns structured rows; {!Report} renders them.  The
+    simulator replaces the paper's 15-machine LAN (DESIGN.md, substitution
+    S1), so absolute values are calibrated while the orderings, gaps and
+    saturation behaviour are the reproduced results. *)
+
+type series_point = {
+  batching_interval_ms : float;
+  latency_ms : float option;  (** None: nothing committed in-window. *)
+  throughput_rps : float;
+}
+
+type series = { label : string; points : series_point list }
+
+type failover_point = {
+  target_uncommitted : int;  (** Batches deliberately left in flight. *)
+  backlog_bytes : int;  (** Measured encoded BackLog/ViewChange size. *)
+  failover_ms : float;
+}
+
+type failover_series = { fo_label : string; fo_points : failover_point list }
+
+val default_intervals_ms : int list
+(** The paper's sweep: 40..500 ms. *)
+
+val fig4_5 :
+  ?f:int ->
+  ?intervals_ms:int list ->
+  ?rate:float ->
+  ?seed:int64 ->
+  scheme:Sof_crypto.Scheme.t ->
+  unit ->
+  series list
+(** One sub-figure of Figures 4 and 5: order latency and throughput vs
+    batching interval for CT, SC and BFT under the given crypto scheme,
+    f defaulting to 2.  Latency answers Figure 4, throughput Figure 5 —
+    the paper derives both from the same runs, and so do we. *)
+
+val fig6 :
+  ?f:int ->
+  ?targets:int list ->
+  ?seed:int64 ->
+  scheme:Sof_crypto.Scheme.t ->
+  unit ->
+  failover_series list
+(** Figure 6: fail-over latency vs BackLog size for SC and SCR.  A
+    value-domain fault is injected at the coordinator primary after
+    [target] batches have been issued in quick succession (still
+    uncommitted), so the BackLog carries [target] real uncommitted orders;
+    the measured encoded size is reported alongside. *)
+
+val saturation_threshold :
+  ?f:int ->
+  ?rate:float ->
+  ?seed:int64 ->
+  scheme:Sof_crypto.Scheme.t ->
+  Cluster.kind ->
+  int
+(** Smallest batching interval (ms, 10 ms granularity) at which the protocol
+    still runs in steady state — mean latency within 3x of its 500 ms value.
+    Reproduces the paper's observation that BFT's threshold is larger than
+    SC's (it "causes system saturation earlier"). *)
+
+val message_counts :
+  ?f:int -> ?seed:int64 -> unit -> (string * int * int) list
+(** Fail-free messages and bytes per protocol for a fixed workload —
+    quantifies the paper's "smaller message overhead" claim.  Returns
+    [(protocol, messages, bytes)]. *)

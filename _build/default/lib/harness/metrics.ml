@@ -1,0 +1,92 @@
+module Simtime = Sof_sim.Simtime
+module Statistics = Sof_util.Statistics
+module P = Sof_protocol
+
+type point = {
+  latency : Statistics.summary option;
+  throughput_rps : float;
+  batches : int;
+  committed_requests : int;
+  messages_sent : int;
+  bytes_sent : int;
+  failover_ms : float option;
+}
+
+(* The highest-numbered replica: in SC/SCR layouts the last unpaired
+   replica, in BFT a backup, in CT a non-coordinator. *)
+let reference_process cluster =
+  let n = Cluster.process_count cluster in
+  match Cluster.proc cluster 0 with
+  | Cluster.Sc _ -> 2 * ((n - 1) / 3) (* id 2f, the last of 2f+1 replicas *)
+  | Cluster.Scr _ -> 2 * ((n - 2) / 3)
+  | Cluster.Bft _ | Cluster.Ct _ -> n - 1
+
+let analyze cluster ~warmup ~window =
+  let events = Cluster.events cluster in
+  let window_end = Simtime.add warmup window in
+  let in_window at = Simtime.compare at warmup >= 0 && Simtime.compare at window_end < 0 in
+  (* Batch creation instants (coordinator side). *)
+  let batch_time : (int, Simtime.t) Hashtbl.t = Hashtbl.create 256 in
+  let first_commit : (int, Simtime.t) Hashtbl.t = Hashtbl.create 256 in
+  let reference = reference_process cluster in
+  let delivered_reqs = ref 0 in
+  let first_fail_signal = ref None in
+  let first_install = ref None in
+  List.iter
+    (fun (at, who, event) ->
+      match event with
+      | P.Context.Batched { seq; _ } ->
+        if not (Hashtbl.mem batch_time seq) then Hashtbl.replace batch_time seq at
+      | P.Context.Committed { seq; _ } ->
+        if not (Hashtbl.mem first_commit seq) then Hashtbl.replace first_commit seq at
+      | P.Context.Delivered { seq = _; batch } ->
+        if who = reference && in_window at then
+          delivered_reqs := !delivered_reqs + P.Batch.request_count batch
+      | P.Context.Fail_signal_emitted _ ->
+        if !first_fail_signal = None then first_fail_signal := Some at
+      | P.Context.Coordinator_installed _ | P.Context.View_installed _ ->
+        if !first_install = None then first_install := Some at
+      | P.Context.Fail_signal_observed _ | P.Context.Pair_recovered _
+      | P.Context.Value_fault_detected _ ->
+        ())
+    events;
+  let latencies = Statistics.create () in
+  let requests_counted = ref 0 in
+  Hashtbl.iter
+    (fun seq batched_at ->
+      if in_window batched_at then begin
+        match Hashtbl.find_opt first_commit seq with
+        | Some committed_at when Simtime.compare committed_at batched_at >= 0 ->
+          Statistics.add latencies (Simtime.to_ms (Simtime.diff committed_at batched_at))
+        | Some _ | None -> ()
+      end;
+      ignore !requests_counted)
+    batch_time;
+  let stats = Sof_net.Network.stats (Cluster.network cluster) in
+  let failover_ms =
+    match (!first_fail_signal, !first_install) with
+    | Some fs, Some inst when Simtime.compare inst fs >= 0 ->
+      Some (Simtime.to_ms (Simtime.diff inst fs))
+    | _ -> None
+  in
+  {
+    latency =
+      (if Statistics.count latencies = 0 then None
+       else Some (Statistics.summarize latencies));
+    throughput_rps = float_of_int !delivered_reqs /. Simtime.to_sec window;
+    batches = Statistics.count latencies;
+    committed_requests = !delivered_reqs;
+    messages_sent = stats.Sof_net.Network.messages_sent;
+    bytes_sent = stats.Sof_net.Network.bytes_sent;
+    failover_ms;
+  }
+
+let pp_point fmt p =
+  (match p.latency with
+  | Some l -> Format.fprintf fmt "latency %.2fms (p95 %.2f) " l.Statistics.mean l.Statistics.p95
+  | None -> Format.fprintf fmt "latency n/a ");
+  Format.fprintf fmt "throughput %.1f req/s over %d batches, %d msgs"
+    p.throughput_rps p.batches p.messages_sent;
+  match p.failover_ms with
+  | Some f -> Format.fprintf fmt ", failover %.2fms" f
+  | None -> ()

@@ -1,0 +1,31 @@
+(** Metric extraction from a finished run's event log.
+
+    Definitions follow the paper's Section 5 precisely:
+    - {e latency}: from the instant the coordinator batches a request
+      ([Batched]) to the instant the {e first} process commits a sequence
+      number for it ([Committed]); time waiting to be batched is excluded;
+    - {e throughput}: messages (requests) committed per second by an order
+      process;
+    - {e fail-over latency}: from the coordinator's fail-signal to the new
+      coordinator's installation event. *)
+
+type point = {
+  latency : Sof_util.Statistics.summary option;
+      (** Per-batch order latency in milliseconds; [None] when no batch
+          committed inside the measurement window. *)
+  throughput_rps : float;
+  batches : int;  (** Batches whose latency was measured. *)
+  committed_requests : int;
+  messages_sent : int;
+  bytes_sent : int;
+  failover_ms : float option;
+      (** First fail-signal to first installation, when both occurred. *)
+}
+
+val analyze :
+  Cluster.t -> warmup:Sof_sim.Simtime.t -> window:Sof_sim.Simtime.t -> point
+(** Measure over batches created in [warmup, warmup+window); throughput is
+    counted at the highest-numbered replica process (never a coordinator in
+    the fail-free runs). *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,120 @@
+let pf = Printf.printf
+
+let print_series ~title ~value_header ~value (series : Experiments.series list) =
+  pf "\n%s\n" title;
+  pf "%s\n" (String.make (String.length title) '-');
+  pf "%-14s" "interval(ms)";
+  List.iter (fun s -> pf "%14s" (s.Experiments.label ^ " " ^ value_header)) series;
+  pf "\n";
+  match series with
+  | [] -> ()
+  | first :: _ ->
+    List.iter
+      (fun (p0 : Experiments.series_point) ->
+        pf "%-14.0f" p0.Experiments.batching_interval_ms;
+        List.iter
+          (fun s ->
+            let point =
+              List.find_opt
+                (fun (p : Experiments.series_point) ->
+                  p.Experiments.batching_interval_ms = p0.Experiments.batching_interval_ms)
+                s.Experiments.points
+            in
+            match point with
+            | Some p -> pf "%14s" (value p)
+            | None -> pf "%14s" "-")
+          series;
+        pf "\n")
+      first.Experiments.points
+
+let print_fig4 ~title series =
+  print_series ~title ~value_header:"lat"
+    ~value:(fun p ->
+      match p.Experiments.latency_ms with
+      | Some v -> Printf.sprintf "%.1f" v
+      | None -> "sat")
+    series
+
+let print_fig5 ~title series =
+  print_series ~title ~value_header:"thr"
+    ~value:(fun p -> Printf.sprintf "%.0f" p.Experiments.throughput_rps)
+    series
+
+let print_fig6 ~title (series : Experiments.failover_series list) =
+  pf "\n%s\n" title;
+  pf "%s\n" (String.make (String.length title) '-');
+  pf "%-10s %-10s %14s %14s\n" "protocol" "target" "backlog(B)" "failover(ms)";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (p : Experiments.failover_point) ->
+          pf "%-10s %-10d %14d %14.2f\n" s.Experiments.fo_label
+            p.Experiments.target_uncommitted p.Experiments.backlog_bytes
+            p.Experiments.failover_ms)
+        s.Experiments.fo_points)
+    series
+
+let print_message_counts rows =
+  pf "\nFail-free message overhead (same workload)\n";
+  pf "-------------------------------------------\n";
+  pf "%-10s %14s %14s\n" "protocol" "messages" "bytes";
+  List.iter (fun (label, m, b) -> pf "%-10s %14d %14d\n" label m b) rows
+
+(* Qualitative shape assertions from the paper's Section 5. *)
+let print_shape_checks (series : Experiments.series list) =
+  let find label =
+    List.find_opt (fun s -> s.Experiments.label = label) series
+  in
+  let steady_latency s =
+    (* Mean over the three largest intervals. *)
+    let sorted =
+      List.sort
+        (fun (a : Experiments.series_point) b ->
+          compare b.Experiments.batching_interval_ms a.Experiments.batching_interval_ms)
+        s.Experiments.points
+    in
+    let top = List.filteri (fun i _ -> i < 3) sorted in
+    let vals = List.filter_map (fun p -> p.Experiments.latency_ms) top in
+    if vals = [] then None
+    else Some (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals))
+  in
+  let check name ok =
+    pf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name
+  in
+  pf "\nShape checks (paper section 5 claims)\n";
+  pf "-------------------------------------\n";
+  match (find "CT", find "SC", find "BFT") with
+  | Some ct, Some sc, Some bft -> begin
+    match (steady_latency ct, steady_latency sc, steady_latency bft) with
+    | Some lct, Some lsc, Some lbft ->
+      check "steady-state latency: CT < SC" (lct < lsc);
+      check "steady-state latency: SC < BFT" (lsc < lbft);
+      let worst s =
+        List.fold_left
+          (fun acc (p : Experiments.series_point) ->
+            match p.Experiments.latency_ms with
+            | Some v -> Float.max acc v
+            | None -> Float.max acc 1e9)
+          0.0 s.Experiments.points
+      in
+      check "small intervals push SC/BFT toward saturation"
+        (worst sc > (2.0 *. lsc) || worst bft > (2.0 *. lbft));
+      let peak s =
+        List.fold_left
+          (fun acc (p : Experiments.series_point) -> Float.max acc p.Experiments.throughput_rps)
+          0.0 s.Experiments.points
+      in
+      let at_largest s =
+        match
+          List.sort
+            (fun (a : Experiments.series_point) b ->
+              compare b.Experiments.batching_interval_ms a.Experiments.batching_interval_ms)
+            s.Experiments.points
+        with
+        | p :: _ -> p.Experiments.throughput_rps
+        | [] -> 0.0
+      in
+      check "throughput grows as the interval shrinks (SC)" (peak sc > at_largest sc *. 1.5)
+    | _ -> pf "  [SKIP] missing latency data\n"
+  end
+  | _ -> pf "  [SKIP] missing series\n"

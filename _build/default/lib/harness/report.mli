@@ -1,0 +1,17 @@
+(** Plain-text rendering of experiment results, one table per paper
+    figure. *)
+
+val print_fig4 : title:string -> Experiments.series list -> unit
+(** Order latency (ms) vs batching interval, one column per protocol. *)
+
+val print_fig5 : title:string -> Experiments.series list -> unit
+(** Throughput (req/s) vs batching interval. *)
+
+val print_fig6 : title:string -> Experiments.failover_series list -> unit
+(** Fail-over latency vs measured backlog size. *)
+
+val print_message_counts : (string * int * int) list -> unit
+
+val print_shape_checks : Experiments.series list -> unit
+(** Evaluates the paper's qualitative claims against the series (CT lowest,
+    SC below BFT, saturation ordering) and prints PASS/FAIL lines. *)

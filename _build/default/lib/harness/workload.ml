@@ -1,0 +1,44 @@
+module Simtime = Sof_sim.Simtime
+module Engine = Sof_sim.Engine
+module Request = Sof_smr.Request
+
+type t = { clients : int; rate_per_sec : float; op_bytes : int }
+
+let default = { clients = 4; rate_per_sec = 400.0; op_bytes = 80 }
+
+let make ?(clients = 4) ?(op_bytes = 80) ~rate_per_sec () =
+  if rate_per_sec <= 0.0 then invalid_arg "Workload.make: rate must be positive";
+  { clients; rate_per_sec; op_bytes }
+
+let make_request rng ~client ~client_seq ~op_bytes =
+  let key = Printf.sprintf "k%d" (Sof_util.Rng.int rng 10_000) in
+  (* Pad the value so the encoded operation lands near [op_bytes]. *)
+  let overhead = 8 + String.length key in
+  let value_len = max 1 (op_bytes - overhead) in
+  let value = Bytes.to_string (Sof_util.Rng.bytes rng value_len) in
+  let op = Sof_smr.Kv_store.encode_op (Sof_smr.Kv_store.Put (key, value)) in
+  Request.make ~client ~client_seq ~op
+
+let install cluster t ~duration =
+  let engine = Cluster.engine cluster in
+  let horizon = Simtime.add (Engine.now engine) duration in
+  let per_client_rate = t.rate_per_sec /. float_of_int t.clients in
+  let mean_gap_ms = 1000.0 /. per_client_rate in
+  for client = 0 to t.clients - 1 do
+    let rng = Engine.fork_rng engine in
+    let seq = ref 0 in
+    let rec arrive () =
+      let gap = Simtime.of_ms_float (Sof_util.Rng.exponential rng ~mean:mean_gap_ms) in
+      let at = Simtime.add (Engine.now engine) gap in
+      if Simtime.compare at horizon <= 0 then
+        ignore
+          (Engine.schedule engine ~delay:gap (fun () ->
+               incr seq;
+               let req =
+                 make_request rng ~client ~client_seq:!seq ~op_bytes:t.op_bytes
+               in
+               Cluster.inject_request cluster req;
+               arrive ()))
+    in
+    arrive ()
+  done

@@ -1,0 +1,25 @@
+(** Client workload generation.
+
+    The paper's clients are correct and broadcast each request to every node;
+    the generator models them as open-loop sources with exponential
+    inter-arrival times (arrivals keep coming regardless of commit progress),
+    issuing key-value store operations of a configurable encoded size. *)
+
+type t = {
+  clients : int;
+  rate_per_sec : float;  (** Aggregate request rate across all clients. *)
+  op_bytes : int;  (** Approximate encoded operation size. *)
+}
+
+val default : t
+(** 4 clients, 400 req/s aggregate, ~80-byte operations. *)
+
+val make : ?clients:int -> ?op_bytes:int -> rate_per_sec:float -> unit -> t
+
+val install : Cluster.t -> t -> duration:Sof_sim.Simtime.t -> unit
+(** Schedule request arrivals on the cluster's engine from now until
+    [duration] later.  Deterministic given the cluster's seed. *)
+
+val make_request :
+  Sof_util.Rng.t -> client:int -> client_seq:int -> op_bytes:int -> Sof_smr.Request.t
+(** One synthetic KV [Put] request, also used directly by examples. *)

@@ -1,0 +1,1 @@
+lib/net/delay_model.mli: Format Sof_sim Sof_util

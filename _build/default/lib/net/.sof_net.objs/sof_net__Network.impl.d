@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Delay_model List Printf Sof_sim Sof_util String

@@ -1,0 +1,1 @@
+lib/net/network.mli: Delay_model Sof_sim Sof_util

@@ -1,0 +1,51 @@
+module Simtime = Sof_sim.Simtime
+
+type t =
+  | Constant of Simtime.t
+  | Uniform of { lo : Simtime.t; hi : Simtime.t }
+  | Lan of { base : Simtime.t; jitter : Simtime.t; per_byte_ns : int }
+
+let sample t rng ~size =
+  match t with
+  | Constant d -> d
+  | Uniform { lo; hi } ->
+    let spread = Simtime.to_ns (Simtime.diff hi lo) in
+    Simtime.add lo (Simtime.ns (Sof_util.Rng.int rng (max 1 spread)))
+  | Lan { base; jitter; per_byte_ns } ->
+    let jitter_ns =
+      if Simtime.to_ns jitter = 0 then 0
+      else begin
+        let mean = float_of_int (Simtime.to_ns jitter) in
+        int_of_float (Sof_util.Rng.exponential rng ~mean)
+      end
+    in
+    Simtime.add base (Simtime.ns (jitter_ns + (size * per_byte_ns)))
+
+let mean t ~size =
+  match t with
+  | Constant d -> d
+  | Uniform { lo; hi } ->
+    Simtime.ns ((Simtime.to_ns lo + Simtime.to_ns hi) / 2)
+  | Lan { base; jitter; per_byte_ns } ->
+    Simtime.add base (Simtime.ns (Simtime.to_ns jitter + (size * per_byte_ns)))
+
+let lan_default =
+  Lan { base = Simtime.us 250; jitter = Simtime.us 100; per_byte_ns = 80 }
+
+let pair_link_default =
+  Lan { base = Simtime.us 120; jitter = Simtime.us 30; per_byte_ns = 80 }
+
+let scale t factor =
+  match t with
+  | Constant d -> Constant (Simtime.scale d factor)
+  | Uniform { lo; hi } ->
+    Uniform { lo = Simtime.scale lo factor; hi = Simtime.scale hi factor }
+  | Lan { base; jitter; per_byte_ns } ->
+    Lan { base = Simtime.scale base factor; jitter = Simtime.scale jitter factor; per_byte_ns }
+
+let pp fmt = function
+  | Constant d -> Format.fprintf fmt "constant(%a)" Simtime.pp d
+  | Uniform { lo; hi } -> Format.fprintf fmt "uniform(%a,%a)" Simtime.pp lo Simtime.pp hi
+  | Lan { base; jitter; per_byte_ns } ->
+    Format.fprintf fmt "lan(base=%a,jitter=%a,%dns/B)" Simtime.pp base Simtime.pp
+      jitter per_byte_ns

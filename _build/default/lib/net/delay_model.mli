@@ -1,0 +1,36 @@
+(** Message delay models.
+
+    A model maps (message size, randomness) to a one-way transfer delay.  The
+    paper's system model has two kinds of links: the reliable {e asynchronous}
+    network between replica nodes (delays finite but unbounded — modelled
+    with a heavy-ish tail) and the {e fast reliable} link inside a process
+    pair. *)
+
+type t =
+  | Constant of Sof_sim.Simtime.t
+  | Uniform of { lo : Sof_sim.Simtime.t; hi : Sof_sim.Simtime.t }
+  | Lan of {
+      base : Sof_sim.Simtime.t;  (** switch + protocol stack latency *)
+      jitter : Sof_sim.Simtime.t;  (** exponential-mean jitter *)
+      per_byte_ns : int;  (** serialisation (100 Mb/s is 80 ns/byte) *)
+    }
+
+val sample : t -> Sof_util.Rng.t -> size:int -> Sof_sim.Simtime.t
+(** One-way delay for a [size]-byte message. *)
+
+val mean : t -> size:int -> Sof_sim.Simtime.t
+(** Expected delay, for calibration arithmetic. *)
+
+val lan_default : t
+(** The paper's testbed profile: switched 100 Mb/s Ethernet between Linux
+    hosts — 250 us base, 100 us mean jitter, 80 ns/byte. *)
+
+val pair_link_default : t
+(** The fast dedicated link between a replica and its shadow: 120 us base,
+    30 us mean jitter, 80 ns/byte. *)
+
+val scale : t -> float -> t
+(** Multiply all latency components (not the per-byte rate); used by delay
+    surge fault injection for partial-synchrony experiments. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module Engine = Sof_sim.Engine
+module Simtime = Sof_sim.Simtime
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_delivered : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Sof_util.Rng.t;
+  node_count : int;
+  links : Delay_model.t array array; (* [src].(dst) *)
+  handlers : (src:int -> string -> unit) option array;
+  crashed : bool array;
+  mutable surge : float;
+  mutable filter : (src:int -> dst:int -> payload:string -> bool) option;
+  mutable observers : (src:int -> dst:int -> payload:string -> unit) list;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_delivered : int;
+}
+
+let create ~engine ~rng ~node_count ~default_delay =
+  {
+    engine;
+    rng;
+    node_count;
+    links = Array.init node_count (fun _ -> Array.make node_count default_delay);
+    handlers = Array.make node_count None;
+    crashed = Array.make node_count false;
+    surge = 1.0;
+    filter = None;
+    observers = [];
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_delivered = 0;
+  }
+
+let node_count t = t.node_count
+
+let check_endpoint t who name =
+  if who < 0 || who >= t.node_count then
+    invalid_arg (Printf.sprintf "Network.%s: endpoint %d out of range" name who)
+
+let set_link t ~src ~dst model =
+  check_endpoint t src "set_link";
+  check_endpoint t dst "set_link";
+  t.links.(src).(dst) <- model
+
+let link t ~src ~dst = t.links.(src).(dst)
+
+let set_handler t who handler =
+  check_endpoint t who "set_handler";
+  t.handlers.(who) <- Some handler
+
+let crash t who =
+  check_endpoint t who "crash";
+  t.crashed.(who) <- true
+
+let is_crashed t who = t.crashed.(who)
+
+let set_surge t ~factor =
+  if factor < 1.0 then invalid_arg "Network.set_surge: factor below 1";
+  t.surge <- factor
+
+let clear_surge t = t.surge <- 1.0
+
+let set_filter t f = t.filter <- f
+
+let on_deliver t f = t.observers <- f :: t.observers
+
+let send t ~src ~dst payload =
+  check_endpoint t src "send";
+  check_endpoint t dst "send";
+  let passes =
+    match t.filter with None -> true | Some f -> f ~src ~dst ~payload
+  in
+  if (not t.crashed.(src)) && passes then begin
+    let size = String.length payload in
+    t.messages_sent <- t.messages_sent + 1;
+    t.bytes_sent <- t.bytes_sent + size;
+    let delay = Delay_model.sample t.links.(src).(dst) t.rng ~size in
+    let delay = if t.surge = 1.0 then delay else Simtime.scale delay t.surge in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           (* Crash state is checked at delivery time: messages in flight to
+              a node that crashed meanwhile are lost with it. *)
+           if not t.crashed.(dst) && not t.crashed.(src) then begin
+             t.messages_delivered <- t.messages_delivered + 1;
+             (match t.handlers.(dst) with
+             | Some handler -> handler ~src payload
+             | None -> ());
+             List.iter (fun f -> f ~src ~dst ~payload) t.observers
+           end))
+  end
+
+let multicast t ~src ~dsts payload =
+  List.iter (fun dst -> send t ~src ~dst payload) dsts
+
+let stats t =
+  {
+    messages_sent = t.messages_sent;
+    bytes_sent = t.bytes_sent;
+    messages_delivered = t.messages_delivered;
+  }

@@ -1,0 +1,69 @@
+(** Reliable asynchronous message-passing network.
+
+    Connects [node_count] endpoints over per-link delay models.  The network
+    is reliable (no loss, no corruption, no duplication — the paper's system
+    model) and asynchronous: delays are finite but, under surge injection,
+    unbounded by any fixed estimate.
+
+    Delivery order between two endpoints is not FIFO unless the delay model
+    is constant — matching UDP-like semantics over which the protocols must
+    be correct.  Crash injection silences an endpoint both ways. *)
+
+type t
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_delivered : int;
+}
+
+val create :
+  engine:Sof_sim.Engine.t ->
+  rng:Sof_util.Rng.t ->
+  node_count:int ->
+  default_delay:Delay_model.t ->
+  t
+
+val node_count : t -> int
+
+val set_link : t -> src:int -> dst:int -> Delay_model.t -> unit
+(** Override one directed link's delay model (e.g. a fast pair link — set
+    both directions). *)
+
+val link : t -> src:int -> dst:int -> Delay_model.t
+
+val set_handler : t -> int -> (src:int -> string -> unit) -> unit
+(** Install the delivery callback for an endpoint.  Without a handler,
+    arriving messages are counted and discarded. *)
+
+val send : t -> src:int -> dst:int -> string -> unit
+(** Queue a message for delivery after the link's sampled delay.  Self-sends
+    are allowed and are delivered after the same sampled delay.
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val multicast : t -> src:int -> dsts:int list -> string -> unit
+(** Independent {!send} to each destination (no network-level multicast:
+    each copy pays its own serialisation, as with TCP fan-out). *)
+
+val crash : t -> int -> unit
+(** Silence an endpoint: messages from and to it are dropped from now on. *)
+
+val is_crashed : t -> int -> bool
+
+val set_surge : t -> factor:float -> unit
+(** Multiply all sampled delays by [factor] until {!clear_surge}; models the
+    unstable period of a partially synchronous network. *)
+
+val clear_surge : t -> unit
+
+val set_filter : t -> (src:int -> dst:int -> payload:string -> bool) option -> unit
+(** Fault-injection hook: when set, messages for which the predicate returns
+    [false] are dropped at send time (equivalently: delayed beyond the
+    experiment's horizon — permissible under asynchrony).  [None] removes
+    the filter. *)
+
+val on_deliver : t -> (src:int -> dst:int -> payload:string -> unit) -> unit
+(** Observer invoked at each delivery, after the handler; for tracing and
+    per-message-type accounting in experiments. *)
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/runtime/tcp_runtime.ml: Array Bytes Char Condition Float Fun Hashtbl List Mutex Option Queue Sof_crypto Sof_protocol Sof_sim Sof_smr Sof_util String Sys Thread Unix

@@ -1,0 +1,1 @@
+lib/runtime/tcp_runtime.mli: Sof_crypto Sof_smr

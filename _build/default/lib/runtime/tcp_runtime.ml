@@ -1,0 +1,432 @@
+module Simtime = Sof_sim.Simtime
+module P = Sof_protocol
+module Request = Sof_smr.Request
+module Keyring = Sof_crypto.Keyring
+module Scheme = Sof_crypto.Scheme
+
+let client_id = 250
+
+type job =
+  | Job_message of int * string  (* transport source, encoded envelope *)
+  | Job_request of string  (* encoded request *)
+  | Job_timer of (unit -> unit)
+  | Job_stop
+
+type timer_entry = {
+  deadline : float;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type node = {
+  id : int;
+  queue : job Queue.t;
+  queue_mutex : Mutex.t;
+  queue_cond : Condition.t;
+  mutable proc : [ `Sc of P.Sc.t | `Scr of P.Scr.t ] option;
+  machine : Sof_smr.State_machine.t;
+  mutable delivered_batches : int;
+  (* timers *)
+  timers : timer_entry list ref;
+  timer_mutex : Mutex.t;
+  timer_cond : Condition.t;
+  (* outbound sockets, one per peer, guarded per-socket *)
+  out : (Unix.file_descr * Mutex.t) option array;
+}
+
+type t = {
+  n : int;
+  base_port : int;
+  nodes : node array;
+  keyring : Keyring.t;
+  start_time : float;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+  (* client side *)
+  mutable client_socks : (Unix.file_descr * Mutex.t) array;
+  latency_mutex : Mutex.t;
+  inject_times : (Request.key, float) Hashtbl.t;
+  first_delivery : (Request.key, float) Hashtbl.t;
+}
+
+type stats = {
+  delivered : (int * int) list;
+  state_digests : (int * string) list;
+  commit_latencies_ms : float list;
+}
+
+(* ------------------------------------------------------------- framing *)
+
+let write_frame fd mutex payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr (len land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 3 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.blit_string payload 0 buf 4 len;
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      let rec write_all off =
+        if off < Bytes.length buf then begin
+          let written = Unix.write fd buf off (Bytes.length buf - off) in
+          write_all (off + written)
+        end
+      in
+      try write_all 0 with Unix.Unix_error _ -> ())
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some buf
+    else begin
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> go (off + k)
+      | exception Unix.Unix_error _ -> None
+    end
+  in
+  go 0
+
+let read_frame fd =
+  match read_exactly fd 4 with
+  | None -> None
+  | Some header ->
+    let b i = Char.code (Bytes.get header i) in
+    let len = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    if len > 16 * 1024 * 1024 then None
+    else begin
+      match read_exactly fd len with
+      | None -> None
+      | Some payload -> Some (Bytes.unsafe_to_string payload)
+    end
+
+(* -------------------------------------------------------------- queues *)
+
+let enqueue node job =
+  Mutex.lock node.queue_mutex;
+  Queue.push job node.queue;
+  Condition.signal node.queue_cond;
+  Mutex.unlock node.queue_mutex
+
+let dequeue node =
+  Mutex.lock node.queue_mutex;
+  while Queue.is_empty node.queue do
+    Condition.wait node.queue_cond node.queue_mutex
+  done;
+  let job = Queue.pop node.queue in
+  Mutex.unlock node.queue_mutex;
+  job
+
+(* -------------------------------------------------------------- timers *)
+
+let timer_thread t node =
+  while not t.stopping do
+    Mutex.lock node.timer_mutex;
+    let now = Unix.gettimeofday () in
+    let live = List.filter (fun e -> not e.cancelled) !(node.timers) in
+    let due, later = List.partition (fun e -> e.deadline <= now) live in
+    node.timers := later;
+    (if due = [] then begin
+       let next =
+         List.fold_left (fun acc e -> Float.min acc e.deadline) (now +. 0.05) later
+       in
+       let wait = Float.max 0.001 (next -. now) in
+       ignore wait;
+       (* Condition.wait has no timeout in the stdlib; poll at 1 ms. *)
+       Mutex.unlock node.timer_mutex;
+       Thread.delay 0.001
+     end
+     else Mutex.unlock node.timer_mutex);
+    List.iter (fun e -> enqueue node (Job_timer e.thunk)) due
+  done
+
+(* ------------------------------------------------------------- context *)
+
+let make_context t node =
+  let sign payload = Keyring.sign t.keyring ~signer:node.id payload in
+  let verify ~signer ~msg ~signature = Keyring.verify t.keyring ~signer ~msg ~signature in
+  let send ~dst env =
+    match node.out.(dst) with
+    | Some (fd, mutex) -> write_frame fd mutex ("\x00" ^ P.Message.encode env)
+    | None -> ()
+  in
+  let multicast ~dsts env =
+    let payload = "\x00" ^ P.Message.encode env in
+    List.iter
+      (fun dst ->
+        match node.out.(dst) with
+        | Some (fd, mutex) -> write_frame fd mutex payload
+        | None -> ())
+      dsts
+  in
+  let set_timer ~delay thunk =
+    let entry =
+      {
+        deadline = Unix.gettimeofday () +. Simtime.to_sec delay;
+        thunk;
+        cancelled = false;
+      }
+    in
+    Mutex.lock node.timer_mutex;
+    node.timers := entry :: !(node.timers);
+    Condition.signal node.timer_cond;
+    Mutex.unlock node.timer_mutex;
+    { P.Context.cancel = (fun () -> entry.cancelled <- true) }
+  in
+  let deliver ~seq:_ (batch : P.Batch.t) =
+    node.delivered_batches <- node.delivered_batches + 1;
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.latency_mutex;
+    List.iter
+      (fun r ->
+        ignore (Sof_smr.State_machine.apply node.machine r.Request.op);
+        if not (Hashtbl.mem t.first_delivery r.Request.key) then
+          Hashtbl.replace t.first_delivery r.Request.key now)
+      batch.P.Batch.requests;
+    Mutex.unlock t.latency_mutex
+  in
+  {
+    P.Context.id = node.id;
+    now = (fun () -> Simtime.of_sec_float (Unix.gettimeofday () -. t.start_time));
+    sign;
+    verify;
+    digest_charge = (fun _ -> ());
+    send;
+    multicast;
+    set_timer;
+    deliver;
+    emit = (fun _ -> ());
+  }
+
+(* -------------------------------------------------------------- worker *)
+
+let worker_thread node =
+  let continue = ref true in
+  while !continue do
+    match dequeue node with
+    | Job_stop -> continue := false
+    | Job_timer thunk -> ( try thunk () with _ -> ())
+    | Job_request payload -> begin
+      match (node.proc, Request.decode payload) with
+      | Some (`Sc p), req -> P.Sc.on_request p req
+      | Some (`Scr p), req -> P.Scr.on_request p req
+      | None, _ -> ()
+      | exception Sof_util.Codec.Reader.Truncated -> ()
+    end
+    | Job_message (src, payload) -> begin
+      match (node.proc, P.Message.decode payload) with
+      | Some (`Sc p), env -> P.Sc.on_message p ~src env
+      | Some (`Scr p), env -> P.Scr.on_message p ~src env
+      | None, _ -> ()
+      | exception Sof_util.Codec.Reader.Truncated -> ()
+    end
+  done
+
+let reader_thread t node src fd =
+  let continue = ref true in
+  while !continue && not t.stopping do
+    match read_frame fd with
+    | None -> continue := false
+    | Some frame when String.length frame >= 1 ->
+      let body = String.sub frame 1 (String.length frame - 1) in
+      if frame.[0] = '\x00' then enqueue node (Job_message (src, body))
+      else enqueue node (Job_request body)
+    | Some _ -> ()
+  done
+
+let accept_thread t node listen_fd =
+  while not t.stopping do
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error _ -> Thread.delay 0.01
+    | conn, _ -> begin
+      match read_exactly conn 1 with
+      | Some hello ->
+        let src = Char.code (Bytes.get hello 0) in
+        t.threads <- Thread.create (fun () -> reader_thread t node src conn) () :: t.threads
+      | None -> ( try Unix.close conn with Unix.Unix_error _ -> ())
+    end
+  done
+
+(* --------------------------------------------------------------- start *)
+
+let connect_with_hello ~port ~hello =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let rec attempt tries =
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+      Thread.delay 0.05;
+      attempt (tries - 1)
+  in
+  attempt 100;
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  let b = Bytes.make 1 (Char.chr hello) in
+  ignore (Unix.write fd b 0 1);
+  fd
+
+let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 30)
+    ~kind ~f () =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  let variant = match kind with `Sc -> P.Config.SC | `Scr -> P.Config.SCR in
+  let config =
+    P.Config.make ~variant
+      ~batching_interval:(Simtime.ms batching_interval_ms)
+      ~pair_delay_estimate:(Simtime.ms 500) ~heartbeat_interval:(Simtime.ms 100)
+      ~f ()
+  in
+  let n = P.Config.process_count config in
+  let rng = Sof_util.Rng.create 2006L in
+  let keyring = Keyring.create ~scheme ~rng ~node_count:n () in
+  let nodes =
+    Array.init n (fun id ->
+        {
+          id;
+          queue = Queue.create ();
+          queue_mutex = Mutex.create ();
+          queue_cond = Condition.create ();
+          proc = None;
+          machine = Sof_smr.Kv_store.machine ();
+          delivered_batches = 0;
+          timers = ref [];
+          timer_mutex = Mutex.create ();
+          timer_cond = Condition.create ();
+          out = Array.make n None;
+        })
+  in
+  let t =
+    {
+      n;
+      base_port;
+      nodes;
+      keyring;
+      start_time = Unix.gettimeofday ();
+      stopping = false;
+      threads = [];
+      client_socks = [||];
+      latency_mutex = Mutex.create ();
+      inject_times = Hashtbl.create 256;
+      first_delivery = Hashtbl.create 256;
+    }
+  in
+  (* Listeners first. *)
+  let listeners =
+    Array.init n (fun i ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + i));
+        Unix.listen fd 32;
+        fd)
+  in
+  Array.iteri
+    (fun i listen_fd ->
+      t.threads <- Thread.create (fun () -> accept_thread t nodes.(i) listen_fd) () :: t.threads)
+    listeners;
+  (* Full mesh of outbound connections. *)
+  Array.iter
+    (fun node ->
+      for dst = 0 to n - 1 do
+        if dst <> node.id then begin
+          let fd = connect_with_hello ~port:(base_port + dst) ~hello:node.id in
+          node.out.(dst) <- Some (fd, Mutex.create ())
+        end
+      done)
+    nodes;
+  (* Protocol processes.  The trusted dealer hands out the pre-signed
+     fail-signals exactly as the simulator harness does. *)
+  let presig id =
+    match P.Config.counterpart config id with
+    | Some counterpart ->
+      Some
+        (Keyring.sign keyring ~signer:counterpart
+           (P.Message.encode_body (P.Message.Fail_signal
+              { pair = Option.get (P.Config.pair_rank_of config id) })))
+    | None -> None
+  in
+  Array.iter
+    (fun node ->
+      let ctx = make_context t node in
+      let proc =
+        match kind with
+        | `Sc ->
+          `Sc (P.Sc.create ~ctx ~config ?counterpart_fail_signal:(presig node.id) ())
+        | `Scr ->
+          `Scr (P.Scr.create ~ctx ~config ?counterpart_fail_signal:(presig node.id) ())
+      in
+      node.proc <- Some proc)
+    nodes;
+  (* Workers and timers, then start the protocols. *)
+  Array.iter
+    (fun node ->
+      t.threads <- Thread.create (fun () -> worker_thread node) () :: t.threads;
+      t.threads <- Thread.create (fun () -> timer_thread t node) () :: t.threads)
+    nodes;
+  Array.iter
+    (fun node ->
+      match node.proc with
+      | Some (`Sc p) -> P.Sc.start p
+      | Some (`Scr p) -> P.Scr.start p
+      | None -> ())
+    nodes;
+  (* Client connections. *)
+  t.client_socks <-
+    Array.init n (fun dst ->
+        (connect_with_hello ~port:(base_port + dst) ~hello:client_id, Mutex.create ()));
+  t
+
+let inject t req =
+  Mutex.lock t.latency_mutex;
+  if not (Hashtbl.mem t.inject_times req.Request.key) then
+    Hashtbl.replace t.inject_times req.Request.key (Unix.gettimeofday ());
+  Mutex.unlock t.latency_mutex;
+  let payload = "\x01" ^ Request.encode req in
+  Array.iter (fun (fd, mutex) -> write_frame fd mutex payload) t.client_socks
+
+let await_delivery t ~count ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    if Array.for_all (fun node -> node.delivered_batches >= count) t.nodes then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      poll ()
+    end
+  in
+  poll ()
+
+let stop t =
+  t.stopping <- true;
+  Array.iter (fun node -> enqueue node Job_stop) t.nodes;
+  Array.iter
+    (fun node ->
+      Array.iter
+        (function
+          | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ())
+        node.out)
+    t.nodes;
+  Array.iter
+    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.client_socks;
+  Thread.delay 0.05;
+  let latencies =
+    Hashtbl.fold
+      (fun key injected acc ->
+        match Hashtbl.find_opt t.first_delivery key with
+        | Some delivered_at -> ((delivered_at -. injected) *. 1000.0) :: acc
+        | None -> acc)
+      t.inject_times []
+  in
+  {
+    delivered = Array.to_list (Array.map (fun node -> (node.id, node.delivered_batches)) t.nodes);
+    state_digests =
+      Array.to_list
+        (Array.map
+           (fun node -> (node.id, Sof_smr.State_machine.state_digest node.machine))
+           t.nodes);
+    commit_latencies_ms = latencies;
+  }

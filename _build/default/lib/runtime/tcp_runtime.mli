@@ -1,0 +1,49 @@
+(** Real-network runtime: the protocols over localhost TCP.
+
+    The protocol modules are written against {!Sof_protocol.Context} and do
+    not know whether time is simulated.  This runtime supplies the
+    capabilities from the real world — loopback TCP sockets in a full mesh,
+    OS threads, wall-clock timers, and genuine signatures from a
+    {!Sof_crypto.Keyring} — turning the repository into the same kind of
+    LAN deployment the paper measured (one host here, 15 hosts there).
+
+    Threading model: per node, every peer connection has a reader thread
+    that enqueues frames; one worker thread drains the queue and runs the
+    protocol handlers, so each process's state is touched by exactly one
+    thread, like the simulator's single-server CPU.  Timers fire through the
+    same queue.
+
+    Intended for demos and end-to-end tests; the measured reproduction of
+    the paper's figures uses the calibrated simulator (see DESIGN.md). *)
+
+type t
+
+type stats = {
+  delivered : (int * int) list;  (** (process, delivered batch count). *)
+  state_digests : (int * string) list;
+      (** (process, KV state digest) — equal across caught-up replicas. *)
+  commit_latencies_ms : float list;
+      (** Client-observed request-to-first-delivery latencies. *)
+}
+
+val start :
+  ?base_port:int ->
+  ?scheme:Sof_crypto.Scheme.t ->
+  ?batching_interval_ms:int ->
+  kind:[ `Sc | `Scr ] ->
+  f:int ->
+  unit ->
+  t
+(** Spawn all order processes on 127.0.0.1 ports [base_port ..].  Signatures
+    are real (default scheme {!Sof_crypto.Scheme.mock} = HMAC).
+    @raise Unix.Unix_error when ports are unavailable. *)
+
+val inject : t -> Sof_smr.Request.t -> unit
+(** Broadcast a client request to every process over its TCP connection. *)
+
+val await_delivery : t -> count:int -> timeout_s:float -> bool
+(** Block until every process has delivered at least [count] batches, or
+    the timeout expires ([false]). *)
+
+val stop : t -> stats
+(** Shut down sockets and threads and return what happened. *)

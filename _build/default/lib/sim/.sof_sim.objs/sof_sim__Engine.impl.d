@@ -1,0 +1,1 @@
+lib/sim/engine.ml: List Simtime Sof_util

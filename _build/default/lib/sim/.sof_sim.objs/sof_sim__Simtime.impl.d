@@ -1,0 +1,1 @@
+lib/sim/simtime.ml: Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/sim/simtime.mli: Format

@@ -1,0 +1,33 @@
+type t = {
+  engine : Engine.t;
+  mutable busy_until : Simtime.t;
+  mutable total_busy : Simtime.t;
+  mutable jobs : int;
+}
+
+let create engine =
+  { engine; busy_until = Simtime.zero; total_busy = Simtime.zero; jobs = 0 }
+
+let submit t ~cost k =
+  let start = Simtime.max (Engine.now t.engine) t.busy_until in
+  let finish = Simtime.add start cost in
+  t.busy_until <- finish;
+  t.total_busy <- Simtime.add t.total_busy cost;
+  t.jobs <- t.jobs + 1;
+  ignore (Engine.schedule_at t.engine ~at:finish k)
+
+let extend t cost =
+  let start = Simtime.max (Engine.now t.engine) t.busy_until in
+  t.busy_until <- Simtime.add start cost;
+  t.total_busy <- Simtime.add t.total_busy cost
+
+let busy_until t = t.busy_until
+
+let queue_delay t =
+  let now = Engine.now t.engine in
+  if Simtime.compare t.busy_until now <= 0 then Simtime.zero
+  else Simtime.diff t.busy_until now
+
+let total_busy t = t.total_busy
+
+let jobs_executed t = t.jobs

@@ -1,0 +1,32 @@
+(** Single-server CPU queue attached to a node.
+
+    Every piece of work a simulated node does — verifying signatures,
+    hashing, handling a message — is submitted here with a cost; work items
+    execute one at a time in FIFO order.  This serialisation is what makes
+    the system saturate when the per-second crypto and handling work exceeds
+    one CPU's worth, reproducing the latency knee the paper observes at small
+    batching intervals (its testbed nodes were single-core Pentium IVs). *)
+
+type t
+
+val create : Engine.t -> t
+
+val submit : t -> cost:Simtime.t -> (unit -> unit) -> unit
+(** Enqueue work costing [cost]; the continuation runs when the work
+    completes (at [max(now, busy_until) + cost]). *)
+
+val extend : t -> Simtime.t -> unit
+(** Charge [cost] of CPU time with no continuation: work performed inline by
+    the currently running job (e.g. a signature verification inside a
+    message handler).  Everything submitted afterwards starts later. *)
+
+val busy_until : t -> Simtime.t
+(** Instant at which already-queued work completes. *)
+
+val queue_delay : t -> Simtime.t
+(** How long newly submitted work would wait before starting. *)
+
+val total_busy : t -> Simtime.t
+(** Cumulative CPU time consumed; [total_busy / elapsed] is utilisation. *)
+
+val jobs_executed : t -> int

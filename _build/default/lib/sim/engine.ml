@@ -1,0 +1,92 @@
+type handle = {
+  at : Simtime.t;
+  mutable cancelled : bool;
+  thunk : unit -> unit;
+}
+
+type t = {
+  queue : handle Sof_util.Heap.t;
+  mutable clock : Simtime.t;
+  root_rng : Sof_util.Rng.t;
+  mutable cancelled_count : int;
+  mutable fired : int;
+}
+
+let create ?(seed = 1L) () =
+  {
+    queue = Sof_util.Heap.create ~cmp:(fun a b -> Simtime.compare a.at b.at);
+    clock = Simtime.zero;
+    root_rng = Sof_util.Rng.create seed;
+    cancelled_count = 0;
+    fired = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let fork_rng t = Sof_util.Rng.split t.root_rng
+
+let schedule_at t ~at thunk =
+  if Simtime.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule_at: instant in the past";
+  let h = { at; cancelled = false; thunk } in
+  Sof_util.Heap.push t.queue h;
+  h
+
+let schedule t ~delay thunk = schedule_at t ~at:(Simtime.add t.clock delay) thunk
+
+let cancel h =
+  h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let pending t =
+  (* Cancelled events stay in the heap until popped; count live ones. *)
+  List.length (List.filter (fun h -> not h.cancelled) (Sof_util.Heap.to_list t.queue))
+
+let rec step t =
+  match Sof_util.Heap.pop t.queue with
+  | None -> false
+  | Some h when h.cancelled -> step t
+  | Some h ->
+    t.clock <- h.at;
+    t.fired <- t.fired + 1;
+    h.thunk ();
+    true
+
+let run ?until ?max_events t =
+  let fired_at_start = t.fired in
+  let budget_ok () =
+    match max_events with
+    | None -> true
+    | Some m -> t.fired - fired_at_start < m
+  in
+  let horizon_ok () =
+    match until with
+    | None -> true
+    | Some u -> begin
+      (* Peek past cancelled events without firing anything late. *)
+      let rec live_head () =
+        match Sof_util.Heap.peek t.queue with
+        | Some h when h.cancelled ->
+          ignore (Sof_util.Heap.pop t.queue);
+          live_head ()
+        | other -> other
+      in
+      match live_head () with
+      | None -> false
+      | Some h -> Simtime.compare h.at u <= 0
+    end
+  in
+  let continue = ref true in
+  while !continue && budget_ok () && horizon_ok () do
+    continue := step t
+  done;
+  (* When stopped by the horizon, advance the clock to it so that subsequent
+     scheduling is relative to the requested instant. *)
+  match until with
+  | Some u when Simtime.compare t.clock u < 0 -> t.clock <- u
+  | Some _ | None -> ()
+
+let events_fired t = t.fired

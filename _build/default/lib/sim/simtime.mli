@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    Virtual time is an integer count of nanoseconds since simulation start.
+    Integers (not floats) keep event ordering exact and runs reproducible;
+    63-bit nanoseconds cover ~146 simulated years. *)
+
+type t = private int
+(** Nanoseconds.  The [private] exposure lets callers compare with [<], [=]
+    etc. while forcing construction through the smart constructors below. *)
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val of_ms_float : float -> t
+(** Rounded to the nearest nanosecond. *)
+
+val of_sec_float : float -> t
+
+val to_ns : t -> int
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b].  @raise Invalid_argument when negative. *)
+
+val scale : t -> float -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+val ( + ) : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable with an adaptive unit, e.g. [13.20ms]. *)

@@ -1,0 +1,1 @@
+lib/smr/counter.ml: Sof_util State_machine

@@ -1,0 +1,1 @@
+lib/smr/counter.mli: State_machine

@@ -1,0 +1,1 @@
+lib/smr/kv_store.ml: Format Map Sof_crypto Sof_util State_machine String

@@ -1,0 +1,1 @@
+lib/smr/kv_store.mli: Format State_machine

@@ -1,0 +1,1 @@
+lib/smr/lock_service.ml: List Map Option Sof_crypto Sof_util State_machine String

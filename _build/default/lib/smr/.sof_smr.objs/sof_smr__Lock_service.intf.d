@@ -1,0 +1,1 @@
+lib/smr/lock_service.mli: State_machine

@@ -1,0 +1,1 @@
+lib/smr/request.ml: Format Map Set Sof_crypto Sof_util Stdlib String

@@ -1,0 +1,1 @@
+lib/smr/request.mli: Format Map Set Sof_crypto

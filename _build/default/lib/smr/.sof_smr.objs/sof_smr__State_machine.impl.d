@@ -1,0 +1,1 @@
+lib/smr/state_machine.ml:

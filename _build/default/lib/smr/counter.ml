@@ -1,0 +1,46 @@
+module Codec = Sof_util.Codec
+
+type op = Increment of int | Read
+
+type reply = Count of int
+
+let encode_op op =
+  let w = Codec.Writer.create () in
+  (match op with
+  | Increment n ->
+    Codec.Writer.u8 w 0;
+    Codec.Writer.varint w n
+  | Read -> Codec.Writer.u8 w 1);
+  Codec.Writer.contents w
+
+let decode_op s =
+  let r = Codec.Reader.of_string s in
+  let op =
+    match Codec.Reader.u8 r with
+    | 0 -> Increment (Codec.Reader.varint r)
+    | 1 -> Read
+    | _ -> raise Codec.Reader.Truncated
+  in
+  Codec.Reader.expect_end r;
+  op
+
+let encode_reply (Count n) =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w n;
+  Codec.Writer.contents w
+
+let decode_reply s =
+  let r = Codec.Reader.of_string s in
+  let n = Codec.Reader.varint r in
+  Codec.Reader.expect_end r;
+  Count n
+
+let apply count op_bytes =
+  match decode_op op_bytes with
+  | exception Codec.Reader.Truncated -> (count, encode_reply (Count count))
+  | Increment n -> (count + n, encode_reply (Count (count + n)))
+  | Read -> (count, encode_reply (Count count))
+
+let digest count = string_of_int count
+
+let machine () = State_machine.create ~name:"counter" ~init:0 ~apply ~digest

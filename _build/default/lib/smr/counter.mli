@@ -1,0 +1,17 @@
+(** A trivial replicated counter service, used by the quickstart example and
+    by tests that only need to observe apply order. *)
+
+type op = Increment of int | Read
+
+type reply = Count of int
+
+val encode_op : op -> string
+val decode_op : string -> op
+(** @raise Sof_util.Codec.Reader.Truncated on malformed input. *)
+
+val encode_reply : reply -> string
+val decode_reply : string -> reply
+
+val machine : unit -> State_machine.t
+(** Fresh counter at zero; malformed ops are deterministic no-ops replying
+    with the current count. *)

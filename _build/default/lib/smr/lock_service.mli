@@ -1,0 +1,33 @@
+(** A replicated lock service.
+
+    Mutual exclusion is the textbook client of total order: all replicas see
+    acquire/release requests in the same sequence, so they agree on every
+    lock's holder without any further coordination.  Acquisition is
+    first-come-first-served with a bounded wait queue. *)
+
+type op =
+  | Acquire of { lock : string; owner : string }
+      (** Grant if free, else join the lock's FIFO wait queue. *)
+  | Release of { lock : string; owner : string }
+      (** Only the holder can release; the next waiter (if any) is granted
+          immediately. *)
+  | Query of { lock : string }
+
+type reply =
+  | Granted
+  | Queued of int  (** Position in the wait queue (1 = next). *)
+  | Released
+  | Not_holder  (** Release refused: caller does not hold the lock. *)
+  | Holder of string option  (** Query result. *)
+  | Bad_request  (** Malformed operation bytes. *)
+
+val encode_op : op -> string
+val decode_op : string -> op
+(** @raise Sof_util.Codec.Reader.Truncated on malformed input. *)
+
+val encode_reply : reply -> string
+val decode_reply : string -> reply
+
+val machine : unit -> State_machine.t
+(** Fresh service with no locks held.  Malformed operations yield
+    [Bad_request] deterministically. *)

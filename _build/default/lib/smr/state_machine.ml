@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  mutable apply_op : string -> string;
+  mutable digest_now : unit -> string;
+  mutable ops : int;
+}
+
+let create ~name ~init ~apply ~digest =
+  let state = ref init in
+  let t =
+    {
+      name;
+      apply_op = (fun _ -> "");
+      digest_now = (fun () -> "");
+      ops = 0;
+    }
+  in
+  t.apply_op <-
+    (fun op ->
+      let state', reply = apply !state op in
+      state := state';
+      reply);
+  t.digest_now <- (fun () -> digest !state);
+  t
+
+let name t = t.name
+
+let apply t op =
+  t.ops <- t.ops + 1;
+  t.apply_op op
+
+let state_digest t = t.digest_now ()
+
+let ops_applied t = t.ops

@@ -1,0 +1,24 @@
+(** Deterministic state machines.
+
+    The replicated service is "constructed as a deterministic state machine"
+    (paper, Section 2).  A machine consumes operation bytes and produces
+    reply bytes; determinism — equal op sequences give equal reply sequences
+    and equal state digests — is what total order buys. *)
+
+type t
+
+val create :
+  name:string -> init:'s -> apply:('s -> string -> 's * string) -> digest:('s -> string) -> t
+(** Wrap a pure transition function.  The state is hidden; [digest] lets
+    tests compare replica states for equality. *)
+
+val name : t -> string
+
+val apply : t -> string -> string
+(** Apply one operation, returning its reply. *)
+
+val state_digest : t -> string
+(** Fingerprint of the current state; equal across replicas that applied the
+    same op sequence. *)
+
+val ops_applied : t -> int

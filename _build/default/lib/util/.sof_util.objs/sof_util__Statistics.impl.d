@@ -1,0 +1,1 @@
+lib/util/statistics.ml: Array Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/util/statistics.mli: Format

@@ -1,0 +1,117 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let u8 t v =
+    if v < 0 || v > 0xff then invalid_arg "Codec.Writer.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xffff then invalid_arg "Codec.Writer.u16: out of range";
+    Buffer.add_char t (Char.chr (v land 0xff));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xff))
+
+  let u32 t v =
+    if v < 0 || v > 0xffffffff then invalid_arg "Codec.Writer.u32: out of range";
+    Buffer.add_char t (Char.chr (v land 0xff));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char t (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char t (Char.chr ((v lsr 24) land 0xff))
+
+  let varint t v =
+    if v < 0 then invalid_arg "Codec.Writer.varint: negative";
+    let rec emit v =
+      if v < 0x80 then Buffer.add_char t (Char.chr v)
+      else begin
+        Buffer.add_char t (Char.chr (0x80 lor (v land 0x7f)));
+        emit (v lsr 7)
+      end
+    in
+    emit v
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let raw t s = Buffer.add_string t s
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> bool t false
+    | Some x ->
+      bool t true;
+      f t x
+
+  let contents t = Buffer.contents t
+  let length t = Buffer.length t
+end
+
+module Reader = struct
+  type t = { buf : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string buf = { buf; pos = 0 }
+
+  let need t n = if t.pos + n > String.length t.buf then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.buf.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let a = u8 t in
+    let b = u8 t in
+    let c = u8 t in
+    let d = u8 t in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let varint t =
+    let rec take shift acc =
+      if shift > 56 then raise Truncated;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then take (shift + 7) acc else acc
+    in
+    take 0 0
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise Truncated
+
+  let raw t n =
+    need t n;
+    let s = String.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let string t =
+    let n = varint t in
+    raw t n
+
+  let list t f =
+    let n = varint t in
+    let rec take i acc = if i = 0 then List.rev acc else take (i - 1) (f t :: acc) in
+    take n []
+
+  let option t f = if bool t then Some (f t) else None
+
+  let remaining t = String.length t.buf - t.pos
+  let at_end t = remaining t = 0
+  let expect_end t = if not (at_end t) then raise Truncated
+end

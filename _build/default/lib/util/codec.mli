@@ -1,0 +1,71 @@
+(** Binary serialisation.
+
+    Protocol messages are serialised with this codec before being signed, so
+    signatures cover a well-defined byte string and message sizes charged to
+    the simulated network are the real encoded sizes.  The format is a simple
+    length-prefixed tagged encoding; it is not self-describing — reader and
+    writer must agree on the layout, which the protocol message module
+    guarantees by construction.
+
+    All integers are written in little-endian fixed-width or LEB128 varint
+    form; strings are varint-length-prefixed. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val u8 : t -> int -> unit
+  (** @raise Invalid_argument when outside [0, 255]. *)
+
+  val u16 : t -> int -> unit
+  (** @raise Invalid_argument when outside [0, 65535]. *)
+
+  val u32 : t -> int -> unit
+  (** @raise Invalid_argument when outside [0, 2^32-1]. *)
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128.  @raise Invalid_argument when negative. *)
+
+  val bool : t -> bool -> unit
+
+  val string : t -> string -> unit
+  (** Varint length prefix followed by the raw bytes. *)
+
+  val raw : t -> string -> unit
+  (** Raw bytes with no length prefix. *)
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Varint count followed by each element. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val contents : t -> string
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised when reading past the end of the buffer or on a malformed
+      varint. *)
+
+  val of_string : string -> t
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val varint : t -> int
+  val bool : t -> bool
+  val string : t -> string
+  val raw : t -> int -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+
+  val remaining : t -> int
+  val at_end : t -> bool
+
+  val expect_end : t -> unit
+  (** @raise Truncated if bytes remain. *)
+end

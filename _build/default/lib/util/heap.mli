@@ -1,0 +1,31 @@
+(** Imperative binary min-heap.
+
+    Backbone of the discrete-event engine's pending-event queue.  Ordering is
+    by a caller-supplied comparison; ties are broken by insertion order so
+    that simulation runs are deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (smallest element popped first).  Elements
+    comparing equal under [cmp] are popped in insertion order. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in pop order; the heap is not modified.  O(n log n). *)

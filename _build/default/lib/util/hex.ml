@@ -1,0 +1,31 @@
+let hex_digits = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) hex_digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: non-hex character"
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set out i (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  Bytes.unsafe_to_string out
+
+let pp fmt s =
+  if String.length s <= 6 then Format.pp_print_string fmt (encode s)
+  else Format.fprintf fmt "%s.." (encode (String.sub s 0 6))

@@ -1,0 +1,13 @@
+(** Hexadecimal encoding of byte strings, used for digests, signatures and
+    trace output. *)
+
+val encode : string -> string
+(** Lower-case hex of every byte; output length is twice the input length. *)
+
+val decode : string -> string
+(** Inverse of {!encode}.  Accepts upper or lower case.
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val pp : Format.formatter -> string -> unit
+(** Prints [encode s], abbreviated to the first 12 hex digits followed by
+    [..] when the input is longer than 6 bytes. *)

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Gen List Printf QCheck QCheck_alcotest Sof_crypto Sof_util String

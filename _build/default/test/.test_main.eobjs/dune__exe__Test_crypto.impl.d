@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Digest_alg Hmac List Md5 QCheck QCheck_alcotest Sha1 Sha256 Sof_crypto Sof_util String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Format List Sof_crypto Sof_harness Sof_protocol Sof_sim Sof_smr Sof_util

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Sof_net Sof_sim Sof_util String

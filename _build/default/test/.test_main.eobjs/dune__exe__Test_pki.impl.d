@@ -1,0 +1,1 @@
+test/test_pki.ml: Alcotest Bytes Char Digest_alg Dsa Keyring Lazy List QCheck QCheck_alcotest Rsa Scheme Sof_crypto Sof_util String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Sof_harness Sof_protocol Sof_sim Sof_smr

@@ -1,0 +1,1 @@
+test/test_protocol_units.ml: Alcotest List QCheck QCheck_alcotest Sof_crypto Sof_protocol Sof_sim Sof_smr Sof_util String

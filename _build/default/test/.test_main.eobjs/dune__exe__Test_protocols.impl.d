@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Fun List Option Sof_crypto Sof_harness Sof_net Sof_protocol Sof_sim Sof_smr Sof_util

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Char Sof_harness Sof_protocol Sof_sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen List QCheck QCheck_alcotest Sof_sim Sof_util

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Gen List QCheck QCheck_alcotest Sof_crypto Sof_smr String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Codec Gen Heap Hex List QCheck QCheck_alcotest Rng Sof_util Statistics

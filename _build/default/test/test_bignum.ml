@@ -1,0 +1,308 @@
+open Sof_crypto
+module B = Bignum
+
+let rng () = Sof_util.Rng.create 2024L
+
+let check_hex msg expect v = Alcotest.(check string) msg expect (B.to_hex v)
+
+(* --------------------------------------------------------- conversions *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      match B.to_int (B.of_int n) with
+      | Some m -> Alcotest.(check int) "roundtrip" n m
+      | None -> Alcotest.failf "of_int %d did not roundtrip" n)
+    [ 0; 1; 2; 255; 256; 1 lsl 26; (1 lsl 26) - 1; 123456789; max_int ]
+
+let test_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Bignum.of_int: negative")
+    (fun () -> ignore (B.of_int (-1)))
+
+let test_hex_roundtrip () =
+  check_hex "zero" "0" B.zero;
+  check_hex "one" "1" B.one;
+  check_hex "255" "ff" (B.of_int 255);
+  check_hex "deadbeef" "deadbeef" (B.of_hex "deadbeef");
+  check_hex "case" "deadbeef" (B.of_hex "DEADBEEF");
+  check_hex "odd nibbles" "f00" (B.of_hex "f00")
+
+let test_bytes_roundtrip () =
+  let v = B.of_hex "0102030405060708090a" in
+  Alcotest.(check string) "minimal" "\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a"
+    (B.to_bytes_be v);
+  Alcotest.(check string) "padded"
+    ("\x00\x00" ^ "\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a")
+    (B.to_bytes_be ~length:12 v);
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Bignum.to_bytes_be: value too large") (fun () ->
+      ignore (B.to_bytes_be ~length:2 v));
+  Alcotest.(check bool) "of_bytes inverse" true
+    (B.equal v (B.of_bytes_be (B.to_bytes_be v)))
+
+let test_bit_length () =
+  Alcotest.(check int) "zero" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "one" 1 (B.bit_length B.one);
+  Alcotest.(check int) "255" 8 (B.bit_length (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.bit_length (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.bit_length (B.shift_left B.one 100))
+
+(* --------------------------------------------------------- arithmetic *)
+
+let test_add_sub_small () =
+  let a = B.of_int 123456789 and b = B.of_int 987654321 in
+  Alcotest.(check (option int)) "add" (Some 1111111110) (B.to_int (B.add a b));
+  Alcotest.(check (option int)) "sub" (Some 864197532) (B.to_int (B.sub b a))
+
+let test_sub_negative_raises () =
+  Alcotest.check_raises "negative" B.Negative_result (fun () ->
+      ignore (B.sub B.one B.two))
+
+let test_mul_large () =
+  (* (2^100 + 1)^2 = 2^200 + 2^101 + 1 *)
+  let v = B.add (B.shift_left B.one 100) B.one in
+  let sq = B.mul v v in
+  let expect = B.add (B.add (B.shift_left B.one 200) (B.shift_left B.one 101)) B.one in
+  Alcotest.(check bool) "square" true (B.equal sq expect)
+
+let test_divmod_known () =
+  let u = B.of_hex "deadbeefcafebabe0123456789abcdef" in
+  let v = B.of_hex "fedcba987654321" in
+  let q, r = B.divmod u v in
+  Alcotest.(check bool) "recompose" true (B.equal u (B.add (B.mul q v) r));
+  Alcotest.(check bool) "r < v" true (B.compare r v < 0)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_shift_inverse () =
+  let v = B.of_hex "123456789abcdef0123456789" in
+  for k = 0 to 60 do
+    let back = B.shift_right (B.shift_left v k) k in
+    if not (B.equal v back) then Alcotest.failf "shift roundtrip failed at %d" k
+  done
+
+let test_shift_right_underflow () =
+  Alcotest.(check bool) "to zero" true
+    (B.is_zero (B.shift_right (B.of_int 5) 10))
+
+(* ------------------------------------------------------------- modular *)
+
+let test_mod_pow_small () =
+  let check b e m expect =
+    Alcotest.(check (option int))
+      (Printf.sprintf "%d^%d mod %d" b e m)
+      (Some expect)
+      (B.to_int (B.mod_pow ~base:(B.of_int b) ~exp:(B.of_int e) ~modulus:(B.of_int m)))
+  in
+  check 2 10 1000 24;
+  check 3 0 7 1;
+  check 0 5 7 0;
+  check 7 13 11 2;
+  (* 7^13 = 96889010407; mod 11 = 2 *)
+  check 5 117 19 1
+
+(* 5^117 mod 19: 5^18=1 mod 19 (Fermat), 117 = 6*18+9, 5^9 mod 19 = 1 *)
+
+let test_mod_pow_fermat () =
+  (* Fermat's little theorem for a 64-bit-scale prime modulus. *)
+  let p = B.of_int 1_000_000_007 in
+  let a = B.of_int 123_456_789 in
+  let r = B.mod_pow ~base:a ~exp:(B.sub p B.one) ~modulus:p in
+  Alcotest.(check bool) "a^(p-1)=1" true (B.equal r B.one)
+
+let test_mod_inverse () =
+  let m = B.of_int 1_000_000_007 in
+  let a = B.of_int 42 in
+  (match B.mod_inverse a m with
+  | None -> Alcotest.fail "inverse must exist"
+  | Some x ->
+    Alcotest.(check bool) "a*x=1 mod m" true
+      (B.equal (B.rem (B.mul a x) m) B.one));
+  (* No inverse when gcd > 1. *)
+  Alcotest.(check bool) "no inverse" true (B.mod_inverse (B.of_int 6) (B.of_int 9) = None)
+
+let test_gcd () =
+  let g = B.gcd (B.of_int 48) (B.of_int 36) in
+  Alcotest.(check (option int)) "gcd" (Some 12) (B.to_int g)
+
+(* -------------------------------------------------------- randomness *)
+
+let test_random_below_bounds () =
+  let r = rng () in
+  let n = B.of_hex "ffffffffffffffffffffff" in
+  for _ = 1 to 200 do
+    let v = B.random_below r n in
+    if B.compare v n >= 0 then Alcotest.fail "random_below out of range"
+  done
+
+let test_random_bits_width () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let v = B.random_bits r 100 in
+    if B.bit_length v > 100 then Alcotest.fail "random_bits too wide"
+  done
+
+let test_primality_known () =
+  let r = rng () in
+  let prime_hexes =
+    (* 2^127 - 1 (Mersenne), 1000000007, and a 256-bit prime
+       (2^256 - 189). *)
+    [
+      "7fffffffffffffffffffffffffffffff";
+      "3b9aca07";
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43";
+    ]
+  in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) ("prime " ^ h) true
+        (B.is_probable_prime r (B.of_hex h)))
+    prime_hexes;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) name false (B.is_probable_prime r v))
+    [
+      ("even", B.of_int 1_000_000);
+      ("square", B.mul (B.of_hex "3b9aca07") (B.of_hex "3b9aca07"));
+      ("one", B.one);
+      ("zero", B.zero);
+      ("carmichael 561", B.of_int 561);
+      ("carmichael 41041", B.of_int 41041);
+    ]
+
+let test_generate_prime () =
+  let r = rng () in
+  let p = B.generate_prime r ~bits:64 in
+  Alcotest.(check int) "exact width" 64 (B.bit_length p);
+  Alcotest.(check bool) "odd" false (B.is_even p);
+  Alcotest.(check bool) "probably prime" true (B.is_probable_prime r p)
+
+(* ---------------------------------------------------------- properties *)
+
+let gen_pair_small = QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches int" ~count:500 gen_pair_small
+    (fun (a, b) -> B.to_int (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches int" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"divmod matches int" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 100_000))
+    (fun (a, b) ->
+      QCheck.assume (b > 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int q = Some (a / b) && B.to_int r = Some (a mod b))
+
+(* A generator of large bignums via hex strings. *)
+let gen_big =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun digits ->
+        let s = String.concat "" (List.map (Printf.sprintf "%x") digits) in
+        B.of_hex (if s = "" then "0" else s))
+      Gen.(list_size (1 -- 40) (int_bound 15))
+  in
+  make ~print:B.to_hex gen
+
+let prop_divmod_recompose_big =
+  QCheck.Test.make ~name:"divmod recomposition on wide values" ~count:300
+    QCheck.(pair gen_big gen_big)
+    (fun (u, v) ->
+      QCheck.assume (not (B.is_zero v));
+      let q, r = B.divmod u v in
+      B.equal u (B.add (B.mul q v) r) && B.compare r v < 0)
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"sub undoes add" ~count:300
+    QCheck.(pair gen_big gen_big)
+    (fun (a, b) -> B.equal a (B.sub (B.add a b) b))
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"mul commutative" ~count:200
+    QCheck.(pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.mul a b) (B.mul b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:200
+    QCheck.(triple gen_big gen_big gen_big)
+    (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_hex_roundtrip_big =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:300 gen_big (fun v ->
+      B.equal v (B.of_hex (B.to_hex v)))
+
+let prop_mod_inverse_valid =
+  QCheck.Test.make ~name:"mod_inverse correct when defined" ~count:200
+    QCheck.(pair gen_big gen_big)
+    (fun (a, m) ->
+      QCheck.assume (B.compare m B.two > 0);
+      match B.mod_inverse a m with
+      | None -> not (B.equal (B.gcd (B.rem a m) m) B.one) || B.is_zero (B.rem a m)
+      | Some x -> B.equal (B.rem (B.mul (B.rem a m) x) m) B.one)
+
+let prop_mod_pow_matches_naive =
+  QCheck.Test.make ~name:"mod_pow matches naive repeated mult" ~count:100
+    QCheck.(triple (int_bound 1000) (int_bound 40) (int_range 2 10_000))
+    (fun (b, e, m) ->
+      let naive = ref 1 in
+      for _ = 1 to e do
+        naive := !naive * b mod m
+      done;
+      B.to_int
+        (B.mod_pow ~base:(B.of_int b) ~exp:(B.of_int e) ~modulus:(B.of_int m))
+      = Some !naive)
+
+let suite =
+  [
+    ( "bignum.conversion",
+      [
+        Alcotest.test_case "of/to int" `Quick test_of_to_int;
+        Alcotest.test_case "of_int negative" `Quick test_of_int_negative;
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+        Alcotest.test_case "bit_length" `Quick test_bit_length;
+      ] );
+    ( "bignum.arithmetic",
+      [
+        Alcotest.test_case "add/sub small" `Quick test_add_sub_small;
+        Alcotest.test_case "sub negative raises" `Quick test_sub_negative_raises;
+        Alcotest.test_case "mul large" `Quick test_mul_large;
+        Alcotest.test_case "divmod known" `Quick test_divmod_known;
+        Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+        Alcotest.test_case "shift inverse" `Quick test_shift_inverse;
+        Alcotest.test_case "shift right underflow" `Quick test_shift_right_underflow;
+        QCheck_alcotest.to_alcotest prop_add_matches_int;
+        QCheck_alcotest.to_alcotest prop_mul_matches_int;
+        QCheck_alcotest.to_alcotest prop_divmod_matches_int;
+        QCheck_alcotest.to_alcotest prop_divmod_recompose_big;
+        QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+        QCheck_alcotest.to_alcotest prop_mul_commutative;
+        QCheck_alcotest.to_alcotest prop_mul_distributes;
+        QCheck_alcotest.to_alcotest prop_hex_roundtrip_big;
+      ] );
+    ( "bignum.modular",
+      [
+        Alcotest.test_case "mod_pow small" `Quick test_mod_pow_small;
+        Alcotest.test_case "mod_pow fermat" `Quick test_mod_pow_fermat;
+        Alcotest.test_case "mod_inverse" `Quick test_mod_inverse;
+        Alcotest.test_case "gcd" `Quick test_gcd;
+        QCheck_alcotest.to_alcotest prop_mod_inverse_valid;
+        QCheck_alcotest.to_alcotest prop_mod_pow_matches_naive;
+      ] );
+    ( "bignum.primality",
+      [
+        Alcotest.test_case "random_below bounds" `Quick test_random_below_bounds;
+        Alcotest.test_case "random_bits width" `Quick test_random_bits_width;
+        Alcotest.test_case "known primes/composites" `Quick test_primality_known;
+        Alcotest.test_case "generate_prime" `Slow test_generate_prime;
+      ] );
+  ]

@@ -1,0 +1,178 @@
+open Sof_crypto
+
+let check_s = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ MD5 *)
+(* Vectors from RFC 1321, appendix A.5. *)
+
+let md5_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let test_md5_vectors () =
+  List.iter (fun (msg, expect) -> check_s msg expect (Md5.hex msg)) md5_vectors
+
+let test_md5_streaming () =
+  (* Feeding byte-by-byte must equal one-shot hashing, across block
+     boundaries. *)
+  let msg = String.init 200 (fun i -> Char.chr (i land 0xff)) in
+  let ctx = Md5.init () in
+  String.iter (fun c -> Md5.feed ctx (String.make 1 c)) msg;
+  check_s "streaming" (Md5.digest msg) (Md5.finalize ctx)
+
+(* ----------------------------------------------------------------- SHA1 *)
+(* Vectors from FIPS 180-1 / RFC 3174. *)
+
+let test_sha1_vectors () =
+  check_s "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Sha1.hex "");
+  check_s "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.hex "abc");
+  check_s "two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha1_million_a () =
+  check_s "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_sha1_streaming () =
+  let msg = String.init 300 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let ctx = Sha1.init () in
+  Sha1.feed ctx (String.sub msg 0 63);
+  Sha1.feed ctx (String.sub msg 63 65);
+  Sha1.feed ctx (String.sub msg 128 172);
+  check_s "streaming" (Sha1.digest msg) (Sha1.finalize ctx)
+
+(* --------------------------------------------------------------- SHA256 *)
+(* Vectors from FIPS 180-2. *)
+
+let test_sha256_vectors () =
+  check_s "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  check_s "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  check_s "two-block"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_streaming () =
+  let msg = String.init 1000 (fun i -> Char.chr ((i * 31) land 0xff)) in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx (String.sub msg 0 1);
+  Sha256.feed ctx (String.sub msg 1 999);
+  check_s "streaming" (Sha256.digest msg) (Sha256.finalize ctx)
+
+(* ----------------------------------------------------------- Digest_alg *)
+
+let test_digest_alg_dispatch () =
+  check_s "md5 via alg" (Md5.digest "x") (Digest_alg.digest Digest_alg.MD5 "x");
+  check_s "sha1 via alg" (Sha1.digest "x") (Digest_alg.digest Digest_alg.SHA1 "x");
+  Alcotest.(check int) "md5 size" 16 (Digest_alg.size Digest_alg.MD5);
+  Alcotest.(check int) "sha1 size" 20 (Digest_alg.size Digest_alg.SHA1);
+  Alcotest.(check int) "sha256 size" 32 (Digest_alg.size Digest_alg.SHA256)
+
+let test_digest_alg_names () =
+  List.iter
+    (fun alg ->
+      Alcotest.(check bool)
+        "name roundtrip" true
+        (Digest_alg.equal alg (Digest_alg.of_name (Digest_alg.name alg))))
+    [ Digest_alg.MD5; Digest_alg.SHA1; Digest_alg.SHA256 ];
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Digest_alg.of_name: unknown algorithm blake3") (fun () ->
+      ignore (Digest_alg.of_name "blake3"))
+
+(* ----------------------------------------------------------------- HMAC *)
+(* HMAC-MD5 vectors from RFC 2104; HMAC-SHA256 from RFC 4231. *)
+
+let test_hmac_md5_rfc2104 () =
+  check_s "case 1" "9294727a3638bb1c13f48ef8158bfc9d"
+    (Sof_util.Hex.encode
+       (Hmac.mac ~alg:Digest_alg.MD5 ~key:(String.make 16 '\x0b') "Hi There"));
+  check_s "case 2" "750c783e6ab0b503eaa86e310a5db738"
+    (Sof_util.Hex.encode
+       (Hmac.mac ~alg:Digest_alg.MD5 ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_sha256_rfc4231 () =
+  check_s "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sof_util.Hex.encode
+       (Hmac.mac ~alg:Digest_alg.SHA256 ~key:(String.make 20 '\x0b') "Hi There"))
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are hashed first; just check
+     verification is self-consistent. *)
+  let key = String.make 200 'k' in
+  let tag = Hmac.mac ~alg:Digest_alg.SHA256 ~key "msg" in
+  Alcotest.(check bool) "verify ok" true
+    (Hmac.verify ~alg:Digest_alg.SHA256 ~key ~msg:"msg" ~tag);
+  Alcotest.(check bool) "verify rejects" false
+    (Hmac.verify ~alg:Digest_alg.SHA256 ~key ~msg:"msg2" ~tag)
+
+let test_hmac_tag_tamper () =
+  let key = "secret" in
+  let tag = Hmac.mac ~alg:Digest_alg.SHA1 ~key "payload" in
+  let bad = Bytes.of_string tag in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+  Alcotest.(check bool) "tampered tag rejected" false
+    (Hmac.verify ~alg:Digest_alg.SHA1 ~key ~msg:"payload"
+       ~tag:(Bytes.to_string bad))
+
+let prop_digest_deterministic =
+  QCheck.Test.make ~name:"digests are deterministic and sized" ~count:100
+    QCheck.string (fun s ->
+      Md5.digest s = Md5.digest s
+      && String.length (Md5.digest s) = 16
+      && String.length (Sha1.digest s) = 20
+      && String.length (Sha256.digest s) = 32)
+
+let prop_hmac_roundtrip =
+  QCheck.Test.make ~name:"hmac verify accepts own mac" ~count:100
+    QCheck.(pair string string)
+    (fun (key, msg) ->
+      let tag = Hmac.mac ~alg:Digest_alg.SHA256 ~key msg in
+      Hmac.verify ~alg:Digest_alg.SHA256 ~key ~msg ~tag)
+
+let suite =
+  [
+    ( "crypto.md5",
+      [
+        Alcotest.test_case "rfc1321 vectors" `Quick test_md5_vectors;
+        Alcotest.test_case "streaming" `Quick test_md5_streaming;
+      ] );
+    ( "crypto.sha1",
+      [
+        Alcotest.test_case "fips vectors" `Quick test_sha1_vectors;
+        Alcotest.test_case "million a" `Slow test_sha1_million_a;
+        Alcotest.test_case "streaming" `Quick test_sha1_streaming;
+      ] );
+    ( "crypto.sha256",
+      [
+        Alcotest.test_case "fips vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "streaming" `Quick test_sha256_streaming;
+      ] );
+    ( "crypto.digest_alg",
+      [
+        Alcotest.test_case "dispatch" `Quick test_digest_alg_dispatch;
+        Alcotest.test_case "names" `Quick test_digest_alg_names;
+      ] );
+    ( "crypto.hmac",
+      [
+        Alcotest.test_case "rfc2104 md5" `Quick test_hmac_md5_rfc2104;
+        Alcotest.test_case "rfc4231 sha256" `Quick test_hmac_sha256_rfc4231;
+        Alcotest.test_case "long key" `Quick test_hmac_long_key;
+        Alcotest.test_case "tag tamper" `Quick test_hmac_tag_tamper;
+        QCheck_alcotest.to_alcotest prop_digest_deterministic;
+        QCheck_alcotest.to_alcotest prop_hmac_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+module Simtime = Sof_sim.Simtime
+module Engine = Sof_sim.Engine
+module Delay_model = Sof_net.Delay_model
+module Network = Sof_net.Network
+
+let make_net ?(nodes = 4) ?(delay = Delay_model.Constant (Simtime.ms 1)) () =
+  let engine = Engine.create () in
+  let rng = Engine.fork_rng engine in
+  let net = Network.create ~engine ~rng ~node_count:nodes ~default_delay:delay in
+  (engine, net)
+
+(* ---------------------------------------------------------- Delay_model *)
+
+let test_delay_constant () =
+  let rng = Sof_util.Rng.create 1L in
+  let d = Delay_model.sample (Delay_model.Constant (Simtime.ms 2)) rng ~size:100 in
+  Alcotest.(check int) "constant" 2_000_000 (Simtime.to_ns d)
+
+let test_delay_uniform_bounds () =
+  let rng = Sof_util.Rng.create 1L in
+  let model = Delay_model.Uniform { lo = Simtime.ms 1; hi = Simtime.ms 2 } in
+  for _ = 1 to 1000 do
+    let d = Simtime.to_ns (Delay_model.sample model rng ~size:0) in
+    if d < 1_000_000 || d > 2_000_000 then Alcotest.failf "out of range %d" d
+  done
+
+let test_delay_lan_size_dependence () =
+  let rng = Sof_util.Rng.create 1L in
+  let model =
+    Delay_model.Lan { base = Simtime.us 100; jitter = Simtime.zero; per_byte_ns = 80 }
+  in
+  let small = Simtime.to_ns (Delay_model.sample model rng ~size:0) in
+  let large = Simtime.to_ns (Delay_model.sample model rng ~size:1000) in
+  Alcotest.(check int) "small" 100_000 small;
+  Alcotest.(check int) "large adds serialisation" 180_000 large
+
+let test_delay_scale () =
+  let model = Delay_model.Constant (Simtime.ms 1) in
+  let rng = Sof_util.Rng.create 1L in
+  let d = Delay_model.sample (Delay_model.scale model 3.0) rng ~size:0 in
+  Alcotest.(check int) "scaled" 3_000_000 (Simtime.to_ns d)
+
+let test_delay_mean () =
+  let model = Delay_model.Uniform { lo = Simtime.ms 1; hi = Simtime.ms 3 } in
+  Alcotest.(check int) "mean" 2_000_000 (Simtime.to_ns (Delay_model.mean model ~size:0))
+
+(* -------------------------------------------------------------- Network *)
+
+let test_network_delivers () =
+  let engine, net = make_net () in
+  let got = ref None in
+  Network.set_handler net 1 (fun ~src payload -> got := Some (src, payload));
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  Alcotest.(check (option (pair int string))) "delivered" (Some (0, "hello")) !got;
+  Alcotest.(check int) "took 1ms" 1_000_000 (Simtime.to_ns (Engine.now engine))
+
+let test_network_multicast () =
+  let engine, net = make_net () in
+  let got = ref [] in
+  for i = 1 to 3 do
+    Network.set_handler net i (fun ~src:_ payload -> got := (i, payload) :: !got)
+  done;
+  Network.multicast net ~src:0 ~dsts:[ 1; 2; 3 ] "m";
+  Engine.run engine;
+  Alcotest.(check int) "three copies" 3 (List.length !got)
+
+let test_network_self_send () =
+  let engine, net = make_net () in
+  let got = ref false in
+  Network.set_handler net 0 (fun ~src payload ->
+      got := src = 0 && payload = "loop");
+  Network.send net ~src:0 ~dst:0 "loop";
+  Engine.run engine;
+  Alcotest.(check bool) "self delivery" true !got
+
+let test_network_crash_silences () =
+  let engine, net = make_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Network.crash net 0;
+  Network.send net ~src:0 ~dst:1 "m";
+  (* And inbound to a crashed node is dropped too. *)
+  Network.set_handler net 0 (fun ~src:_ _ -> incr got);
+  Network.send net ~src:1 ~dst:0 "m";
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check bool) "is_crashed" true (Network.is_crashed net 0)
+
+let test_network_crash_loses_in_flight () =
+  let engine, net = make_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Network.send net ~src:0 ~dst:1 "m";
+  (* Crash the destination before the 1ms delivery instant. *)
+  ignore (Engine.schedule engine ~delay:(Simtime.us 500) (fun () -> Network.crash net 1));
+  Engine.run engine;
+  Alcotest.(check int) "in-flight lost" 0 !got
+
+let test_network_surge_slows_delivery () =
+  let engine, net = make_net () in
+  let arrival = ref Simtime.zero in
+  Network.set_handler net 1 (fun ~src:_ _ -> arrival := Engine.now engine);
+  Network.set_surge net ~factor:10.0;
+  Network.send net ~src:0 ~dst:1 "m";
+  Engine.run engine;
+  Alcotest.(check int) "10x delay" 10_000_000 (Simtime.to_ns !arrival);
+  Network.clear_surge net;
+  Network.send net ~src:0 ~dst:1 "m";
+  Engine.run engine;
+  Alcotest.(check int) "back to 1x" 11_000_000 (Simtime.to_ns !arrival)
+
+let test_network_link_override () =
+  let engine, net = make_net () in
+  Network.set_link net ~src:0 ~dst:1 (Delay_model.Constant (Simtime.us 10));
+  let arrival = ref Simtime.zero in
+  Network.set_handler net 1 (fun ~src:_ _ -> arrival := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 "m";
+  Engine.run engine;
+  Alcotest.(check int) "fast link" 10_000 (Simtime.to_ns !arrival)
+
+let test_network_stats_and_observer () =
+  let engine, net = make_net () in
+  let observed = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ ~payload ->
+      observed := !observed + String.length payload);
+  Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 "abcd";
+  Network.send net ~src:0 ~dst:2 "ef";
+  Engine.run engine;
+  let s = Network.stats net in
+  Alcotest.(check int) "sent" 2 s.Network.messages_sent;
+  Alcotest.(check int) "bytes" 6 s.Network.bytes_sent;
+  Alcotest.(check int) "delivered" 2 s.Network.messages_delivered;
+  Alcotest.(check int) "observer saw both" 6 !observed
+
+let test_network_range_check () =
+  let _, net = make_net () in
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Network.send: endpoint 9 out of range") (fun () ->
+      Network.send net ~src:0 ~dst:9 "m")
+
+let test_network_no_handler_is_fine () =
+  let engine, net = make_net () in
+  Network.send net ~src:0 ~dst:1 "m";
+  Engine.run engine;
+  Alcotest.(check int) "delivered counted" 1
+    (Network.stats net).Network.messages_delivered
+
+let suite =
+  [
+    ( "net.delay_model",
+      [
+        Alcotest.test_case "constant" `Quick test_delay_constant;
+        Alcotest.test_case "uniform bounds" `Quick test_delay_uniform_bounds;
+        Alcotest.test_case "lan size dependence" `Quick test_delay_lan_size_dependence;
+        Alcotest.test_case "scale" `Quick test_delay_scale;
+        Alcotest.test_case "mean" `Quick test_delay_mean;
+      ] );
+    ( "net.network",
+      [
+        Alcotest.test_case "delivers" `Quick test_network_delivers;
+        Alcotest.test_case "multicast" `Quick test_network_multicast;
+        Alcotest.test_case "self send" `Quick test_network_self_send;
+        Alcotest.test_case "crash silences" `Quick test_network_crash_silences;
+        Alcotest.test_case "crash loses in-flight" `Quick test_network_crash_loses_in_flight;
+        Alcotest.test_case "surge" `Quick test_network_surge_slows_delivery;
+        Alcotest.test_case "link override" `Quick test_network_link_override;
+        Alcotest.test_case "stats and observer" `Quick test_network_stats_and_observer;
+        Alcotest.test_case "range check" `Quick test_network_range_check;
+        Alcotest.test_case "no handler" `Quick test_network_no_handler_is_fine;
+      ] );
+  ]

@@ -1,0 +1,259 @@
+open Sof_crypto
+
+let rng () = Sof_util.Rng.create 77L
+
+(* Small keys keep the suite fast; correctness does not depend on size. *)
+let rsa_key = lazy (Rsa.generate (rng ()) ~bits:256)
+let dsa_params = lazy (Dsa.generate_params (rng ()) ~pbits:256 ~qbits:80)
+let dsa_key = lazy (Dsa.generate_key (rng ()) (Lazy.force dsa_params))
+
+(* ------------------------------------------------------------------ RSA *)
+
+let test_rsa_sign_verify () =
+  let key = Lazy.force rsa_key in
+  let pub = Rsa.public_of_secret key in
+  let s = Rsa.sign key ~alg:Digest_alg.MD5 "hello world" in
+  Alcotest.(check int) "signature size" 32 (String.length s);
+  Alcotest.(check bool) "verifies" true
+    (Rsa.verify pub ~alg:Digest_alg.MD5 ~msg:"hello world" ~signature:s)
+
+let test_rsa_rejects_wrong_message () =
+  let key = Lazy.force rsa_key in
+  let pub = Rsa.public_of_secret key in
+  let s = Rsa.sign key ~alg:Digest_alg.MD5 "hello world" in
+  Alcotest.(check bool) "rejects" false
+    (Rsa.verify pub ~alg:Digest_alg.MD5 ~msg:"hello worle" ~signature:s)
+
+let test_rsa_rejects_wrong_alg () =
+  (* The padding byte tag binds the digest algorithm. *)
+  let key = Lazy.force rsa_key in
+  let pub = Rsa.public_of_secret key in
+  let s = Rsa.sign key ~alg:Digest_alg.MD5 "msg" in
+  Alcotest.(check bool) "alg mismatch rejected" false
+    (Rsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"msg" ~signature:s)
+
+let test_rsa_rejects_tampered_signature () =
+  let key = Lazy.force rsa_key in
+  let pub = Rsa.public_of_secret key in
+  let s = Bytes.of_string (Rsa.sign key ~alg:Digest_alg.MD5 "msg") in
+  Bytes.set s 5 (Char.chr (Char.code (Bytes.get s 5) lxor 0x40));
+  Alcotest.(check bool) "tamper rejected" false
+    (Rsa.verify pub ~alg:Digest_alg.MD5 ~msg:"msg" ~signature:(Bytes.to_string s))
+
+let test_rsa_rejects_wrong_length () =
+  let key = Lazy.force rsa_key in
+  let pub = Rsa.public_of_secret key in
+  Alcotest.(check bool) "short" false
+    (Rsa.verify pub ~alg:Digest_alg.MD5 ~msg:"msg" ~signature:"short");
+  Alcotest.(check bool) "empty" false
+    (Rsa.verify pub ~alg:Digest_alg.MD5 ~msg:"msg" ~signature:"")
+
+let test_rsa_cross_key_rejection () =
+  let key1 = Lazy.force rsa_key in
+  let key2 = Rsa.generate (Sof_util.Rng.create 78L) ~bits:256 in
+  let s = Rsa.sign key1 ~alg:Digest_alg.MD5 "msg" in
+  Alcotest.(check bool) "other key rejects" false
+    (Rsa.verify (Rsa.public_of_secret key2) ~alg:Digest_alg.MD5 ~msg:"msg"
+       ~signature:s)
+
+let test_rsa_generate_validates_input () =
+  Alcotest.check_raises "odd bits"
+    (Invalid_argument "Rsa.generate: bits must be even and >= 64") (fun () ->
+      ignore (Rsa.generate (rng ()) ~bits:63))
+
+let test_rsa_crt_matches_plain () =
+  let key = Lazy.force rsa_key in
+  List.iter
+    (fun msg ->
+      Alcotest.(check string) "crt = plain"
+        (Rsa.sign_without_crt key ~alg:Digest_alg.MD5 msg)
+        (Rsa.sign key ~alg:Digest_alg.MD5 msg))
+    [ ""; "a"; "the quick brown fox"; String.make 5000 'z' ]
+
+let prop_rsa_roundtrip =
+  QCheck.Test.make ~name:"rsa signs and verifies arbitrary messages" ~count:20
+    QCheck.string (fun msg ->
+      let key = Lazy.force rsa_key in
+      let s = Rsa.sign key ~alg:Digest_alg.SHA1 msg in
+      Rsa.verify (Rsa.public_of_secret key) ~alg:Digest_alg.SHA1 ~msg ~signature:s)
+
+(* ------------------------------------------------------------------ DSA *)
+
+let test_dsa_params_valid () =
+  Alcotest.(check bool) "params validate" true
+    (Dsa.validate_params (rng ()) (Lazy.force dsa_params))
+
+let test_dsa_params_input_validation () =
+  Alcotest.check_raises "qbits too small"
+    (Invalid_argument "Dsa.generate_params: need qbits >= 32 and pbits >= qbits + 32")
+    (fun () -> ignore (Dsa.generate_params (rng ()) ~pbits:64 ~qbits:16))
+
+let test_dsa_sign_verify () =
+  let key = Lazy.force dsa_key in
+  let pub = Dsa.public_of_secret key in
+  let r = rng () in
+  let s = Dsa.sign r key ~alg:Digest_alg.SHA1 "attack at dawn" in
+  Alcotest.(check int) "signature size"
+    (Dsa.signature_size pub.Dsa.params)
+    (String.length s);
+  Alcotest.(check bool) "verifies" true
+    (Dsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"attack at dawn" ~signature:s)
+
+let test_dsa_signatures_randomized () =
+  (* Two signatures over the same message should differ (fresh k). *)
+  let key = Lazy.force dsa_key in
+  let r = rng () in
+  let s1 = Dsa.sign r key ~alg:Digest_alg.SHA1 "m" in
+  let s2 = Dsa.sign r key ~alg:Digest_alg.SHA1 "m" in
+  Alcotest.(check bool) "different nonces" true (s1 <> s2);
+  let pub = Dsa.public_of_secret key in
+  Alcotest.(check bool) "both verify" true
+    (Dsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"m" ~signature:s1
+    && Dsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"m" ~signature:s2)
+
+let test_dsa_rejects_wrong_message () =
+  let key = Lazy.force dsa_key in
+  let pub = Dsa.public_of_secret key in
+  let s = Dsa.sign (rng ()) key ~alg:Digest_alg.SHA1 "m" in
+  Alcotest.(check bool) "rejects" false
+    (Dsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"m2" ~signature:s)
+
+let test_dsa_rejects_garbage () =
+  let key = Lazy.force dsa_key in
+  let pub = Dsa.public_of_secret key in
+  let size = Dsa.signature_size pub.Dsa.params in
+  Alcotest.(check bool) "zeros rejected" false
+    (Dsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"m" ~signature:(String.make size '\000'));
+  Alcotest.(check bool) "short rejected" false
+    (Dsa.verify pub ~alg:Digest_alg.SHA1 ~msg:"m" ~signature:"xx")
+
+let test_dsa_cross_key_rejection () =
+  let key1 = Lazy.force dsa_key in
+  let key2 = Dsa.generate_key (Sof_util.Rng.create 99L) (Lazy.force dsa_params) in
+  let s = Dsa.sign (rng ()) key1 ~alg:Digest_alg.SHA1 "m" in
+  Alcotest.(check bool) "other key rejects" false
+    (Dsa.verify (Dsa.public_of_secret key2) ~alg:Digest_alg.SHA1 ~msg:"m"
+       ~signature:s)
+
+(* --------------------------------------------------------------- Scheme *)
+
+let test_scheme_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        "roundtrip" s.Scheme.name
+        (Scheme.of_name s.Scheme.name).Scheme.name)
+    Scheme.paper_schemes;
+  Alcotest.check_raises "unknown" (Invalid_argument "Scheme.of_name: unknown scheme x")
+    (fun () -> ignore (Scheme.of_name "x"))
+
+let test_scheme_cost_asymmetries () =
+  (* The relationships the paper's analysis depends on. *)
+  let rsa = Scheme.md5_rsa1024.Scheme.costs in
+  let rsa1536 = Scheme.md5_rsa1536.Scheme.costs in
+  let dsa = Scheme.sha1_dsa1024.Scheme.costs in
+  Alcotest.(check bool) "rsa verify much cheaper than sign" true
+    (rsa.Scheme.verify_ns * 10 < rsa.Scheme.sign_ns);
+  Alcotest.(check bool) "dsa verify about as dear as sign" true
+    (dsa.Scheme.verify_ns * 2 > dsa.Scheme.sign_ns);
+  Alcotest.(check bool) "dsa verify dearer than rsa verify" true
+    (dsa.Scheme.verify_ns > 5 * rsa.Scheme.verify_ns);
+  Alcotest.(check bool) "1536 dearer than 1024" true
+    (rsa1536.Scheme.sign_ns > rsa.Scheme.sign_ns)
+
+(* -------------------------------------------------------------- Keyring *)
+
+let mock_ring =
+  lazy
+    (Keyring.create ~scheme:Scheme.mock ~rng:(Sof_util.Rng.create 5L) ~node_count:4 ())
+
+let test_keyring_mock_sign_verify () =
+  let kr = Lazy.force mock_ring in
+  let s = Keyring.sign kr ~signer:2 "payload" in
+  Alcotest.(check bool) "verifies" true
+    (Keyring.verify kr ~signer:2 ~msg:"payload" ~signature:s);
+  Alcotest.(check bool) "wrong signer rejected" false
+    (Keyring.verify kr ~signer:1 ~msg:"payload" ~signature:s);
+  Alcotest.(check bool) "wrong msg rejected" false
+    (Keyring.verify kr ~signer:2 ~msg:"other" ~signature:s)
+
+let test_keyring_range_checks () =
+  let kr = Lazy.force mock_ring in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Keyring.sign: signer out of range") (fun () ->
+      ignore (Keyring.sign kr ~signer:4 "m"));
+  Alcotest.(check bool) "verify out of range is false" false
+    (Keyring.verify kr ~signer:(-1) ~msg:"m" ~signature:"s")
+
+let test_keyring_unsigned () =
+  let kr =
+    Keyring.create ~scheme:Scheme.null ~rng:(Sof_util.Rng.create 5L) ~node_count:3 ()
+  in
+  Alcotest.(check string) "empty signature" "" (Keyring.sign kr ~signer:0 "m");
+  Alcotest.(check int) "size 0" 0 (Keyring.signature_size kr);
+  Alcotest.(check bool) "empty verifies" true
+    (Keyring.verify kr ~signer:0 ~msg:"m" ~signature:"");
+  Alcotest.(check bool) "nonempty rejected" false
+    (Keyring.verify kr ~signer:0 ~msg:"m" ~signature:"x")
+
+let test_keyring_real_rsa () =
+  let kr =
+    Keyring.create ~key_bits:256 ~scheme:Scheme.md5_rsa1024
+      ~rng:(Sof_util.Rng.create 6L) ~node_count:2 ()
+  in
+  Alcotest.(check int) "sig size from real key" 32 (Keyring.signature_size kr);
+  let s = Keyring.sign kr ~signer:0 "m" in
+  Alcotest.(check bool) "verifies" true
+    (Keyring.verify kr ~signer:0 ~msg:"m" ~signature:s);
+  Alcotest.(check bool) "cross-node rejected" false
+    (Keyring.verify kr ~signer:1 ~msg:"m" ~signature:s)
+
+let test_keyring_real_dsa () =
+  let kr =
+    Keyring.create ~key_bits:256 ~scheme:Scheme.sha1_dsa1024
+      ~rng:(Sof_util.Rng.create 7L) ~node_count:2 ()
+  in
+  let s = Keyring.sign kr ~signer:1 "m" in
+  Alcotest.(check bool) "verifies" true
+    (Keyring.verify kr ~signer:1 ~msg:"m" ~signature:s);
+  Alcotest.(check bool) "cross-node rejected" false
+    (Keyring.verify kr ~signer:0 ~msg:"m" ~signature:s)
+
+let suite =
+  [
+    ( "crypto.rsa",
+      [
+        Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+        Alcotest.test_case "wrong message" `Quick test_rsa_rejects_wrong_message;
+        Alcotest.test_case "wrong alg" `Quick test_rsa_rejects_wrong_alg;
+        Alcotest.test_case "tampered signature" `Quick test_rsa_rejects_tampered_signature;
+        Alcotest.test_case "wrong length" `Quick test_rsa_rejects_wrong_length;
+        Alcotest.test_case "cross key" `Quick test_rsa_cross_key_rejection;
+        Alcotest.test_case "input validation" `Quick test_rsa_generate_validates_input;
+        Alcotest.test_case "crt matches plain" `Quick test_rsa_crt_matches_plain;
+        QCheck_alcotest.to_alcotest prop_rsa_roundtrip;
+      ] );
+    ( "crypto.dsa",
+      [
+        Alcotest.test_case "params valid" `Quick test_dsa_params_valid;
+        Alcotest.test_case "params input validation" `Quick test_dsa_params_input_validation;
+        Alcotest.test_case "sign/verify" `Quick test_dsa_sign_verify;
+        Alcotest.test_case "randomized signatures" `Quick test_dsa_signatures_randomized;
+        Alcotest.test_case "wrong message" `Quick test_dsa_rejects_wrong_message;
+        Alcotest.test_case "garbage" `Quick test_dsa_rejects_garbage;
+        Alcotest.test_case "cross key" `Quick test_dsa_cross_key_rejection;
+      ] );
+    ( "crypto.scheme",
+      [
+        Alcotest.test_case "names" `Quick test_scheme_names;
+        Alcotest.test_case "cost asymmetries" `Quick test_scheme_cost_asymmetries;
+      ] );
+    ( "crypto.keyring",
+      [
+        Alcotest.test_case "mock sign/verify" `Quick test_keyring_mock_sign_verify;
+        Alcotest.test_case "range checks" `Quick test_keyring_range_checks;
+        Alcotest.test_case "unsigned scheme" `Quick test_keyring_unsigned;
+        Alcotest.test_case "real rsa keyring" `Quick test_keyring_real_rsa;
+        Alcotest.test_case "real dsa keyring" `Quick test_keyring_real_dsa;
+      ] );
+  ]

@@ -1,0 +1,259 @@
+(* Unit tests for the protocol building blocks: configuration/layout,
+   batching, the message codec, and fault descriptors. *)
+
+module Simtime = Sof_sim.Simtime
+module P = Sof_protocol
+module Config = P.Config
+module Batch = P.Batch
+module Message = P.Message
+module Request = Sof_smr.Request
+
+(* --------------------------------------------------------------- Config *)
+
+let test_config_sc_layout () =
+  let c = Config.make ~f:2 () in
+  Alcotest.(check int) "replicas" 5 (Config.replica_count c);
+  Alcotest.(check int) "pairs" 2 (Config.pair_count c);
+  Alcotest.(check int) "processes" 7 (Config.process_count c);
+  Alcotest.(check int) "candidates" 3 (Config.candidate_count c);
+  Alcotest.(check int) "p1" 0 (Config.primary_of_pair c 1);
+  Alcotest.(check int) "p'1" 5 (Config.shadow_of_pair c 1);
+  Alcotest.(check int) "p'2" 6 (Config.shadow_of_pair c 2);
+  Alcotest.(check (list int)) "candidate 3 is unpaired p3" [ 2 ] (Config.candidate_members c 3);
+  Alcotest.(check bool) "candidate 3 not a pair" false (Config.candidate_is_pair c 3)
+
+let test_config_scr_layout () =
+  let c = Config.make ~variant:Config.SCR ~f:2 () in
+  Alcotest.(check int) "processes" 8 (Config.process_count c);
+  Alcotest.(check int) "pairs" 3 (Config.pair_count c);
+  Alcotest.(check bool) "candidate 3 is a pair" true (Config.candidate_is_pair c 3);
+  Alcotest.(check (list int)) "pair 3 members" [ 2; 7 ] (Config.candidate_members c 3)
+
+let test_config_counterpart_involution () =
+  let c = Config.make ~f:3 () in
+  List.iter
+    (fun id ->
+      match Config.counterpart c id with
+      | None -> Alcotest.(check (option int)) "unpaired" None (Config.pair_rank_of c id)
+      | Some cp ->
+        Alcotest.(check (option int)) "counterpart's counterpart" (Some id)
+          (Config.counterpart c cp))
+    (Config.all_processes c)
+
+let test_config_rejects_bad_inputs () =
+  Alcotest.check_raises "f=0" (Invalid_argument "Config.make: f must be at least 1")
+    (fun () -> ignore (Config.make ~f:0 ()));
+  let c = Config.make ~f:1 () in
+  Alcotest.check_raises "rank 0" (Invalid_argument "Config: candidate rank 0 out of range")
+    (fun () -> ignore (Config.primary_of_pair c 0));
+  Alcotest.check_raises "unpaired shadow"
+    (Invalid_argument "Config.shadow_of_pair: candidate is unpaired") (fun () ->
+      ignore (Config.shadow_of_pair c 2))
+
+let prop_config_layout_consistent =
+  QCheck.Test.make ~name:"layout partitions processes for any f" ~count:50
+    QCheck.(int_range 1 10)
+    (fun f ->
+      let check variant =
+        let c = Config.make ~variant ~f () in
+        let shadows =
+          List.filter (fun id -> Config.is_shadow c id) (Config.all_processes c)
+        in
+        List.length shadows = Config.pair_count c
+        && List.for_all
+             (fun id ->
+               match Config.pair_rank_of c id with
+               | Some r ->
+                 List.mem id (Config.candidate_members c r)
+               | None -> not (Config.is_shadow c id))
+             (Config.all_processes c)
+      in
+      check Config.SC && check Config.SCR)
+
+(* ---------------------------------------------------------------- Batch *)
+
+let req i op = Request.make ~client:0 ~client_seq:i ~op
+
+let test_batch_digest_stable () =
+  let b = Batch.make [ req 1 "a"; req 2 "b" ] in
+  Alcotest.(check string) "same digest"
+    (Batch.digest Sof_crypto.Digest_alg.MD5 b)
+    (Batch.digest Sof_crypto.Digest_alg.MD5 (Batch.make [ req 1 "a"; req 2 "b" ]));
+  Alcotest.(check bool) "order matters" true
+    (Batch.digest Sof_crypto.Digest_alg.MD5 b
+    <> Batch.digest Sof_crypto.Digest_alg.MD5 (Batch.make [ req 2 "b"; req 1 "a" ]))
+
+let test_batch_take_respects_limit () =
+  let pool =
+    List.fold_left
+      (fun acc i -> Request.Key_map.add (req i (String.make 100 'x')).Request.key (req i (String.make 100 'x')) acc)
+      Request.Key_map.empty
+      (List.init 20 (fun i -> i + 1))
+  in
+  let taken = Batch.take_from_pool ~limit:500 ~pool in
+  let size = Batch.encoded_size (Batch.make taken) in
+  Alcotest.(check bool) "within limit" true (size <= 500);
+  Alcotest.(check bool) "took several" true (List.length taken >= 4)
+
+let test_batch_take_at_least_one () =
+  (* A single oversized request must still be batched. *)
+  let r = req 1 (String.make 5000 'x') in
+  let pool = Request.Key_map.singleton r.Request.key r in
+  Alcotest.(check int) "one taken" 1 (List.length (Batch.take_from_pool ~limit:100 ~pool))
+
+let test_batch_take_oldest_order () =
+  let r1 = req 5 "newer" and r2 = req 9 "older" in
+  let pool =
+    Request.Key_map.empty
+    |> Request.Key_map.add r1.Request.key r1
+    |> Request.Key_map.add r2.Request.key r2
+  in
+  let arrival =
+    Request.Key_map.empty
+    |> Request.Key_map.add r1.Request.key (Simtime.ms 50)
+    |> Request.Key_map.add r2.Request.key (Simtime.ms 10)
+  in
+  match Batch.take_oldest ~limit:10_000 ~pool ~arrival with
+  | [ first; second ] ->
+    Alcotest.(check int) "older first" 9 first.Request.key.Request.client_seq;
+    Alcotest.(check int) "newer second" 5 second.Request.key.Request.client_seq
+  | other -> Alcotest.failf "expected 2 requests, got %d" (List.length other)
+
+(* -------------------------------------------------------------- Message *)
+
+let sample_info = { Message.o = 7; digest = "0123456789abcdef"; keys = [ { Request.client = 1; client_seq = 2 } ] }
+
+let all_bodies =
+  [
+    Message.Order { c = 1; info = sample_info };
+    Message.Ack { c = 2; o = 7; digest = "d" };
+    Message.Fail_signal { pair = 1 };
+    Message.Back_log
+      {
+        c = 2;
+        failed_pair = 1;
+        max_committed = 6;
+        committed_digest = "cd";
+        proof_c = 1;
+        proof = [ (0, "sig0"); (3, "sig3") ];
+        uncommitted = [ sample_info ];
+      };
+    Message.Start { c = 2; start_o = 8; anchor = 6; new_back_log = [ sample_info ] };
+    Message.Start_ack { c = 2; start_digest = "sd" };
+    Message.Start_tuples { c = 2; tuples = [ (4, "t4") ] };
+    Message.View_change
+      { v = 3; max_committed = 5; committed_digest = "x"; uncommitted = [ sample_info ] };
+    Message.New_view { v = 3; start_o = 9; anchor = 5; new_back_log = [] };
+    Message.Unwilling { v = 3; pair = 2 };
+    Message.Heartbeat { pair = 1; beat = 42 };
+    Message.Pre_prepare { v = 0; info = sample_info };
+    Message.Prepare { v = 0; o = 7; digest = "d" };
+    Message.Commit { v = 0; o = 7; digest = "d" };
+    Message.Bft_view_change { v = 1; prepared = [ sample_info ] };
+    Message.Bft_new_view { v = 1; pre_prepares = [ sample_info ] };
+  ]
+
+let test_message_body_roundtrip_all_variants () =
+  List.iter
+    (fun body ->
+      let decoded = Message.decode_body (Message.encode_body body) in
+      if decoded <> body then
+        Alcotest.failf "roundtrip failed for %s" (Message.body_tag body))
+    all_bodies
+
+let test_message_envelope_roundtrip () =
+  List.iter
+    (fun endorsement ->
+      let env =
+        { Message.sender = 3; body = List.hd all_bodies; signature = "s1"; endorsement }
+      in
+      Alcotest.(check bool) "roundtrip" true (Message.decode (Message.encode env) = env))
+    [ None; Some (5, "s2") ]
+
+let test_message_signature_count () =
+  let env = { Message.sender = 0; body = Message.Heartbeat { pair = 1; beat = 1 }; signature = "x"; endorsement = None } in
+  Alcotest.(check int) "single" 1 (Message.signature_count env);
+  Alcotest.(check int) "double" 2
+    (Message.signature_count { env with Message.endorsement = Some (1, "y") })
+
+let test_message_tags_unique () =
+  let tags = List.map Message.body_tag all_bodies in
+  Alcotest.(check int) "unique tags" (List.length tags)
+    (List.length (List.sort_uniq compare tags))
+
+let test_message_decode_garbage () =
+  Alcotest.check_raises "garbage" Sof_util.Codec.Reader.Truncated (fun () ->
+      ignore (Message.decode "\xffgarbage"));
+  Alcotest.check_raises "unknown tag" Sof_util.Codec.Reader.Truncated (fun () ->
+      ignore (Message.decode_body "\x63"))
+
+let test_message_endorsement_payload_binds_signature () =
+  let body = Message.Ack { c = 1; o = 1; digest = "d" } in
+  Alcotest.(check bool) "payload differs with first signature" true
+    (Message.endorsement_payload body "sigA" <> Message.endorsement_payload body "sigB")
+
+let gen_info =
+  QCheck.Gen.(
+    map3
+      (fun o digest keys -> { Message.o; digest; keys })
+      (int_bound 100000) (string_size (0 -- 32))
+      (list_size (0 -- 8)
+         (map2
+            (fun c s -> { Request.client = c; client_seq = s })
+            (int_bound 100) (int_bound 100000))))
+
+let prop_order_roundtrip =
+  QCheck.Test.make ~name:"order envelope roundtrip (arbitrary info)" ~count:200
+    (QCheck.make gen_info)
+    (fun info ->
+      let env =
+        {
+          Message.sender = 1;
+          body = Message.Order { c = 3; info };
+          signature = "sig";
+          endorsement = Some (2, "end");
+        }
+      in
+      Message.decode (Message.encode env) = env)
+
+(* ---------------------------------------------------------------- Fault *)
+
+let test_fault_mute () =
+  let f = P.Fault.Mute_at (Simtime.ms 100) in
+  Alcotest.(check bool) "before" false (P.Fault.is_mute f ~now:(Simtime.ms 99));
+  Alcotest.(check bool) "at" true (P.Fault.is_mute f ~now:(Simtime.ms 100));
+  Alcotest.(check bool) "honest never mute" false
+    (P.Fault.is_mute P.Fault.Honest ~now:(Simtime.sec 100))
+
+let suite =
+  [
+    ( "protocol.config",
+      [
+        Alcotest.test_case "sc layout" `Quick test_config_sc_layout;
+        Alcotest.test_case "scr layout" `Quick test_config_scr_layout;
+        Alcotest.test_case "counterpart involution" `Quick test_config_counterpart_involution;
+        Alcotest.test_case "bad inputs" `Quick test_config_rejects_bad_inputs;
+        QCheck_alcotest.to_alcotest prop_config_layout_consistent;
+      ] );
+    ( "protocol.batch",
+      [
+        Alcotest.test_case "digest stable" `Quick test_batch_digest_stable;
+        Alcotest.test_case "take respects limit" `Quick test_batch_take_respects_limit;
+        Alcotest.test_case "take at least one" `Quick test_batch_take_at_least_one;
+        Alcotest.test_case "take oldest order" `Quick test_batch_take_oldest_order;
+      ] );
+    ( "protocol.message",
+      [
+        Alcotest.test_case "body roundtrip all variants" `Quick
+          test_message_body_roundtrip_all_variants;
+        Alcotest.test_case "envelope roundtrip" `Quick test_message_envelope_roundtrip;
+        Alcotest.test_case "signature count" `Quick test_message_signature_count;
+        Alcotest.test_case "tags unique" `Quick test_message_tags_unique;
+        Alcotest.test_case "decode garbage" `Quick test_message_decode_garbage;
+        Alcotest.test_case "endorsement payload" `Quick
+          test_message_endorsement_payload_binds_signature;
+        QCheck_alcotest.to_alcotest prop_order_roundtrip;
+      ] );
+    ( "protocol.fault",
+      [ Alcotest.test_case "mute" `Quick test_fault_mute ] );
+  ]

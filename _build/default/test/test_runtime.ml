@@ -1,0 +1,43 @@
+(* End-to-end test of the TCP runtime: the same protocol code that runs
+   under the simulator, over real loopback sockets and threads. *)
+
+module Runtime = Sof_runtime.Tcp_runtime
+module Kv = Sof_smr.Kv_store
+
+let run_cluster ~kind ~base_port =
+  let t = Runtime.start ~base_port ~kind ~f:1 ~batching_interval_ms:15 () in
+  for i = 1 to 40 do
+    Runtime.inject t
+      (Sof_smr.Request.make ~client:1 ~client_seq:i
+         ~op:(Kv.encode_op (Kv.Put (Printf.sprintf "k%d" i, "v"))));
+    Thread.delay 0.002
+  done;
+  let delivered_everywhere = Runtime.await_delivery t ~count:1 ~timeout_s:15.0 in
+  Thread.delay 0.4;
+  let stats = Runtime.stop t in
+  (delivered_everywhere, stats)
+
+let check_stats (delivered_everywhere, stats) =
+  Alcotest.(check bool) "every process delivered" true delivered_everywhere;
+  (match List.map snd stats.Runtime.state_digests with
+  | [] -> Alcotest.fail "no digests"
+  | d :: rest ->
+    List.iteri
+      (fun i d' ->
+        if d' <> d then Alcotest.failf "state divergence at process %d" (i + 1))
+      rest);
+  Alcotest.(check bool) "latencies recorded" true
+    (stats.Runtime.commit_latencies_ms <> [])
+
+let test_tcp_sc () = check_stats (run_cluster ~kind:`Sc ~base_port:7711)
+
+let test_tcp_scr () = check_stats (run_cluster ~kind:`Scr ~base_port:7811)
+
+let suite =
+  [
+    ( "runtime.tcp",
+      [
+        Alcotest.test_case "sc over loopback" `Slow test_tcp_sc;
+        Alcotest.test_case "scr over loopback" `Slow test_tcp_scr;
+      ] );
+  ]

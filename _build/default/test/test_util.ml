@@ -1,0 +1,317 @@
+open Sof_util
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 7L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "out of bounds: %f" v
+  done
+
+let test_rng_uniformity () =
+  (* Coarse chi-square-ish check: each of 10 buckets of 10k draws should hold
+     roughly 1000 +- 200. *)
+  let r = Rng.create 123L in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 800 || c > 1200 then Alcotest.failf "bucket %d skewed: %d" i c)
+    buckets
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let a = Rng.int64 parent and b = Rng.int64 child in
+  Alcotest.(check bool) "parent and child differ" true (a <> b)
+
+let test_rng_copy () =
+  let a = Rng.create 11L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 99L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 3.8 || mean > 4.2 then Alcotest.failf "mean off: %f" mean
+
+let test_rng_normal_moments () =
+  let r = Rng.create 100L in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.normal r ~mu:2.0 ~sigma:3.0 in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  if abs_float (mean -. 2.0) > 0.1 then Alcotest.failf "mu off: %f" mean;
+  if abs_float (var -. 9.0) > 0.5 then Alcotest.failf "var off: %f" var
+
+let test_rng_bytes_length () =
+  let r = Rng.create 3L in
+  check_int "length" 32 (Bytes.length (Rng.bytes r 32))
+
+(* ----------------------------------------------------------------- Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let drained = List.init (Heap.length h) (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] drained
+
+let test_heap_fifo_ties () =
+  (* Entries with equal keys must pop in insertion order. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let tags = List.init 4 (fun _ -> snd (Heap.pop_exn h)) in
+  Alcotest.(check (list string)) "fifo ties" [ "z"; "a"; "b"; "c" ] tags
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h)
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 42;
+  Alcotest.(check (option int)) "peek" (Some 42) (Heap.peek h);
+  check_int "length intact" 1 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+let test_heap_to_list_preserves () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "to_list sorted" [ 1; 2; 3 ] (Heap.to_list h);
+  check_int "heap untouched" 3 (Heap.length h);
+  check_int "pop still works" 1 (Heap.pop_exn h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Heap.pop_exn h) in
+      drained = List.sort compare xs)
+
+(* ------------------------------------------------------------------ Hex *)
+
+let test_hex_roundtrip () =
+  Alcotest.(check string) "encode" "00ff10" (Hex.encode "\x00\xff\x10");
+  Alcotest.(check string) "decode" "\x00\xff\x10" (Hex.decode "00ff10");
+  Alcotest.(check string) "decode upper" "\xab" (Hex.decode "AB")
+
+let test_hex_rejects_bad_input () =
+  Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"));
+  Alcotest.check_raises "nonhex" (Invalid_argument "Hex.decode: non-hex character")
+    (fun () -> ignore (Hex.decode "zz"))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex decode . encode = id" ~count:200
+    QCheck.(string)
+    (fun s -> Hex.decode (Hex.encode s) = s)
+
+(* ---------------------------------------------------------------- Codec *)
+
+let test_codec_ints () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 200;
+  Codec.Writer.u16 w 40_000;
+  Codec.Writer.u32 w 3_000_000_000;
+  Codec.Writer.varint w 300;
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  check_int "u8" 200 (Codec.Reader.u8 r);
+  check_int "u16" 40_000 (Codec.Reader.u16 r);
+  check_int "u32" 3_000_000_000 (Codec.Reader.u32 r);
+  check_int "varint" 300 (Codec.Reader.varint r);
+  Codec.Reader.expect_end r
+
+let test_codec_string_list_option () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "hello";
+  Codec.Writer.list w Codec.Writer.string [ "a"; ""; "long string here" ];
+  Codec.Writer.option w Codec.Writer.u8 (Some 7);
+  Codec.Writer.option w Codec.Writer.u8 None;
+  Codec.Writer.bool w true;
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check string) "string" "hello" (Codec.Reader.string r);
+  Alcotest.(check (list string)) "list" [ "a"; ""; "long string here" ]
+    (Codec.Reader.list r Codec.Reader.string);
+  Alcotest.(check (option int)) "some" (Some 7) (Codec.Reader.option r Codec.Reader.u8);
+  Alcotest.(check (option int)) "none" None (Codec.Reader.option r Codec.Reader.u8);
+  Alcotest.(check bool) "bool" true (Codec.Reader.bool r);
+  Codec.Reader.expect_end r
+
+let test_codec_truncated () =
+  let r = Codec.Reader.of_string "\x05ab" in
+  Alcotest.check_raises "truncated string" Codec.Reader.Truncated (fun () ->
+      ignore (Codec.Reader.string r))
+
+let test_codec_range_checks () =
+  let w = Codec.Writer.create () in
+  Alcotest.check_raises "u8 range" (Invalid_argument "Codec.Writer.u8: out of range")
+    (fun () -> Codec.Writer.u8 w 256);
+  Alcotest.check_raises "varint negative"
+    (Invalid_argument "Codec.Writer.varint: negative") (fun () ->
+      Codec.Writer.varint w (-1))
+
+let prop_codec_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound 1_000_000_000)
+    (fun n ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.varint w n;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      Codec.Reader.varint r = n && Codec.Reader.at_end r)
+
+let prop_codec_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:200 QCheck.string (fun s ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.string w s;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      Codec.Reader.string r = s && Codec.Reader.at_end r)
+
+(* ----------------------------------------------------------- Statistics *)
+
+let test_stats_basic () =
+  let s = Statistics.create () in
+  List.iter (Statistics.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Statistics.count s);
+  check_float "mean" 2.5 (Statistics.mean s);
+  check_float "min" 1.0 (Statistics.min s);
+  check_float "max" 4.0 (Statistics.max s);
+  check_float "median" 2.5 (Statistics.median s)
+
+let test_stats_variance () =
+  let s = Statistics.create () in
+  List.iter (Statistics.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-6)) "variance" (32.0 /. 7.0) (Statistics.variance s)
+
+let test_stats_percentile_interpolation () =
+  let s = Statistics.create () in
+  List.iter (Statistics.add s) [ 10.0; 20.0; 30.0; 40.0 ];
+  check_float "p25" 17.5 (Statistics.percentile s 25.0);
+  check_float "p0" 10.0 (Statistics.percentile s 0.0);
+  check_float "p100" 40.0 (Statistics.percentile s 100.0)
+
+let test_stats_empty () =
+  let s = Statistics.create () in
+  check_float "mean of empty" 0.0 (Statistics.mean s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Statistics.min: empty")
+    (fun () -> ignore (Statistics.min s))
+
+let test_stats_summary () =
+  let s = Statistics.create () in
+  for i = 1 to 100 do
+    Statistics.add s (float_of_int i)
+  done;
+  let sum = Statistics.summarize s in
+  check_int "n" 100 sum.Statistics.n;
+  check_float "mean" 50.5 sum.Statistics.mean;
+  check_float "p50" 50.5 sum.Statistics.p50
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"running mean matches naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Statistics.create () in
+      List.iter (Statistics.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      abs_float (Statistics.mean s -. naive) < 1e-6)
+
+let suite =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int rejects bound<=0" `Quick test_rng_int_rejects_nonpositive;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+        Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+        Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "to_list" `Quick test_heap_to_list_preserves;
+        QCheck_alcotest.to_alcotest prop_heap_sorts;
+      ] );
+    ( "util.hex",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "rejects bad input" `Quick test_hex_rejects_bad_input;
+        QCheck_alcotest.to_alcotest prop_hex_roundtrip;
+      ] );
+    ( "util.codec",
+      [
+        Alcotest.test_case "ints" `Quick test_codec_ints;
+        Alcotest.test_case "string/list/option" `Quick test_codec_string_list_option;
+        Alcotest.test_case "truncated" `Quick test_codec_truncated;
+        Alcotest.test_case "range checks" `Quick test_codec_range_checks;
+        QCheck_alcotest.to_alcotest prop_codec_varint_roundtrip;
+        QCheck_alcotest.to_alcotest prop_codec_string_roundtrip;
+      ] );
+    ( "util.statistics",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "variance" `Quick test_stats_variance;
+        Alcotest.test_case "percentile interpolation" `Quick
+          test_stats_percentile_interpolation;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+        QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
+      ] );
+  ]
