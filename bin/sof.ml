@@ -237,10 +237,35 @@ let census_cmd =
     (Cmd.info "census" ~doc:"Per-message-type traffic census of a fail-free run.")
     Term.(const census $ protocol_arg $ f_param $ scheme $ duration $ seed)
 
+(* --------------------------------------------------------------- chaos *)
+
+let chaos_cmd =
+  let chaos protocol f seed duration_s =
+    let report =
+      H.Nemesis.run ~kind:protocol ~f ~seed ~duration:(Simtime.sec duration_s) ()
+    in
+    Format.printf "%a" H.Nemesis.pp_report report;
+    if report.H.Nemesis.passed then `Ok ()
+    else `Error (false, "chaos: invariants violated — see report above")
+  in
+  let f_param =
+    Arg.(value & opt int 1 & info [ "f"; "faults" ] ~docv:"F" ~doc:"Fault tolerance parameter.")
+  in
+  let duration =
+    Arg.(value & opt int 10 & info [ "duration" ] ~docv:"S" ~doc:"Campaign length (seconds).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded Nemesis fault campaign (lossy links, partitions, crash, \
+          surge) over the reliable channel and check protocol invariants.  The \
+          same seed reproduces the same campaign.")
+    Term.(ret (const chaos $ protocol_arg $ f_param $ seed $ duration))
+
 let main =
   Cmd.group
     (Cmd.info "sof" ~version:"1.0.0"
        ~doc:"Signal-on-fail Byzantine total-order protocols (DSN'06 reproduction).")
-    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd ]
+    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

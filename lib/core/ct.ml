@@ -20,14 +20,24 @@ let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
 
 let process_count config = (2 * config.f) + 1
 
+(* A candidate batch for one sequence number.  Under crash faults alone only
+   one candidate per sequence number ever exists, but concurrent coordinators
+   on the two sides of a network partition can propose different batches for
+   the same sequence number.  Votes are therefore tallied per digest and a
+   process casts at most one vote per sequence number; with quorum f+1 a
+   majority of the 2f+1 processes, at most one digest can ever reach quorum. *)
+type candidate = {
+  mutable c_keys : Request.key list option;
+      (* [None] until an Order carrying the batch contents is seen; acks may
+         arrive first. *)
+  mutable c_votes : Int_set.t;
+}
+
 type order_state = {
   o : int;
-  mutable digest : string;
-  mutable keys : Request.key list;
-  mutable have_order : bool;
-  mutable sources : Int_set.t;
-  mutable acked : bool;
-  mutable committed : bool;
+  candidates : (string, candidate) Hashtbl.t;
+  mutable voted : bool;  (* this process already acked some digest for [o] *)
+  mutable winner : string option;  (* committed digest *)
 }
 
 type t = {
@@ -38,6 +48,7 @@ type t = {
   mutable pending : Request.t Key_map.t;
   mutable arrival : Simtime.t Key_map.t;
   mutable ordered_keys : Key_set.t;
+  mutable delivered_keys : Key_set.t;
   orders : (int, order_state) Hashtbl.t;
   mutable max_committed : int;
   mutable delivered : int;
@@ -45,6 +56,14 @@ type t = {
   mutable batch_timer : Context.timer option;
   mutable suspect_timer : Context.timer option;
   mutable last_progress : Simtime.t;  (* last local commit *)
+  last_heard : Simtime.t array;  (* per peer, last message of any kind *)
+  mutable sync_pending : bool;
+      (* Set when this process rotates into coordinatorship: it must learn
+         the candidates a quorum knows of before minting new sequence
+         numbers, or it may spend votes on batches that collide with orders
+         it has not yet seen. *)
+  mutable sync_replies : Int_set.t;
+  mutable last_probe : Simtime.t;
 }
 
 let id t = t.ctx.Context.id
@@ -54,79 +73,139 @@ let delivered_seq t = t.delivered
 let quorum t = t.config.f + 1
 let i_am_coordinator t = id t = coordinator t
 
+(* A coordinator may mint new sequence numbers only while it has recent
+   evidence that a quorum is reachable: an isolated coordinator that mints
+   blindly casts votes for batches no quorum can ever confirm, and once every
+   survivor has spent its one vote per sequence number on a different
+   candidate, that sequence number is a permanent hole.  Epoch 0 is exempt
+   (at most one process can ever mint blindly per partition side, and a
+   single candidate can still gather a quorum after the heal). *)
+let quorum_contact t =
+  t.epoch = 0
+  ||
+  let now = t.ctx.Context.now () in
+  let window = t.config.suspect_timeout in
+  let me = id t in
+  let heard = ref 1 (* self *) in
+  Array.iteri
+    (fun p at ->
+      if
+        p <> me
+        && Simtime.compare at Simtime.zero > 0
+        && Simtime.compare (Simtime.add at window) now >= 0
+      then incr heard)
+    t.last_heard;
+  !heard >= quorum t
+
 let get_order t o =
   match Hashtbl.find_opt t.orders o with
   | Some st -> st
   | None ->
-    let st =
-      {
-        o;
-        digest = "";
-        keys = [];
-        have_order = false;
-        sources = Int_set.empty;
-        acked = false;
-        committed = false;
-      }
-    in
+    let st = { o; candidates = Hashtbl.create 2; voted = false; winner = None } in
     Hashtbl.replace t.orders o st;
     st
+
+let get_candidate st digest =
+  match Hashtbl.find_opt st.candidates digest with
+  | Some c -> c
+  | None ->
+    let c = { c_keys = None; c_votes = Int_set.empty } in
+    Hashtbl.replace st.candidates digest c;
+    c
 
 let rec advance_delivery t =
   match Hashtbl.find_opt t.orders (t.delivered + 1) with
   | None -> ()
-  | Some st when not st.committed -> ()
-  | Some st ->
-    let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys in
-    if List.length requests = List.length st.keys then begin
-      t.delivered <- st.o;
-      List.iter
-        (fun k ->
-          t.pending <- Key_map.remove k t.pending;
-          t.arrival <- Key_map.remove k t.arrival)
-        st.keys;
-      let batch = Batch.make requests in
-      t.ctx.Context.deliver ~seq:st.o batch;
-      t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
-      advance_delivery t
-    end
+  | Some st -> (
+    match st.winner with
+    | None -> ()
+    | Some digest ->
+      let cand = Hashtbl.find st.candidates digest in
+      let keys = Option.value cand.c_keys ~default:[] in
+      (* A coordinator elected across a partition may rebatch requests that an
+         earlier batch already committed; deliver each request at most once.
+         Correct processes commit the same digest sequence, so they filter
+         identically. *)
+      let fresh = List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) keys in
+      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
+      if List.length requests = List.length fresh then begin
+        t.delivered <- st.o;
+        List.iter
+          (fun k ->
+            t.delivered_keys <- Key_set.add k t.delivered_keys;
+            t.pending <- Key_map.remove k t.pending;
+            t.arrival <- Key_map.remove k t.arrival)
+          fresh;
+        let batch = Batch.make requests in
+        t.ctx.Context.deliver ~seq:st.o batch;
+        t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+        advance_delivery t
+      end)
 
 let try_commit t st =
-  if st.have_order && (not st.committed) && Int_set.cardinal st.sources >= quorum t
-  then begin
-    st.committed <- true;
-    t.last_progress <- t.ctx.Context.now ();
-    if st.o > t.max_committed then t.max_committed <- st.o;
-    t.ctx.Context.emit
-      (Context.Committed { seq = st.o; digest = st.digest; keys = st.keys });
-    advance_delivery t
+  if st.winner = None then begin
+    Hashtbl.iter
+      (fun digest cand ->
+        if
+          st.winner = None
+          && cand.c_keys <> None
+          && Int_set.cardinal cand.c_votes >= quorum t
+        then begin
+          st.winner <- Some digest;
+          t.last_progress <- t.ctx.Context.now ();
+          if st.o > t.max_committed then t.max_committed <- st.o;
+          let keys = Option.value cand.c_keys ~default:[] in
+          List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) keys;
+          t.ctx.Context.emit (Context.Committed { seq = st.o; digest; keys })
+        end)
+      st.candidates;
+    if st.winner <> None then advance_delivery t
   end
 
-let send_ack t st =
-  if st.have_order && not st.acked then begin
-    st.acked <- true;
-    let body = Message.Ack { c = t.epoch; o = st.o; digest = st.digest } in
+let vote t st digest cand =
+  if not st.voted then begin
+    st.voted <- true;
+    cand.c_votes <- Int_set.add (id t) cand.c_votes;
+    let body = Message.Ack { c = t.epoch; o = st.o; digest } in
     t.ctx.Context.multicast ~dsts:t.all_ids
       { Message.sender = id t; body; signature = ""; endorsement = None }
   end
 
-let accept_order t ~sender ~(info : Message.order_info) =
+(* Record a candidate batch and cast this process's one vote per sequence
+   number for the first candidate seen, marking its keys so this process does
+   not rebatch them if it later coordinates. *)
+let learn_candidate t (info : Message.order_info) =
   let st = get_order t info.Message.o in
-  if st.have_order && st.digest <> info.Message.digest then
-    (* Crash-only model: conflicting orders do not arise from honest
-       coordinators; keep the first. *)
-    ()
-  else begin
-    if not st.have_order then begin
-      st.have_order <- true;
-      st.digest <- info.Message.digest;
-      st.keys <- info.Message.keys;
-      List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys
-    end;
-    st.sources <- Int_set.add sender st.sources;
-    send_ack t st;
-    try_commit t st
-  end
+  let cand = get_candidate st info.Message.digest in
+  if cand.c_keys = None then cand.c_keys <- Some info.Message.keys;
+  if not st.voted then
+    List.iter
+      (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys)
+      info.Message.keys;
+  vote t st info.Message.digest cand;
+  (st, cand)
+
+let accept_order t ~sender ~(info : Message.order_info) =
+  let st, cand = learn_candidate t info in
+  cand.c_votes <- Int_set.add sender cand.c_votes;
+  try_commit t st
+
+(* Coordinator sync (crash fail-over under partitions): a probe announces the
+   prober's epoch and delivery low-water mark; peers answer with every
+   candidate order they know of at or above that mark (see the Heartbeat and
+   View_change cases of [on_message]).  A freshly rotated coordinator mints
+   nothing until a quorum has answered, so it cannot collide with orders
+   minted on the other side of a partition it just left. *)
+let probe t =
+  t.last_probe <- t.ctx.Context.now ();
+  t.ctx.Context.multicast
+    ~dsts:(List.filter (fun p -> p <> id t) t.all_ids)
+    {
+      Message.sender = id t;
+      body = Message.Heartbeat { pair = t.epoch; beat = t.delivered + 1 };
+      signature = "";
+      endorsement = None;
+    }
 
 let rec arm_batch_timer t =
   let h =
@@ -137,26 +216,37 @@ let rec arm_batch_timer t =
 and batch_tick t =
   if i_am_coordinator t then begin
     let pool = Key_map.filter (fun k _ -> not (Key_set.mem k t.ordered_keys)) t.pending in
-    if not (Key_map.is_empty pool) then begin
-      let requests = Batch.take_from_pool ~limit:t.config.batch_size_limit ~pool in
-      let batch = Batch.make requests in
-      let o = t.next_seq in
-      t.next_seq <- o + 1;
-      t.ctx.Context.digest_charge (Batch.encoded_size batch);
-      let info =
-        { Message.o; digest = Batch.digest t.config.digest batch; keys = Batch.keys batch }
-      in
-      t.ctx.Context.emit
-        (Context.Batched
-           { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
-      List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
-      let body = Message.Order { c = t.epoch; info } in
-      let env = { Message.sender = id t; body; signature = ""; endorsement = None } in
-      t.ctx.Context.multicast
-        ~dsts:(List.filter (fun p -> p <> id t) t.all_ids)
-        env;
-      accept_order t ~sender:(id t) ~info
-    end;
+    if not (Key_map.is_empty pool) then
+      if t.sync_pending || not (quorum_contact t) then begin
+        (* Probe instead of minting; peers answer with their candidate
+           backlog, so minting resumes once the network heals even when no
+           other traffic would refresh the contact evidence. *)
+        let now = t.ctx.Context.now () in
+        if
+          Simtime.compare (Simtime.add t.last_probe t.config.suspect_timeout) now
+          <= 0
+        then probe t
+      end
+      else begin
+        let requests = Batch.take_from_pool ~limit:t.config.batch_size_limit ~pool in
+        let batch = Batch.make requests in
+        let o = t.next_seq in
+        t.next_seq <- o + 1;
+        t.ctx.Context.digest_charge (Batch.encoded_size batch);
+        let info =
+          { Message.o; digest = Batch.digest t.config.digest batch; keys = Batch.keys batch }
+        in
+        t.ctx.Context.emit
+          (Context.Batched
+             { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+        List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+        let body = Message.Order { c = t.epoch; info } in
+        let env = { Message.sender = id t; body; signature = ""; endorsement = None } in
+        t.ctx.Context.multicast
+          ~dsts:(List.filter (fun p -> p <> id t) t.all_ids)
+          env;
+        accept_order t ~sender:(id t) ~info
+      end;
     arm_batch_timer t
   end
 
@@ -185,9 +275,11 @@ and suspect_tick t =
     (* Refresh arrivals so the next coordinator gets a full grace period. *)
     t.arrival <- Key_map.map (fun _ -> now) t.arrival;
     if i_am_coordinator t then begin
-      (* Continue above everything this process knows of. *)
-      t.next_seq <-
-        1 + Hashtbl.fold (fun o _ acc -> max o acc) t.orders t.max_committed;
+      (* Sync with a quorum before minting anything; [next_seq] is
+         recomputed when the sync completes. *)
+      t.sync_pending <- true;
+      t.sync_replies <- Int_set.singleton (id t);
+      probe t;
       arm_batch_timer t
     end
   end;
@@ -203,28 +295,84 @@ let on_request t (req : Request.t) =
   end
 
 let on_message t ~src (env : Message.envelope) =
-  ignore src;
+  if src >= 0 && src < Array.length t.last_heard then
+    t.last_heard.(src) <- t.ctx.Context.now ();
   match env.Message.body with
   | Message.Order { c; info } ->
-    (* Accept orders from the coordinator of this or a later epoch (a
-       rotated coordinator may be ahead of our suspicion). *)
-    if c >= t.epoch && env.Message.sender = c mod process_count t.config then begin
+    (* Accept orders from the legitimate coordinator of the order's own
+       epoch, whatever this process's current epoch: after a partition heals,
+       a process that rotated while isolated must still be able to learn the
+       orders it missed (the retransmission channel redelivers them carrying
+       their original epoch).  Vote-once per sequence number keeps commits
+       unique even when concurrent coordinators proposed conflicting
+       batches. *)
+    if env.Message.sender = c mod process_count t.config then begin
       if c > t.epoch then t.epoch <- c;
       accept_order t ~sender:env.Message.sender ~info
     end
   | Message.Ack { o; digest; _ } ->
+    (* Tally the vote under its digest; the order contents may arrive later
+       (the commit waits until some quorum'd digest also has its keys). *)
     let st = get_order t o in
-    if st.have_order && st.digest = digest then begin
-      st.sources <- Int_set.add env.Message.sender st.sources;
-      try_commit t st
+    let cand = get_candidate st digest in
+    cand.c_votes <- Int_set.add env.Message.sender cand.c_votes;
+    try_commit t st
+  | Message.Heartbeat { pair = e; beat } ->
+    (* CT repurposes the heartbeat as a coordinator probe: [pair] carries the
+       prober's epoch, [beat - 1] its delivered sequence number (heartbeats
+       only flow between the paired processes of SC/SCR, so every heartbeat a
+       CT process receives is a probe).  Adopting a legitimately probed
+       higher epoch makes a stale coordinator stand down before the prober
+       ever mints; the View_change reply hands the prober every candidate it
+       might otherwise collide with. *)
+    if env.Message.sender = e mod process_count t.config then begin
+      if e > t.epoch then t.epoch <- e;
+      let low = beat in
+      let uncommitted =
+        Hashtbl.fold
+          (fun o st acc ->
+            if o < low then acc
+            else
+              Hashtbl.fold
+                (fun digest cand acc ->
+                  match cand.c_keys with
+                  | Some keys -> { Message.o; digest; keys } :: acc
+                  | None -> acc)
+                st.candidates acc)
+          t.orders []
+      in
+      t.ctx.Context.send ~dst:src
+        {
+          Message.sender = id t;
+          body =
+            Message.View_change
+              {
+                v = e;
+                max_committed = t.max_committed;
+                committed_digest = "";
+                uncommitted;
+              };
+          signature = "";
+          endorsement = None;
+        }
     end
-    else if not st.have_order then
-      (* Buffer the vote until the order arrives (crash-only: all votes for
-         a sequence number reference the same batch). *)
-      st.sources <- Int_set.add env.Message.sender st.sources
-  | Message.Heartbeat _ | Message.Fail_signal _ | Message.Back_log _
+  | Message.View_change { v; uncommitted; _ } ->
+    (* Reply to a probe this process sent: learn (and vote for) the relayed
+       candidates, and once a quorum has answered the current epoch, start
+       minting above everything now known. *)
+    List.iter (fun info -> ignore (learn_candidate t info)) uncommitted;
+    List.iter (fun info -> try_commit t (get_order t info.Message.o)) uncommitted;
+    if t.sync_pending && v = t.epoch && i_am_coordinator t then begin
+      t.sync_replies <- Int_set.add env.Message.sender t.sync_replies;
+      if Int_set.cardinal t.sync_replies >= quorum t then begin
+        t.sync_pending <- false;
+        t.next_seq <-
+          1 + Hashtbl.fold (fun o _ acc -> max o acc) t.orders t.max_committed
+      end
+    end
+  | Message.Fail_signal _ | Message.Back_log _
   | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
-  | Message.View_change _ | Message.New_view _ | Message.Unwilling _
+  | Message.New_view _ | Message.Unwilling _
   | Message.Pre_prepare _ | Message.Prepare _ | Message.Commit _
   | Message.Bft_view_change _ | Message.Bft_new_view _ ->
     ()
@@ -242,6 +390,7 @@ let create ~ctx ~config =
     pending = Key_map.empty;
     arrival = Key_map.empty;
     ordered_keys = Key_set.empty;
+    delivered_keys = Key_set.empty;
     orders = Hashtbl.create 64;
     max_committed = 0;
     delivered = 0;
@@ -249,4 +398,8 @@ let create ~ctx ~config =
     batch_timer = None;
     suspect_timer = None;
     last_progress = Simtime.zero;
+    last_heard = Array.make (process_count config) Simtime.zero;
+    sync_pending = false;
+    sync_replies = Int_set.empty;
+    last_probe = Simtime.zero;
   }

@@ -2,6 +2,7 @@ module Simtime = Sof_sim.Simtime
 module Engine = Sof_sim.Engine
 module Cpu = Sof_sim.Cpu
 module Network = Sof_net.Network
+module Channel = Sof_net.Channel
 module Delay_model = Sof_net.Delay_model
 module Scheme = Sof_crypto.Scheme
 module Keyring = Sof_crypto.Keyring
@@ -27,6 +28,8 @@ type spec = {
   machine_factory : unit -> Sof_smr.State_machine.t;
   dumb_optimization : bool;
   real_crypto : bool;
+  use_channel : bool;
+  channel_config : Channel.config;
 }
 
 let default_spec ~kind ~f =
@@ -47,6 +50,8 @@ let default_spec ~kind ~f =
     machine_factory = Sof_smr.Kv_store.machine;
     dumb_optimization = true;
     real_crypto = false;
+    use_channel = false;
+    channel_config = Channel.default_config;
   }
 
 type proc = Sc of P.Sc.t | Scr of P.Scr.t | Bft of P.Bft.t | Ct of P.Ct.t
@@ -61,6 +66,7 @@ type t = {
   spec : spec;
   engine : Engine.t;
   net : Network.t;
+  chan : Channel.t option;
   keyring : Keyring.t;
   nodes : node array;
   mutable event_log : (Simtime.t * int * P.Context.event) list;
@@ -77,6 +83,20 @@ let process_count_of_spec spec =
 let process_count t = Array.length t.nodes
 let engine t = t.engine
 let network t = t.net
+let channel t = t.chan
+let spec t = t.spec
+
+(* Protocol traffic goes straight onto the network, or through the reliable
+   channel when the spec asks for one (lossy-substrate runs). *)
+let transport_send t ~src ~dst payload =
+  match t.chan with
+  | Some chan -> Channel.send chan ~src ~dst payload
+  | None -> Network.send t.net ~src ~dst payload
+
+let set_transport_handler t who handler =
+  match t.chan with
+  | Some chan -> Channel.set_handler chan who handler
+  | None -> Network.set_handler t.net who handler
 
 let proc t i =
   match t.nodes.(i).node_proc with
@@ -110,7 +130,7 @@ let make_context t i =
   let send ~dst env =
     let payload = P.Message.encode env in
     let cost = Cost_model.send_cost t.spec.cost ~size:(String.length payload) in
-    Cpu.submit node.node_cpu ~cost (fun () -> Network.send t.net ~src:i ~dst payload)
+    Cpu.submit node.node_cpu ~cost (fun () -> transport_send t ~src:i ~dst payload)
   in
   let multicast ~dsts env =
     let payload = P.Message.encode env in
@@ -118,7 +138,7 @@ let make_context t i =
     List.iter
       (fun dst ->
         Cpu.submit node.node_cpu ~cost (fun () ->
-            Network.send t.net ~src:i ~dst payload))
+            transport_send t ~src:i ~dst payload))
       dsts
   in
   let set_timer ~delay k =
@@ -177,6 +197,10 @@ let build spec =
   let net =
     Network.create ~engine ~rng:net_rng ~node_count:n ~default_delay:spec.lan
   in
+  let chan =
+    if spec.use_channel then Some (Channel.attach ~config:spec.channel_config net)
+    else None
+  in
   let scheme =
     match spec.kind with Ct_protocol -> Scheme.null | _ -> spec.scheme
   in
@@ -206,6 +230,7 @@ let build spec =
       spec = { spec with scheme };
       engine;
       net;
+      chan;
       keyring;
       nodes;
       event_log = [];
@@ -268,7 +293,7 @@ let build spec =
     done);
   (* Inbound path: network -> CPU (receive cost) -> decode -> protocol. *)
   for i = 0 to n - 1 do
-    Network.set_handler net i (fun ~src payload ->
+    set_transport_handler t i (fun ~src payload ->
         let node = t.nodes.(i) in
         let cost =
           Cost_model.recv_cost spec.cost

@@ -31,6 +31,12 @@ type spec = {
           Timing is unaffected either way (the cost model rules); real
           crypto makes runs much slower and is meant for end-to-end
           authenticity demos. *)
+  use_channel : bool;
+      (** Route all protocol traffic through a {!Sof_net.Channel} so the
+          protocols keep their reliable-channel assumption even when the
+          substrate drops, duplicates, reorders or partitions. *)
+  channel_config : Sof_net.Channel.config;
+      (** Retransmission tuning when [use_channel] is set. *)
 }
 
 val default_spec : kind:kind -> f:int -> spec
@@ -51,6 +57,14 @@ val build : spec -> t
 val process_count : t -> int
 val engine : t -> Sof_sim.Engine.t
 val network : t -> Sof_net.Network.t
+
+val channel : t -> Sof_net.Channel.t option
+(** The reliable channel carrying protocol traffic, when [spec.use_channel]
+    was set; its stats prove whether the lossy path was exercised. *)
+
+val spec : t -> spec
+(** The spec the cluster was built from (fault assignments and all). *)
+
 val proc : t -> int -> proc
 val cpu : t -> int -> Sof_sim.Cpu.t
 val machine : t -> int -> Sof_smr.State_machine.t option

@@ -1,0 +1,144 @@
+module Simtime = Sof_sim.Simtime
+module P = Sof_protocol
+module Request = Sof_smr.Request
+
+type result = {
+  name : string;
+  pass : bool;
+  detail : string;
+}
+
+let ok name = { name; pass = true; detail = "ok" }
+let fail name detail = { name; pass = false; detail }
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-22s %s%s" r.name
+    (if r.pass then "PASS" else "FAIL")
+    (if r.pass then "" else "  (" ^ r.detail ^ ")")
+
+let all_pass = List.for_all (fun r -> r.pass)
+
+(* Delivered events of honest processes, in emission order (which is
+   per-process sequence order — Context.deliver is called in strict sequence
+   order). *)
+let deliveries cluster ~honest =
+  List.filter_map
+    (fun (at, who, event) ->
+      match event with
+      | P.Context.Delivered { seq; batch } when List.mem who honest ->
+        Some (at, who, seq, batch)
+      | _ -> None)
+    (Cluster.events cluster)
+
+let batch_keys batch = P.Batch.keys batch
+
+(* ----------------------------------------------------------- agreement *)
+
+let agreement cluster ~honest =
+  let name = "agreement" in
+  (* seq -> (process, keys) first seen; any later divergence is a violation. *)
+  let by_seq : (int, int * Request.key list) Hashtbl.t = Hashtbl.create 256 in
+  let violation = ref None in
+  List.iter
+    (fun (_, who, seq, batch) ->
+      if !violation = None then
+        let keys = batch_keys batch in
+        match Hashtbl.find_opt by_seq seq with
+        | None -> Hashtbl.replace by_seq seq (who, keys)
+        | Some (other, keys') ->
+          if keys <> keys' then
+            violation :=
+              Some
+                (Printf.sprintf
+                   "processes %d and %d delivered different batches at seq %d"
+                   other who seq))
+    (deliveries cluster ~honest);
+  match !violation with None -> ok name | Some d -> fail name d
+
+(* -------------------------------------------------- prefix consistency *)
+
+let prefix_consistency cluster ~honest =
+  let name = "prefix-consistency" in
+  let streams = Hashtbl.create 8 in
+  List.iter
+    (fun (_, who, _, batch) ->
+      let prev = Option.value (Hashtbl.find_opt streams who) ~default:[] in
+      Hashtbl.replace streams who (List.rev_append (batch_keys batch) prev))
+    (deliveries cluster ~honest);
+  let seqs =
+    List.map
+      (fun who ->
+        (who, List.rev (Option.value (Hashtbl.find_opt streams who) ~default:[])))
+      honest
+  in
+  let is_prefix a b =
+    let rec go a b =
+      match (a, b) with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: a', y :: b' -> x = y && go a' b'
+    in
+    go a b
+  in
+  let rec check = function
+    | [] -> ok name
+    | (i, si) :: rest -> (
+      match
+        List.find_opt (fun (_, sj) -> not (is_prefix si sj || is_prefix sj si)) rest
+      with
+      | Some (j, _) ->
+        fail name
+          (Printf.sprintf "processes %d and %d delivered divergent request streams" i j)
+      | None -> check rest)
+  in
+  check seqs
+
+(* ------------------------------------------------------------ validity *)
+
+let validity cluster ~honest ~injected =
+  let name = "validity" in
+  let seen : (int * Request.key, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let violation = ref None in
+  List.iter
+    (fun (_, who, _, batch) ->
+      if !violation = None then
+        List.iter
+          (fun key ->
+            if not (Request.Key_set.mem key injected) then
+              violation :=
+                Some
+                  (Format.asprintf "process %d delivered un-injected request %a" who
+                     Request.pp_key key)
+            else if Hashtbl.mem seen (who, key) then
+              violation :=
+                Some
+                  (Format.asprintf "process %d delivered request %a twice" who
+                     Request.pp_key key)
+            else Hashtbl.replace seen (who, key) ())
+          (batch_keys batch))
+    (deliveries cluster ~honest);
+  match !violation with None -> ok name | Some d -> fail name d
+
+(* -------------------------------------------------- liveness after heal *)
+
+let liveness_after_heal cluster ~honest ~heal_time =
+  let name = "liveness-after-heal" in
+  let latest = Hashtbl.create 8 in
+  List.iter
+    (fun (at, who, _, _) ->
+      let prev = Option.value (Hashtbl.find_opt latest who) ~default:Simtime.zero in
+      Hashtbl.replace latest who (Simtime.max prev at))
+    (deliveries cluster ~honest);
+  match
+    List.find_opt
+      (fun who ->
+        match Hashtbl.find_opt latest who with
+        | None -> true
+        | Some at -> Simtime.compare at heal_time <= 0)
+      honest
+  with
+  | None -> ok name
+  | Some who ->
+    fail name
+      (Format.asprintf "process %d delivered nothing after the last heal (%a)" who
+         Simtime.pp heal_time)

@@ -1,0 +1,42 @@
+(** Protocol invariant checking for chaos runs.
+
+    These checks are the referee of the Nemesis harness: after a campaign of
+    partitions, crashes, surges and Byzantine faults, they decide whether
+    the run preserved the state-machine-replication contract.  They operate
+    on the event log a {!Cluster} accumulates, restricted to the processes
+    the caller declares honest (processes built with a
+    {!Sof_protocol.Fault.t} other than [Honest] may deliver anything —
+    Byzantine behaviour is their right).
+
+    - {b Agreement}: no two honest processes deliver different batches at
+      the same sequence number.
+    - {b Prefix consistency}: the delivered request streams of any two
+      honest processes are prefixes of one another (total order, no gaps
+      observable at the service).
+    - {b Validity}: every request an honest process delivers was actually
+      injected by a client (no fabrication), and no honest process delivers
+      the same request twice (at-most-once at the service).
+    - {b Liveness after heal}: once the last scheduled disturbance is past,
+      every honest surviving process delivers again — the system came back. *)
+
+type result = {
+  name : string;
+  pass : bool;
+  detail : string;  (** Human-readable; names the first violation found. *)
+}
+
+val agreement : Cluster.t -> honest:int list -> result
+
+val prefix_consistency : Cluster.t -> honest:int list -> result
+
+val validity :
+  Cluster.t -> honest:int list -> injected:Sof_smr.Request.Key_set.t -> result
+
+val liveness_after_heal :
+  Cluster.t -> honest:int list -> heal_time:Sof_sim.Simtime.t -> result
+(** [honest] here should already exclude crashed processes; a process that
+    was crashed by the campaign is under no obligation to deliver. *)
+
+val all_pass : result list -> bool
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,309 @@
+module Simtime = Sof_sim.Simtime
+module Engine = Sof_sim.Engine
+module Network = Sof_net.Network
+module Channel = Sof_net.Channel
+module Link_fault = Sof_net.Link_fault
+module Rng = Sof_util.Rng
+module P = Sof_protocol
+module Request = Sof_smr.Request
+
+type action =
+  | Partition of int list list
+  | Heal
+  | Crash of int
+  | Surge of float
+  | Clear_surge
+
+type step = { at : Simtime.t; action : action }
+
+type plan = {
+  steps : step list;
+  byz_faults : (int * P.Fault.t) list;
+  link_fault : Link_fault.t;
+}
+
+type report = {
+  kind : Cluster.kind;
+  f : int;
+  seed : int64;
+  plan : plan;
+  invariants : Invariants.result list;
+  channel : Channel.stats;
+  net : Network.stats;
+  honest : int list;
+  crashed : int list;
+  min_honest_deliveries : int;
+  injected : int;
+  passed : bool;
+}
+
+(* ------------------------------------------------------ process layout *)
+
+let process_count ~kind ~f =
+  match kind with
+  | Cluster.Sc_protocol -> (3 * f) + 1
+  | Cluster.Scr_protocol -> (3 * f) + 2
+  | Cluster.Bft_protocol -> (3 * f) + 1
+  | Cluster.Ct_protocol -> (2 * f) + 1
+
+(* Partition units: pair members must stay on the same side, otherwise a
+   partition reads as a pair failure — permanent under SC's assumptions and
+   outside what the campaign means to test.  Ids follow Config's layout:
+   replicas 0..2f, shadows from 2f+1, pair r = {r-1, 2f+r}. *)
+let partition_units ~kind ~f =
+  let n = process_count ~kind ~f in
+  match kind with
+  | Cluster.Sc_protocol | Cluster.Scr_protocol ->
+    let pairs = match kind with Cluster.Sc_protocol -> f | _ -> f + 1 in
+    let paired = List.init pairs (fun r -> [ r; (2 * f) + 1 + r ]) in
+    let singles =
+      List.filter_map
+        (fun i -> if i >= pairs && i <= 2 * f then Some [ i ] else None)
+        (List.init n Fun.id)
+    in
+    paired @ singles
+  | Cluster.Bft_protocol | Cluster.Ct_protocol -> List.init n (fun i -> [ i ])
+
+(* A process whose crash the protocol absorbs without exhausting the fault
+   budget: a non-candidate replica for SC/SCR, the last process otherwise. *)
+let crash_target ~rng ~kind ~f =
+  match kind with
+  | Cluster.Sc_protocol | Cluster.Scr_protocol -> f + 1 + Rng.int rng f
+  | Cluster.Bft_protocol | Cluster.Ct_protocol -> process_count ~kind ~f - 1
+
+let random_plan ~rng ~kind ~f ~duration =
+  let frac x = Simtime.scale duration x in
+  let link_fault =
+    Link_fault.make
+      ~drop:(0.01 +. Rng.float rng 0.03)
+      ~duplicate:(Rng.float rng 0.02)
+      ~reorder:(0.05 +. Rng.float rng 0.10)
+      ~reorder_window:(Simtime.ms (1 + Rng.int rng 5))
+      ()
+  in
+  (* Two nonempty sides out of the partition units, pairs intact. *)
+  let split_groups () =
+    let units = Array.of_list (partition_units ~kind ~f) in
+    let k = Array.length units in
+    (* Fisher–Yates on the unit order, then cut at a random point. *)
+    for i = k - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = units.(i) in
+      units.(i) <- units.(j);
+      units.(j) <- tmp
+    done;
+    let cut = 1 + Rng.int rng (k - 1) in
+    let side = List.concat (Array.to_list (Array.sub units 0 cut)) in
+    [ List.sort compare side ]
+  in
+  let surge_at = frac (0.05 +. Rng.float rng 0.08) in
+  let surge_end = Simtime.add surge_at (frac (0.08 +. Rng.float rng 0.08)) in
+  let part_at = frac (0.22 +. Rng.float rng 0.08) in
+  let part_end = Simtime.add part_at (frac (0.08 +. Rng.float rng 0.10)) in
+  let crash_at = frac (0.45 +. Rng.float rng 0.10) in
+  let part2_at = frac (0.58 +. Rng.float rng 0.05) in
+  let part2_end = Simtime.add part2_at (frac (0.05 +. Rng.float rng 0.05)) in
+  let second_partition = Rng.bool rng in
+  let steps =
+    [
+      { at = surge_at; action = Surge (2.0 +. Rng.float rng 2.0) };
+      { at = surge_end; action = Clear_surge };
+      { at = part_at; action = Partition (split_groups ()) };
+      { at = part_end; action = Heal };
+      { at = crash_at; action = Crash (crash_target ~rng ~kind ~f) };
+    ]
+    @ (if second_partition then
+         [
+           { at = part2_at; action = Partition (split_groups ()) };
+           { at = part2_end; action = Heal };
+         ]
+       else [])
+  in
+  let steps = List.sort (fun a b -> Simtime.compare a.at b.at) steps in
+  { steps; byz_faults = []; link_fault }
+
+(* --------------------------------------------------------------- apply *)
+
+let apply_action cluster action =
+  let net = Cluster.network cluster in
+  match action with
+  | Partition groups -> Network.partition net ~groups
+  | Heal -> Network.heal net
+  | Crash who -> Cluster.crash cluster who
+  | Surge factor -> Network.set_surge net ~factor
+  | Clear_surge -> Network.clear_surge net
+
+(* Synthetic clients, like Workload.install but recording every injected
+   request key so validity can be judged. *)
+let install_recorded_workload cluster ~rate ~duration ~injected =
+  let engine = Cluster.engine cluster in
+  let clients = 4 in
+  let horizon = Simtime.add (Engine.now engine) duration in
+  let per_client_rate = rate /. float_of_int clients in
+  let mean_gap_ms = 1000.0 /. per_client_rate in
+  for client = 0 to clients - 1 do
+    let rng = Engine.fork_rng engine in
+    let seq = ref 0 in
+    let rec arrive () =
+      let gap = Simtime.of_ms_float (Rng.exponential rng ~mean:mean_gap_ms) in
+      let at = Simtime.add (Engine.now engine) gap in
+      if Simtime.compare at horizon <= 0 then
+        ignore
+          (Engine.schedule engine ~delay:gap (fun () ->
+               incr seq;
+               let key = Printf.sprintf "k%d" (Rng.int rng 10_000) in
+               let op = Sof_smr.Kv_store.encode_op (Sof_smr.Kv_store.Put (key, "v")) in
+               let req = Request.make ~client ~client_seq:!seq ~op in
+               injected := Request.Key_set.add req.Request.key !injected;
+               Cluster.inject_request cluster req;
+               arrive ()))
+    in
+    arrive ()
+  done
+
+(* ----------------------------------------------------------------- run *)
+
+let run ?plan ?(rate = 150.0) ~kind ~f ~seed ~duration () =
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+      (* Split so the campaign stream is distinct from the engine's root. *)
+      random_plan ~rng:(Rng.split (Rng.create seed)) ~kind ~f ~duration
+  in
+  let spec =
+    {
+      (Cluster.default_spec ~kind ~f) with
+      Cluster.batching_interval = Simtime.ms 50;
+      (* Generous: retransmission over a lossy pair link adds delay that
+         must not read as a time-domain pair failure. *)
+      pair_delay_estimate = Simtime.ms 400;
+      heartbeat_interval = Simtime.ms 50;
+      seed;
+      faults = plan.byz_faults;
+      use_channel = true;
+    }
+  in
+  let cluster = Cluster.build spec in
+  let net = Cluster.network cluster in
+  let engine = Cluster.engine cluster in
+  Network.set_all_link_faults net plan.link_fault;
+  List.iter
+    (fun { at; action } ->
+      ignore (Engine.schedule_at engine ~at (fun () -> apply_action cluster action)))
+    plan.steps;
+  (* Every campaign ends whole: whatever the last step left severed or
+     surged is repaired at its instant, and liveness is judged after it. *)
+  let heal_time =
+    List.fold_left (fun acc s -> Simtime.max acc s.at) Simtime.zero plan.steps
+  in
+  ignore
+    (Engine.schedule_at engine ~at:heal_time (fun () ->
+         Network.heal net;
+         Network.clear_surge net));
+  let injected = ref Request.Key_set.empty in
+  install_recorded_workload cluster ~rate ~duration ~injected;
+  Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 3));
+  (* Judge. *)
+  let n = Cluster.process_count cluster in
+  let byz = List.map fst plan.byz_faults in
+  let honest =
+    List.filter (fun i -> not (List.mem i byz)) (List.init n Fun.id)
+  in
+  let crashed = List.filter (Network.is_crashed net) (List.init n Fun.id) in
+  let live_honest = List.filter (fun i -> not (List.mem i crashed)) honest in
+  let invariants =
+    [
+      Invariants.agreement cluster ~honest;
+      Invariants.prefix_consistency cluster ~honest;
+      Invariants.validity cluster ~honest ~injected:!injected;
+      Invariants.liveness_after_heal cluster ~honest:live_honest ~heal_time;
+    ]
+  in
+  let deliveries = Array.make n 0 in
+  List.iter
+    (fun (_, who, event) ->
+      match event with
+      | P.Context.Delivered _ -> deliveries.(who) <- deliveries.(who) + 1
+      | _ -> ())
+    (Cluster.events cluster);
+  let min_honest_deliveries =
+    List.fold_left (fun acc i -> min acc deliveries.(i)) max_int live_honest
+  in
+  let channel =
+    match Cluster.channel cluster with
+    | Some chan -> Channel.total_stats chan
+    | None -> assert false (* run always builds with use_channel *)
+  in
+  {
+    kind;
+    f;
+    seed;
+    plan;
+    invariants;
+    channel;
+    net = Network.stats net;
+    honest;
+    crashed;
+    min_honest_deliveries;
+    injected = Request.Key_set.cardinal !injected;
+    passed = Invariants.all_pass invariants;
+  }
+
+(* -------------------------------------------------------------- report *)
+
+let kind_name = function
+  | Cluster.Sc_protocol -> "sc"
+  | Cluster.Scr_protocol -> "scr"
+  | Cluster.Bft_protocol -> "bft"
+  | Cluster.Ct_protocol -> "ct"
+
+let pp_action fmt = function
+  | Partition groups ->
+    Format.fprintf fmt "partition {%s} | rest"
+      (String.concat "} {"
+         (List.map
+            (fun g -> String.concat " " (List.map string_of_int g))
+            groups))
+  | Heal -> Format.pp_print_string fmt "heal"
+  | Crash who -> Format.fprintf fmt "crash p%d" who
+  | Surge factor -> Format.fprintf fmt "surge x%.1f" factor
+  | Clear_surge -> Format.pp_print_string fmt "surge clear"
+
+let pp_report fmt r =
+  Format.fprintf fmt "chaos: protocol=%s f=%d seed=%Ld@." (kind_name r.kind) r.f
+    r.seed;
+  Format.fprintf fmt "substrate: %a@." Link_fault.pp r.plan.link_fault;
+  (match r.plan.byz_faults with
+  | [] -> ()
+  | faults ->
+    Format.fprintf fmt "byzantine:";
+    List.iter (fun (i, ft) -> Format.fprintf fmt " p%d:%a" i P.Fault.pp ft) faults;
+    Format.fprintf fmt "@.");
+  Format.fprintf fmt "campaign:@.";
+  List.iter
+    (fun { at; action } ->
+      Format.fprintf fmt "  %8.1fms  %a@." (Simtime.to_ms at) pp_action action)
+    r.plan.steps;
+  Format.fprintf fmt "invariants:@.";
+  List.iter (fun res -> Format.fprintf fmt "  %a@." Invariants.pp_result res) r.invariants;
+  Format.fprintf fmt
+    "channel: %d data, %d retransmits, %d dup-drops, %d stale-acks, max backoff %a@."
+    r.channel.Channel.data_sent r.channel.Channel.retransmits
+    r.channel.Channel.dup_drops r.channel.Channel.stale_acks Simtime.pp
+    r.channel.Channel.max_backoff_reached;
+  Format.fprintf fmt
+    "network: %d sent, %d dropped, %d duplicated, %d reordered, %d severed@."
+    r.net.Network.messages_sent r.net.Network.messages_dropped
+    r.net.Network.messages_duplicated r.net.Network.messages_reordered
+    r.net.Network.partition_dropped;
+  Format.fprintf fmt "deliveries: min over honest survivors = %d (of %d injected)@."
+    r.min_honest_deliveries r.injected;
+  (match r.crashed with
+  | [] -> ()
+  | c ->
+    Format.fprintf fmt "crashed:%s@."
+      (String.concat "" (List.map (Printf.sprintf " p%d") c)));
+  Format.fprintf fmt "verdict: %s (seed %Ld replays this campaign)@."
+    (if r.passed then "PASS" else "FAIL")
+    r.seed

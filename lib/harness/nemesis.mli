@@ -1,0 +1,81 @@
+(** Nemesis: adversarial fault campaigns against a protocol run.
+
+    A campaign is a timed script of substrate-level disturbances —
+    partitions, heals, crashes, delay surges — layered on a baseline lossy
+    link profile and optional build-time Byzantine faults
+    ({!Sof_protocol.Fault.t}).  {!run} executes the campaign against a
+    cluster whose protocol traffic rides the reliable {!Sof_net.Channel}
+    (the protocols keep their proved channel assumption; the substrate
+    misbehaves underneath), then judges the run with {!Invariants}.
+
+    Campaigns are either scripted by hand or generated from a seed with
+    {!random_plan}; the same seed always reproduces the same campaign and
+    the same simulation, so a failing report is a replayable bug. *)
+
+type action =
+  | Partition of int list list
+      (** Sever the network into these groups (unlisted processes form one
+          residual group). *)
+  | Heal  (** Remove the active partition. *)
+  | Crash of int  (** Hard-crash a process (silent, loses in-flight). *)
+  | Surge of float  (** Multiply all delays (partial-synchrony storm). *)
+  | Clear_surge
+
+type step = { at : Sof_sim.Simtime.t; action : action }
+
+type plan = {
+  steps : step list;
+  byz_faults : (int * Sof_protocol.Fault.t) list;
+      (** Installed at build time; such processes are exempt from invariant
+          checking.  Scripted plans may set these; {!random_plan} leaves
+          them empty so the crash stays within the fault budget. *)
+  link_fault : Sof_net.Link_fault.t;
+      (** Baseline misbehaviour on every link for the whole run. *)
+}
+
+val random_plan :
+  rng:Sof_util.Rng.t ->
+  kind:Cluster.kind ->
+  f:int ->
+  duration:Sof_sim.Simtime.t ->
+  plan
+(** A deterministic campaign within the protocol's fault budget: lossy links
+    throughout, a delay surge, at least one partition+heal (pair members are
+    never separated, so SC's pair-synchrony assumption survives), and one
+    crash of a process whose loss the protocol tolerates.  All disturbances
+    end by ~70% of [duration], leaving a window to observe recovery. *)
+
+type report = {
+  kind : Cluster.kind;
+  f : int;
+  seed : int64;
+  plan : plan;
+  invariants : Invariants.result list;
+  channel : Sof_net.Channel.stats;  (** Aggregate over all directed links. *)
+  net : Sof_net.Network.stats;
+  honest : int list;  (** Processes held to the invariants. *)
+  crashed : int list;
+  min_honest_deliveries : int;
+      (** Fewest batches delivered by any honest surviving process. *)
+  injected : int;  (** Requests injected by the synthetic clients. *)
+  passed : bool;
+}
+
+val run :
+  ?plan:plan ->
+  ?rate:float ->
+  kind:Cluster.kind ->
+  f:int ->
+  seed:int64 ->
+  duration:Sof_sim.Simtime.t ->
+  unit ->
+  report
+(** Build a cluster ([use_channel] set, generous pair delay estimate),
+    apply the plan (generated from [seed] when not given), drive a client
+    workload of [rate] req/s (default 150) for [duration], then check
+    invariants.  A terminal heal + surge-clear is scheduled at the last
+    step's instant, so every campaign ends with the network whole;
+    liveness is judged after that instant.  Deterministic in [seed]. *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,68 @@
+(** Reliable channel over the lossy substrate.
+
+    The protocols in this repository are proved over reliable asynchronous
+    channels.  When the underlying {!Network} is configured to lose,
+    duplicate or reorder messages ({!Link_fault}) or to partition, this layer
+    re-establishes the abstraction they need: every payload accepted by
+    {!send} while both endpoints stay up is eventually delivered to the
+    destination's handler exactly once (delivery order remains non-FIFO,
+    matching the base network's semantics, which the protocols tolerate).
+
+    Mechanism: each directed (src, dst) channel numbers its payloads with a
+    sequence counter; the receiver acknowledges every DATA it sees and
+    deduplicates on the sequence number; the sender retransmits unacked
+    payloads on a timer with exponential backoff capped at
+    [config.max_backoff].  Retransmission stops only when an endpoint
+    crashes.  All timers run on the network's {!Sof_sim.Engine.t}, so runs
+    stay deterministic in the seed.
+
+    Attaching a channel takes over the network-level handler of every
+    endpoint; deliver to the layer above via {!set_handler} instead.  The
+    channel sits below any CPU cost accounting — like TCP in the kernel, its
+    acks and retransmissions are not charged to the simulated process. *)
+
+type t
+
+type config = {
+  rto : Sof_sim.Simtime.t;  (** Initial retransmission timeout. *)
+  max_backoff : Sof_sim.Simtime.t;  (** Backoff ceiling. *)
+}
+
+val default_config : config
+(** 20 ms initial RTO, 320 ms ceiling — a few LAN round trips, four
+    doublings. *)
+
+type stats = {
+  data_sent : int;  (** First transmissions. *)
+  retransmits : int;
+  acks_sent : int;
+  delivered : int;  (** Unique payloads handed to the handler. *)
+  dup_drops : int;  (** Duplicate DATA suppressed (re-acked, not delivered). *)
+  stale_acks : int;  (** Acks for sequences no longer in flight. *)
+  max_backoff_reached : Sof_sim.Simtime.t;
+      (** Largest backoff interval actually scheduled. *)
+}
+
+val attach : ?config:config -> Network.t -> t
+(** Install the channel over every endpoint of the network.  Overwrites any
+    handlers previously installed with {!Network.set_handler}. *)
+
+val set_handler : t -> int -> (src:int -> string -> unit) -> unit
+(** Deliver payloads arriving at an endpoint.  Without a handler, unique
+    payloads are counted and discarded (like the base network). *)
+
+val send : t -> src:int -> dst:int -> string -> unit
+(** Hand a payload to the channel for reliable delivery.  No-op when [src]
+    has crashed.  @raise Invalid_argument on out-of-range endpoints. *)
+
+val multicast : t -> src:int -> dsts:int list -> string -> unit
+
+val in_flight : t -> src:int -> dst:int -> int
+(** Payloads sent but not yet acknowledged on one directed channel. *)
+
+val channel_stats : t -> src:int -> dst:int -> stats
+(** Stats of one directed channel (sender- and receiver-side counters of the
+    same data flow). *)
+
+val total_stats : t -> stats
+(** All directed channels combined; [max_backoff_reached] is the maximum. *)

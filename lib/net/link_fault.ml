@@ -1,0 +1,28 @@
+type t = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  reorder_window : Sof_sim.Simtime.t;
+}
+
+let none = { drop = 0.0; duplicate = 0.0; reorder = 0.0; reorder_window = Sof_sim.Simtime.zero }
+
+let check_probability name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Link_fault.make: %s %g outside [0,1]" name p)
+
+let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
+    ?(reorder_window = Sof_sim.Simtime.zero) () =
+  check_probability "drop" drop;
+  check_probability "duplicate" duplicate;
+  check_probability "reorder" reorder;
+  { drop; duplicate; reorder; reorder_window }
+
+let is_none t =
+  t.drop = 0.0 && t.duplicate = 0.0 && t.reorder = 0.0
+
+let pp fmt t =
+  if is_none t then Format.pp_print_string fmt "reliable"
+  else
+    Format.fprintf fmt "drop=%.3f dup=%.3f reorder=%.3f/%a" t.drop t.duplicate
+      t.reorder Sof_sim.Simtime.pp t.reorder_window

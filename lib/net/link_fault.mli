@@ -1,0 +1,41 @@
+(** Per-directed-link fault configuration for the lossy substrate.
+
+    The paper proves its protocols over a {e reliable} asynchronous network;
+    this module is how the repository stops assuming that and starts
+    implementing it.  A [Link_fault.t] attached to a directed link makes the
+    link misbehave in the ways real networks do: it silently drops a fraction
+    of messages, occasionally delivers a message twice, and perturbs delivery
+    order beyond what the delay model alone produces.  The reliable-channel
+    layer ({!Channel}) is then responsible for re-establishing the abstract
+    channel the protocols were proved over. *)
+
+type t = {
+  drop : float;  (** Probability in [0,1] of losing a message outright. *)
+  duplicate : float;
+      (** Probability in [0,1] of delivering an extra copy (with an
+          independently sampled delay). *)
+  reorder : float;
+      (** Probability in [0,1] of holding a message back by an extra random
+          delay, forcing reordering against later sends. *)
+  reorder_window : Sof_sim.Simtime.t;
+      (** Upper bound of the uniform extra holding delay. *)
+}
+
+val none : t
+(** The reliable link: all probabilities zero.  A link configured with
+    [none] samples no randomness, so pre-existing seeded runs replay
+    byte-for-byte. *)
+
+val make :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?reorder_window:Sof_sim.Simtime.t ->
+  unit ->
+  t
+(** Defaults are all zero / {!Sof_sim.Simtime.zero}.
+    @raise Invalid_argument when a probability is outside [0,1]. *)
+
+val is_none : t -> bool
+
+val pp : Format.formatter -> t -> unit

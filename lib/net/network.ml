@@ -5,6 +5,10 @@ type stats = {
   messages_sent : int;
   bytes_sent : int;
   messages_delivered : int;
+  messages_dropped : int;
+  messages_duplicated : int;
+  messages_reordered : int;
+  partition_dropped : int;
 }
 
 type t = {
@@ -12,14 +16,20 @@ type t = {
   rng : Sof_util.Rng.t;
   node_count : int;
   links : Delay_model.t array array; (* [src].(dst) *)
+  faults : Link_fault.t array array; (* [src].(dst) *)
   handlers : (src:int -> string -> unit) option array;
   crashed : bool array;
   mutable surge : float;
   mutable filter : (src:int -> dst:int -> payload:string -> bool) option;
   mutable observers : (src:int -> dst:int -> payload:string -> unit) list;
+  mutable partition : int array option; (* group id per node; cross-group severed *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
   mutable messages_delivered : int;
+  mutable messages_dropped : int;
+  mutable messages_duplicated : int;
+  mutable messages_reordered : int;
+  mutable partition_dropped : int;
 }
 
 let create ~engine ~rng ~node_count ~default_delay =
@@ -28,17 +38,25 @@ let create ~engine ~rng ~node_count ~default_delay =
     rng;
     node_count;
     links = Array.init node_count (fun _ -> Array.make node_count default_delay);
+    faults = Array.init node_count (fun _ -> Array.make node_count Link_fault.none);
     handlers = Array.make node_count None;
     crashed = Array.make node_count false;
     surge = 1.0;
     filter = None;
     observers = [];
+    partition = None;
     messages_sent = 0;
     bytes_sent = 0;
     messages_delivered = 0;
+    messages_dropped = 0;
+    messages_duplicated = 0;
+    messages_reordered = 0;
+    partition_dropped = 0;
   }
 
 let node_count t = t.node_count
+
+let engine t = t.engine
 
 let check_endpoint t who name =
   if who < 0 || who >= t.node_count then
@@ -50,6 +68,16 @@ let set_link t ~src ~dst model =
   t.links.(src).(dst) <- model
 
 let link t ~src ~dst = t.links.(src).(dst)
+
+let set_link_fault t ~src ~dst fault =
+  check_endpoint t src "set_link_fault";
+  check_endpoint t dst "set_link_fault";
+  t.faults.(src).(dst) <- fault
+
+let set_all_link_faults t fault =
+  Array.iter (fun row -> Array.fill row 0 t.node_count fault) t.faults
+
+let link_fault t ~src ~dst = t.faults.(src).(dst)
 
 let set_handler t who handler =
   check_endpoint t who "set_handler";
@@ -69,7 +97,57 @@ let clear_surge t = t.surge <- 1.0
 
 let set_filter t f = t.filter <- f
 
-let on_deliver t f = t.observers <- f :: t.observers
+let on_deliver t f =
+  (* Append so observers run in registration order: layered tracing (e.g. a
+     census on top of a channel tap) composes predictably. *)
+  t.observers <- t.observers @ [ f ]
+
+let heal t = t.partition <- None
+
+let partition t ~groups =
+  let assignment = Array.make t.node_count (-1) in
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun who ->
+          check_endpoint t who "partition";
+          if assignment.(who) >= 0 then
+            invalid_arg
+              (Printf.sprintf "Network.partition: endpoint %d in two groups" who);
+          assignment.(who) <- gid)
+        members)
+    groups;
+  (* Nodes not named by any group share one implicit residual group. *)
+  let residual = List.length groups in
+  Array.iteri (fun i g -> if g < 0 then assignment.(i) <- residual) assignment;
+  t.partition <- Some assignment
+
+let partition_for t ~groups ~heal_after =
+  partition t ~groups;
+  ignore (Engine.schedule t.engine ~delay:heal_after (fun () -> heal t))
+
+let severed t ~src ~dst =
+  match t.partition with
+  | None -> false
+  | Some assignment -> assignment.(src) <> assignment.(dst)
+
+let is_partitioned t ~src ~dst =
+  check_endpoint t src "is_partitioned";
+  check_endpoint t dst "is_partitioned";
+  severed t ~src ~dst
+
+let deliver_after t ~src ~dst ~delay payload =
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         (* Crash state is checked at delivery time: messages in flight to
+            a node that crashed meanwhile are lost with it. *)
+         if not t.crashed.(dst) && not t.crashed.(src) then begin
+           t.messages_delivered <- t.messages_delivered + 1;
+           (match t.handlers.(dst) with
+           | Some handler -> handler ~src payload
+           | None -> ());
+           List.iter (fun f -> f ~src ~dst ~payload) t.observers
+         end))
 
 let send t ~src ~dst payload =
   check_endpoint t src "send";
@@ -81,19 +159,50 @@ let send t ~src ~dst payload =
     let size = String.length payload in
     t.messages_sent <- t.messages_sent + 1;
     t.bytes_sent <- t.bytes_sent + size;
-    let delay = Delay_model.sample t.links.(src).(dst) t.rng ~size in
-    let delay = if t.surge = 1.0 then delay else Simtime.scale delay t.surge in
-    ignore
-      (Engine.schedule t.engine ~delay (fun () ->
-           (* Crash state is checked at delivery time: messages in flight to
-              a node that crashed meanwhile are lost with it. *)
-           if not t.crashed.(dst) && not t.crashed.(src) then begin
-             t.messages_delivered <- t.messages_delivered + 1;
-             (match t.handlers.(dst) with
-             | Some handler -> handler ~src payload
-             | None -> ());
-             List.iter (fun f -> f ~src ~dst ~payload) t.observers
-           end))
+    if severed t ~src ~dst then
+      (* A partition severs the link at send time; messages already in
+         flight when the partition formed still arrive. *)
+      t.partition_dropped <- t.partition_dropped + 1
+    else begin
+      let fault = t.faults.(src).(dst) in
+      (* The [is_none] guard keeps reliable links off the RNG so that seeded
+         runs predating the lossy substrate replay identically. *)
+      if Link_fault.is_none fault then begin
+        let delay = Delay_model.sample t.links.(src).(dst) t.rng ~size in
+        let delay = if t.surge = 1.0 then delay else Simtime.scale delay t.surge in
+        deliver_after t ~src ~dst ~delay payload
+      end
+      else if fault.Link_fault.drop > 0.0
+              && Sof_util.Rng.float t.rng 1.0 < fault.Link_fault.drop then
+        t.messages_dropped <- t.messages_dropped + 1
+      else begin
+        let sample_delay () =
+          let delay = Delay_model.sample t.links.(src).(dst) t.rng ~size in
+          if t.surge = 1.0 then delay else Simtime.scale delay t.surge
+        in
+        let delay = sample_delay () in
+        let delay =
+          if fault.Link_fault.reorder > 0.0
+             && Sof_util.Rng.float t.rng 1.0 < fault.Link_fault.reorder
+             && Simtime.compare fault.Link_fault.reorder_window Simtime.zero > 0
+          then begin
+            t.messages_reordered <- t.messages_reordered + 1;
+            let extra_ns =
+              Sof_util.Rng.int t.rng
+                (Simtime.to_ns fault.Link_fault.reorder_window + 1)
+            in
+            Simtime.add delay (Simtime.ns extra_ns)
+          end
+          else delay
+        in
+        deliver_after t ~src ~dst ~delay payload;
+        if fault.Link_fault.duplicate > 0.0
+           && Sof_util.Rng.float t.rng 1.0 < fault.Link_fault.duplicate then begin
+          t.messages_duplicated <- t.messages_duplicated + 1;
+          deliver_after t ~src ~dst ~delay:(sample_delay ()) payload
+        end
+      end
+    end
   end
 
 let multicast t ~src ~dsts payload =
@@ -104,4 +213,8 @@ let stats t =
     messages_sent = t.messages_sent;
     bytes_sent = t.bytes_sent;
     messages_delivered = t.messages_delivered;
+    messages_dropped = t.messages_dropped;
+    messages_duplicated = t.messages_duplicated;
+    messages_reordered = t.messages_reordered;
+    partition_dropped = t.partition_dropped;
   }

@@ -1,9 +1,15 @@
-(** Reliable asynchronous message-passing network.
+(** Asynchronous message-passing network with an optionally lossy substrate.
 
-    Connects [node_count] endpoints over per-link delay models.  The network
-    is reliable (no loss, no corruption, no duplication — the paper's system
-    model) and asynchronous: delays are finite but, under surge injection,
-    unbounded by any fixed estimate.
+    Connects [node_count] endpoints over per-link delay models.  By default
+    every link is reliable (no loss, no corruption, no duplication — the
+    paper's system model) and asynchronous: delays are finite but, under
+    surge injection, unbounded by any fixed estimate.
+
+    Each directed link may additionally carry a {!Link_fault.t}, making it
+    drop, duplicate or reorder messages, and the whole network can be split
+    into timed partitions.  The {!Channel} layer rebuilds reliable delivery
+    on top; protocols that assume the paper's reliable channel should run
+    over a {!Channel} whenever link faults or partitions are in play.
 
     Delivery order between two endpoints is not FIFO unless the delay model
     is constant — matching UDP-like semantics over which the protocols must
@@ -15,6 +21,10 @@ type stats = {
   messages_sent : int;
   bytes_sent : int;
   messages_delivered : int;
+  messages_dropped : int;  (** Lost to link-fault drop sampling. *)
+  messages_duplicated : int;  (** Extra copies scheduled by link faults. *)
+  messages_reordered : int;  (** Held back by a reorder window. *)
+  partition_dropped : int;  (** Severed by an active partition. *)
 }
 
 val create :
@@ -26,19 +36,34 @@ val create :
 
 val node_count : t -> int
 
+val engine : t -> Sof_sim.Engine.t
+(** The engine the network schedules deliveries on; layers above (e.g.
+    {!Channel} retransmission timers) share it. *)
+
 val set_link : t -> src:int -> dst:int -> Delay_model.t -> unit
 (** Override one directed link's delay model (e.g. a fast pair link — set
     both directions). *)
 
 val link : t -> src:int -> dst:int -> Delay_model.t
 
+val set_link_fault : t -> src:int -> dst:int -> Link_fault.t -> unit
+(** Attach a fault profile to one directed link.  {!Link_fault.none}
+    restores reliability. *)
+
+val set_all_link_faults : t -> Link_fault.t -> unit
+(** Attach the same fault profile to every directed link (including
+    self-links and pair links). *)
+
+val link_fault : t -> src:int -> dst:int -> Link_fault.t
+
 val set_handler : t -> int -> (src:int -> string -> unit) -> unit
 (** Install the delivery callback for an endpoint.  Without a handler,
     arriving messages are counted and discarded. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
-(** Queue a message for delivery after the link's sampled delay.  Self-sends
-    are allowed and are delivered after the same sampled delay.
+(** Queue a message for delivery after the link's sampled delay, subject to
+    the link's fault profile and any active partition.  Self-sends are
+    allowed and are delivered after the same sampled delay.
     @raise Invalid_argument on out-of-range endpoints. *)
 
 val multicast : t -> src:int -> dsts:int list -> string -> unit
@@ -49,6 +74,25 @@ val crash : t -> int -> unit
 (** Silence an endpoint: messages from and to it are dropped from now on. *)
 
 val is_crashed : t -> int -> bool
+
+val partition : t -> groups:int list list -> unit
+(** Install a partition: messages between endpoints in different groups are
+    severed at send time (messages already in flight still arrive, as on a
+    real network where the cable is cut behind them).  Endpoints not named
+    in any group form one implicit residual group, so
+    [partition t ~groups:[[0]]] isolates endpoint 0 from everyone else.
+    Replaces any previous partition.
+    @raise Invalid_argument when an endpoint appears in two groups. *)
+
+val partition_for :
+  t -> groups:int list list -> heal_after:Sof_sim.Simtime.t -> unit
+(** {!partition} plus a scheduled {!heal} after the given delay. *)
+
+val heal : t -> unit
+(** Remove the active partition, if any. *)
+
+val is_partitioned : t -> src:int -> dst:int -> bool
+(** Whether a message sent now from [src] to [dst] would be severed. *)
 
 val set_surge : t -> factor:float -> unit
 (** Multiply all sampled delays by [factor] until {!clear_surge}; models the
@@ -63,7 +107,7 @@ val set_filter : t -> (src:int -> dst:int -> payload:string -> bool) option -> u
     the filter. *)
 
 val on_deliver : t -> (src:int -> dst:int -> payload:string -> unit) -> unit
-(** Observer invoked at each delivery, after the handler; for tracing and
-    per-message-type accounting in experiments. *)
+(** Observer invoked at each delivery, after the handler.  Observers run in
+    registration order, so layered tracing composes predictably. *)
 
 val stats : t -> stats

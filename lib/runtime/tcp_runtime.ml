@@ -42,6 +42,9 @@ type t = {
   start_time : float;
   mutable stopping : bool;
   mutable threads : Thread.t list;
+  mutable killed : int list;
+  mutable peer_downs : (int * int * string) list;
+  peer_down_mutex : Mutex.t;
   (* client side *)
   mutable client_socks : (Unix.file_descr * Mutex.t) array;
   latency_mutex : Mutex.t;
@@ -77,30 +80,34 @@ let write_frame fd mutex payload =
       in
       try write_all 0 with Unix.Unix_error _ -> ())
 
+(* A read ends in a frame, a clean shutdown ([`Eof]), or an abrupt failure
+   ([`Error]) — a peer that crashed or was killed typically surfaces as
+   ECONNRESET or EPIPE rather than end-of-file. *)
 let read_exactly fd n =
   let buf = Bytes.create n in
   let rec go off =
-    if off = n then Some buf
+    if off = n then `Ok buf
     else begin
       match Unix.read fd buf off (n - off) with
-      | 0 -> None
+      | 0 -> `Eof
       | k -> go (off + k)
-      | exception Unix.Unix_error _ -> None
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
     end
   in
   go 0
 
 let read_frame fd =
   match read_exactly fd 4 with
-  | None -> None
-  | Some header ->
+  | (`Eof | `Error _) as e -> e
+  | `Ok header ->
     let b i = Char.code (Bytes.get header i) in
     let len = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
-    if len > 16 * 1024 * 1024 then None
+    if len > 16 * 1024 * 1024 then `Error "oversized frame"
     else begin
       match read_exactly fd len with
-      | None -> None
-      | Some payload -> Some (Bytes.unsafe_to_string payload)
+      | (`Eof | `Error _) as e -> e
+      | `Ok payload -> `Frame (Bytes.unsafe_to_string payload)
     end
 
 (* -------------------------------------------------------------- queues *)
@@ -148,18 +155,27 @@ let timer_thread t node =
 let make_context t node =
   let sign payload = Keyring.sign t.keyring ~signer:node.id payload in
   let verify ~signer ~msg ~signature = Keyring.verify t.keyring ~signer ~msg ~signature in
+  (* A message addressed to the sender itself never crosses a socket: it
+     loops back through the node's own queue, exactly as the simulated
+     network delivers self-sends.  Dropping it instead would lose the
+     process's own quorum vote — fatal when the cluster is down to exactly
+     n - f live replicas. *)
   let send ~dst env =
-    match node.out.(dst) with
-    | Some (fd, mutex) -> write_frame fd mutex ("\x00" ^ P.Message.encode env)
-    | None -> ()
+    if dst = node.id then enqueue node (Job_message (node.id, P.Message.encode env))
+    else
+      match node.out.(dst) with
+      | Some (fd, mutex) -> write_frame fd mutex ("\x00" ^ P.Message.encode env)
+      | None -> ()
   in
   let multicast ~dsts env =
     let payload = "\x00" ^ P.Message.encode env in
     List.iter
       (fun dst ->
-        match node.out.(dst) with
-        | Some (fd, mutex) -> write_frame fd mutex payload
-        | None -> ())
+        if dst = node.id then enqueue node (Job_message (node.id, P.Message.encode env))
+        else
+          match node.out.(dst) with
+          | Some (fd, mutex) -> write_frame fd mutex payload
+          | None -> ())
       dsts
   in
   let set_timer ~delay thunk =
@@ -225,17 +241,40 @@ let worker_thread node =
     end
   done
 
+(* A peer vanished under this reader.  Record it, stop writing into the dead
+   socket, and leave recovery to the protocol's own machinery (fail signals,
+   view changes) — an abrupt disconnect must never take the whole node down. *)
+let peer_down t node ~src ~reason =
+  Mutex.lock t.peer_down_mutex;
+  t.peer_downs <- (node.id, src, reason) :: t.peer_downs;
+  Mutex.unlock t.peer_down_mutex;
+  Printf.eprintf "[tcp_runtime] node %d: peer %d down (%s); reader stopped\n%!"
+    node.id src reason;
+  if src >= 0 && src < Array.length node.out then begin
+    (match node.out.(src) with
+    | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    node.out.(src) <- None
+  end
+
 let reader_thread t node src fd =
   let continue = ref true in
   while !continue && not t.stopping do
     match read_frame fd with
-    | None -> continue := false
-    | Some frame when String.length frame >= 1 ->
+    | `Frame frame when String.length frame >= 1 ->
       let body = String.sub frame 1 (String.length frame - 1) in
       if frame.[0] = '\x00' then enqueue node (Job_message (src, body))
       else enqueue node (Job_request body)
-    | Some _ -> ()
-  done
+    | `Frame _ -> ()
+    | (`Eof | `Error _) as ending ->
+      continue := false;
+      if not t.stopping then
+        let reason =
+          match ending with `Eof -> "connection closed" | `Error msg -> msg
+        in
+        peer_down t node ~src ~reason
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_thread t node listen_fd =
   while not t.stopping do
@@ -243,10 +282,10 @@ let accept_thread t node listen_fd =
     | exception Unix.Unix_error _ -> Thread.delay 0.01
     | conn, _ -> begin
       match read_exactly conn 1 with
-      | Some hello ->
+      | `Ok hello ->
         let src = Char.code (Bytes.get hello 0) in
         t.threads <- Thread.create (fun () -> reader_thread t node src conn) () :: t.threads
-      | None -> ( try Unix.close conn with Unix.Unix_error _ -> ())
+      | `Eof | `Error _ -> ( try Unix.close conn with Unix.Unix_error _ -> ())
     end
   done
 
@@ -307,6 +346,9 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
       start_time = Unix.gettimeofday ();
       stopping = false;
       threads = [];
+      killed = [];
+      peer_downs = [];
+      peer_down_mutex = Mutex.create ();
       client_socks = [||];
       latency_mutex = Mutex.create ();
       inject_times = Hashtbl.create 256;
@@ -389,7 +431,11 @@ let inject t req =
 let await_delivery t ~count ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec poll () =
-    if Array.for_all (fun node -> node.delivered_batches >= count) t.nodes then true
+    if
+      Array.for_all
+        (fun node -> List.mem node.id t.killed || node.delivered_batches >= count)
+        t.nodes
+    then true
     else if Unix.gettimeofday () > deadline then false
     else begin
       Thread.delay 0.02;
@@ -397,6 +443,31 @@ let await_delivery t ~count ~timeout_s =
     end
   in
   poll ()
+
+(* Abruptly take one node down mid-run: stop its protocol and worker, then
+   reset-close every socket it owns (SO_LINGER 0 sends RST, not FIN), so its
+   peers exercise the abrupt-disconnect path of [reader_thread]. *)
+let kill t who =
+  let node = t.nodes.(who) in
+  t.killed <- who :: t.killed;
+  node.proc <- None;
+  enqueue node Job_stop;
+  Array.iteri
+    (fun dst entry ->
+      match entry with
+      | Some (fd, _) ->
+        (try Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0)
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        node.out.(dst) <- None
+      | None -> ())
+    node.out
+
+let peer_downs t =
+  Mutex.lock t.peer_down_mutex;
+  let events = t.peer_downs in
+  Mutex.unlock t.peer_down_mutex;
+  List.rev events
 
 let stop t =
   t.stopping <- true;

@@ -42,8 +42,18 @@ val inject : t -> Sof_smr.Request.t -> unit
 (** Broadcast a client request to every process over its TCP connection. *)
 
 val await_delivery : t -> count:int -> timeout_s:float -> bool
-(** Block until every process has delivered at least [count] batches, or
-    the timeout expires ([false]). *)
+(** Block until every process not taken down by {!kill} has delivered at
+    least [count] batches, or the timeout expires ([false]). *)
+
+val kill : t -> int -> unit
+(** Abruptly crash one process mid-run: its protocol stops and all its
+    sockets are reset-closed (RST), so every peer's reader thread exercises
+    the abrupt-disconnect path — logged, recorded in {!peer_downs}, never
+    fatal to the peer. *)
+
+val peer_downs : t -> (int * int * string) list
+(** [(observer, peer, reason)] for every reader that ended on a broken
+    connection, oldest first. *)
 
 val stop : t -> stats
 (** Shut down sockets and threads and return what happened. *)

@@ -1,0 +1,153 @@
+(* The reliable channel over the lossy substrate: whatever the links drop,
+   duplicate or reorder, every payload accepted by [send] between live
+   endpoints must reach the destination handler exactly once. *)
+
+module Simtime = Sof_sim.Simtime
+module Engine = Sof_sim.Engine
+module Delay_model = Sof_net.Delay_model
+module Network = Sof_net.Network
+module Link_fault = Sof_net.Link_fault
+module Channel = Sof_net.Channel
+
+let make ?(nodes = 4) ?(delay = Delay_model.Constant (Simtime.ms 1)) () =
+  let engine = Engine.create () in
+  let rng = Engine.fork_rng engine in
+  let net = Network.create ~engine ~rng ~node_count:nodes ~default_delay:delay in
+  (engine, net)
+
+(* Collect every delivery at [dst] as (src, payload), in arrival order. *)
+let sink ch dst =
+  let got = ref [] in
+  Channel.set_handler ch dst (fun ~src payload -> got := (src, payload) :: !got);
+  fun () -> List.rev !got
+
+let payloads n = List.init n (fun i -> Printf.sprintf "m%03d" i)
+
+let check_exactly_once ~expected got =
+  Alcotest.(check int) "count" (List.length expected) (List.length got);
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list string)) "payload set" (sorted expected) (sorted (List.map snd got))
+
+let test_reliable_link_passthrough () =
+  let engine, net = make () in
+  let ch = Channel.attach net in
+  let got = sink ch 1 in
+  List.iter (fun p -> Channel.send ch ~src:0 ~dst:1 p) (payloads 10);
+  Engine.run engine;
+  check_exactly_once ~expected:(payloads 10) (got ());
+  let s = Channel.channel_stats ch ~src:0 ~dst:1 in
+  Alcotest.(check int) "no retransmits on a clean link" 0 s.Channel.retransmits;
+  Alcotest.(check int) "all acked" 0 (Channel.in_flight ch ~src:0 ~dst:1)
+
+let test_delivery_under_heavy_drop () =
+  let engine, net = make () in
+  Network.set_all_link_faults net (Link_fault.make ~drop:0.4 ());
+  let ch = Channel.attach net in
+  let got = sink ch 1 in
+  List.iter (fun p -> Channel.send ch ~src:0 ~dst:1 p) (payloads 50);
+  Engine.run engine;
+  check_exactly_once ~expected:(payloads 50) (got ());
+  let s = Channel.channel_stats ch ~src:0 ~dst:1 in
+  Alcotest.(check bool) "losses forced retransmission" true (s.Channel.retransmits > 0);
+  Alcotest.(check int) "nothing left in flight" 0 (Channel.in_flight ch ~src:0 ~dst:1)
+
+let test_dedup_under_duplication () =
+  let engine, net = make () in
+  Network.set_all_link_faults net (Link_fault.make ~duplicate:0.9 ());
+  let ch = Channel.attach net in
+  let got = sink ch 1 in
+  List.iter (fun p -> Channel.send ch ~src:0 ~dst:1 p) (payloads 40);
+  Engine.run engine;
+  check_exactly_once ~expected:(payloads 40) (got ());
+  let s = Channel.channel_stats ch ~src:0 ~dst:1 in
+  Alcotest.(check bool) "duplicates were suppressed" true (s.Channel.dup_drops > 0)
+
+let test_exactly_once_under_everything () =
+  let engine, net = make () in
+  Network.set_all_link_faults net
+    (Link_fault.make ~drop:0.25 ~duplicate:0.25 ~reorder:0.5
+       ~reorder_window:(Simtime.ms 30) ());
+  let ch = Channel.attach net in
+  let got = sink ch 1 in
+  List.iter (fun p -> Channel.send ch ~src:0 ~dst:1 p) (payloads 60);
+  (* A second flow shares the network but must stay independent. *)
+  let got3 = sink ch 3 in
+  List.iter (fun p -> Channel.multicast ch ~src:2 ~dsts:[ 3 ] p) (payloads 20);
+  Engine.run engine;
+  check_exactly_once ~expected:(payloads 60) (got ());
+  check_exactly_once ~expected:(payloads 20) (got3 ());
+  List.iter
+    (fun (src, dst) ->
+      Alcotest.(check int)
+        (Printf.sprintf "in_flight %d->%d drained" src dst)
+        0
+        (Channel.in_flight ch ~src ~dst))
+    [ (0, 1); (2, 3) ]
+
+let test_backoff_caps_and_heals () =
+  let engine, net = make () in
+  let ch = Channel.attach net in
+  let got = sink ch 1 in
+  (* Sever the link at send time; retransmission keeps trying with doubling
+     intervals that must stop growing at the configured ceiling. *)
+  Network.partition_for net ~groups:[ [ 0 ]; [ 1; 2; 3 ] ]
+    ~heal_after:(Simtime.sec 5);
+  Channel.send ch ~src:0 ~dst:1 "through-the-partition";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string)))
+    "delivered after heal"
+    [ (0, "through-the-partition") ]
+    (got ());
+  let s = Channel.channel_stats ch ~src:0 ~dst:1 in
+  let cap = Channel.default_config.Channel.max_backoff in
+  Alcotest.(check int)
+    "backoff reached the cap" (Simtime.to_ns cap)
+    (Simtime.to_ns s.Channel.max_backoff_reached);
+  (* 5 s of 320 ms-capped retries: far more attempts than the 5 doublings
+     of an uncapped schedule would allow, far fewer than timer spam. *)
+  Alcotest.(check bool) "kept retrying at the cap" true (s.Channel.retransmits >= 12);
+  Alcotest.(check int) "drained after heal" 0 (Channel.in_flight ch ~src:0 ~dst:1)
+
+let test_crash_stops_retransmission () =
+  let engine, net = make () in
+  let ch = Channel.attach net in
+  Network.partition net ~groups:[ [ 0 ]; [ 1 ] ];
+  Channel.send ch ~src:0 ~dst:1 "never";
+  ignore
+    (Engine.schedule engine ~delay:(Simtime.ms 200) (fun () -> Network.crash net 1));
+  Engine.run engine;
+  (* The engine only terminates because the sender abandoned the dead
+     destination; otherwise retransmission timers would run forever. *)
+  Alcotest.(check int) "gave up on the crashed peer" 0
+    (Channel.in_flight ch ~src:0 ~dst:1)
+
+let test_stats_roll_up () =
+  let engine, net = make () in
+  Network.set_all_link_faults net (Link_fault.make ~drop:0.3 ());
+  let ch = Channel.attach net in
+  List.iter (fun p -> Channel.send ch ~src:0 ~dst:1 p) (payloads 10);
+  List.iter (fun p -> Channel.send ch ~src:2 ~dst:3 p) (payloads 10);
+  Engine.run engine;
+  let total = Channel.total_stats ch in
+  let a = Channel.channel_stats ch ~src:0 ~dst:1 in
+  let b = Channel.channel_stats ch ~src:2 ~dst:3 in
+  Alcotest.(check int) "delivered rolls up" total.Channel.delivered
+    (a.Channel.delivered + b.Channel.delivered);
+  Alcotest.(check int) "twenty unique deliveries" 20 total.Channel.delivered
+
+let suite =
+  [
+    ( "net.channel",
+      [
+        Alcotest.test_case "clean link passthrough" `Quick test_reliable_link_passthrough;
+        Alcotest.test_case "delivery under heavy drop" `Quick test_delivery_under_heavy_drop;
+        Alcotest.test_case "dedup under duplication" `Quick test_dedup_under_duplication;
+        Alcotest.test_case "exactly-once under drop+dup+reorder" `Quick
+          test_exactly_once_under_everything;
+        Alcotest.test_case "backoff caps and survives partition" `Quick
+          test_backoff_caps_and_heals;
+        Alcotest.test_case "crash stops retransmission" `Quick
+          test_crash_stops_retransmission;
+        Alcotest.test_case "stats roll up" `Quick test_stats_roll_up;
+      ] );
+  ]

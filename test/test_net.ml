@@ -140,6 +140,19 @@ let test_network_range_check () =
     (Invalid_argument "Network.send: endpoint 9 out of range") (fun () ->
       Network.send net ~src:0 ~dst:9 "m")
 
+let test_network_observer_order () =
+  (* Layered tracing (e.g. a census on top of the channel's observer) relies
+     on observers firing in the order they were registered. *)
+  let engine, net = make_net () in
+  let trace = ref [] in
+  Network.on_deliver net (fun ~src:_ ~dst:_ ~payload:_ -> trace := "first" :: !trace);
+  Network.on_deliver net (fun ~src:_ ~dst:_ ~payload:_ -> trace := "second" :: !trace);
+  Network.on_deliver net (fun ~src:_ ~dst:_ ~payload:_ -> trace := "third" :: !trace);
+  Network.send net ~src:0 ~dst:1 "m";
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "registration order" [ "first"; "second"; "third" ] (List.rev !trace)
+
 let test_network_no_handler_is_fine () =
   let engine, net = make_net () in
   Network.send net ~src:0 ~dst:1 "m";
@@ -167,6 +180,8 @@ let suite =
         Alcotest.test_case "surge" `Quick test_network_surge_slows_delivery;
         Alcotest.test_case "link override" `Quick test_network_link_override;
         Alcotest.test_case "stats and observer" `Quick test_network_stats_and_observer;
+        Alcotest.test_case "observers fire in registration order" `Quick
+          test_network_observer_order;
         Alcotest.test_case "range check" `Quick test_network_range_check;
         Alcotest.test_case "no handler" `Quick test_network_no_handler_is_fine;
       ] );

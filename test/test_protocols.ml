@@ -470,6 +470,34 @@ let test_relative_latency_ct_sc_bft () =
   if not (ct < sc && sc < bft) then
     Alcotest.failf "expected CT < SC < BFT, got %.2f %.2f %.2f" ct sc bft
 
+(* ------------------------------------------------------- chaos soaks *)
+
+(* A seeded Nemesis campaign — lossy links throughout, a surge, at least one
+   partition+heal and one tolerated crash — must leave every invariant
+   (agreement, prefix consistency, validity, liveness after heal) intact.
+   The channel layer is what makes this pass: the substrate really does
+   drop and duplicate protocol traffic (visible in the stats). *)
+let soak kind seed () =
+  let report =
+    H.Nemesis.run ~kind ~f:1 ~seed ~duration:(sec 8) ()
+  in
+  if not report.H.Nemesis.passed then
+    Alcotest.failf "chaos campaign failed:@.%a" H.Nemesis.pp_report report;
+  Alcotest.(check bool) "substrate dropped messages" true
+    (report.H.Nemesis.net.Sof_net.Network.messages_dropped > 0);
+  Alcotest.(check bool) "channel retransmitted" true
+    (report.H.Nemesis.channel.Sof_net.Channel.retransmits > 0);
+  Alcotest.(check bool) "honest survivors made progress" true
+    (report.H.Nemesis.min_honest_deliveries > 0)
+
+let test_soak_determinism () =
+  let fingerprint () =
+    let r = H.Nemesis.run ~kind:Cluster.Scr_protocol ~f:1 ~seed:42L ~duration:(sec 6) () in
+    Format.asprintf "%a" H.Nemesis.pp_report r
+  in
+  Alcotest.(check string) "same seed, same campaign, same outcome"
+    (fingerprint ()) (fingerprint ())
+
 let suite =
   [
     ( "protocol.sc",
@@ -509,5 +537,11 @@ let suite =
     ( "protocol.comparative",
       [
         Alcotest.test_case "CT < SC < BFT latency" `Slow test_relative_latency_ct_sc_bft;
+      ] );
+    ( "protocol.chaos",
+      [
+        Alcotest.test_case "sc soak (seed 7)" `Slow (soak Cluster.Sc_protocol 7L);
+        Alcotest.test_case "scr soak (seed 42)" `Slow (soak Cluster.Scr_protocol 42L);
+        Alcotest.test_case "seeded campaign is deterministic" `Slow test_soak_determinism;
       ] );
   ]

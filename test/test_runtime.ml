@@ -33,11 +33,52 @@ let test_tcp_sc () = check_stats (run_cluster ~kind:`Sc ~base_port:7711)
 
 let test_tcp_scr () = check_stats (run_cluster ~kind:`Scr ~base_port:7811)
 
+(* Abrupt crash mid-run: kill the unpaired (non-candidate) replica of an SCR
+   cluster with a socket reset.  Every peer's reader must survive the broken
+   connection (logged peer-down, not a crash), and the survivors must keep
+   ordering and delivering post-kill requests. *)
+let test_tcp_kill () =
+  let victim = 2 in
+  let t = Runtime.start ~base_port:7911 ~kind:`Scr ~f:1 ~batching_interval_ms:15 () in
+  for i = 1 to 6 do
+    Runtime.inject t
+      (Sof_smr.Request.make ~client:1 ~client_seq:i
+         ~op:(Kv.encode_op (Kv.Put (Printf.sprintf "pre%d" i, "v"))));
+    Thread.delay 0.002
+  done;
+  Alcotest.(check bool) "delivering before the kill" true
+    (Runtime.await_delivery t ~count:1 ~timeout_s:15.0);
+  Runtime.kill t victim;
+  for i = 1 to 40 do
+    Runtime.inject t
+      (Sof_smr.Request.make ~client:1 ~client_seq:(100 + i)
+         ~op:(Kv.encode_op (Kv.Put (Printf.sprintf "post%d" i, "v"))));
+    Thread.delay 0.002
+  done;
+  let progressed = Runtime.await_delivery t ~count:4 ~timeout_s:15.0 in
+  Thread.delay 0.4;
+  let downs = Runtime.peer_downs t in
+  let stats = Runtime.stop t in
+  Alcotest.(check bool) "survivors delivered past the kill" true progressed;
+  Alcotest.(check bool) "peers observed the disconnect" true
+    (List.exists (fun (_, peer, _) -> peer = victim) downs);
+  (match
+     List.filter_map
+       (fun (who, d) -> if who = victim then None else Some d)
+       stats.Runtime.state_digests
+   with
+  | [] -> Alcotest.fail "no survivor digests"
+  | d :: rest ->
+    List.iter
+      (fun d' -> if d' <> d then Alcotest.fail "survivor state divergence")
+      rest)
+
 let suite =
   [
     ( "runtime.tcp",
       [
         Alcotest.test_case "sc over loopback" `Slow test_tcp_sc;
         Alcotest.test_case "scr over loopback" `Slow test_tcp_scr;
+        Alcotest.test_case "scr survives an abrupt peer kill" `Slow test_tcp_kill;
       ] );
   ]
