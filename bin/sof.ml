@@ -240,13 +240,24 @@ let census_cmd =
 (* --------------------------------------------------------------- chaos *)
 
 let chaos_cmd =
-  let chaos protocol f seed duration_s =
+  let chaos protocol f seed duration_s byz =
     let report =
-      H.Nemesis.run ~kind:protocol ~f ~seed ~duration:(Simtime.sec duration_s) ()
+      H.Nemesis.run ~byz ~kind:protocol ~f ~seed ~duration:(Simtime.sec duration_s) ()
     in
     Format.printf "%a" H.Nemesis.pp_report report;
     if report.H.Nemesis.passed then `Ok ()
-    else `Error (false, "chaos: invariants violated — see report above")
+    else begin
+      (* One line with everything CI needs to reproduce and triage. *)
+      let failing =
+        List.filter_map
+          (fun r -> if r.H.Invariants.pass then None else Some r.H.Invariants.name)
+          report.H.Nemesis.invariants
+      in
+      `Error
+        ( false,
+          Printf.sprintf "chaos FAIL seed=%Ld invariant=%s" seed
+            (String.concat "," failing) )
+    end
   in
   let f_param =
     Arg.(value & opt int 1 & info [ "f"; "faults" ] ~docv:"F" ~doc:"Fault tolerance parameter.")
@@ -254,18 +265,53 @@ let chaos_cmd =
   let duration =
     Arg.(value & opt int 10 & info [ "duration" ] ~docv:"S" ~doc:"Campaign length (seconds).")
   in
+  let byz =
+    Arg.(
+      value & flag
+      & info [ "byz" ]
+          ~doc:
+            "Trade the campaign's crash for one seeded Byzantine fault \
+             (equivocation, fail-signal abuse, stale replay, wire corruption, \
+             …) aimed at the initial coordinator pair.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded Nemesis fault campaign (lossy links, partitions, crash, \
           surge) over the reliable channel and check protocol invariants.  The \
           same seed reproduces the same campaign.")
-    Term.(ret (const chaos $ protocol_arg $ f_param $ seed $ duration))
+    Term.(ret (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz))
+
+(* ---------------------------------------------------------------- fuzz *)
+
+let fuzz_cmd =
+  let fuzz seed count =
+    let outcome = H.Fuzz.run ~seed ~count in
+    Format.printf "%a@." H.Fuzz.pp_outcome outcome;
+    if H.Fuzz.passed outcome then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "fuzz FAIL seed=%Ld crashes=%d" seed
+            (List.length outcome.H.Fuzz.crashes) )
+  in
+  let count =
+    Arg.(
+      value & opt int 10_000
+      & info [ "count" ] ~docv:"N" ~doc:"Number of hostile buffers to decode.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Seeded decode fuzzing: feed hostile byte strings to every wire-format \
+          decode entry point and fail on any escape other than the recoverable \
+          Truncated rejection.")
+    Term.(ret (const fuzz $ seed $ count))
 
 let main =
   Cmd.group
     (Cmd.info "sof" ~version:"1.0.0"
        ~doc:"Signal-on-fail Byzantine total-order protocols (DSN'06 reproduction).")
-    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd; chaos_cmd ]
+    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd; chaos_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -42,6 +42,7 @@ type t = {
   mutable pending : Request.t Key_map.t;
   mutable arrival : Simtime.t Key_map.t;
   mutable ordered_keys : Key_set.t;
+  mutable delivered_keys : Key_set.t;
   orders : (int, order_state) Hashtbl.t;
   mutable max_committed : int;
   mutable delivered : int;
@@ -116,11 +117,19 @@ let rec advance_delivery t =
       advance_delivery t
     end
     else begin
-      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys in
-      if List.length requests = List.length st.keys then begin
+      (* At-most-once: a primary elected after a view change may re-order
+         requests an earlier view already committed.  Honest processes agree
+         on the committed prefix, so they prune the same already-delivered
+         keys and execute identical sub-batches. *)
+      let fresh =
+        List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
+      in
+      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
+      if List.length requests = List.length fresh then begin
         t.delivered <- st.o;
         List.iter
           (fun k ->
+            t.delivered_keys <- Key_set.add k t.delivered_keys;
             t.pending <- Key_map.remove k t.pending;
             t.arrival <- Key_map.remove k t.arrival)
           st.keys;
@@ -178,10 +187,27 @@ let accept_pre_prepare t ~(info : Message.order_info) ~v =
 (* ----------------------------------------------------------- batching *)
 
 let issue_pre_prepare t info =
-  let body = Message.Pre_prepare { v = t.view; info } in
-  let env = make_signed t body in
-  multicast t ~dsts:(others t) env;
-  accept_pre_prepare t ~info ~v:t.view
+  match t.fault with
+  | Fault.Equivocate_at at when at = info.Message.o ->
+    (* Equivocating primary: split the backups between two conflicting
+       pre-prepare digests.  Neither half can assemble 2f matching prepares
+       beyond the quorum-intersection bound, so agreement holds; progress at
+       this sequence number waits for the view change. *)
+    let b = Bytes.of_string info.Message.digest in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+    let alt = { info with Message.digest = Bytes.to_string b } in
+    List.iteri
+      (fun i dst ->
+        let chosen = if i mod 2 = 0 then info else alt in
+        multicast t ~dsts:[ dst ]
+          (make_signed t (Message.Pre_prepare { v = t.view; info = chosen })))
+      (others t);
+    accept_pre_prepare t ~info ~v:t.view
+  | _ ->
+    let body = Message.Pre_prepare { v = t.view; info } in
+    let env = make_signed t body in
+    multicast t ~dsts:(others t) env;
+    accept_pre_prepare t ~info ~v:t.view
 
 let rec arm_batch_timer t =
   let h =
@@ -381,6 +407,7 @@ let create ~ctx ~config ?(fault = Fault.Honest) () =
     pending = Key_map.empty;
     arrival = Key_map.empty;
     ordered_keys = Key_set.empty;
+    delivered_keys = Key_set.empty;
     orders = Hashtbl.create 64;
     max_committed = 0;
     delivered = 0;

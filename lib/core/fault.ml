@@ -4,11 +4,20 @@ type t =
   | Endorse_corrupt_at of int
   | Mute_at of Sof_sim.Simtime.t
   | Drop_endorsements
+  | Equivocate_at of int
+  | Spurious_fail_signal_at of Sof_sim.Simtime.t
+  | Withhold_fail_signal
+  | Unwilling_spam
+  | Replay_stale of int
+  | Corrupt_wire of int
 
 let is_mute t ~now =
   match t with
   | Mute_at at -> Sof_sim.Simtime.compare now at >= 0
-  | Honest | Corrupt_digest_at _ | Endorse_corrupt_at _ | Drop_endorsements -> false
+  | Honest | Corrupt_digest_at _ | Endorse_corrupt_at _ | Drop_endorsements
+  | Equivocate_at _ | Spurious_fail_signal_at _ | Withhold_fail_signal
+  | Unwilling_spam | Replay_stale _ | Corrupt_wire _ ->
+    false
 
 let pp fmt = function
   | Honest -> Format.pp_print_string fmt "honest"
@@ -16,3 +25,10 @@ let pp fmt = function
   | Endorse_corrupt_at o -> Format.fprintf fmt "endorse_corrupt@%d" o
   | Mute_at at -> Format.fprintf fmt "mute@%a" Sof_sim.Simtime.pp at
   | Drop_endorsements -> Format.pp_print_string fmt "drop_endorsements"
+  | Equivocate_at o -> Format.fprintf fmt "equivocate@%d" o
+  | Spurious_fail_signal_at at ->
+    Format.fprintf fmt "spurious_fail_signal@%a" Sof_sim.Simtime.pp at
+  | Withhold_fail_signal -> Format.pp_print_string fmt "withhold_fail_signal"
+  | Unwilling_spam -> Format.pp_print_string fmt "unwilling_spam"
+  | Replay_stale n -> Format.fprintf fmt "replay_stale:%d" n
+  | Corrupt_wire n -> Format.fprintf fmt "corrupt_wire:%d" n

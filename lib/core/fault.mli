@@ -3,7 +3,13 @@
     A fault is attached to one process and drives its misbehaviour at the
     protocol's decision points.  Faulty processes still cannot forge other
     processes' signatures (keyring enforcement), so every injected behaviour
-    is within the cryptography-constrained Byzantine model. *)
+    is within the cryptography-constrained Byzantine model.
+
+    The first group of variants acts inside the protocol state machines
+    ([Sc], [Scr], [Bft] consult the fault at their decision points); the last
+    two — [Replay_stale] and [Corrupt_wire] — act on the wire and are driven
+    by the harness adversary ({!Sof_harness.Adversary}) rather than by the
+    protocol code. *)
 
 type t =
   | Honest
@@ -21,6 +27,32 @@ type t =
   | Drop_endorsements
       (** As shadow: receive orders but never endorse them (time-domain
           failure as seen by the primary). *)
+  | Equivocate_at of int
+      (** As coordinator primary: send conflicting orders for this sequence
+          number to different receivers — the counterpart shadow sees a
+          corrupted digest (a value-domain failure it must signal) while the
+          other replicas receive a differently-signed variant.  In BFT the
+          primary splits the backups between two pre-prepare digests. *)
+  | Spurious_fail_signal_at of Sof_sim.Simtime.t
+      (** As a pair member: emit a fail-signal against an innocent
+          counterpart at the given instant (fail-signal abuse; the
+          accountability invariant must attribute it to this process). *)
+  | Withhold_fail_signal
+      (** As a pair member: never emit a fail-signal, even when the
+          counterpart demonstrably misbehaves (suppresses detection; the
+          protocol must survive on the other member's signal or timeouts). *)
+  | Unwilling_spam
+      (** SCR only: answer every ViewChange with Unwilling even while Up,
+          forcing the view past this process's candidacies. *)
+  | Replay_stale of int
+      (** Wire-level: alongside each genuine send, replay up to the given
+          number of stale signed payloads previously sent by this process —
+          old views, old sequence numbers.  Signatures verify; receivers
+          must reject on freshness grounds. *)
+  | Corrupt_wire of int
+      (** Wire-level: flip a bit in roughly one out of [n] outgoing
+          payloads after signing.  The mutated bytes can no longer verify
+          under honest keys, so receivers must drop them without crashing. *)
 
 val is_mute : t -> now:Sof_sim.Simtime.t -> bool
 (** Whether a process with this fault transmits nothing at [now]. *)

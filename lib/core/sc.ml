@@ -50,6 +50,13 @@ type t = {
   mutable pending : Request.t Key_map.t;
   mutable arrival : Simtime.t Key_map.t;
   mutable ordered_keys : Key_set.t;
+  mutable delivered_keys : Key_set.t;
+  mutable view_ordered_keys : Key_set.t;
+      (* keys ordered under the current coordinator, for the shadow's
+         double-ordering check; reset at each install *)
+  mutable executed : Request.t Key_map.t;
+      (* delivered request bodies, kept so the shadow can still verify a
+         digest over re-proposed requests *)
   (* order log *)
   orders : (int, order_state) Hashtbl.t;
   mutable max_committed : int;
@@ -80,6 +87,11 @@ type t = {
   mutable sent_tuples : bool;
   mutable start_sent : bool;
   mutable start_covers : Message.order_info list;
+  mutable anchor_seen : int;
+      (* highest Start anchor installed: every sequence at or below it is
+         proven committed somewhere, so late orders from superseded
+         coordinators may still be adopted for those sequences (catch-up for
+         a replica that lagged across the install) *)
   mutable stash_future : (int * Message.envelope) list;
 }
 
@@ -229,13 +241,24 @@ let rec advance_delivery t =
       advance_delivery t
     end
     else begin
-      let requests =
-        List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys
+      (* At-most-once: a coordinator that lagged across an install may
+         re-order requests an earlier coordinator already committed.  Honest
+         processes agree on the committed prefix, so they prune the same
+         already-delivered keys and execute identical sub-batches. *)
+      let fresh =
+        List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
       in
-      if List.length requests = List.length st.keys then begin
+      let requests =
+        List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh
+      in
+      if List.length requests = List.length fresh then begin
         t.delivered <- st.o;
         List.iter
           (fun k ->
+            t.delivered_keys <- Key_set.add k t.delivered_keys;
+            (match Key_map.find_opt k t.pending with
+            | Some r -> t.executed <- Key_map.add k r t.executed
+            | None -> ());
             t.pending <- Key_map.remove k t.pending;
             t.arrival <- Key_map.remove k t.arrival)
           st.keys;
@@ -344,6 +367,10 @@ let cancel_pair_timers t =
 
 let rec emit_fail_signal t ~value_domain =
   match (t.pair_rank, t.counterpart_fail_signal, t.counterpart) with
+  | _ when t.fault = Fault.Withhold_fail_signal ->
+    (* Saboteur: sit on the evidence.  Detection must come from the other
+       member's signal or from the receivers' own timeouts. *)
+    ()
   | Some rank, Some presig, Some cp when (not t.fail_signalled) && t.pair_active ->
     t.fail_signalled <- true;
     t.pair_active <- false;
@@ -687,7 +714,7 @@ and finish_install t (start_env : Message.envelope) =
             info.Message.keys
         end)
       new_back_log;
-    ignore anchor;
+    if anchor > t.anchor_seen then t.anchor_seen <- anchor;
     (* The Start itself is an order at start_o (step IN5). *)
     let start_digest = start_digest_of t start_env in
     let st = get_order t start_o in
@@ -715,6 +742,10 @@ and finish_install t (start_env : Message.envelope) =
       t.expected_seq <- start_o + 1;
       t.last_progress <- t.ctx.Context.now ()
     end;
+    t.view_ordered_keys <- Key_set.empty;
+    (* Stashed endorsements are from the superseded era; anything still
+       legitimate is covered by the install's back-log. *)
+    t.stashed_endorsements <- [];
     t.ctx.Context.emit (Context.Coordinator_installed { rank = t.coord });
     (* Ack the Start through the normal part. *)
     send_ack t st;
@@ -775,13 +806,31 @@ and issue_batch t pool =
   let body = Message.Order { c = t.coord; info } in
   let env = make_signed t body in
   if coordinator_is_pair t then begin
-    (* Phase 1: 1-to-1 to the shadow for endorsement. *)
-    send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
-    let watch =
-      t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
-          endorsement_overdue t o)
-    in
-    t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+    match t.fault with
+    | Fault.Equivocate_at at when at = o ->
+      (* Equivocation: two conflicting orders for the same sequence number.
+         The shadow is asked to endorse a corrupted digest — a value-domain
+         failure it must detect and fail-signal — while the rest of the
+         cohort receives the honest digest without the pair's double
+         signature, which they reject as unendorsed.  Either way no honest
+         receiver can assemble a doubly-signed order for this [o]. *)
+      let b = Bytes.of_string digest in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      let conflicting = { info with Message.digest = Bytes.to_string b } in
+      let conflicting_env =
+        make_signed t (Message.Order { c = t.coord; info = conflicting })
+      in
+      let shadow = Config.shadow_of_pair t.config t.coord in
+      send t ~dst:shadow conflicting_env;
+      multicast t ~dsts:(List.filter (fun p -> p <> shadow) (others t)) env
+    | _ ->
+      (* Phase 1: 1-to-1 to the shadow for endorsement. *)
+      send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
+      let watch =
+        t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+            endorsement_overdue t o)
+      in
+      t.endorsement_watches <- (o, watch) :: t.endorsement_watches
   end
   else begin
     (* Unpaired coordinator: singly-signed order straight to everyone. *)
@@ -804,11 +853,27 @@ and endorsement_overdue t o =
 and shadow_validate_order t (env : Message.envelope) ~(info : Message.order_info) =
   (* Returns [`Valid], [`Defer] (requests not all here yet) or [`Invalid]. *)
   if info.Message.o <> t.expected_seq then
-    if info.Message.o < t.expected_seq then `Duplicate else `Invalid
-  else if List.exists (fun k -> Key_set.mem k t.ordered_keys) info.Message.keys then `Invalid
+    if info.Message.o < t.expected_seq then `Duplicate
+    else
+      (* A gap is not evidence: the network is non-FIFO, so a later order can
+         overtake an earlier one we are still deferring on.  Stash it until
+         the gap fills. *)
+      `Defer
+  else if
+    (* Double-ordering is only evidence of misbehaviour within the current
+       coordinator era: a primary installed after a fail-over may not know
+       which keys earlier coordinators already ordered, and re-proposing
+       them is benign now that delivery is at-most-once. *)
+    List.exists (fun k -> Key_set.mem k t.view_ordered_keys) info.Message.keys
+  then `Invalid
   else if info.Message.keys = [] then `Invalid
   else begin
-    let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) info.Message.keys in
+    let lookup k =
+      match Key_map.find_opt k t.pending with
+      | Some r -> Some r
+      | None -> Key_map.find_opt k t.executed
+    in
+    let requests = List.filter_map lookup info.Message.keys in
     if List.length requests <> List.length info.Message.keys then `Defer
     else begin
       let batch = Batch.make requests in
@@ -840,7 +905,11 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
 and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
   t.expected_seq <- info.Message.o + 1;
   t.last_progress <- t.ctx.Context.now ();
-  List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+  List.iter
+    (fun k ->
+      t.ordered_keys <- Key_set.add k t.ordered_keys;
+      t.view_ordered_keys <- Key_set.add k t.view_ordered_keys)
+    info.Message.keys;
   let endorsed = endorse t env in
   (* Phase 2: 2-to-n — the shadow multicasts the endorsed order... *)
   multicast t ~dsts:(others t) endorsed;
@@ -849,9 +918,9 @@ and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
 
 and retry_stashed_later t =
   (* Requests the primary referenced should arrive shortly (clients
-     broadcast); recheck after the pair delay estimate and treat a still-
-     unresolvable order as a value-domain failure (the primary invented
-     request identities). *)
+     broadcast); recheck after the pair delay estimate.  A still-unresolvable
+     order is a timeout, not proof of misbehaviour — a slow wire is
+     indistinguishable from an inventing primary. *)
   ignore
     (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
          retry_stashed t))
@@ -859,6 +928,14 @@ and retry_stashed_later t =
 and retry_stashed t =
   let stashed = t.stashed_endorsements in
   t.stashed_endorsements <- [];
+  (* Ascending sequence order so that endorsing a gap-filler immediately
+     unblocks the overtaking orders stashed behind it. *)
+  let seq_of (_, env) =
+    match env.Message.body with
+    | Message.Order { info; _ } -> info.Message.o
+    | _ -> max_int
+  in
+  let stashed = List.sort (fun a b -> compare (seq_of a) (seq_of b)) stashed in
   List.iter
     (fun (since, env) ->
       match env.Message.body with
@@ -870,7 +947,9 @@ and retry_stashed t =
         | `Defer ->
           let age = Simtime.diff (t.ctx.Context.now ()) since in
           if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
-            emit_fail_signal t ~value_domain:true
+            (* Timeout, not proof: the referenced requests (or the gap
+               predecessor) never showed up.  Time-domain. *)
+            emit_fail_signal t ~value_domain:false
           else t.stashed_endorsements <- (since, env) :: t.stashed_endorsements
       end
       | _ -> ())
@@ -1002,6 +1081,19 @@ and on_message t ~src (env : Message.envelope) =
     end
     else if c > t.coord || t.installing then
       t.stash_future <- (src, env) :: t.stash_future
+    else if
+      (* Catch-up: a late order from a superseded coordinator.  Sequences at
+         or below an installed Start's anchor are proven committed, and under
+         the pair fault model the valid coordinator message for a given
+         sequence is unique, so adopting its content is safe — this is how a
+         replica partitioned across the install recovers the orders whose
+         acks it already holds.  Fresh sequences from a deposed coordinator
+         (above the anchor, where the install may have decided differently)
+         stay dropped. *)
+      info.Message.o <= t.anchor_seen
+      && valid_coordinator_message t ~rank:c env
+      && authentic t env
+    then accept_order t env ~c ~info
   | Message.Ack { c; o; digest } ->
     ignore c;
     if authentic t env then begin
@@ -1126,7 +1218,16 @@ let on_request t (req : Request.t) =
 
 let start t =
   if Option.is_some t.pair_rank then arm_heartbeat t;
-  if i_am_coordinator_primary t then arm_batch_timer t
+  if i_am_coordinator_primary t then arm_batch_timer t;
+  match t.fault with
+  | Fault.Spurious_fail_signal_at at when Option.is_some t.pair_rank ->
+    (* Fail-signal abuse: accuse the innocent counterpart at the given
+       instant (processes start at simulated time zero, so the instant and
+       the timer delay coincide). *)
+    ignore
+      (t.ctx.Context.set_timer ~delay:at (fun () ->
+           emit_fail_signal t ~value_domain:false))
+  | _ -> ()
 
 let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
   let pid = ctx.Context.id in
@@ -1152,6 +1253,9 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     pending = Key_map.empty;
     arrival = Key_map.empty;
     ordered_keys = Key_set.empty;
+    delivered_keys = Key_set.empty;
+    view_ordered_keys = Key_set.empty;
+    executed = Key_map.empty;
     orders = Hashtbl.create 64;
     max_committed = 0;
     committed_digest = "";
@@ -1177,5 +1281,6 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     sent_tuples = false;
     start_sent = false;
     start_covers = [];
+    anchor_seen = 0;
     stash_future = [];
   }

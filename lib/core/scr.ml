@@ -50,6 +50,13 @@ type t = {
   mutable pending : Request.t Key_map.t;
   mutable arrival : Simtime.t Key_map.t;
   mutable ordered_keys : Key_set.t;
+  mutable delivered_keys : Key_set.t;
+  mutable view_ordered_keys : Key_set.t;
+      (* keys ordered under the current view, for the shadow's
+         double-ordering check; reset at each view install *)
+  mutable executed : Request.t Key_map.t;
+      (* delivered request bodies, kept so the shadow can still verify a
+         digest over re-proposed requests *)
   (* orders *)
   orders : (int, order_state) Hashtbl.t;
   mutable max_committed : int;
@@ -69,6 +76,11 @@ type t = {
   mutable new_view_sent : bool;
   mutable nv_watch : Context.timer option;
   mutable start_covers : Message.order_info list;
+  mutable anchor_seen : int;
+      (* highest NewView anchor installed: every sequence at or below it is
+         proven committed somewhere, so late orders from superseded views may
+         still be adopted for those sequences (catch-up for a replica that
+         lagged across the view change) *)
   mutable stash_future : (int * Message.envelope) list;
   echoed_fail_signals : (int * int * int, unit) Hashtbl.t;
       (* (pair, first signatory, view): echo and react once per view *)
@@ -195,11 +207,22 @@ let rec advance_delivery t =
       advance_delivery t
     end
     else begin
-      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys in
-      if List.length requests = List.length st.keys then begin
+      (* At-most-once: a coordinator installed after a view change may
+         re-order requests an earlier view already committed.  Honest
+         processes agree on the committed prefix, so they prune the same
+         already-delivered keys and execute identical sub-batches. *)
+      let fresh =
+        List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
+      in
+      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
+      if List.length requests = List.length fresh then begin
         t.delivered <- st.o;
         List.iter
           (fun k ->
+            t.delivered_keys <- Key_set.add k t.delivered_keys;
+            (match Key_map.find_opt k t.pending with
+            | Some r -> t.executed <- Key_map.add k r t.executed
+            | None -> ());
             t.pending <- Key_map.remove k t.pending;
             t.arrival <- Key_map.remove k t.arrival)
           st.keys;
@@ -290,6 +313,10 @@ let cancel_pair_timers t =
 
 let rec emit_fail_signal t ~value_domain =
   match (t.pair_rank, t.counterpart_fail_signal, t.counterpart) with
+  | _ when t.fault = Fault.Withhold_fail_signal ->
+    (* Saboteur: sit on the evidence.  Detection must come from the other
+       member's signal or from the receivers' own timeouts. *)
+    ()
   | Some rank, Some presig, Some cp when t.status = Up && not t.fail_signalled ->
     t.fail_signalled <- true;
     t.status <- (if value_domain then Permanently_down else Down);
@@ -348,7 +375,11 @@ and propose_view_change t v =
 
 and maybe_unwilling t v =
   match t.pair_rank with
-  | Some rank when rank = candidate_of_view t v && t.status <> Up ->
+  (* The [Unwilling_spam] saboteur declares unwillingness even while Up,
+     pushing every view past its own candidacies. *)
+  | Some rank
+    when rank = candidate_of_view t v
+         && (t.status <> Up || t.fault = Fault.Unwilling_spam) ->
     let body = Message.Unwilling { v; pair = rank } in
     multicast t ~dsts:(others t) (make_signed t body)
   | Some _ | None -> ()
@@ -512,15 +543,16 @@ and handle_new_view_proposal t (env : Message.envelope) ~v ~start_o ~anchor
   if plausible then begin
     let endorsed = endorse t env in
     multicast t ~dsts:(others t) endorsed;
-    install_view t endorsed ~v ~start_o ~new_back_log
+    install_view t endorsed ~v ~start_o ~anchor ~new_back_log
   end
   else emit_fail_signal t ~value_domain:true
 
-and install_view t (env : Message.envelope) ~v ~start_o ~new_back_log =
+and install_view t (env : Message.envelope) ~v ~start_o ~anchor ~new_back_log =
   if v >= t.target_view || v > t.view then begin
     t.view <- v;
     t.changing_view <- false;
     t.target_view <- v;
+    if anchor > t.anchor_seen then t.anchor_seen <- anchor;
     (match t.nv_watch with Some h -> h.Context.cancel () | None -> ());
     t.nv_watch <- None;
     t.start_covers <-
@@ -562,6 +594,10 @@ and install_view t (env : Message.envelope) ~v ~start_o ~new_back_log =
       t.expected_seq <- start_o + 1;
       t.last_progress <- t.ctx.Context.now ()
     end;
+    t.view_ordered_keys <- Key_set.empty;
+    (* Stashed endorsements are from the superseded view; anything still
+       legitimate is covered by the install's back-log. *)
+    t.stashed_endorsements <- [];
     t.ctx.Context.emit (Context.View_installed { v });
     send_ack t st;
     try_commit t st;
@@ -611,12 +647,28 @@ and issue_batch t pool =
        { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
   let body = Message.Order { c = t.view; info } in
   let env = make_signed t body in
-  send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
-  let watch =
-    t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
-        endorsement_overdue t o)
-  in
-  t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+  match t.fault with
+  | Fault.Equivocate_at at when at = o ->
+    (* Equivocation: the shadow sees a conflicting digest (a value-domain
+       failure it must fail-signal) while the cohort gets the honest digest
+       without the pair's double signature, which receivers reject as
+       unendorsed.  No honest receiver assembles a doubly-signed order. *)
+    let b = Bytes.of_string digest in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+    let conflicting = { info with Message.digest = Bytes.to_string b } in
+    let conflicting_env =
+      make_signed t (Message.Order { c = t.view; info = conflicting })
+    in
+    let shadow = Config.shadow_of_pair t.config (coordinator_rank t) in
+    send t ~dst:shadow conflicting_env;
+    multicast t ~dsts:(List.filter (fun p -> p <> shadow) (others t)) env
+  | _ ->
+    send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
+    let watch =
+      t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+          endorsement_overdue t o)
+    in
+    t.endorsement_watches <- (o, watch) :: t.endorsement_watches
 
 and endorsement_overdue t o =
   t.endorsement_watches <- List.remove_assoc o t.endorsement_watches;
@@ -629,12 +681,27 @@ and endorsement_overdue t o =
 
 and shadow_validate_order t ~(info : Message.order_info) =
   if info.Message.o <> t.expected_seq then
-    if info.Message.o < t.expected_seq then `Duplicate else `Invalid
-  else if List.exists (fun k -> Key_set.mem k t.ordered_keys) info.Message.keys then
-    `Invalid
+    if info.Message.o < t.expected_seq then `Duplicate
+    else
+      (* A gap is not evidence: the network is non-FIFO, so a later order can
+         overtake an earlier one we are still deferring on.  Stash it until
+         the gap fills. *)
+      `Defer
+  else if
+    (* Double-ordering is only evidence of misbehaviour within the current
+       view: a primary installed after a view change may not know which keys
+       earlier views already ordered, and re-proposing them is benign now
+       that delivery is at-most-once. *)
+    List.exists (fun k -> Key_set.mem k t.view_ordered_keys) info.Message.keys
+  then `Invalid
   else if info.Message.keys = [] then `Invalid
   else begin
-    let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) info.Message.keys in
+    let lookup k =
+      match Key_map.find_opt k t.pending with
+      | Some r -> Some r
+      | None -> Key_map.find_opt k t.executed
+    in
+    let requests = List.filter_map lookup info.Message.keys in
     if List.length requests <> List.length info.Message.keys then `Defer
     else begin
       let batch = Batch.make requests in
@@ -666,7 +733,11 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
 and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
   t.expected_seq <- info.Message.o + 1;
   t.last_progress <- t.ctx.Context.now ();
-  List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
+  List.iter
+    (fun k ->
+      t.ordered_keys <- Key_set.add k t.ordered_keys;
+      t.view_ordered_keys <- Key_set.add k t.view_ordered_keys)
+    info.Message.keys;
   let endorsed = endorse t env in
   multicast t ~dsts:(others t) endorsed;
   accept_order t endorsed ~v:t.view ~info;
@@ -675,6 +746,14 @@ and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
 and retry_stashed t =
   let stashed = t.stashed_endorsements in
   t.stashed_endorsements <- [];
+  (* Ascending sequence order so that endorsing a gap-filler immediately
+     unblocks the overtaking orders stashed behind it. *)
+  let seq_of (_, env) =
+    match env.Message.body with
+    | Message.Order { info; _ } -> info.Message.o
+    | _ -> max_int
+  in
+  let stashed = List.sort (fun a b -> compare (seq_of a) (seq_of b)) stashed in
   List.iter
     (fun (since, env) ->
       match env.Message.body with
@@ -686,7 +765,9 @@ and retry_stashed t =
         | `Defer ->
           let age = Simtime.diff (t.ctx.Context.now ()) since in
           if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
-            emit_fail_signal t ~value_domain:true
+            (* Timeout, not proof: the referenced requests (or the gap
+               predecessor) never showed up.  Time-domain. *)
+            emit_fail_signal t ~value_domain:false
           else t.stashed_endorsements <- (since, env) :: t.stashed_endorsements
       end
       | _ -> ())
@@ -822,6 +903,19 @@ and on_message t ~src (env : Message.envelope) =
     end
     else if v > t.view || t.changing_view then
       t.stash_future <- (src, env) :: t.stash_future
+    else if
+      (* Catch-up: a late order from a superseded view.  Sequences at or
+         below an installed NewView's anchor are proven committed, and under
+         the pair fault model the valid coordinator message for a given
+         sequence is unique, so adopting its content is safe — this is how a
+         replica partitioned across the view change recovers the orders whose
+         acks it already holds.  Fresh sequences from a deposed view (above
+         the anchor, where the view change may have decided differently) stay
+         dropped. *)
+      info.Message.o <= t.anchor_seen
+      && doubly_signed_by_pair t ~rank:(candidate_of_view t v) env
+      && authentic t env
+    then accept_order t env ~v ~info
   | Message.Ack { o; digest; _ } ->
     if authentic t env then begin
       let st = get_order t o in
@@ -853,7 +947,7 @@ and on_message t ~src (env : Message.envelope) =
       else if doubly_signed_by_pair t ~rank env then begin
         if id t = Config.primary_of_pair t.config rank && env.Message.sender = id t && src <> id t
         then multicast t ~dsts:(others t) env;
-        install_view t env ~v ~start_o ~new_back_log
+        install_view t env ~v ~start_o ~anchor ~new_back_log
       end
     end
   | Message.Unwilling { v; pair } ->
@@ -903,7 +997,16 @@ let on_request t (req : Request.t) =
 
 let start t =
   if Option.is_some t.pair_rank then arm_heartbeat t;
-  if i_am_coordinator_primary t then arm_batch_timer t
+  if i_am_coordinator_primary t then arm_batch_timer t;
+  match t.fault with
+  | Fault.Spurious_fail_signal_at at when Option.is_some t.pair_rank ->
+    (* Fail-signal abuse: accuse the innocent counterpart at the given
+       instant (processes start at simulated time zero, so the instant and
+       the timer delay coincide). *)
+    ignore
+      (t.ctx.Context.set_timer ~delay:at (fun () ->
+           emit_fail_signal t ~value_domain:false))
+  | _ -> ()
 
 let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
   if config.Config.variant <> Config.SCR then
@@ -933,6 +1036,9 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     pending = Key_map.empty;
     arrival = Key_map.empty;
     ordered_keys = Key_set.empty;
+    delivered_keys = Key_set.empty;
+    view_ordered_keys = Key_set.empty;
+    executed = Key_map.empty;
     orders = Hashtbl.create 64;
     max_committed = 0;
     committed_digest = "";
@@ -948,6 +1054,7 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     new_view_sent = false;
     nv_watch = None;
     start_covers = [];
+    anchor_seen = 0;
     stash_future = [];
     echoed_fail_signals = Hashtbl.create 8;
   }

@@ -1,0 +1,91 @@
+module Rng = Sof_util.Rng
+module P = Sof_protocol
+
+type wire = { replay : int; corrupt : int }
+
+type t = {
+  rng : Rng.t;
+  wire : (int * wire) list;
+  history : (int, string list ref) Hashtbl.t;
+  mutable replays_injected : int;
+  mutable corruptions_injected : int;
+}
+
+(* Stale traffic older than this is forgotten; enough depth to span several
+   views/epochs without the history growing with the run. *)
+let history_cap = 64
+
+let wire_of_fault = function
+  | P.Fault.Replay_stale n -> Some { replay = n; corrupt = 0 }
+  | P.Fault.Corrupt_wire n -> Some { replay = 0; corrupt = n }
+  | P.Fault.Honest | P.Fault.Corrupt_digest_at _ | P.Fault.Endorse_corrupt_at _
+  | P.Fault.Mute_at _ | P.Fault.Drop_endorsements | P.Fault.Equivocate_at _
+  | P.Fault.Spurious_fail_signal_at _ | P.Fault.Withhold_fail_signal
+  | P.Fault.Unwilling_spam ->
+    None
+
+let wanted faults =
+  List.exists (fun (_, f) -> wire_of_fault f <> None) faults
+
+let create ~rng ~faults =
+  let wire =
+    List.filter_map
+      (fun (i, f) -> Option.map (fun w -> (i, w)) (wire_of_fault f))
+      faults
+  in
+  {
+    rng;
+    wire;
+    history = Hashtbl.create 4;
+    replays_injected = 0;
+    corruptions_injected = 0;
+  }
+
+let replays_injected t = t.replays_injected
+let corruptions_injected t = t.corruptions_injected
+
+let corrupt_payload rng payload =
+  if String.length payload = 0 then payload
+  else begin
+    let b = Bytes.of_string payload in
+    let i = Rng.int rng (Bytes.length b) in
+    let bit = Rng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let outbound t ~src ~dst:_ ~payload =
+  match List.assoc_opt src t.wire with
+  | Some { replay; _ } when replay > 0 ->
+    let hist =
+      match Hashtbl.find_opt t.history src with
+      | Some h -> h
+      | None ->
+        let h = ref [] in
+        Hashtbl.replace t.history src h;
+        h
+    in
+    let stale = !hist in
+    let k = if stale = [] then 0 else Rng.int t.rng (replay + 1) in
+    let len = List.length stale in
+    let replays = List.init k (fun _ -> List.nth stale (Rng.int t.rng len)) in
+    hist := payload :: take (history_cap - 1) stale;
+    t.replays_injected <- t.replays_injected + k;
+    (* Replays ride above the reliable channel, so each one is framed as a
+       fresh transmission — the receiving channel cannot dedup it, and
+       rejecting the stale contents is the protocol's job. *)
+    payload :: replays
+  | _ -> [ payload ]
+
+let tamper t ~src ~dst:_ ~payload =
+  match List.assoc_opt src t.wire with
+  | Some { corrupt; _ } when corrupt > 0 && Rng.int t.rng corrupt = 0 ->
+    t.corruptions_injected <- t.corruptions_injected + 1;
+    [ corrupt_payload t.rng payload ]
+  | _ -> [ payload ]
+
+let install t net = Sof_net.Network.set_tamper net (Some (tamper t))

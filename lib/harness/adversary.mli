@@ -1,0 +1,49 @@
+(** Runtime Byzantine adversary for the wire-level fault variants.
+
+    Protocol-level misbehaviour ([Equivocate_at], [Withhold_fail_signal], …)
+    lives inside the state machines, where the faulty process's own keys and
+    timers are in scope.  The two wire-level variants — [Replay_stale] and
+    [Corrupt_wire] — instead need to touch traffic in flight, and that is
+    this module's job.  It sits at two interception points:
+
+    {ul
+    {- {!outbound} wraps the cluster's transport send, {e above} the reliable
+       channel: replayed stale payloads are framed as fresh transmissions,
+       so the receiving channel's duplicate suppression cannot absorb them
+       and the protocol itself must reject them on freshness grounds.  The
+       replayed bytes are verbatim earlier sends, so their signatures
+       verify.}
+    {- {!tamper} plugs into {!Sof_net.Network.set_tamper}, {e below} the
+       channel: bit-flips corrupt the raw frame, exercising the codec and
+       signature checks on the receive path.  A corrupted payload can no
+       longer verify under honest keys.}}
+
+    The adversary draws from its own RNG stream (forked from the engine
+    after the network and keyring streams), so enabling it never perturbs
+    the substrate's sampling and seeded non-Byzantine runs replay
+    byte-identically. *)
+
+type t
+
+val wanted : (int * Sof_protocol.Fault.t) list -> bool
+(** Whether any fault in the assignment needs a wire adversary. *)
+
+val create : rng:Sof_util.Rng.t -> faults:(int * Sof_protocol.Fault.t) list -> t
+
+val outbound : t -> src:int -> dst:int -> payload:string -> string list
+(** The payloads to actually hand to the transport in place of [payload]
+    (always includes [payload] itself; extras are replayed stale sends). *)
+
+val tamper : t -> src:int -> dst:int -> payload:string -> string list
+(** Network tamper hook: [payload] unchanged, or a bit-flipped copy in its
+    place for a [Corrupt_wire] source. *)
+
+val install : t -> Sof_net.Network.t -> unit
+(** Register {!tamper} on the network. *)
+
+val corrupt_payload : Sof_util.Rng.t -> string -> string
+(** Flip one random bit — the exact mutation {!tamper} performs; exposed so
+    tests can check that no such mutation survives signature verification. *)
+
+val replays_injected : t -> int
+val corruptions_injected : t -> int

@@ -67,6 +67,7 @@ type t = {
   engine : Engine.t;
   net : Network.t;
   chan : Channel.t option;
+  adversary : Adversary.t option;
   keyring : Keyring.t;
   nodes : node array;
   mutable event_log : (Simtime.t * int * P.Context.event) list;
@@ -84,14 +85,26 @@ let process_count t = Array.length t.nodes
 let engine t = t.engine
 let network t = t.net
 let channel t = t.chan
+let adversary t = t.adversary
 let spec t = t.spec
 
 (* Protocol traffic goes straight onto the network, or through the reliable
-   channel when the spec asks for one (lossy-substrate runs). *)
+   channel when the spec asks for one (lossy-substrate runs).  The wire
+   adversary intercepts here, above the channel, so a replayed stale payload
+   is framed as a fresh transmission that the receiving channel's duplicate
+   suppression cannot absorb. *)
 let transport_send t ~src ~dst payload =
-  match t.chan with
-  | Some chan -> Channel.send chan ~src ~dst payload
-  | None -> Network.send t.net ~src ~dst payload
+  let payloads =
+    match t.adversary with
+    | Some adv -> Adversary.outbound adv ~src ~dst ~payload
+    | None -> [ payload ]
+  in
+  List.iter
+    (fun p ->
+      match t.chan with
+      | Some chan -> Channel.send chan ~src ~dst p
+      | None -> Network.send t.net ~src ~dst p)
+    payloads
 
 let set_transport_handler t who handler =
   match t.chan with
@@ -201,6 +214,14 @@ let build spec =
     if spec.use_channel then Some (Channel.attach ~config:spec.channel_config net)
     else None
   in
+  (* The adversary's RNG is forked only when a wire fault asks for one, so
+     seeded non-Byzantine runs keep the exact stream layout of older runs. *)
+  let adversary =
+    if Adversary.wanted spec.faults then
+      Some (Adversary.create ~rng:(Engine.fork_rng engine) ~faults:spec.faults)
+    else None
+  in
+  (match adversary with Some adv -> Adversary.install adv net | None -> ());
   let scheme =
     match spec.kind with Ct_protocol -> Scheme.null | _ -> spec.scheme
   in
@@ -231,6 +252,7 @@ let build spec =
       engine;
       net;
       chan;
+      adversary;
       keyring;
       nodes;
       event_log = [];

@@ -62,6 +62,10 @@ val channel : t -> Sof_net.Channel.t option
 (** The reliable channel carrying protocol traffic, when [spec.use_channel]
     was set; its stats prove whether the lossy path was exercised. *)
 
+val adversary : t -> Adversary.t option
+(** The wire adversary, present when a [Replay_stale] or [Corrupt_wire]
+    fault was assigned; its counters prove the hostile path was exercised. *)
+
 val spec : t -> spec
 (** The spec the cluster was built from (fault assignments and all). *)
 

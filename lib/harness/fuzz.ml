@@ -1,0 +1,175 @@
+module Rng = Sof_util.Rng
+module Message = Sof_protocol.Message
+module Request = Sof_smr.Request
+
+type outcome = {
+  runs : int;
+  decoded : int;
+  rejected : int;
+  crashes : (int * string) list;
+}
+
+let passed o = o.crashes = []
+
+(* ------------------------------------------------- corpus construction *)
+
+let random_string rng n = Bytes.to_string (Rng.bytes rng n)
+
+let random_key rng =
+  { Request.client = Rng.int rng 64; client_seq = Rng.int rng 10_000 }
+
+let random_info rng =
+  {
+    Message.o = Rng.int rng 1_000;
+    digest = random_string rng (Rng.int rng 33);
+    keys = List.init (Rng.int rng 4) (fun _ -> random_key rng);
+  }
+
+let random_infos rng = List.init (Rng.int rng 3) (fun _ -> random_info rng)
+
+let random_sigs rng =
+  List.init (Rng.int rng 4) (fun _ -> (Rng.int rng 8, random_string rng 16))
+
+let random_body rng =
+  match Rng.int rng 16 with
+  | 0 -> Message.Order { c = Rng.int rng 8; info = random_info rng }
+  | 1 ->
+    Message.Ack
+      { c = Rng.int rng 8; o = Rng.int rng 1_000; digest = random_string rng 16 }
+  | 2 -> Message.Fail_signal { pair = Rng.int rng 8 }
+  | 3 ->
+    Message.Back_log
+      {
+        c = Rng.int rng 8;
+        failed_pair = Rng.int rng 8;
+        max_committed = Rng.int rng 1_000;
+        committed_digest = random_string rng 16;
+        proof_c = Rng.int rng 8;
+        proof = random_sigs rng;
+        uncommitted = random_infos rng;
+      }
+  | 4 ->
+    Message.Start
+      {
+        c = Rng.int rng 8;
+        start_o = Rng.int rng 1_000;
+        anchor = Rng.int rng 1_000;
+        new_back_log = random_infos rng;
+      }
+  | 5 -> Message.Start_ack { c = Rng.int rng 8; start_digest = random_string rng 16 }
+  | 6 -> Message.Start_tuples { c = Rng.int rng 8; tuples = random_sigs rng }
+  | 7 ->
+    Message.View_change
+      {
+        v = Rng.int rng 16;
+        max_committed = Rng.int rng 1_000;
+        committed_digest = random_string rng 16;
+        uncommitted = random_infos rng;
+      }
+  | 8 ->
+    Message.New_view
+      {
+        v = Rng.int rng 16;
+        start_o = Rng.int rng 1_000;
+        anchor = Rng.int rng 1_000;
+        new_back_log = random_infos rng;
+      }
+  | 9 -> Message.Unwilling { v = Rng.int rng 16; pair = Rng.int rng 8 }
+  | 10 -> Message.Heartbeat { pair = Rng.int rng 8; beat = Rng.int rng 10_000 }
+  | 11 -> Message.Pre_prepare { v = Rng.int rng 16; info = random_info rng }
+  | 12 ->
+    Message.Prepare
+      { v = Rng.int rng 16; o = Rng.int rng 1_000; digest = random_string rng 16 }
+  | 13 ->
+    Message.Commit
+      { v = Rng.int rng 16; o = Rng.int rng 1_000; digest = random_string rng 16 }
+  | 14 -> Message.Bft_view_change { v = Rng.int rng 16; prepared = random_infos rng }
+  | _ -> Message.Bft_new_view { v = Rng.int rng 16; pre_prepares = random_infos rng }
+
+let random_envelope rng =
+  {
+    Message.sender = Rng.int rng 8;
+    body = random_body rng;
+    signature = random_string rng (Rng.int rng 33);
+    endorsement =
+      (if Rng.bool rng then Some (Rng.int rng 8, random_string rng 16) else None);
+  }
+
+let flip_bit rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    Bytes.to_string b
+  end
+
+let splice rng s frag =
+  if String.length s = 0 then frag
+  else begin
+    let i = Rng.int rng (String.length s) in
+    String.sub s 0 i ^ frag ^ String.sub s i (String.length s - i)
+  end
+
+(* One hostile buffer per iteration, mutated from a structurally valid
+   encoding often enough that the corruption lands deep inside the decoder
+   rather than on the first tag byte. *)
+let hostile_buffer rng valid =
+  match Rng.int rng 5 with
+  | 0 -> random_string rng (Rng.int rng 300) (* pure garbage *)
+  | 1 ->
+    (* truncation at every possible boundary, eventually *)
+    String.sub valid 0 (Rng.int rng (String.length valid + 1))
+  | 2 ->
+    let rec flips n s = if n = 0 then s else flips (n - 1) (flip_bit rng s) in
+    flips (1 + Rng.int rng 8) valid
+  | 3 ->
+    (* hostile length prefix: 0xff… decodes as a huge/negative varint *)
+    splice rng valid (String.init (1 + Rng.int rng 9) (fun _ -> '\xff'))
+  | _ -> valid ^ random_string rng (1 + Rng.int rng 16) (* trailing junk *)
+
+(* ------------------------------------------------------------ running *)
+
+let poke crashes i f =
+  match f () with
+  | _ -> `Decoded
+  | exception Sof_util.Codec.Reader.Truncated -> `Rejected
+  | exception e ->
+    crashes := (i, Printexc.to_string e) :: !crashes;
+    `Crashed
+
+let run ~seed ~count =
+  let rng = Rng.create seed in
+  let decoded = ref 0 in
+  let rejected = ref 0 in
+  let crashes = ref [] in
+  let note = function
+    | `Decoded -> incr decoded
+    | `Rejected -> incr rejected
+    | `Crashed -> ()
+  in
+  for i = 0 to count - 1 do
+    let buf =
+      match Rng.int rng 3 with
+      | 0 -> hostile_buffer rng (Message.encode (random_envelope rng))
+      | 1 -> hostile_buffer rng (Message.encode_body (random_body rng))
+      | _ ->
+        hostile_buffer rng
+          (Request.encode
+             (Request.make ~client:(Rng.int rng 64)
+                ~client_seq:(Rng.int rng 10_000)
+                ~op:(random_string rng (Rng.int rng 64))))
+    in
+    note (poke crashes i (fun () -> ignore (Message.decode buf)));
+    note (poke crashes i (fun () -> ignore (Message.decode_body buf)));
+    note (poke crashes i (fun () -> ignore (Request.decode buf)))
+  done;
+  { runs = 3 * count; decoded = !decoded; rejected = !rejected; crashes = List.rev !crashes }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "decode-fuzz: %d runs, %d decoded, %d rejected, %d crashes"
+    o.runs o.decoded o.rejected (List.length o.crashes);
+  List.iteri
+    (fun k (i, e) ->
+      if k < 5 then Format.fprintf fmt "@.  crash at iteration %d: %s" i e)
+    o.crashes

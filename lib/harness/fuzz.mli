@@ -1,0 +1,26 @@
+(** Seeded decode fuzzing over the wire-format entry points.
+
+    An adversary controls every byte an honest node's decoder sees, so the
+    contract is: {!Sof_protocol.Message.decode}, [decode_body] and
+    {!Sof_smr.Request.decode} either return a value or raise
+    [Codec.Reader.Truncated] — never anything else, on any input.  This
+    module checks that contract over a seeded corpus of hostile buffers
+    (pure garbage, truncations, bit flips, hostile length prefixes, and
+    trailing junk grafted onto structurally valid encodings). *)
+
+type outcome = {
+  runs : int;  (** Total decode attempts (3 entry points per buffer). *)
+  decoded : int;  (** Survived decoding (mutation kept the format valid). *)
+  rejected : int;  (** Raised [Truncated] — the recoverable rejection. *)
+  crashes : (int * string) list;
+      (** (iteration, exception) for every non-[Truncated] escape. *)
+}
+
+val run : seed:int64 -> count:int -> outcome
+(** Fuzz [count] buffers deterministically from [seed].  Each buffer is fed
+    to all three decode entry points. *)
+
+val passed : outcome -> bool
+(** No crashes. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -119,6 +119,204 @@ let validity cluster ~honest ~injected =
     (deliveries cluster ~honest);
   match !violation with None -> ok name | Some d -> fail name d
 
+(* --------------------------------------------- fail-signal accountability *)
+
+(* Pair layout, mirrored arithmetically from Config so an event-log check
+   does not need a full protocol configuration: pair r (1-based) is
+   (primary r-1, shadow 2f+r); SC fields f pairs, SCR f+1. *)
+let pair_count_of ~kind ~f =
+  match kind with
+  | Cluster.Sc_protocol -> f
+  | Cluster.Scr_protocol -> f + 1
+  | Cluster.Bft_protocol | Cluster.Ct_protocol -> 0
+
+let counterpart_of ~kind ~f p =
+  let pairs = pair_count_of ~kind ~f in
+  if p < pairs then Some ((2 * f) + p + 1)
+  else if p > 2 * f && p <= (2 * f) + pairs then Some (p - (2 * f) - 1)
+  else None
+
+let pair_rank_of ~kind ~f p =
+  let pairs = pair_count_of ~kind ~f in
+  if p < pairs then Some (p + 1)
+  else if p > 2 * f && p <= (2 * f) + pairs then Some (p - (2 * f))
+  else None
+
+let byz_of_spec spec =
+  List.filter_map
+    (fun (i, fault) -> if fault = P.Fault.Honest then None else Some i)
+    spec.Cluster.faults
+
+let fail_signal_accountability cluster ~crashed ~by =
+  let name = "fs-accountability" in
+  let spec = Cluster.spec cluster in
+  let kind = spec.Cluster.kind and f = spec.Cluster.f in
+  if pair_count_of ~kind ~f = 0 then ok name
+  else begin
+    let events = Cluster.events cluster in
+    let byz = byz_of_spec spec in
+    let emitted_by who pair =
+      List.exists
+        (fun (_, w, ev) ->
+          w = who
+          && match ev with
+             | P.Context.Fail_signal_emitted { pair = p; _ } -> p = pair
+             | _ -> false)
+        events
+    in
+    let observed_by_honest pair =
+      List.exists
+        (fun (_, w, ev) ->
+          (not (List.mem w byz))
+          && match ev with
+             | P.Context.Fail_signal_observed { pair = p } -> p = pair
+             | _ -> false)
+        events
+    in
+    (* Soundness: an honest member's fail-signal must be attributable — a
+       Byzantine or crashed counterpart, or the counterpart's own signal
+       (the join rule; mutual time-domain accusations under surge fall here
+       too, as assumption 3(a)'s estimates are deliberately broken then). *)
+    let soundness =
+      List.find_map
+        (fun (_, who, ev) ->
+          match ev with
+          | P.Context.Fail_signal_emitted { pair; value_domain }
+            when not (List.mem who byz) -> begin
+            match (pair_rank_of ~kind ~f who, counterpart_of ~kind ~f who) with
+            | Some own, Some cp when own = pair ->
+              if List.mem cp byz then None
+              else if value_domain then
+                (* Value-domain evidence is cryptographic: only a Byzantine
+                   counterpart can produce it. *)
+                Some
+                  (Printf.sprintf
+                     "process %d raised a value-domain fail-signal against \
+                      honest counterpart %d (pair %d)"
+                     who cp pair)
+              else if List.mem cp crashed || emitted_by cp pair then None
+              else
+                Some
+                  (Printf.sprintf
+                     "process %d fail-signalled pair %d, but counterpart %d \
+                      neither misbehaved, crashed, nor signalled"
+                     who pair cp)
+            | _ ->
+              Some
+                (Printf.sprintf
+                   "process %d emitted a fail-signal for pair %d, which is \
+                    not its own pair" who pair)
+          end
+          | _ -> None)
+        events
+    in
+    (* Detection: a fault that demonstrably fired against an honest
+       counterpart must end in the pair being signalled.  Muteness is
+       always detectable (heartbeats); a corrupt or equivocated order is
+       detectable once the faulty process actually batched that sequence
+       number as coordinator — its own Batched event is the proof. *)
+    let fired_detectably who fault =
+      match fault with
+      | P.Fault.Mute_at at -> Simtime.compare at by <= 0
+      | P.Fault.Corrupt_digest_at o | P.Fault.Equivocate_at o ->
+        List.exists
+          (fun (at, w, ev) ->
+            w = who
+            && Simtime.compare at by <= 0
+            && match ev with P.Context.Batched { seq; _ } -> seq = o | _ -> false)
+          events
+      | _ -> false
+    in
+    let detection =
+      List.find_map
+        (fun (who, fault) ->
+          match (pair_rank_of ~kind ~f who, counterpart_of ~kind ~f who) with
+          | Some rank, Some cp
+            when fired_detectably who fault
+                 && (not (List.mem cp byz))
+                 && (not (List.mem cp crashed))
+                 && not (observed_by_honest rank) ->
+            Some
+              (Format.asprintf
+                 "process %d misbehaved (%a) but pair %d was never \
+                  fail-signalled" who P.Fault.pp fault rank)
+          | _ -> None)
+        spec.Cluster.faults
+    in
+    match (soundness, detection) with
+    | Some d, _ | None, Some d -> fail name d
+    | None, None -> ok name
+  end
+
+(* ------------------------------------------------- coordinator succession *)
+
+let coordinator_succession cluster ~crashed ~by =
+  let name = "coord-succession" in
+  let spec = Cluster.spec cluster in
+  let kind = spec.Cluster.kind and f = spec.Cluster.f in
+  match kind with
+  | Cluster.Bft_protocol | Cluster.Ct_protocol -> ok name
+  | Cluster.Sc_protocol | Cluster.Scr_protocol ->
+    let byz = byz_of_spec spec in
+    let honest =
+      List.filter
+        (fun p -> (not (List.mem p byz)) && not (List.mem p crashed))
+        (List.init (Cluster.process_count cluster) Fun.id)
+    in
+    let candidate_count = f + 1 in
+    let candidate_of_view v =
+      let m = v mod candidate_count in
+      if m = 0 then candidate_count else m
+    in
+    let events = Cluster.events cluster in
+    let violation = ref None in
+    let note d = if !violation = None then violation := Some d in
+    List.iter
+      (fun p ->
+        (* Walk p's events tracking who it believes coordinates.  A failed
+           current coordinator observed before [by] must be followed by the
+           installation of a successor; and once p itself has fail-signalled,
+           it goes dumb — no more batching (until SCR's pair recovery). *)
+        let coord = ref 1 in
+        let pending = ref None in
+        let dumb = ref false in
+        List.iter
+          (fun (at, who, ev) ->
+            if who = p then
+              match ev with
+              | P.Context.Fail_signal_observed { pair }
+                when pair = !coord && !pending = None ->
+                pending := Some at
+              | P.Context.Coordinator_installed { rank } ->
+                if rank <= !coord then
+                  note
+                    (Printf.sprintf
+                       "process %d installed coordinator %d, not a successor \
+                        of %d" p rank !coord);
+                coord := rank;
+                pending := None
+              | P.Context.View_installed { v } ->
+                coord := candidate_of_view v;
+                pending := None
+              | P.Context.Fail_signal_emitted _ -> dumb := true
+              | P.Context.Pair_recovered _ -> dumb := false
+              | P.Context.Batched _ when !dumb ->
+                note
+                  (Printf.sprintf
+                     "process %d batched after fail-signalling its own pair \
+                      (must go dumb)" p)
+              | _ -> ())
+          events;
+        match !pending with
+        | Some t0 when Simtime.compare t0 by <= 0 ->
+          note
+            (Format.asprintf
+               "process %d observed coordinator pair %d fail at %a but never \
+                installed a successor" p !coord Simtime.pp t0)
+        | _ -> ())
+      honest;
+    (match !violation with None -> ok name | Some d -> fail name d)
+
 (* -------------------------------------------------- liveness after heal *)
 
 let liveness_after_heal cluster ~honest ~heal_time =

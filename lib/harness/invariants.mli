@@ -17,7 +17,16 @@
       injected by a client (no fabrication), and no honest process delivers
       the same request twice (at-most-once at the service).
     - {b Liveness after heal}: once the last scheduled disturbance is past,
-      every honest surviving process delivers again — the system came back. *)
+      every honest surviving process delivers again — the system came back.
+    - {b Fail-signal accountability}: an honest pair member fail-signals iff
+      its counterpart misbehaved — no unattributable accusations (soundness),
+      and a fault that demonstrably fired against an honest counterpart ends
+      with the pair signalled (detection).
+    - {b Coordinator succession}: an honest process that observes the
+      current coordinator pair fail installs a successor (SC: a strictly
+      higher rank; SCR: the next view's candidate), and a process that
+      fail-signalled its own pair goes dumb — it batches nothing further
+      until SCR pair recovery. *)
 
 type result = {
   name : string;
@@ -36,6 +45,21 @@ val liveness_after_heal :
   Cluster.t -> honest:int list -> heal_time:Sof_sim.Simtime.t -> result
 (** [honest] here should already exclude crashed processes; a process that
     was crashed by the campaign is under no obligation to deliver. *)
+
+val fail_signal_accountability :
+  Cluster.t -> crashed:int list -> by:Sof_sim.Simtime.t -> result
+(** Byzantine membership comes from the cluster's own fault assignments;
+    [crashed] names processes the campaign hard-crashed.  Detection is only
+    demanded of faults that fired at or before [by] (typically the last
+    scheduled disturbance), so a fault landing at the very end of a run is
+    not required to have been caught yet.  Trivially passes for protocols
+    without pairs (BFT, CT). *)
+
+val coordinator_succession :
+  Cluster.t -> crashed:int list -> by:Sof_sim.Simtime.t -> result
+(** Same conventions as {!fail_signal_accountability}: only coordinator
+    failures observed at or before [by] must already have a successor
+    installed by the end of the run. *)
 
 val all_pass : result list -> bool
 

@@ -34,6 +34,8 @@ type report = {
   crashed : int list;
   min_honest_deliveries : int;
   injected : int;
+  replays_injected : int;
+  corruptions_injected : int;
   passed : bool;
 }
 
@@ -71,7 +73,47 @@ let crash_target ~rng ~kind ~f =
   | Cluster.Sc_protocol | Cluster.Scr_protocol -> f + 1 + Rng.int rng f
   | Cluster.Bft_protocol | Cluster.Ct_protocol -> process_count ~kind ~f - 1
 
-let random_plan ~rng ~kind ~f ~duration =
+(* One Byzantine fault, aimed at pair 1 — the initial coordinator, so the
+   fault's decision point is actually reached early in the run.  The whole
+   f-budget goes to this fault; the caller drops the crash step in exchange
+   (a crash plus a Byzantine pair member would be two faults at f = 1,
+   starving the quorum).  BFT gets only the wire faults and muteness, on a
+   backup: its simplified view change has no prepared certificates, so an
+   equivocating primary may legally stall a sequence number — agreement
+   holds but the liveness invariant would cry wolf. *)
+let byz_fault ~rng ~kind ~f ~duration =
+  let frac x = Simtime.scale duration x in
+  let primary = 0 and shadow = (2 * f) + 1 in
+  let member () = if Rng.bool rng then primary else shadow in
+  match kind with
+  | Cluster.Ct_protocol -> []
+  | Cluster.Bft_protocol ->
+    let backup = (3 * f) in
+    let fault =
+      match Rng.int rng 3 with
+      | 0 -> P.Fault.Mute_at (frac (0.3 +. Rng.float rng 0.3))
+      | 1 -> P.Fault.Replay_stale (1 + Rng.int rng 3)
+      | _ -> P.Fault.Corrupt_wire (4 + Rng.int rng 4)
+    in
+    [ (backup, fault) ]
+  | Cluster.Sc_protocol | Cluster.Scr_protocol ->
+    let menu = match kind with Cluster.Scr_protocol -> 8 | _ -> 7 in
+    (match Rng.int rng menu with
+    | 0 -> [ (primary, P.Fault.Equivocate_at (2 + Rng.int rng 6)) ]
+    | 1 -> [ (primary, P.Fault.Corrupt_digest_at (2 + Rng.int rng 6)) ]
+    | 2 -> [ (shadow, P.Fault.Drop_endorsements) ]
+    | 3 -> [ (member (), P.Fault.Mute_at (frac (0.3 +. Rng.float rng 0.3))) ]
+    | 4 ->
+      [ (member (), P.Fault.Spurious_fail_signal_at (frac (0.25 +. Rng.float rng 0.25))) ]
+    | 5 -> [ (member (), P.Fault.Replay_stale (1 + Rng.int rng 3)) ]
+    | 6 -> [ (member (), P.Fault.Corrupt_wire (4 + Rng.int rng 4)) ]
+    | _ ->
+      (* SCR: the next candidate pair's member refuses every candidacy.
+         Harmless unless pair 1 also fails — which the budget forbids — so
+         this campaign checks precisely that the spam alone does no harm. *)
+      [ ((if Rng.bool rng then 1 else (2 * f) + 2), P.Fault.Unwilling_spam) ])
+
+let random_plan ?(byz = false) ~rng ~kind ~f ~duration () =
   let frac x = Simtime.scale duration x in
   let link_fault =
     Link_fault.make
@@ -120,7 +162,15 @@ let random_plan ~rng ~kind ~f ~duration =
        else [])
   in
   let steps = List.sort (fun a b -> Simtime.compare a.at b.at) steps in
-  { steps; byz_faults = []; link_fault }
+  if not byz then { steps; byz_faults = []; link_fault }
+  else begin
+    (* The Byzantine fault replaces the crash in the f-budget; the draws
+       above are kept so the substrate campaign is the same either way. *)
+    let steps =
+      List.filter (fun s -> match s.action with Crash _ -> false | _ -> true) steps
+    in
+    { steps; byz_faults = byz_fault ~rng ~kind ~f ~duration; link_fault }
+  end
 
 (* --------------------------------------------------------------- apply *)
 
@@ -163,13 +213,13 @@ let install_recorded_workload cluster ~rate ~duration ~injected =
 
 (* ----------------------------------------------------------------- run *)
 
-let run ?plan ?(rate = 150.0) ~kind ~f ~seed ~duration () =
+let run ?plan ?(byz = false) ?(rate = 150.0) ~kind ~f ~seed ~duration () =
   let plan =
     match plan with
     | Some p -> p
     | None ->
       (* Split so the campaign stream is distinct from the engine's root. *)
-      random_plan ~rng:(Rng.split (Rng.create seed)) ~kind ~f ~duration
+      random_plan ~byz ~rng:(Rng.split (Rng.create seed)) ~kind ~f ~duration ()
   in
   let spec =
     {
@@ -218,6 +268,8 @@ let run ?plan ?(rate = 150.0) ~kind ~f ~seed ~duration () =
       Invariants.prefix_consistency cluster ~honest;
       Invariants.validity cluster ~honest ~injected:!injected;
       Invariants.liveness_after_heal cluster ~honest:live_honest ~heal_time;
+      Invariants.fail_signal_accountability cluster ~crashed ~by:heal_time;
+      Invariants.coordinator_succession cluster ~crashed ~by:heal_time;
     ]
   in
   let deliveries = Array.make n 0 in
@@ -235,6 +287,12 @@ let run ?plan ?(rate = 150.0) ~kind ~f ~seed ~duration () =
     | Some chan -> Channel.total_stats chan
     | None -> assert false (* run always builds with use_channel *)
   in
+  let replays_injected, corruptions_injected =
+    match Cluster.adversary cluster with
+    | Some adv ->
+      (Adversary.replays_injected adv, Adversary.corruptions_injected adv)
+    | None -> (0, 0)
+  in
   {
     kind;
     f;
@@ -247,6 +305,8 @@ let run ?plan ?(rate = 150.0) ~kind ~f ~seed ~duration () =
     crashed;
     min_honest_deliveries;
     injected = Request.Key_set.cardinal !injected;
+    replays_injected;
+    corruptions_injected;
     passed = Invariants.all_pass invariants;
   }
 
@@ -288,15 +348,20 @@ let pp_report fmt r =
   Format.fprintf fmt "invariants:@.";
   List.iter (fun res -> Format.fprintf fmt "  %a@." Invariants.pp_result res) r.invariants;
   Format.fprintf fmt
-    "channel: %d data, %d retransmits, %d dup-drops, %d stale-acks, max backoff %a@."
+    "channel: %d data, %d retransmits, %d dup-drops, %d stale-acks, %d \
+     corrupt-drops, max backoff %a@."
     r.channel.Channel.data_sent r.channel.Channel.retransmits
-    r.channel.Channel.dup_drops r.channel.Channel.stale_acks Simtime.pp
+    r.channel.Channel.dup_drops r.channel.Channel.stale_acks
+    r.channel.Channel.corrupt_drops Simtime.pp
     r.channel.Channel.max_backoff_reached;
   Format.fprintf fmt
     "network: %d sent, %d dropped, %d duplicated, %d reordered, %d severed@."
     r.net.Network.messages_sent r.net.Network.messages_dropped
     r.net.Network.messages_duplicated r.net.Network.messages_reordered
     r.net.Network.partition_dropped;
+  if r.replays_injected > 0 || r.corruptions_injected > 0 then
+    Format.fprintf fmt "adversary: %d stale replays, %d wire corruptions@."
+      r.replays_injected r.corruptions_injected;
   Format.fprintf fmt "deliveries: min over honest survivors = %d (of %d injected)@."
     r.min_honest_deliveries r.injected;
   (match r.crashed with

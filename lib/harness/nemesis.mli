@@ -27,23 +27,35 @@ type plan = {
   steps : step list;
   byz_faults : (int * Sof_protocol.Fault.t) list;
       (** Installed at build time; such processes are exempt from invariant
-          checking.  Scripted plans may set these; {!random_plan} leaves
-          them empty so the crash stays within the fault budget. *)
+          checking.  Scripted plans may set these; {!random_plan} fills
+          them only when asked for a Byzantine campaign ([byz:true]), and
+          then drops the crash so the total stays within the f-budget. *)
   link_fault : Sof_net.Link_fault.t;
       (** Baseline misbehaviour on every link for the whole run. *)
 }
 
 val random_plan :
+  ?byz:bool ->
   rng:Sof_util.Rng.t ->
   kind:Cluster.kind ->
   f:int ->
   duration:Sof_sim.Simtime.t ->
+  unit ->
   plan
 (** A deterministic campaign within the protocol's fault budget: lossy links
     throughout, a delay surge, at least one partition+heal (pair members are
     never separated, so SC's pair-synchrony assumption survives), and one
     crash of a process whose loss the protocol tolerates.  All disturbances
-    end by ~70% of [duration], leaving a window to observe recovery. *)
+    end by ~70% of [duration], leaving a window to observe recovery.
+
+    With [byz:true] (default false) the crash is traded for one seeded
+    Byzantine fault aimed at pair 1 — the initial coordinator — drawn from
+    the {!Sof_protocol.Fault.t} menu: equivocation, digest corruption,
+    dropped endorsements, muteness, spurious fail-signals, stale replay,
+    wire corruption, and (SCR) Unwilling spam.  BFT draws only backup
+    muteness and the wire faults; CT has no Byzantine model and keeps its
+    crash.  The substrate draws are identical either way, so [byz:false]
+    plans replay byte-for-byte as before. *)
 
 type report = {
   kind : Cluster.kind;
@@ -58,11 +70,14 @@ type report = {
   min_honest_deliveries : int;
       (** Fewest batches delivered by any honest surviving process. *)
   injected : int;  (** Requests injected by the synthetic clients. *)
+  replays_injected : int;  (** Stale payloads the wire adversary re-sent. *)
+  corruptions_injected : int;  (** Payloads the wire adversary bit-flipped. *)
   passed : bool;
 }
 
 val run :
   ?plan:plan ->
+  ?byz:bool ->
   ?rate:float ->
   kind:Cluster.kind ->
   f:int ->
@@ -71,11 +86,13 @@ val run :
   unit ->
   report
 (** Build a cluster ([use_channel] set, generous pair delay estimate),
-    apply the plan (generated from [seed] when not given), drive a client
-    workload of [rate] req/s (default 150) for [duration], then check
-    invariants.  A terminal heal + surge-clear is scheduled at the last
-    step's instant, so every campaign ends with the network whole;
-    liveness is judged after that instant.  Deterministic in [seed]. *)
+    apply the plan (generated from [seed] when not given, Byzantine when
+    [byz] is set), drive a client workload of [rate] req/s (default 150)
+    for [duration], then check invariants — including fail-signal
+    accountability and coordinator succession.  A terminal heal +
+    surge-clear is scheduled at the last step's instant, so every campaign
+    ends with the network whole; liveness is judged after that instant.
+    Deterministic in [seed]. *)
 
 val pp_action : Format.formatter -> action -> unit
 val pp_report : Format.formatter -> report -> unit

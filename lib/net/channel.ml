@@ -16,6 +16,7 @@ type stats = {
   delivered : int;
   dup_drops : int;
   stale_acks : int;
+  corrupt_drops : int;
   max_backoff_reached : Simtime.t;
 }
 
@@ -27,6 +28,7 @@ let zero_stats =
     delivered = 0;
     dup_drops = 0;
     stale_acks = 0;
+    corrupt_drops = 0;
     max_backoff_reached = Simtime.zero;
   }
 
@@ -38,6 +40,7 @@ type counters = {
   mutable c_delivered : int;
   mutable c_dup_drops : int;
   mutable c_stale_acks : int;
+  mutable c_corrupt_drops : int;
   mutable c_max_backoff : Simtime.t;
 }
 
@@ -72,10 +75,29 @@ type t = {
 let tag_data = 0
 let tag_ack = 1
 
+(* FNV-1a over the frame's semantic content (tag, sequence, payload).  A
+   frame corrupted on a hostile wire must fail this check and die un-acked so
+   the retransmission machinery recovers the clean copy; without it, a
+   payload bit-flip leaves the header parseable — the receiver would ack the
+   sequence number and mark it delivered, silently breaking the exactly-once
+   contract (and a bit-flipped ack would cancel the wrong in-flight entry). *)
+let checksum ~tag ~seq payload =
+  let h = ref 0x811c9dc5 in
+  let mix byte = h := (!h lxor byte) * 0x01000193 land 0xffffffff in
+  mix tag;
+  let rec mix_seq s =
+    mix (s land 0xff);
+    if s > 0xff then mix_seq (s lsr 8)
+  in
+  mix_seq seq;
+  String.iter (fun c -> mix (Char.code c)) payload;
+  !h
+
 let encode_data ~seq payload =
   let w = Codec.Writer.create () in
   Codec.Writer.u8 w tag_data;
   Codec.Writer.varint w seq;
+  Codec.Writer.varint w (checksum ~tag:tag_data ~seq payload);
   Codec.Writer.raw w payload;
   Codec.Writer.contents w
 
@@ -83,6 +105,7 @@ let encode_ack ~seq =
   let w = Codec.Writer.create () in
   Codec.Writer.u8 w tag_ack;
   Codec.Writer.varint w seq;
+  Codec.Writer.varint w (checksum ~tag:tag_ack ~seq "");
   Codec.Writer.contents w
 
 (* ------------------------------------------------------------ sending *)
@@ -171,12 +194,20 @@ let dispatch t ~who ~src frame =
     let r = Codec.Reader.of_string frame in
     let tag = Codec.Reader.u8 r in
     let seq = Codec.Reader.varint r in
-    (tag, seq, Codec.Reader.raw r (Codec.Reader.remaining r))
+    let ck = Codec.Reader.varint r in
+    (tag, seq, ck, Codec.Reader.raw r (Codec.Reader.remaining r))
   with
-  | tag, seq, payload when tag = tag_data -> on_data t ~src ~dst:who ~seq payload
-  | tag, seq, _ when tag = tag_ack -> on_ack t ~src:src ~dst:who ~seq
+  | tag, seq, ck, payload when ck <> checksum ~tag ~seq payload ->
+    (* Corrupted in flight: drop without acking so the sender keeps
+       retransmitting until an intact copy arrives. *)
+    let c = t.counters.(src).(who) in
+    c.c_corrupt_drops <- c.c_corrupt_drops + 1
+  | tag, seq, _, payload when tag = tag_data -> on_data t ~src ~dst:who ~seq payload
+  | tag, seq, _, _ when tag = tag_ack -> on_ack t ~src:src ~dst:who ~seq
   | _ -> ()
-  | exception Codec.Reader.Truncated -> ()
+  | exception Codec.Reader.Truncated ->
+    let c = t.counters.(src).(who) in
+    c.c_corrupt_drops <- c.c_corrupt_drops + 1
 
 (* -------------------------------------------------------------- wiring *)
 
@@ -203,6 +234,7 @@ let attach ?(config = default_config) net =
                   c_delivered = 0;
                   c_dup_drops = 0;
                   c_stale_acks = 0;
+                  c_corrupt_drops = 0;
                   c_max_backoff = Simtime.zero;
                 }));
       handlers = Array.make n None;
@@ -230,6 +262,7 @@ let snapshot c =
     delivered = c.c_delivered;
     dup_drops = c.c_dup_drops;
     stale_acks = c.c_stale_acks;
+    corrupt_drops = c.c_corrupt_drops;
     max_backoff_reached = c.c_max_backoff;
   }
 
@@ -250,6 +283,7 @@ let total_stats t =
             delivered = acc.delivered + c.c_delivered;
             dup_drops = acc.dup_drops + c.c_dup_drops;
             stale_acks = acc.stale_acks + c.c_stale_acks;
+            corrupt_drops = acc.corrupt_drops + c.c_corrupt_drops;
             max_backoff_reached = Simtime.max acc.max_backoff_reached c.c_max_backoff;
           })
         acc row)

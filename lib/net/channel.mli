@@ -39,6 +39,9 @@ type stats = {
   delivered : int;  (** Unique payloads handed to the handler. *)
   dup_drops : int;  (** Duplicate DATA suppressed (re-acked, not delivered). *)
   stale_acks : int;  (** Acks for sequences no longer in flight. *)
+  corrupt_drops : int;
+      (** Frames failing the integrity checksum (hostile-wire bit-flips),
+          dropped un-acked so retransmission recovers the clean copy. *)
   max_backoff_reached : Sof_sim.Simtime.t;
       (** Largest backoff interval actually scheduled. *)
 }

@@ -9,6 +9,7 @@ type stats = {
   messages_duplicated : int;
   messages_reordered : int;
   partition_dropped : int;
+  messages_tampered : int;
 }
 
 type t = {
@@ -21,6 +22,7 @@ type t = {
   crashed : bool array;
   mutable surge : float;
   mutable filter : (src:int -> dst:int -> payload:string -> bool) option;
+  mutable tamper : (src:int -> dst:int -> payload:string -> string list) option;
   mutable observers : (src:int -> dst:int -> payload:string -> unit) list;
   mutable partition : int array option; (* group id per node; cross-group severed *)
   mutable messages_sent : int;
@@ -30,6 +32,7 @@ type t = {
   mutable messages_duplicated : int;
   mutable messages_reordered : int;
   mutable partition_dropped : int;
+  mutable messages_tampered : int;
 }
 
 let create ~engine ~rng ~node_count ~default_delay =
@@ -43,6 +46,7 @@ let create ~engine ~rng ~node_count ~default_delay =
     crashed = Array.make node_count false;
     surge = 1.0;
     filter = None;
+    tamper = None;
     observers = [];
     partition = None;
     messages_sent = 0;
@@ -52,6 +56,7 @@ let create ~engine ~rng ~node_count ~default_delay =
     messages_duplicated = 0;
     messages_reordered = 0;
     partition_dropped = 0;
+    messages_tampered = 0;
   }
 
 let node_count t = t.node_count
@@ -96,6 +101,8 @@ let set_surge t ~factor =
 let clear_surge t = t.surge <- 1.0
 
 let set_filter t f = t.filter <- f
+
+let set_tamper t f = t.tamper <- f
 
 let on_deliver t f =
   (* Append so observers run in registration order: layered tracing (e.g. a
@@ -149,9 +156,7 @@ let deliver_after t ~src ~dst ~delay payload =
            List.iter (fun f -> f ~src ~dst ~payload) t.observers
          end))
 
-let send t ~src ~dst payload =
-  check_endpoint t src "send";
-  check_endpoint t dst "send";
+let send_untampered t ~src ~dst payload =
   let passes =
     match t.filter with None -> true | Some f -> f ~src ~dst ~payload
   in
@@ -205,6 +210,22 @@ let send t ~src ~dst payload =
     end
   end
 
+let send t ~src ~dst payload =
+  check_endpoint t src "send";
+  check_endpoint t dst "send";
+  match t.tamper with
+  | None -> send_untampered t ~src ~dst payload
+  | Some f ->
+    (* The adversary sits below the sender but above the lossy substrate:
+       each payload it returns (possibly none — a silent drop — or several —
+       corruptions and replays alongside the original) travels the link
+       independently, paying its own delay and fault sampling. *)
+    let payloads = f ~src ~dst ~payload in
+    (match payloads with
+    | [ p ] when String.equal p payload -> ()
+    | _ -> t.messages_tampered <- t.messages_tampered + 1);
+    List.iter (fun p -> send_untampered t ~src ~dst p) payloads
+
 let multicast t ~src ~dsts payload =
   List.iter (fun dst -> send t ~src ~dst payload) dsts
 
@@ -217,4 +238,5 @@ let stats t =
     messages_duplicated = t.messages_duplicated;
     messages_reordered = t.messages_reordered;
     partition_dropped = t.partition_dropped;
+    messages_tampered = t.messages_tampered;
   }

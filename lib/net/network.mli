@@ -25,6 +25,7 @@ type stats = {
   messages_duplicated : int;  (** Extra copies scheduled by link faults. *)
   messages_reordered : int;  (** Held back by a reorder window. *)
   partition_dropped : int;  (** Severed by an active partition. *)
+  messages_tampered : int;  (** Rewritten, dropped or multiplied by the tamper hook. *)
 }
 
 val create :
@@ -105,6 +106,17 @@ val set_filter : t -> (src:int -> dst:int -> payload:string -> bool) option -> u
     [false] are dropped at send time (equivalently: delayed beyond the
     experiment's horizon — permissible under asynchrony).  [None] removes
     the filter. *)
+
+val set_tamper :
+  t -> (src:int -> dst:int -> payload:string -> string list) option -> unit
+(** Byzantine interception hook: when set, every payload entering {!send} is
+    first passed to the function, and each payload it returns is sent in its
+    place — [[]] drops the message, [[payload]] passes it through unchanged,
+    and multiple entries fan out (e.g. a corrupted copy plus replayed stale
+    traffic), each independently subject to the link's delay and fault
+    sampling.  The hook sees traffic from every source, so implementations
+    restrict themselves to their Byzantine processes by [src].  [None]
+    removes the hook. *)
 
 val on_deliver : t -> (src:int -> dst:int -> payload:string -> unit) -> unit
 (** Observer invoked at each delivery, after the handler.  Observers run in

@@ -226,18 +226,26 @@ let worker_thread node =
     | Job_stop -> continue := false
     | Job_timer thunk -> ( try thunk () with _ -> ())
     | Job_request payload -> begin
+      (* A frame off the wire is attacker-controlled bytes; any decode
+         failure means a malformed or hostile frame, never a reason to kill
+         the worker.  Log and drop. *)
       match (node.proc, Request.decode payload) with
       | Some (`Sc p), req -> P.Sc.on_request p req
       | Some (`Scr p), req -> P.Scr.on_request p req
       | None, _ -> ()
-      | exception Sof_util.Codec.Reader.Truncated -> ()
+      | exception exn ->
+        Printf.eprintf "[tcp_runtime] node %d: malformed request frame dropped (%s)\n%!"
+          node.id (Printexc.to_string exn)
     end
     | Job_message (src, payload) -> begin
       match (node.proc, P.Message.decode payload) with
       | Some (`Sc p), env -> P.Sc.on_message p ~src env
       | Some (`Scr p), env -> P.Scr.on_message p ~src env
       | None, _ -> ()
-      | exception Sof_util.Codec.Reader.Truncated -> ()
+      | exception exn ->
+        Printf.eprintf
+          "[tcp_runtime] node %d: malformed frame from peer %d dropped (%s)\n%!"
+          node.id src (Printexc.to_string exn)
     end
   done
 

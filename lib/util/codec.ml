@@ -59,7 +59,12 @@ module Reader = struct
 
   let of_string buf = { buf; pos = 0 }
 
-  let need t n = if t.pos + n > String.length t.buf then raise Truncated
+  (* [n] comes from attacker-controlled length prefixes: it may be huge
+     (making [t.pos + n] wrap negative on 63-bit ints and slip past a naive
+     bound check) or negative (a varint whose top bits landed in the sign
+     bit).  Compare against the remaining byte count instead, which cannot
+     overflow. *)
+  let need t n = if n < 0 || n > String.length t.buf - t.pos then raise Truncated
 
   let u8 t =
     need t 1;
@@ -106,6 +111,10 @@ module Reader = struct
 
   let list t f =
     let n = varint t in
+    (* Every element occupies at least one byte, so a count beyond the
+       remaining length (or negative, from a sign-bit varint) is garbage;
+       reject it before allocating anything proportional to it. *)
+    if n < 0 || n > String.length t.buf - t.pos then raise Truncated;
     let rec take i acc = if i = 0 then List.rev acc else take (i - 1) (f t :: acc) in
     take n []
 

@@ -49,7 +49,11 @@ module Reader : sig
 
   exception Truncated
   (** Raised when reading past the end of the buffer or on a malformed
-      varint. *)
+      varint.  This is the {e only} exception any reader raises on hostile
+      input: oversized or negative length prefixes and element counts are
+      rejected here rather than being allowed to reach [String.sub] or an
+      allocator, so a decoder wrapped in a [Truncated] handler cannot be
+      crashed by an adversarial byte string. *)
 
   val of_string : string -> t
 

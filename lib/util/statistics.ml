@@ -38,7 +38,7 @@ let sorted t =
   | Some a -> a
   | None ->
     let a = Array.sub t.data 0 t.size in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     t.sorted <- Some a;
     a
 
