@@ -308,10 +308,100 @@ let fuzz_cmd =
           Truncated rejection.")
     Term.(ret (const fuzz $ seed $ count))
 
+(* ---------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let module L = Sof_lint in
+  let rule_list_conv =
+    let parse s =
+      let ids = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | id :: rest -> (
+          match L.Diagnostic.rule_of_id (String.trim id) with
+          | Some r -> go (r :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "unknown rule id %S" id)))
+      in
+      go [] ids
+    in
+    let print fmt rs =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map L.Diagnostic.rule_id rs))
+    in
+    Arg.conv (parse, print)
+  in
+  let lint strict only disable allow_file paths =
+    let rules =
+      let base = match only with [] -> L.Diagnostic.all_rules | rs -> rs in
+      List.filter (fun r -> not (List.mem r disable)) base
+    in
+    let allow_file =
+      match allow_file with
+      | Some f -> if Sys.file_exists f then Some f else None
+      | None -> if Sys.file_exists "lint.allow" then Some "lint.allow" else None
+    in
+    match
+      match allow_file with
+      | None -> Ok L.Allow.empty
+      | Some f -> L.Allow.load f
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok allow ->
+      let paths = match paths with [] -> [ "lib" ] | ps -> ps in
+      let outcome = L.Engine.run ~rules ~allow ~paths in
+      List.iter
+        (fun d -> Format.printf "%a@." L.Diagnostic.pp d)
+        outcome.L.Engine.diags;
+      let n = List.length outcome.L.Engine.diags in
+      Format.printf "lint: %d file(s), %d diagnostic(s), %d allowlisted@."
+        outcome.L.Engine.files n outcome.L.Engine.suppressed;
+      if strict && n > 0 then
+        `Error (false, Printf.sprintf "lint --strict: %d diagnostic(s)" n)
+      else `Ok ()
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero if any diagnostic survives the allowlist.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt rule_list_conv []
+      & info [ "rules" ] ~docv:"IDS"
+          ~doc:"Comma-separated rule ids to run (default: all of R1..R6).")
+  in
+  let disable =
+    Arg.(
+      value
+      & opt rule_list_conv []
+      & info [ "disable" ] ~docv:"IDS" ~doc:"Comma-separated rule ids to skip.")
+  in
+  let allow_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allow" ] ~docv:"FILE"
+          ~doc:"Allowlist file (default: ./lint.allow when present).")
+  in
+  let paths =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATHS" ~doc:"Files or directories to scan (default: lib).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Protocol-hygiene linter: no polymorphic comparison in core/crypto \
+          (R1), no catch-all message dispatch in core (R2), no partial \
+          stdlib calls in core/net (R3), no failwith/assert-false in \
+          protocol code (R4), printing only through the report sink (R5), \
+          an .mli for every lib module (R6).  Deliberate exceptions live in \
+          lint.allow with a reason each.")
+    Term.(ret (const lint $ strict $ only $ disable $ allow_file $ paths))
+
 let main =
   Cmd.group
     (Cmd.info "sof" ~version:"1.0.0"
        ~doc:"Signal-on-fail Byzantine total-order protocols (DSN'06 reproduction).")
-    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd; chaos_cmd; fuzz_cmd ]
+    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd; chaos_cmd; fuzz_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -36,7 +36,7 @@ let take_oldest ~limit ~pool ~arrival =
   let bindings =
     Request.Key_map.bindings pool
     |> List.sort (fun (k1, _) (k2, _) ->
-           let c = compare (age k1) (age k2) in
+           let c = Int.compare (age k1) (age k2) in
            if c <> 0 then c else Request.compare_key k1 k2)
   in
   let rec take bindings size acc =

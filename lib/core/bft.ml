@@ -15,7 +15,7 @@ type config = {
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
     ?(digest = Sof_crypto.Digest_alg.MD5) ?(view_change_timeout = Simtime.sec 2)
     ~f () =
-  if f < 1 then invalid_arg "Bft.make_config: f must be at least 1";
+  if f < 1 then raise (Config.Invalid_config "Bft.make_config: f must be at least 1");
   { f; batching_interval; batch_size_limit; digest; view_change_timeout }
 
 let process_count config = (3 * config.f) + 1
@@ -58,11 +58,11 @@ let id t = t.ctx.Context.id
 let view t = t.view
 let n t = process_count t.config
 let primary t = t.view mod n t
-let i_am_primary t = id t = primary t
+let i_am_primary t = Int.equal (id t) (primary t)
 let max_committed t = t.max_committed
 let delivered_seq t = t.delivered
 
-let others t = List.filter (fun p -> p <> id t) t.all_ids
+let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
 
 let make_signed t body =
   let payload = Message.encode_body body in
@@ -125,7 +125,7 @@ let rec advance_delivery t =
         List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
       in
       let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
-      if List.length requests = List.length fresh then begin
+      if Int.equal (List.length requests) (List.length fresh) then begin
         t.delivered <- st.o;
         List.iter
           (fun k ->
@@ -172,7 +172,7 @@ let send_prepare t st =
 
 let accept_pre_prepare t ~(info : Message.order_info) ~v =
   let st = get_order t info.Message.o in
-  if st.pre_prepared && (st.view_of > v || st.digest <> info.Message.digest) then ()
+  if st.pre_prepared && (st.view_of > v || not (String.equal st.digest info.Message.digest)) then ()
   else begin
     st.pre_prepared <- true;
     st.view_of <- v;
@@ -188,7 +188,7 @@ let accept_pre_prepare t ~(info : Message.order_info) ~v =
 
 let issue_pre_prepare t info =
   match t.fault with
-  | Fault.Equivocate_at at when at = info.Message.o ->
+  | Fault.Equivocate_at at when Int.equal at info.Message.o ->
     (* Equivocating primary: split the backups between two conflicting
        pre-prepare digests.  Neither half can assemble 2f matching prepares
        beyond the quorum-intersection bound, so agreement holds; progress at
@@ -227,7 +227,7 @@ and batch_tick t =
       let digest = Batch.digest t.config.digest batch in
       let digest =
         match t.fault with
-        | Fault.Corrupt_digest_at at when at = o ->
+        | Fault.Corrupt_digest_at at when Int.equal at o ->
           let b = Bytes.of_string digest in
           Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
           Bytes.to_string b
@@ -254,7 +254,7 @@ let prepared_set t =
       then { Message.o; digest = st.digest; keys = st.keys } :: acc
       else acc)
     t.orders []
-  |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+  |> List.sort (fun a b -> Int.compare a.Message.o b.Message.o)
 
 let rec arm_vc_timer t =
   let h =
@@ -290,7 +290,7 @@ and start_view_change t v =
   end
 
 let rec handle_view_change t ~src:_ ~v ~prepared (env : Message.envelope) =
-  if v > t.view || (v = t.view && t.changing_view) then begin
+  if v > t.view || (Int.equal v t.view && t.changing_view) then begin
     let voters, infos =
       match Hashtbl.find_opt t.view_changes v with
       | Some (voters, infos) -> (voters, infos)
@@ -304,9 +304,9 @@ let rec handle_view_change t ~src:_ ~v ~prepared (env : Message.envelope) =
       infos := prepared @ !infos;
       (* Join the view change once f+1 replicas vouch for it (a correct
          replica must be among them). *)
-      if Int_set.cardinal !voters = t.config.f + 1 && not t.changing_view then
+      if Int.equal (Int_set.cardinal !voters) (t.config.f + 1) && not t.changing_view then
         start_view_change t v;
-      if Int_set.cardinal !voters >= (2 * t.config.f) + 1 && v mod n t = id t then begin
+      if Int_set.cardinal !voters >= (2 * t.config.f) + 1 && Int.equal (v mod n t) (id t) then begin
         (* New primary: re-issue pre-prepares for every prepared order. *)
         let by_o = Hashtbl.create 16 in
         List.iter
@@ -316,7 +316,7 @@ let rec handle_view_change t ~src:_ ~v ~prepared (env : Message.envelope) =
           !infos;
         let pre_prepares =
           Hashtbl.fold (fun _ info acc -> info :: acc) by_o []
-          |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+          |> List.sort (fun a b -> Int.compare a.Message.o b.Message.o)
         in
         let body = Message.Bft_new_view { v; pre_prepares } in
         let env' = make_signed t body in
@@ -346,7 +346,7 @@ and enter_view t v pre_prepares =
   t.arrival <- Key_map.map (fun _ -> now) t.arrival
 
 let handle_new_view t ~v ~pre_prepares (env : Message.envelope) =
-  if v >= t.view && env.Message.sender = v mod n t then enter_view t v pre_prepares
+  if v >= t.view && Int.equal env.Message.sender (v mod n t) then enter_view t v pre_prepares
 
 (* -------------------------------------------------------------- inbound *)
 
@@ -363,13 +363,13 @@ let on_message t ~src (env : Message.envelope) =
   ignore src;
   match env.Message.body with
   | Message.Pre_prepare { v; info } ->
-    if v = t.view && (not t.changing_view) && env.Message.sender = primary t
+    if Int.equal v t.view && (not t.changing_view) && Int.equal env.Message.sender (primary t)
        && authentic t env
     then accept_pre_prepare t ~info ~v
   | Message.Prepare { v; o; digest } ->
     if v <= t.view && authentic t env then begin
       let st = get_order t o in
-      if (not st.pre_prepared) || st.digest = digest then begin
+      if (not st.pre_prepared) || String.equal st.digest digest then begin
         st.prepares <- Int_set.add env.Message.sender st.prepares;
         try_prepared_point t st;
         try_commit_point t st
@@ -378,7 +378,7 @@ let on_message t ~src (env : Message.envelope) =
   | Message.Commit { v; o; digest } ->
     if v <= t.view && authentic t env then begin
       let st = get_order t o in
-      if (not st.pre_prepared) || st.digest = digest then begin
+      if (not st.pre_prepared) || String.equal st.digest digest then begin
         st.commits <- Int_set.add env.Message.sender st.commits;
         try_commit_point t st
       end

@@ -1,5 +1,10 @@
 module Simtime = Sof_sim.Simtime
 
+(* Constructor-time validation failures surface as a dedicated exception
+   caught at the harness/runtime boundary, never as a bare Invalid_argument
+   escaping a protocol decision path (lint rule R4). *)
+exception Invalid_config of string
+
 type variant = SC | SCR
 
 type t = {
@@ -17,7 +22,7 @@ let make ?(variant = SC) ?(batching_interval = Simtime.ms 100)
     ?(batch_size_limit = 1024) ?(digest = Sof_crypto.Digest_alg.MD5)
     ?(pair_delay_estimate = Simtime.ms 10) ?(heartbeat_interval = Simtime.ms 20)
     ?(dumb_optimization = true) ~f () =
-  if f < 1 then invalid_arg "Config.make: f must be at least 1";
+  if f < 1 then raise (Invalid_config "Config.make: f must be at least 1");
   {
     f;
     variant;
@@ -39,7 +44,7 @@ let candidate_count t = t.f + 1
 
 let check_rank t r =
   if r < 1 || r > candidate_count t then
-    invalid_arg (Printf.sprintf "Config: candidate rank %d out of range" r)
+    raise (Invalid_config (Printf.sprintf "Config: candidate rank %d out of range" r))
 
 let primary_of_pair t r =
   check_rank t r;
@@ -47,7 +52,8 @@ let primary_of_pair t r =
 
 let shadow_of_pair t r =
   check_rank t r;
-  if r > pair_count t then invalid_arg "Config.shadow_of_pair: candidate is unpaired";
+  if r > pair_count t then
+    raise (Invalid_config "Config.shadow_of_pair: candidate is unpaired");
   replica_count t + r - 1
 
 let pair_rank_of t id =

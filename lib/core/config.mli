@@ -11,6 +11,12 @@
     [r] is [{p_r, p'_r}].  In SC the (f+1)-th coordinator candidate is the
     unpaired process p(f+1). *)
 
+exception Invalid_config of string
+(** Constructor-time validation failure.  Raised by [make] and the rank
+    accessors on out-of-range arguments, and by the protocol [create]
+    functions on inconsistent set-ups; caught at the harness/runtime
+    boundary. *)
+
 type variant =
   | SC
       (** Signal-on-crash set-up: assumptions 3(a) — synchronous pair links
@@ -52,7 +58,7 @@ val make :
   unit ->
   t
 (** Defaults: SC, 100 ms interval, 1024-byte batches, MD5 digests, 10 ms
-    delay estimate, 20 ms heartbeat.  @raise Invalid_argument when [f < 1]. *)
+    delay estimate, 20 ms heartbeat.  @raise Invalid_config when [f < 1]. *)
 
 val replica_count : t -> int
 (** [2f+1]. *)
@@ -68,7 +74,7 @@ val candidate_count : t -> int
 
 val primary_of_pair : t -> int -> int
 (** Process id of [p_r] for pair rank [r] (1-based).
-    @raise Invalid_argument on out-of-range ranks. *)
+    @raise Invalid_config on out-of-range ranks. *)
 
 val shadow_of_pair : t -> int -> int
 (** Process id of [p'_r]. *)

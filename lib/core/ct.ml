@@ -15,7 +15,7 @@ type config = {
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
     ?(digest = Sof_crypto.Digest_alg.MD5) ?(suspect_timeout = Simtime.ms 500) ~f ()
     =
-  if f < 1 then invalid_arg "Ct.make_config: f must be at least 1";
+  if f < 1 then raise (Config.Invalid_config "Ct.make_config: f must be at least 1");
   { f; batching_interval; batch_size_limit; digest; suspect_timeout }
 
 let process_count config = (2 * config.f) + 1
@@ -71,7 +71,7 @@ let coordinator t = t.epoch mod process_count t.config
 let max_committed t = t.max_committed
 let delivered_seq t = t.delivered
 let quorum t = t.config.f + 1
-let i_am_coordinator t = id t = coordinator t
+let i_am_coordinator t = Int.equal (id t) (coordinator t)
 
 (* A coordinator may mint new sequence numbers only while it has recent
    evidence that a quorum is reachable: an isolated coordinator that mints
@@ -90,7 +90,7 @@ let quorum_contact t =
   Array.iteri
     (fun p at ->
       if
-        p <> me
+        not (Int.equal p me)
         && Simtime.compare at Simtime.zero > 0
         && Simtime.compare (Simtime.add at window) now >= 0
       then incr heard)
@@ -119,28 +119,33 @@ let rec advance_delivery t =
   | Some st -> (
     match st.winner with
     | None -> ()
-    | Some digest ->
-      let cand = Hashtbl.find st.candidates digest in
-      let keys = Option.value cand.c_keys ~default:[] in
-      (* A coordinator elected across a partition may rebatch requests that an
-         earlier batch already committed; deliver each request at most once.
-         Correct processes commit the same digest sequence, so they filter
-         identically. *)
-      let fresh = List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) keys in
-      let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
-      if List.length requests = List.length fresh then begin
-        t.delivered <- st.o;
-        List.iter
-          (fun k ->
-            t.delivered_keys <- Key_set.add k t.delivered_keys;
-            t.pending <- Key_map.remove k t.pending;
-            t.arrival <- Key_map.remove k t.arrival)
-          fresh;
-        let batch = Batch.make requests in
-        t.ctx.Context.deliver ~seq:st.o batch;
-        t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
-        advance_delivery t
-      end)
+    | Some digest -> (
+      (* The winner digest always has a recorded candidate (votes are only
+         tallied against existing candidates); should that invariant ever
+         break, stall delivery instead of crashing. *)
+      match Hashtbl.find_opt st.candidates digest with
+      | None -> ()
+      | Some cand ->
+        let keys = Option.value cand.c_keys ~default:[] in
+        (* A coordinator elected across a partition may rebatch requests that
+           an earlier batch already committed; deliver each request at most
+           once.  Correct processes commit the same digest sequence, so they
+           filter identically. *)
+        let fresh = List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) keys in
+        let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
+        if Int.equal (List.length requests) (List.length fresh) then begin
+          t.delivered <- st.o;
+          List.iter
+            (fun k ->
+              t.delivered_keys <- Key_set.add k t.delivered_keys;
+              t.pending <- Key_map.remove k t.pending;
+              t.arrival <- Key_map.remove k t.arrival)
+            fresh;
+          let batch = Batch.make requests in
+          t.ctx.Context.deliver ~seq:st.o batch;
+          t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+          advance_delivery t
+        end))
 
 let try_commit t st =
   if st.winner = None then begin
@@ -199,7 +204,7 @@ let accept_order t ~sender ~(info : Message.order_info) =
 let probe t =
   t.last_probe <- t.ctx.Context.now ();
   t.ctx.Context.multicast
-    ~dsts:(List.filter (fun p -> p <> id t) t.all_ids)
+    ~dsts:(List.filter (fun p -> not (Int.equal p (id t))) t.all_ids)
     {
       Message.sender = id t;
       body = Message.Heartbeat { pair = t.epoch; beat = t.delivered + 1 };
@@ -228,6 +233,19 @@ and batch_tick t =
         then probe t
       end
       else begin
+        (* Never mint at a sequence number that already carries a candidate
+           or a recorded vote.  After a heal, orders minted blindly by the
+           epoch-0 coordinator on the far side of a partition can occupy
+           numbers this coordinator has not reached yet; once this process
+           has voted for such a candidate, minting a second candidate there
+           would let its implicit order-sender vote count for a different
+           digest in other processes' tallies, and two digests could each
+           reach the f+1 quorum (seed-5 agreement break).  Skipped holes are
+           harmless: the existing candidate either commits or its requests
+           are rebatched under a fresh number. *)
+        while Hashtbl.mem t.orders t.next_seq do
+          t.next_seq <- t.next_seq + 1
+        done;
         let requests = Batch.take_from_pool ~limit:t.config.batch_size_limit ~pool in
         let batch = Batch.make requests in
         let o = t.next_seq in
@@ -243,7 +261,7 @@ and batch_tick t =
         let body = Message.Order { c = t.epoch; info } in
         let env = { Message.sender = id t; body; signature = ""; endorsement = None } in
         t.ctx.Context.multicast
-          ~dsts:(List.filter (fun p -> p <> id t) t.all_ids)
+          ~dsts:(List.filter (fun p -> not (Int.equal p (id t))) t.all_ids)
           env;
         accept_order t ~sender:(id t) ~info
       end;
@@ -306,7 +324,7 @@ let on_message t ~src (env : Message.envelope) =
        their original epoch).  Vote-once per sequence number keeps commits
        unique even when concurrent coordinators proposed conflicting
        batches. *)
-    if env.Message.sender = c mod process_count t.config then begin
+    if Int.equal env.Message.sender (c mod process_count t.config) then begin
       if c > t.epoch then t.epoch <- c;
       accept_order t ~sender:env.Message.sender ~info
     end
@@ -325,7 +343,7 @@ let on_message t ~src (env : Message.envelope) =
        higher epoch makes a stale coordinator stand down before the prober
        ever mints; the View_change reply hands the prober every candidate it
        might otherwise collide with. *)
-    if env.Message.sender = e mod process_count t.config then begin
+    if Int.equal env.Message.sender (e mod process_count t.config) then begin
       if e > t.epoch then t.epoch <- e;
       let low = beat in
       let uncommitted =
@@ -362,7 +380,7 @@ let on_message t ~src (env : Message.envelope) =
        minting above everything now known. *)
     List.iter (fun info -> ignore (learn_candidate t info)) uncommitted;
     List.iter (fun info -> try_commit t (get_order t info.Message.o)) uncommitted;
-    if t.sync_pending && v = t.epoch && i_am_coordinator t then begin
+    if t.sync_pending && Int.equal v t.epoch && i_am_coordinator t then begin
       t.sync_replies <- Int_set.add env.Message.sender t.sync_replies;
       if Int_set.cardinal t.sync_replies >= quorum t then begin
         t.sync_pending <- false;

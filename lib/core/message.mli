@@ -86,6 +86,20 @@ val endorsement_payload : body -> string -> string
 (** [endorsement_payload body first_sig] is the byte string the second
     signatory signs. *)
 
+val equal_key : Sof_smr.Request.key -> Sof_smr.Request.key -> bool
+
+val equal_order_info : order_info -> order_info -> bool
+
+val equal_body : body -> body -> bool
+(** Structural equality via the canonical encoding: two bodies are equal
+    exactly when they encode to the same bytes. *)
+
+val equal_endorsement : int * string -> int * string -> bool
+
+val equal : envelope -> envelope -> bool
+(** Envelope equality: sender, body, signature and endorsement all match.
+    The typed replacement for polymorphic [=] on messages (lint rule R1). *)
+
 val body_tag : body -> string
 (** Short constructor name for tracing and per-type accounting. *)
 

@@ -71,7 +71,9 @@ type t = {
   (* coordinator shadow *)
   mutable expected_seq : int;
   mutable last_progress : Simtime.t;  (* last endorsement made as shadow *)
-  mutable stashed_endorsements : (Simtime.t * Message.envelope) list;
+  mutable stashed_endorsements : (Simtime.t * Message.envelope * Message.order_info) list;
+      (* deferred Orders, kept with their decoded info so replay needs no
+         re-dispatch *)
   mutable watch_timer : Context.timer option;
   (* pair liveness *)
   mutable pair_active : bool;
@@ -119,13 +121,13 @@ let dumb_ids t =
 let is_dumb t = Int_set.mem (id t) (dumb_ids t)
 
 let i_am_coordinator_primary t =
-  (not t.installing) && id t = Config.primary_of_pair t.config t.coord
+  (not t.installing) && Int.equal (id t) (Config.primary_of_pair t.config t.coord)
 
 let coordinator_is_pair t = Config.candidate_is_pair t.config t.coord
 
 let i_am_coordinator_shadow t =
   (not t.installing) && coordinator_is_pair t
-  && id t = Config.shadow_of_pair t.config t.coord
+  && Int.equal (id t) (Config.shadow_of_pair t.config t.coord)
 
 let null_digest t = Batch.digest t.config.Config.digest (Batch.make [])
 
@@ -138,7 +140,7 @@ let send t ~dst env = if can_transmit t then t.ctx.Context.send ~dst env
 
 let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts env
 
-let others t = List.filter (fun p -> p <> id t) t.all_ids
+let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
 
 let make_signed t body =
   let payload = Message.encode_body body in
@@ -162,7 +164,7 @@ let authentic t (env : Message.envelope) =
        match env.Message.endorsement with
        | None -> true
        | Some (who, s) ->
-         who <> env.Message.sender
+         not (Int.equal who env.Message.sender)
          && t.ctx.Context.verify ~signer:who
               ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
               ~signature:s
@@ -187,7 +189,7 @@ let valid_coordinator_message t ~rank (env : Message.envelope) =
   if Config.candidate_is_pair t.config rank then doubly_signed_by_pair t ~rank env
   else
     env.Message.endorsement = None
-    && env.Message.sender = Config.primary_of_pair t.config rank
+    && Int.equal env.Message.sender (Config.primary_of_pair t.config rank)
 
 (* ----------------------------------------------------------- order log *)
 
@@ -251,7 +253,7 @@ let rec advance_delivery t =
       let requests =
         List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh
       in
-      if List.length requests = List.length fresh then begin
+      if Int.equal (List.length requests) (List.length fresh) then begin
         t.delivered <- st.o;
         List.iter
           (fun k ->
@@ -327,7 +329,7 @@ let accept_order t (env : Message.envelope) ~c ~(info : Message.order_info) =
   let st = get_order t info.Message.o in
   if st.have_order then begin
     (* Duplicate (the 2-to-n phase delivers two copies); votes still count. *)
-    if st.digest = info.Message.digest then begin
+    if String.equal st.digest info.Message.digest then begin
       add_vote st ~digest:st.digest ~source:env.Message.sender
         ~signature:env.Message.signature;
       (match env.Message.endorsement with
@@ -396,9 +398,9 @@ and note_pair_failed t rank =
        rule that receiving the counterpart's fail-signal makes you emit
        yours). *)
     (match t.pair_rank with
-    | Some r when r = rank && not t.fail_signalled -> emit_fail_signal t ~value_domain:false
+    | Some r when Int.equal r rank && not t.fail_signalled -> emit_fail_signal t ~value_domain:false
     | Some _ | None -> ());
-    if rank = t.coord then begin_install t
+    if Int.equal rank t.coord then begin_install t
   end
 
 (* ----------------------------------------------------------- install *)
@@ -434,7 +436,7 @@ and begin_install t =
           { Message.o; digest = st.digest; keys = st.keys } :: acc
         else acc)
       t.orders []
-    |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+    |> List.sort (fun a b -> Int.compare a.Message.o b.Message.o)
   in
   let body =
     Message.Back_log
@@ -478,7 +480,7 @@ and store_backlog t ~src rec_ =
 (* IN2 at the new coordinator primary: compute NewBackLog and Start. *)
 and maybe_send_start t =
   let am_new_primary =
-    t.installing && id t = Config.primary_of_pair t.config t.coord
+    t.installing && Int.equal (id t) (Config.primary_of_pair t.config t.coord)
   in
   if am_new_primary && not t.start_sent then begin
     match Hashtbl.find_opt t.backlogs_by_c t.coord with
@@ -494,7 +496,7 @@ and maybe_send_start t =
       else begin
         (* The unpaired last candidate multicasts directly. *)
         multicast t ~dsts:(others t) env;
-        handle_start t env
+        handle_start t env ~c:t.coord
       end
     | Some _ | None -> ()
   end
@@ -533,13 +535,13 @@ and compute_new_back_log t backlogs =
         let best =
           List.sort
             (fun (n1, i1) (n2, i2) ->
-              let c = compare n2 n1 in
-              if c <> 0 then c else compare i1.Message.digest i2.Message.digest)
+              let c = Int.compare n2 n1 in
+              if c <> 0 then c else String.compare i1.Message.digest i2.Message.digest)
             cands
         in
         match best with [] -> acc | (_, info) :: _ -> info :: acc)
       by_o []
-    |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+    |> List.sort (fun a b -> Int.compare a.Message.o b.Message.o)
   in
   let start_o =
     1 + List.fold_left (fun acc (i : Message.order_info) -> max acc i.Message.o) anchor chosen
@@ -549,7 +551,7 @@ and compute_new_back_log t backlogs =
   let filled =
     List.init (start_o - anchor - 1) (fun idx ->
         let o = anchor + 1 + idx in
-        match List.find_opt (fun (i : Message.order_info) -> i.Message.o = o) chosen with
+        match List.find_opt (fun (i : Message.order_info) -> Int.equal i.Message.o o) chosen with
         | Some info -> info
         | None -> { Message.o; digest = nd; keys = [] })
   in
@@ -576,7 +578,7 @@ and handle_start_proposal t (env : Message.envelope) ~start_o ~anchor ~new_back_
            | Some st when st.committed ->
              List.exists
                (fun (i : Message.order_info) ->
-                 i.Message.o = o && i.Message.digest = st.digest)
+                 Int.equal i.Message.o o && String.equal i.Message.digest st.digest)
                new_back_log
            | Some _ | None -> true)
            && check (o + 1)
@@ -593,8 +595,8 @@ and handle_start_proposal t (env : Message.envelope) ~start_o ~anchor ~new_back_
                (fun b ->
                  List.exists
                    (fun (i : Message.order_info) ->
-                     i.Message.o = info.Message.o
-                     && i.Message.digest <> info.Message.digest)
+                     Int.equal i.Message.o info.Message.o
+                     && not (String.equal i.Message.digest info.Message.digest))
                    b.bl_uncommitted)
                my_backlogs
            in
@@ -604,13 +606,13 @@ and handle_start_proposal t (env : Message.envelope) ~start_o ~anchor ~new_back_
   if plausible then begin
     let endorsed = endorse t env in
     multicast t ~dsts:(others t) endorsed;
-    handle_start t endorsed
+    (* Only reachable under the dispatch guard [c = t.coord]. *)
+    handle_start t endorsed ~c:t.coord
   end
   else emit_fail_signal t ~value_domain:true
 
-and handle_start t (env : Message.envelope) =
-  match env.Message.body with
-  | Message.Start { c; _ } when c = t.coord && t.installing && t.start_env = None ->
+and handle_start t (env : Message.envelope) ~c =
+  if Int.equal c t.coord && t.installing && Option.is_none t.start_env then begin
     t.start_env <- Some env;
     (* IN3: sign the Start and send the identifier-signature tuple to the
        new coordinator (skipped when f-effective is 1). *)
@@ -622,7 +624,7 @@ and handle_start t (env : Message.envelope) =
       List.iter (fun m -> send t ~dst:m ack) members
     end;
     try_finish_install t
-  | _ -> ()
+  end
 
 and start_digest_of t (env : Message.envelope) =
   let payload = Message.encode_body env.Message.body in
@@ -632,7 +634,7 @@ and start_digest_of t (env : Message.envelope) =
 and handle_start_ack t (env : Message.envelope) ~c ~start_digest =
   let members = Config.candidate_members t.config c in
   if
-    t.installing && c = t.coord
+    t.installing && Int.equal c t.coord
     && List.mem (id t) members
     && (not (List.mem env.Message.sender members))
     && not (List.mem_assoc env.Message.sender t.start_acks)
@@ -640,7 +642,7 @@ and handle_start_ack t (env : Message.envelope) ~c ~start_digest =
     (* Only count tuples that match our own Start. *)
     let matches =
       match t.start_env with
-      | Some start -> start_digest_of t start = start_digest
+      | Some start -> String.equal (start_digest_of t start) start_digest
       | None -> false
     in
     if matches then begin
@@ -658,7 +660,7 @@ and handle_start_ack t (env : Message.envelope) ~c ~start_digest =
 
 and handle_start_tuples t (env : Message.envelope) ~c ~tuples =
   ignore env;
-  if t.installing && c = t.coord && not t.have_tuples then begin
+  if t.installing && Int.equal c t.coord && not t.have_tuples then begin
     match t.start_env with
     | None -> () (* Start not here yet; tuples will be re-derived from stash *)
     | Some start ->
@@ -674,7 +676,7 @@ and handle_start_tuples t (env : Message.envelope) ~c ~tuples =
             && t.ctx.Context.verify ~signer ~msg:body_bytes ~signature)
           tuples
       in
-      let distinct = List.sort_uniq compare (List.map fst valid) in
+      let distinct = List.sort_uniq Int.compare (List.map fst valid) in
       if List.length distinct >= live_f t - 1 then begin
         t.have_tuples <- true;
         try_finish_install t
@@ -683,78 +685,79 @@ and handle_start_tuples t (env : Message.envelope) ~c ~tuples =
 
 and try_finish_install t =
   if t.installing then begin
+    (* [t.start_env] only ever stores a Start (handle_start is the sole
+       writer), so destructuring here keeps finish_install total. *)
     match t.start_env with
-    | None -> ()
-    | Some start_env ->
-      let ready = live_f t <= 1 || t.have_tuples in
-      if ready then finish_install t start_env
+    | Some
+        ({ Message.body = Message.Start { c; start_o; anchor; new_back_log }; _ }
+         as start_env)
+      when live_f t <= 1 || t.have_tuples ->
+      finish_install t start_env ~c ~start_o ~anchor ~new_back_log
+    | Some _ | None -> ()
   end
 
-and finish_install t (start_env : Message.envelope) =
-  match start_env.Message.body with
-  | Message.Start { c; start_o; anchor; new_back_log } ->
-    t.installing <- false;
-    (* First optimisation (Section 4.3): every passed-over pair turns dumb;
-       n shrinks by 2 and f by 1 per pair. *)
-    if t.config.Config.dumb_optimization then
-      t.dumbed_pairs <- Int_set.filter (fun r -> r < t.coord) t.failed_pairs;
-    (* Adopt the NewBackLog. *)
-    t.start_covers <- List.filter (fun (i : Message.order_info) -> i.Message.o > t.max_committed) new_back_log;
-    List.iter
-      (fun (info : Message.order_info) ->
-        let st = get_order t info.Message.o in
-        if not st.committed then begin
-          st.have_order <- true;
-          st.digest <- info.Message.digest;
-          st.keys <- info.Message.keys;
-          st.vote_c <- c;
-          if info.Message.keys = [] then st.null <- true;
-          List.iter
-            (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys)
-            info.Message.keys
-        end)
-      new_back_log;
-    if anchor > t.anchor_seen then t.anchor_seen <- anchor;
-    (* The Start itself is an order at start_o (step IN5). *)
-    let start_digest = start_digest_of t start_env in
-    let st = get_order t start_o in
-    if not st.committed then begin
-      st.have_order <- true;
-      st.digest <- start_digest;
-      st.keys <- [];
-      st.null <- true;
-      st.vote_c <- c;
-      add_vote st ~digest:start_digest ~source:start_env.Message.sender
-        ~signature:start_env.Message.signature;
-      (match start_env.Message.endorsement with
-      | Some (who, s) -> add_vote st ~digest:start_digest ~source:who ~signature:s
-      | None -> ())
-    end;
-    (* New coordinator roles. *)
-    if id t = Config.primary_of_pair t.config t.coord && not (is_dumb t) then begin
-      t.next_seq <- start_o + 1;
-      arm_batch_timer t
-    end;
-    if
-      Config.candidate_is_pair t.config t.coord
-      && id t = Config.shadow_of_pair t.config t.coord
-    then begin
-      t.expected_seq <- start_o + 1;
-      t.last_progress <- t.ctx.Context.now ()
-    end;
-    t.view_ordered_keys <- Key_set.empty;
-    (* Stashed endorsements are from the superseded era; anything still
-       legitimate is covered by the install's back-log. *)
-    t.stashed_endorsements <- [];
-    t.ctx.Context.emit (Context.Coordinator_installed { rank = t.coord });
-    (* Ack the Start through the normal part. *)
-    send_ack t st;
-    try_commit t st;
-    (* Replay messages that raced ahead of this install. *)
-    let stash = List.rev t.stash_future in
-    t.stash_future <- [];
-    List.iter (fun (src, env) -> on_message t ~src env) stash
-  | _ -> assert false
+and finish_install t (start_env : Message.envelope) ~c ~start_o ~anchor ~new_back_log =
+  t.installing <- false;
+  (* First optimisation (Section 4.3): every passed-over pair turns dumb;
+     n shrinks by 2 and f by 1 per pair. *)
+  if t.config.Config.dumb_optimization then
+    t.dumbed_pairs <- Int_set.filter (fun r -> r < t.coord) t.failed_pairs;
+  (* Adopt the NewBackLog. *)
+  t.start_covers <- List.filter (fun (i : Message.order_info) -> i.Message.o > t.max_committed) new_back_log;
+  List.iter
+    (fun (info : Message.order_info) ->
+      let st = get_order t info.Message.o in
+      if not st.committed then begin
+        st.have_order <- true;
+        st.digest <- info.Message.digest;
+        st.keys <- info.Message.keys;
+        st.vote_c <- c;
+        if info.Message.keys = [] then st.null <- true;
+        List.iter
+          (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys)
+          info.Message.keys
+      end)
+    new_back_log;
+  if anchor > t.anchor_seen then t.anchor_seen <- anchor;
+  (* The Start itself is an order at start_o (step IN5). *)
+  let start_digest = start_digest_of t start_env in
+  let st = get_order t start_o in
+  if not st.committed then begin
+    st.have_order <- true;
+    st.digest <- start_digest;
+    st.keys <- [];
+    st.null <- true;
+    st.vote_c <- c;
+    add_vote st ~digest:start_digest ~source:start_env.Message.sender
+      ~signature:start_env.Message.signature;
+    (match start_env.Message.endorsement with
+    | Some (who, s) -> add_vote st ~digest:start_digest ~source:who ~signature:s
+    | None -> ())
+  end;
+  (* New coordinator roles. *)
+  if Int.equal (id t) (Config.primary_of_pair t.config t.coord) && not (is_dumb t) then begin
+    t.next_seq <- start_o + 1;
+    arm_batch_timer t
+  end;
+  if
+    Config.candidate_is_pair t.config t.coord
+    && Int.equal (id t) (Config.shadow_of_pair t.config t.coord)
+  then begin
+    t.expected_seq <- start_o + 1;
+    t.last_progress <- t.ctx.Context.now ()
+  end;
+  t.view_ordered_keys <- Key_set.empty;
+  (* Stashed endorsements are from the superseded era; anything still
+     legitimate is covered by the install's back-log. *)
+  t.stashed_endorsements <- [];
+  t.ctx.Context.emit (Context.Coordinator_installed { rank = t.coord });
+  (* Ack the Start through the normal part. *)
+  send_ack t st;
+  try_commit t st;
+  (* Replay messages that raced ahead of this install. *)
+  let stash = List.rev t.stash_future in
+  t.stash_future <- [];
+  List.iter (fun (src, env) -> on_message t ~src env) stash
 
 (* ------------------------------------------------------ normal batching *)
 
@@ -790,7 +793,7 @@ and issue_batch t pool =
   let digest = Batch.digest t.config.Config.digest batch in
   let digest =
     match t.fault with
-    | Fault.Corrupt_digest_at at when at = o ->
+    | Fault.Corrupt_digest_at at when Int.equal at o ->
       (* Value-domain fault: lie about the batch's contents. *)
       let b = Bytes.of_string digest in
       Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
@@ -807,7 +810,7 @@ and issue_batch t pool =
   let env = make_signed t body in
   if coordinator_is_pair t then begin
     match t.fault with
-    | Fault.Equivocate_at at when at = o ->
+    | Fault.Equivocate_at at when Int.equal at o ->
       (* Equivocation: two conflicting orders for the same sequence number.
          The shadow is asked to endorse a corrupted digest — a value-domain
          failure it must detect and fail-signal — while the rest of the
@@ -822,7 +825,7 @@ and issue_batch t pool =
       in
       let shadow = Config.shadow_of_pair t.config t.coord in
       send t ~dst:shadow conflicting_env;
-      multicast t ~dsts:(List.filter (fun p -> p <> shadow) (others t)) env
+      multicast t ~dsts:(List.filter (fun p -> not (Int.equal p shadow)) (others t)) env
     | _ ->
       (* Phase 1: 1-to-1 to the shadow for endorsement. *)
       send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
@@ -852,7 +855,7 @@ and endorsement_overdue t o =
 
 and shadow_validate_order t (env : Message.envelope) ~(info : Message.order_info) =
   (* Returns [`Valid], [`Defer] (requests not all here yet) or [`Invalid]. *)
-  if info.Message.o <> t.expected_seq then
+  if not (Int.equal info.Message.o t.expected_seq) then
     if info.Message.o < t.expected_seq then `Duplicate
     else
       (* A gap is not evidence: the network is non-FIFO, so a later order can
@@ -874,13 +877,13 @@ and shadow_validate_order t (env : Message.envelope) ~(info : Message.order_info
       | None -> Key_map.find_opt k t.executed
     in
     let requests = List.filter_map lookup info.Message.keys in
-    if List.length requests <> List.length info.Message.keys then `Defer
+    if not (Int.equal (List.length requests) (List.length info.Message.keys)) then `Defer
     else begin
       let batch = Batch.make requests in
       t.ctx.Context.digest_charge (Batch.encoded_size batch);
       let expected = Batch.digest t.config.Config.digest batch in
       ignore env;
-      if expected = info.Message.digest then `Valid else `Invalid
+      if String.equal expected info.Message.digest then `Valid else `Invalid
     end
   end
 
@@ -891,11 +894,11 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
     match shadow_validate_order t env ~info with
     | `Duplicate -> ()
     | `Defer ->
-      t.stashed_endorsements <- (t.ctx.Context.now (), env) :: t.stashed_endorsements;
+      t.stashed_endorsements <- (t.ctx.Context.now (), env, info) :: t.stashed_endorsements;
       retry_stashed_later t
     | `Invalid -> begin
       match t.fault with
-      | Fault.Endorse_corrupt_at at when at = info.Message.o ->
+      | Fault.Endorse_corrupt_at at when Int.equal at info.Message.o ->
         shadow_endorse t env ~info
       | _ -> emit_fail_signal t ~value_domain:true
     end
@@ -930,29 +933,25 @@ and retry_stashed t =
   t.stashed_endorsements <- [];
   (* Ascending sequence order so that endorsing a gap-filler immediately
      unblocks the overtaking orders stashed behind it. *)
-  let seq_of (_, env) =
-    match env.Message.body with
-    | Message.Order { info; _ } -> info.Message.o
-    | _ -> max_int
+  let stashed =
+    List.sort
+      (fun (_, _, (a : Message.order_info)) (_, _, (b : Message.order_info)) ->
+        Int.compare a.Message.o b.Message.o)
+      stashed
   in
-  let stashed = List.sort (fun a b -> compare (seq_of a) (seq_of b)) stashed in
   List.iter
-    (fun (since, env) ->
-      match env.Message.body with
-      | Message.Order { info; _ } -> begin
-        match shadow_validate_order t env ~info with
-        | `Valid -> shadow_endorse t env ~info
-        | `Duplicate -> ()
-        | `Invalid -> emit_fail_signal t ~value_domain:true
-        | `Defer ->
-          let age = Simtime.diff (t.ctx.Context.now ()) since in
-          if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
-            (* Timeout, not proof: the referenced requests (or the gap
-               predecessor) never showed up.  Time-domain. *)
-            emit_fail_signal t ~value_domain:false
-          else t.stashed_endorsements <- (since, env) :: t.stashed_endorsements
-      end
-      | _ -> ())
+    (fun (since, env, (info : Message.order_info)) ->
+      match shadow_validate_order t env ~info with
+      | `Valid -> shadow_endorse t env ~info
+      | `Duplicate -> ()
+      | `Invalid -> emit_fail_signal t ~value_domain:true
+      | `Defer ->
+        let age = Simtime.diff (t.ctx.Context.now ()) since in
+        if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
+          (* Timeout, not proof: the referenced requests (or the gap
+             predecessor) never showed up.  Time-domain. *)
+          emit_fail_signal t ~value_domain:false
+        else t.stashed_endorsements <- (since, env, info) :: t.stashed_endorsements)
     stashed
 
 (* Shadow watches the primary: every known request must be ordered within
@@ -1034,7 +1033,7 @@ and heartbeat_tick t rank cp =
 
 and on_message t ~src (env : Message.envelope) =
   (match t.counterpart with
-  | Some cp when cp = src -> t.last_heard <- t.ctx.Context.now ()
+  | Some cp when Int.equal cp src -> t.last_heard <- t.ctx.Context.now ()
   | Some _ | None -> ());
   match env.Message.body with
   | Message.Heartbeat _ -> () (* liveness note above is all they carry *)
@@ -1051,13 +1050,13 @@ and on_message t ~src (env : Message.envelope) =
       note_pair_failed t pair
     end
   | Message.Order { c; info } ->
-    if c = t.coord && not t.installing then begin
+    if Int.equal c t.coord && not t.installing then begin
       if env.Message.endorsement = None && coordinator_is_pair t then begin
         (* Phase-1 unendorsed order: only meaningful at the shadow. *)
         if
           i_am_coordinator_shadow t && t.pair_active
-          && src = Config.primary_of_pair t.config t.coord
-          && env.Message.sender = src
+          && Int.equal src (Config.primary_of_pair t.config t.coord)
+          && Int.equal env.Message.sender src
           && authentic t env
         then shadow_handle_order t env ~info
       end
@@ -1065,8 +1064,8 @@ and on_message t ~src (env : Message.envelope) =
         (* The primary forwards the endorsed order to everyone (phase 2). *)
         if
           i_am_coordinator_primary t
-          && env.Message.sender = id t
-          && src <> id t
+          && Int.equal env.Message.sender (id t)
+          && not (Int.equal src (id t))
         then begin
           t.endorsement_watches <-
             (match List.assoc_opt info.Message.o t.endorsement_watches with
@@ -1099,13 +1098,13 @@ and on_message t ~src (env : Message.envelope) =
     if authentic t env then begin
       let st = get_order t o in
       add_vote st ~digest ~source:env.Message.sender ~signature:env.Message.signature;
-      if st.have_order && st.digest = digest then try_commit t st
+      if st.have_order && String.equal st.digest digest then try_commit t st
     end
   | Message.Back_log
       { c; failed_pair; max_committed; committed_digest; proof_c; proof; uncommitted }
     ->
     if authentic t env then begin
-      if c = t.coord && t.installing then begin
+      if Int.equal c t.coord && t.installing then begin
         let rec_ =
           {
             bl_failed_pair = failed_pair;
@@ -1123,19 +1122,19 @@ and on_message t ~src (env : Message.envelope) =
     end
   | Message.Start { c; start_o; anchor; new_back_log } ->
     if authentic t env then begin
-      if c = t.coord && t.installing then begin
+      if Int.equal c t.coord && t.installing then begin
         if env.Message.endorsement = None && Config.candidate_is_pair t.config c then begin
           (* 1-signed proposal: only the shadow of the new pair endorses. *)
           if
-            id t = Config.shadow_of_pair t.config c
-            && env.Message.sender = Config.primary_of_pair t.config c
+            Int.equal (id t) (Config.shadow_of_pair t.config c)
+            && Int.equal env.Message.sender (Config.primary_of_pair t.config c)
           then handle_start_proposal t env ~start_o ~anchor ~new_back_log
         end
         else if valid_coordinator_message t ~rank:c env then begin
           (* The new primary also forwards the endorsed Start outward. *)
-          if id t = Config.primary_of_pair t.config c && env.Message.sender = id t && src <> id t
+          if Int.equal (id t) (Config.primary_of_pair t.config c) && Int.equal env.Message.sender (id t) && not (Int.equal src (id t))
           then multicast t ~dsts:(others t) env;
-          handle_start t env
+          handle_start t env ~c
         end
       end
       else if c > t.coord then t.stash_future <- (src, env) :: t.stash_future
@@ -1144,7 +1143,7 @@ and on_message t ~src (env : Message.envelope) =
     if authentic t env then handle_start_ack t env ~c ~start_digest
   | Message.Start_tuples { c; tuples } ->
     if authentic t env then begin
-      if c = t.coord && t.installing then handle_start_tuples t env ~c ~tuples
+      if Int.equal c t.coord && t.installing then handle_start_tuples t env ~c ~tuples
       else if c > t.coord then t.stash_future <- (src, env) :: t.stash_future
     end
   | Message.View_change _ | Message.New_view _ | Message.Unwilling _
@@ -1158,7 +1157,7 @@ and fail_signal_authentic t ~pair (env : Message.envelope) =
   && List.mem env.Message.sender members
   && begin
        match env.Message.endorsement with
-       | Some (who, _) -> List.mem who members && who <> env.Message.sender
+       | Some (who, _) -> List.mem who members && not (Int.equal who env.Message.sender)
        | None -> false
      end
   && authentic t env
@@ -1186,7 +1185,7 @@ and validate_backlog t rec_ =
         (fun (signer, signature) ->
           t.ctx.Context.verify ~signer ~msg:body_bytes ~signature)
         rec_.bl_proof
-      |> List.map fst |> List.sort_uniq compare
+      |> List.map fst |> List.sort_uniq Int.compare
     in
     if List.length valid >= t.config.Config.f + 1 then rec_
     else
@@ -1234,9 +1233,9 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
   let pair_rank = Config.pair_rank_of config pid in
   (match (pair_rank, counterpart_fail_signal) with
   | Some _, None ->
-    invalid_arg "Sc.create: paired process needs counterpart_fail_signal"
+    raise (Config.Invalid_config "Sc.create: paired process needs counterpart_fail_signal")
   | None, Some _ ->
-    invalid_arg "Sc.create: unpaired process cannot hold a fail-signal"
+    raise (Config.Invalid_config "Sc.create: unpaired process cannot hold a fail-signal")
   | _ -> ());
   {
     ctx;

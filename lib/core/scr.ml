@@ -69,7 +69,9 @@ type t = {
   (* coordinator shadow *)
   mutable expected_seq : int;
   mutable last_progress : Simtime.t;
-  mutable stashed_endorsements : (Simtime.t * Message.envelope) list;
+  mutable stashed_endorsements : (Simtime.t * Message.envelope * Message.order_info) list;
+      (* deferred Orders, kept with their decoded info so replay needs no
+         re-dispatch *)
   mutable watch_timer : Context.timer option;
   (* view change *)
   view_changes : (int, (int * vc_rec) list ref) Hashtbl.t;
@@ -104,16 +106,16 @@ let coordinator_rank t = candidate_of_view t t.view
 
 let quorum t = Config.process_count t.config - t.config.Config.f
 
-let others t = List.filter (fun p -> p <> id t) t.all_ids
+let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
 
 let i_am_coordinator_primary t =
   (not t.changing_view)
-  && id t = Config.primary_of_pair t.config (coordinator_rank t)
+  && Int.equal (id t) (Config.primary_of_pair t.config (coordinator_rank t))
   && t.status = Up
 
 let i_am_coordinator_shadow t =
   (not t.changing_view)
-  && id t = Config.shadow_of_pair t.config (coordinator_rank t)
+  && Int.equal (id t) (Config.shadow_of_pair t.config (coordinator_rank t))
   && t.status = Up
 
 let null_digest t = Batch.digest t.config.Config.digest (Batch.make [])
@@ -144,7 +146,7 @@ let authentic t (env : Message.envelope) =
        match env.Message.endorsement with
        | None -> true
        | Some (who, s) ->
-         who <> env.Message.sender
+         not (Int.equal who env.Message.sender)
          && t.ctx.Context.verify ~signer:who
               ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
               ~signature:s
@@ -215,7 +217,7 @@ let rec advance_delivery t =
         List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
       in
       let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
-      if List.length requests = List.length fresh then begin
+      if Int.equal (List.length requests) (List.length fresh) then begin
         t.delivered <- st.o;
         List.iter
           (fun k ->
@@ -277,7 +279,7 @@ let send_ack t st =
 let accept_order t (env : Message.envelope) ~v ~(info : Message.order_info) =
   let st = get_order t info.Message.o in
   if st.have_order then begin
-    if st.digest = info.Message.digest then begin
+    if String.equal st.digest info.Message.digest then begin
       add_vote st ~digest:st.digest ~source:env.Message.sender
         ~signature:env.Message.signature;
       (match env.Message.endorsement with
@@ -334,7 +336,7 @@ let rec emit_fail_signal t ~value_domain =
 
 and note_pair_failed t rank =
   t.ctx.Context.emit (Context.Fail_signal_observed { pair = rank });
-  if rank = coordinator_rank t && not t.changing_view then
+  if Int.equal rank (coordinator_rank t) && not t.changing_view then
     propose_view_change t (t.view + 1)
 
 and propose_view_change t v =
@@ -355,7 +357,7 @@ and propose_view_change t v =
             { Message.o; digest = st.digest; keys = st.keys } :: acc
           else acc)
         t.orders []
-      |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+      |> List.sort (fun a b -> Int.compare a.Message.o b.Message.o)
     in
     let body =
       Message.View_change
@@ -378,7 +380,7 @@ and maybe_unwilling t v =
   (* The [Unwilling_spam] saboteur declares unwillingness even while Up,
      pushing every view past its own candidacies. *)
   | Some rank
-    when rank = candidate_of_view t v
+    when Int.equal rank (candidate_of_view t v)
          && (t.status <> Up || t.fault = Fault.Unwilling_spam) ->
     let body = Message.Unwilling { v; pair = rank } in
     multicast t ~dsts:(others t) (make_signed t body)
@@ -404,8 +406,8 @@ and store_view_change t ~src ~v rec_ =
 and maybe_send_new_view t v =
   let rank = candidate_of_view t v in
   if
-    t.changing_view && v = t.target_view && t.status = Up
-    && id t = Config.primary_of_pair t.config rank
+    t.changing_view && Int.equal v t.target_view && t.status = Up
+    && Int.equal (id t) (Config.primary_of_pair t.config rank)
     && not t.new_view_sent
   then begin
     match Hashtbl.find_opt t.view_changes v with
@@ -440,14 +442,14 @@ and maybe_send_new_view t v =
             match
               List.sort
                 (fun (n1, i1) (n2, i2) ->
-                  let c = compare n2 n1 in
-                  if c <> 0 then c else compare i1.Message.digest i2.Message.digest)
+                  let c = Int.compare n2 n1 in
+                  if c <> 0 then c else String.compare i1.Message.digest i2.Message.digest)
                 cands
             with
             | [] -> acc
             | (_, info) :: _ -> info :: acc)
           by_o []
-        |> List.sort (fun a b -> compare a.Message.o b.Message.o)
+        |> List.sort (fun a b -> Int.compare a.Message.o b.Message.o)
       in
       let start_o =
         1
@@ -460,7 +462,7 @@ and maybe_send_new_view t v =
         List.init (start_o - anchor - 1) (fun idx ->
             let o = anchor + 1 + idx in
             match
-              List.find_opt (fun (i : Message.order_info) -> i.Message.o = o) chosen
+              List.find_opt (fun (i : Message.order_info) -> Int.equal i.Message.o o) chosen
             with
             | Some info -> info
             | None -> { Message.o; digest = nd; keys = [] })
@@ -478,15 +480,15 @@ and maybe_send_new_view t v =
 and arm_nv_watch t v =
   let rank = candidate_of_view t v in
   if
-    t.changing_view && v = t.target_view && t.status = Up && t.nv_watch = None
-    && id t = Config.shadow_of_pair t.config rank
+    t.changing_view && Int.equal v t.target_view && t.status = Up && t.nv_watch = None
+    && Int.equal (id t) (Config.shadow_of_pair t.config rank)
   then begin
     match Hashtbl.find_opt t.view_changes v with
     | Some cell when List.length !cell >= quorum t ->
       let h =
         t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
             t.nv_watch <- None;
-            if t.changing_view && v = t.target_view && t.status = Up then begin
+            if t.changing_view && Int.equal v t.target_view && t.status = Up then begin
               emit_fail_signal t ~value_domain:false;
               maybe_unwilling t v
             end)
@@ -515,7 +517,7 @@ and handle_new_view_proposal t (env : Message.envelope) ~v ~start_o ~anchor
            | Some st when st.committed ->
              List.exists
                (fun (i : Message.order_info) ->
-                 i.Message.o = o && i.Message.digest = st.digest)
+                 Int.equal i.Message.o o && String.equal i.Message.digest st.digest)
                new_back_log
            | Some _ | None -> true)
            && check (o + 1)
@@ -532,8 +534,8 @@ and handle_new_view_proposal t (env : Message.envelope) ~v ~start_o ~anchor
                (fun r ->
                  List.exists
                    (fun (i : Message.order_info) ->
-                     i.Message.o = info.Message.o
-                     && i.Message.digest <> info.Message.digest)
+                     Int.equal i.Message.o info.Message.o
+                     && not (String.equal i.Message.digest info.Message.digest))
                    r.vc_uncommitted)
                my_vcs
            in
@@ -586,11 +588,11 @@ and install_view t (env : Message.envelope) ~v ~start_o ~anchor ~new_back_log =
       | None -> ())
     end;
     let rank = candidate_of_view t v in
-    if id t = Config.primary_of_pair t.config rank && t.status = Up then begin
+    if Int.equal (id t) (Config.primary_of_pair t.config rank) && t.status = Up then begin
       t.next_seq <- start_o + 1;
       arm_batch_timer t
     end;
-    if id t = Config.shadow_of_pair t.config rank then begin
+    if Int.equal (id t) (Config.shadow_of_pair t.config rank) then begin
       t.expected_seq <- start_o + 1;
       t.last_progress <- t.ctx.Context.now ()
     end;
@@ -633,7 +635,7 @@ and issue_batch t pool =
   let digest = Batch.digest t.config.Config.digest batch in
   let digest =
     match t.fault with
-    | Fault.Corrupt_digest_at at when at = o ->
+    | Fault.Corrupt_digest_at at when Int.equal at o ->
       let b = Bytes.of_string digest in
       Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
       Bytes.to_string b
@@ -648,7 +650,7 @@ and issue_batch t pool =
   let body = Message.Order { c = t.view; info } in
   let env = make_signed t body in
   match t.fault with
-  | Fault.Equivocate_at at when at = o ->
+  | Fault.Equivocate_at at when Int.equal at o ->
     (* Equivocation: the shadow sees a conflicting digest (a value-domain
        failure it must fail-signal) while the cohort gets the honest digest
        without the pair's double signature, which receivers reject as
@@ -661,7 +663,7 @@ and issue_batch t pool =
     in
     let shadow = Config.shadow_of_pair t.config (coordinator_rank t) in
     send t ~dst:shadow conflicting_env;
-    multicast t ~dsts:(List.filter (fun p -> p <> shadow) (others t)) env
+    multicast t ~dsts:(List.filter (fun p -> not (Int.equal p shadow)) (others t)) env
   | _ ->
     send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
     let watch =
@@ -680,7 +682,7 @@ and endorsement_overdue t o =
 (* ----------------------------------------- shadow checks and endorsement *)
 
 and shadow_validate_order t ~(info : Message.order_info) =
-  if info.Message.o <> t.expected_seq then
+  if not (Int.equal info.Message.o t.expected_seq) then
     if info.Message.o < t.expected_seq then `Duplicate
     else
       (* A gap is not evidence: the network is non-FIFO, so a later order can
@@ -702,11 +704,11 @@ and shadow_validate_order t ~(info : Message.order_info) =
       | None -> Key_map.find_opt k t.executed
     in
     let requests = List.filter_map lookup info.Message.keys in
-    if List.length requests <> List.length info.Message.keys then `Defer
+    if not (Int.equal (List.length requests) (List.length info.Message.keys)) then `Defer
     else begin
       let batch = Batch.make requests in
       t.ctx.Context.digest_charge (Batch.encoded_size batch);
-      if Batch.digest t.config.Config.digest batch = info.Message.digest then `Valid
+      if String.equal (Batch.digest t.config.Config.digest batch) info.Message.digest then `Valid
       else `Invalid
     end
   end
@@ -718,13 +720,13 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
     match shadow_validate_order t ~info with
     | `Duplicate -> ()
     | `Defer ->
-      t.stashed_endorsements <- (t.ctx.Context.now (), env) :: t.stashed_endorsements;
+      t.stashed_endorsements <- (t.ctx.Context.now (), env, info) :: t.stashed_endorsements;
       ignore
         (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate
            (fun () -> retry_stashed t))
     | `Invalid -> begin
       match t.fault with
-      | Fault.Endorse_corrupt_at at when at = info.Message.o -> shadow_endorse t env ~info
+      | Fault.Endorse_corrupt_at at when Int.equal at info.Message.o -> shadow_endorse t env ~info
       | _ -> emit_fail_signal t ~value_domain:true
     end
     | `Valid -> shadow_endorse t env ~info
@@ -748,29 +750,25 @@ and retry_stashed t =
   t.stashed_endorsements <- [];
   (* Ascending sequence order so that endorsing a gap-filler immediately
      unblocks the overtaking orders stashed behind it. *)
-  let seq_of (_, env) =
-    match env.Message.body with
-    | Message.Order { info; _ } -> info.Message.o
-    | _ -> max_int
+  let stashed =
+    List.sort
+      (fun (_, _, (a : Message.order_info)) (_, _, (b : Message.order_info)) ->
+        Int.compare a.Message.o b.Message.o)
+      stashed
   in
-  let stashed = List.sort (fun a b -> compare (seq_of a) (seq_of b)) stashed in
   List.iter
-    (fun (since, env) ->
-      match env.Message.body with
-      | Message.Order { info; _ } -> begin
-        match shadow_validate_order t ~info with
-        | `Valid -> shadow_endorse t env ~info
-        | `Duplicate -> ()
-        | `Invalid -> emit_fail_signal t ~value_domain:true
-        | `Defer ->
-          let age = Simtime.diff (t.ctx.Context.now ()) since in
-          if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
-            (* Timeout, not proof: the referenced requests (or the gap
-               predecessor) never showed up.  Time-domain. *)
-            emit_fail_signal t ~value_domain:false
-          else t.stashed_endorsements <- (since, env) :: t.stashed_endorsements
-      end
-      | _ -> ())
+    (fun (since, env, (info : Message.order_info)) ->
+      match shadow_validate_order t ~info with
+      | `Valid -> shadow_endorse t env ~info
+      | `Duplicate -> ()
+      | `Invalid -> emit_fail_signal t ~value_domain:true
+      | `Defer ->
+        let age = Simtime.diff (t.ctx.Context.now ()) since in
+        if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
+          (* Timeout, not proof: the referenced requests (or the gap
+             predecessor) never showed up.  Time-domain. *)
+          emit_fail_signal t ~value_domain:false
+        else t.stashed_endorsements <- (since, env, info) :: t.stashed_endorsements)
     stashed
 
 and rearm_shadow_watch t =
@@ -857,7 +855,7 @@ and heartbeat_tick t rank cp =
 
 and on_message t ~src (env : Message.envelope) =
   (match t.counterpart with
-  | Some cp when cp = src -> t.last_heard <- t.ctx.Context.now ()
+  | Some cp when Int.equal cp src -> t.last_heard <- t.ctx.Context.now ()
   | Some _ | None -> ());
   match env.Message.body with
   | Message.Heartbeat _ -> ()
@@ -871,26 +869,26 @@ and on_message t ~src (env : Message.envelope) =
     then begin
       Hashtbl.replace t.echoed_fail_signals key ();
       (* Echo once to the first signatory (not to ourselves). *)
-      if env.Message.sender <> id t then send t ~dst:env.Message.sender env;
+      if not (Int.equal env.Message.sender (id t)) then send t ~dst:env.Message.sender env;
       (* A member that has not signalled joins its counterpart's signal. *)
       (match t.pair_rank with
-      | Some r when r = pair && t.status = Up -> emit_fail_signal t ~value_domain:false
+      | Some r when Int.equal r pair && t.status = Up -> emit_fail_signal t ~value_domain:false
       | Some _ | None -> ());
       note_pair_failed t pair
     end
   | Message.Order { c = v; info } ->
-    if v = t.view && not t.changing_view then begin
+    if Int.equal v t.view && not t.changing_view then begin
       let rank = coordinator_rank t in
       if env.Message.endorsement = None then begin
         if
           i_am_coordinator_shadow t
-          && src = Config.primary_of_pair t.config rank
-          && env.Message.sender = src
+          && Int.equal src (Config.primary_of_pair t.config rank)
+          && Int.equal env.Message.sender src
           && authentic t env
         then shadow_handle_order t env ~info
       end
       else if doubly_signed_by_pair t ~rank env && authentic t env then begin
-        if i_am_coordinator_primary t && env.Message.sender = id t && src <> id t then begin
+        if i_am_coordinator_primary t && Int.equal env.Message.sender (id t) && not (Int.equal src (id t)) then begin
           (match List.assoc_opt info.Message.o t.endorsement_watches with
           | Some h ->
             h.Context.cancel ();
@@ -920,7 +918,7 @@ and on_message t ~src (env : Message.envelope) =
     if authentic t env then begin
       let st = get_order t o in
       add_vote st ~digest ~source:env.Message.sender ~signature:env.Message.signature;
-      if st.have_order && st.digest = digest then try_commit t st
+      if st.have_order && String.equal st.digest digest then try_commit t st
     end
   | Message.View_change { v; max_committed; uncommitted; _ } ->
     if v > t.view && authentic t env then begin
@@ -935,17 +933,17 @@ and on_message t ~src (env : Message.envelope) =
       | None -> ())
     end
   | Message.New_view { v; start_o; anchor; new_back_log } ->
-    if (v > t.view || (t.changing_view && v = t.target_view)) && authentic t env then begin
+    if (v > t.view || (t.changing_view && Int.equal v t.target_view)) && authentic t env then begin
       let rank = candidate_of_view t v in
       if env.Message.endorsement = None then begin
         if
-          id t = Config.shadow_of_pair t.config rank
-          && env.Message.sender = Config.primary_of_pair t.config rank
+          Int.equal (id t) (Config.shadow_of_pair t.config rank)
+          && Int.equal env.Message.sender (Config.primary_of_pair t.config rank)
           && t.status = Up
         then handle_new_view_proposal t env ~v ~start_o ~anchor ~new_back_log
       end
       else if doubly_signed_by_pair t ~rank env then begin
-        if id t = Config.primary_of_pair t.config rank && env.Message.sender = id t && src <> id t
+        if Int.equal (id t) (Config.primary_of_pair t.config rank) && Int.equal env.Message.sender (id t) && not (Int.equal src (id t))
         then multicast t ~dsts:(others t) env;
         install_view t env ~v ~start_o ~anchor ~new_back_log
       end
@@ -953,13 +951,13 @@ and on_message t ~src (env : Message.envelope) =
   | Message.Unwilling { v; pair } ->
     if
       (v > t.view || (t.changing_view && v >= t.target_view))
-      && pair = candidate_of_view t v
+      && Int.equal pair (candidate_of_view t v)
       && List.mem env.Message.sender (Config.candidate_members t.config pair)
       && authentic t env
     then begin
       (* Echo back to both members, then move on to the next view. *)
       List.iter
-        (fun m -> if m <> id t then send t ~dst:m env)
+        (fun m -> if not (Int.equal m (id t)) then send t ~dst:m env)
         (Config.candidate_members t.config pair);
       propose_view_change t (v + 1)
     end
@@ -974,7 +972,7 @@ and fail_signal_authentic t ~pair (env : Message.envelope) =
   && List.mem env.Message.sender members
   && begin
        match env.Message.endorsement with
-       | Some (who, _) -> List.mem who members && who <> env.Message.sender
+       | Some (who, _) -> List.mem who members && not (Int.equal who env.Message.sender)
        | None -> false
      end
   && authentic t env
@@ -1010,12 +1008,12 @@ let start t =
 
 let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
   if config.Config.variant <> Config.SCR then
-    invalid_arg "Scr.create: config must use the SCR variant";
+    raise (Config.Invalid_config "Scr.create: config must use the SCR variant");
   let pid = ctx.Context.id in
   let pair_rank = Config.pair_rank_of config pid in
   (match (pair_rank, counterpart_fail_signal) with
-  | Some _, None -> invalid_arg "Scr.create: paired process needs counterpart_fail_signal"
-  | None, Some _ -> invalid_arg "Scr.create: unpaired process cannot hold a fail-signal"
+  | Some _, None -> raise (Config.Invalid_config "Scr.create: paired process needs counterpart_fail_signal")
+  | None, Some _ -> raise (Config.Invalid_config "Scr.create: unpaired process cannot hold a fail-signal")
   | _ -> ());
   {
     ctx;

@@ -17,7 +17,7 @@ let normalize a =
   while !n > 0 && a.(!n - 1) = 0 do
     decr n
   done;
-  if !n = Array.length a then a else Array.sub a 0 !n
+  if Int.equal !n (Array.length a) then a else Array.sub a 0 !n
 
 let zero : t = [||]
 let is_zero a = Array.length a = 0
@@ -45,11 +45,11 @@ let to_int a =
 
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if not (Int.equal la lb) then Int.compare la lb
   else begin
     let rec go i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else if not (Int.equal a.(i) b.(i)) then Int.compare a.(i) b.(i)
       else go (i - 1)
     in
     go (la - 1)
@@ -177,7 +177,7 @@ let divmod_long (u : t) (v : t) =
   in
   let vn =
     let shifted = shift_left v s in
-    if Array.length shifted = n then shifted
+    if Int.equal (Array.length shifted) n then shifted
     else Array.sub shifted 0 n (* cannot happen: normalisation keeps length *)
   in
   let un =
@@ -272,7 +272,7 @@ let mod_inverse a m =
     else begin
       let signed_sub (sa, va) (sb, vb) =
         (* (sa,va) - (sb,vb) *)
-        if sa = sb then
+        if Bool.equal sa sb then
           if compare va vb >= 0 then (sa, sub va vb) else (not sa, sub vb va)
         else (sa, add va vb)
       in

@@ -17,6 +17,9 @@ let of_name = function
 
 let block_size = function MD5 | SHA1 | SHA256 -> 64
 
-let equal a b = a = b
+let equal a b =
+  match (a, b) with
+  | MD5, MD5 | SHA1, SHA1 | SHA256, SHA256 -> true
+  | (MD5 | SHA1 | SHA256), _ -> false
 
 let pp fmt t = Format.pp_print_string fmt (name t)

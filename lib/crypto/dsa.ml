@@ -17,7 +17,8 @@ let generate_params rng ~pbits ~qbits =
   let rec find_p () =
     let x = B.add (B.shift_left B.one (pbits - 1)) (B.random_bits rng (pbits - 1)) in
     let p = B.add (B.sub x (B.rem x two_q)) B.one in
-    if B.bit_length p = pbits && B.is_probable_prime rng p then p else find_p ()
+    if Int.equal (B.bit_length p) pbits && B.is_probable_prime rng p then p
+    else find_p ()
   in
   let p = find_p () in
   let exponent = B.div (B.sub p B.one) q in
@@ -75,7 +76,7 @@ let sign rng key ~alg msg =
 let verify pub ~alg ~msg ~signature =
   let params = pub.params in
   let w = field_size params in
-  String.length signature = 2 * w
+  Int.equal (String.length signature) (2 * w)
   && begin
        let r = B.of_bytes_be (String.sub signature 0 w) in
        let s = B.of_bytes_be (String.sub signature w w) in

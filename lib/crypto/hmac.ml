@@ -12,7 +12,7 @@ let mac ~alg ~key msg =
   Digest_alg.digest alg (xor_pad key 0x5c block ^ inner)
 
 let constant_time_equal a b =
-  String.length a = String.length b
+  Int.equal (String.length a) (String.length b)
   && begin
        let acc = ref 0 in
        String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;

@@ -72,7 +72,7 @@ let verify t ~signer ~msg ~signature =
        match t.keys.(signer) with
        | Hmac_key "" -> String.length signature = 0
        | Hmac_key key ->
-         String.length signature = t.signature_size
+         Int.equal (String.length signature) t.signature_size
          && Hmac.verify ~alg:Digest_alg.SHA256 ~key ~msg
               ~tag:(String.sub signature 0 (Digest_alg.size Digest_alg.SHA256))
        | Rsa_key key ->

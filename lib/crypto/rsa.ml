@@ -94,12 +94,14 @@ let sign_without_crt key ~alg msg =
 
 let verify pub ~alg ~msg ~signature =
   let size = signature_size pub in
-  String.length signature = size
+  Int.equal (String.length signature) size
   && begin
        let s = B.of_bytes_be signature in
        B.compare s pub.n < 0
        && begin
             let em = B.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n in
-            B.to_bytes_be ~length:size em = encode_em ~alg ~size msg
+            String.equal
+              (B.to_bytes_be ~length:size em)
+              (encode_em ~alg ~size msg)
           end
      end

@@ -72,7 +72,7 @@ let paper_schemes = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024 ]
 let all = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024; mock; null ]
 
 let of_name name =
-  match List.find_opt (fun s -> s.name = name) all with
+  match List.find_opt (fun s -> String.equal s.name name) all with
   | Some s -> s
   | None -> invalid_arg ("Scheme.of_name: unknown scheme " ^ name)
 

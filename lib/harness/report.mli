@@ -1,5 +1,12 @@
 (** Plain-text rendering of experiment results, one table per paper
-    figure. *)
+    figure.
+
+    All output flows through one formatter (stdout by default); this module
+    is the single sanctioned print path in the library (lint rule R5). *)
+
+val set_formatter : Format.formatter -> unit
+(** Redirect every subsequent table; useful for capturing reports in tests
+    or embedding them in a larger document. *)
 
 val print_fig4 : title:string -> Experiments.series list -> unit
 (** Order latency (ms) vs batching interval, one column per protocol. *)

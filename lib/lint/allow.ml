@@ -1,0 +1,101 @@
+(* The checked-in allowlist: deliberate exceptions to the lint rules, each
+   with a one-line justification.  Entries match on rule id, path suffix and
+   (optionally) a substring of the offending source line, so they survive
+   unrelated edits that shift line numbers. *)
+
+type entry = {
+  rule : string;  (* "R2", or "*" for any rule *)
+  path : string;  (* suffix of the diagnostic's file path *)
+  context : string option;  (* substring the offending line must contain *)
+  reason : string;
+}
+
+type t = entry list
+
+let empty = []
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then Some 0
+  else begin
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i <= n - m do
+      if String.sub s !i m = sub then found := Some !i else incr i
+    done;
+    !found
+  end
+
+let contains s sub = find_sub s sub <> None
+
+let has_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  m <= n && String.sub s (n - m) m = suffix
+
+(* Entry grammar: RULE PATH ["line substring"] -- reason *)
+let parse_line ~file ~lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match find_sub line " -- " with
+    | None ->
+      Error
+        (Printf.sprintf "%s:%d: missing \" -- reason\" in allowlist entry" file
+           lineno)
+    | Some i ->
+      let left = String.trim (String.sub line 0 i) in
+      let reason =
+        String.trim (String.sub line (i + 4) (String.length line - i - 4))
+      in
+      let rule, rest =
+        match String.index_opt left ' ' with
+        | None -> (left, "")
+        | Some j ->
+          ( String.sub left 0 j,
+            String.trim (String.sub left (j + 1) (String.length left - j - 1))
+          )
+      in
+      let path, context =
+        match String.index_opt rest ' ' with
+        | None -> (rest, None)
+        | Some j ->
+          let p = String.sub rest 0 j in
+          let c = String.trim (String.sub rest (j + 1) (String.length rest - j - 1)) in
+          let c =
+            let n = String.length c in
+            if n >= 2 && c.[0] = '"' && c.[n - 1] = '"' then String.sub c 1 (n - 2)
+            else c
+          in
+          (p, Some c)
+      in
+      if rule = "" || path = "" then
+        Error (Printf.sprintf "%s:%d: malformed allowlist entry" file lineno)
+      else if rule <> "*" && Diagnostic.rule_of_id rule = None then
+        Error (Printf.sprintf "%s:%d: unknown rule id %S" file lineno rule)
+      else Ok (Some { rule = String.uppercase_ascii rule; path; context; reason })
+
+let load file =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let rec go lineno acc =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        Ok (List.rev acc)
+      | line -> (
+        match parse_line ~file ~lineno line with
+        | Ok None -> go (lineno + 1) acc
+        | Ok (Some e) -> go (lineno + 1) (e :: acc)
+        | Error _ as e ->
+          close_in ic;
+          e)
+    in
+    go 1 []
+
+let entry_matches e (d : Diagnostic.t) =
+  (e.rule = "*" || e.rule = Diagnostic.rule_id d.rule)
+  && has_suffix ~suffix:e.path d.file
+  && match e.context with None -> true | Some c -> contains d.context c
+
+let suppresses t d = List.exists (fun e -> entry_matches e d) t

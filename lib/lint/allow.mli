@@ -1,0 +1,24 @@
+(** The checked-in lint allowlist.
+
+    One entry per line: [RULE PATH ["line substring"] -- reason].  [RULE] is a
+    rule id or ["*"]; [PATH] matches as a suffix of the diagnostic's file
+    path; the optional quoted substring must occur in the offending source
+    line (so entries survive edits that only shift line numbers); the reason
+    after [--] is mandatory.  Blank lines and [#] comments are skipped. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  context : string option;
+  reason : string;
+}
+
+type t = entry list
+
+val empty : t
+
+val load : string -> (t, string) result
+(** Parse an allowlist file; the error carries file:line of the first
+    malformed entry. *)
+
+val suppresses : t -> Diagnostic.t -> bool

@@ -1,0 +1,97 @@
+(* Driver: collect the .ml files under the requested paths, parse each with
+   compiler-libs, run the rules, fill in source context, apply the
+   allowlist and the rule selection, and return the surviving diagnostics
+   sorted by position. *)
+
+type outcome = {
+  diags : Diagnostic.t list;  (* kept, position-sorted *)
+  suppressed : int;  (* allowlisted findings of enabled rules *)
+  files : int;  (* .ml files scanned *)
+}
+
+let skip_dir name =
+  name = "_build" || name = "_opam" || (String.length name > 0 && name.[0] = '.')
+
+let rec collect path acc =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if skip_dir name then acc else collect (Filename.concat path name) acc)
+      acc entries
+  | false -> if Filename.check_suffix path ".ml" then path :: acc else acc
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let parse_diag ~file msg =
+  {
+    Diagnostic.rule = Diagnostic.R0;
+    file;
+    line = 1;
+    col = 0;
+    message = Printf.sprintf "file does not parse: %s" msg;
+    context = "";
+  }
+
+let lint_file file =
+  let file = normalize file in
+  let scope = Rules.scope_of_path file in
+  let src = read_file file in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let ast_diags =
+    let lexbuf = Lexing.from_string src in
+    Location.init lexbuf file;
+    match Parse.implementation lexbuf with
+    | ast -> Rules.lint_ast ~scope ~file ast
+    | exception Syntaxerr.Error _ -> [ parse_diag ~file "syntax error" ]
+    | exception exn -> [ parse_diag ~file (Printexc.to_string exn) ]
+  in
+  let ast_diags =
+    match Rules.missing_mli ~scope ~file with
+    | Some d -> d :: ast_diags
+    | None -> ast_diags
+  in
+  List.map
+    (fun (d : Diagnostic.t) ->
+      let context =
+        if d.line >= 1 && d.line <= Array.length lines then lines.(d.line - 1)
+        else ""
+      in
+      { d with context })
+    ast_diags
+
+let run ~rules ~allow ~paths =
+  let files = List.fold_left (fun acc p -> collect p acc) [] paths in
+  let files = List.sort_uniq String.compare files in
+  let enabled (d : Diagnostic.t) =
+    d.rule = Diagnostic.R0 || List.mem d.rule rules
+  in
+  let kept, suppressed =
+    List.fold_left
+      (fun (kept, suppressed) file ->
+        List.fold_left
+          (fun (kept, suppressed) d ->
+            if not (enabled d) then (kept, suppressed)
+            else if Allow.suppresses allow d then (kept, suppressed + 1)
+            else (d :: kept, suppressed))
+          (kept, suppressed) (lint_file file))
+      ([], 0) files
+  in
+  {
+    diags = List.sort Diagnostic.compare_pos kept;
+    suppressed;
+    files = List.length files;
+  }

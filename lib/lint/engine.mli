@@ -1,0 +1,20 @@
+(** Lint driver: walk, parse, rule, filter, sort. *)
+
+type outcome = {
+  diags : Diagnostic.t list;  (** kept diagnostics, position-sorted *)
+  suppressed : int;  (** allowlisted findings of enabled rules *)
+  files : int;  (** [.ml] files scanned *)
+}
+
+val lint_file : string -> Diagnostic.t list
+(** All findings for one file (every rule, no allowlist), with source
+    context filled in.  Parse failures come back as a single R0. *)
+
+val run :
+  rules:Diagnostic.rule list ->
+  allow:Allow.t ->
+  paths:string list ->
+  outcome
+(** Scan every [.ml] under [paths] (skipping [_build] and dot-dirs), keep
+    findings of the enabled [rules] (R0 is always enabled), drop the
+    allowlisted ones. *)

@@ -1,0 +1,4 @@
+(* Seeded R1 violation: polymorphic equality on computed operands.  The
+   offending expression sits on line 4, which test_lint.ml asserts. *)
+
+let same_process a b = a = b

@@ -1,0 +1,7 @@
+(* Seeded R2 violation: catch-all arm in a message-dispatch match.  The
+   wildcard pattern sits on line 7, which test_lint.ml asserts. *)
+type msg = Order of int | Ack of int | Heartbeat of int
+
+let seq_of = function
+  | Order o -> o
+  | _ -> 0

@@ -1,0 +1,4 @@
+(* Seeded R4 violation: failwith on a protocol decision path.  Line 4. *)
+
+let decide vote =
+  if vote < 0 then failwith "negative vote" else vote

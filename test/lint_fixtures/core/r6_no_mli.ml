@@ -1,0 +1,4 @@
+(* Seeded R6 violation: a library module with no .mli.  Reported on
+   line 1. *)
+
+let exported_without_interface = 0

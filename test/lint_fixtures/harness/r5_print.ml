@@ -1,0 +1,3 @@
+(* Seeded R5 violation: direct printing outside the report sink.  Line 3. *)
+
+let announce () = print_endline "starting"

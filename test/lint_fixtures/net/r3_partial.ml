@@ -1,0 +1,3 @@
+(* Seeded R3 violation: partial stdlib selector.  Line 3. *)
+
+let first_endpoint endpoints = List.hd endpoints

@@ -41,13 +41,13 @@ let test_config_counterpart_involution () =
     (Config.all_processes c)
 
 let test_config_rejects_bad_inputs () =
-  Alcotest.check_raises "f=0" (Invalid_argument "Config.make: f must be at least 1")
+  Alcotest.check_raises "f=0" (Config.Invalid_config "Config.make: f must be at least 1")
     (fun () -> ignore (Config.make ~f:0 ()));
   let c = Config.make ~f:1 () in
-  Alcotest.check_raises "rank 0" (Invalid_argument "Config: candidate rank 0 out of range")
+  Alcotest.check_raises "rank 0" (Config.Invalid_config "Config: candidate rank 0 out of range")
     (fun () -> ignore (Config.primary_of_pair c 0));
   Alcotest.check_raises "unpaired shadow"
-    (Invalid_argument "Config.shadow_of_pair: candidate is unpaired") (fun () ->
+    (Config.Invalid_config "Config.shadow_of_pair: candidate is unpaired") (fun () ->
       ignore (Config.shadow_of_pair c 2))
 
 let prop_config_layout_consistent =

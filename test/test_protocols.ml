@@ -284,11 +284,11 @@ let test_sc_create_validation () =
     }
   in
   Alcotest.check_raises "paired process needs fail-signal"
-    (Invalid_argument "Sc.create: paired process needs counterpart_fail_signal")
+    (P.Config.Invalid_config "Sc.create: paired process needs counterpart_fail_signal")
     (fun () -> ignore (P.Sc.create ~ctx ~config ()));
   let ctx2 = { ctx with P.Context.id = 1 } in
   Alcotest.check_raises "unpaired process cannot hold one"
-    (Invalid_argument "Sc.create: unpaired process cannot hold a fail-signal")
+    (P.Config.Invalid_config "Sc.create: unpaired process cannot hold a fail-signal")
     (fun () -> ignore (P.Sc.create ~ctx:ctx2 ~config ~counterpart_fail_signal:"x" ()))
 
 (* --------------------------------------------------------------- SCR *)
