@@ -97,7 +97,7 @@ let sub_figures =
     ("msgs", `Msgs);
   ]
 
-let run_figure ~f ~seed = function
+let run_figure ~f ~seed ~phases = function
   | name, `Fig45 (scheme, which) ->
     let series = H.Experiments.fig4_5 ~f ~seed ~scheme () in
     let title =
@@ -108,7 +108,10 @@ let run_figure ~f ~seed = function
     (match which with
     | `Latency -> H.Report.print_fig4 ~title series
     | `Throughput -> H.Report.print_fig5 ~title series);
-    H.Report.print_shape_checks series
+    H.Report.print_shape_checks series;
+    if phases then
+      H.Report.print_phase_breakdowns
+        (H.Experiments.phase_breakdowns ~f ~seed ~scheme ())
   | name, `Fig6 ->
     let run scheme =
       let series = H.Experiments.fig6 ~f ~seed ~scheme () in
@@ -123,18 +126,21 @@ let run_figure ~f ~seed = function
       ~title:"f3: order latency (ms) vs batching interval, f=3, md5-rsa1024" series;
     H.Report.print_fig5
       ~title:"f3: throughput (req/s) vs batching interval, f=3, md5-rsa1024" series;
-    H.Report.print_shape_checks series
+    H.Report.print_shape_checks series;
+    if phases then
+      H.Report.print_phase_breakdowns
+        (H.Experiments.phase_breakdowns ~f:3 ~seed ~scheme:Scheme.md5_rsa1024 ())
   | _, `Msgs -> H.Report.print_message_counts (H.Experiments.message_counts ~f ())
 
 let fig_cmd =
-  let fig name f seed =
+  let fig name f seed phases =
     match List.assoc_opt name sub_figures with
     | Some what ->
-      run_figure ~f ~seed (name, what);
+      run_figure ~f ~seed ~phases (name, what);
       `Ok ()
     | None ->
       if name = "all" then begin
-        List.iter (fun (n, w) -> run_figure ~f ~seed (n, w)) sub_figures;
+        List.iter (fun (n, w) -> run_figure ~f ~seed ~phases (n, w)) sub_figures;
         `Ok ()
       end
       else
@@ -144,10 +150,94 @@ let fig_cmd =
   let fig_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc:"Figure id.")
   in
+  let phases =
+    Arg.(
+      value & flag
+      & info [ "phases" ]
+          ~doc:
+            "Also print the per-protocol phase breakdown (span widths, \
+             messages per batch, wide/n-to-n classification, crypto ops) \
+             next to the figure.")
+  in
   Cmd.v
     (Cmd.info "fig"
        ~doc:"Regenerate a figure of the paper (fig4a..c, fig5a..c, fig6, f3, msgs, all).")
-    Term.(ret (const fig $ fig_name $ f_param $ seed))
+    Term.(ret (const fig $ fig_name $ f_param $ seed $ phases))
+
+(* --------------------------------------------------------------- bench *)
+
+let bench_cmd =
+  let bench f seed fast json_path =
+    let scheme = Scheme.md5_rsa1024 in
+    let intervals_ms =
+      if fast then [ 100; 300; 500 ] else H.Experiments.default_intervals_ms
+    in
+    let rate = if fast then 200.0 else 400.0 in
+    let fig4_5 = H.Experiments.fig4_5 ~f ~intervals_ms ~rate ~seed ~scheme () in
+    let breakdowns =
+      H.Experiments.phase_breakdowns ~f ~seed ~scheme
+        ~duration:(Simtime.sec (if fast then 5 else 10))
+        ()
+    in
+    let message_counts = H.Experiments.message_counts ~f () in
+    let fig6 = if fast then None else Some (H.Experiments.fig6 ~f ~seed ~scheme ()) in
+    let doc =
+      H.Bench_doc.make ~seed ~fast ~fig4_5 ?fig6 ~message_counts ~breakdowns ()
+    in
+    H.Report.print_fig4
+      ~title:(Printf.sprintf "bench: order latency (ms), f=%d, %s" f scheme.Scheme.name)
+      fig4_5;
+    H.Report.print_fig5
+      ~title:(Printf.sprintf "bench: throughput (req/s), f=%d, %s" f scheme.Scheme.name)
+      fig4_5;
+    H.Report.print_shape_checks fig4_5;
+    H.Report.print_phase_breakdowns breakdowns;
+    List.iter
+      (fun (name, pass) ->
+        Format.printf "  [%s] %s@." (if pass then "PASS" else "FAIL") name)
+      (H.Bench_doc.phase_verdicts breakdowns);
+    match json_path with
+    | None -> `Ok ()
+    | Some path ->
+      let path =
+        (* A directory target gets the dated canonical name. *)
+        if Sys.file_exists path && Sys.is_directory path then begin
+          let tm = Unix.localtime (Unix.time ()) in
+          Filename.concat path
+            (Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+               (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+        end
+        else path
+      in
+      let oc = open_out path in
+      output_string oc (Sof_util.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." path;
+      `Ok ()
+  in
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:"Reduced sweep for CI: fewer intervals, shorter runs, no fig6.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the versioned benchmark document (schema_version, every \
+             figure series, phase breakdowns, verdicts) to $(docv).  When \
+             $(docv) is a directory, the file is named BENCH_<date>.json.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the figure sweep plus the phase breakdown and emit a \
+          machine-readable benchmark document.")
+    Term.(ret (const bench $ f_param $ seed $ fast $ json_path))
 
 (* ----------------------------------------------------------- failover *)
 
@@ -402,6 +492,16 @@ let main =
   Cmd.group
     (Cmd.info "sof" ~version:"1.0.0"
        ~doc:"Signal-on-fail Byzantine total-order protocols (DSN'06 reproduction).")
-    [ run_cmd; fig_cmd; failover_cmd; trace_cmd; census_cmd; chaos_cmd; fuzz_cmd; lint_cmd ]
+    [
+      run_cmd;
+      fig_cmd;
+      bench_cmd;
+      failover_cmd;
+      trace_cmd;
+      census_cmd;
+      chaos_cmd;
+      fuzz_cmd;
+      lint_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -31,6 +31,11 @@ type order_state = {
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
   mutable committed : bool;
+  (* trace spans currently open at this process for this order *)
+  mutable sp_batch : bool;
+  mutable sp_preprep : bool;
+  mutable sp_prepare : bool;
+  mutable sp_commit : bool;
 }
 
 type t = {
@@ -52,6 +57,7 @@ type t = {
   mutable last_progress : Simtime.t;
   mutable view_changes : (int, Int_set.t ref * Message.order_info list ref) Hashtbl.t;
   mutable changing_view : bool;
+  mutable vc_span : int option;  (* open view-change trace span *)
 }
 
 let id t = t.ctx.Context.id
@@ -99,10 +105,21 @@ let get_order t o =
         sent_prepare = false;
         sent_commit = false;
         committed = false;
+        sp_batch = false;
+        sp_preprep = false;
+        sp_prepare = false;
+        sp_commit = false;
       }
     in
     Hashtbl.replace t.orders o st;
     st
+
+(* Trace spans: [Context.emit] costs no simulated CPU, each sp_* flag means
+   "open at this process", and closes only fire when the flag is set, so
+   spans balance whenever the order commits locally. *)
+
+let span_open t phase seq = t.ctx.Context.emit (Context.Span_open { phase; seq })
+let span_close t phase seq = t.ctx.Context.emit (Context.Span_close { phase; seq })
 
 let rec advance_delivery t =
   match Hashtbl.find_opt t.orders (t.delivered + 1) with
@@ -143,6 +160,22 @@ let rec advance_delivery t =
 let try_commit_point t st =
   if st.pre_prepared && (not st.committed) && Int_set.cardinal st.commits >= (2 * t.config.f) + 1
   then begin
+    if st.sp_preprep then begin
+      st.sp_preprep <- false;
+      span_close t Context.Pre_prepare_phase st.o
+    end;
+    if st.sp_prepare then begin
+      st.sp_prepare <- false;
+      span_close t Context.Prepare_phase st.o
+    end;
+    if st.sp_commit then begin
+      st.sp_commit <- false;
+      span_close t Context.Commit_phase st.o
+    end;
+    if st.sp_batch then begin
+      st.sp_batch <- false;
+      span_close t Context.Batch_phase st.o
+    end;
     st.committed <- true;
     t.last_progress <- t.ctx.Context.now ();
     if st.o > t.max_committed then t.max_committed <- st.o;
@@ -157,6 +190,14 @@ let try_prepared_point t st =
     && Int_set.cardinal st.prepares >= 2 * t.config.f
   then begin
     st.sent_commit <- true;
+    if st.sp_prepare then begin
+      st.sp_prepare <- false;
+      span_close t Context.Prepare_phase st.o
+    end;
+    if st.sp_batch && not st.sp_commit then begin
+      st.sp_commit <- true;
+      span_open t Context.Commit_phase st.o
+    end;
     let body = Message.Commit { v = st.view_of; o = st.o; digest = st.digest } in
     let env = make_signed t body in
     multicast t ~dsts:t.all_ids env
@@ -165,6 +206,14 @@ let try_prepared_point t st =
 let send_prepare t st =
   if not st.sent_prepare then begin
     st.sent_prepare <- true;
+    if st.sp_preprep then begin
+      st.sp_preprep <- false;
+      span_close t Context.Pre_prepare_phase st.o
+    end;
+    if st.sp_batch && not st.sp_prepare then begin
+      st.sp_prepare <- true;
+      span_open t Context.Prepare_phase st.o
+    end;
     let body = Message.Prepare { v = st.view_of; o = st.o; digest = st.digest } in
     let env = make_signed t body in
     multicast t ~dsts:t.all_ids env
@@ -174,6 +223,14 @@ let accept_pre_prepare t ~(info : Message.order_info) ~v =
   let st = get_order t info.Message.o in
   if st.pre_prepared && (st.view_of > v || not (String.equal st.digest info.Message.digest)) then ()
   else begin
+    if (not st.sp_batch) && not st.committed then begin
+      st.sp_batch <- true;
+      span_open t Context.Batch_phase st.o
+    end;
+    if st.sp_batch && (not st.sp_preprep) && not st.sent_prepare then begin
+      st.sp_preprep <- true;
+      span_open t Context.Pre_prepare_phase st.o
+    end;
     st.pre_prepared <- true;
     st.view_of <- v;
     st.digest <- info.Message.digest;
@@ -279,6 +336,11 @@ and vc_tick t =
 
 and start_view_change t v =
   if v > t.view then begin
+    (match t.vc_span with
+    | Some old -> span_close t Context.View_change_phase old
+    | None -> ());
+    t.vc_span <- Some v;
+    span_open t Context.View_change_phase v;
     t.changing_view <- true;
     (match t.batch_timer with Some h -> h.Context.cancel () | None -> ());
     t.batch_timer <- None;
@@ -329,6 +391,11 @@ let rec handle_view_change t ~src:_ ~v ~prepared (env : Message.envelope) =
 and enter_view t v pre_prepares =
   t.view <- v;
   t.changing_view <- false;
+  (match t.vc_span with
+  | Some old ->
+    t.vc_span <- None;
+    span_close t Context.View_change_phase old
+  | None -> ());
   t.ctx.Context.emit (Context.View_installed { v });
   let top =
     List.fold_left
@@ -417,4 +484,5 @@ let create ~ctx ~config ?(fault = Fault.Honest) () =
     last_progress = Simtime.zero;
     view_changes = Hashtbl.create 4;
     changing_view = false;
+    vc_span = None;
   }

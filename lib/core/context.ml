@@ -1,5 +1,33 @@
 type timer = { cancel : unit -> unit }
 
+type phase =
+  | Batch_phase
+  | Endorse_phase
+  | Order_phase
+  | Ack_phase
+  | Pre_prepare_phase
+  | Prepare_phase
+  | Commit_phase
+  | View_change_phase
+  | Install_phase
+  | Failover_phase
+
+let phase_name = function
+  | Batch_phase -> "batch"
+  | Endorse_phase -> "endorse"
+  | Order_phase -> "order"
+  | Ack_phase -> "ack"
+  | Pre_prepare_phase -> "pre_prepare"
+  | Prepare_phase -> "prepare"
+  | Commit_phase -> "commit"
+  | View_change_phase -> "view_change"
+  | Install_phase -> "install"
+  | Failover_phase -> "failover"
+
+let all_phases =
+  [ Batch_phase; Endorse_phase; Order_phase; Ack_phase; Pre_prepare_phase;
+    Prepare_phase; Commit_phase; View_change_phase; Install_phase; Failover_phase ]
+
 type event =
   | Batched of { seq : int; requests : int; bytes : int }
   | Committed of { seq : int; digest : string; keys : Sof_smr.Request.key list }
@@ -10,6 +38,8 @@ type event =
   | View_installed of { v : int }
   | Pair_recovered of { pair : int }
   | Value_fault_detected of { pair : int }
+  | Span_open of { phase : phase; seq : int }
+  | Span_close of { phase : phase; seq : int }
 
 type t = {
   id : int;
@@ -41,3 +71,5 @@ let pp_event fmt = function
   | View_installed { v } -> Format.fprintf fmt "view_installed(%d)" v
   | Pair_recovered { pair } -> Format.fprintf fmt "pair_recovered(%d)" pair
   | Value_fault_detected { pair } -> Format.fprintf fmt "value_fault_detected(%d)" pair
+  | Span_open { phase; seq } -> Format.fprintf fmt "span_open(%s, %d)" (phase_name phase) seq
+  | Span_close { phase; seq } -> Format.fprintf fmt "span_close(%s, %d)" (phase_name phase) seq

@@ -7,6 +7,31 @@
 
 type timer = { cancel : unit -> unit }
 
+(** Protocol phases instrumented with [Span_open]/[Span_close] pairs.  A span
+    is local to one process; reducers recover a global phase interval as
+    [earliest open .. latest close] over all processes for one sequence
+    number.  For the per-batch phases the span's [seq] is the order's
+    sequence number; for [View_change_phase] it is the view being agreed,
+    for [Install_phase] the coordinator rank being installed, and for
+    [Failover_phase] the failed pair's rank. *)
+type phase =
+  | Batch_phase  (** First local knowledge of an order until local commit. *)
+  | Endorse_phase  (** SC/SCR 1-to-1: phase-1 order sent/received until the
+                       endorsed order is accepted at this pair member. *)
+  | Order_phase  (** Dissemination: endorsed-order accept (2-to-n) or CT
+                     order receipt (1-to-n) until this process acks. *)
+  | Ack_phase  (** n-to-n: own ack sent until local commit. *)
+  | Pre_prepare_phase  (** BFT 1-to-n: pre-prepare accept until prepare sent. *)
+  | Prepare_phase  (** BFT n-to-n: prepare sent until commit sent. *)
+  | Commit_phase  (** BFT n-to-n: commit sent until locally committed. *)
+  | View_change_phase  (** SCR/BFT: view change proposed until installed. *)
+  | Install_phase  (** SC: install protocol begun until finished. *)
+  | Failover_phase  (** Coordinator failure observed until replacement in
+                        place (the fail-signal -> install fail-over). *)
+
+val phase_name : phase -> string
+val all_phases : phase list
+
 type event =
   | Batched of { seq : int; requests : int; bytes : int }
       (** The coordinator formed a batch — the latency clock starts here
@@ -22,6 +47,10 @@ type event =
   | View_installed of { v : int }  (** SCR / BFT. *)
   | Pair_recovered of { pair : int }  (** SCR only. *)
   | Value_fault_detected of { pair : int }
+  | Span_open of { phase : phase; seq : int }
+      (** A phase began at this process.  Emitting spans costs no simulated
+          CPU, so instrumentation never perturbs seeded trajectories. *)
+  | Span_close of { phase : phase; seq : int }
 
 type t = {
   id : int;  (** This process's id (network endpoint). *)

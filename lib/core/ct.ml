@@ -38,6 +38,10 @@ type order_state = {
   candidates : (string, candidate) Hashtbl.t;
   mutable voted : bool;  (* this process already acked some digest for [o] *)
   mutable winner : string option;  (* committed digest *)
+  (* trace spans currently open at this process for this order *)
+  mutable sp_batch : bool;
+  mutable sp_order : bool;
+  mutable sp_ack : bool;
 }
 
 type t = {
@@ -101,9 +105,26 @@ let get_order t o =
   match Hashtbl.find_opt t.orders o with
   | Some st -> st
   | None ->
-    let st = { o; candidates = Hashtbl.create 2; voted = false; winner = None } in
+    let st =
+      {
+        o;
+        candidates = Hashtbl.create 2;
+        voted = false;
+        winner = None;
+        sp_batch = false;
+        sp_order = false;
+        sp_ack = false;
+      }
+    in
     Hashtbl.replace t.orders o st;
     st
+
+(* Trace spans: [Context.emit] costs no simulated CPU, each sp_* flag means
+   "open at this process", and closes only fire when the flag is set, so
+   spans balance whenever the order commits locally. *)
+
+let span_open t phase seq = t.ctx.Context.emit (Context.Span_open { phase; seq })
+let span_close t phase seq = t.ctx.Context.emit (Context.Span_close { phase; seq })
 
 let get_candidate st digest =
   match Hashtbl.find_opt st.candidates digest with
@@ -157,6 +178,18 @@ let try_commit t st =
           && Int_set.cardinal cand.c_votes >= quorum t
         then begin
           st.winner <- Some digest;
+          if st.sp_order then begin
+            st.sp_order <- false;
+            span_close t Context.Order_phase st.o
+          end;
+          if st.sp_ack then begin
+            st.sp_ack <- false;
+            span_close t Context.Ack_phase st.o
+          end;
+          if st.sp_batch then begin
+            st.sp_batch <- false;
+            span_close t Context.Batch_phase st.o
+          end;
           t.last_progress <- t.ctx.Context.now ();
           if st.o > t.max_committed then t.max_committed <- st.o;
           let keys = Option.value cand.c_keys ~default:[] in
@@ -170,6 +203,14 @@ let try_commit t st =
 let vote t st digest cand =
   if not st.voted then begin
     st.voted <- true;
+    if st.sp_order then begin
+      st.sp_order <- false;
+      span_close t Context.Order_phase st.o
+    end;
+    if st.sp_batch && not st.sp_ack then begin
+      st.sp_ack <- true;
+      span_open t Context.Ack_phase st.o
+    end;
     cand.c_votes <- Int_set.add (id t) cand.c_votes;
     let body = Message.Ack { c = t.epoch; o = st.o; digest } in
     t.ctx.Context.multicast ~dsts:t.all_ids
@@ -182,6 +223,16 @@ let vote t st digest cand =
 let learn_candidate t (info : Message.order_info) =
   let st = get_order t info.Message.o in
   let cand = get_candidate st info.Message.digest in
+  if st.winner = None then begin
+    if not st.sp_batch then begin
+      st.sp_batch <- true;
+      span_open t Context.Batch_phase st.o
+    end;
+    if (not st.sp_order) && not st.voted then begin
+      st.sp_order <- true;
+      span_open t Context.Order_phase st.o
+    end
+  end;
   if cand.c_keys = None then cand.c_keys <- Some info.Message.keys;
   if not st.voted then
     List.iter

@@ -22,6 +22,11 @@ type order_state = {
   mutable committed : bool;
   mutable null : bool;  (* gap filler or Start placeholder: delivers nothing *)
   votes_by_digest : (string, votes) Hashtbl.t;
+  (* trace spans currently open at this process for this order *)
+  mutable sp_batch : bool;
+  mutable sp_endorse : bool;
+  mutable sp_order : bool;
+  mutable sp_ack : bool;
 }
 
 type backlog_rec = {
@@ -95,6 +100,9 @@ type t = {
          coordinators may still be adopted for those sequences (catch-up for
          a replica that lagged across the install) *)
   mutable stash_future : (int * Message.envelope) list;
+  (* trace spans open at this process for fail-over accounting *)
+  mutable failover_span : int option;
+  mutable install_span : int option;
 }
 
 (* ------------------------------------------------------------ accessors *)
@@ -208,6 +216,10 @@ let get_order t o =
         committed = false;
         null = false;
         votes_by_digest = Hashtbl.create 4;
+        sp_batch = false;
+        sp_endorse = false;
+        sp_order = false;
+        sp_ack = false;
       }
     in
     Hashtbl.replace t.orders o st;
@@ -226,6 +238,64 @@ let add_vote st ~digest ~source ~signature =
   if not (Int_set.mem source v.sources) then begin
     v.sources <- Int_set.add source v.sources;
     v.proof <- (source, signature) :: v.proof
+  end
+
+(* ---------------------------------------------------------- trace spans *)
+(* [Context.emit] costs no simulated CPU, so span instrumentation cannot
+   perturb seeded trajectories.  Each sp_* flag means "open at this
+   process"; a close is only ever emitted when the flag is set, so spans
+   balance whenever the order commits locally. *)
+
+let span_open t phase seq = t.ctx.Context.emit (Context.Span_open { phase; seq })
+let span_close t phase seq = t.ctx.Context.emit (Context.Span_close { phase; seq })
+
+let open_batch_span t st =
+  if (not st.sp_batch) && not st.committed then begin
+    st.sp_batch <- true;
+    span_open t Context.Batch_phase st.o
+  end
+
+let open_endorse_span t st =
+  if st.sp_batch && not st.sp_endorse then begin
+    st.sp_endorse <- true;
+    span_open t Context.Endorse_phase st.o
+  end
+
+let close_endorse_span t st =
+  if st.sp_endorse then begin
+    st.sp_endorse <- false;
+    span_close t Context.Endorse_phase st.o
+  end
+
+let open_order_span t st =
+  if st.sp_batch && not st.sp_order then begin
+    st.sp_order <- true;
+    span_open t Context.Order_phase st.o
+  end
+
+let ack_span_transition t st =
+  if st.sp_order then begin
+    st.sp_order <- false;
+    span_close t Context.Order_phase st.o
+  end;
+  if st.sp_batch && not st.sp_ack then begin
+    st.sp_ack <- true;
+    span_open t Context.Ack_phase st.o
+  end
+
+let close_batch_spans t st =
+  close_endorse_span t st;
+  if st.sp_order then begin
+    st.sp_order <- false;
+    span_close t Context.Order_phase st.o
+  end;
+  if st.sp_ack then begin
+    st.sp_ack <- false;
+    span_close t Context.Ack_phase st.o
+  end;
+  if st.sp_batch then begin
+    st.sp_batch <- false;
+    span_close t Context.Batch_phase st.o
   end
 
 (* ------------------------------------------------------------- delivery *)
@@ -275,6 +345,7 @@ let rec advance_delivery t =
 
 let record_commit t st =
   if not st.committed then begin
+    close_batch_spans t st;
     st.committed <- true;
     if st.o > t.max_committed then begin
       t.max_committed <- st.o;
@@ -318,6 +389,7 @@ let try_commit t st =
 let send_ack t st =
   if st.have_order && not st.acked then begin
     st.acked <- true;
+    ack_span_transition t st;
     let body = Message.Ack { c = st.vote_c; o = st.o; digest = st.digest } in
     let env = make_signed t body in
     multicast t ~dsts:t.all_ids env
@@ -346,6 +418,9 @@ let accept_order t (env : Message.envelope) ~c ~(info : Message.order_info) =
     st.digest <- info.Message.digest;
     st.keys <- info.Message.keys;
     st.vote_c <- c;
+    open_batch_span t st;
+    close_endorse_span t st;
+    open_order_span t st;
     if info.Message.keys = [] then st.null <- true;
     List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
     add_vote st ~digest:st.digest ~source:env.Message.sender
@@ -400,7 +475,13 @@ and note_pair_failed t rank =
     (match t.pair_rank with
     | Some r when Int.equal r rank && not t.fail_signalled -> emit_fail_signal t ~value_domain:false
     | Some _ | None -> ());
-    if Int.equal rank t.coord then begin_install t
+    if Int.equal rank t.coord then begin
+      if t.failover_span = None then begin
+        t.failover_span <- Some rank;
+        span_open t Context.Failover_phase rank
+      end;
+      begin_install t
+    end
   end
 
 (* ----------------------------------------------------------- install *)
@@ -413,6 +494,11 @@ and begin_install t =
   in
   let failed = t.coord in
   t.coord <- next_candidate (t.coord + 1);
+  (match t.install_span with
+  | Some r -> span_close t Context.Install_phase r
+  | None -> ());
+  t.install_span <- Some t.coord;
+  span_open t Context.Install_phase t.coord;
   t.installing <- true;
   t.start_env <- None;
   t.start_acks <- [];
@@ -750,6 +836,16 @@ and finish_install t (start_env : Message.envelope) ~c ~start_o ~anchor ~new_bac
   (* Stashed endorsements are from the superseded era; anything still
      legitimate is covered by the install's back-log. *)
   t.stashed_endorsements <- [];
+  (match t.install_span with
+  | Some r ->
+    t.install_span <- None;
+    span_close t Context.Install_phase r
+  | None -> ());
+  (match t.failover_span with
+  | Some r ->
+    t.failover_span <- None;
+    span_close t Context.Failover_phase r
+  | None -> ());
   t.ctx.Context.emit (Context.Coordinator_installed { rank = t.coord });
   (* Ack the Start through the normal part. *)
   send_ack t st;
@@ -806,6 +902,7 @@ and issue_batch t pool =
   t.ctx.Context.emit
     (Context.Batched
        { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+  open_batch_span t (get_order t o);
   let body = Message.Order { c = t.coord; info } in
   let env = make_signed t body in
   if coordinator_is_pair t then begin
@@ -828,6 +925,7 @@ and issue_batch t pool =
       multicast t ~dsts:(List.filter (fun p -> not (Int.equal p shadow)) (others t)) env
     | _ ->
       (* Phase 1: 1-to-1 to the shadow for endorsement. *)
+      open_endorse_span t (get_order t o);
       send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
       let watch =
         t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
@@ -894,6 +992,9 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
     match shadow_validate_order t env ~info with
     | `Duplicate -> ()
     | `Defer ->
+      let st = get_order t info.Message.o in
+      open_batch_span t st;
+      open_endorse_span t st;
       t.stashed_endorsements <- (t.ctx.Context.now (), env, info) :: t.stashed_endorsements;
       retry_stashed_later t
     | `Invalid -> begin
@@ -902,7 +1003,11 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
         shadow_endorse t env ~info
       | _ -> emit_fail_signal t ~value_domain:true
     end
-    | `Valid -> shadow_endorse t env ~info
+    | `Valid ->
+      let st = get_order t info.Message.o in
+      open_batch_span t st;
+      open_endorse_span t st;
+      shadow_endorse t env ~info
   end
 
 and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
@@ -1282,4 +1387,6 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     start_covers = [];
     anchor_seen = 0;
     stash_future = [];
+    failover_span = None;
+    install_span = None;
   }

@@ -21,6 +21,11 @@ type order_state = {
   mutable committed : bool;
   mutable null : bool;
   votes_by_digest : (string, votes) Hashtbl.t;
+  (* trace spans currently open at this process for this order *)
+  mutable sp_batch : bool;
+  mutable sp_endorse : bool;
+  mutable sp_order : bool;
+  mutable sp_ack : bool;
 }
 
 type vc_rec = {
@@ -86,6 +91,9 @@ type t = {
   mutable stash_future : (int * Message.envelope) list;
   echoed_fail_signals : (int * int * int, unit) Hashtbl.t;
       (* (pair, first signatory, view): echo and react once per view *)
+  (* trace spans open at this process for fail-over accounting *)
+  mutable failover_span : int option;
+  mutable vc_span : int option;
 }
 
 (* ------------------------------------------------------------ accessors *)
@@ -176,6 +184,10 @@ let get_order t o =
         committed = false;
         null = false;
         votes_by_digest = Hashtbl.create 4;
+        sp_batch = false;
+        sp_endorse = false;
+        sp_order = false;
+        sp_ack = false;
       }
     in
     Hashtbl.replace t.orders o st;
@@ -194,6 +206,62 @@ let add_vote st ~digest ~source ~signature =
   if not (Int_set.mem source v.sources) then begin
     v.sources <- Int_set.add source v.sources;
     v.proof <- (source, signature) :: v.proof
+  end
+
+(* Trace spans, as in Sc: [Context.emit] costs no simulated CPU, each sp_*
+   flag means "open at this process", and closes only fire when the flag is
+   set, so spans balance whenever the order commits locally. *)
+
+let span_open t phase seq = t.ctx.Context.emit (Context.Span_open { phase; seq })
+let span_close t phase seq = t.ctx.Context.emit (Context.Span_close { phase; seq })
+
+let open_batch_span t st =
+  if (not st.sp_batch) && not st.committed then begin
+    st.sp_batch <- true;
+    span_open t Context.Batch_phase st.o
+  end
+
+let open_endorse_span t st =
+  if st.sp_batch && not st.sp_endorse then begin
+    st.sp_endorse <- true;
+    span_open t Context.Endorse_phase st.o
+  end
+
+let close_endorse_span t st =
+  if st.sp_endorse then begin
+    st.sp_endorse <- false;
+    span_close t Context.Endorse_phase st.o
+  end
+
+let open_order_span t st =
+  if st.sp_batch && not st.sp_order then begin
+    st.sp_order <- true;
+    span_open t Context.Order_phase st.o
+  end
+
+let ack_span_transition t st =
+  if st.sp_order then begin
+    st.sp_order <- false;
+    span_close t Context.Order_phase st.o
+  end;
+  if st.sp_batch && not st.sp_ack then begin
+    st.sp_ack <- true;
+    span_open t Context.Ack_phase st.o
+  end
+
+let close_batch_spans t st =
+  close_endorse_span t st;
+  if st.sp_order then begin
+    st.sp_order <- false;
+    span_close t Context.Order_phase st.o
+  end;
+  if st.sp_ack then begin
+    st.sp_ack <- false;
+    span_close t Context.Ack_phase st.o
+  end;
+  if st.sp_batch then begin
+    st.sp_batch <- false;
+    span_close t Context.Batch_phase st.o
   end
 
 let rec advance_delivery t =
@@ -237,6 +305,7 @@ let rec advance_delivery t =
 
 let record_commit t st =
   if not st.committed then begin
+    close_batch_spans t st;
     st.committed <- true;
     if st.o > t.max_committed then begin
       t.max_committed <- st.o;
@@ -272,6 +341,7 @@ let try_commit t st =
 let send_ack t st =
   if st.have_order && not st.acked then begin
     st.acked <- true;
+    ack_span_transition t st;
     let body = Message.Ack { c = st.vote_v; o = st.o; digest = st.digest } in
     multicast t ~dsts:t.all_ids (make_signed t body)
   end
@@ -294,6 +364,9 @@ let accept_order t (env : Message.envelope) ~v ~(info : Message.order_info) =
     st.digest <- info.Message.digest;
     st.keys <- info.Message.keys;
     st.vote_v <- v;
+    open_batch_span t st;
+    close_endorse_span t st;
+    open_order_span t st;
     if info.Message.keys = [] then st.null <- true;
     List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys;
     add_vote st ~digest:st.digest ~source:env.Message.sender
@@ -336,11 +409,23 @@ let rec emit_fail_signal t ~value_domain =
 
 and note_pair_failed t rank =
   t.ctx.Context.emit (Context.Fail_signal_observed { pair = rank });
-  if Int.equal rank (coordinator_rank t) && not t.changing_view then
+  if Int.equal rank (coordinator_rank t) && not t.changing_view then begin
+    if t.failover_span = None then begin
+      t.failover_span <- Some rank;
+      span_open t Context.Failover_phase rank
+    end;
     propose_view_change t (t.view + 1)
+  end
 
 and propose_view_change t v =
   if v > t.view && (not t.changing_view || v > t.target_view) then begin
+    (* On escalation (Unwilling, competing proposals) the old target's span
+       closes and the new one opens, keeping opens and closes balanced. *)
+    (match t.vc_span with
+    | Some old -> span_close t Context.View_change_phase old
+    | None -> ());
+    t.vc_span <- Some v;
+    span_open t Context.View_change_phase v;
     t.changing_view <- true;
     t.target_view <- v;
     t.new_view_sent <- false;
@@ -600,6 +685,16 @@ and install_view t (env : Message.envelope) ~v ~start_o ~anchor ~new_back_log =
     (* Stashed endorsements are from the superseded view; anything still
        legitimate is covered by the install's back-log. *)
     t.stashed_endorsements <- [];
+    (match t.vc_span with
+    | Some old ->
+      t.vc_span <- None;
+      span_close t Context.View_change_phase old
+    | None -> ());
+    (match t.failover_span with
+    | Some r ->
+      t.failover_span <- None;
+      span_close t Context.Failover_phase r
+    | None -> ());
     t.ctx.Context.emit (Context.View_installed { v });
     send_ack t st;
     try_commit t st;
@@ -647,6 +742,7 @@ and issue_batch t pool =
   t.ctx.Context.emit
     (Context.Batched
        { seq = o; requests = Batch.request_count batch; bytes = Batch.encoded_size batch });
+  open_batch_span t (get_order t o);
   let body = Message.Order { c = t.view; info } in
   let env = make_signed t body in
   match t.fault with
@@ -665,6 +761,7 @@ and issue_batch t pool =
     send t ~dst:shadow conflicting_env;
     multicast t ~dsts:(List.filter (fun p -> not (Int.equal p shadow)) (others t)) env
   | _ ->
+    open_endorse_span t (get_order t o);
     send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
     let watch =
       t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
@@ -720,6 +817,9 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
     match shadow_validate_order t ~info with
     | `Duplicate -> ()
     | `Defer ->
+      let st = get_order t info.Message.o in
+      open_batch_span t st;
+      open_endorse_span t st;
       t.stashed_endorsements <- (t.ctx.Context.now (), env, info) :: t.stashed_endorsements;
       ignore
         (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate
@@ -729,7 +829,11 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
       | Fault.Endorse_corrupt_at at when Int.equal at info.Message.o -> shadow_endorse t env ~info
       | _ -> emit_fail_signal t ~value_domain:true
     end
-    | `Valid -> shadow_endorse t env ~info
+    | `Valid ->
+      let st = get_order t info.Message.o in
+      open_batch_span t st;
+      open_endorse_span t st;
+      shadow_endorse t env ~info
   end
 
 and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
@@ -1055,4 +1159,6 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     anchor_seen = 0;
     stash_future = [];
     echoed_fail_signals = Hashtbl.create 8;
+    failover_span = None;
+    vc_span = None;
   }

@@ -1,0 +1,157 @@
+(* The versioned benchmark document: one JSON object carrying every figure
+   series, the per-protocol phase breakdowns, and the PASS/FAIL verdicts.
+   [sof bench --json], bench/main.ml and the golden-schema test all build
+   and read the same shape through this module. *)
+
+module Json = Sof_util.Json
+
+let schema_version = 1
+
+let json_of_point (p : Experiments.series_point) =
+  Json.Obj
+    [
+      ("interval_ms", Json.Num p.Experiments.batching_interval_ms);
+      ( "latency_ms",
+        match p.Experiments.latency_ms with
+        | Some v -> Json.Num v
+        | None -> Json.Null );
+      ("throughput_rps", Json.Num p.Experiments.throughput_rps);
+    ]
+
+let json_of_series (s : Experiments.series) =
+  Json.Obj
+    [
+      ("protocol", Json.Str s.Experiments.label);
+      ("points", Json.List (List.map json_of_point s.Experiments.points));
+    ]
+
+let json_of_failover_series (s : Experiments.failover_series) =
+  Json.Obj
+    [
+      ("protocol", Json.Str s.Experiments.fo_label);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Experiments.failover_point) ->
+               Json.Obj
+                 [
+                   ("target_uncommitted", Json.num_of_int p.Experiments.target_uncommitted);
+                   ("backlog_bytes", Json.num_of_int p.Experiments.backlog_bytes);
+                   ("failover_ms", Json.Num p.Experiments.failover_ms);
+                 ])
+             s.Experiments.fo_points) );
+    ]
+
+let json_of_crypto (c : Trace.crypto) =
+  Json.Obj
+    [
+      ("signs", Json.num_of_int c.Trace.signs);
+      ("verifies", Json.num_of_int c.Trace.verifies);
+      ("sign_ns", Json.num_of_int c.Trace.sign_ns);
+      ("verify_ns", Json.num_of_int c.Trace.verify_ns);
+      ("digest_bytes", Json.num_of_int c.Trace.digest_bytes);
+      ("digest_ns", Json.num_of_int c.Trace.digest_ns);
+    ]
+
+let json_of_phase_stat (ps : Metrics.phase_stat) =
+  Json.Obj
+    [
+      ("phase", Json.Str (Sof_protocol.Context.phase_name ps.Metrics.ps_phase));
+      ("intervals", Json.num_of_int ps.Metrics.ps_intervals);
+      ("mean_width_ms", Json.Num ps.Metrics.ps_mean_width_ms);
+      ("share", Json.Num ps.Metrics.ps_share);
+      ("msgs_per_batch", Json.Num ps.Metrics.ps_msgs_per_batch);
+      ("senders", Json.num_of_int ps.Metrics.ps_senders);
+      ("wide", Json.Bool ps.Metrics.ps_wide);
+      ("n_to_n", Json.Bool ps.Metrics.ps_n_to_n);
+    ]
+
+let json_of_breakdown (bd : Metrics.breakdown) =
+  Json.Obj
+    [
+      ("protocol", Json.Str bd.Metrics.bd_protocol);
+      ("n", Json.num_of_int bd.Metrics.bd_n);
+      ("f", Json.num_of_int bd.Metrics.bd_f);
+      ("batches", Json.num_of_int bd.Metrics.bd_batches);
+      ("mean_batch_ms", Json.Num bd.Metrics.bd_mean_batch_ms);
+      ("wide_phases", Json.num_of_int bd.Metrics.bd_wide_phases);
+      ("n_to_n_share", Json.Num bd.Metrics.bd_n_to_n_share);
+      ("signs_per_batch", Json.Num bd.Metrics.bd_signs_per_batch);
+      ("verifies_per_batch", Json.Num bd.Metrics.bd_verifies_per_batch);
+      ("crypto", json_of_crypto bd.Metrics.bd_crypto);
+      ( "message_counts",
+        Json.List
+          (List.map
+             (fun (mc : Trace.msg_count) ->
+               Json.Obj
+                 [
+                   ("tag", Json.Str mc.Trace.tag);
+                   ("msgs", Json.num_of_int mc.Trace.msgs);
+                   ("bytes", Json.num_of_int mc.Trace.bytes);
+                 ])
+             bd.Metrics.bd_msg_counts) );
+      ("phases", Json.List (List.map json_of_phase_stat bd.Metrics.bd_phases));
+    ]
+
+(* The critical-path claims the phase breakdown decides mechanically: the
+   reason SC beats BFT in the paper's Section 5 is one fewer all-to-all
+   round and cheaper per-batch authentication. *)
+let phase_verdicts (breakdowns : Metrics.breakdown list) =
+  let find p =
+    List.find_opt
+      (fun (bd : Metrics.breakdown) -> String.equal bd.Metrics.bd_protocol p)
+      breakdowns
+  in
+  match (find "SC", find "BFT") with
+  | Some sc, Some bft ->
+    [
+      ( "critical path: SC has two wide phases, BFT three",
+        sc.Metrics.bd_wide_phases = 2 && bft.Metrics.bd_wide_phases = 3 );
+      ( "critical path: SC n-to-n message share < BFT",
+        sc.Metrics.bd_n_to_n_share < bft.Metrics.bd_n_to_n_share );
+      ( "crypto: SC verifies per batch < BFT",
+        sc.Metrics.bd_verifies_per_batch < bft.Metrics.bd_verifies_per_batch );
+    ]
+  | _ -> []
+
+let json_of_verdicts verdicts =
+  Json.List
+    (List.map
+       (fun (name, pass) ->
+         Json.Obj [ ("name", Json.Str name); ("pass", Json.Bool pass) ])
+       verdicts)
+
+let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ~breakdowns () =
+  let verdicts = Report.shape_check_results fig4_5 @ phase_verdicts breakdowns in
+  Json.Obj
+    [
+      ("schema_version", Json.num_of_int schema_version);
+      ("generator", Json.Str "sof-bench");
+      ("seed", Json.num_of_int (Int64.to_int seed));
+      ("fast", Json.Bool fast);
+      ( "figures",
+        Json.Obj
+          [
+            ("fig4_5", Json.List (List.map json_of_series fig4_5));
+            ( "fig6",
+              match fig6 with
+              | Some series -> Json.List (List.map json_of_failover_series series)
+              | None -> Json.Null );
+            ( "message_counts",
+              match message_counts with
+              | Some rows ->
+                Json.List
+                  (List.map
+                     (fun (label, msgs, bytes) ->
+                       Json.Obj
+                         [
+                           ("protocol", Json.Str label);
+                           ("messages", Json.num_of_int msgs);
+                           ("bytes", Json.num_of_int bytes);
+                         ])
+                     rows)
+              | None -> Json.Null );
+          ] );
+      ("phases", Json.List (List.map json_of_breakdown breakdowns));
+      ("verdicts", json_of_verdicts verdicts);
+    ]

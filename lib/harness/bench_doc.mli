@@ -1,0 +1,42 @@
+(** The versioned, machine-readable benchmark document.
+
+    [sof bench --json PATH], the [bench/] runner and the golden-schema
+    test all build and read the same JSON shape through this module:
+
+    {v
+    { "schema_version": 1,
+      "generator": "sof-bench",
+      "seed": <int>, "fast": <bool>,
+      "figures": {
+        "fig4_5": [ { "protocol", "points": [ { "interval_ms",
+                      "latency_ms" | null, "throughput_rps" } ] } ],
+        "fig6": [ ... ] | null,
+        "message_counts": [ ... ] | null },
+      "phases": [ per-protocol breakdowns, see {!json_of_breakdown} ],
+      "verdicts": [ { "name", "pass" } ] }
+    v} *)
+
+val schema_version : int
+
+val json_of_series : Experiments.series -> Sof_util.Json.t
+val json_of_failover_series : Experiments.failover_series -> Sof_util.Json.t
+val json_of_crypto : Trace.crypto -> Sof_util.Json.t
+val json_of_phase_stat : Metrics.phase_stat -> Sof_util.Json.t
+val json_of_breakdown : Metrics.breakdown -> Sof_util.Json.t
+
+val phase_verdicts : Metrics.breakdown list -> (string * bool) list
+(** The critical-path claims decided mechanically from the breakdowns:
+    SC shows two wide phases to BFT's three, a smaller n-to-n message
+    share, and fewer signature verifications per batch. *)
+
+val make :
+  seed:int64 ->
+  fast:bool ->
+  fig4_5:Experiments.series list ->
+  ?fig6:Experiments.failover_series list ->
+  ?message_counts:(string * int * int) list ->
+  breakdowns:Metrics.breakdown list ->
+  unit ->
+  Sof_util.Json.t
+(** The whole document.  Verdicts combine
+    {!Report.shape_check_results} on [fig4_5] with {!phase_verdicts}. *)

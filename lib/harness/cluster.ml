@@ -56,10 +56,25 @@ let default_spec ~kind ~f =
 
 type proc = Sc of P.Sc.t | Scr of P.Scr.t | Bft of P.Bft.t | Ct of P.Ct.t
 
+(* Per-node accounting for the tracing layer: crypto operations charged
+   through the context, and sends grouped by wire tag.  Mutated from the
+   context wrappers; snapshots leave through [crypto_counts]/[send_counts]
+   as immutable {!Trace} records. *)
+type crypto_ctr = {
+  mutable c_signs : int;
+  mutable c_verifies : int;
+  mutable c_sign_ns : int;
+  mutable c_verify_ns : int;
+  mutable c_digest_bytes : int;
+  mutable c_digest_ns : int;
+}
+
 type node = {
   node_cpu : Cpu.t;
   mutable node_proc : proc option;
   node_machine : Sof_smr.State_machine.t option;
+  node_crypto : crypto_ctr;
+  node_sends : (string, int ref * int ref) Hashtbl.t;  (* tag -> msgs, bytes *)
 }
 
 type t = {
@@ -121,6 +136,31 @@ let machine t i = t.nodes.(i).node_machine
 
 let events t = List.rev t.event_log
 
+let crypto_counts t i =
+  let c = t.nodes.(i).node_crypto in
+  {
+    Trace.signs = c.c_signs;
+    verifies = c.c_verifies;
+    sign_ns = c.c_sign_ns;
+    verify_ns = c.c_verify_ns;
+    digest_bytes = c.c_digest_bytes;
+    digest_ns = c.c_digest_ns;
+  }
+
+let send_counts t i =
+  Hashtbl.fold
+    (fun tag (msgs, bytes) acc ->
+      { Trace.tag; msgs = !msgs; bytes = !bytes } :: acc)
+    t.nodes.(i).node_sends []
+  |> List.sort (fun (a : Trace.msg_count) b -> String.compare a.Trace.tag b.Trace.tag)
+
+let total_send_counts t =
+  Trace.merge_msg_counts
+    (List.init (process_count t) (fun i -> send_counts t i))
+
+let total_crypto_counts t =
+  Trace.total_crypto (List.init (process_count t) (fun i -> crypto_counts t i))
+
 let run t ~until = Engine.run ~until t.engine
 
 let crash t i = Network.crash t.net i
@@ -129,24 +169,53 @@ let crash t i = Network.crash t.net i
 let make_context t i =
   let node = t.nodes.(i) in
   let costs = t.spec.scheme.Scheme.costs in
+  let ctr = node.node_crypto in
   let sign payload =
+    ctr.c_signs <- ctr.c_signs + 1;
+    ctr.c_sign_ns <- ctr.c_sign_ns + costs.Scheme.sign_ns;
     Cpu.extend node.node_cpu (Simtime.ns costs.Scheme.sign_ns);
     Keyring.sign t.keyring ~signer:i payload
   in
   let verify ~signer ~msg ~signature =
+    ctr.c_verifies <- ctr.c_verifies + 1;
+    ctr.c_verify_ns <- ctr.c_verify_ns + costs.Scheme.verify_ns;
     Cpu.extend node.node_cpu (Simtime.ns costs.Scheme.verify_ns);
     Keyring.verify t.keyring ~signer ~msg ~signature
   in
   let digest_charge n =
+    ctr.c_digest_bytes <- ctr.c_digest_bytes + n;
+    ctr.c_digest_ns <- ctr.c_digest_ns + (n * costs.Scheme.digest_ns_per_byte);
     Cpu.extend node.node_cpu (Simtime.ns (n * costs.Scheme.digest_ns_per_byte))
+  in
+  (* SC/SCR reuse the Order body for two distinct phases: the un-endorsed
+     1-to-1 endorse hop and the endorsed 2-to-n dissemination.  The
+     endorsement marker splits them so the phase breakdown can map tags to
+     phases per protocol. *)
+  let count_send env ~copies ~size =
+    let tag =
+      P.Message.body_tag env.P.Message.body
+      ^ (match env.P.Message.endorsement with Some _ -> "+endorsed" | None -> "")
+    in
+    let msgs, bytes =
+      match Hashtbl.find_opt node.node_sends tag with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0, ref 0) in
+        Hashtbl.replace node.node_sends tag cell;
+        cell
+    in
+    msgs := !msgs + copies;
+    bytes := !bytes + (copies * size)
   in
   let send ~dst env =
     let payload = P.Message.encode env in
+    count_send env ~copies:1 ~size:(String.length payload);
     let cost = Cost_model.send_cost t.spec.cost ~size:(String.length payload) in
     Cpu.submit node.node_cpu ~cost (fun () -> transport_send t ~src:i ~dst payload)
   in
   let multicast ~dsts env =
     let payload = P.Message.encode env in
+    count_send env ~copies:(List.length dsts) ~size:(String.length payload);
     let cost = Cost_model.send_cost t.spec.cost ~size:(String.length payload) in
     List.iter
       (fun dst ->
@@ -244,6 +313,16 @@ let build spec =
           node_proc = None;
           node_machine =
             (if spec.attach_machines then Some (spec.machine_factory ()) else None);
+          node_crypto =
+            {
+              c_signs = 0;
+              c_verifies = 0;
+              c_sign_ns = 0;
+              c_verify_ns = 0;
+              c_digest_bytes = 0;
+              c_digest_ns = 0;
+            };
+          node_sends = Hashtbl.create 16;
         })
   in
   let t =

@@ -84,6 +84,22 @@ val events : t -> (Sof_sim.Simtime.t * int * Sof_protocol.Context.event) list
 (** All protocol events so far, in emission order, as
     [(time, process, event)]. *)
 
+val crypto_counts : t -> int -> Trace.crypto
+(** Crypto operations process [i] has charged through its context so far
+    (counts and the simulated nanoseconds the cost table priced them at). *)
+
+val send_counts : t -> int -> Trace.msg_count list
+(** Messages process [i] has sent, grouped by wire tag and sorted by tag.
+    SC/SCR order envelopes carrying an endorsement count under
+    ["order+endorsed"], separating the 1-to-1 endorse hop from the 2-to-n
+    dissemination that reuses the same body. *)
+
+val total_send_counts : t -> Trace.msg_count list
+(** {!send_counts} summed over all processes. *)
+
+val total_crypto_counts : t -> Trace.crypto
+(** {!crypto_counts} summed over all processes. *)
+
 val run : t -> until:Sof_sim.Simtime.t -> unit
 (** Advance the simulation to the given virtual instant. *)
 

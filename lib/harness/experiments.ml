@@ -169,6 +169,26 @@ let fig6 ?(f = 2) ?(targets = [ 15; 30; 45; 60; 75 ]) ?(seed = 11L) ~scheme () =
       { fo_label; fo_points })
     [ ("SC", Cluster.Sc_protocol); ("SCR", Cluster.Scr_protocol) ]
 
+(* ------------------------------------------------- phase breakdown *)
+
+let phase_breakdown_for ~kind ~f ~scheme ~interval_ms ~rate ~seed ~duration =
+  let cluster =
+    Cluster.build
+      (failfree_spec ~kind ~f ~scheme ~interval:(Simtime.ms interval_ms) ~seed)
+  in
+  Workload.install cluster (Workload.make ~rate_per_sec:rate ()) ~duration;
+  (* Drain past the workload's end so in-flight batches commit and close
+     their spans; the reduction drops unbalanced spans, so the drain keeps
+     the last batches from vanishing from the breakdown. *)
+  Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 2));
+  Metrics.phase_breakdown cluster
+
+let phase_breakdowns ?(f = 2) ?(interval_ms = 100) ?(rate = 400.0) ?(seed = 7L)
+    ?(duration = Simtime.sec 10) ~scheme () =
+  List.map
+    (fun kind -> phase_breakdown_for ~kind ~f ~scheme ~interval_ms ~rate ~seed ~duration)
+    [ Cluster.Ct_protocol; Cluster.Sc_protocol; Cluster.Bft_protocol ]
+
 (* ----------------------------------------- saturation threshold finder *)
 
 let saturation_threshold ?(f = 2) ?(rate = 400.0) ?(seed = 7L) ~scheme kind =

@@ -50,6 +50,32 @@ val fig6 :
     uncommitted), so the BackLog carries [target] real uncommitted orders;
     the measured encoded size is reported alongside. *)
 
+val phase_breakdown_for :
+  kind:Cluster.kind ->
+  f:int ->
+  scheme:Sof_crypto.Scheme.t ->
+  interval_ms:int ->
+  rate:float ->
+  seed:int64 ->
+  duration:Sof_sim.Simtime.t ->
+  Metrics.breakdown
+(** One fail-free run of [kind] reduced to its per-phase critical path
+    (see {!Metrics.phase_breakdown}).  The cluster runs two seconds past
+    the workload so trailing batches commit and close their spans. *)
+
+val phase_breakdowns :
+  ?f:int ->
+  ?interval_ms:int ->
+  ?rate:float ->
+  ?seed:int64 ->
+  ?duration:Sof_sim.Simtime.t ->
+  scheme:Sof_crypto.Scheme.t ->
+  unit ->
+  Metrics.breakdown list
+(** {!phase_breakdown_for} over CT, SC and BFT — the protocols of
+    Figures 4/5 — with the figures' defaults (f=2, 100 ms batching,
+    400 req/s, 10 s workload). *)
+
 val saturation_threshold :
   ?f:int ->
   ?rate:float ->

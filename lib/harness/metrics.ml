@@ -47,7 +47,8 @@ let analyze cluster ~warmup ~window =
       | P.Context.Coordinator_installed _ | P.Context.View_installed _ ->
         if !first_install = None then first_install := Some at
       | P.Context.Fail_signal_observed _ | P.Context.Pair_recovered _
-      | P.Context.Value_fault_detected _ ->
+      | P.Context.Value_fault_detected _ | P.Context.Span_open _
+      | P.Context.Span_close _ ->
         ())
     events;
   let latencies = Statistics.create () in
@@ -79,6 +80,154 @@ let analyze cluster ~warmup ~window =
     messages_sent = stats.Sof_net.Network.messages_sent;
     bytes_sent = stats.Sof_net.Network.bytes_sent;
     failover_ms;
+  }
+
+(* ------------------------------------------------ phase breakdown *)
+
+type phase_stat = {
+  ps_phase : P.Context.phase;
+  ps_intervals : int;
+  ps_mean_width_ms : float;
+  ps_share : float;
+  ps_msgs_per_batch : float;
+  ps_senders : int;
+  ps_wide : bool;
+  ps_n_to_n : bool;
+}
+
+type breakdown = {
+  bd_protocol : string;
+  bd_n : int;
+  bd_f : int;
+  bd_batches : int;
+  bd_mean_batch_ms : float;
+  bd_phases : phase_stat list;
+  bd_wide_phases : int;
+  bd_n_to_n_share : float;
+  bd_signs_per_batch : float;
+  bd_verifies_per_batch : float;
+  bd_crypto : Trace.crypto;
+  bd_msg_counts : Trace.msg_count list;
+}
+
+(* The fail-free critical path of each protocol, in order, with the wire
+   tags that carry it.  SC/SCR reuse the Order body for both the 1-to-1
+   endorse hop (un-endorsed) and the 2-to-n dissemination (endorsed), so
+   the endorsement marker in the tag splits the two. *)
+let critical_path kind =
+  match kind with
+  | Cluster.Sc_protocol | Cluster.Scr_protocol ->
+    [
+      (P.Context.Endorse_phase, [ "order" ]);
+      (P.Context.Order_phase, [ "order+endorsed" ]);
+      (P.Context.Ack_phase, [ "ack" ]);
+    ]
+  | Cluster.Bft_protocol ->
+    [
+      (P.Context.Pre_prepare_phase, [ "pre_prepare" ]);
+      (P.Context.Prepare_phase, [ "prepare" ]);
+      (P.Context.Commit_phase, [ "commit" ]);
+    ]
+  | Cluster.Ct_protocol ->
+    [ (P.Context.Order_phase, [ "order" ]); (P.Context.Ack_phase, [ "ack" ]) ]
+
+let protocol_name = function
+  | Cluster.Sc_protocol -> "SC"
+  | Cluster.Scr_protocol -> "SCR"
+  | Cluster.Bft_protocol -> "BFT"
+  | Cluster.Ct_protocol -> "CT"
+
+let phase_breakdown cluster =
+  let n = Cluster.process_count cluster in
+  let spec = Cluster.spec cluster in
+  let rows = Cluster.events cluster in
+  let intervals = Trace.intervals rows in
+  let same_phase a b =
+    String.equal (P.Context.phase_name a) (P.Context.phase_name b)
+  in
+  let of_phase phase =
+    List.filter (fun iv -> same_phase iv.Trace.i_phase phase) intervals
+  in
+  let mean_width ivs =
+    match ivs with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun acc iv -> acc +. Trace.width_ms iv) 0.0 ivs
+      /. float_of_int (List.length ivs)
+  in
+  let batch_ivs = of_phase P.Context.Batch_phase in
+  let batches = List.length batch_ivs in
+  let mean_batch_ms = mean_width batch_ivs in
+  let per_batch x =
+    if batches = 0 then 0.0 else float_of_int x /. float_of_int batches
+  in
+  let tag_msgs counts tags =
+    List.fold_left
+      (fun acc (mc : Trace.msg_count) ->
+        if List.exists (String.equal mc.Trace.tag) tags then acc + mc.Trace.msgs
+        else acc)
+      0 counts
+  in
+  let totals = Cluster.total_send_counts cluster in
+  let phases =
+    List.map
+      (fun (phase, tags) ->
+        let ivs = of_phase phase in
+        let mean = mean_width ivs in
+        let msgs = tag_msgs totals tags in
+        let senders =
+          let count = ref 0 in
+          for i = 0 to n - 1 do
+            if tag_msgs (Cluster.send_counts cluster i) tags > 0 then incr count
+          done;
+          !count
+        in
+        let msgs_per_batch = per_batch msgs in
+        (* "Wide": the phase puts a message on the wire for (nearly) every
+           process each batch.  "n-to-n": additionally, (nearly) every
+           process is a sender — the all-to-all exchanges the paper's
+           critical-path argument turns on. *)
+        let wide = msgs_per_batch >= float_of_int (n - 1) in
+        let n_to_n = wide && senders >= n - 1 in
+        {
+          ps_phase = phase;
+          ps_intervals = List.length ivs;
+          ps_mean_width_ms = mean;
+          ps_share = (if mean_batch_ms > 0.0 then mean /. mean_batch_ms else 0.0);
+          ps_msgs_per_batch = msgs_per_batch;
+          ps_senders = senders;
+          ps_wide = wide;
+          ps_n_to_n = n_to_n;
+        })
+      (critical_path spec.Cluster.kind)
+  in
+  let total_msgs =
+    List.fold_left (fun acc (mc : Trace.msg_count) -> acc + mc.Trace.msgs) 0 totals
+  in
+  let n_to_n_msgs =
+    List.fold_left
+      (fun acc ps ->
+        if ps.ps_n_to_n then
+          acc + int_of_float (ps.ps_msgs_per_batch *. float_of_int batches)
+        else acc)
+      0 phases
+  in
+  let crypto = Cluster.total_crypto_counts cluster in
+  {
+    bd_protocol = protocol_name spec.Cluster.kind;
+    bd_n = n;
+    bd_f = spec.Cluster.f;
+    bd_batches = batches;
+    bd_mean_batch_ms = mean_batch_ms;
+    bd_phases = phases;
+    bd_wide_phases = List.length (List.filter (fun ps -> ps.ps_wide) phases);
+    bd_n_to_n_share =
+      (if total_msgs = 0 then 0.0
+       else float_of_int n_to_n_msgs /. float_of_int total_msgs);
+    bd_signs_per_batch = per_batch crypto.Trace.signs;
+    bd_verifies_per_batch = per_batch crypto.Trace.verifies;
+    bd_crypto = crypto;
+    bd_msg_counts = totals;
   }
 
 let pp_point fmt p =

@@ -29,3 +29,45 @@ val analyze :
     the fail-free runs). *)
 
 val pp_point : Format.formatter -> point -> unit
+
+(** {2 Phase breakdown}
+
+    Reduction of the tracing layer's spans and counters into a per-phase
+    view of a protocol's fail-free critical path — the shape the paper's
+    Section 5 argument turns on: SC commits after a 1-to-1 endorse hop, a
+    2-to-n dissemination and one all-to-all ack exchange, where BFT needs
+    a 1-to-n pre-prepare and {e two} all-to-all exchanges. *)
+
+type phase_stat = {
+  ps_phase : Sof_protocol.Context.phase;
+  ps_intervals : int;  (** sequences with a balanced cluster-wide span *)
+  ps_mean_width_ms : float;
+      (** mean cluster-wide extent: earliest open to latest close *)
+  ps_share : float;
+      (** [ps_mean_width_ms] over the mean batch-span width; phases overlap,
+          so shares need not sum to 1 *)
+  ps_msgs_per_batch : float;
+  ps_senders : int;  (** processes that sent at least one phase message *)
+  ps_wide : bool;  (** at least n-1 messages per batch *)
+  ps_n_to_n : bool;  (** wide, and at least n-1 distinct senders *)
+}
+
+type breakdown = {
+  bd_protocol : string;
+  bd_n : int;
+  bd_f : int;
+  bd_batches : int;  (** sequences with a balanced batch span *)
+  bd_mean_batch_ms : float;
+  bd_phases : phase_stat list;  (** critical path, in protocol order *)
+  bd_wide_phases : int;
+  bd_n_to_n_share : float;
+      (** fraction of all sent messages carried by n-to-n phases *)
+  bd_signs_per_batch : float;
+  bd_verifies_per_batch : float;
+  bd_crypto : Trace.crypto;  (** whole-run totals across processes *)
+  bd_msg_counts : Trace.msg_count list;  (** whole-run totals, by tag *)
+}
+
+val phase_breakdown : Cluster.t -> breakdown
+(** Whole-run reduction (no warmup window): spans from {!Cluster.events},
+    message and crypto counters from the cluster's per-node accounting. *)

@@ -67,8 +67,10 @@ let print_message_counts rows =
   pf "%-10s %14s %14s\n" "protocol" "messages" "bytes";
   List.iter (fun (label, m, b) -> pf "%-10s %14d %14d\n" label m b) rows
 
-(* Qualitative shape assertions from the paper's Section 5. *)
-let print_shape_checks (series : Experiments.series list) =
+(* Qualitative shape assertions from the paper's Section 5, as data: the
+   plain-text report and the JSON benchmark document render the same
+   verdicts. *)
+let shape_check_results (series : Experiments.series list) =
   let find label =
     List.find_opt (fun s -> s.Experiments.label = label) series
   in
@@ -85,17 +87,10 @@ let print_shape_checks (series : Experiments.series list) =
     if vals = [] then None
     else Some (List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals))
   in
-  let check name ok =
-    pf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name
-  in
-  pf "\nShape checks (paper section 5 claims)\n";
-  pf "-------------------------------------\n";
   match (find "CT", find "SC", find "BFT") with
   | Some ct, Some sc, Some bft -> begin
     match (steady_latency ct, steady_latency sc, steady_latency bft) with
     | Some lct, Some lsc, Some lbft ->
-      check "steady-state latency: CT < SC" (lct < lsc);
-      check "steady-state latency: SC < BFT" (lsc < lbft);
       let worst s =
         List.fold_left
           (fun acc (p : Experiments.series_point) ->
@@ -104,8 +99,6 @@ let print_shape_checks (series : Experiments.series list) =
             | None -> Float.max acc 1e9)
           0.0 s.Experiments.points
       in
-      check "small intervals push SC/BFT toward saturation"
-        (worst sc > (2.0 *. lsc) || worst bft > (2.0 *. lbft));
       let peak s =
         List.fold_left
           (fun acc (p : Experiments.series_point) -> Float.max acc p.Experiments.throughput_rps)
@@ -121,7 +114,55 @@ let print_shape_checks (series : Experiments.series list) =
         | p :: _ -> p.Experiments.throughput_rps
         | [] -> 0.0
       in
-      check "throughput grows as the interval shrinks (SC)" (peak sc > at_largest sc *. 1.5)
-    | _ -> pf "  [SKIP] missing latency data\n"
+      [
+        ("steady-state latency: CT < SC", lct < lsc);
+        ("steady-state latency: SC < BFT", lsc < lbft);
+        ( "small intervals push SC/BFT toward saturation",
+          worst sc > (2.0 *. lsc) || worst bft > (2.0 *. lbft) );
+        ( "throughput grows as the interval shrinks (SC)",
+          peak sc > at_largest sc *. 1.5 );
+      ]
+    | _ -> []
   end
-  | _ -> pf "  [SKIP] missing series\n"
+  | _ -> []
+
+let print_shape_checks (series : Experiments.series list) =
+  pf "\nShape checks (paper section 5 claims)\n";
+  pf "-------------------------------------\n";
+  match shape_check_results series with
+  | [] -> pf "  [SKIP] missing series or latency data\n"
+  | checks ->
+    List.iter
+      (fun (name, ok) -> pf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name)
+      checks
+
+(* ------------------------------------------------- phase breakdown *)
+
+let print_phase_breakdowns (breakdowns : Metrics.breakdown list) =
+  pf "\nPhase breakdown (fail-free critical path)\n";
+  pf "-----------------------------------------\n";
+  List.iter
+    (fun (bd : Metrics.breakdown) ->
+      pf "%s  n=%d f=%d  %d batches, batch span %.2fms, %d wide phase%s, n-to-n share %.2f\n"
+        bd.Metrics.bd_protocol bd.Metrics.bd_n bd.Metrics.bd_f
+        bd.Metrics.bd_batches bd.Metrics.bd_mean_batch_ms
+        bd.Metrics.bd_wide_phases
+        (if bd.Metrics.bd_wide_phases = 1 then "" else "s")
+        bd.Metrics.bd_n_to_n_share;
+      pf "  crypto/batch: %.1f signs, %.1f verifies\n"
+        bd.Metrics.bd_signs_per_batch bd.Metrics.bd_verifies_per_batch;
+      pf "  %-12s %10s %9s %12s %8s %6s %6s\n" "phase" "width(ms)" "share"
+        "msgs/batch" "senders" "wide" "n-n";
+      List.iter
+        (fun (ps : Metrics.phase_stat) ->
+          pf "  %-12s %10.3f %9.2f %12.1f %8d %6s %6s\n"
+            (Sof_protocol.Context.phase_name ps.Metrics.ps_phase)
+            ps.Metrics.ps_mean_width_ms ps.Metrics.ps_share
+            ps.Metrics.ps_msgs_per_batch ps.Metrics.ps_senders
+            (if ps.Metrics.ps_wide then "yes" else "no")
+            (if ps.Metrics.ps_n_to_n then "yes" else "no"))
+        bd.Metrics.bd_phases;
+      pf "\n")
+    breakdowns
+
+let print_json j = pf "%s\n" (Sof_util.Json.to_string j)

@@ -19,6 +19,18 @@ val print_fig6 : title:string -> Experiments.failover_series list -> unit
 
 val print_message_counts : (string * int * int) list -> unit
 
+val shape_check_results : Experiments.series list -> (string * bool) list
+(** The paper's qualitative claims evaluated against the series (CT lowest,
+    SC below BFT, saturation ordering), as [(claim, pass)] rows; empty when
+    a protocol series or its latency data is missing.  The plain-text
+    report and the JSON benchmark document both render these. *)
+
 val print_shape_checks : Experiments.series list -> unit
-(** Evaluates the paper's qualitative claims against the series (CT lowest,
-    SC below BFT, saturation ordering) and prints PASS/FAIL lines. *)
+(** {!shape_check_results} as PASS/FAIL lines. *)
+
+val print_phase_breakdowns : Metrics.breakdown list -> unit
+(** One block per protocol: batch-span width, wide-phase count, n-to-n
+    share, per-batch crypto ops, then a per-phase table. *)
+
+val print_json : Sof_util.Json.t -> unit
+(** The JSON document, compact, on one line through the report sink. *)

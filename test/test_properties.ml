@@ -182,6 +182,90 @@ let test_census_bft_has_three_phases () =
       Alcotest.(check bool) (phase ^ " present") true (List.mem phase tags))
     [ "pre_prepare"; "prepare"; "commit" ]
 
+(* -------------------------------------------------------------- tracing *)
+
+(* Fail-free runs across all four protocols: the span stream the tracing
+   layer extracts must be structurally sound for any seed.  The workload
+   ends two seconds before the run so every batch commits and closes its
+   spans. *)
+let failfree_cluster kind ~config_f ~seed ~interval_ms =
+  let spec =
+    {
+      (Cluster.default_spec ~kind ~f:config_f) with
+      Cluster.batching_interval = ms interval_ms;
+      pair_delay_estimate = sec 30;
+      heartbeat_interval = sec 3600;
+      seed;
+    }
+  in
+  let cluster = Cluster.build spec in
+  H.Workload.install cluster (H.Workload.make ~rate_per_sec:150.0 ()) ~duration:(sec 2);
+  Cluster.run cluster ~until:(sec 4);
+  cluster
+
+let kind_of_int = function
+  | 0 -> Cluster.Sc_protocol
+  | 1 -> Cluster.Scr_protocol
+  | 2 -> Cluster.Bft_protocol
+  | _ -> Cluster.Ct_protocol
+
+let kind_name = function
+  | 0 -> "sc"
+  | 1 -> "scr"
+  | 2 -> "bft"
+  | _ -> "ct"
+
+let gen_trace_case =
+  QCheck.Gen.(
+    map
+      (fun (k, config_f, seed, interval) ->
+        (k, config_f, Int64.of_int (seed + 1), interval))
+      (tup4 (int_bound 3) (int_range 1 2) (int_bound 5_000) (int_range 40 150)))
+
+let print_trace_case (k, config_f, seed, interval) =
+  Printf.sprintf "{kind=%s; f=%d; seed=%Ld; interval=%dms}" (kind_name k) config_f
+    seed interval
+
+let prop_trace_spans_well_formed =
+  QCheck.Test.make
+    ~name:"Trace: spans balance, stay monotone and nest, any protocol/seed"
+    ~count:12
+    (QCheck.make ~print:print_trace_case gen_trace_case)
+    (fun (k, config_f, seed, interval) ->
+      let cluster =
+        failfree_cluster (kind_of_int k) ~config_f ~seed ~interval_ms:interval
+      in
+      let rows = Cluster.events cluster in
+      let spans = H.Trace.spans rows in
+      H.Trace.balanced rows && H.Trace.monotone rows && H.Trace.nested rows
+      && spans <> []
+      (* every span closes no earlier than it opens *)
+      && List.for_all
+           (fun (s : H.Trace.span) ->
+             Simtime.compare s.H.Trace.opened_at s.H.Trace.closed_at <= 0)
+           spans)
+
+let prop_trace_crypto_accounting =
+  QCheck.Test.make
+    ~name:"Trace: crypto totals = per-process sums priced by the cost table"
+    ~count:8
+    (QCheck.make ~print:print_trace_case gen_trace_case)
+    (fun (k, config_f, seed, interval) ->
+      let cluster =
+        failfree_cluster (kind_of_int k) ~config_f ~seed ~interval_ms:interval
+      in
+      let n = Cluster.process_count cluster in
+      let per = List.init n (Cluster.crypto_counts cluster) in
+      let total = H.Trace.total_crypto per in
+      let costs = (Cluster.spec cluster).Cluster.scheme.Sof_crypto.Scheme.costs in
+      total = Cluster.total_crypto_counts cluster
+      && total.H.Trace.sign_ns
+         = total.H.Trace.signs * costs.Sof_crypto.Scheme.sign_ns
+      && total.H.Trace.verify_ns
+         = total.H.Trace.verifies * costs.Sof_crypto.Scheme.verify_ns
+      && total.H.Trace.digest_ns
+         = total.H.Trace.digest_bytes * costs.Sof_crypto.Scheme.digest_ns_per_byte)
+
 let suite =
   [
     ( "properties",
@@ -189,6 +273,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_sc_safety_under_faults;
         QCheck_alcotest.to_alcotest prop_scr_safety_under_faults;
         QCheck_alcotest.to_alcotest prop_sc_interval_insensitive_safety;
+        QCheck_alcotest.to_alcotest prop_trace_spans_well_formed;
+        QCheck_alcotest.to_alcotest prop_trace_crypto_accounting;
       ] );
     ( "harness.census",
       [

@@ -1,0 +1,49 @@
+(* Chaos regression seeds, promoted into `dune runtest`.
+
+   Each seed replays one full Nemesis campaign — lossy substrate,
+   partitions, surges, plus a crash or a seeded Byzantine fault — and the
+   run must satisfy every protocol invariant.  The campaigns are
+   deterministic in (protocol, byz, seed), so a failure here is a
+   replayable bug: `sof chaos --protocol <p> [--byz] --seed <n>`
+   reproduces it exactly. *)
+
+module Simtime = Sof_sim.Simtime
+module H = Sof_harness
+
+let check_campaign ~kind ~byz ~seed () =
+  let report =
+    H.Nemesis.run ~byz ~kind ~f:1 ~seed ~duration:(Simtime.sec 10) ()
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "invariant %s (seed %Ld)" r.H.Invariants.name seed)
+        true r.H.Invariants.pass)
+    report.H.Nemesis.invariants;
+  Alcotest.(check bool)
+    (Printf.sprintf "campaign verdict (seed %Ld)" seed)
+    true report.H.Nemesis.passed
+
+let case ~kind ~byz ~proto seed =
+  Alcotest.test_case
+    (Printf.sprintf "%s%s seed %Ld" proto (if byz then " --byz" else "") seed)
+    `Slow
+    (check_campaign ~kind ~byz ~seed)
+
+let suite =
+  [
+    ( "regression.chaos",
+      List.map
+        (case ~kind:H.Cluster.Ct_protocol ~byz:true ~proto:"ct")
+        [ 1L; 2L; 3L; 4L; 5L; 6L; 7L; 42L ]
+      @ List.map
+          (case ~kind:H.Cluster.Ct_protocol ~byz:false ~proto:"ct")
+          [ 5L; 42L; 99L ]
+      (* seed 2 draws corrupt_digest at the coordinator primary: a
+         value-domain fault, hence a fail-signal and an SC install
+         fail-over inside the campaign. *)
+      @ [ case ~kind:H.Cluster.Sc_protocol ~byz:true ~proto:"sc" 2L ]
+      (* seed 1 mutes the coordinator primary mid-run, forcing an SCR
+         view-change fail-over. *)
+      @ [ case ~kind:H.Cluster.Scr_protocol ~byz:true ~proto:"scr" 1L ] );
+  ]

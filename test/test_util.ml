@@ -263,6 +263,132 @@ let prop_stats_mean_matches_naive =
       let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
       abs_float (Statistics.mean s -. naive) < 1e-6)
 
+(* ----------------------------------------------- Statistics edge cases *)
+
+let test_stats_empty_totals () =
+  let s = Statistics.create () in
+  check_int "count" 0 (Statistics.count s);
+  check_float "mean" 0.0 (Statistics.mean s);
+  check_float "variance" 0.0 (Statistics.variance s);
+  check_float "stddev" 0.0 (Statistics.stddev s);
+  Alcotest.check_raises "max" (Invalid_argument "Statistics.max: empty") (fun () ->
+      ignore (Statistics.max s));
+  Alcotest.check_raises "percentile" (Invalid_argument "Statistics.percentile: empty")
+    (fun () -> ignore (Statistics.percentile s 50.0));
+  let raised =
+    match Statistics.summarize s with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "summarize raises" true raised
+
+let test_stats_single_sample () =
+  let s = Statistics.create () in
+  Statistics.add s 42.0;
+  check_int "count" 1 (Statistics.count s);
+  check_float "mean" 42.0 (Statistics.mean s);
+  check_float "variance" 0.0 (Statistics.variance s);
+  check_float "min" 42.0 (Statistics.min s);
+  check_float "max" 42.0 (Statistics.max s);
+  check_float "median" 42.0 (Statistics.median s);
+  let sum = Statistics.summarize s in
+  check_float "p95 of one" 42.0 sum.Statistics.p95;
+  check_float "p99 of one" 42.0 sum.Statistics.p99
+
+let test_stats_duplicate_heavy_quantiles () =
+  (* A sample dominated by one repeated value: every interpolated quantile
+     inside the plateau is the plateau value, and extremes stay exact. *)
+  let s = Statistics.create () in
+  for _ = 1 to 96 do
+    Statistics.add s 5.0
+  done;
+  List.iter (Statistics.add s) [ 1.0; 2.0; 8.0; 9.0 ];
+  check_float "median on plateau" 5.0 (Statistics.median s);
+  check_float "p25 on plateau" 5.0 (Statistics.percentile s 25.0);
+  check_float "p90 on plateau" 5.0 (Statistics.percentile s 90.0);
+  check_float "p0 is min" 1.0 (Statistics.percentile s 0.0);
+  check_float "p100 is max" 9.0 (Statistics.percentile s 100.0);
+  Alcotest.check_raises "out of range" (Invalid_argument "Statistics.percentile: out of range")
+    (fun () -> ignore (Statistics.percentile s 101.0))
+
+(* ------------------------------------------------------------------ Json *)
+
+let test_json_writer () =
+  let j =
+    Json.Obj
+      [
+        ("int", Json.num_of_int 3);
+        ("float", Json.Num 2.5);
+        ("str", Json.Str "a\"b\\c\n\t");
+        ("ctrl", Json.Str "\001");
+        ("null", Json.Null);
+        ("nan", Json.Num Float.nan);
+        ("list", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"int\":3,\"float\":2.5,\"str\":\"a\\\"b\\\\c\\n\\t\",\"ctrl\":\"\\u0001\",\"null\":null,\"nan\":null,\"list\":[true,false],\"empty\":{}}"
+    (Json.to_string j)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun input ->
+      let raised =
+        match Json.of_string input with
+        | _ -> false
+        | exception Json.Parse_error _ -> true
+      in
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" input) true raised)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "nulll" ]
+
+let test_json_accessors () =
+  let j = Json.of_string "{\"a\": {\"b\": [1, 2.5, \"x\", true, null]}, \"n\": -3}" in
+  Alcotest.(check (option int)) "path int"
+    (Some (-3))
+    (Option.bind (Json.path [ "n" ] j) Json.to_int);
+  let items =
+    match Option.bind (Json.path [ "a"; "b" ] j) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "path a.b missing"
+  in
+  Alcotest.(check int) "list length" 5 (List.length items);
+  Alcotest.(check (option string)) "str element" (Some "x") (Json.to_str (List.nth items 2));
+  Alcotest.(check (option bool)) "bool element" (Some true) (Json.to_bool (List.nth items 3));
+  Alcotest.(check (option int)) "non-integer num" None (Json.to_int (List.nth items 1));
+  Alcotest.(check bool) "missing member" true (Json.member "zzz" j = None)
+
+let prop_json_roundtrip =
+  (* Any tree built from the constructors survives write -> parse intact
+     (integers stay integers; strings keep every byte we emit escaped). *)
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.num_of_int i) (int_range (-1_000_000) 1_000_000);
+                map (fun s -> Json.Str s) (string_size ~gen:printable (0 -- 12));
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2)));
+                map
+                  (fun kvs -> Json.Obj (List.mapi (fun i (k, v) -> (Printf.sprintf "%s%d" k i, v)) kvs))
+                  (list_size (0 -- 4)
+                     (pair (string_size ~gen:printable (1 -- 6)) (self (n / 2))));
+              ]))
+  in
+  QCheck.Test.make ~name:"Json: to_string/of_string roundtrip" ~count:300
+    (QCheck.make ~print:Json.to_string gen)
+    (fun j -> Json.of_string (Json.to_string j) = j)
+
 let suite =
   [
     ( "util.rng",
@@ -313,5 +439,16 @@ let suite =
         Alcotest.test_case "empty" `Quick test_stats_empty;
         Alcotest.test_case "summary" `Quick test_stats_summary;
         QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
+        Alcotest.test_case "empty totals" `Quick test_stats_empty_totals;
+        Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+        Alcotest.test_case "duplicate-heavy quantiles" `Quick
+          test_stats_duplicate_heavy_quantiles;
+      ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "writer" `Quick test_json_writer;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
       ] );
   ]
