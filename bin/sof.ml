@@ -181,8 +181,12 @@ let bench_cmd =
     in
     let message_counts = H.Experiments.message_counts ~f () in
     let fig6 = if fast then None else Some (H.Experiments.fig6 ~f ~seed ~scheme ()) in
+    (* The recovery section measures a vetted seeded campaign, not the
+       bench seed: its point is the cost of a recovery that happens. *)
+    let recovery = H.Experiments.recovery_costs ~f () in
     let doc =
-      H.Bench_doc.make ~seed ~fast ~fig4_5 ?fig6 ~message_counts ~breakdowns ()
+      H.Bench_doc.make ~seed ~fast ~fig4_5 ?fig6 ~message_counts ~recovery
+        ~breakdowns ()
     in
     H.Report.print_fig4
       ~title:(Printf.sprintf "bench: order latency (ms), f=%d, %s" f scheme.Scheme.name)
@@ -192,6 +196,7 @@ let bench_cmd =
       fig4_5;
     H.Report.print_shape_checks fig4_5;
     H.Report.print_phase_breakdowns breakdowns;
+    H.Report.print_recovery_costs recovery;
     List.iter
       (fun (name, pass) ->
         Format.printf "  [%s] %s@." (if pass then "PASS" else "FAIL") name)
@@ -330,23 +335,45 @@ let census_cmd =
 (* --------------------------------------------------------------- chaos *)
 
 let chaos_cmd =
-  let chaos protocol f seed duration_s byz =
-    let report =
-      H.Nemesis.run ~byz ~kind:protocol ~f ~seed ~duration:(Simtime.sec duration_s) ()
-    in
-    Format.printf "%a" H.Nemesis.pp_report report;
-    if report.H.Nemesis.passed then `Ok ()
-    else begin
-      (* One line with everything CI needs to reproduce and triage. *)
-      let failing =
-        List.filter_map
-          (fun r -> if r.H.Invariants.pass then None else Some r.H.Invariants.name)
-          report.H.Nemesis.invariants
+  let chaos protocol f seed duration_s byz restart long =
+    if long then begin
+      let report =
+        H.Nemesis.long_run ~kind:protocol ~f ~seed
+          ~duration:(Simtime.sec duration_s) ()
       in
-      `Error
-        ( false,
-          Printf.sprintf "chaos FAIL seed=%Ld invariant=%s" seed
-            (String.concat "," failing) )
+      Format.printf "%a" H.Nemesis.pp_long_report report;
+      if report.H.Nemesis.lr_passed then `Ok ()
+      else begin
+        let failing =
+          List.filter_map
+            (fun r -> if r.H.Invariants.pass then None else Some r.H.Invariants.name)
+            report.H.Nemesis.lr_invariants
+        in
+        `Error
+          ( false,
+            Printf.sprintf "chaos FAIL seed=%Ld invariant=%s" seed
+              (String.concat "," failing) )
+      end
+    end
+    else begin
+      let report =
+        H.Nemesis.run ~byz ~restart ~kind:protocol ~f ~seed
+          ~duration:(Simtime.sec duration_s) ()
+      in
+      Format.printf "%a" H.Nemesis.pp_report report;
+      if report.H.Nemesis.passed then `Ok ()
+      else begin
+        (* One line with everything CI needs to reproduce and triage. *)
+        let failing =
+          List.filter_map
+            (fun r -> if r.H.Invariants.pass then None else Some r.H.Invariants.name)
+            report.H.Nemesis.invariants
+        in
+        `Error
+          ( false,
+            Printf.sprintf "chaos FAIL seed=%Ld invariant=%s" seed
+              (String.concat "," failing) )
+      end
     end
   in
   let f_param =
@@ -364,13 +391,35 @@ let chaos_cmd =
              (equivocation, fail-signal abuse, stale replay, wire corruption, \
              …) aimed at the initial coordinator pair.")
   in
+  let restart =
+    Arg.(
+      value & flag
+      & info [ "restart" ]
+          ~doc:
+            "Bring the campaign's crash target back mid-run with empty \
+             volatile state; it must rejoin through a certified state \
+             transfer.  Turns on checkpointing (interval 8) and the \
+             checkpoint-agreement, bounded-log and recovery-liveness \
+             invariants.  Ignored with $(b,--byz).")
+  in
+  let long =
+    Arg.(
+      value & flag
+      & info [ "long" ]
+          ~doc:
+            "Fail-free endurance run instead of a fault campaign: sustained \
+             load over many checkpoint intervals, asserting that the \
+             retained order log stays bounded by truncation while the total \
+             order grows.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded Nemesis fault campaign (lossy links, partitions, crash, \
           surge) over the reliable channel and check protocol invariants.  The \
           same seed reproduces the same campaign.")
-    Term.(ret (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz))
+    Term.(
+      ret (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz $ restart $ long))
 
 (* ---------------------------------------------------------------- fuzz *)
 

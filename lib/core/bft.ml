@@ -10,13 +10,16 @@ type config = {
   batch_size_limit : int;
   digest : Sof_crypto.Digest_alg.t;
   view_change_timeout : Simtime.t;
+  checkpoint_interval : int;
 }
 
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
     ?(digest = Sof_crypto.Digest_alg.MD5) ?(view_change_timeout = Simtime.sec 2)
-    ~f () =
+    ?(checkpoint_interval = 0) ~f () =
   if f < 1 then raise (Config.Invalid_config "Bft.make_config: f must be at least 1");
-  { f; batching_interval; batch_size_limit; digest; view_change_timeout }
+  if checkpoint_interval < 0 then
+    raise (Config.Invalid_config "Bft.make_config: checkpoint_interval must be non-negative");
+  { f; batching_interval; batch_size_limit; digest; view_change_timeout; checkpoint_interval }
 
 let process_count config = (3 * config.f) + 1
 
@@ -58,6 +61,12 @@ type t = {
   mutable view_changes : (int, Int_set.t ref * Message.order_info list ref) Hashtbl.t;
   mutable changing_view : bool;
   mutable vc_span : int option;  (* open view-change trace span *)
+  rcv : Recovery.state;
+  mutable recent_delivered : (int * Request.t list) list;
+      (* Delivered batches retained to serve state transfer (newest first);
+         pruned one interval behind the stable checkpoint.  Only maintained
+         when checkpointing is on. *)
+  mutable fetch_timer : Context.timer option;
 }
 
 let id t = t.ctx.Context.id
@@ -121,6 +130,76 @@ let get_order t o =
 let span_open t phase seq = t.ctx.Context.emit (Context.Span_open { phase; seq })
 let span_close t phase seq = t.ctx.Context.emit (Context.Span_close { phase; seq })
 
+(* ------------------------------------------------ checkpointing (BFT) *)
+(* PBFT-style stable checkpoints: every process signs and multicasts its
+   state digest at each boundary; 2f+1 matching signatures certify it. *)
+
+let send_one t ~dst env = if can_transmit t then t.ctx.Context.send ~dst env
+
+let log_length t = Hashtbl.length t.orders
+
+let stable_checkpoint_seq t = Recovery.stable_seq t.rcv
+
+let ckpt_quorum t = (2 * t.config.f) + 1
+
+let ckpt_scheme t =
+  Recovery.Quorum_signed
+    { quorum = ckpt_quorum t; member_ok = (fun p -> p >= 0 && p < n t) }
+
+let truncate t upto =
+  let stale = Hashtbl.fold (fun o _ acc -> if o <= upto then o :: acc else acc) t.orders [] in
+  List.iter (Hashtbl.remove t.orders) stale;
+  (* Keep one extra interval of delivered keys so a primary elected late that
+     re-orders a just-delivered request is still deduplicated. *)
+  let keep_above = upto - t.config.checkpoint_interval in
+  let dropped, kept = List.partition (fun (o, _) -> o <= keep_above) t.recent_delivered in
+  List.iter
+    (fun (_, requests) ->
+      List.iter
+        (fun (req : Request.t) ->
+          t.delivered_keys <- Key_set.remove req.Request.key t.delivered_keys;
+          t.ordered_keys <- Key_set.remove req.Request.key t.ordered_keys)
+        requests)
+    dropped;
+  t.recent_delivered <- kept;
+  t.ctx.Context.emit (Context.Log_truncated { upto; retained = Hashtbl.length t.orders })
+
+let maybe_stabilize t ~seq ~digest =
+  if
+    seq > Recovery.stable_seq t.rcv
+    && Recovery.Tally.count (Recovery.tally t.rcv) ~seq ~digest >= ckpt_quorum t
+  then
+    match Recovery.image_at t.rcv ~seq with
+    | Some image when String.equal (Checkpoint.image_digest t.config.digest image) digest ->
+      let cert =
+        {
+          Checkpoint.cp_seq = seq;
+          cp_digest = digest;
+          cp_proof = Recovery.Tally.proof (Recovery.tally t.rcv) ~seq ~digest;
+          cp_endorsement = None;
+        }
+      in
+      if Recovery.note_stable t.rcv ~cert ~image then begin
+        t.ctx.Context.emit (Context.Checkpoint_stable { seq; digest });
+        span_close t Context.Checkpoint_phase seq;
+        truncate t seq
+      end
+    | Some _ | None -> ()
+
+let checkpoint_boundary t o =
+  let image =
+    Checkpoint.wrap_image ~state:(t.ctx.Context.snapshot ()) ~marks:(Recovery.marks t.rcv)
+  in
+  t.ctx.Context.digest_charge (String.length image);
+  let digest = Checkpoint.image_digest t.config.digest image in
+  Recovery.note_image t.rcv ~seq:o ~image;
+  span_open t Context.Checkpoint_phase o;
+  let env = make_signed t (Message.Checkpoint { seq = o; digest }) in
+  Recovery.Tally.add (Recovery.tally t.rcv) ~seq:o ~digest ~signer:(id t)
+    ~signature:env.Message.signature;
+  multicast t ~dsts:(others t) env;
+  maybe_stabilize t ~seq:o ~digest
+
 let rec advance_delivery t =
   match Hashtbl.find_opt t.orders (t.delivered + 1) with
   | None -> ()
@@ -131,6 +210,11 @@ let rec advance_delivery t =
       let batch = Batch.make [] in
       t.ctx.Context.deliver ~seq:st.o batch;
       t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+      if t.config.checkpoint_interval > 0 then begin
+        t.recent_delivered <- (st.o, []) :: t.recent_delivered;
+        if Checkpoint.is_boundary ~interval:t.config.checkpoint_interval st.o then
+          checkpoint_boundary t st.o
+      end;
       advance_delivery t
     end
     else begin
@@ -139,7 +223,11 @@ let rec advance_delivery t =
          on the committed prefix, so they prune the same already-delivered
          keys and execute identical sub-batches. *)
       let fresh =
-        List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
+        List.filter
+          (fun k ->
+            (not (Key_set.mem k t.delivered_keys))
+            && (t.config.checkpoint_interval = 0 || Recovery.fresh_key t.rcv k))
+          st.keys
       in
       let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
       if Int.equal (List.length requests) (List.length fresh) then begin
@@ -147,12 +235,18 @@ let rec advance_delivery t =
         List.iter
           (fun k ->
             t.delivered_keys <- Key_set.add k t.delivered_keys;
+            if t.config.checkpoint_interval > 0 then Recovery.mark_delivered t.rcv k;
             t.pending <- Key_map.remove k t.pending;
             t.arrival <- Key_map.remove k t.arrival)
           st.keys;
         let batch = Batch.make requests in
         t.ctx.Context.deliver ~seq:st.o batch;
         t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+        if t.config.checkpoint_interval > 0 then begin
+          t.recent_delivered <- (st.o, requests) :: t.recent_delivered;
+          if Checkpoint.is_boundary ~interval:t.config.checkpoint_interval st.o then
+            checkpoint_boundary t st.o
+        end;
         advance_delivery t
       end
     end
@@ -239,6 +333,210 @@ let accept_pre_prepare t ~(info : Message.order_info) ~v =
     send_prepare t st;
     try_prepared_point t st;
     try_commit_point t st
+  end
+
+(* --------------------------------------------- state transfer (BFT) *)
+
+(* Serve the stable checkpoint image (when the requester is behind it), the
+   retained delivered batches, and the committed-but-undelivered tail.  Every
+   entry digest is recomputed over exactly the requests served — correct
+   processes deliver identical filtered batches, so their recomputed digests
+   agree and f+1 matching claims pin each entry down at the requester.  A
+   Byzantine responder can serve a corrupt image ([Corrupt_checkpoint_image])
+   or a lazily stale checkpoint ([Stale_checkpoint]); the first is rejected
+   against the certified digest, the second simply loses to fresher offers. *)
+let serve_state_request t ~src ~have =
+  let stable =
+    match t.fault with
+    | Fault.Stale_checkpoint -> Recovery.previous_stable t.rcv
+    | _ -> Recovery.latest_stable t.rcv
+  in
+  let cert, image =
+    match stable with
+    | Some (c, img) when c.Checkpoint.cp_seq > have -> (Some c, img)
+    | Some _ | None -> (None, "")
+  in
+  let image =
+    match t.fault with
+    | Fault.Corrupt_checkpoint_image when String.length image > 0 ->
+      let b = Bytes.of_string image in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      Bytes.to_string b
+    | _ -> image
+  in
+  let base = match cert with Some c -> max have c.Checkpoint.cp_seq | None -> have in
+  let entries =
+    match t.fault with
+    | Fault.Stale_checkpoint -> []
+    | _ ->
+      let delivered_entries =
+        List.filter_map
+          (fun (o, requests) ->
+            if o > base then begin
+              let batch = Batch.make requests in
+              t.ctx.Context.digest_charge (Batch.encoded_size batch);
+              Some
+                {
+                  Checkpoint.e_o = o;
+                  e_digest = Batch.digest t.config.digest batch;
+                  e_requests = requests;
+                }
+            end
+            else None)
+          t.recent_delivered
+      in
+      let tail =
+        Hashtbl.fold
+          (fun o st acc ->
+            if o <= t.delivered || o <= base || not st.committed then acc
+            else begin
+              let requests =
+                List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys
+              in
+              if Int.equal (List.length requests) (List.length st.keys) then begin
+                let batch = Batch.make requests in
+                t.ctx.Context.digest_charge (Batch.encoded_size batch);
+                {
+                  Checkpoint.e_o = o;
+                  e_digest = Batch.digest t.config.digest batch;
+                  e_requests = requests;
+                }
+                :: acc
+              end
+              else acc
+            end)
+          t.orders []
+      in
+      List.sort
+        (fun (a : Checkpoint.entry) b -> Int.compare a.Checkpoint.e_o b.Checkpoint.e_o)
+        (delivered_entries @ tail)
+  in
+  send_one t ~dst:src (make_signed t (Message.State_response { cert; image; entries }))
+
+let entry_ok t (e : Checkpoint.entry) =
+  let batch = Batch.make e.Checkpoint.e_requests in
+  t.ctx.Context.digest_charge (Batch.encoded_size batch);
+  String.equal (Batch.digest t.config.digest batch) e.Checkpoint.e_digest
+
+(* Install the best certified image above our delivery point, then the
+   contiguous entry suffix with f+1 matching claims per entry (at least one
+   claimant is correct).  Transferred entries enter the log as committed and
+   are delivered by the normal in-sequence walk; no Committed event is
+   re-emitted for them. *)
+let attempt_install t =
+  let image_installed =
+    match Recovery.best_image t.rcv ~above:t.delivered with
+    | Some (cert, image, _) -> begin
+      match Checkpoint.unwrap_image image with
+      | None -> false (* digest-verified yet malformed: refuse quietly *)
+      | Some (snap, marks) ->
+        t.ctx.Context.restore snap;
+        Recovery.merge_marks t.rcv marks;
+        t.delivered <- cert.Checkpoint.cp_seq;
+        if t.max_committed < cert.Checkpoint.cp_seq then
+          t.max_committed <- cert.Checkpoint.cp_seq;
+        Recovery.note_image t.rcv ~seq:cert.Checkpoint.cp_seq ~image;
+        if Recovery.note_stable t.rcv ~cert ~image then
+          t.ctx.Context.emit
+            (Context.Checkpoint_stable
+               { seq = cert.Checkpoint.cp_seq; digest = cert.Checkpoint.cp_digest });
+        truncate t cert.Checkpoint.cp_seq;
+        true
+    end
+    | None -> false
+  in
+  let installed_at = t.delivered in
+  let entries =
+    Recovery.select_entries ~quorum:(t.config.f + 1) ~base:t.delivered
+      ~entry_ok:(entry_ok t) t.rcv
+  in
+  List.iter
+    (fun (e : Checkpoint.entry) ->
+      let st = get_order t e.Checkpoint.e_o in
+      if not st.committed then begin
+        st.digest <- e.Checkpoint.e_digest;
+        st.keys <- List.map (fun (r : Request.t) -> r.Request.key) e.Checkpoint.e_requests;
+        st.pre_prepared <- true;
+        st.committed <- true;
+        List.iter
+          (fun (r : Request.t) ->
+            t.ordered_keys <- Key_set.add r.Request.key t.ordered_keys;
+            if
+              (not (Key_map.mem r.Request.key t.pending))
+              && not (Key_set.mem r.Request.key t.delivered_keys)
+            then t.pending <- Key_map.add r.Request.key r t.pending)
+          e.Checkpoint.e_requests;
+        if st.o > t.max_committed then t.max_committed <- st.o
+      end)
+    entries;
+  if image_installed || entries <> [] then
+    t.ctx.Context.emit
+      (Context.State_transfer_installed
+         { seq = installed_at; entries = List.length entries });
+  advance_delivery t
+
+let fetch_target t =
+  List.fold_left
+    (fun acc (off : Recovery.offer) ->
+      let acc =
+        match off.Recovery.st_cert with
+        | Some c -> max acc c.Checkpoint.cp_seq
+        | None -> acc
+      in
+      List.fold_left
+        (fun acc (e : Checkpoint.entry) -> max acc e.Checkpoint.e_o)
+        acc off.Recovery.st_entries)
+    0 (Recovery.offers t.rcv)
+
+let maybe_end_fetch t =
+  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  then begin
+    span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
+    Recovery.end_fetch t.rcv;
+    (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.fetch_timer <- None;
+    Recovery.clear_offers t.rcv
+  end
+
+let rec fetch_tick t =
+  if Recovery.fetching t.rcv then begin
+    Recovery.clear_offers t.rcv;
+    multicast t ~dsts:(others t)
+      (make_signed t (Message.State_request { have = t.delivered }));
+    t.fetch_timer <-
+      Some
+        (t.ctx.Context.set_timer ~delay:t.config.view_change_timeout (fun () ->
+             fetch_tick t))
+  end
+
+let request_recovery t =
+  if not (Recovery.fetching t.rcv) then begin
+    Recovery.begin_fetch t.rcv ~have:t.delivered;
+    t.ctx.Context.emit (Context.State_transfer_started { have = t.delivered });
+    span_open t Context.Recovery_phase t.delivered;
+    fetch_tick t
+  end
+
+let handle_state_response t ~src ~cert ~image ~entries =
+  if Recovery.fetching t.rcv then begin
+    let cert_ok =
+      match cert with
+      | None -> true
+      | Some c ->
+        t.ctx.Context.digest_charge (String.length image);
+        Recovery.verify_cert
+          ~verify:(fun ~signer ~msg ~signature ->
+            t.ctx.Context.verify ~signer ~msg ~signature)
+          ~scheme:(ckpt_scheme t) c
+        && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
+    in
+    if not cert_ok then t.ctx.Context.emit (Context.State_transfer_rejected { from = src })
+    else begin
+      Recovery.add_offer t.rcv
+        { Recovery.st_from = src; st_cert = cert; st_image = image; st_entries = entries };
+      attempt_install t;
+      maybe_end_fetch t
+    end
   end
 
 (* ----------------------------------------------------------- batching *)
@@ -431,10 +729,13 @@ let on_message t ~src (env : Message.envelope) =
   match env.Message.body with
   | Message.Pre_prepare { v; info } ->
     if Int.equal v t.view && (not t.changing_view) && Int.equal env.Message.sender (primary t)
+       && info.Message.o > Recovery.stable_seq t.rcv
        && authentic t env
     then accept_pre_prepare t ~info ~v
   | Message.Prepare { v; o; digest } ->
-    if v <= t.view && authentic t env then begin
+    (* Sequence numbers at or below the stable checkpoint are settled and
+       truncated — stragglers must not resurrect them in the log. *)
+    if v <= t.view && o > Recovery.stable_seq t.rcv && authentic t env then begin
       let st = get_order t o in
       if (not st.pre_prepared) || String.equal st.digest digest then begin
         st.prepares <- Int_set.add env.Message.sender st.prepares;
@@ -443,7 +744,7 @@ let on_message t ~src (env : Message.envelope) =
       end
     end
   | Message.Commit { v; o; digest } ->
-    if v <= t.view && authentic t env then begin
+    if v <= t.view && o > Recovery.stable_seq t.rcv && authentic t env then begin
       let st = get_order t o in
       if (not st.pre_prepared) || String.equal st.digest digest then begin
         st.commits <- Int_set.add env.Message.sender st.commits;
@@ -454,6 +755,23 @@ let on_message t ~src (env : Message.envelope) =
     if authentic t env then handle_view_change t ~src ~v ~prepared env
   | Message.Bft_new_view { v; pre_prepares } ->
     if authentic t env then handle_new_view t ~v ~pre_prepares env
+  | Message.Checkpoint { seq; digest } ->
+    if
+      t.config.checkpoint_interval > 0
+      && seq > Recovery.stable_seq t.rcv
+      && authentic t env
+    then begin
+      Recovery.Tally.add (Recovery.tally t.rcv) ~seq ~digest ~signer:env.Message.sender
+        ~signature:env.Message.signature;
+      maybe_stabilize t ~seq ~digest;
+      (* A checkpoint a full interval ahead of our delivery point means we
+         are lagging badly — likely freshly restarted; catch up by state
+         transfer rather than waiting for retransmissions. *)
+      if seq > t.delivered + t.config.checkpoint_interval then request_recovery t
+    end
+  | Message.State_request { have } -> if authentic t env then serve_state_request t ~src ~have
+  | Message.State_response { cert; image; entries } ->
+    if authentic t env then handle_state_response t ~src ~cert ~image ~entries
   | Message.Order _ | Message.Ack _ | Message.Fail_signal _ | Message.Back_log _
   | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
   | Message.View_change _ | Message.New_view _ | Message.Unwilling _
@@ -485,4 +803,7 @@ let create ~ctx ~config ?(fault = Fault.Honest) () =
     view_changes = Hashtbl.create 4;
     changing_view = false;
     vc_span = None;
+    rcv = Recovery.create ();
+    recent_delivered = [];
+    fetch_timer = None;
   }

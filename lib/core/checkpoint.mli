@@ -1,0 +1,69 @@
+(** Checkpoint certificates and state-transfer entries.
+
+    A checkpoint is a periodic fingerprint of the replicated service: at
+    every [interval]-th delivered sequence number each process snapshots its
+    application state and digests it together with the log anchor.  A
+    checkpoint becomes {e stable} once certified — by a quorum of signatures
+    for BFT (2f+1) and CT (f+1, unsigned under the crash-only model), or by
+    the coordinator pair's double signature for SC/SCR (the signal-on-fail
+    trust model: at most one member of a pair is faulty, so a doubly-signed
+    checkpoint carries at least one correct signature).  A stable checkpoint
+    bounds the paper's fig6 BackLog: everything at or below it may be
+    truncated from the order log, and a lagging or restarted replica
+    recovers by fetching the certified image plus the committed log suffix.
+
+    This module holds only the data and its codec; certification and
+    verification live in {!Recovery} (they need the message encoding, which
+    in turn embeds these types). *)
+
+type cert = {
+  cp_seq : int;  (** Checkpointed sequence number (a multiple of the interval). *)
+  cp_digest : string;  (** Digest of the state image at [cp_seq]. *)
+  cp_proof : (int * string) list;
+      (** (signer, signature) set over the encoded Checkpoint body.  A
+          quorum for BFT/CT; the singleton first signature for SC/SCR. *)
+  cp_endorsement : (int * string) option;
+      (** SC/SCR pair mode: the counterpart's second signature over
+          body-plus-first-signature, exactly as envelope endorsements. *)
+}
+
+type entry = {
+  e_o : int;  (** Committed sequence number above the checkpoint. *)
+  e_digest : string;  (** The digest under which [e_o] committed. *)
+  e_requests : Sof_smr.Request.t list;
+      (** Full request bodies, so a replica with an empty pool can deliver.
+          Empty for null orders (gap fillers, Start placeholders). *)
+}
+
+val is_boundary : interval:int -> int -> bool
+(** Whether a sequence number is a checkpoint boundary ([interval] > 0 and
+    the number is a positive multiple of it). *)
+
+val image_digest : Sof_crypto.Digest_alg.t -> string -> string
+(** The digest a checkpoint certifies: over the raw state image bytes. *)
+
+val wrap_image : state:string -> marks:(int * int) list -> string
+(** Pack a service snapshot and the per-client delivery high-water marks
+    ([(client, highest delivered client_seq)]) into one image.  The
+    at-most-once filter is replicated state: without it a recovered
+    process would re-deliver a request that a coordinator elected across a
+    partition legally rebatches.  The marks — not the raw delivered-key
+    sets, which processes prune at their own pace — are what is
+    deterministic across correct processes at a boundary; [marks] must be
+    sorted by client so the wrapped bytes (and hence the certified digest)
+    are canonical. *)
+
+val unwrap_image : string -> (string * (int * int) list) option
+(** Inverse of {!wrap_image}; [None] on malformed bytes (a corrupt image
+    also fails its digest check, this guards the decoder itself). *)
+
+val equal_cert : cert -> cert -> bool
+
+val write_cert : Sof_util.Codec.Writer.t -> cert -> unit
+val read_cert : Sof_util.Codec.Reader.t -> cert
+
+val write_entry : Sof_util.Codec.Writer.t -> entry -> unit
+val read_entry : Sof_util.Codec.Reader.t -> entry
+(** @raise Sof_util.Codec.Reader.Truncated on malformed input. *)
+
+val pp_cert : Format.formatter -> cert -> unit

@@ -16,13 +16,16 @@ type t = {
   pair_delay_estimate : Simtime.t;
   heartbeat_interval : Simtime.t;
   dumb_optimization : bool;
+  checkpoint_interval : int;
 }
 
 let make ?(variant = SC) ?(batching_interval = Simtime.ms 100)
     ?(batch_size_limit = 1024) ?(digest = Sof_crypto.Digest_alg.MD5)
     ?(pair_delay_estimate = Simtime.ms 10) ?(heartbeat_interval = Simtime.ms 20)
-    ?(dumb_optimization = true) ~f () =
+    ?(dumb_optimization = true) ?(checkpoint_interval = 0) ~f () =
   if f < 1 then raise (Invalid_config "Config.make: f must be at least 1");
+  if checkpoint_interval < 0 then
+    raise (Invalid_config "Config.make: checkpoint_interval must be non-negative");
   {
     f;
     variant;
@@ -32,6 +35,7 @@ let make ?(variant = SC) ?(batching_interval = Simtime.ms 100)
     pair_delay_estimate;
     heartbeat_interval;
     dumb_optimization;
+    checkpoint_interval;
   }
 
 let replica_count t = (2 * t.f) + 1

@@ -44,6 +44,11 @@ type t = {
       (** The first optimisation of Section 4.3: installed-away pairs turn
           dumb, n shrinks by 2 and f by 1.  On by default; off for ablation
           runs. *)
+  checkpoint_interval : int;
+      (** Every this-many delivered sequence numbers, snapshot and certify a
+          checkpoint, truncating the order log behind the latest stable one.
+          0 (the default) disables checkpointing entirely — the log grows
+          without bound, exactly the pre-checkpoint behaviour. *)
 }
 
 val make :
@@ -54,11 +59,13 @@ val make :
   ?pair_delay_estimate:Sof_sim.Simtime.t ->
   ?heartbeat_interval:Sof_sim.Simtime.t ->
   ?dumb_optimization:bool ->
+  ?checkpoint_interval:int ->
   f:int ->
   unit ->
   t
 (** Defaults: SC, 100 ms interval, 1024-byte batches, MD5 digests, 10 ms
-    delay estimate, 20 ms heartbeat.  @raise Invalid_config when [f < 1]. *)
+    delay estimate, 20 ms heartbeat, checkpointing off.
+    @raise Invalid_config when [f < 1] or [checkpoint_interval < 0]. *)
 
 val replica_count : t -> int
 (** [2f+1]. *)

@@ -11,6 +11,8 @@ type phase =
   | View_change_phase
   | Install_phase
   | Failover_phase
+  | Checkpoint_phase
+  | Recovery_phase
 
 let phase_name = function
   | Batch_phase -> "batch"
@@ -23,10 +25,13 @@ let phase_name = function
   | View_change_phase -> "view_change"
   | Install_phase -> "install"
   | Failover_phase -> "failover"
+  | Checkpoint_phase -> "checkpoint"
+  | Recovery_phase -> "recovery"
 
 let all_phases =
   [ Batch_phase; Endorse_phase; Order_phase; Ack_phase; Pre_prepare_phase;
-    Prepare_phase; Commit_phase; View_change_phase; Install_phase; Failover_phase ]
+    Prepare_phase; Commit_phase; View_change_phase; Install_phase; Failover_phase;
+    Checkpoint_phase; Recovery_phase ]
 
 type event =
   | Batched of { seq : int; requests : int; bytes : int }
@@ -40,6 +45,12 @@ type event =
   | Value_fault_detected of { pair : int }
   | Span_open of { phase : phase; seq : int }
   | Span_close of { phase : phase; seq : int }
+  | Checkpoint_stable of { seq : int; digest : string }
+  | Log_truncated of { upto : int; retained : int }
+  | State_transfer_started of { have : int }
+  | State_transfer_installed of { seq : int; entries : int }
+  | State_transfer_rejected of { from : int }
+  | Node_restarted
 
 type t = {
   id : int;
@@ -52,6 +63,8 @@ type t = {
   set_timer : delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
   deliver : seq:int -> Batch.t -> unit;
   emit : event -> unit;
+  snapshot : unit -> string;
+  restore : string -> unit;
 }
 
 let null_timer = { cancel = (fun () -> ()) }
@@ -73,3 +86,13 @@ let pp_event fmt = function
   | Value_fault_detected { pair } -> Format.fprintf fmt "value_fault_detected(%d)" pair
   | Span_open { phase; seq } -> Format.fprintf fmt "span_open(%s, %d)" (phase_name phase) seq
   | Span_close { phase; seq } -> Format.fprintf fmt "span_close(%s, %d)" (phase_name phase) seq
+  | Checkpoint_stable { seq; _ } -> Format.fprintf fmt "checkpoint_stable(seq=%d)" seq
+  | Log_truncated { upto; retained } ->
+    Format.fprintf fmt "log_truncated(upto=%d, retained=%d)" upto retained
+  | State_transfer_started { have } ->
+    Format.fprintf fmt "state_transfer_started(have=%d)" have
+  | State_transfer_installed { seq; entries } ->
+    Format.fprintf fmt "state_transfer_installed(seq=%d, +%d entries)" seq entries
+  | State_transfer_rejected { from } ->
+    Format.fprintf fmt "state_transfer_rejected(from=%d)" from
+  | Node_restarted -> Format.fprintf fmt "node_restarted"

@@ -28,6 +28,11 @@ type phase =
   | Install_phase  (** SC: install protocol begun until finished. *)
   | Failover_phase  (** Coordinator failure observed until replacement in
                         place (the fail-signal -> install fail-over). *)
+  | Checkpoint_phase  (** Boundary delivered until the checkpoint at that
+                          sequence number is stable at this process. *)
+  | Recovery_phase  (** State transfer begun (request sent) until the
+                        certified image is installed; [seq] is the [have]
+                        anchor the request was made with. *)
 
 val phase_name : phase -> string
 val all_phases : phase list
@@ -51,6 +56,22 @@ type event =
       (** A phase began at this process.  Emitting spans costs no simulated
           CPU, so instrumentation never perturbs seeded trajectories. *)
   | Span_close of { phase : phase; seq : int }
+  | Checkpoint_stable of { seq : int; digest : string }
+      (** This process holds a verified certificate for [seq]. *)
+  | Log_truncated of { upto : int; retained : int }
+      (** Order log truncated at or below [upto]; [retained] orders remain. *)
+  | State_transfer_started of { have : int }
+      (** This process asked the cluster for everything above [have]. *)
+  | State_transfer_installed of { seq : int; entries : int }
+      (** A certified image at [seq] (plus [entries] log entries above it)
+          was verified and installed. *)
+  | State_transfer_rejected of { from : int }
+      (** A state-transfer offer from [from] failed verification (bad
+          certificate, or image not matching the certified digest). *)
+  | Node_restarted
+      (** Emitted by the harness, not the protocol: this process came back
+          from a crash with empty volatile state.  Invariants use it to
+          partition a process's deliveries into incarnations. *)
 
 type t = {
   id : int;  (** This process's id (network endpoint). *)
@@ -69,6 +90,13 @@ type t = {
   deliver : seq:int -> Batch.t -> unit;
       (** Committed batch, called in strict sequence order. *)
   emit : event -> unit;  (** Observation hook for tests and experiments. *)
+  snapshot : unit -> string;
+      (** Serialise the service state the process has delivered so far; the
+          bytes are what checkpoint digests certify and what state transfer
+          ships.  Digesting them is charged separately via [digest_charge]. *)
+  restore : string -> unit;
+      (** Replace the service state with a previously [snapshot]-ted image
+          (the state-transfer install path). *)
 }
 
 val null_timer : timer

@@ -10,13 +10,16 @@ type config = {
   batch_size_limit : int;
   digest : Sof_crypto.Digest_alg.t;
   suspect_timeout : Simtime.t;
+  checkpoint_interval : int;
 }
 
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
-    ?(digest = Sof_crypto.Digest_alg.MD5) ?(suspect_timeout = Simtime.ms 500) ~f ()
-    =
+    ?(digest = Sof_crypto.Digest_alg.MD5) ?(suspect_timeout = Simtime.ms 500)
+    ?(checkpoint_interval = 0) ~f () =
   if f < 1 then raise (Config.Invalid_config "Ct.make_config: f must be at least 1");
-  { f; batching_interval; batch_size_limit; digest; suspect_timeout }
+  if checkpoint_interval < 0 then
+    raise (Config.Invalid_config "Ct.make_config: checkpoint_interval must be non-negative");
+  { f; batching_interval; batch_size_limit; digest; suspect_timeout; checkpoint_interval }
 
 let process_count config = (2 * config.f) + 1
 
@@ -68,6 +71,12 @@ type t = {
          it has not yet seen. *)
   mutable sync_replies : Int_set.t;
   mutable last_probe : Simtime.t;
+  rcv : Recovery.state;
+  mutable recent_delivered : (int * Request.t list) list;
+      (* Delivered batches retained to serve state transfer (newest first);
+         pruned one interval behind the stable checkpoint.  Only maintained
+         when checkpointing is on. *)
+  mutable fetch_timer : Context.timer option;
 }
 
 let id t = t.ctx.Context.id
@@ -134,6 +143,80 @@ let get_candidate st digest =
     Hashtbl.replace st.candidates digest c;
     c
 
+(* ------------------------------------------------- checkpointing (CT) *)
+(* Crash-only trust model: a checkpoint claim needs no signature, and f+1
+   distinct claimants for the same (seq, digest) always include a correct
+   process — the Quorum_counted scheme. *)
+
+let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
+
+let log_length t = Hashtbl.length t.orders
+
+let stable_checkpoint_seq t = Recovery.stable_seq t.rcv
+
+let ckpt_scheme t =
+  Recovery.Quorum_counted
+    { quorum = quorum t; member_ok = (fun p -> p >= 0 && p < process_count t.config) }
+
+let truncate t upto =
+  let stale = Hashtbl.fold (fun o _ acc -> if o <= upto then o :: acc else acc) t.orders [] in
+  List.iter (Hashtbl.remove t.orders) stale;
+  (* Keep one extra interval of delivered keys so a straggling Order that
+     rebatches a just-delivered request is still deduplicated. *)
+  let keep_above = upto - t.config.checkpoint_interval in
+  let dropped, kept = List.partition (fun (o, _) -> o <= keep_above) t.recent_delivered in
+  List.iter
+    (fun (_, requests) ->
+      List.iter
+        (fun (req : Request.t) ->
+          t.delivered_keys <- Key_set.remove req.Request.key t.delivered_keys;
+          t.ordered_keys <- Key_set.remove req.Request.key t.ordered_keys)
+        requests)
+    dropped;
+  t.recent_delivered <- kept;
+  t.ctx.Context.emit (Context.Log_truncated { upto; retained = Hashtbl.length t.orders })
+
+let maybe_stabilize t ~seq ~digest =
+  if
+    seq > Recovery.stable_seq t.rcv
+    && Recovery.Tally.count (Recovery.tally t.rcv) ~seq ~digest >= quorum t
+  then
+    match Recovery.image_at t.rcv ~seq with
+    | Some image when String.equal (Checkpoint.image_digest t.config.digest image) digest ->
+      let cert =
+        {
+          Checkpoint.cp_seq = seq;
+          cp_digest = digest;
+          cp_proof = Recovery.Tally.proof (Recovery.tally t.rcv) ~seq ~digest;
+          cp_endorsement = None;
+        }
+      in
+      if Recovery.note_stable t.rcv ~cert ~image then begin
+        t.ctx.Context.emit (Context.Checkpoint_stable { seq; digest });
+        span_close t Context.Checkpoint_phase seq;
+        truncate t seq
+      end
+    | Some _ | None -> ()
+
+let checkpoint_boundary t o =
+  let image =
+    Checkpoint.wrap_image ~state:(t.ctx.Context.snapshot ())
+      ~marks:(Recovery.marks t.rcv)
+  in
+  t.ctx.Context.digest_charge (String.length image);
+  let digest = Checkpoint.image_digest t.config.digest image in
+  Recovery.note_image t.rcv ~seq:o ~image;
+  span_open t Context.Checkpoint_phase o;
+  Recovery.Tally.add (Recovery.tally t.rcv) ~seq:o ~digest ~signer:(id t) ~signature:"";
+  t.ctx.Context.multicast ~dsts:(others t)
+    {
+      Message.sender = id t;
+      body = Message.Checkpoint { seq = o; digest };
+      signature = "";
+      endorsement = None;
+    };
+  maybe_stabilize t ~seq:o ~digest
+
 let rec advance_delivery t =
   match Hashtbl.find_opt t.orders (t.delivered + 1) with
   | None -> ()
@@ -152,19 +235,35 @@ let rec advance_delivery t =
            an earlier batch already committed; deliver each request at most
            once.  Correct processes commit the same digest sequence, so they
            filter identically. *)
-        let fresh = List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) keys in
+        (* With checkpointing on, the per-client marks also filter: the key
+           sets are pruned by truncation, and only the marks survive a
+           state transfer (they ride inside the image). *)
+        let fresh =
+          List.filter
+            (fun k ->
+              (not (Key_set.mem k t.delivered_keys))
+              && (t.config.checkpoint_interval = 0 || Recovery.fresh_key t.rcv k))
+            keys
+        in
         let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
         if Int.equal (List.length requests) (List.length fresh) then begin
           t.delivered <- st.o;
           List.iter
             (fun k ->
               t.delivered_keys <- Key_set.add k t.delivered_keys;
+              if t.config.checkpoint_interval > 0 then
+                Recovery.mark_delivered t.rcv k;
               t.pending <- Key_map.remove k t.pending;
               t.arrival <- Key_map.remove k t.arrival)
             fresh;
           let batch = Batch.make requests in
           t.ctx.Context.deliver ~seq:st.o batch;
           t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+          if t.config.checkpoint_interval > 0 then begin
+            t.recent_delivered <- (st.o, requests) :: t.recent_delivered;
+            if Checkpoint.is_boundary ~interval:t.config.checkpoint_interval st.o then
+              checkpoint_boundary t st.o
+          end;
           advance_delivery t
         end))
 
@@ -245,6 +344,198 @@ let accept_order t ~sender ~(info : Message.order_info) =
   let st, cand = learn_candidate t info in
   cand.c_votes <- Int_set.add sender cand.c_votes;
   try_commit t st
+
+(* --------------------------------------------- state transfer (CT) *)
+
+(* Serve everything above the requester's low-water mark: the stable
+   checkpoint image when the requester is behind it, delivered batches from
+   the retained window, and the committed-but-undelivered tail whose request
+   bodies are still pooled.  Delivered entries are served as the batch that
+   was actually handed to the service (duplicate requests already filtered)
+   with the digest recomputed over exactly those bytes — correct processes
+   filter identically, so honest responders agree on these digests. *)
+let serve_state_request t ~src ~have =
+  let cert, image =
+    match Recovery.latest_stable t.rcv with
+    | Some (c, img) when c.Checkpoint.cp_seq > have -> (Some c, img)
+    | Some _ | None -> (None, "")
+  in
+  let base = match cert with Some c -> max have c.Checkpoint.cp_seq | None -> have in
+  let delivered_entries =
+    List.filter_map
+      (fun (o, requests) ->
+        if o > base then begin
+          let batch = Batch.make requests in
+          t.ctx.Context.digest_charge (Batch.encoded_size batch);
+          Some
+            {
+              Checkpoint.e_o = o;
+              e_digest = Batch.digest t.config.digest batch;
+              e_requests = requests;
+            }
+        end
+        else None)
+      t.recent_delivered
+  in
+  let tail =
+    Hashtbl.fold
+      (fun o st acc ->
+        if o <= t.delivered || o <= base then acc
+        else
+          match st.winner with
+          | None -> acc
+          | Some digest -> (
+            match Hashtbl.find_opt st.candidates digest with
+            | Some { c_keys = Some keys; _ } ->
+              let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) keys in
+              if Int.equal (List.length requests) (List.length keys) then
+                { Checkpoint.e_o = o; e_digest = digest; e_requests = requests } :: acc
+              else acc
+            | Some { c_keys = None; _ } | None -> acc))
+      t.orders []
+  in
+  let entries =
+    List.sort
+      (fun (a : Checkpoint.entry) b -> Int.compare a.Checkpoint.e_o b.Checkpoint.e_o)
+      (delivered_entries @ tail)
+  in
+  t.ctx.Context.send ~dst:src
+    {
+      Message.sender = id t;
+      body = Message.State_response { cert; image; entries };
+      signature = "";
+      endorsement = None;
+    }
+
+let entry_ok t (e : Checkpoint.entry) =
+  let batch = Batch.make e.Checkpoint.e_requests in
+  t.ctx.Context.digest_charge (Batch.encoded_size batch);
+  String.equal (Batch.digest t.config.digest batch) e.Checkpoint.e_digest
+
+(* Install whatever the collected offers certify: first the best certified
+   image strictly above our delivery point, then the contiguous entry suffix
+   (quorum 1 here — any single responder is correct under crash faults).
+   Transferred entries enter the order log as committed winners and are then
+   delivered by the normal in-sequence walk; no Committed event is re-emitted
+   for them (they were counted at their original commit). *)
+let attempt_install t =
+  let image_installed =
+    match Recovery.best_image t.rcv ~above:t.delivered with
+    | Some (cert, image, _) -> begin
+      match Checkpoint.unwrap_image image with
+      | None -> false (* digest-verified yet malformed: refuse quietly *)
+      | Some (snap, marks) ->
+        t.ctx.Context.restore snap;
+        Recovery.merge_marks t.rcv marks;
+        t.delivered <- cert.Checkpoint.cp_seq;
+      if t.max_committed < cert.Checkpoint.cp_seq then
+        t.max_committed <- cert.Checkpoint.cp_seq;
+        Recovery.note_image t.rcv ~seq:cert.Checkpoint.cp_seq ~image;
+        if Recovery.note_stable t.rcv ~cert ~image then
+          t.ctx.Context.emit
+            (Context.Checkpoint_stable
+               { seq = cert.Checkpoint.cp_seq; digest = cert.Checkpoint.cp_digest });
+        truncate t cert.Checkpoint.cp_seq;
+        true
+    end
+    | None -> false
+  in
+  let installed_at = t.delivered in
+  let entries =
+    Recovery.select_entries ~quorum:1 ~base:t.delivered ~entry_ok:(entry_ok t) t.rcv
+  in
+  List.iter
+    (fun (e : Checkpoint.entry) ->
+      let st = get_order t e.Checkpoint.e_o in
+      match st.winner with
+      | Some _ -> ()
+      | None ->
+        let cand = get_candidate st e.Checkpoint.e_digest in
+        let keys = List.map (fun (r : Request.t) -> r.Request.key) e.Checkpoint.e_requests in
+        if cand.c_keys = None then cand.c_keys <- Some keys;
+        List.iter
+          (fun (r : Request.t) ->
+            t.ordered_keys <- Key_set.add r.Request.key t.ordered_keys;
+            if
+              (not (Key_map.mem r.Request.key t.pending))
+              && not (Key_set.mem r.Request.key t.delivered_keys)
+            then t.pending <- Key_map.add r.Request.key r t.pending)
+          e.Checkpoint.e_requests;
+        st.winner <- Some e.Checkpoint.e_digest;
+        if st.o > t.max_committed then t.max_committed <- st.o)
+    entries;
+  if image_installed || entries <> [] then
+    t.ctx.Context.emit
+      (Context.State_transfer_installed
+         { seq = installed_at; entries = List.length entries });
+  advance_delivery t
+
+(* The highest sequence number any collected offer can take us to. *)
+let fetch_target t =
+  List.fold_left
+    (fun acc (off : Recovery.offer) ->
+      let acc =
+        match off.Recovery.st_cert with
+        | Some c -> max acc c.Checkpoint.cp_seq
+        | None -> acc
+      in
+      List.fold_left
+        (fun acc (e : Checkpoint.entry) -> max acc e.Checkpoint.e_o)
+        acc off.Recovery.st_entries)
+    0 (Recovery.offers t.rcv)
+
+let maybe_end_fetch t =
+  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  then begin
+    span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
+    Recovery.end_fetch t.rcv;
+    (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.fetch_timer <- None;
+    Recovery.clear_offers t.rcv
+  end
+
+let rec fetch_tick t =
+  if Recovery.fetching t.rcv then begin
+    Recovery.clear_offers t.rcv;
+    t.ctx.Context.multicast ~dsts:(others t)
+      {
+        Message.sender = id t;
+        body = Message.State_request { have = t.delivered };
+        signature = "";
+        endorsement = None;
+      };
+    t.fetch_timer <-
+      Some (t.ctx.Context.set_timer ~delay:t.config.suspect_timeout (fun () -> fetch_tick t))
+  end
+
+let request_recovery t =
+  if not (Recovery.fetching t.rcv) then begin
+    Recovery.begin_fetch t.rcv ~have:t.delivered;
+    t.ctx.Context.emit (Context.State_transfer_started { have = t.delivered });
+    span_open t Context.Recovery_phase t.delivered;
+    fetch_tick t
+  end
+
+let handle_state_response t ~src ~cert ~image ~entries =
+  if Recovery.fetching t.rcv then begin
+    let cert_ok =
+      match cert with
+      | None -> true
+      | Some c ->
+        t.ctx.Context.digest_charge (String.length image);
+        Recovery.verify_cert
+          ~verify:(fun ~signer ~msg ~signature -> t.ctx.Context.verify ~signer ~msg ~signature)
+          ~scheme:(ckpt_scheme t) c
+        && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
+    in
+    if not cert_ok then t.ctx.Context.emit (Context.State_transfer_rejected { from = src })
+    else begin
+      Recovery.add_offer t.rcv
+        { Recovery.st_from = src; st_cert = cert; st_image = image; st_entries = entries };
+      attempt_install t;
+      maybe_end_fetch t
+    end
+  end
 
 (* Coordinator sync (crash fail-over under partitions): a probe announces the
    prober's epoch and delivery low-water mark; peers answer with every
@@ -375,17 +666,24 @@ let on_message t ~src (env : Message.envelope) =
        their original epoch).  Vote-once per sequence number keeps commits
        unique even when concurrent coordinators proposed conflicting
        batches. *)
-    if Int.equal env.Message.sender (c mod process_count t.config) then begin
+    if
+      Int.equal env.Message.sender (c mod process_count t.config)
+      && info.Message.o > Recovery.stable_seq t.rcv
+    then begin
       if c > t.epoch then t.epoch <- c;
       accept_order t ~sender:env.Message.sender ~info
     end
   | Message.Ack { o; digest; _ } ->
     (* Tally the vote under its digest; the order contents may arrive later
-       (the commit waits until some quorum'd digest also has its keys). *)
-    let st = get_order t o in
-    let cand = get_candidate st digest in
-    cand.c_votes <- Int_set.add env.Message.sender cand.c_votes;
-    try_commit t st
+       (the commit waits until some quorum'd digest also has its keys).
+       Sequence numbers at or below the stable checkpoint are settled and
+       truncated — a straggler must not resurrect them in the log. *)
+    if o > Recovery.stable_seq t.rcv then begin
+      let st = get_order t o in
+      let cand = get_candidate st digest in
+      cand.c_votes <- Int_set.add env.Message.sender cand.c_votes;
+      try_commit t st
+    end
   | Message.Heartbeat { pair = e; beat } ->
     (* CT repurposes the heartbeat as a coordinator probe: [pair] carries the
        prober's epoch, [beat - 1] its delivered sequence number (heartbeats
@@ -429,6 +727,9 @@ let on_message t ~src (env : Message.envelope) =
     (* Reply to a probe this process sent: learn (and vote for) the relayed
        candidates, and once a quorum has answered the current epoch, start
        minting above everything now known. *)
+    let uncommitted =
+      List.filter (fun info -> info.Message.o > Recovery.stable_seq t.rcv) uncommitted
+    in
     List.iter (fun info -> ignore (learn_candidate t info)) uncommitted;
     List.iter (fun info -> try_commit t (get_order t info.Message.o)) uncommitted;
     if t.sync_pending && Int.equal v t.epoch && i_am_coordinator t then begin
@@ -439,6 +740,24 @@ let on_message t ~src (env : Message.envelope) =
           1 + Hashtbl.fold (fun o _ acc -> max o acc) t.orders t.max_committed
       end
     end
+  | Message.Checkpoint { seq; digest } ->
+    if
+      t.config.checkpoint_interval > 0
+      && env.Message.sender >= 0
+      && env.Message.sender < process_count t.config
+      && seq > Recovery.stable_seq t.rcv
+    then begin
+      Recovery.Tally.add (Recovery.tally t.rcv) ~seq ~digest ~signer:env.Message.sender
+        ~signature:"";
+      maybe_stabilize t ~seq ~digest;
+      (* A checkpoint a full interval ahead of our delivery point means we
+         are lagging badly — likely freshly restarted; catch up by state
+         transfer rather than waiting for retransmissions. *)
+      if seq > t.delivered + t.config.checkpoint_interval then request_recovery t
+    end
+  | Message.State_request { have } -> serve_state_request t ~src ~have
+  | Message.State_response { cert; image; entries } ->
+    handle_state_response t ~src ~cert ~image ~entries
   | Message.Fail_signal _ | Message.Back_log _
   | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
   | Message.New_view _ | Message.Unwilling _
@@ -471,4 +790,7 @@ let create ~ctx ~config =
     sync_pending = false;
     sync_replies = Int_set.empty;
     last_probe = Simtime.zero;
+    rcv = Recovery.create ();
+    recent_delivered = [];
+    fetch_timer = None;
   }

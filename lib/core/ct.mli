@@ -19,6 +19,11 @@ type config = {
   suspect_timeout : Sof_sim.Simtime.t;
       (** How long a request may stay unordered before the coordinator is
           suspected of having crashed. *)
+  checkpoint_interval : int;
+      (** Checkpoint every this-many delivered sequence numbers; 0 (default)
+          disables checkpointing and state transfer.  Under the crash-only
+          model a checkpoint is stable once f+1 distinct processes claim the
+          same state digest — no signatures involved. *)
 }
 
 val make_config :
@@ -26,6 +31,7 @@ val make_config :
   ?batch_size_limit:int ->
   ?digest:Sof_crypto.Digest_alg.t ->
   ?suspect_timeout:Sof_sim.Simtime.t ->
+  ?checkpoint_interval:int ->
   f:int ->
   unit ->
   config
@@ -47,3 +53,16 @@ val coordinator : t -> int
 
 val max_committed : t -> int
 val delivered_seq : t -> int
+
+val request_recovery : t -> unit
+(** Start state transfer: ask every peer for everything above this process's
+    delivery point and install what comes back.  Called by the harness right
+    after a crash-restart; also triggered internally when checkpoint traffic
+    shows this process a full interval behind.  Idempotent while a fetch is
+    in flight. *)
+
+val log_length : t -> int
+(** Retained order-log length — what truncation keeps bounded. *)
+
+val stable_checkpoint_seq : t -> int
+(** Latest stable checkpoint sequence number (0 when none). *)

@@ -10,13 +10,16 @@ type t =
   | Unwilling_spam
   | Replay_stale of int
   | Corrupt_wire of int
+  | Corrupt_checkpoint_image
+  | Stale_checkpoint
 
 let is_mute t ~now =
   match t with
   | Mute_at at -> Sof_sim.Simtime.compare now at >= 0
   | Honest | Corrupt_digest_at _ | Endorse_corrupt_at _ | Drop_endorsements
   | Equivocate_at _ | Spurious_fail_signal_at _ | Withhold_fail_signal
-  | Unwilling_spam | Replay_stale _ | Corrupt_wire _ ->
+  | Unwilling_spam | Replay_stale _ | Corrupt_wire _ | Corrupt_checkpoint_image
+  | Stale_checkpoint ->
     false
 
 let pp fmt = function
@@ -32,3 +35,5 @@ let pp fmt = function
   | Unwilling_spam -> Format.pp_print_string fmt "unwilling_spam"
   | Replay_stale n -> Format.fprintf fmt "replay_stale:%d" n
   | Corrupt_wire n -> Format.fprintf fmt "corrupt_wire:%d" n
+  | Corrupt_checkpoint_image -> Format.pp_print_string fmt "corrupt_checkpoint_image"
+  | Stale_checkpoint -> Format.pp_print_string fmt "stale_checkpoint"

@@ -53,6 +53,16 @@ type t =
       (** Wire-level: flip a bit in roughly one out of [n] outgoing
           payloads after signing.  The mutated bytes can no longer verify
           under honest keys, so receivers must drop them without crashing. *)
+  | Corrupt_checkpoint_image
+      (** When serving a state-transfer response: flip bytes in the state
+          image while keeping the genuine certificate.  The image no longer
+          digests to the certified value, so recovering replicas must reject
+          the offer. *)
+  | Stale_checkpoint
+      (** When serving a state-transfer response: answer with the previous
+          stable checkpoint instead of the latest, and no log suffix — a
+          lazy-or-malicious responder whose offer leaves the requester
+          behind.  Recovery must make progress from other responders. *)
 
 val is_mute : t -> now:Sof_sim.Simtime.t -> bool
 (** Whether a process with this fault transmits nothing at [now]. *)

@@ -33,6 +33,13 @@ type body =
   | Commit of { v : int; o : int; digest : string }
   | Bft_view_change of { v : int; prepared : order_info list }
   | Bft_new_view of { v : int; pre_prepares : order_info list }
+  | Checkpoint of { seq : int; digest : string }
+  | State_request of { have : int }
+  | State_response of {
+      cert : Checkpoint.cert option;
+      image : string;
+      entries : Checkpoint.entry list;
+    }
 
 type envelope = {
   sender : int;
@@ -151,7 +158,19 @@ let encode_body body =
   | Bft_new_view { v; pre_prepares } ->
     Codec.Writer.u8 w 15;
     Codec.Writer.varint w v;
-    Codec.Writer.list w write_order_info pre_prepares);
+    Codec.Writer.list w write_order_info pre_prepares
+  | Checkpoint { seq; digest } ->
+    Codec.Writer.u8 w 16;
+    Codec.Writer.varint w seq;
+    Codec.Writer.string w digest
+  | State_request { have } ->
+    Codec.Writer.u8 w 17;
+    Codec.Writer.varint w have
+  | State_response { cert; image; entries } ->
+    Codec.Writer.u8 w 18;
+    Codec.Writer.option w Checkpoint.write_cert cert;
+    Codec.Writer.string w image;
+    Codec.Writer.list w Checkpoint.write_entry entries);
   Codec.Writer.contents w
 
 let decode_body s =
@@ -220,6 +239,15 @@ let decode_body s =
     | 15 ->
       let v = Codec.Reader.varint r in
       Bft_new_view { v; pre_prepares = Codec.Reader.list r read_order_info }
+    | 16 ->
+      let seq = Codec.Reader.varint r in
+      Checkpoint { seq; digest = Codec.Reader.string r }
+    | 17 -> State_request { have = Codec.Reader.varint r }
+    | 18 ->
+      let cert = Codec.Reader.option r Checkpoint.read_cert in
+      let image = Codec.Reader.string r in
+      let entries = Codec.Reader.list r Checkpoint.read_entry in
+      State_response { cert; image; entries }
     | _ -> raise Codec.Reader.Truncated
   in
   Codec.Reader.expect_end r;
@@ -287,6 +315,9 @@ let body_tag = function
   | Commit _ -> "commit"
   | Bft_view_change _ -> "bft_view_change"
   | Bft_new_view _ -> "bft_new_view"
+  | Checkpoint _ -> "checkpoint"
+  | State_request _ -> "state_request"
+  | State_response _ -> "state_response"
 
 let pp fmt env =
   Format.fprintf fmt "%s from %d%s" (body_tag env.body) env.sender

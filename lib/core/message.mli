@@ -61,6 +61,25 @@ type body =
   | Commit of { v : int; o : int; digest : string }
   | Bft_view_change of { v : int; prepared : order_info list }
   | Bft_new_view of { v : int; pre_prepares : order_info list }
+  (* --- checkpointing and state transfer (all protocols) --- *)
+  | Checkpoint of { seq : int; digest : string }
+      (** Announcement that the sender's state image at [seq] digests to
+          [digest].  BFT/CT multicast it signed from every process; SC/SCR
+          run it through the coordinator pair's endorse hop, so the stable
+          form is doubly-signed. *)
+  | State_request of { have : int }
+      (** A lagging or restarted replica asks for everything above [have]. *)
+  | State_response of {
+      cert : Checkpoint.cert option;
+          (** The responder's stable checkpoint certificate, omitted when
+              the requester is already past it (or none is stable yet). *)
+      image : string;
+          (** State image whose digest the certificate vouches for; empty
+              when [cert] is [None]. *)
+      entries : Checkpoint.entry list;
+          (** Committed log suffix above the certificate (or above [have]),
+              with full request bodies. *)
+    }
 
 type envelope = {
   sender : int;  (** Creator (first signatory), not the transport source. *)

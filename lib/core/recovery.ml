@@ -1,0 +1,232 @@
+type scheme =
+  | Quorum_signed of { quorum : int; member_ok : int -> bool }
+  | Quorum_counted of { quorum : int; member_ok : int -> bool }
+  | Pair_endorsed of { pair_ok : primary:int -> endorser:int option -> bool }
+
+let cert_payload ~seq ~digest = Message.encode_body (Message.Checkpoint { seq; digest })
+
+let distinct_signers proof =
+  let rec go seen = function
+    | [] -> true
+    | (s, _) :: rest -> (not (List.exists (Int.equal s) seen)) && go (s :: seen) rest
+  in
+  go [] proof
+
+let verify_cert ~verify ~scheme (c : Checkpoint.cert) =
+  c.Checkpoint.cp_seq > 0
+  && distinct_signers c.Checkpoint.cp_proof
+  &&
+  let payload = cert_payload ~seq:c.Checkpoint.cp_seq ~digest:c.Checkpoint.cp_digest in
+  match scheme with
+  | Quorum_signed { quorum; member_ok } ->
+    List.length c.Checkpoint.cp_proof >= quorum
+    && List.for_all (fun (s, _) -> member_ok s) c.Checkpoint.cp_proof
+    && List.for_all
+         (fun (s, signature) -> verify ~signer:s ~msg:payload ~signature)
+         c.Checkpoint.cp_proof
+  | Quorum_counted { quorum; member_ok } ->
+    (* Crash-only model: claims are unsigned, distinct legitimate senders
+       suffice (at least one of any f+1 is correct). *)
+    List.length c.Checkpoint.cp_proof >= quorum
+    && List.for_all (fun (s, _) -> member_ok s) c.Checkpoint.cp_proof
+  | Pair_endorsed { pair_ok } -> begin
+    let body =
+      Message.Checkpoint { seq = c.Checkpoint.cp_seq; digest = c.Checkpoint.cp_digest }
+    in
+    match (c.Checkpoint.cp_proof, c.Checkpoint.cp_endorsement) with
+    | [ (p, signature) ], None ->
+      pair_ok ~primary:p ~endorser:None && verify ~signer:p ~msg:payload ~signature
+    | [ (p, signature) ], Some (s, endorsement) ->
+      pair_ok ~primary:p ~endorser:(Some s)
+      && verify ~signer:p ~msg:payload ~signature
+      && verify ~signer:s
+           ~msg:(Message.endorsement_payload body signature)
+           ~signature:endorsement
+    | _ -> false
+  end
+
+module Tally = struct
+  type vote = { v_digest : string; v_signer : int; v_signature : string }
+
+  type t = { votes : (int, vote list) Hashtbl.t }
+
+  let create () = { votes = Hashtbl.create 16 }
+
+  let add t ~seq ~digest ~signer ~signature =
+    let cur = Option.value (Hashtbl.find_opt t.votes seq) ~default:[] in
+    if not (List.exists (fun v -> Int.equal v.v_signer signer) cur) then
+      Hashtbl.replace t.votes seq
+        ({ v_digest = digest; v_signer = signer; v_signature = signature } :: cur)
+
+  let proof t ~seq ~digest =
+    let cur = Option.value (Hashtbl.find_opt t.votes seq) ~default:[] in
+    List.rev
+      (List.filter_map
+         (fun v ->
+           if String.equal v.v_digest digest then Some (v.v_signer, v.v_signature)
+           else None)
+         cur)
+
+  let count t ~seq ~digest = List.length (proof t ~seq ~digest)
+
+  let prune t ~upto =
+    let stale =
+      Hashtbl.fold (fun seq _ acc -> if seq <= upto then seq :: acc else acc) t.votes []
+    in
+    List.iter (Hashtbl.remove t.votes) stale
+end
+
+type offer = {
+  st_from : int;
+  st_cert : Checkpoint.cert option;
+  st_image : string;
+  st_entries : Checkpoint.entry list;
+}
+
+(* How many boundary images to keep around: the latest plus enough history
+   to endorse and serve checkpoints still in flight. *)
+let image_window = 4
+
+type state = {
+  mutable images : (int * string) list;  (* newest first *)
+  st_tally : Tally.t;
+  mutable stables : (Checkpoint.cert * string) list;  (* newest first, at most 2 *)
+  mutable st_offers : offer list;
+  mutable st_fetching : bool;
+  mutable st_fetch_anchor : int;
+  st_marks : (int, int) Hashtbl.t;  (* client -> highest delivered client_seq *)
+}
+
+let create () =
+  {
+    images = [];
+    st_tally = Tally.create ();
+    stables = [];
+    st_offers = [];
+    st_fetching = false;
+    st_fetch_anchor = 0;
+    st_marks = Hashtbl.create 16;
+  }
+
+let tally state = state.st_tally
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let note_image state ~seq ~image =
+  if not (List.exists (fun (s, _) -> Int.equal s seq) state.images) then
+    state.images <- take image_window ((seq, image) :: state.images)
+
+let image_at state ~seq =
+  Option.map snd (List.find_opt (fun (s, _) -> Int.equal s seq) state.images)
+
+let stable_seq state =
+  match state.stables with [] -> 0 | (c, _) :: _ -> c.Checkpoint.cp_seq
+
+let note_stable state ~cert ~image =
+  if cert.Checkpoint.cp_seq <= stable_seq state then false
+  else begin
+    state.stables <- take 2 ((cert, image) :: state.stables);
+    Tally.prune state.st_tally ~upto:cert.Checkpoint.cp_seq;
+    true
+  end
+
+let latest_stable state =
+  match state.stables with [] -> None | s :: _ -> Some s
+
+let previous_stable state =
+  match state.stables with _ :: p :: _ -> Some p | [] | [ _ ] -> None
+
+let add_offer state offer =
+  state.st_offers <-
+    offer :: List.filter (fun o -> not (Int.equal o.st_from offer.st_from)) state.st_offers
+
+let clear_offers state = state.st_offers <- []
+
+let offers state = state.st_offers
+
+let best_image state ~above =
+  List.fold_left
+    (fun best off ->
+      match off.st_cert with
+      | Some c when c.Checkpoint.cp_seq > above -> begin
+        match best with
+        | Some (bc, _, _) when bc.Checkpoint.cp_seq >= c.Checkpoint.cp_seq -> best
+        | Some _ | None -> Some (c, off.st_image, off.st_from)
+      end
+      | Some _ | None -> best)
+    None state.st_offers
+
+let select_entries ~quorum ~base ~entry_ok state =
+  let claims_at o =
+    List.filter_map
+      (fun off ->
+        Option.map
+          (fun e -> (off.st_from, e))
+          (List.find_opt (fun (e : Checkpoint.entry) -> Int.equal e.Checkpoint.e_o o) off.st_entries))
+      state.st_offers
+  in
+  let rec go acc o =
+    let claims = claims_at o in
+    let pick =
+      List.find_opt
+        (fun ((_, e) : int * Checkpoint.entry) ->
+          let supporters =
+            List.filter
+              (fun ((_, e') : int * Checkpoint.entry) ->
+                String.equal e'.Checkpoint.e_digest e.Checkpoint.e_digest)
+              claims
+          in
+          List.length supporters >= quorum && entry_ok e)
+        claims
+    in
+    match pick with
+    | Some (_, e) -> go (e :: acc) (o + 1)
+    | None -> List.rev acc
+  in
+  go [] (base + 1)
+
+(* Per-client delivery high-water marks: the deterministic at-most-once
+   filter that travels inside checkpoint images (see Checkpoint.wrap_image).
+   Raw delivered-key sets are pruned at each process's own truncation pace,
+   so they cannot be compared or transferred; the marks only depend on the
+   delivered order prefix, which agreement makes common. *)
+
+let fresh_key state (k : Sof_smr.Request.key) =
+  match Hashtbl.find_opt state.st_marks k.Sof_smr.Request.client with
+  | Some last -> k.Sof_smr.Request.client_seq > last
+  | None -> true
+
+let mark_delivered state (k : Sof_smr.Request.key) =
+  let cur =
+    Option.value
+      (Hashtbl.find_opt state.st_marks k.Sof_smr.Request.client)
+      ~default:(-1)
+  in
+  if k.Sof_smr.Request.client_seq > cur then
+    Hashtbl.replace state.st_marks k.Sof_smr.Request.client
+      k.Sof_smr.Request.client_seq
+
+let marks state =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun client last acc -> (client, last) :: acc) state.st_marks [])
+
+let merge_marks state marks =
+  List.iter
+    (fun (client, last) ->
+      let cur = Option.value (Hashtbl.find_opt state.st_marks client) ~default:(-1) in
+      if last > cur then Hashtbl.replace state.st_marks client last)
+    marks
+
+let fetching state = state.st_fetching
+
+let fetch_anchor state = state.st_fetch_anchor
+
+let begin_fetch state ~have =
+  state.st_fetching <- true;
+  state.st_fetch_anchor <- have
+
+let end_fetch state = state.st_fetching <- false

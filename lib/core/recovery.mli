@@ -1,0 +1,147 @@
+(** Checkpoint certification and state-transfer bookkeeping.
+
+    The protocol-independent half of checkpoint/recovery: how certificates
+    are verified under each protocol's trust model, how checkpoint votes are
+    tallied into proofs, and how a recovering replica picks what to install
+    from the (possibly partly Byzantine) state-transfer offers it collected.
+    The protocol modules own the other half — when to snapshot, who proposes
+    or endorses a checkpoint, how transferred entries enter the order log.
+
+    Trust models:
+    - BFT certifies with 2f+1 signatures ({!Quorum_signed}) — at least f+1
+      correct signers vouch for the image digest, standard PBFT.
+    - CT runs under the crash-only model with no cryptography, so a
+      certificate is just f+1 distinct senders' claims ({!Quorum_counted});
+      at least one sender is correct.
+    - SC/SCR certify with the coordinator pair's double signature
+      ({!Pair_endorsed}): at most one member of a pair is faulty (the
+      signal-on-fail assumption), so a doubly-signed checkpoint carries at
+      least one correct signature.  SC's unpaired last candidate certifies
+      with its single signature — by the sequential-failure assumption it is
+      only coordinating after f failures, i.e. it is correct. *)
+
+type scheme =
+  | Quorum_signed of { quorum : int; member_ok : int -> bool }
+  | Quorum_counted of { quorum : int; member_ok : int -> bool }
+  | Pair_endorsed of { pair_ok : primary:int -> endorser:int option -> bool }
+      (** [pair_ok] accepts exactly the legitimate (proposer, endorser)
+          combinations: a pair's primary endorsed by its own shadow, or an
+          unpaired candidate primary with no endorser. *)
+
+val cert_payload : seq:int -> digest:string -> string
+(** The byte string checkpoint signatures cover: the encoded [Checkpoint]
+    message body, so wire votes and certificate proofs share signatures. *)
+
+val verify_cert :
+  verify:(signer:int -> msg:string -> signature:string -> bool) ->
+  scheme:scheme ->
+  Checkpoint.cert ->
+  bool
+(** Full certificate check: positive sequence number, distinct legitimate
+    signers, enough of them for the scheme, and (except under
+    [Quorum_counted]) every signature valid — endorsements over the same
+    body-plus-first-signature payload as envelope endorsements. *)
+
+(** Checkpoint vote tally: one vote per (sequence, signer), first wins. *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> seq:int -> digest:string -> signer:int -> signature:string -> unit
+
+  val count : t -> seq:int -> digest:string -> int
+  (** Votes recorded for exactly this (seq, digest). *)
+
+  val proof : t -> seq:int -> digest:string -> (int * string) list
+  (** The (signer, signature) set behind [count] — a certificate proof once
+      the count reaches quorum. *)
+
+  val prune : t -> upto:int -> unit
+  (** Drop votes at or below [upto] (sequence numbers already stable). *)
+end
+
+type offer = {
+  st_from : int;  (** Responder (transport source, not envelope creator). *)
+  st_cert : Checkpoint.cert option;
+  st_image : string;
+  st_entries : Checkpoint.entry list;
+}
+(** One [State_response], as recorded after the receiving protocol verified
+    the certificate and image digest (offers failing those checks are
+    rejected before they get here). *)
+
+(** Per-process checkpoint/recovery bookkeeping, embedded in each protocol
+    state record. *)
+type state
+
+val create : unit -> state
+
+val tally : state -> Tally.t
+
+val note_image : state -> seq:int -> image:string -> unit
+(** Remember this process's own state image at a boundary (a small recent
+    window is kept — enough to serve and endorse while the next checkpoint
+    certifies). *)
+
+val image_at : state -> seq:int -> string option
+
+val note_stable : state -> cert:Checkpoint.cert -> image:string -> bool
+(** Record a stable checkpoint with the image it certifies.  Returns [false]
+    (and changes nothing) unless it is newer than the current stable one.
+    The previous stable checkpoint is retained — it is what a
+    [Stale_checkpoint] adversary serves. *)
+
+val latest_stable : state -> (Checkpoint.cert * string) option
+val previous_stable : state -> (Checkpoint.cert * string) option
+
+val stable_seq : state -> int
+(** Sequence number of the latest stable checkpoint, 0 when none. *)
+
+val add_offer : state -> offer -> unit
+(** Record a state-transfer offer, replacing any earlier offer from the same
+    responder. *)
+
+val clear_offers : state -> unit
+val offers : state -> offer list
+
+val best_image : state -> above:int -> (Checkpoint.cert * string * int) option
+(** Among collected offers, the certified image with the highest checkpoint
+    sequence number strictly above [above]: (certificate, image, responder). *)
+
+val select_entries :
+  quorum:int -> base:int -> entry_ok:(Checkpoint.entry -> bool) -> state -> Checkpoint.entry list
+(** The longest contiguous log suffix starting at [base + 1] such that each
+    entry's (sequence, digest) is claimed by at least [quorum] distinct
+    responders and the chosen entry body passes [entry_ok] (digest
+    recomputation).  With [quorum] covering at least one correct responder,
+    no fabricated entry survives. *)
+
+(** {2 Per-client delivery marks}
+
+    The deterministic at-most-once filter that travels inside checkpoint
+    images ({!Checkpoint.wrap_image}).  Raw delivered-key sets are pruned
+    at each process's own truncation pace, so they can be neither compared
+    nor transferred; the high-water marks depend only on the delivered
+    order prefix, which agreement makes common to all correct processes.
+    Assumes clients issue [client_seq] in increasing order (the paper's
+    broadcast-client model): a request at or below its client's mark is a
+    duplicate or superseded straggler either way. *)
+
+val fresh_key : state -> Sof_smr.Request.key -> bool
+(** Whether the key is above its client's mark (deliverable). *)
+
+val mark_delivered : state -> Sof_smr.Request.key -> unit
+(** Raise the key's client mark to its [client_seq] (never lowers). *)
+
+val marks : state -> (int * int) list
+(** All [(client, mark)] pairs, sorted by client — the canonical form
+    {!Checkpoint.wrap_image} requires. *)
+
+val merge_marks : state -> (int * int) list -> unit
+(** Max-merge marks from an installed checkpoint image into local state. *)
+
+val fetching : state -> bool
+val fetch_anchor : state -> int
+val begin_fetch : state -> have:int -> unit
+val end_fetch : state -> unit

@@ -64,3 +64,27 @@ val is_installing : t -> bool
 val has_fail_signalled : t -> bool
 val is_dumb : t -> bool
 val pending_requests : t -> int
+
+(** {1 Checkpoints and state transfer}
+
+    Enabled by [Config.checkpoint_interval > 0].  At each boundary the
+    coordinator primary signs its state digest and sends it to its shadow,
+    which endorses after comparing against its own boundary image — at most
+    one pair member is faulty, so the double signature carries at least one
+    correct process's word for the digest.  The unpaired last candidate
+    certifies with a single signature (by the sequential-failure assumption
+    it is correct whenever it coordinates). *)
+
+val request_recovery : t -> unit
+(** Start state transfer: ask every process for everything above this
+    process's delivery point and install what comes back (certificate
+    verified, image digest checked, each log entry backed by f+1 matching
+    claims).  Called by the harness right after a crash-restart; also
+    triggered internally when checkpoint traffic shows this process a full
+    interval behind.  Idempotent while a fetch is in flight. *)
+
+val log_length : t -> int
+(** Retained order-log length — what truncation keeps bounded. *)
+
+val stable_checkpoint_seq : t -> int
+(** Latest stable checkpoint sequence number (0 when none). *)

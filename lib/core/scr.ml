@@ -94,6 +94,18 @@ type t = {
   (* trace spans open at this process for fail-over accounting *)
   mutable failover_span : int option;
   mutable vc_span : int option;
+  (* checkpointing and state transfer *)
+  rcv : Recovery.state;
+  mutable recent_delivered : (int * Request.t list) list;
+      (* delivered batches retained for serving state transfer, newest first;
+         pruned one interval behind the stable checkpoint.  Only maintained
+         when checkpointing is on. *)
+  mutable ckpt_proposals : (Message.envelope * int * string) list;
+      (* phase-1 checkpoint proposals from this pair's primary, stashed by
+         the shadow until its own boundary image for that seq exists *)
+  mutable ckpt_certs : Checkpoint.cert list;
+      (* verified certificates awaiting this process's own boundary image *)
+  mutable fetch_timer : Context.timer option;
 }
 
 (* ------------------------------------------------------------ accessors *)
@@ -264,6 +276,133 @@ let close_batch_spans t st =
     span_close t Context.Batch_phase st.o
   end
 
+(* ------------------------------------------------ checkpointing (SCR) *)
+(* Pair-endorsed stable checkpoints, as in SC: the coordinator primary signs
+   its state digest at each boundary and its shadow endorses after comparing
+   against its own boundary image.  Every SCR candidate is a pair, so a
+   certificate is always doubly signed — at most one pair member is faulty,
+   so the double signature carries at least one correct process's word. *)
+
+let log_length t = Hashtbl.length t.orders
+
+let stable_checkpoint_seq t = Recovery.stable_seq t.rcv
+
+let ckpt_pair_ok t ~primary ~endorser =
+  match endorser with
+  | None -> false
+  | Some s ->
+    let ranks = List.init (Config.candidate_count t.config) (fun i -> i + 1) in
+    List.exists
+      (fun r ->
+        let members = Config.candidate_members t.config r in
+        List.mem primary members && List.mem s members && not (Int.equal primary s))
+      ranks
+
+let ckpt_scheme t = Recovery.Pair_endorsed { pair_ok = ckpt_pair_ok t }
+
+let cert_of_ckpt_env (env : Message.envelope) ~seq ~digest =
+  {
+    Checkpoint.cp_seq = seq;
+    cp_digest = digest;
+    cp_proof = [ (env.Message.sender, env.Message.signature) ];
+    cp_endorsement = env.Message.endorsement;
+  }
+
+let truncate t upto =
+  let stale = Hashtbl.fold (fun o _ acc -> if o <= upto then o :: acc else acc) t.orders [] in
+  List.iter (Hashtbl.remove t.orders) stale;
+  (* Keep one extra interval of delivered keys so a primary installed late
+     that re-orders a just-delivered request is still deduplicated. *)
+  let keep_above = upto - t.config.Config.checkpoint_interval in
+  let dropped, kept = List.partition (fun (o, _) -> o <= keep_above) t.recent_delivered in
+  List.iter
+    (fun (_, requests) ->
+      List.iter
+        (fun (req : Request.t) ->
+          t.delivered_keys <- Key_set.remove req.Request.key t.delivered_keys;
+          t.ordered_keys <- Key_set.remove req.Request.key t.ordered_keys;
+          t.executed <- Key_map.remove req.Request.key t.executed)
+        requests)
+    dropped;
+  t.recent_delivered <- kept;
+  t.ctx.Context.emit (Context.Log_truncated { upto; retained = Hashtbl.length t.orders })
+
+(* A verified certificate becomes stable here once our own boundary image
+   for that seq exists and matches; a cert running ahead of our delivery
+   waits in [ckpt_certs] for the boundary to catch up. *)
+let ckpt_adopt_cert t (cert : Checkpoint.cert) =
+  let seq = cert.Checkpoint.cp_seq in
+  if seq > Recovery.stable_seq t.rcv then begin
+    match Recovery.image_at t.rcv ~seq with
+    | Some image
+      when String.equal
+             (Checkpoint.image_digest t.config.Config.digest image)
+             cert.Checkpoint.cp_digest ->
+      if Recovery.note_stable t.rcv ~cert ~image then begin
+        t.ctx.Context.emit
+          (Context.Checkpoint_stable { seq; digest = cert.Checkpoint.cp_digest });
+        span_close t Context.Checkpoint_phase seq;
+        truncate t seq
+      end
+    | Some _ ->
+      (* A certified digest that disagrees with our own image: not a state we
+         can serve; ignore (a lagging or diverged replica recovers through
+         state transfer instead). *)
+      ()
+    | None ->
+      if not (List.exists (fun c -> Checkpoint.equal_cert c cert) t.ckpt_certs) then
+        t.ckpt_certs <- cert :: t.ckpt_certs
+  end
+
+(* Shadow side of a phase-1 checkpoint proposal: endorse only when the
+   primary's digest matches our own image for that boundary.  A mismatch is
+   refused rather than fail-signalled — checkpoint certification is a
+   liveness aid, and refusing keeps a diverged digest from being certified. *)
+let shadow_handle_checkpoint t (env : Message.envelope) ~seq ~digest =
+  match Recovery.image_at t.rcv ~seq with
+  | Some image ->
+    if String.equal (Checkpoint.image_digest t.config.Config.digest image) digest
+    then begin
+      let endorsed = endorse t env in
+      multicast t ~dsts:(others t) endorsed;
+      ckpt_adopt_cert t (cert_of_ckpt_env endorsed ~seq ~digest)
+    end
+  | None ->
+    if seq > t.delivered then
+      t.ckpt_proposals <- (env, seq, digest) :: t.ckpt_proposals
+
+let retry_ckpt_stash t =
+  let proposals = t.ckpt_proposals in
+  t.ckpt_proposals <- [];
+  List.iter
+    (fun (env, seq, digest) ->
+      if seq > Recovery.stable_seq t.rcv then begin
+        match Recovery.image_at t.rcv ~seq with
+        | Some _ -> shadow_handle_checkpoint t env ~seq ~digest
+        | None -> t.ckpt_proposals <- (env, seq, digest) :: t.ckpt_proposals
+      end)
+    proposals;
+  let certs = t.ckpt_certs in
+  t.ckpt_certs <- [];
+  List.iter (fun cert -> ckpt_adopt_cert t cert) certs
+
+let checkpoint_boundary t o =
+  let image =
+    Checkpoint.wrap_image ~state:(t.ctx.Context.snapshot ()) ~marks:(Recovery.marks t.rcv)
+  in
+  t.ctx.Context.digest_charge (String.length image);
+  let digest = Checkpoint.image_digest t.config.Config.digest image in
+  Recovery.note_image t.rcv ~seq:o ~image;
+  span_open t Context.Checkpoint_phase o;
+  if i_am_coordinator_primary t then begin
+    (* Phase 1: 1-to-1 to the shadow for endorsement. *)
+    let env = make_signed t (Message.Checkpoint { seq = o; digest }) in
+    send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env
+  end;
+  retry_ckpt_stash t
+
+(* ------------------------------------------------------------- delivery *)
+
 let rec advance_delivery t =
   match Hashtbl.find_opt t.orders (t.delivered + 1) with
   | None -> ()
@@ -274,6 +413,11 @@ let rec advance_delivery t =
       let batch = Batch.make [] in
       t.ctx.Context.deliver ~seq:st.o batch;
       t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+      if t.config.Config.checkpoint_interval > 0 then begin
+        t.recent_delivered <- (st.o, []) :: t.recent_delivered;
+        if Checkpoint.is_boundary ~interval:t.config.Config.checkpoint_interval st.o then
+          checkpoint_boundary t st.o
+      end;
       advance_delivery t
     end
     else begin
@@ -282,7 +426,11 @@ let rec advance_delivery t =
          processes agree on the committed prefix, so they prune the same
          already-delivered keys and execute identical sub-batches. *)
       let fresh =
-        List.filter (fun k -> not (Key_set.mem k t.delivered_keys)) st.keys
+        List.filter
+          (fun k ->
+            (not (Key_set.mem k t.delivered_keys))
+            && (t.config.Config.checkpoint_interval = 0 || Recovery.fresh_key t.rcv k))
+          st.keys
       in
       let requests = List.filter_map (fun k -> Key_map.find_opt k t.pending) fresh in
       if Int.equal (List.length requests) (List.length fresh) then begin
@@ -290,6 +438,8 @@ let rec advance_delivery t =
         List.iter
           (fun k ->
             t.delivered_keys <- Key_set.add k t.delivered_keys;
+            if t.config.Config.checkpoint_interval > 0 then
+              Recovery.mark_delivered t.rcv k;
             (match Key_map.find_opt k t.pending with
             | Some r -> t.executed <- Key_map.add k r t.executed
             | None -> ());
@@ -299,6 +449,11 @@ let rec advance_delivery t =
         let batch = Batch.make requests in
         t.ctx.Context.deliver ~seq:st.o batch;
         t.ctx.Context.emit (Context.Delivered { seq = st.o; batch });
+        if t.config.Config.checkpoint_interval > 0 then begin
+          t.recent_delivered <- (st.o, requests) :: t.recent_delivered;
+          if Checkpoint.is_boundary ~interval:t.config.Config.checkpoint_interval st.o then
+            checkpoint_boundary t st.o
+        end;
         advance_delivery t
       end
     end
@@ -376,6 +531,213 @@ let accept_order t (env : Message.envelope) ~v ~(info : Message.order_info) =
     | None -> ());
     send_ack t st;
     try_commit t st
+  end
+
+(* --------------------------------------------- state transfer (SCR) *)
+
+(* Serve the stable checkpoint image (when the requester is behind it), the
+   retained delivered batches, and the committed-but-undelivered tail.  Every
+   entry digest is recomputed over exactly the requests served — correct
+   processes deliver identical filtered batches, so their recomputed digests
+   agree and f+1 matching claims pin each entry down at the requester.  A
+   Byzantine responder can serve a corrupt image ([Corrupt_checkpoint_image])
+   or a lazily stale checkpoint ([Stale_checkpoint]); the first is rejected
+   against the certified digest, the second simply loses to fresher offers. *)
+let serve_state_request t ~src ~have =
+  let stable =
+    match t.fault with
+    | Fault.Stale_checkpoint -> Recovery.previous_stable t.rcv
+    | _ -> Recovery.latest_stable t.rcv
+  in
+  let cert, image =
+    match stable with
+    | Some (c, img) when c.Checkpoint.cp_seq > have -> (Some c, img)
+    | Some _ | None -> (None, "")
+  in
+  let image =
+    match t.fault with
+    | Fault.Corrupt_checkpoint_image when String.length image > 0 ->
+      let b = Bytes.of_string image in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      Bytes.to_string b
+    | _ -> image
+  in
+  let base = match cert with Some c -> max have c.Checkpoint.cp_seq | None -> have in
+  let entries =
+    match t.fault with
+    | Fault.Stale_checkpoint -> []
+    | _ ->
+      let delivered_entries =
+        List.filter_map
+          (fun (o, requests) ->
+            if o > base then begin
+              let batch = Batch.make requests in
+              t.ctx.Context.digest_charge (Batch.encoded_size batch);
+              Some
+                {
+                  Checkpoint.e_o = o;
+                  e_digest = Batch.digest t.config.Config.digest batch;
+                  e_requests = requests;
+                }
+            end
+            else None)
+          t.recent_delivered
+      in
+      let tail =
+        Hashtbl.fold
+          (fun o st acc ->
+            if o <= t.delivered || o <= base || not st.committed then acc
+            else begin
+              let requests =
+                List.filter_map (fun k -> Key_map.find_opt k t.pending) st.keys
+              in
+              if Int.equal (List.length requests) (List.length st.keys) then begin
+                let batch = Batch.make requests in
+                t.ctx.Context.digest_charge (Batch.encoded_size batch);
+                {
+                  Checkpoint.e_o = o;
+                  e_digest = Batch.digest t.config.Config.digest batch;
+                  e_requests = requests;
+                }
+                :: acc
+              end
+              else acc
+            end)
+          t.orders []
+      in
+      List.sort
+        (fun (a : Checkpoint.entry) b -> Int.compare a.Checkpoint.e_o b.Checkpoint.e_o)
+        (delivered_entries @ tail)
+  in
+  send t ~dst:src (make_signed t (Message.State_response { cert; image; entries }))
+
+let entry_ok t (e : Checkpoint.entry) =
+  let batch = Batch.make e.Checkpoint.e_requests in
+  t.ctx.Context.digest_charge (Batch.encoded_size batch);
+  String.equal (Batch.digest t.config.Config.digest batch) e.Checkpoint.e_digest
+
+(* Install the best certified image above our delivery point, then the
+   contiguous entry suffix with f+1 matching claims per entry (at least one
+   claimant is correct).  Transferred entries enter the log as committed and
+   are delivered by the normal in-sequence walk; no Committed event is
+   re-emitted for them. *)
+let attempt_install t =
+  let image_installed =
+    match Recovery.best_image t.rcv ~above:t.delivered with
+    | Some (cert, image, _) -> begin
+      match Checkpoint.unwrap_image image with
+      | None -> false (* digest-verified yet malformed: refuse quietly *)
+      | Some (snap, marks) ->
+        t.ctx.Context.restore snap;
+        Recovery.merge_marks t.rcv marks;
+        t.delivered <- cert.Checkpoint.cp_seq;
+        if t.max_committed < cert.Checkpoint.cp_seq then
+          t.max_committed <- cert.Checkpoint.cp_seq;
+        Recovery.note_image t.rcv ~seq:cert.Checkpoint.cp_seq ~image;
+        if Recovery.note_stable t.rcv ~cert ~image then
+          t.ctx.Context.emit
+            (Context.Checkpoint_stable
+               { seq = cert.Checkpoint.cp_seq; digest = cert.Checkpoint.cp_digest });
+        truncate t cert.Checkpoint.cp_seq;
+        true
+    end
+    | None -> false
+  in
+  let installed_at = t.delivered in
+  let entries =
+    Recovery.select_entries ~quorum:(t.config.Config.f + 1) ~base:t.delivered
+      ~entry_ok:(entry_ok t) t.rcv
+  in
+  List.iter
+    (fun (e : Checkpoint.entry) ->
+      let st = get_order t e.Checkpoint.e_o in
+      if not st.committed then begin
+        st.have_order <- true;
+        st.digest <- e.Checkpoint.e_digest;
+        st.keys <- List.map (fun (r : Request.t) -> r.Request.key) e.Checkpoint.e_requests;
+        if e.Checkpoint.e_requests = [] then st.null <- true;
+        st.committed <- true;
+        List.iter
+          (fun (r : Request.t) ->
+            t.ordered_keys <- Key_set.add r.Request.key t.ordered_keys;
+            if
+              (not (Key_map.mem r.Request.key t.pending))
+              && not (Key_set.mem r.Request.key t.delivered_keys)
+            then t.pending <- Key_map.add r.Request.key r t.pending)
+          e.Checkpoint.e_requests;
+        if st.o > t.max_committed then t.max_committed <- st.o
+      end)
+    entries;
+  if image_installed || entries <> [] then
+    t.ctx.Context.emit
+      (Context.State_transfer_installed
+         { seq = installed_at; entries = List.length entries });
+  advance_delivery t
+
+let fetch_target t =
+  List.fold_left
+    (fun acc (off : Recovery.offer) ->
+      let acc =
+        match off.Recovery.st_cert with
+        | Some c -> max acc c.Checkpoint.cp_seq
+        | None -> acc
+      in
+      List.fold_left
+        (fun acc (e : Checkpoint.entry) -> max acc e.Checkpoint.e_o)
+        acc off.Recovery.st_entries)
+    0 (Recovery.offers t.rcv)
+
+let maybe_end_fetch t =
+  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  then begin
+    span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
+    Recovery.end_fetch t.rcv;
+    (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
+    t.fetch_timer <- None;
+    Recovery.clear_offers t.rcv
+  end
+
+let rec fetch_tick t =
+  if Recovery.fetching t.rcv then begin
+    Recovery.clear_offers t.rcv;
+    multicast t ~dsts:(others t)
+      (make_signed t (Message.State_request { have = t.delivered }));
+    let delay =
+      Simtime.add t.config.Config.heartbeat_interval t.config.Config.pair_delay_estimate
+    in
+    t.fetch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> fetch_tick t))
+  end
+
+let request_recovery t =
+  if not (Recovery.fetching t.rcv) then begin
+    Recovery.begin_fetch t.rcv ~have:t.delivered;
+    t.ctx.Context.emit (Context.State_transfer_started { have = t.delivered });
+    span_open t Context.Recovery_phase t.delivered;
+    fetch_tick t
+  end
+
+let handle_state_response t ~src ~cert ~image ~entries =
+  if Recovery.fetching t.rcv then begin
+    let cert_ok =
+      match cert with
+      | None -> true
+      | Some c ->
+        t.ctx.Context.digest_charge (String.length image);
+        Recovery.verify_cert
+          ~verify:(fun ~signer ~msg ~signature ->
+            t.ctx.Context.verify ~signer ~msg ~signature)
+          ~scheme:(ckpt_scheme t) c
+        && String.equal
+             (Checkpoint.image_digest t.config.Config.digest image)
+             c.Checkpoint.cp_digest
+    in
+    if not cert_ok then t.ctx.Context.emit (Context.State_transfer_rejected { from = src })
+    else begin
+      Recovery.add_offer t.rcv
+        { Recovery.st_from = src; st_cert = cert; st_image = image; st_entries = entries };
+      attempt_install t;
+      maybe_end_fetch t
+    end
   end
 
 (* ----------------------------------------------------- pair fail-signal *)
@@ -646,14 +1008,18 @@ and install_view t (env : Message.envelope) ~v ~start_o ~anchor ~new_back_log =
       List.filter (fun (i : Message.order_info) -> i.Message.o > t.max_committed) new_back_log;
     List.iter
       (fun (info : Message.order_info) ->
-        let st = get_order t info.Message.o in
-        if not st.committed then begin
-          st.have_order <- true;
-          st.digest <- info.Message.digest;
-          st.keys <- info.Message.keys;
-          st.vote_v <- v;
-          if info.Message.keys = [] then st.null <- true;
-          List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys
+        (* Below the stable checkpoint the log is truncated and settled; the
+           back-log must not resurrect those sequences. *)
+        if info.Message.o > Recovery.stable_seq t.rcv then begin
+          let st = get_order t info.Message.o in
+          if not st.committed then begin
+            st.have_order <- true;
+            st.digest <- info.Message.digest;
+            st.keys <- info.Message.keys;
+            st.vote_v <- v;
+            if info.Message.keys = [] then st.null <- true;
+            List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) info.Message.keys
+          end
         end)
       new_back_log;
     let payload = Message.encode_body env.Message.body in
@@ -981,7 +1347,10 @@ and on_message t ~src (env : Message.envelope) =
       note_pair_failed t pair
     end
   | Message.Order { c = v; info } ->
-    if Int.equal v t.view && not t.changing_view then begin
+    (* Sequence numbers at or below the stable checkpoint are settled and
+       truncated — stragglers must not resurrect them in the log. *)
+    if info.Message.o <= Recovery.stable_seq t.rcv then ()
+    else if Int.equal v t.view && not t.changing_view then begin
       let rank = coordinator_rank t in
       if env.Message.endorsement = None then begin
         if
@@ -1019,7 +1388,7 @@ and on_message t ~src (env : Message.envelope) =
       && authentic t env
     then accept_order t env ~v ~info
   | Message.Ack { o; digest; _ } ->
-    if authentic t env then begin
+    if o > Recovery.stable_seq t.rcv && authentic t env then begin
       let st = get_order t o in
       add_vote st ~digest ~source:env.Message.sender ~signature:env.Message.signature;
       if st.have_order && String.equal st.digest digest then try_commit t st
@@ -1065,6 +1434,35 @@ and on_message t ~src (env : Message.envelope) =
         (Config.candidate_members t.config pair);
       propose_view_change t (v + 1)
     end
+  | Message.Checkpoint { seq; digest } ->
+    if
+      t.config.Config.checkpoint_interval > 0
+      && seq > Recovery.stable_seq t.rcv
+      && authentic t env
+    then begin
+      (match env.Message.endorsement with
+      | None -> begin
+        (* Phase-1 proposal addressed to this pair's shadow. *)
+        match (t.pair_rank, t.counterpart) with
+        | Some r, Some cp
+          when Int.equal env.Message.sender cp
+               && Int.equal cp (Config.primary_of_pair t.config r)
+               && t.status = Up ->
+          shadow_handle_checkpoint t env ~seq ~digest
+        | _ -> ()
+      end
+      | Some (who, _) ->
+        if ckpt_pair_ok t ~primary:env.Message.sender ~endorser:(Some who) then
+          ckpt_adopt_cert t (cert_of_ckpt_env env ~seq ~digest));
+      (* A checkpoint a full interval ahead of our delivery point means we
+         missed traffic that has since been truncated at our peers: catch up
+         through state transfer rather than waiting for retransmissions that
+         will never come. *)
+      if seq > t.delivered + t.config.Config.checkpoint_interval then request_recovery t
+    end
+  | Message.State_request { have } -> if authentic t env then serve_state_request t ~src ~have
+  | Message.State_response { cert; image; entries } ->
+    if authentic t env then handle_state_response t ~src ~cert ~image ~entries
   | Message.Back_log _ | Message.Start _ | Message.Start_ack _
   | Message.Start_tuples _ | Message.Pre_prepare _ | Message.Prepare _
   | Message.Commit _ | Message.Bft_view_change _ | Message.Bft_new_view _ ->
@@ -1161,4 +1559,9 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     echoed_fail_signals = Hashtbl.create 8;
     failover_span = None;
     vc_span = None;
+    rcv = Recovery.create ();
+    recent_delivered = [];
+    ckpt_proposals = [];
+    ckpt_certs = [];
+    fetch_timer = None;
   }

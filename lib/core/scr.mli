@@ -55,3 +55,26 @@ val pair_status : t -> status
 val max_committed : t -> int
 val delivered_seq : t -> int
 val changing_view : t -> bool
+
+(** {1 Checkpoints and state transfer}
+
+    Enabled by [Config.checkpoint_interval > 0].  At each boundary the
+    current view's coordinator primary signs its state digest and sends it
+    to its shadow, which endorses after comparing against its own boundary
+    image; every SCR candidate is a pair, so certificates are always doubly
+    signed — at most one pair member is faulty, so the double signature
+    carries at least one correct process's word for the digest. *)
+
+val request_recovery : t -> unit
+(** Start state transfer: ask every process for everything above this
+    process's delivery point and install what comes back (certificate
+    verified, image digest checked, each log entry backed by f+1 matching
+    claims).  Called by the harness right after a crash-restart; also
+    triggered internally when checkpoint traffic shows this process a full
+    interval behind.  Idempotent while a fetch is in flight. *)
+
+val log_length : t -> int
+(** Retained order-log length — what truncation keeps bounded. *)
+
+val stable_checkpoint_seq : t -> int
+(** Latest stable checkpoint sequence number (0 when none). *)

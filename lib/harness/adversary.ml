@@ -21,7 +21,8 @@ let wire_of_fault = function
   | P.Fault.Honest | P.Fault.Corrupt_digest_at _ | P.Fault.Endorse_corrupt_at _
   | P.Fault.Mute_at _ | P.Fault.Drop_endorsements | P.Fault.Equivocate_at _
   | P.Fault.Spurious_fail_signal_at _ | P.Fault.Withhold_fail_signal
-  | P.Fault.Unwilling_spam ->
+  | P.Fault.Unwilling_spam | P.Fault.Corrupt_checkpoint_image
+  | P.Fault.Stale_checkpoint ->
     None
 
 let wanted faults =

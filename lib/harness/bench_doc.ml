@@ -5,7 +5,7 @@
 
 module Json = Sof_util.Json
 
-let schema_version = 1
+let schema_version = 2
 
 let json_of_point (p : Experiments.series_point) =
   Json.Obj
@@ -93,6 +93,24 @@ let json_of_breakdown (bd : Metrics.breakdown) =
       ("phases", Json.List (List.map json_of_phase_stat bd.Metrics.bd_phases));
     ]
 
+let json_of_recovery (label, (r : Metrics.recovery)) =
+  Json.Obj
+    [
+      ("protocol", Json.Str label);
+      ("restarts", Json.num_of_int r.Metrics.rc_restarts);
+      ("recovered", Json.num_of_int r.Metrics.rc_recovered);
+      ("transfers_started", Json.num_of_int r.Metrics.rc_transfers_started);
+      ("transfers_installed", Json.num_of_int r.Metrics.rc_transfers_installed);
+      ("transfers_rejected", Json.num_of_int r.Metrics.rc_transfers_rejected);
+      ("checkpoints_stable", Json.num_of_int r.Metrics.rc_checkpoints_stable);
+      ("truncations", Json.num_of_int r.Metrics.rc_truncations);
+      ( "mean_recovery_ms",
+        match r.Metrics.rc_mean_recovery_ms with
+        | Some v -> Json.Num v
+        | None -> Json.Null );
+      ("max_retained_log", Json.num_of_int r.Metrics.rc_max_log_length);
+    ]
+
 (* The critical-path claims the phase breakdown decides mechanically: the
    reason SC beats BFT in the paper's Section 5 is one fewer all-to-all
    round and cheaper per-batch authentication. *)
@@ -121,7 +139,7 @@ let json_of_verdicts verdicts =
          Json.Obj [ ("name", Json.Str name); ("pass", Json.Bool pass) ])
        verdicts)
 
-let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ~breakdowns () =
+let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ~breakdowns () =
   let verdicts = Report.shape_check_results fig4_5 @ phase_verdicts breakdowns in
   Json.Obj
     [
@@ -153,5 +171,9 @@ let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ~breakdowns () =
               | None -> Json.Null );
           ] );
       ("phases", Json.List (List.map json_of_breakdown breakdowns));
+      ( "recovery",
+        match recovery with
+        | Some rows -> Json.List (List.map json_of_recovery rows)
+        | None -> Json.Null );
       ("verdicts", json_of_verdicts verdicts);
     ]

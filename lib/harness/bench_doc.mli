@@ -4,7 +4,7 @@
     test all build and read the same JSON shape through this module:
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "generator": "sof-bench",
       "seed": <int>, "fast": <bool>,
       "figures": {
@@ -13,8 +13,12 @@
         "fig6": [ ... ] | null,
         "message_counts": [ ... ] | null },
       "phases": [ per-protocol breakdowns, see {!json_of_breakdown} ],
+      "recovery": [ crash-restart cost rows, see {!json_of_recovery} ] | null,
       "verdicts": [ { "name", "pass" } ] }
-    v} *)
+    v}
+
+    Schema history: v2 added the "recovery" section (crash-restart
+    recovery cost per protocol). *)
 
 val schema_version : int
 
@@ -23,6 +27,11 @@ val json_of_failover_series : Experiments.failover_series -> Sof_util.Json.t
 val json_of_crypto : Trace.crypto -> Sof_util.Json.t
 val json_of_phase_stat : Metrics.phase_stat -> Sof_util.Json.t
 val json_of_breakdown : Metrics.breakdown -> Sof_util.Json.t
+
+val json_of_recovery : string * Metrics.recovery -> Sof_util.Json.t
+(** One labelled {!Metrics.recovery} as a "recovery" row: restart counts,
+    transfer outcomes, checkpoint/truncation totals, mean restart-to-rejoin
+    latency ([null] when nothing recovered) and peak retained log. *)
 
 val phase_verdicts : Metrics.breakdown list -> (string * bool) list
 (** The critical-path claims decided mechanically from the breakdowns:
@@ -35,6 +44,7 @@ val make :
   fig4_5:Experiments.series list ->
   ?fig6:Experiments.failover_series list ->
   ?message_counts:(string * int * int) list ->
+  ?recovery:(string * Metrics.recovery) list ->
   breakdowns:Metrics.breakdown list ->
   unit ->
   Sof_util.Json.t

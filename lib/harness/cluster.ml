@@ -30,6 +30,9 @@ type spec = {
   real_crypto : bool;
   use_channel : bool;
   channel_config : Channel.config;
+  checkpoint_interval : int;
+      (* checkpoint every this-many delivered sequence numbers; 0 disables
+         checkpointing, truncation and state transfer *)
 }
 
 let default_spec ~kind ~f =
@@ -52,6 +55,7 @@ let default_spec ~kind ~f =
     real_crypto = false;
     use_channel = false;
     channel_config = Channel.default_config;
+    checkpoint_interval = 0;
   }
 
 type proc = Sc of P.Sc.t | Scr of P.Scr.t | Bft of P.Bft.t | Ct of P.Ct.t
@@ -72,7 +76,13 @@ type crypto_ctr = {
 type node = {
   node_cpu : Cpu.t;
   mutable node_proc : proc option;
-  node_machine : Sof_smr.State_machine.t option;
+  mutable node_machine : Sof_smr.State_machine.t option;
+      (* replaced with a fresh machine on restart: a crash loses all volatile
+         state, and the replacement catches up through state transfer *)
+  mutable node_gen : int;
+      (* bumped on restart; timer callbacks from a superseded process
+         generation are dropped, so the pre-crash process cannot keep
+         heartbeating or batching from beyond the grave *)
   node_crypto : crypto_ctr;
   node_sends : (string, int ref * int ref) Hashtbl.t;  (* tag -> msgs, bytes *)
 }
@@ -87,6 +97,9 @@ type t = {
   nodes : node array;
   mutable event_log : (Simtime.t * int * P.Context.event) list;
   replies : (Request.key, (int * string) list ref) Hashtbl.t;
+  mutable rebuild : (int -> proc) option;
+      (* per-node protocol-process factory, filled in by [build]; used by
+         [restart] to bring a crashed node back with empty volatile state *)
 }
 
 let process_count_of_spec spec =
@@ -165,6 +178,59 @@ let run t ~until = Engine.run ~until t.engine
 
 let crash t i = Network.crash t.net i
 
+let start_proc = function
+  | Sc p -> P.Sc.start p
+  | Scr p -> P.Scr.start p
+  | Bft p -> P.Bft.start p
+  | Ct p -> P.Ct.start p
+
+let request_recovery t i =
+  match t.nodes.(i).node_proc with
+  | Some (Sc p) -> P.Sc.request_recovery p
+  | Some (Scr p) -> P.Scr.request_recovery p
+  | Some (Bft p) -> P.Bft.request_recovery p
+  | Some (Ct p) -> P.Ct.request_recovery p
+  | None -> ()
+
+let log_length t i =
+  match t.nodes.(i).node_proc with
+  | Some (Sc p) -> P.Sc.log_length p
+  | Some (Scr p) -> P.Scr.log_length p
+  | Some (Bft p) -> P.Bft.log_length p
+  | Some (Ct p) -> P.Ct.log_length p
+  | None -> 0
+
+let stable_checkpoint_seq t i =
+  match t.nodes.(i).node_proc with
+  | Some (Sc p) -> P.Sc.stable_checkpoint_seq p
+  | Some (Scr p) -> P.Scr.stable_checkpoint_seq p
+  | Some (Bft p) -> P.Bft.stable_checkpoint_seq p
+  | Some (Ct p) -> P.Ct.stable_checkpoint_seq p
+  | None -> 0
+
+(* Crash-restart: the node comes back with a fresh protocol process and a
+   fresh (empty) state machine — everything volatile is lost — and
+   immediately asks its peers for a state transfer.  The generation bump
+   silences the superseded process's pending timers; the transport handler
+   and request injection read [node_proc] at event time, so all new traffic
+   reaches the replacement. *)
+let restart t i =
+  if Network.is_crashed t.net i then begin
+    let node = t.nodes.(i) in
+    (match t.rebuild with
+    | Some make_proc ->
+      node.node_gen <- node.node_gen + 1;
+      node.node_machine <-
+        (if t.spec.attach_machines then Some (t.spec.machine_factory ()) else None);
+      Network.restart t.net i;
+      let p = make_proc i in
+      node.node_proc <- Some p;
+      t.event_log <- (Engine.now t.engine, i, P.Context.Node_restarted) :: t.event_log;
+      start_proc p;
+      request_recovery t i
+    | None -> invalid_arg "Cluster.restart: cluster not built")
+  end
+
 (* Context with all CPU charging for node [i]. *)
 let make_context t i =
   let node = t.nodes.(i) in
@@ -223,8 +289,15 @@ let make_context t i =
             transport_send t ~src:i ~dst payload))
       dsts
   in
+  (* Timers are generation-gated: after a restart the superseded process
+     value still holds re-arming timers (heartbeats, batch ticks) whose
+     callbacks would otherwise keep sending from this endpoint. *)
+  let gen = node.node_gen in
   let set_timer ~delay k =
-    let h = Engine.schedule t.engine ~delay k in
+    let h =
+      Engine.schedule t.engine ~delay (fun () ->
+          if Int.equal node.node_gen gen then k ())
+    in
     { P.Context.cancel = (fun () -> Engine.cancel h) }
   in
   let deliver ~seq:_ batch =
@@ -246,6 +319,19 @@ let make_context t i =
         batch.P.Batch.requests
   in
   let emit ev = t.event_log <- (Engine.now t.engine, i, ev) :: t.event_log in
+  (* Checkpoint images come from the attached machine; a cluster without
+     machines checkpoints over the empty image (still exercising the
+     certificate and truncation machinery). *)
+  let snapshot () =
+    match node.node_machine with
+    | Some m -> Sof_smr.State_machine.snapshot m
+    | None -> ""
+  in
+  let restore image =
+    match node.node_machine with
+    | Some m -> Sof_smr.State_machine.restore m image
+    | None -> ()
+  in
   {
     P.Context.id = i;
     now = (fun () -> Engine.now t.engine);
@@ -257,6 +343,8 @@ let make_context t i =
     set_timer;
     deliver;
     emit;
+    snapshot;
+    restore;
   }
 
 (* The trusted dealer supplies each pair member with a fail-signal signed
@@ -313,6 +401,7 @@ let build spec =
           node_proc = None;
           node_machine =
             (if spec.attach_machines then Some (spec.machine_factory ()) else None);
+          node_gen = 0;
           node_crypto =
             {
               c_signs = 0;
@@ -336,62 +425,66 @@ let build spec =
       nodes;
       event_log = [];
       replies = Hashtbl.create 256;
+      rebuild = None;
     }
   in
-  (* Protocol processes. *)
-  (match spec.kind with
-  | Sc_protocol | Scr_protocol ->
-    let variant = if spec.kind = Sc_protocol then P.Config.SC else P.Config.SCR in
-    let config =
-      P.Config.make ~variant ~batching_interval:spec.batching_interval
-        ~batch_size_limit:spec.batch_size_limit
-        ~digest:scheme.Scheme.digest
-        ~pair_delay_estimate:spec.pair_delay_estimate
-        ~heartbeat_interval:spec.heartbeat_interval
-        ~dumb_optimization:spec.dumb_optimization ~f:spec.f ()
-    in
-    (* Fast links inside each pair, both directions. *)
-    for rank = 1 to P.Config.pair_count config do
-      let p = P.Config.primary_of_pair config rank in
-      let s = P.Config.shadow_of_pair config rank in
-      Network.set_link net ~src:p ~dst:s spec.pair_link;
-      Network.set_link net ~src:s ~dst:p spec.pair_link
-    done;
-    for i = 0 to n - 1 do
-      let ctx = make_context t i in
-      let counterpart_fail_signal =
-        match P.Config.pair_rank_of config i with
-        | Some _ -> Some (fail_signal_presig t ~config ~for_process:i)
-        | None -> None
+  (* Protocol processes, via a factory kept on [t] so [restart] can rebuild
+     a node's process with the same configuration but empty volatile state. *)
+  let make_proc =
+    match spec.kind with
+    | Sc_protocol | Scr_protocol ->
+      let variant = if spec.kind = Sc_protocol then P.Config.SC else P.Config.SCR in
+      let config =
+        P.Config.make ~variant ~batching_interval:spec.batching_interval
+          ~batch_size_limit:spec.batch_size_limit
+          ~digest:scheme.Scheme.digest
+          ~pair_delay_estimate:spec.pair_delay_estimate
+          ~heartbeat_interval:spec.heartbeat_interval
+          ~dumb_optimization:spec.dumb_optimization
+          ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
       in
-      let fault = fault_for spec i in
-      let p =
+      (* Fast links inside each pair, both directions. *)
+      for rank = 1 to P.Config.pair_count config do
+        let p = P.Config.primary_of_pair config rank in
+        let s = P.Config.shadow_of_pair config rank in
+        Network.set_link net ~src:p ~dst:s spec.pair_link;
+        Network.set_link net ~src:s ~dst:p spec.pair_link
+      done;
+      fun i ->
+        let ctx = make_context t i in
+        let counterpart_fail_signal =
+          match P.Config.pair_rank_of config i with
+          | Some _ -> Some (fail_signal_presig t ~config ~for_process:i)
+          | None -> None
+        in
+        let fault = fault_for spec i in
         if spec.kind = Sc_protocol then
           Sc (P.Sc.create ~ctx ~config ~fault ?counterpart_fail_signal ())
         else Scr (P.Scr.create ~ctx ~config ~fault ?counterpart_fail_signal ())
+    | Bft_protocol ->
+      let config =
+        P.Bft.make_config ~batching_interval:spec.batching_interval
+          ~batch_size_limit:spec.batch_size_limit ~digest:scheme.Scheme.digest
+          ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
       in
-      t.nodes.(i).node_proc <- Some p
-    done
-  | Bft_protocol ->
-    let config =
-      P.Bft.make_config ~batching_interval:spec.batching_interval
-        ~batch_size_limit:spec.batch_size_limit ~digest:scheme.Scheme.digest
-        ~f:spec.f ()
-    in
-    for i = 0 to n - 1 do
-      let ctx = make_context t i in
-      let fault = fault_for spec i in
-      t.nodes.(i).node_proc <- Some (Bft (P.Bft.create ~ctx ~config ~fault ()))
-    done
-  | Ct_protocol ->
-    let config =
-      P.Ct.make_config ~batching_interval:spec.batching_interval
-        ~batch_size_limit:spec.batch_size_limit ~f:spec.f ()
-    in
-    for i = 0 to n - 1 do
-      let ctx = make_context t i in
-      t.nodes.(i).node_proc <- Some (Ct (P.Ct.create ~ctx ~config))
-    done);
+      fun i ->
+        let ctx = make_context t i in
+        let fault = fault_for spec i in
+        Bft (P.Bft.create ~ctx ~config ~fault ())
+    | Ct_protocol ->
+      let config =
+        P.Ct.make_config ~batching_interval:spec.batching_interval
+          ~batch_size_limit:spec.batch_size_limit
+          ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
+      in
+      fun i ->
+        let ctx = make_context t i in
+        Ct (P.Ct.create ~ctx ~config)
+  in
+  t.rebuild <- Some make_proc;
+  for i = 0 to n - 1 do
+    t.nodes.(i).node_proc <- Some (make_proc i)
+  done;
   (* Inbound path: network -> CPU (receive cost) -> decode -> protocol. *)
   for i = 0 to n - 1 do
     set_transport_handler t i (fun ~src payload ->

@@ -37,6 +37,10 @@ type spec = {
           substrate drops, duplicates, reorders or partitions. *)
   channel_config : Sof_net.Channel.config;
       (** Retransmission tuning when [use_channel] is set. *)
+  checkpoint_interval : int;
+      (** Checkpoint every this-many delivered sequence numbers; 0 (the
+          default) disables checkpointing, log truncation and state
+          transfer, keeping pre-checkpoint seeded runs byte-identical. *)
 }
 
 val default_spec : kind:kind -> f:int -> spec
@@ -79,6 +83,25 @@ val inject_request : t -> Sof_smr.Request.t -> unit
 
 val crash : t -> int -> unit
 (** Hard-crash a node at the network level (silent, loses in-flight). *)
+
+val restart : t -> int -> unit
+(** Bring a crashed node back: reconnect it at the network level, give it a
+    fresh protocol process (same configuration, empty volatile state) and a
+    fresh state machine, emit {!Sof_protocol.Context.Node_restarted}, and
+    immediately start state transfer via {!request_recovery}.  Timers armed
+    by the pre-crash process are silenced.  No-op unless the node is
+    currently crashed. *)
+
+val request_recovery : t -> int -> unit
+(** Ask process [i] to start a state transfer (see the protocol modules'
+    [request_recovery]); no-op on an unbuilt node. *)
+
+val log_length : t -> int -> int
+(** Retained order-log length at process [i] — what checkpoint-driven
+    truncation keeps bounded. *)
+
+val stable_checkpoint_seq : t -> int -> int
+(** Process [i]'s latest stable checkpoint sequence number (0 when none). *)
 
 val events : t -> (Sof_sim.Simtime.t * int * Sof_protocol.Context.event) list
 (** All protocol events so far, in emission order, as

@@ -242,3 +242,19 @@ let message_counts ?(f = 2) ?(seed = 3L) () =
       ("SC", Cluster.Sc_protocol);
       ("BFT", Cluster.Bft_protocol);
     ]
+
+(* Crash-restart recovery cost: one seeded Nemesis restart campaign per
+   protocol with checkpointing on, reduced to its recovery accounting.
+   Default seed 1 is a vetted campaign (every protocol's restarted process
+   recovers within the run). *)
+let recovery_costs ?(f = 2) ?(seed = 1L) ?(duration = Simtime.sec 10) () =
+  List.filter_map
+    (fun (label, kind) ->
+      let report = Nemesis.run ~restart:true ~kind ~f ~seed ~duration () in
+      Option.map (fun recovery -> (label, recovery)) report.Nemesis.recovery)
+    [
+      ("CT", Cluster.Ct_protocol);
+      ("SC", Cluster.Sc_protocol);
+      ("SCR", Cluster.Scr_protocol);
+      ("BFT", Cluster.Bft_protocol);
+    ]

@@ -93,3 +93,16 @@ val message_counts :
 (** Fail-free messages and bytes per protocol for a fixed workload —
     quantifies the paper's "smaller message overhead" claim.  Returns
     [(protocol, messages, bytes)]. *)
+
+val recovery_costs :
+  ?f:int ->
+  ?seed:int64 ->
+  ?duration:Sof_sim.Simtime.t ->
+  unit ->
+  (string * Metrics.recovery) list
+(** Crash-restart recovery cost per protocol: one seeded {!Nemesis}
+    restart campaign each (checkpointing on, the campaign's crash target
+    brought back mid-run), reduced to its {!Metrics.recovery_stats} —
+    restart-to-rejoin latency, transfers installed/rejected, checkpoint
+    and truncation counts, peak retained log.  Returns
+    [(protocol, recovery)] over CT, SC, SCR and BFT. *)

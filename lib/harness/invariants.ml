@@ -20,13 +20,31 @@ let all_pass = List.for_all (fun r -> r.pass)
 
 (* Delivered events of honest processes, in emission order (which is
    per-process sequence order — Context.deliver is called in strict sequence
-   order). *)
+   order).  Each delivery is tagged with the process's incarnation (bumped
+   at Node_restarted: a restarted process lost its delivered-set and may
+   legitimately re-deliver what its previous life already delivered) and
+   its segment (bumped at Node_restarted {e and} State_transfer_installed:
+   an install jumps the delivery point above a checkpoint anchor, so a
+   contiguity check must restart there). *)
 let deliveries cluster ~honest =
+  let inc : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let seg : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl who =
+    Hashtbl.replace tbl who (1 + Option.value (Hashtbl.find_opt tbl who) ~default:0)
+  in
+  let current tbl who = Option.value (Hashtbl.find_opt tbl who) ~default:0 in
   List.filter_map
     (fun (at, who, event) ->
       match event with
+      | P.Context.Node_restarted ->
+        bump inc who;
+        bump seg who;
+        None
+      | P.Context.State_transfer_installed _ ->
+        bump seg who;
+        None
       | P.Context.Delivered { seq; batch } when List.mem who honest ->
-        Some (at, who, seq, batch)
+        Some (at, (who, current inc who, current seg who), seq, batch)
       | _ -> None)
     (Cluster.events cluster)
 
@@ -40,7 +58,7 @@ let agreement cluster ~honest =
   let by_seq : (int, int * Request.key list) Hashtbl.t = Hashtbl.create 256 in
   let violation = ref None in
   List.iter
-    (fun (_, who, seq, batch) ->
+    (fun (_, (who, _, _), seq, batch) ->
       if !violation = None then
         let keys = batch_keys batch in
         match Hashtbl.find_opt by_seq seq with
@@ -57,50 +75,84 @@ let agreement cluster ~honest =
 
 (* -------------------------------------------------- prefix consistency *)
 
+(* Anchored: a recovered process resumes {e above} a checkpoint anchor
+   rather than at sequence 1, so streams are compared per segment and by
+   sequence number.  Within a segment the delivered sequence numbers must
+   be contiguous (the anchor is wherever the segment starts); across any
+   two segments, overlapping sequence numbers must carry the same keys.
+   Contiguity plus pointwise equality over the overlap is exactly the
+   prefix property anchored at the later stream's first sequence number. *)
 let prefix_consistency cluster ~honest =
   let name = "prefix-consistency" in
-  let streams = Hashtbl.create 8 in
+  let streams : (int * int * int, (int * Request.key list) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
   List.iter
-    (fun (_, who, _, batch) ->
-      let prev = Option.value (Hashtbl.find_opt streams who) ~default:[] in
-      Hashtbl.replace streams who (List.rev_append (batch_keys batch) prev))
+    (fun (_, pid, seq, batch) ->
+      let cell =
+        match Hashtbl.find_opt streams pid with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.replace streams pid c;
+          c
+      in
+      cell := (seq, batch_keys batch) :: !cell)
     (deliveries cluster ~honest);
-  let seqs =
-    List.map
-      (fun who ->
-        (who, List.rev (Option.value (Hashtbl.find_opt streams who) ~default:[])))
-      honest
+  let streams =
+    Hashtbl.fold (fun pid cell acc -> (pid, List.rev !cell) :: acc) streams []
   in
-  let is_prefix a b =
-    let rec go a b =
-      match (a, b) with
-      | [], _ -> true
-      | _, [] -> false
-      | x :: a', y :: b' -> x = y && go a' b'
-    in
-    go a b
+  let contiguity =
+    List.find_map
+      (fun ((who, _, _), entries) ->
+        let rec go = function
+          | (a, _) :: ((b, _) :: _ as rest) ->
+            if b <> a + 1 then
+              Some
+                (Printf.sprintf
+                   "process %d delivered seq %d directly after seq %d (gap \
+                    with no state-transfer install)" who b a)
+            else go rest
+          | _ -> None
+        in
+        go entries)
+      streams
   in
-  let rec check = function
-    | [] -> ok name
-    | (i, si) :: rest -> (
-      match
-        List.find_opt (fun (_, sj) -> not (is_prefix si sj || is_prefix sj si)) rest
-      with
-      | Some (j, _) ->
-        fail name
-          (Printf.sprintf "processes %d and %d delivered divergent request streams" i j)
-      | None -> check rest)
-  in
-  check seqs
+  let by_seq : (int, int * Request.key list) Hashtbl.t = Hashtbl.create 256 in
+  let overlap = ref None in
+  List.iter
+    (fun ((who, _, _), entries) ->
+      List.iter
+        (fun (seq, keys) ->
+          if !overlap = None then
+            match Hashtbl.find_opt by_seq seq with
+            | None -> Hashtbl.replace by_seq seq (who, keys)
+            | Some (other, keys') ->
+              if keys <> keys' then
+                overlap :=
+                  Some
+                    (Printf.sprintf
+                       "processes %d and %d diverge at seq %d in overlapping \
+                        delivery segments" other who seq))
+        entries)
+    streams;
+  match (contiguity, !overlap) with
+  | Some d, _ | None, Some d -> fail name d
+  | None, None -> ok name
 
 (* ------------------------------------------------------------ validity *)
 
+(* At-most-once is demanded per incarnation: a restarted process lost its
+   delivered-set with the crash, and a state-transfer image does not carry
+   it (the service-level dedup for re-batched pre-checkpoint requests is a
+   client concern — see DESIGN.md), so its new life may re-deliver requests
+   the old life already handled. *)
 let validity cluster ~honest ~injected =
   let name = "validity" in
-  let seen : (int * Request.key, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : (int * int * Request.key, unit) Hashtbl.t = Hashtbl.create 1024 in
   let violation = ref None in
   List.iter
-    (fun (_, who, _, batch) ->
+    (fun (_, (who, inc, _), _, batch) ->
       if !violation = None then
         List.iter
           (fun key ->
@@ -109,12 +161,12 @@ let validity cluster ~honest ~injected =
                 Some
                   (Format.asprintf "process %d delivered un-injected request %a" who
                      Request.pp_key key)
-            else if Hashtbl.mem seen (who, key) then
+            else if Hashtbl.mem seen (who, inc, key) then
               violation :=
                 Some
                   (Format.asprintf "process %d delivered request %a twice" who
                      Request.pp_key key)
-            else Hashtbl.replace seen (who, key) ())
+            else Hashtbl.replace seen (who, inc, key) ())
           (batch_keys batch))
     (deliveries cluster ~honest);
   match !violation with None -> ok name | Some d -> fail name d
@@ -323,7 +375,7 @@ let liveness_after_heal cluster ~honest ~heal_time =
   let name = "liveness-after-heal" in
   let latest = Hashtbl.create 8 in
   List.iter
-    (fun (at, who, _, _) ->
+    (fun (at, (who, _, _), _, _) ->
       let prev = Option.value (Hashtbl.find_opt latest who) ~default:Simtime.zero in
       Hashtbl.replace latest who (Simtime.max prev at))
     (deliveries cluster ~honest);
@@ -340,3 +392,78 @@ let liveness_after_heal cluster ~honest ~heal_time =
     fail name
       (Format.asprintf "process %d delivered nothing after the last heal (%a)" who
          Simtime.pp heal_time)
+
+(* --------------------------------------------------- checkpoint agreement *)
+
+let checkpoint_agreement cluster ~honest =
+  let name = "checkpoint-agreement" in
+  let by_seq : (int, int * string) Hashtbl.t = Hashtbl.create 16 in
+  let violation = ref None in
+  List.iter
+    (fun (_, who, ev) ->
+      if !violation = None then
+        match ev with
+        | P.Context.Checkpoint_stable { seq; digest } when List.mem who honest
+          -> (
+          match Hashtbl.find_opt by_seq seq with
+          | None -> Hashtbl.replace by_seq seq (who, digest)
+          | Some (other, digest') ->
+            if not (String.equal digest digest') then
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "processes %d and %d stabilised conflicting checkpoint \
+                      certificates at seq %d" other who seq))
+        | _ -> ())
+    (Cluster.events cluster);
+  match !violation with None -> ok name | Some d -> fail name d
+
+(* ------------------------------------------------------------ bounded log *)
+
+let bounded_log cluster ~live ~slack =
+  let name = "bounded-log" in
+  let interval = (Cluster.spec cluster).Cluster.checkpoint_interval in
+  if interval = 0 then ok name
+  else begin
+    let bound = (2 * interval) + slack in
+    match
+      List.find_opt (fun i -> Cluster.log_length cluster i > bound) live
+    with
+    | None -> ok name
+    | Some i ->
+      fail name
+        (Printf.sprintf
+           "process %d retains %d log entries, above the bound %d (2 \
+            intervals of %d plus slack %d)" i
+           (Cluster.log_length cluster i)
+           bound interval slack)
+  end
+
+(* ------------------------------------------------------ recovery liveness *)
+
+let recovery_liveness cluster ~by =
+  let name = "recovery-liveness" in
+  let events = Cluster.events cluster in
+  let violation = ref None in
+  List.iter
+    (fun (at, who, ev) ->
+      if !violation = None then
+        match ev with
+        | P.Context.Node_restarted when Simtime.compare at by <= 0 ->
+          let delivered_after =
+            List.exists
+              (fun (at', w, ev') ->
+                w = who
+                && Simtime.compare at' at > 0
+                && match ev' with P.Context.Delivered _ -> true | _ -> false)
+              events
+          in
+          if not delivered_after then
+            violation :=
+              Some
+                (Format.asprintf
+                   "process %d restarted at %a but never delivered again" who
+                   Simtime.pp at)
+        | _ -> ())
+    events;
+  match !violation with None -> ok name | Some d -> fail name d

@@ -26,7 +26,21 @@
       current coordinator pair fail installs a successor (SC: a strictly
       higher rank; SCR: the next view's candidate), and a process that
       fail-signalled its own pair goes dumb — it batches nothing further
-      until SCR pair recovery. *)
+      until SCR pair recovery.
+    - {b Checkpoint agreement}: no two honest processes stabilise
+      conflicting checkpoint certificates at the same sequence number.
+    - {b Bounded log}: with checkpointing on, no live process retains more
+      order-log entries than two checkpoint intervals plus slack.
+    - {b Recovery liveness}: every crash-restarted process delivers again
+      after its restart — it actually rejoined.
+
+    The delivery-stream checks are {e anchored}: a recovered process
+    resumes above a checkpoint anchor rather than at sequence 1, so
+    agreement and prefix consistency compare streams by sequence number
+    (contiguous within a segment, pointwise equal across segments), and
+    validity demands at-most-once per incarnation — a restarted process
+    lost its delivered-set with the crash and may re-deliver what its
+    previous life already handled. *)
 
 type result = {
   name : string;
@@ -60,6 +74,20 @@ val coordinator_succession :
 (** Same conventions as {!fail_signal_accountability}: only coordinator
     failures observed at or before [by] must already have a successor
     installed by the end of the run. *)
+
+val checkpoint_agreement : Cluster.t -> honest:int list -> result
+(** Trivially passes when checkpointing is off (no [Checkpoint_stable]
+    events are then emitted). *)
+
+val bounded_log : Cluster.t -> live:int list -> slack:int -> result
+(** [live] names processes that are up at run end (crashed processes
+    cannot truncate); [slack] absorbs in-flight entries above the last
+    boundary.  Trivially passes when [spec.checkpoint_interval] is 0. *)
+
+val recovery_liveness : Cluster.t -> by:Sof_sim.Simtime.t -> result
+(** Only restarts at or before [by] carry the obligation, so a restart
+    scheduled at the very end of a run is not required to have caught up
+    yet. *)
 
 val all_pass : result list -> bool
 

@@ -48,7 +48,10 @@ let analyze cluster ~warmup ~window =
         if !first_install = None then first_install := Some at
       | P.Context.Fail_signal_observed _ | P.Context.Pair_recovered _
       | P.Context.Value_fault_detected _ | P.Context.Span_open _
-      | P.Context.Span_close _ ->
+      | P.Context.Span_close _ | P.Context.Checkpoint_stable _
+      | P.Context.Log_truncated _ | P.Context.State_transfer_started _
+      | P.Context.State_transfer_installed _
+      | P.Context.State_transfer_rejected _ | P.Context.Node_restarted ->
         ())
     events;
   let latencies = Statistics.create () in
@@ -80,6 +83,72 @@ let analyze cluster ~warmup ~window =
     messages_sent = stats.Sof_net.Network.messages_sent;
     bytes_sent = stats.Sof_net.Network.bytes_sent;
     failover_ms;
+  }
+
+(* ------------------------------------------------ recovery cost *)
+
+type recovery = {
+  rc_restarts : int;
+  rc_recovered : int;
+      (* restarts followed by a state-transfer install on the same process *)
+  rc_transfers_started : int;
+  rc_transfers_installed : int;
+  rc_transfers_rejected : int;
+  rc_checkpoints_stable : int;
+  rc_truncations : int;
+  rc_mean_recovery_ms : float option;
+      (* Node_restarted to that process's next State_transfer_installed *)
+  rc_max_log_length : int;
+}
+
+let recovery_stats cluster =
+  let events = Cluster.events cluster in
+  let restarts = ref 0 in
+  let recovered = ref 0 in
+  let started = ref 0 in
+  let installed = ref 0 in
+  let rejected = ref 0 in
+  let stable = ref 0 in
+  let truncations = ref 0 in
+  let pending : (int, Simtime.t) Hashtbl.t = Hashtbl.create 8 in
+  let recovery_ms = Statistics.create () in
+  List.iter
+    (fun (at, who, event) ->
+      match event with
+      | P.Context.Node_restarted ->
+        incr restarts;
+        Hashtbl.replace pending who at
+      | P.Context.State_transfer_started _ -> incr started
+      | P.Context.State_transfer_installed _ ->
+        incr installed;
+        (match Hashtbl.find_opt pending who with
+        | Some since ->
+          incr recovered;
+          Statistics.add recovery_ms (Simtime.to_ms (Simtime.diff at since));
+          Hashtbl.remove pending who
+        | None -> ())
+      | P.Context.State_transfer_rejected _ -> incr rejected
+      | P.Context.Checkpoint_stable _ -> incr stable
+      | P.Context.Log_truncated _ -> incr truncations
+      | _ -> ())
+    events;
+  let max_log = ref 0 in
+  for i = 0 to Cluster.process_count cluster - 1 do
+    if not (Sof_net.Network.is_crashed (Cluster.network cluster) i) then
+      max_log := max !max_log (Cluster.log_length cluster i)
+  done;
+  {
+    rc_restarts = !restarts;
+    rc_recovered = !recovered;
+    rc_transfers_started = !started;
+    rc_transfers_installed = !installed;
+    rc_transfers_rejected = !rejected;
+    rc_checkpoints_stable = !stable;
+    rc_truncations = !truncations;
+    rc_mean_recovery_ms =
+      (if Statistics.count recovery_ms = 0 then None
+       else Some (Statistics.summarize recovery_ms).Statistics.mean);
+    rc_max_log_length = !max_log;
   }
 
 (* ------------------------------------------------ phase breakdown *)

@@ -30,6 +30,31 @@ val analyze :
 
 val pp_point : Format.formatter -> point -> unit
 
+(** {2 Recovery cost}
+
+    Reduction of the checkpoint and state-transfer events into the cost of
+    crash-restart recovery: how many restarts recovered, how long recovery
+    took, and whether truncation kept the retained log bounded. *)
+
+type recovery = {
+  rc_restarts : int;
+  rc_recovered : int;
+      (** Restarts followed by a state-transfer install on that process. *)
+  rc_transfers_started : int;
+  rc_transfers_installed : int;
+  rc_transfers_rejected : int;
+      (** Responses refused — bad certificate or corrupt image. *)
+  rc_checkpoints_stable : int;
+  rc_truncations : int;
+  rc_mean_recovery_ms : float option;
+      (** [Node_restarted] to that process's next
+          [State_transfer_installed], averaged; [None] without one. *)
+  rc_max_log_length : int;
+      (** Largest retained order-log across live processes at run end. *)
+}
+
+val recovery_stats : Cluster.t -> recovery
+
 (** {2 Phase breakdown}
 
     Reduction of the tracing layer's spans and counters into a per-phase

@@ -13,6 +13,7 @@ type action =
   | Crash of int
   | Surge of float
   | Clear_surge
+  | Restart of int
 
 type step = { at : Simtime.t; action : action }
 
@@ -36,6 +37,8 @@ type report = {
   injected : int;
   replays_injected : int;
   corruptions_injected : int;
+  restarted : int list;
+  recovery : Metrics.recovery option;
   passed : bool;
 }
 
@@ -113,7 +116,7 @@ let byz_fault ~rng ~kind ~f ~duration =
          this campaign checks precisely that the spam alone does no harm. *)
       [ ((if Rng.bool rng then 1 else (2 * f) + 2), P.Fault.Unwilling_spam) ])
 
-let random_plan ?(byz = false) ~rng ~kind ~f ~duration () =
+let random_plan ?(byz = false) ?(restart = false) ~rng ~kind ~f ~duration () =
   let frac x = Simtime.scale duration x in
   let link_fault =
     Link_fault.make
@@ -162,6 +165,25 @@ let random_plan ?(byz = false) ~rng ~kind ~f ~duration () =
        else [])
   in
   let steps = List.sort (fun a b -> Simtime.compare a.at b.at) steps in
+  (* Crash-restart: bring the crash target back at ~62% of the run, well
+     before the terminal heal, so recovery happens under observation.  The
+     target is read back from the crash step and the extra time draw only
+     happens when asked, so plans without [restart] replay byte-for-byte. *)
+  let steps =
+    if restart && not byz then
+      match
+        List.find_opt
+          (fun s -> match s.action with Crash _ -> true | _ -> false)
+          steps
+      with
+      | Some { action = Crash who; _ } ->
+        let restart_at = frac (0.60 +. Rng.float rng 0.08) in
+        List.sort
+          (fun a b -> Simtime.compare a.at b.at)
+          ({ at = restart_at; action = Restart who } :: steps)
+      | _ -> steps
+    else steps
+  in
   if not byz then { steps; byz_faults = []; link_fault }
   else begin
     (* The Byzantine fault replaces the crash in the f-budget; the draws
@@ -182,6 +204,7 @@ let apply_action cluster action =
   | Crash who -> Cluster.crash cluster who
   | Surge factor -> Network.set_surge net ~factor
   | Clear_surge -> Network.clear_surge net
+  | Restart who -> Cluster.restart cluster who
 
 (* Synthetic clients, like Workload.install but recording every injected
    request key so validity can be judged. *)
@@ -213,13 +236,22 @@ let install_recorded_workload cluster ~rate ~duration ~injected =
 
 (* ----------------------------------------------------------------- run *)
 
-let run ?plan ?(byz = false) ?(rate = 150.0) ~kind ~f ~seed ~duration () =
+let run ?plan ?(byz = false) ?(restart = false) ?(checkpoint_interval = 0)
+    ?(rate = 150.0) ~kind ~f ~seed ~duration () =
+  (* A restart campaign without checkpointing would recover by replaying
+     the whole log; the point is recovery through a certified checkpoint,
+     so restart implies a default interval. *)
+  let checkpoint_interval =
+    if restart && checkpoint_interval = 0 then 8 else checkpoint_interval
+  in
   let plan =
     match plan with
     | Some p -> p
     | None ->
       (* Split so the campaign stream is distinct from the engine's root. *)
-      random_plan ~byz ~rng:(Rng.split (Rng.create seed)) ~kind ~f ~duration ()
+      random_plan ~byz ~restart
+        ~rng:(Rng.split (Rng.create seed))
+        ~kind ~f ~duration ()
   in
   let spec =
     {
@@ -232,6 +264,7 @@ let run ?plan ?(byz = false) ?(rate = 150.0) ~kind ~f ~seed ~duration () =
       seed;
       faults = plan.byz_faults;
       use_channel = true;
+      checkpoint_interval;
     }
   in
   let cluster = Cluster.build spec in
@@ -262,6 +295,13 @@ let run ?plan ?(byz = false) ?(rate = 150.0) ~kind ~f ~seed ~duration () =
   in
   let crashed = List.filter (Network.is_crashed net) (List.init n Fun.id) in
   let live_honest = List.filter (fun i -> not (List.mem i crashed)) honest in
+  let restarted =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (_, who, ev) ->
+           match ev with P.Context.Node_restarted -> Some who | _ -> None)
+         (Cluster.events cluster))
+  in
   let invariants =
     [
       Invariants.agreement cluster ~honest;
@@ -271,6 +311,16 @@ let run ?plan ?(byz = false) ?(rate = 150.0) ~kind ~f ~seed ~duration () =
       Invariants.fail_signal_accountability cluster ~crashed ~by:heal_time;
       Invariants.coordinator_succession cluster ~crashed ~by:heal_time;
     ]
+    @ (if checkpoint_interval > 0 then
+         [
+           Invariants.checkpoint_agreement cluster ~honest;
+           Invariants.bounded_log cluster ~live:live_honest ~slack:64;
+         ]
+       else [])
+    @
+    if restarted <> [] then
+      [ Invariants.recovery_liveness cluster ~by:heal_time ]
+    else []
   in
   let deliveries = Array.make n 0 in
   List.iter
@@ -307,6 +357,10 @@ let run ?plan ?(byz = false) ?(rate = 150.0) ~kind ~f ~seed ~duration () =
     injected = Request.Key_set.cardinal !injected;
     replays_injected;
     corruptions_injected;
+    restarted;
+    recovery =
+      (if checkpoint_interval > 0 then Some (Metrics.recovery_stats cluster)
+       else None);
     passed = Invariants.all_pass invariants;
   }
 
@@ -329,6 +383,7 @@ let pp_action fmt = function
   | Crash who -> Format.fprintf fmt "crash p%d" who
   | Surge factor -> Format.fprintf fmt "surge x%.1f" factor
   | Clear_surge -> Format.pp_print_string fmt "surge clear"
+  | Restart who -> Format.fprintf fmt "restart p%d" who
 
 let pp_report fmt r =
   Format.fprintf fmt "chaos: protocol=%s f=%d seed=%Ld@." (kind_name r.kind) r.f
@@ -369,6 +424,106 @@ let pp_report fmt r =
   | c ->
     Format.fprintf fmt "crashed:%s@."
       (String.concat "" (List.map (Printf.sprintf " p%d") c)));
+  (match r.restarted with
+  | [] -> ()
+  | rs ->
+    Format.fprintf fmt "restarted:%s@."
+      (String.concat "" (List.map (Printf.sprintf " p%d") rs)));
+  (match r.recovery with
+  | None -> ()
+  | Some rc ->
+    Format.fprintf fmt
+      "recovery: %d/%d restarts recovered%s; %d transfers installed, %d \
+       rejected; %d stable checkpoints, %d truncations, max retained log %d@."
+      rc.Metrics.rc_recovered rc.Metrics.rc_restarts
+      (match rc.Metrics.rc_mean_recovery_ms with
+      | Some ms -> Printf.sprintf " (mean %.1fms)" ms
+      | None -> "")
+      rc.Metrics.rc_transfers_installed rc.Metrics.rc_transfers_rejected
+      rc.Metrics.rc_checkpoints_stable rc.Metrics.rc_truncations
+      rc.Metrics.rc_max_log_length);
   Format.fprintf fmt "verdict: %s (seed %Ld replays this campaign)@."
     (if r.passed then "PASS" else "FAIL")
     r.seed
+
+(* ------------------------------------------------------------- long run *)
+
+type long_report = {
+  lr_kind : Cluster.kind;
+  lr_f : int;
+  lr_seed : int64;
+  lr_interval : int;
+  lr_delivered_seqs : int;
+  lr_checkpoints_stable : int;
+  lr_truncations : int;
+  lr_max_log : int;
+  lr_stable_floor : int;
+  lr_invariants : Invariants.result list;
+  lr_passed : bool;
+}
+
+let long_run ?(rate = 300.0) ?(interval = 8) ~kind ~f ~seed ~duration () =
+  let spec =
+    {
+      (Cluster.default_spec ~kind ~f) with
+      Cluster.batching_interval = Simtime.ms 20;
+      seed;
+      checkpoint_interval = interval;
+    }
+  in
+  let cluster = Cluster.build spec in
+  let injected = ref Request.Key_set.empty in
+  install_recorded_workload cluster ~rate ~duration ~injected;
+  Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 1));
+  let n = Cluster.process_count cluster in
+  let honest = List.init n Fun.id in
+  let invariants =
+    [
+      Invariants.agreement cluster ~honest;
+      Invariants.prefix_consistency cluster ~honest;
+      Invariants.validity cluster ~honest ~injected:!injected;
+      Invariants.checkpoint_agreement cluster ~honest;
+      Invariants.bounded_log cluster ~live:honest ~slack:64;
+    ]
+  in
+  let delivered_seqs =
+    List.fold_left
+      (fun acc (_, _, ev) ->
+        match ev with
+        | P.Context.Delivered { seq; _ } -> max acc seq
+        | _ -> acc)
+      0 (Cluster.events cluster)
+  in
+  let rc = Metrics.recovery_stats cluster in
+  let stable_floor =
+    List.fold_left
+      (fun acc i -> min acc (Cluster.stable_checkpoint_seq cluster i))
+      max_int honest
+  in
+  {
+    lr_kind = kind;
+    lr_f = f;
+    lr_seed = seed;
+    lr_interval = interval;
+    lr_delivered_seqs = delivered_seqs;
+    lr_checkpoints_stable = rc.Metrics.rc_checkpoints_stable;
+    lr_truncations = rc.Metrics.rc_truncations;
+    lr_max_log = rc.Metrics.rc_max_log_length;
+    lr_stable_floor = (if stable_floor = max_int then 0 else stable_floor);
+    lr_invariants = invariants;
+    lr_passed = Invariants.all_pass invariants;
+  }
+
+let pp_long_report fmt r =
+  Format.fprintf fmt "chaos --long: protocol=%s f=%d seed=%Ld interval=%d@."
+    (kind_name r.lr_kind) r.lr_f r.lr_seed r.lr_interval;
+  Format.fprintf fmt
+    "order grew to %d sequence numbers; retained log peaked at %d entries \
+     (stable floor %d; %d checkpoints, %d truncations)@."
+    r.lr_delivered_seqs r.lr_max_log r.lr_stable_floor r.lr_checkpoints_stable
+    r.lr_truncations;
+  Format.fprintf fmt "invariants:@.";
+  List.iter
+    (fun res -> Format.fprintf fmt "  %a@." Invariants.pp_result res)
+    r.lr_invariants;
+  Format.fprintf fmt "verdict: %s@." (if r.lr_passed then "PASS" else "FAIL")

@@ -20,6 +20,9 @@ type action =
   | Crash of int  (** Hard-crash a process (silent, loses in-flight). *)
   | Surge of float  (** Multiply all delays (partial-synchrony storm). *)
   | Clear_surge
+  | Restart of int
+      (** Bring a crashed process back with empty volatile state; it rejoins
+          through state transfer ({!Cluster.restart}). *)
 
 type step = { at : Sof_sim.Simtime.t; action : action }
 
@@ -36,6 +39,7 @@ type plan = {
 
 val random_plan :
   ?byz:bool ->
+  ?restart:bool ->
   rng:Sof_util.Rng.t ->
   kind:Cluster.kind ->
   f:int ->
@@ -55,7 +59,13 @@ val random_plan :
     wire corruption, and (SCR) Unwilling spam.  BFT draws only backup
     muteness and the wire faults; CT has no Byzantine model and keeps its
     crash.  The substrate draws are identical either way, so [byz:false]
-    plans replay byte-for-byte as before. *)
+    plans replay byte-for-byte as before.
+
+    With [restart:true] (default false, ignored under [byz] — the crash it
+    would revive is traded away) the crash target is brought back at ~62%
+    of [duration] with empty volatile state, to rejoin through state
+    transfer.  The extra time draw happens after all others, so
+    [restart:false] plans also replay byte-for-byte. *)
 
 type report = {
   kind : Cluster.kind;
@@ -72,12 +82,18 @@ type report = {
   injected : int;  (** Requests injected by the synthetic clients. *)
   replays_injected : int;  (** Stale payloads the wire adversary re-sent. *)
   corruptions_injected : int;  (** Payloads the wire adversary bit-flipped. *)
+  restarted : int list;  (** Processes that crash-restarted mid-campaign. *)
+  recovery : Metrics.recovery option;
+      (** Checkpoint/state-transfer accounting; [Some] iff checkpointing
+          was on for the run. *)
   passed : bool;
 }
 
 val run :
   ?plan:plan ->
   ?byz:bool ->
+  ?restart:bool ->
+  ?checkpoint_interval:int ->
   ?rate:float ->
   kind:Cluster.kind ->
   f:int ->
@@ -87,12 +103,53 @@ val run :
   report
 (** Build a cluster ([use_channel] set, generous pair delay estimate),
     apply the plan (generated from [seed] when not given, Byzantine when
-    [byz] is set), drive a client workload of [rate] req/s (default 150)
-    for [duration], then check invariants — including fail-signal
-    accountability and coordinator succession.  A terminal heal +
-    surge-clear is scheduled at the last step's instant, so every campaign
-    ends with the network whole; liveness is judged after that instant.
-    Deterministic in [seed]. *)
+    [byz] is set, crash-restart when [restart] is set), drive a client
+    workload of [rate] req/s (default 150) for [duration], then check
+    invariants — including fail-signal accountability and coordinator
+    succession.  A terminal heal + surge-clear is scheduled at the last
+    step's instant, so every campaign ends with the network whole; liveness
+    is judged after that instant.  Deterministic in [seed].
+
+    [checkpoint_interval] (default 0 = off; [restart] forces a default of
+    8) turns on checkpointing, which adds the checkpoint-agreement and
+    bounded-log invariants; a campaign that restarted anyone also judges
+    recovery liveness. *)
 
 val pp_action : Format.formatter -> action -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Long runs}
+
+    A fail-free endurance run: no disturbances, just sustained load with a
+    small checkpoint interval over many intervals.  Its point is the memory
+    claim — the total order grows linearly with the run while the retained
+    log stays bounded by truncation. *)
+
+type long_report = {
+  lr_kind : Cluster.kind;
+  lr_f : int;
+  lr_seed : int64;
+  lr_interval : int;
+  lr_delivered_seqs : int;  (** Highest delivered sequence number. *)
+  lr_checkpoints_stable : int;
+  lr_truncations : int;
+  lr_max_log : int;  (** Largest retained order-log at run end. *)
+  lr_stable_floor : int;  (** Lowest stable checkpoint across processes. *)
+  lr_invariants : Invariants.result list;
+  lr_passed : bool;
+}
+
+val long_run :
+  ?rate:float ->
+  ?interval:int ->
+  kind:Cluster.kind ->
+  f:int ->
+  seed:int64 ->
+  duration:Sof_sim.Simtime.t ->
+  unit ->
+  long_report
+(** Default 300 req/s and checkpoint interval 8; judges agreement, prefix
+    consistency, validity, checkpoint agreement and the bounded-log
+    invariant.  Deterministic in [seed]. *)
+
+val pp_long_report : Format.formatter -> long_report -> unit

@@ -67,6 +67,22 @@ let print_message_counts rows =
   pf "%-10s %14s %14s\n" "protocol" "messages" "bytes";
   List.iter (fun (label, m, b) -> pf "%-10s %14d %14d\n" label m b) rows
 
+let print_recovery_costs rows =
+  pf "\nCrash-restart recovery cost (seeded campaign)\n";
+  pf "---------------------------------------------\n";
+  pf "%-10s %10s %12s %10s %10s %8s\n" "protocol" "recovered" "recovery_ms"
+    "installs" "rejects" "max_log";
+  List.iter
+    (fun (label, (r : Metrics.recovery)) ->
+      pf "%-10s %6d/%-3d %12s %10d %10d %8d\n" label r.Metrics.rc_recovered
+        r.Metrics.rc_restarts
+        (match r.Metrics.rc_mean_recovery_ms with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "-")
+        r.Metrics.rc_transfers_installed r.Metrics.rc_transfers_rejected
+        r.Metrics.rc_max_log_length)
+    rows
+
 (* Qualitative shape assertions from the paper's Section 5, as data: the
    plain-text report and the JSON benchmark document render the same
    verdicts. *)

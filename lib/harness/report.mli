@@ -19,6 +19,10 @@ val print_fig6 : title:string -> Experiments.failover_series list -> unit
 
 val print_message_counts : (string * int * int) list -> unit
 
+val print_recovery_costs : (string * Metrics.recovery) list -> unit
+(** The {!Experiments.recovery_costs} table: restarts recovered, mean
+    restart-to-rejoin latency, transfer outcomes, peak retained log. *)
+
 val shape_check_results : Experiments.series list -> (string * bool) list
 (** The paper's qualitative claims evaluated against the series (CT lowest,
     SC below BFT, saturation ordering), as [(claim, pass)] rows; empty when

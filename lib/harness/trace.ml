@@ -127,7 +127,10 @@ let batch_scoped_phase (phase : P.Context.phase) =
   | P.Context.Commit_phase ->
     true
   | P.Context.Batch_phase | P.Context.View_change_phase
-  | P.Context.Install_phase | P.Context.Failover_phase ->
+  | P.Context.Install_phase | P.Context.Failover_phase
+  (* Checkpoint/recovery spans are keyed by checkpoint sequence number, not
+     by a batch this process opened a batch span for. *)
+  | P.Context.Checkpoint_phase | P.Context.Recovery_phase ->
     false
 
 (* Every per-batch protocol phase span lies inside the batch span of the

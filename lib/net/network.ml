@@ -92,6 +92,10 @@ let crash t who =
   check_endpoint t who "crash";
   t.crashed.(who) <- true
 
+let restart t who =
+  check_endpoint t who "restart";
+  t.crashed.(who) <- false
+
 let is_crashed t who = t.crashed.(who)
 
 let set_surge t ~factor =

@@ -74,6 +74,12 @@ val multicast : t -> src:int -> dsts:int list -> string -> unit
 val crash : t -> int -> unit
 (** Silence an endpoint: messages from and to it are dropped from now on. *)
 
+val restart : t -> int -> unit
+(** Reconnect a crashed endpoint: messages from and to it flow again.
+    Crash state is checked at delivery time, so messages whose delivery
+    instant fell inside the crash window are lost with the crash; a message
+    still in flight at restart time arrives normally. *)
+
 val is_crashed : t -> int -> bool
 
 val partition : t -> groups:int list list -> unit

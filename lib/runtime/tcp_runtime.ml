@@ -24,8 +24,12 @@ type node = {
   queue_mutex : Mutex.t;
   queue_cond : Condition.t;
   mutable proc : [ `Sc of P.Sc.t | `Scr of P.Scr.t ] option;
-  machine : Sof_smr.State_machine.t;
+  mutable machine : Sof_smr.State_machine.t;  (* replaced fresh on restart *)
   mutable delivered_batches : int;
+  (* Bumped on kill: timer thunks capture the generation they were armed in
+     and fire only if it is still current, so a restarted process never runs
+     its dead predecessor's heartbeats. *)
+  mutable gen : int;
   (* timers *)
   timers : timer_entry list ref;
   timer_mutex : Mutex.t;
@@ -38,6 +42,8 @@ type t = {
   n : int;
   base_port : int;
   nodes : node array;
+  config : P.Config.t;
+  kind : [ `Sc | `Scr ];
   keyring : Keyring.t;
   start_time : float;
   mutable stopping : bool;
@@ -179,10 +185,11 @@ let make_context t node =
       dsts
   in
   let set_timer ~delay thunk =
+    let gen = node.gen in
     let entry =
       {
         deadline = Unix.gettimeofday () +. Simtime.to_sec delay;
-        thunk;
+        thunk = (fun () -> if node.gen = gen then thunk ());
         cancelled = false;
       }
     in
@@ -215,7 +222,31 @@ let make_context t node =
     set_timer;
     deliver;
     emit = (fun _ -> ());
+    (* [node.machine] is read at call time, so a restart's fresh machine is
+       picked up without rebuilding the context. *)
+    snapshot = (fun () -> Sof_smr.State_machine.snapshot node.machine);
+    restore = (fun image -> Sof_smr.State_machine.restore node.machine image);
   }
+
+(* Protocol process construction, shared by [start] and [restart].  The
+   trusted dealer hands out the pre-signed fail-signals exactly as the
+   simulator harness does. *)
+let make_proc t node =
+  let config = t.config in
+  let presig =
+    match P.Config.counterpart config node.id with
+    | Some counterpart ->
+      Some
+        (Keyring.sign t.keyring ~signer:counterpart
+           (P.Message.encode_body
+              (P.Message.Fail_signal
+                 { pair = Option.get (P.Config.pair_rank_of config node.id) })))
+    | None -> None
+  in
+  let ctx = make_context t node in
+  match t.kind with
+  | `Sc -> `Sc (P.Sc.create ~ctx ~config ?counterpart_fail_signal:presig ())
+  | `Scr -> `Scr (P.Scr.create ~ctx ~config ?counterpart_fail_signal:presig ())
 
 (* -------------------------------------------------------------- worker *)
 
@@ -315,7 +346,7 @@ let connect_with_hello ~port ~hello =
   fd
 
 let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 30)
-    ~kind ~f () =
+    ?(checkpoint_interval = 0) ~kind ~f () =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -324,7 +355,7 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
     P.Config.make ~variant
       ~batching_interval:(Simtime.ms batching_interval_ms)
       ~pair_delay_estimate:(Simtime.ms 500) ~heartbeat_interval:(Simtime.ms 100)
-      ~f ()
+      ~checkpoint_interval ~f ()
   in
   let n = P.Config.process_count config in
   let rng = Sof_util.Rng.create 2006L in
@@ -339,6 +370,7 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
           proc = None;
           machine = Sof_smr.Kv_store.machine ();
           delivered_batches = 0;
+          gen = 0;
           timers = ref [];
           timer_mutex = Mutex.create ();
           timer_cond = Condition.create ();
@@ -350,6 +382,8 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
       n;
       base_port;
       nodes;
+      config;
+      kind;
       keyring;
       start_time = Unix.gettimeofday ();
       stopping = false;
@@ -386,29 +420,8 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
         end
       done)
     nodes;
-  (* Protocol processes.  The trusted dealer hands out the pre-signed
-     fail-signals exactly as the simulator harness does. *)
-  let presig id =
-    match P.Config.counterpart config id with
-    | Some counterpart ->
-      Some
-        (Keyring.sign keyring ~signer:counterpart
-           (P.Message.encode_body (P.Message.Fail_signal
-              { pair = Option.get (P.Config.pair_rank_of config id) })))
-    | None -> None
-  in
-  Array.iter
-    (fun node ->
-      let ctx = make_context t node in
-      let proc =
-        match kind with
-        | `Sc ->
-          `Sc (P.Sc.create ~ctx ~config ?counterpart_fail_signal:(presig node.id) ())
-        | `Scr ->
-          `Scr (P.Scr.create ~ctx ~config ?counterpart_fail_signal:(presig node.id) ())
-      in
-      node.proc <- Some proc)
-    nodes;
+  (* Protocol processes. *)
+  Array.iter (fun node -> node.proc <- Some (make_proc t node)) nodes;
   (* Workers and timers, then start the protocols. *)
   Array.iter
     (fun node ->
@@ -459,6 +472,7 @@ let kill t who =
   let node = t.nodes.(who) in
   t.killed <- who :: t.killed;
   node.proc <- None;
+  node.gen <- node.gen + 1;
   enqueue node Job_stop;
   Array.iteri
     (fun dst entry ->
@@ -470,6 +484,64 @@ let kill t who =
         node.out.(dst) <- None
       | None -> ())
     node.out
+
+(* Bring a killed process back with empty volatile state: a fresh protocol
+   instance over a fresh state machine, the full mesh re-dialed both ways,
+   and an immediate state-transfer request so it rejoins from a certified
+   checkpoint rather than by replaying history. *)
+let restart t who =
+  if List.mem who t.killed then begin
+    let node = t.nodes.(who) in
+    t.killed <- List.filter (fun k -> k <> who) t.killed;
+    (* The kill's Job_stop must have been consumed before a second worker
+       thread starts, or two threads would drain one protocol's queue. *)
+    let rec wait_worker_exit () =
+      Mutex.lock node.queue_mutex;
+      let stop_pending =
+        Queue.fold
+          (fun acc job -> acc || match job with Job_stop -> true | _ -> false)
+          false node.queue
+      in
+      Mutex.unlock node.queue_mutex;
+      if stop_pending then begin
+        Thread.delay 0.005;
+        wait_worker_exit ()
+      end
+    in
+    wait_worker_exit ();
+    Mutex.lock node.timer_mutex;
+    node.timers := [];
+    Mutex.unlock node.timer_mutex;
+    node.machine <- Sof_smr.Kv_store.machine ();
+    (* Re-dial the mesh: this node out to every live peer, and every live
+       peer back to this node (their old sockets died with the kill's RST). *)
+    for dst = 0 to t.n - 1 do
+      if dst <> who && not (List.mem dst t.killed) then
+        node.out.(dst) <-
+          Some (connect_with_hello ~port:(t.base_port + dst) ~hello:who, Mutex.create ())
+    done;
+    Array.iter
+      (fun peer ->
+        if peer.id <> who && not (List.mem peer.id t.killed) then begin
+          (match peer.out.(who) with
+          | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ());
+          peer.out.(who) <-
+            Some
+              (connect_with_hello ~port:(t.base_port + who) ~hello:peer.id, Mutex.create ())
+        end)
+      t.nodes;
+    let proc = make_proc t node in
+    node.proc <- Some proc;
+    t.threads <- Thread.create (fun () -> worker_thread node) () :: t.threads;
+    match proc with
+    | `Sc p ->
+      P.Sc.start p;
+      P.Sc.request_recovery p
+    | `Scr p ->
+      P.Scr.start p;
+      P.Scr.request_recovery p
+  end
 
 let peer_downs t =
   Mutex.lock t.peer_down_mutex;

@@ -30,12 +30,16 @@ val start :
   ?base_port:int ->
   ?scheme:Sof_crypto.Scheme.t ->
   ?batching_interval_ms:int ->
+  ?checkpoint_interval:int ->
   kind:[ `Sc | `Scr ] ->
   f:int ->
   unit ->
   t
 (** Spawn all order processes on 127.0.0.1 ports [base_port ..].  Signatures
     are real (default scheme {!Sof_crypto.Scheme.mock} = HMAC).
+    [checkpoint_interval] (default 0 = off) enables periodic checkpoints,
+    log truncation, and state transfer — required for {!restart} to recover
+    the rejoining process.
     @raise Unix.Unix_error when ports are unavailable. *)
 
 val inject : t -> Sof_smr.Request.t -> unit
@@ -50,6 +54,15 @@ val kill : t -> int -> unit
     sockets are reset-closed (RST), so every peer's reader thread exercises
     the abrupt-disconnect path — logged, recorded in {!peer_downs}, never
     fatal to the peer. *)
+
+val restart : t -> int -> unit
+(** Bring a process taken down by {!kill} back with empty volatile state: a
+    fresh protocol instance over a fresh state machine, the TCP mesh
+    re-dialed in both directions, and an immediate state-transfer request so
+    it rejoins from the latest certified checkpoint.  No-op unless the
+    process is currently killed.  The process's delivered-batch counter is
+    cumulative across incarnations (recovery installs the checkpointed
+    prefix without re-delivering it). *)
 
 val peer_downs : t -> (int * int * string) list
 (** [(observer, peer, reason)] for every reader that ended on a broken

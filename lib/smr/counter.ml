@@ -43,4 +43,20 @@ let apply count op_bytes =
 
 let digest count = string_of_int count
 
-let machine () = State_machine.create ~name:"counter" ~init:0 ~apply ~digest
+let snapshot count =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w count;
+  Codec.Writer.contents w
+
+let restore image =
+  match
+    let r = Codec.Reader.of_string image in
+    let count = Codec.Reader.varint r in
+    Codec.Reader.expect_end r;
+    count
+  with
+  | count -> Some count
+  | exception Codec.Reader.Truncated -> None
+
+let machine () =
+  State_machine.create ~name:"counter" ~init:0 ~apply ~digest ~snapshot ~restore ()

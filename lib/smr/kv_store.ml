@@ -100,7 +100,37 @@ let digest store =
     store;
   Sof_crypto.Sha256.finalize ctx
 
-let machine () = State_machine.create ~name:"kv" ~init:Store.empty ~apply ~digest
+let snapshot store =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w (Store.cardinal store);
+  Store.iter
+    (fun k v ->
+      Codec.Writer.string w k;
+      Codec.Writer.string w v)
+    store;
+  Codec.Writer.contents w
+
+let restore image =
+  match
+    let r = Codec.Reader.of_string image in
+    let n = Codec.Reader.varint r in
+    let rec go store i =
+      if i >= n then store
+      else begin
+        let k = Codec.Reader.string r in
+        let v = Codec.Reader.string r in
+        go (Store.add k v store) (i + 1)
+      end
+    in
+    let store = go Store.empty 0 in
+    Codec.Reader.expect_end r;
+    store
+  with
+  | store -> Some store
+  | exception Codec.Reader.Truncated -> None
+
+let machine () =
+  State_machine.create ~name:"kv" ~init:Store.empty ~apply ~digest ~snapshot ~restore ()
 
 let pp_op fmt = function
   | Get k -> Format.fprintf fmt "get(%s)" k

@@ -128,4 +128,36 @@ let digest state =
     state;
   Sof_crypto.Sha256.finalize ctx
 
-let machine () = State_machine.create ~name:"locks" ~init:Locks.empty ~apply ~digest
+let snapshot state =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w (Locks.cardinal state);
+  Locks.iter
+    (fun lock ls ->
+      Codec.Writer.string w lock;
+      Codec.Writer.string w ls.holder;
+      Codec.Writer.list w Codec.Writer.string ls.waiters)
+    state;
+  Codec.Writer.contents w
+
+let restore image =
+  match
+    let r = Codec.Reader.of_string image in
+    let n = Codec.Reader.varint r in
+    let rec go state i =
+      if i >= n then state
+      else begin
+        let lock = Codec.Reader.string r in
+        let holder = Codec.Reader.string r in
+        let waiters = Codec.Reader.list r Codec.Reader.string in
+        go (Locks.add lock { holder; waiters } state) (i + 1)
+      end
+    in
+    let state = go Locks.empty 0 in
+    Codec.Reader.expect_end r;
+    state
+  with
+  | state -> Some state
+  | exception Codec.Reader.Truncated -> None
+
+let machine () =
+  State_machine.create ~name:"locks" ~init:Locks.empty ~apply ~digest ~snapshot ~restore ()

@@ -2,16 +2,20 @@ type t = {
   name : string;
   mutable apply_op : string -> string;
   mutable digest_now : unit -> string;
+  mutable snapshot_now : unit -> string;
+  mutable restore_image : string -> unit;
   mutable ops : int;
 }
 
-let create ~name ~init ~apply ~digest =
+let create ~name ~init ~apply ~digest ?snapshot ?restore () =
   let state = ref init in
   let t =
     {
       name;
       apply_op = (fun _ -> "");
       digest_now = (fun () -> "");
+      snapshot_now = (fun () -> "");
+      restore_image = (fun _ -> ());
       ops = 0;
     }
   in
@@ -21,6 +25,14 @@ let create ~name ~init ~apply ~digest =
       state := state';
       reply);
   t.digest_now <- (fun () -> digest !state);
+  (match snapshot with
+  | Some f -> t.snapshot_now <- (fun () -> f !state)
+  | None -> ());
+  (match restore with
+  | Some f ->
+    t.restore_image <-
+      (fun image -> match f image with Some s -> state := s | None -> ())
+  | None -> ());
   t
 
 let name t = t.name
@@ -30,5 +42,9 @@ let apply t op =
   t.apply_op op
 
 let state_digest t = t.digest_now ()
+
+let snapshot t = t.snapshot_now ()
+
+let restore t image = t.restore_image image
 
 let ops_applied t = t.ops

@@ -281,6 +281,8 @@ let test_sc_create_validation () =
       set_timer = (fun ~delay:_ _ -> P.Context.null_timer);
       deliver = (fun ~seq:_ _ -> ());
       emit = ignore;
+      snapshot = (fun () -> "");
+      restore = ignore;
     }
   in
   Alcotest.check_raises "paired process needs fail-signal"

@@ -30,6 +30,39 @@ let case ~kind ~byz ~proto seed =
     `Slow
     (check_campaign ~kind ~byz ~seed)
 
+(* Crash-restart campaigns: the crash target comes back mid-run with empty
+   volatile state and must rejoin through checkpointed state transfer.
+   Replay with `sof chaos --protocol <p> --restart --seed <n>`. *)
+let check_restart_campaign ~kind ~seed () =
+  let report =
+    H.Nemesis.run ~restart:true ~kind ~f:1 ~seed ~duration:(Simtime.sec 10) ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "someone restarted (seed %Ld)" seed)
+    true
+    (report.H.Nemesis.restarted <> []);
+  (match report.H.Nemesis.recovery with
+  | None -> Alcotest.fail "restart campaign ran without checkpointing"
+  | Some r ->
+    Alcotest.(check int)
+      (Printf.sprintf "every restart recovered (seed %Ld)" seed)
+      r.H.Metrics.rc_restarts r.H.Metrics.rc_recovered);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "invariant %s (seed %Ld)" r.H.Invariants.name seed)
+        true r.H.Invariants.pass)
+    report.H.Nemesis.invariants;
+  Alcotest.(check bool)
+    (Printf.sprintf "campaign verdict (seed %Ld)" seed)
+    true report.H.Nemesis.passed
+
+let restart_case ~kind ~proto seed =
+  Alcotest.test_case
+    (Printf.sprintf "%s --restart seed %Ld" proto seed)
+    `Slow
+    (check_restart_campaign ~kind ~seed)
+
 let suite =
   [
     ( "regression.chaos",
@@ -45,5 +78,14 @@ let suite =
       @ [ case ~kind:H.Cluster.Sc_protocol ~byz:true ~proto:"sc" 2L ]
       (* seed 1 mutes the coordinator primary mid-run, forcing an SCR
          view-change fail-over. *)
-      @ [ case ~kind:H.Cluster.Scr_protocol ~byz:true ~proto:"scr" 1L ] );
+      @ [ case ~kind:H.Cluster.Scr_protocol ~byz:true ~proto:"scr" 1L ]
+      @ List.concat_map
+          (fun (kind, proto) ->
+            List.map (restart_case ~kind ~proto) [ 1L; 2L; 3L ])
+          [
+            (H.Cluster.Ct_protocol, "ct");
+            (H.Cluster.Sc_protocol, "sc");
+            (H.Cluster.Scr_protocol, "scr");
+            (H.Cluster.Bft_protocol, "bft");
+          ] );
   ]

@@ -227,7 +227,7 @@ let test_state_machine_wrapper () =
   let m =
     State_machine.create ~name:"sum" ~init:0
       ~apply:(fun s op -> (s + String.length op, string_of_int (s + String.length op)))
-      ~digest:string_of_int
+      ~digest:string_of_int ()
   in
   Alcotest.(check string) "name" "sum" (State_machine.name m);
   Alcotest.(check string) "apply" "3" (State_machine.apply m "abc");
