@@ -184,9 +184,10 @@ let bench_cmd =
     (* The recovery section measures a vetted seeded campaign, not the
        bench seed: its point is the cost of a recovery that happens. *)
     let recovery = H.Experiments.recovery_costs ~f () in
+    let storage = H.Experiments.durable_recovery_costs ~f () in
     let doc =
       H.Bench_doc.make ~seed ~fast ~fig4_5 ?fig6 ~message_counts ~recovery
-        ~breakdowns ()
+        ~storage ~breakdowns ()
     in
     H.Report.print_fig4
       ~title:(Printf.sprintf "bench: order latency (ms), f=%d, %s" f scheme.Scheme.name)
@@ -197,6 +198,19 @@ let bench_cmd =
     H.Report.print_shape_checks fig4_5;
     H.Report.print_phase_breakdowns breakdowns;
     H.Report.print_recovery_costs recovery;
+    Format.printf "storage (durable campaign, disk-fault atlas):@.";
+    List.iter
+      (fun (label, (rc : H.Metrics.recovery), (st : H.Metrics.storage)) ->
+        Format.printf
+          "  %-4s %d local replays (%d clean), %d transfers; %d appends, %d \
+           syncs, %d checkpoint writes; atlas: %d lost, %d misdirected, %d \
+           torn, %d corrupt reads@."
+          label rc.H.Metrics.rc_local_replays rc.H.Metrics.rc_local_recoveries
+          rc.H.Metrics.rc_transfers_installed st.H.Metrics.st_appends
+          st.H.Metrics.st_syncs st.H.Metrics.st_checkpoint_writes
+          st.H.Metrics.st_lost_writes st.H.Metrics.st_misdirected
+          st.H.Metrics.st_torn st.H.Metrics.st_corrupt_reads)
+      storage;
     List.iter
       (fun (name, pass) ->
         Format.printf "  [%s] %s@." (if pass then "PASS" else "FAIL") name)
@@ -335,7 +349,7 @@ let census_cmd =
 (* --------------------------------------------------------------- chaos *)
 
 let chaos_cmd =
-  let chaos protocol f seed duration_s byz restart long =
+  let chaos protocol f seed duration_s byz restart durable disk_faults long =
     if long then begin
       let report =
         H.Nemesis.long_run ~kind:protocol ~f ~seed
@@ -357,8 +371,8 @@ let chaos_cmd =
     end
     else begin
       let report =
-        H.Nemesis.run ~byz ~restart ~kind:protocol ~f ~seed
-          ~duration:(Simtime.sec duration_s) ()
+        H.Nemesis.run ~byz ~restart ~durable ~disk_faults ~kind:protocol ~f
+          ~seed ~duration:(Simtime.sec duration_s) ()
       in
       Format.printf "%a" H.Nemesis.pp_report report;
       if report.H.Nemesis.passed then `Ok ()
@@ -402,6 +416,28 @@ let chaos_cmd =
              checkpoint-agreement, bounded-log and recovery-liveness \
              invariants.  Ignored with $(b,--byz).")
   in
+  let durable =
+    Arg.(
+      value & flag
+      & info [ "durable" ]
+          ~doc:
+            "Build the cluster over simulated disks: every commit is logged \
+             and synced before the reply, checkpoints are persisted, and \
+             restarts recover from the local write-ahead log first.  With \
+             $(b,--restart), the campaign also ends in a whole-cluster \
+             blackout and mass restart.  Adds the durability invariant (and \
+             repair correctness after restarts).")
+  in
+  let disk_faults =
+    Arg.(
+      value & flag
+      & info [ "disk-faults" ]
+          ~doc:
+            "Implies $(b,--durable) and arms the storage-fault atlas on \
+             replicas 1..f: torn writes at crash, stably corrupt sectors, \
+             lost and misdirected writes.  With $(b,--byz), the f-budget \
+             goes to a replica serving state transfers from a tampered log.")
+  in
   let long =
     Arg.(
       value & flag
@@ -419,20 +455,25 @@ let chaos_cmd =
           surge) over the reliable channel and check protocol invariants.  The \
           same seed reproduces the same campaign.")
     Term.(
-      ret (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz $ restart $ long))
+      ret
+        (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz $ restart
+       $ durable $ disk_faults $ long))
 
 (* ---------------------------------------------------------------- fuzz *)
 
 let fuzz_cmd =
   let fuzz seed count =
-    let outcome = H.Fuzz.run ~seed ~count in
-    Format.printf "%a@." H.Fuzz.pp_outcome outcome;
-    if H.Fuzz.passed outcome then `Ok ()
+    let wire = H.Fuzz.run ~seed ~count in
+    Format.printf "wire    %a@." H.Fuzz.pp_outcome wire;
+    let storage = H.Fuzz.run_storage ~seed ~count in
+    Format.printf "storage %a@." H.Fuzz.pp_outcome storage;
+    if H.Fuzz.passed wire && H.Fuzz.passed storage then `Ok ()
     else
       `Error
         ( false,
           Printf.sprintf "fuzz FAIL seed=%Ld crashes=%d" seed
-            (List.length outcome.H.Fuzz.crashes) )
+            (List.length wire.H.Fuzz.crashes
+            + List.length storage.H.Fuzz.crashes) )
   in
   let count =
     Arg.(
@@ -442,9 +483,11 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Seeded decode fuzzing: feed hostile byte strings to every wire-format \
-          decode entry point and fail on any escape other than the recoverable \
-          Truncated rejection.")
+         "Seeded decode fuzzing: feed hostile byte strings to every \
+          wire-format decode entry point and to the durable-state decoders \
+          (checkpoint certificates, state-transfer entries, checkpoint \
+          images, write-ahead-log recovery over a scribbled disk); fail on \
+          any escape other than the recoverable rejection.")
     Term.(ret (const fuzz $ seed $ count))
 
 (* ---------------------------------------------------------------- lint *)

@@ -3,6 +3,7 @@ module Request = Sof_smr.Request
 module Key_map = Request.Key_map
 module Key_set = Request.Key_set
 module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
 
 type config = {
   f : int;
@@ -29,8 +30,15 @@ type order_state = {
   mutable keys : Request.key list;
   mutable pre_prepared : bool;  (* authentic pre-prepare stored *)
   mutable view_of : int;
-  mutable prepares : Int_set.t;
-  mutable commits : Int_set.t;
+  (* Votes are remembered per sender *together with the digest they were
+     cast for*: a prepare or commit may legitimately overtake its
+     pre-prepare on a reordering link, so votes must be accepted before the
+     slot's digest is known — but they may only be *counted* toward the
+     digest they name.  Pooling digest-blind votes lets a restarted primary
+     combine the cluster's votes for an old in-flight batch with a fresh
+     conflicting proposal for the same slot and commit it alone. *)
+  mutable prepares : string Int_map.t;
+  mutable commits : string Int_map.t;
   mutable sent_prepare : bool;
   mutable sent_commit : bool;
   mutable committed : bool;
@@ -109,8 +117,8 @@ let get_order t o =
         keys = [];
         pre_prepared = false;
         view_of = 0;
-        prepares = Int_set.empty;
-        commits = Int_set.empty;
+        prepares = Int_map.empty;
+        commits = Int_map.empty;
         sent_prepare = false;
         sent_commit = false;
         committed = false;
@@ -122,6 +130,14 @@ let get_order t o =
     in
     Hashtbl.replace t.orders o st;
     st
+
+(* First vote per sender wins: a later conflicting vote from the same signer
+   is equivocation and must not displace the one already on record. *)
+let add_vote votes ~sender ~digest =
+  if Int_map.mem sender votes then votes else Int_map.add sender digest votes
+
+let votes_for votes ~digest =
+  Int_map.fold (fun _ d acc -> if String.equal d digest then acc + 1 else acc) votes 0
 
 (* Trace spans: [Context.emit] costs no simulated CPU, each sp_* flag means
    "open at this process", and closes only fire when the flag is set, so
@@ -139,6 +155,8 @@ let send_one t ~dst env = if can_transmit t then t.ctx.Context.send ~dst env
 let log_length t = Hashtbl.length t.orders
 
 let stable_checkpoint_seq t = Recovery.stable_seq t.rcv
+let latest_stable t = Recovery.latest_stable t.rcv
+let client_marks t = Recovery.marks t.rcv
 
 let ckpt_quorum t = (2 * t.config.f) + 1
 
@@ -252,7 +270,9 @@ let rec advance_delivery t =
     end
 
 let try_commit_point t st =
-  if st.pre_prepared && (not st.committed) && Int_set.cardinal st.commits >= (2 * t.config.f) + 1
+  if
+    st.pre_prepared && (not st.committed)
+    && votes_for st.commits ~digest:st.digest >= (2 * t.config.f) + 1
   then begin
     if st.sp_preprep then begin
       st.sp_preprep <- false;
@@ -281,7 +301,7 @@ let try_commit_point t st =
 let try_prepared_point t st =
   if
     st.pre_prepared && st.sent_prepare && (not st.sent_commit)
-    && Int_set.cardinal st.prepares >= 2 * t.config.f
+    && votes_for st.prepares ~digest:st.digest >= 2 * t.config.f
   then begin
     st.sent_commit <- true;
     if st.sp_prepare then begin
@@ -411,6 +431,24 @@ let serve_state_request t ~src ~have =
         (fun (a : Checkpoint.entry) b -> Int.compare a.Checkpoint.e_o b.Checkpoint.e_o)
         (delivered_entries @ tail)
   in
+  (* A Byzantine responder serving from a tampered local log: the checkpoint
+     is genuine but every entry digest is flipped, so no entry matches its
+     recomputed batch digest and the requester's entry checks exclude the
+     whole suffix. *)
+  let entries =
+    match t.fault with
+    | Fault.Corrupt_wal_suffix ->
+      List.map
+        (fun (e : Checkpoint.entry) ->
+          match e.Checkpoint.e_digest with
+          | "" -> e
+          | d ->
+            let b = Bytes.of_string d in
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+            { e with Checkpoint.e_digest = Bytes.to_string b })
+        entries
+    | _ -> entries
+  in
   send_one t ~dst:src (make_signed t (Message.State_response { cert; image; entries }))
 
 let entry_ok t (e : Checkpoint.entry) =
@@ -423,7 +461,7 @@ let entry_ok t (e : Checkpoint.entry) =
    claimant is correct).  Transferred entries enter the log as committed and
    are delivered by the normal in-sequence walk; no Committed event is
    re-emitted for them. *)
-let attempt_install t =
+let install_from_offers ?(announce = true) t ~entry_quorum =
   let image_installed =
     match Recovery.best_image t.rcv ~above:t.delivered with
     | Some (cert, image, _) -> begin
@@ -447,7 +485,7 @@ let attempt_install t =
   in
   let installed_at = t.delivered in
   let entries =
-    Recovery.select_entries ~quorum:(t.config.f + 1) ~base:t.delivered
+    Recovery.select_entries ~quorum:entry_quorum ~base:t.delivered
       ~entry_ok:(entry_ok t) t.rcv
   in
   List.iter
@@ -469,11 +507,55 @@ let attempt_install t =
         if st.o > t.max_committed then t.max_committed <- st.o
       end)
     entries;
-  if image_installed || entries <> [] then
+  if announce && (image_installed || entries <> []) then
     t.ctx.Context.emit
       (Context.State_transfer_installed
          { seq = installed_at; entries = List.length entries });
   advance_delivery t
+
+let attempt_install t = install_from_offers t ~entry_quorum:(t.config.f + 1)
+
+(* Local-first recovery: the locally persisted checkpoint image and WAL
+   entry suffix enter as a synthetic self-offer, verified exactly like a
+   peer's State_response — 2f+1-signed certificate, image bytes against
+   the certified digest, each entry against its recomputed batch digest.
+   Entry quorum 1: the replica vouches only for its own log, and the
+   digest checks exclude any torn or tampered suffix entry-by-entry.
+   Returns whether delivery advanced; the caller escalates to peer repair
+   when it did not or the log was damaged. *)
+let recover_local t ~cert ~image ~entries =
+  let before = t.delivered in
+  let cert_ok =
+    match cert with
+    | None -> true
+    | Some c ->
+      t.ctx.Context.digest_charge (String.length image);
+      Recovery.verify_cert
+        ~verify:(fun ~signer ~msg ~signature ->
+          t.ctx.Context.verify ~signer ~msg ~signature)
+        ~scheme:(ckpt_scheme t) c
+      && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
+  in
+  if not cert_ok then begin
+    t.ctx.Context.emit (Context.State_transfer_rejected { from = id t });
+    false
+  end
+  else begin
+    Recovery.clear_offers t.rcv;
+    Recovery.add_offer t.rcv
+      { Recovery.st_from = id t; st_cert = cert; st_image = image; st_entries = entries };
+    (* The synthetic self-offer is a local replay, not a peer transfer:
+       the harness announces it as [Wal_replayed], so the install stays
+       silent to keep transfer accounting honest. *)
+    install_from_offers ~announce:false t ~entry_quorum:1;
+    Recovery.clear_offers t.rcv;
+    (* A recovered process must never mint at or below what it just
+       restored: a fresh order under a committed sequence number could
+       strand below the delivery low-water mark or conflict with an
+       absorbed entry. *)
+    if t.next_seq <= t.max_committed then t.next_seq <- t.max_committed + 1;
+    t.delivered > before
+  end
 
 let fetch_target t =
   List.fold_left
@@ -605,7 +687,7 @@ let prepared_set t =
     (fun o st acc ->
       if
         st.pre_prepared && (not st.committed) && o > t.max_committed
-        && Int_set.cardinal st.prepares >= 2 * t.config.f
+        && votes_for st.prepares ~digest:st.digest >= 2 * t.config.f
       then { Message.o; digest = st.digest; keys = st.keys } :: acc
       else acc)
     t.orders []
@@ -737,19 +819,15 @@ let on_message t ~src (env : Message.envelope) =
        truncated — stragglers must not resurrect them in the log. *)
     if v <= t.view && o > Recovery.stable_seq t.rcv && authentic t env then begin
       let st = get_order t o in
-      if (not st.pre_prepared) || String.equal st.digest digest then begin
-        st.prepares <- Int_set.add env.Message.sender st.prepares;
-        try_prepared_point t st;
-        try_commit_point t st
-      end
+      st.prepares <- add_vote st.prepares ~sender:env.Message.sender ~digest;
+      try_prepared_point t st;
+      try_commit_point t st
     end
   | Message.Commit { v; o; digest } ->
     if v <= t.view && o > Recovery.stable_seq t.rcv && authentic t env then begin
       let st = get_order t o in
-      if (not st.pre_prepared) || String.equal st.digest digest then begin
-        st.commits <- Int_set.add env.Message.sender st.commits;
-        try_commit_point t st
-      end
+      st.commits <- add_vote st.commits ~sender:env.Message.sender ~digest;
+      try_commit_point t st
     end
   | Message.Bft_view_change { v; prepared } ->
     if authentic t env then handle_view_change t ~src ~v ~prepared env

@@ -51,6 +51,7 @@ type event =
   | State_transfer_installed of { seq : int; entries : int }
   | State_transfer_rejected of { from : int }
   | Node_restarted
+  | Wal_replayed of { seq : int; entries : int; damaged : bool }
 
 type t = {
   id : int;
@@ -96,3 +97,6 @@ let pp_event fmt = function
   | State_transfer_rejected { from } ->
     Format.fprintf fmt "state_transfer_rejected(from=%d)" from
   | Node_restarted -> Format.fprintf fmt "node_restarted"
+  | Wal_replayed { seq; entries; damaged } ->
+    Format.fprintf fmt "wal_replayed(seq=%d, +%d entries%s)" seq entries
+      (if damaged then ", damaged" else "")

@@ -72,6 +72,12 @@ type event =
       (** Emitted by the harness, not the protocol: this process came back
           from a crash with empty volatile state.  Invariants use it to
           partition a process's deliveries into incarnations. *)
+  | Wal_replayed of { seq : int; entries : int; damaged : bool }
+      (** Emitted by the harness under durable storage: after a restart the
+          local write-ahead log yielded a checkpoint image at [seq] plus
+          [entries] logged batches above it.  [damaged] records that the
+          log's suffix was torn or corrupt, so recovery must finish via
+          peer repair rather than local replay alone. *)
 
 type t = {
   id : int;  (** This process's id (network endpoint). *)

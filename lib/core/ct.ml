@@ -153,6 +153,8 @@ let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
 let log_length t = Hashtbl.length t.orders
 
 let stable_checkpoint_seq t = Recovery.stable_seq t.rcv
+let latest_stable t = Recovery.latest_stable t.rcv
+let client_marks t = Recovery.marks t.rcv
 
 let ckpt_scheme t =
   Recovery.Quorum_counted
@@ -418,7 +420,7 @@ let entry_ok t (e : Checkpoint.entry) =
    Transferred entries enter the order log as committed winners and are then
    delivered by the normal in-sequence walk; no Committed event is re-emitted
    for them (they were counted at their original commit). *)
-let attempt_install t =
+let install_from_offers ?(announce = true) t ~entry_quorum =
   let image_installed =
     match Recovery.best_image t.rcv ~above:t.delivered with
     | Some (cert, image, _) -> begin
@@ -442,7 +444,8 @@ let attempt_install t =
   in
   let installed_at = t.delivered in
   let entries =
-    Recovery.select_entries ~quorum:1 ~base:t.delivered ~entry_ok:(entry_ok t) t.rcv
+    Recovery.select_entries ~quorum:entry_quorum ~base:t.delivered
+      ~entry_ok:(entry_ok t) t.rcv
   in
   List.iter
     (fun (e : Checkpoint.entry) ->
@@ -464,11 +467,55 @@ let attempt_install t =
         st.winner <- Some e.Checkpoint.e_digest;
         if st.o > t.max_committed then t.max_committed <- st.o)
     entries;
-  if image_installed || entries <> [] then
+  if announce && (image_installed || entries <> []) then
     t.ctx.Context.emit
       (Context.State_transfer_installed
          { seq = installed_at; entries = List.length entries });
   advance_delivery t
+
+let attempt_install t = install_from_offers t ~entry_quorum:1
+
+(* Local-first recovery: the locally persisted checkpoint image and WAL
+   entry suffix enter as a synthetic self-offer, verified exactly like a
+   peer's State_response — certificate under the checkpoint scheme, image
+   bytes against the certified digest, each entry against its recomputed
+   batch digest.  The entry quorum is 1 (the replica vouches only for its
+   own log), so a torn or tampered suffix is excluded entry-by-entry
+   rather than installed.  Returns whether delivery advanced; the caller
+   escalates to peer repair when it did not or the log was damaged. *)
+let recover_local t ~cert ~image ~entries =
+  let before = t.delivered in
+  let cert_ok =
+    match cert with
+    | None -> true
+    | Some c ->
+      t.ctx.Context.digest_charge (String.length image);
+      Recovery.verify_cert
+        ~verify:(fun ~signer ~msg ~signature ->
+          t.ctx.Context.verify ~signer ~msg ~signature)
+        ~scheme:(ckpt_scheme t) c
+      && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
+  in
+  if not cert_ok then begin
+    t.ctx.Context.emit (Context.State_transfer_rejected { from = id t });
+    false
+  end
+  else begin
+    Recovery.clear_offers t.rcv;
+    Recovery.add_offer t.rcv
+      { Recovery.st_from = id t; st_cert = cert; st_image = image; st_entries = entries };
+    (* The synthetic self-offer is a local replay, not a peer transfer:
+       the harness announces it as [Wal_replayed], so the install stays
+       silent to keep transfer accounting honest. *)
+    install_from_offers ~announce:false t ~entry_quorum:1;
+    Recovery.clear_offers t.rcv;
+    (* A recovered process must never mint at or below what it just
+       restored: a fresh order under a committed sequence number could
+       strand below the delivery low-water mark or conflict with an
+       absorbed entry. *)
+    if t.next_seq <= t.max_committed then t.next_seq <- t.max_committed + 1;
+    t.delivered > before
+  end
 
 (* The highest sequence number any collected offer can take us to. *)
 let fetch_target t =

@@ -66,3 +66,19 @@ val log_length : t -> int
 
 val stable_checkpoint_seq : t -> int
 (** Latest stable checkpoint sequence number (0 when none). *)
+
+val latest_stable : t -> (Checkpoint.cert * string) option
+(** Latest stable checkpoint certificate with its image bytes — what a
+    durable harness persists alongside the write-ahead log. *)
+
+val client_marks : t -> (int * int) list
+(** Per-client delivery high-water marks, sorted by client. *)
+
+val recover_local : t -> cert:Checkpoint.cert option -> image:string ->
+  entries:Checkpoint.entry list -> bool
+(** Install locally persisted state (WAL replay) as a synthetic self-offer,
+    verified exactly like a peer's state-transfer response: certificate,
+    image digest, and per-entry digest checks all apply, so damaged or
+    tampered suffixes are excluded rather than installed.  Returns whether
+    delivery advanced; callers escalate to {!request_recovery} when the
+    local log was damaged or insufficient. *)

@@ -12,6 +12,7 @@ type t =
   | Corrupt_wire of int
   | Corrupt_checkpoint_image
   | Stale_checkpoint
+  | Corrupt_wal_suffix
 
 let is_mute t ~now =
   match t with
@@ -19,7 +20,7 @@ let is_mute t ~now =
   | Honest | Corrupt_digest_at _ | Endorse_corrupt_at _ | Drop_endorsements
   | Equivocate_at _ | Spurious_fail_signal_at _ | Withhold_fail_signal
   | Unwilling_spam | Replay_stale _ | Corrupt_wire _ | Corrupt_checkpoint_image
-  | Stale_checkpoint ->
+  | Stale_checkpoint | Corrupt_wal_suffix ->
     false
 
 let pp fmt = function
@@ -37,3 +38,4 @@ let pp fmt = function
   | Corrupt_wire n -> Format.fprintf fmt "corrupt_wire:%d" n
   | Corrupt_checkpoint_image -> Format.pp_print_string fmt "corrupt_checkpoint_image"
   | Stale_checkpoint -> Format.pp_print_string fmt "stale_checkpoint"
+  | Corrupt_wal_suffix -> Format.pp_print_string fmt "corrupt_wal_suffix"

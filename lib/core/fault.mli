@@ -63,6 +63,12 @@ type t =
           stable checkpoint instead of the latest, and no log suffix — a
           lazy-or-malicious responder whose offer leaves the requester
           behind.  Recovery must make progress from other responders. *)
+  | Corrupt_wal_suffix
+      (** When serving a state-transfer response: tamper with the log
+          suffix read from the local write-ahead log — flip bytes in the
+          served entries while keeping the genuine checkpoint.  The
+          tampered entries no longer match their digests, so recovering
+          replicas must exclude them via the entry quorum/digest checks. *)
 
 val is_mute : t -> now:Sof_sim.Simtime.t -> bool
 (** Whether a process with this fault transmits nothing at [now]. *)

@@ -321,6 +321,8 @@ let close_batch_spans t st =
 let log_length t = Hashtbl.length t.orders
 
 let stable_checkpoint_seq t = Recovery.stable_seq t.rcv
+let latest_stable t = Recovery.latest_stable t.rcv
+let client_marks t = Recovery.marks t.rcv
 
 let ckpt_pair_ok t ~primary ~endorser =
   let ranks = List.init (Config.candidate_count t.config) (fun i -> i + 1) in
@@ -675,6 +677,24 @@ let serve_state_request t ~src ~have =
         (fun (a : Checkpoint.entry) b -> Int.compare a.Checkpoint.e_o b.Checkpoint.e_o)
         (delivered_entries @ tail)
   in
+  (* A Byzantine responder serving from a tampered local log: the checkpoint
+     is genuine but every entry digest is flipped, so no entry matches its
+     recomputed batch digest and the requester's entry checks exclude the
+     whole suffix. *)
+  let entries =
+    match t.fault with
+    | Fault.Corrupt_wal_suffix ->
+      List.map
+        (fun (e : Checkpoint.entry) ->
+          match e.Checkpoint.e_digest with
+          | "" -> e
+          | d ->
+            let b = Bytes.of_string d in
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+            { e with Checkpoint.e_digest = Bytes.to_string b })
+        entries
+    | _ -> entries
+  in
   send t ~dst:src (make_signed t (Message.State_response { cert; image; entries }))
 
 let entry_ok t (e : Checkpoint.entry) =
@@ -687,7 +707,7 @@ let entry_ok t (e : Checkpoint.entry) =
    claimant is correct).  Transferred entries enter the log as committed and
    are delivered by the normal in-sequence walk; no Committed event is
    re-emitted for them. *)
-let attempt_install t =
+let install_from_offers ?(announce = true) t ~entry_quorum =
   let image_installed =
     match Recovery.best_image t.rcv ~above:t.delivered with
     | Some (cert, image, _) -> begin
@@ -711,7 +731,7 @@ let attempt_install t =
   in
   let installed_at = t.delivered in
   let entries =
-    Recovery.select_entries ~quorum:(t.config.Config.f + 1) ~base:t.delivered
+    Recovery.select_entries ~quorum:entry_quorum ~base:t.delivered
       ~entry_ok:(entry_ok t) t.rcv
   in
   List.iter
@@ -734,11 +754,57 @@ let attempt_install t =
         if st.o > t.max_committed then t.max_committed <- st.o
       end)
     entries;
-  if image_installed || entries <> [] then
+  if announce && (image_installed || entries <> []) then
     t.ctx.Context.emit
       (Context.State_transfer_installed
          { seq = installed_at; entries = List.length entries });
   advance_delivery t
+
+let attempt_install t = install_from_offers t ~entry_quorum:(t.config.Config.f + 1)
+
+(* Local-first recovery: the locally persisted checkpoint image and WAL
+   entry suffix enter as a synthetic self-offer, verified exactly like a
+   peer's State_response — pair-endorsed certificate, image bytes against
+   the certified digest, each entry against its recomputed batch digest.
+   Entry quorum 1: the replica vouches only for its own log, and the
+   digest checks exclude any torn or tampered suffix entry-by-entry.
+   Returns whether delivery advanced; the caller escalates to peer repair
+   when it did not or the log was damaged. *)
+let recover_local t ~cert ~image ~entries =
+  let before = t.delivered in
+  let cert_ok =
+    match cert with
+    | None -> true
+    | Some c ->
+      t.ctx.Context.digest_charge (String.length image);
+      Recovery.verify_cert
+        ~verify:(fun ~signer ~msg ~signature ->
+          t.ctx.Context.verify ~signer ~msg ~signature)
+        ~scheme:(ckpt_scheme t) c
+      && String.equal
+           (Checkpoint.image_digest t.config.Config.digest image)
+           c.Checkpoint.cp_digest
+  in
+  if not cert_ok then begin
+    t.ctx.Context.emit (Context.State_transfer_rejected { from = id t });
+    false
+  end
+  else begin
+    Recovery.clear_offers t.rcv;
+    Recovery.add_offer t.rcv
+      { Recovery.st_from = id t; st_cert = cert; st_image = image; st_entries = entries };
+    (* The synthetic self-offer is a local replay, not a peer transfer:
+       the harness announces it as [Wal_replayed], so the install stays
+       silent to keep transfer accounting honest. *)
+    install_from_offers ~announce:false t ~entry_quorum:1;
+    Recovery.clear_offers t.rcv;
+    (* A recovered process must never mint at or below what it just
+       restored: a fresh order under a committed sequence number could
+       strand below the delivery low-water mark or conflict with an
+       absorbed entry. *)
+    if t.next_seq <= t.max_committed then t.next_seq <- t.max_committed + 1;
+    t.delivered > before
+  end
 
 let fetch_target t =
   List.fold_left

@@ -22,7 +22,7 @@ let wire_of_fault = function
   | P.Fault.Mute_at _ | P.Fault.Drop_endorsements | P.Fault.Equivocate_at _
   | P.Fault.Spurious_fail_signal_at _ | P.Fault.Withhold_fail_signal
   | P.Fault.Unwilling_spam | P.Fault.Corrupt_checkpoint_image
-  | P.Fault.Stale_checkpoint ->
+  | P.Fault.Stale_checkpoint | P.Fault.Corrupt_wal_suffix ->
     None
 
 let wanted faults =

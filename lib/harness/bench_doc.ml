@@ -5,7 +5,7 @@
 
 module Json = Sof_util.Json
 
-let schema_version = 2
+let schema_version = 3
 
 let json_of_point (p : Experiments.series_point) =
   Json.Obj
@@ -99,6 +99,8 @@ let json_of_recovery (label, (r : Metrics.recovery)) =
       ("protocol", Json.Str label);
       ("restarts", Json.num_of_int r.Metrics.rc_restarts);
       ("recovered", Json.num_of_int r.Metrics.rc_recovered);
+      ("local_replays", Json.num_of_int r.Metrics.rc_local_replays);
+      ("local_recoveries", Json.num_of_int r.Metrics.rc_local_recoveries);
       ("transfers_started", Json.num_of_int r.Metrics.rc_transfers_started);
       ("transfers_installed", Json.num_of_int r.Metrics.rc_transfers_installed);
       ("transfers_rejected", Json.num_of_int r.Metrics.rc_transfers_rejected);
@@ -109,6 +111,33 @@ let json_of_recovery (label, (r : Metrics.recovery)) =
         | Some v -> Json.Num v
         | None -> Json.Null );
       ("max_retained_log", Json.num_of_int r.Metrics.rc_max_log_length);
+    ]
+
+(* One row per protocol from a durable fault-atlas campaign: how much the
+   durable write path cost, how recovery split between local replay and
+   state transfer, and what the atlas actually hit. *)
+let json_of_storage_row (label, (r : Metrics.recovery), (st : Metrics.storage))
+    =
+  Json.Obj
+    [
+      ("protocol", Json.Str label);
+      ("local_replays", Json.num_of_int r.Metrics.rc_local_replays);
+      ("local_recoveries", Json.num_of_int r.Metrics.rc_local_recoveries);
+      ("transfers_installed", Json.num_of_int r.Metrics.rc_transfers_installed);
+      ( "mean_recovery_ms",
+        match r.Metrics.rc_mean_recovery_ms with
+        | Some v -> Json.Num v
+        | None -> Json.Null );
+      ("wal_appends", Json.num_of_int st.Metrics.st_appends);
+      ("wal_syncs", Json.num_of_int st.Metrics.st_syncs);
+      ("checkpoint_writes", Json.num_of_int st.Metrics.st_checkpoint_writes);
+      ("frames_dropped", Json.num_of_int st.Metrics.st_dropped);
+      ("replayed_entries", Json.num_of_int st.Metrics.st_replayed_entries);
+      ("damaged_replays", Json.num_of_int st.Metrics.st_damaged_replays);
+      ("lost_writes", Json.num_of_int st.Metrics.st_lost_writes);
+      ("misdirected_writes", Json.num_of_int st.Metrics.st_misdirected);
+      ("torn_sectors", Json.num_of_int st.Metrics.st_torn);
+      ("corrupt_reads", Json.num_of_int st.Metrics.st_corrupt_reads);
     ]
 
 (* The critical-path claims the phase breakdown decides mechanically: the
@@ -139,7 +168,8 @@ let json_of_verdicts verdicts =
          Json.Obj [ ("name", Json.Str name); ("pass", Json.Bool pass) ])
        verdicts)
 
-let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ~breakdowns () =
+let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ?storage
+    ~breakdowns () =
   let verdicts = Report.shape_check_results fig4_5 @ phase_verdicts breakdowns in
   Json.Obj
     [
@@ -174,6 +204,10 @@ let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ~breakdowns () =
       ( "recovery",
         match recovery with
         | Some rows -> Json.List (List.map json_of_recovery rows)
+        | None -> Json.Null );
+      ( "storage",
+        match storage with
+        | Some rows -> Json.List (List.map json_of_storage_row rows)
         | None -> Json.Null );
       ("verdicts", json_of_verdicts verdicts);
     ]

@@ -4,7 +4,7 @@
     test all build and read the same JSON shape through this module:
 
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "generator": "sof-bench",
       "seed": <int>, "fast": <bool>,
       "figures": {
@@ -14,11 +14,14 @@
         "message_counts": [ ... ] | null },
       "phases": [ per-protocol breakdowns, see {!json_of_breakdown} ],
       "recovery": [ crash-restart cost rows, see {!json_of_recovery} ] | null,
+      "storage": [ durable-campaign rows, see {!json_of_storage_row} ] | null,
       "verdicts": [ { "name", "pass" } ] }
     v}
 
     Schema history: v2 added the "recovery" section (crash-restart
-    recovery cost per protocol). *)
+    recovery cost per protocol); v3 added the "storage" section (durable
+    write-path and fault-atlas accounting) and the local-replay fields in
+    "recovery" rows. *)
 
 val schema_version : int
 
@@ -30,8 +33,16 @@ val json_of_breakdown : Metrics.breakdown -> Sof_util.Json.t
 
 val json_of_recovery : string * Metrics.recovery -> Sof_util.Json.t
 (** One labelled {!Metrics.recovery} as a "recovery" row: restart counts,
-    transfer outcomes, checkpoint/truncation totals, mean restart-to-rejoin
-    latency ([null] when nothing recovered) and peak retained log. *)
+    local-replay counts, transfer outcomes, checkpoint/truncation totals,
+    mean restart-to-rejoin latency ([null] when nothing recovered) and
+    peak retained log. *)
+
+val json_of_storage_row :
+  string * Metrics.recovery * Metrics.storage -> Sof_util.Json.t
+(** One protocol's durable-campaign accounting as a "storage" row: how
+    recovery split between local replay and state transfer, the durable
+    write path's volume (appends, syncs, checkpoint writes, drops), the
+    replayed/damaged entry counts, and the fault atlas's hits. *)
 
 val phase_verdicts : Metrics.breakdown list -> (string * bool) list
 (** The critical-path claims decided mechanically from the breakdowns:
@@ -45,6 +56,7 @@ val make :
   ?fig6:Experiments.failover_series list ->
   ?message_counts:(string * int * int) list ->
   ?recovery:(string * Metrics.recovery) list ->
+  ?storage:(string * Metrics.recovery * Metrics.storage) list ->
   breakdowns:Metrics.breakdown list ->
   unit ->
   Sof_util.Json.t

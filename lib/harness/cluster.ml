@@ -8,6 +8,10 @@ module Scheme = Sof_crypto.Scheme
 module Keyring = Sof_crypto.Keyring
 module Request = Sof_smr.Request
 module P = Sof_protocol
+module Sim_disk = Sof_storage.Sim_disk
+module Wal = Sof_storage.Wal
+module Fault_atlas = Sof_storage.Fault_atlas
+module Codec = Sof_util.Codec
 
 type kind = Sc_protocol | Scr_protocol | Bft_protocol | Ct_protocol
 
@@ -33,6 +37,14 @@ type spec = {
   checkpoint_interval : int;
       (* checkpoint every this-many delivered sequence numbers; 0 disables
          checkpointing, truncation and state transfer *)
+  durable : bool;
+      (* give every node a simulated disk and write-ahead log: commit implies
+         sync before the reply is recorded, and restart replays the local log
+         before falling back to peer state transfer *)
+  disk_profile : Fault_atlas.profile option;
+      (* storage-fault atlas applied to the disks of replicas 1..f (the
+         storage-fault budget mirrors the process-fault budget); [None] means
+         all disks are well-behaved *)
 }
 
 let default_spec ~kind ~f =
@@ -56,7 +68,14 @@ let default_spec ~kind ~f =
     use_channel = false;
     channel_config = Channel.default_config;
     checkpoint_interval = 0;
+    durable = false;
+    disk_profile = None;
   }
+
+(* 2 MiB per replica, split into two 1 MiB write-ahead-log regions — ample
+   for a checkpoint image plus one interval of batches at test scale. *)
+let disk_sector_size = 256
+let disk_sector_count = 8192
 
 type proc = Sc of P.Sc.t | Scr of P.Scr.t | Bft of P.Bft.t | Ct of P.Ct.t
 
@@ -85,6 +104,10 @@ type node = {
          heartbeating or batching from beyond the grave *)
   node_crypto : crypto_ctr;
   node_sends : (string, int ref * int ref) Hashtbl.t;  (* tag -> msgs, bytes *)
+  node_disk : Sim_disk.t option;
+      (* the platter: survives crash/restart, unlike everything above *)
+  mutable node_wal : Wal.t option;
+      (* re-attached from [node_disk] on every restart *)
 }
 
 type t = {
@@ -100,6 +123,12 @@ type t = {
   mutable rebuild : (int -> proc) option;
       (* per-node protocol-process factory, filled in by [build]; used by
          [restart] to bring a crashed node back with empty volatile state *)
+  mutable wal_digest : Sof_crypto.Digest_alg.t;
+      (* digest algorithm for write-ahead-log entry digests; must match the
+         protocol config's so replayed entries pass [entry_ok] *)
+  mutable wal_prior : Wal.stats;
+      (* stats absorbed from write-ahead logs superseded by restarts *)
+  mutable wal_replayed : int;  (* entries recovered by local replay *)
 }
 
 let process_count_of_spec spec =
@@ -176,7 +205,15 @@ let total_crypto_counts t =
 
 let run t ~until = Engine.run ~until t.engine
 
-let crash t i = Network.crash t.net i
+(* Crashing a durable node also crashes its disk: unsynced writes are lost
+   and, under a torn-write atlas, the last flushed sector is torn. *)
+let crash t i =
+  let was_crashed = Network.is_crashed t.net i in
+  Network.crash t.net i;
+  if not was_crashed then
+    match t.nodes.(i).node_disk with
+    | Some sd -> Sim_disk.crash sd
+    | None -> ()
 
 let start_proc = function
   | Sc p -> P.Sc.start p
@@ -208,6 +245,100 @@ let stable_checkpoint_seq t i =
   | Some (Ct p) -> P.Ct.stable_checkpoint_seq p
   | None -> 0
 
+let delivered_seq t i =
+  match t.nodes.(i).node_proc with
+  | Some (Sc p) -> P.Sc.delivered_seq p
+  | Some (Scr p) -> P.Scr.delivered_seq p
+  | Some (Bft p) -> P.Bft.delivered_seq p
+  | Some (Ct p) -> P.Ct.delivered_seq p
+  | None -> 0
+
+let client_marks t i =
+  match t.nodes.(i).node_proc with
+  | Some (Sc p) -> P.Sc.client_marks p
+  | Some (Scr p) -> P.Scr.client_marks p
+  | Some (Bft p) -> P.Bft.client_marks p
+  | Some (Ct p) -> P.Ct.client_marks p
+  | None -> []
+
+let latest_stable_of = function
+  | Sc p -> P.Sc.latest_stable p
+  | Scr p -> P.Scr.latest_stable p
+  | Bft p -> P.Bft.latest_stable p
+  | Ct p -> P.Ct.latest_stable p
+
+let recover_local_proc p ~cert ~image ~entries =
+  match p with
+  | Sc q -> P.Sc.recover_local q ~cert ~image ~entries
+  | Scr q -> P.Scr.recover_local q ~cert ~image ~entries
+  | Bft q -> P.Bft.recover_local q ~cert ~image ~entries
+  | Ct q -> P.Ct.recover_local q ~cert ~image ~entries
+
+(* Write-ahead-log frame payloads.  Decoders treat the bytes as hostile —
+   a torn or corrupt frame that slipped past the crc must come back as
+   [None], never as an exception. *)
+let encode_checkpoint_payload cert image =
+  let w = Codec.Writer.create () in
+  P.Checkpoint.write_cert w cert;
+  Codec.Writer.string w image;
+  Codec.Writer.contents w
+
+let decode_checkpoint_payload s =
+  match
+    let r = Codec.Reader.of_string s in
+    let cert = P.Checkpoint.read_cert r in
+    let image = Codec.Reader.string r in
+    Codec.Reader.expect_end r;
+    (cert, image)
+  with
+  | v -> Some v
+  | exception Codec.Reader.Truncated -> None
+
+let encode_entry_payload e =
+  let w = Codec.Writer.create () in
+  P.Checkpoint.write_entry w e;
+  Codec.Writer.contents w
+
+let decode_entry_payload s =
+  match
+    let r = Codec.Reader.of_string s in
+    let e = P.Checkpoint.read_entry r in
+    Codec.Reader.expect_end r;
+    e
+  with
+  | e -> Some e
+  | exception Codec.Reader.Truncated -> None
+
+let charge_disk_write t i ~size =
+  let node = t.nodes.(i) in
+  Cpu.extend node.node_cpu (Cost_model.disk_append_cost t.spec.cost ~size);
+  Cpu.extend node.node_cpu (Cost_model.disk_sync_cost t.spec.cost)
+
+(* Durable log truncation: when a checkpoint goes stable, persist its
+   certificate and image as the head of a fresh write-ahead-log epoch. *)
+let persist_checkpoint t i =
+  let node = t.nodes.(i) in
+  match node.node_wal with
+  | None -> ()
+  | Some wal -> begin
+    match Option.bind node.node_proc latest_stable_of with
+    | None -> ()
+    | Some (cert, image) ->
+      let payload = encode_checkpoint_payload cert image in
+      Wal.write_checkpoint wal payload;
+      charge_disk_write t i ~size:(String.length payload)
+  end
+
+let absorb_wal_stats t wal =
+  let s = Wal.stats wal and p = t.wal_prior in
+  t.wal_prior <-
+    {
+      Wal.w_appends = p.Wal.w_appends + s.Wal.w_appends;
+      w_syncs = p.Wal.w_syncs + s.Wal.w_syncs;
+      w_checkpoints = p.Wal.w_checkpoints + s.Wal.w_checkpoints;
+      w_dropped = p.Wal.w_dropped + s.Wal.w_dropped;
+    }
+
 (* Crash-restart: the node comes back with a fresh protocol process and a
    fresh (empty) state machine — everything volatile is lost — and
    immediately asks its peers for a state transfer.  The generation bump
@@ -227,7 +358,53 @@ let restart t i =
       node.node_proc <- Some p;
       t.event_log <- (Engine.now t.engine, i, P.Context.Node_restarted) :: t.event_log;
       start_proc p;
-      request_recovery t i
+      (match (node.node_disk, node.node_wal) with
+      | Some sd, Some old_wal ->
+        (* Local-first recovery: re-attach the log, replay what the disk
+           preserved, and only escalate to peer state transfer when the
+           suffix was damaged or replay left delivery where it started. *)
+        absorb_wal_stats t old_wal;
+        let wal = Wal.attach (Sim_disk.disk sd) in
+        node.node_wal <- Some wal;
+        let rp = Wal.replay wal in
+        let cert_image = Option.bind rp.Wal.rp_checkpoint decode_checkpoint_payload in
+        let entries = List.filter_map decode_entry_payload rp.Wal.rp_entries in
+        let decode_damaged =
+          (match (rp.Wal.rp_checkpoint, cert_image) with
+          | Some _, None -> true
+          | _ -> false)
+          || List.compare_length_with entries (List.length rp.Wal.rp_entries) < 0
+        in
+        (* Re-deliveries during replay go back through the deliver hook; the
+           log must turn over first so they land in a fresh epoch rather than
+           re-appending behind the very frames being replayed. *)
+        (match (rp.Wal.rp_checkpoint, cert_image) with
+        | Some payload, Some _ -> Wal.write_checkpoint wal payload
+        | _ -> Wal.reset wal);
+        let replay_bytes =
+          String.length (Option.value rp.Wal.rp_checkpoint ~default:"")
+          + List.fold_left (fun a s -> a + String.length s) 0 rp.Wal.rp_entries
+        in
+        charge_disk_write t i ~size:replay_bytes;
+        let cert, image =
+          match cert_image with
+          | Some (c, img) -> (Some c, img)
+          | None -> (None, "")
+        in
+        let recovered = recover_local_proc p ~cert ~image ~entries in
+        let damaged = rp.Wal.rp_damaged || decode_damaged in
+        t.wal_replayed <- t.wal_replayed + List.length entries;
+        let cp_seq =
+          match cert with Some c -> c.P.Checkpoint.cp_seq | None -> 0
+        in
+        t.event_log <-
+          ( Engine.now t.engine,
+            i,
+            P.Context.Wal_replayed
+              { seq = cp_seq; entries = List.length entries; damaged } )
+          :: t.event_log;
+        if damaged || not recovered then request_recovery t i
+      | _ -> request_recovery t i)
     | None -> invalid_arg "Cluster.restart: cluster not built")
   end
 
@@ -300,7 +477,26 @@ let make_context t i =
     in
     { P.Context.cancel = (fun () -> Engine.cancel h) }
   in
-  let deliver ~seq:_ batch =
+  let deliver ~seq batch =
+    (* Commit implies sync: under [durable] the batch is framed, appended
+       and flushed before the reply is recorded, so every reply the harness
+       counts is backed by a sector the replica can replay after a crash. *)
+    (match node.node_wal with
+    | None -> ()
+    | Some wal ->
+      let entry =
+        {
+          P.Checkpoint.e_o = seq;
+          e_digest =
+            P.Batch.digest t.wal_digest (P.Batch.make batch.P.Batch.requests);
+          e_requests = batch.P.Batch.requests;
+        }
+      in
+      let payload = encode_entry_payload entry in
+      digest_charge (String.length payload);
+      Wal.append wal payload;
+      Wal.sync wal;
+      charge_disk_write t i ~size:(String.length payload));
     match node.node_machine with
     | None -> ()
     | Some m ->
@@ -318,7 +514,12 @@ let make_context t i =
           cell := (i, reply) :: !cell)
         batch.P.Batch.requests
   in
-  let emit ev = t.event_log <- (Engine.now t.engine, i, ev) :: t.event_log in
+  let emit ev =
+    t.event_log <- (Engine.now t.engine, i, ev) :: t.event_log;
+    match ev with
+    | P.Context.Checkpoint_stable _ -> persist_checkpoint t i
+    | _ -> ()
+  in
   (* Checkpoint images come from the attached machine; a cluster without
      machines checkpoints over the empty image (still exercising the
      certificate and truncation machinery). *)
@@ -395,7 +596,22 @@ let build spec =
   in
   let keyring = Keyring.create ~scheme:wire_scheme ~rng:key_rng ~node_count:n () in
   let nodes =
-    Array.init n (fun _ ->
+    Array.init n (fun i ->
+        let node_disk =
+          if spec.durable then
+            let atlas =
+              match spec.disk_profile with
+              | Some profile when i >= 1 && i <= spec.f ->
+                Some
+                  (Fault_atlas.make ~seed:(Int64.to_int spec.seed) ~replica:i
+                     profile)
+              | _ -> None
+            in
+            Some
+              (Sim_disk.create ?atlas ~sector_size:disk_sector_size
+                 ~sector_count:disk_sector_count ())
+          else None
+        in
         {
           node_cpu = Cpu.create engine;
           node_proc = None;
@@ -412,6 +628,8 @@ let build spec =
               c_digest_ns = 0;
             };
           node_sends = Hashtbl.create 16;
+          node_disk;
+          node_wal = Option.map (fun sd -> Wal.attach (Sim_disk.disk sd)) node_disk;
         })
   in
   let t =
@@ -426,6 +644,9 @@ let build spec =
       event_log = [];
       replies = Hashtbl.create 256;
       rebuild = None;
+      wal_digest = scheme.Scheme.digest;
+      wal_prior = { Wal.w_appends = 0; w_syncs = 0; w_checkpoints = 0; w_dropped = 0 };
+      wal_replayed = 0;
     }
   in
   (* Protocol processes, via a factory kept on [t] so [restart] can rebuild
@@ -477,6 +698,9 @@ let build spec =
           ~batch_size_limit:spec.batch_size_limit
           ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
       in
+      (* CT's config carries its own digest default (the crypto scheme is
+         null); log-entry digests must agree with it or replay is rejected. *)
+      t.wal_digest <- config.P.Ct.digest;
       fun i ->
         let ctx = make_context t i in
         Ct (P.Ct.create ~ctx ~config)
@@ -552,3 +776,57 @@ let reply_certificate t key =
     (fun reply voters acc ->
       if List.length voters >= t.spec.f + 1 then Some reply else acc)
     by_reply None
+
+type storage_totals = {
+  sg_appends : int;
+  sg_syncs : int;
+  sg_checkpoint_writes : int;
+  sg_dropped : int;
+  sg_replayed_entries : int;
+  sg_lost_writes : int;
+  sg_misdirected : int;
+  sg_torn : int;
+  sg_corrupt_reads : int;
+}
+
+let storage_totals t =
+  if not t.spec.durable then None
+  else begin
+    let appends = ref t.wal_prior.Wal.w_appends in
+    let syncs = ref t.wal_prior.Wal.w_syncs in
+    let checkpoints = ref t.wal_prior.Wal.w_checkpoints in
+    let dropped = ref t.wal_prior.Wal.w_dropped in
+    let lost = ref 0 and misdirected = ref 0 and torn = ref 0 in
+    let corrupt = ref 0 in
+    Array.iter
+      (fun node ->
+        (match node.node_wal with
+        | Some wal ->
+          let s = Wal.stats wal in
+          appends := !appends + s.Wal.w_appends;
+          syncs := !syncs + s.Wal.w_syncs;
+          checkpoints := !checkpoints + s.Wal.w_checkpoints;
+          dropped := !dropped + s.Wal.w_dropped
+        | None -> ());
+        match node.node_disk with
+        | Some sd ->
+          let s = Sim_disk.stats sd in
+          lost := !lost + s.Sim_disk.sd_lost;
+          misdirected := !misdirected + s.Sim_disk.sd_misdirected;
+          torn := !torn + s.Sim_disk.sd_torn;
+          corrupt := !corrupt + s.Sim_disk.sd_corrupt_reads
+        | None -> ())
+      t.nodes;
+    Some
+      {
+        sg_appends = !appends;
+        sg_syncs = !syncs;
+        sg_checkpoint_writes = !checkpoints;
+        sg_dropped = !dropped;
+        sg_replayed_entries = t.wal_replayed;
+        sg_lost_writes = !lost;
+        sg_misdirected = !misdirected;
+        sg_torn = !torn;
+        sg_corrupt_reads = !corrupt;
+      }
+  end

@@ -41,6 +41,17 @@ type spec = {
       (** Checkpoint every this-many delivered sequence numbers; 0 (the
           default) disables checkpointing, log truncation and state
           transfer, keeping pre-checkpoint seeded runs byte-identical. *)
+  durable : bool;
+      (** Give every node a simulated disk with a write-ahead log: commit
+          implies sync before the reply is recorded, and restart replays the
+          local log (local-first recovery) before falling back to peer state
+          transfer.  Off by default — non-durable runs are byte-identical to
+          older seeded runs. *)
+  disk_profile : Sof_storage.Fault_atlas.profile option;
+      (** Storage-fault atlas applied to the disks of replicas 1..f — the
+          storage-fault budget mirrors the process-fault budget, so a
+          quorum's worth of disks stays well-behaved.  [None] (the default)
+          means every disk is clean. *)
 }
 
 val default_spec : kind:kind -> f:int -> spec
@@ -82,15 +93,21 @@ val inject_request : t -> Sof_smr.Request.t -> unit
     each CPU the receive cost. *)
 
 val crash : t -> int -> unit
-(** Hard-crash a node at the network level (silent, loses in-flight). *)
+(** Hard-crash a node at the network level (silent, loses in-flight).
+    Under [durable] the node's disk crashes too: unsynced writes are lost
+    and a torn-write atlas may tear the last flushed sector. *)
 
 val restart : t -> int -> unit
 (** Bring a crashed node back: reconnect it at the network level, give it a
     fresh protocol process (same configuration, empty volatile state) and a
     fresh state machine, emit {!Sof_protocol.Context.Node_restarted}, and
-    immediately start state transfer via {!request_recovery}.  Timers armed
-    by the pre-crash process are silenced.  No-op unless the node is
-    currently crashed. *)
+    recover.  Under [durable], recovery is local-first: the write-ahead log
+    is re-attached and replayed through the protocol's [recover_local]
+    (emitting {!Sof_protocol.Context.Wal_replayed}), and peer state transfer
+    is requested only when the log was damaged or replay did not advance
+    delivery.  Without a disk the node goes straight to
+    {!request_recovery}.  Timers armed by the pre-crash process are
+    silenced.  No-op unless the node is currently crashed. *)
 
 val request_recovery : t -> int -> unit
 (** Ask process [i] to start a state transfer (see the protocol modules'
@@ -102,6 +119,13 @@ val log_length : t -> int -> int
 
 val stable_checkpoint_seq : t -> int -> int
 (** Process [i]'s latest stable checkpoint sequence number (0 when none). *)
+
+val delivered_seq : t -> int -> int
+(** Highest sequence number process [i] has delivered to its service. *)
+
+val client_marks : t -> int -> (int * int) list
+(** Process [i]'s per-client delivery high-water marks, sorted by client —
+    the ground truth the durability invariant checks replies against. *)
 
 val events : t -> (Sof_sim.Simtime.t * int * Sof_protocol.Context.event) list
 (** All protocol events so far, in emission order, as
@@ -133,3 +157,21 @@ val replies_for : t -> Sof_smr.Request.key -> (int * string) list
 val reply_certificate : t -> Sof_smr.Request.key -> string option
 (** The reply a correct client would accept: vouched for by at least f+1
     distinct replicas (the state-machine-replication acceptance rule). *)
+
+(** {1 Storage} *)
+
+type storage_totals = {
+  sg_appends : int;  (** write-ahead-log entry frames appended *)
+  sg_syncs : int;  (** disk flushes the logs requested *)
+  sg_checkpoint_writes : int;  (** durable checkpoints (epoch turn-overs) *)
+  sg_dropped : int;  (** frames dropped on region overflow *)
+  sg_replayed_entries : int;  (** entries recovered by local replay *)
+  sg_lost_writes : int;  (** atlas: writes silently dropped *)
+  sg_misdirected : int;  (** atlas: writes sent to the wrong sector *)
+  sg_torn : int;  (** atlas: sectors torn at crash *)
+  sg_corrupt_reads : int;  (** atlas: reads served corrupted *)
+}
+
+val storage_totals : t -> storage_totals option
+(** Storage activity summed over all nodes, including logs superseded by
+    restarts; [None] unless the spec was durable. *)

@@ -6,6 +6,8 @@ type t = {
   send_overhead : Simtime.t;
   send_per_byte_ns : int;
   backlog_penalty_per_ms : float;
+  disk_append_per_byte_ns : int;
+  disk_sync_latency : Simtime.t;
 }
 
 let default =
@@ -15,6 +17,8 @@ let default =
     send_overhead = Simtime.us 180;
     send_per_byte_ns = 300;
     backlog_penalty_per_ms = 0.001;
+    disk_append_per_byte_ns = 25;
+    disk_sync_latency = Simtime.ms 2;
   }
 
 let max_penalty_factor = 4.0
@@ -31,3 +35,7 @@ let recv_cost t ~backlog ~size =
 
 let send_cost t ~size =
   Simtime.add t.send_overhead (Simtime.ns (size * t.send_per_byte_ns))
+
+let disk_append_cost t ~size = Simtime.ns (size * t.disk_append_per_byte_ns)
+
+let disk_sync_cost t = t.disk_sync_latency

@@ -19,6 +19,10 @@ type t = {
   backlog_penalty_per_ms : float;
       (** Fractional handling-cost increase per millisecond of CPU backlog,
           capped at {!max_penalty_factor}. *)
+  disk_append_per_byte_ns : int;
+      (** Staging a write-ahead-log frame (durable configurations only). *)
+  disk_sync_latency : Sof_sim.Simtime.t;
+      (** One disk flush — the price of commit-implies-sync. *)
 }
 
 val default : t
@@ -32,3 +36,9 @@ val recv_cost : t -> backlog:Sof_sim.Simtime.t -> size:int -> Sof_sim.Simtime.t
 (** Cost of receiving a [size]-byte message with the given CPU backlog. *)
 
 val send_cost : t -> size:int -> Sof_sim.Simtime.t
+
+val disk_append_cost : t -> size:int -> Sof_sim.Simtime.t
+(** CPU time to stage a [size]-byte write-ahead-log frame. *)
+
+val disk_sync_cost : t -> Sof_sim.Simtime.t
+(** Simulated latency of one disk flush. *)

@@ -258,3 +258,24 @@ let recovery_costs ?(f = 2) ?(seed = 1L) ?(duration = Simtime.sec 10) () =
       ("SCR", Cluster.Scr_protocol);
       ("BFT", Cluster.Bft_protocol);
     ]
+
+(* Same campaign shape on a durable cluster with the fault atlas armed:
+   the restart recovers from its own write-ahead log first, the run ends
+   in a whole-cluster blackout, and the report carries the storage
+   accounting alongside the recovery costs. *)
+let durable_recovery_costs ?(f = 2) ?(seed = 1L) ?(duration = Simtime.sec 10) ()
+    =
+  List.filter_map
+    (fun (label, kind) ->
+      let report =
+        Nemesis.run ~restart:true ~disk_faults:true ~kind ~f ~seed ~duration ()
+      in
+      match (report.Nemesis.recovery, report.Nemesis.storage) with
+      | Some recovery, Some storage -> Some (label, recovery, storage)
+      | _ -> None)
+    [
+      ("CT", Cluster.Ct_protocol);
+      ("SC", Cluster.Sc_protocol);
+      ("SCR", Cluster.Scr_protocol);
+      ("BFT", Cluster.Bft_protocol);
+    ]

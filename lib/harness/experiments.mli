@@ -106,3 +106,17 @@ val recovery_costs :
     restart-to-rejoin latency, transfers installed/rejected, checkpoint
     and truncation counts, peak retained log.  Returns
     [(protocol, recovery)] over CT, SC, SCR and BFT. *)
+
+val durable_recovery_costs :
+  ?f:int ->
+  ?seed:int64 ->
+  ?duration:Sof_sim.Simtime.t ->
+  unit ->
+  (string * Metrics.recovery * Metrics.storage) list
+(** The durable counterpart of {!recovery_costs}: the same campaign shape
+    on a cluster with simulated disks and the default fault atlas armed
+    ([disk_faults]), so the mid-run restart recovers from its local
+    write-ahead log and the campaign ends in a whole-cluster blackout and
+    mass restart.  Returns [(protocol, recovery, storage)] over CT, SC,
+    SCR and BFT — local replays versus state transfers, plus the durable
+    write-path and atlas-hit accounting. *)

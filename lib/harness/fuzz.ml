@@ -1,6 +1,11 @@
 module Rng = Sof_util.Rng
+module Codec = Sof_util.Codec
 module Message = Sof_protocol.Message
+module Checkpoint = Sof_protocol.Checkpoint
 module Request = Sof_smr.Request
+module Disk = Sof_storage.Disk
+module Sim_disk = Sof_storage.Sim_disk
+module Wal = Sof_storage.Wal
 
 type outcome = {
   runs : int;
@@ -165,6 +170,94 @@ let run ~seed ~count =
     note (poke crashes i (fun () -> ignore (Request.decode buf)))
   done;
   { runs = 3 * count; decoded = !decoded; rejected = !rejected; crashes = List.rev !crashes }
+
+(* ---------------------------------------------------- storage decoders *)
+
+let random_request rng =
+  Request.make ~client:(Rng.int rng 64) ~client_seq:(Rng.int rng 10_000)
+    ~op:(random_string rng (Rng.int rng 32))
+
+let random_cert rng =
+  {
+    Checkpoint.cp_seq = Rng.int rng 1_000;
+    cp_digest = random_string rng (Rng.int rng 33);
+    cp_proof = random_sigs rng;
+    cp_endorsement =
+      (if Rng.bool rng then Some (Rng.int rng 8, random_string rng 16) else None);
+  }
+
+let random_entry rng =
+  {
+    Checkpoint.e_o = Rng.int rng 1_000;
+    e_digest = random_string rng 16;
+    e_requests = List.init (Rng.int rng 3) (fun _ -> random_request rng);
+  }
+
+let encode_with write x =
+  let w = Codec.Writer.create () in
+  write w x;
+  Codec.Writer.contents w
+
+(* A write-ahead log whose disk an adversary scribbled on: start from a
+   genuinely used log (appends, sometimes a checkpoint epoch turn-over) so
+   the garbage lands inside valid framing, then re-attach.  The recovery
+   walk must always yield a replay — damaged at worst — never an escape. *)
+let scribbled_wal rng =
+  let sd = Sim_disk.create ~sector_size:64 ~sector_count:32 () in
+  let disk = Sim_disk.disk sd in
+  let wal = Wal.attach disk in
+  for _ = 1 to Rng.int rng 6 do
+    Wal.append wal (random_string rng (Rng.int rng 100))
+  done;
+  Wal.sync wal;
+  if Rng.bool rng then Wal.write_checkpoint wal (random_string rng (Rng.int rng 150));
+  for _ = 1 to 1 + Rng.int rng 10 do
+    Disk.write disk ~sector:(Rng.int rng 32) (random_string rng 64)
+  done;
+  Disk.sync disk;
+  disk
+
+let run_storage ~seed ~count =
+  let rng = Rng.create seed in
+  let decoded = ref 0 in
+  let rejected = ref 0 in
+  let crashes = ref [] in
+  let note = function
+    | `Decoded -> incr decoded
+    | `Rejected -> incr rejected
+    | `Crashed -> ()
+  in
+  for i = 0 to count - 1 do
+    let cert_buf = hostile_buffer rng (encode_with Checkpoint.write_cert (random_cert rng)) in
+    note
+      (poke crashes i (fun () ->
+           Checkpoint.read_cert (Codec.Reader.of_string cert_buf)));
+    let entry_buf =
+      hostile_buffer rng (encode_with Checkpoint.write_entry (random_entry rng))
+    in
+    note
+      (poke crashes i (fun () ->
+           Checkpoint.read_entry (Codec.Reader.of_string entry_buf)));
+    let image =
+      Checkpoint.wrap_image
+        ~state:(random_string rng (Rng.int rng 64))
+        ~marks:(List.init (Rng.int rng 4) (fun c -> (c, Rng.int rng 100)))
+    in
+    (match Checkpoint.unwrap_image (hostile_buffer rng image) with
+    | Some _ -> incr decoded
+    | None -> incr rejected
+    | exception e -> crashes := (i, Printexc.to_string e) :: !crashes);
+    note
+      (poke crashes i (fun () ->
+           let replay = Wal.replay (Wal.attach (scribbled_wal rng)) in
+           ignore replay.Wal.rp_damaged))
+  done;
+  {
+    runs = 4 * count;
+    decoded = !decoded;
+    rejected = !rejected;
+    crashes = List.rev !crashes;
+  }
 
 let pp_outcome fmt o =
   Format.fprintf fmt "decode-fuzz: %d runs, %d decoded, %d rejected, %d crashes"

@@ -20,6 +20,15 @@ val run : seed:int64 -> count:int -> outcome
 (** Fuzz [count] buffers deterministically from [seed].  Each buffer is fed
     to all three decode entry points. *)
 
+val run_storage : seed:int64 -> count:int -> outcome
+(** Same contract over the durable-state decoders: checkpoint certificates
+    and state-transfer entries ({!Sof_protocol.Checkpoint.read_cert} /
+    [read_entry]), checkpoint images ([unwrap_image], whose recoverable
+    rejection is [None]), and write-ahead-log recovery —
+    {!Sof_storage.Wal.attach} over a used log whose disk was scribbled
+    with seeded garbage must always yield a replay (damaged at worst),
+    never an escape.  Four probes per iteration. *)
+
 val passed : outcome -> bool
 (** No crashes. *)
 

@@ -352,6 +352,14 @@ let coordinator_succession cluster ~crashed ~by =
                 pending := None
               | P.Context.Fail_signal_emitted _ -> dumb := true
               | P.Context.Pair_recovered _ -> dumb := false
+              | P.Context.Node_restarted ->
+                (* A crash-restart starts a fresh incarnation: dumbness and
+                   coordinator beliefs are volatile state the crash erased,
+                   and any pre-crash observation obligation is discharged by
+                   recovery itself. *)
+                coord := 1;
+                pending := None;
+                dumb := false
               | P.Context.Batched _ when !dumb ->
                 note
                   (Printf.sprintf
@@ -438,6 +446,84 @@ let bounded_log cluster ~live ~slack =
            (Cluster.log_length cluster i)
            bound interval slack)
   end
+
+(* ------------------------------------------------------------ durability *)
+
+(* Under durable storage, a reply the system vouched for (f+1 matching
+   replicas) must survive crashes: at run end, at least f+1 live processes
+   hold a per-client delivery mark at or above the request's sequence
+   number.  Marks ride checkpoint images and write-ahead-log replay, so
+   even a whole-cluster restart must not forget a certified reply. *)
+let durability cluster ~live ~injected =
+  let name = "durability" in
+  let f = (Cluster.spec cluster).Cluster.f in
+  let marks = List.map (fun i -> Cluster.client_marks cluster i) live in
+  let holders (key : Request.key) =
+    List.length
+      (List.filter
+         (fun ms ->
+           match List.assoc_opt key.Request.client ms with
+           | Some hw -> hw >= key.Request.client_seq
+           | None -> false)
+         marks)
+  in
+  let violation =
+    Request.Key_set.fold
+      (fun key acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if
+            Cluster.reply_certificate cluster key <> None
+            && holders key < f + 1
+          then Some key
+          else None)
+      injected None
+  in
+  match violation with
+  | None -> ok name
+  | Some key ->
+    fail name
+      (Format.asprintf
+         "request %a was reply-certified but fewer than %d live processes \
+          still hold its delivery mark" Request.pp_key key (f + 1))
+
+(* ----------------------------------------------------- repair correctness *)
+
+(* Live processes that have delivered the same prefix must hold identical
+   service state.  This is what distinguishes a repaired replica from a
+   merely live one: replaying a torn, corrupt or tampered log must end in
+   the agreed state or in escalation — never in a divergent image. *)
+let repair_correctness cluster ~live =
+  let name = "repair-correctness" in
+  let states =
+    List.filter_map
+      (fun i ->
+        match Cluster.machine cluster i with
+        | Some m ->
+          Some
+            ( i,
+              Cluster.delivered_seq cluster i,
+              Sof_smr.State_machine.state_digest m )
+        | None -> None)
+      live
+  in
+  let by_seq : (int, int * string) Hashtbl.t = Hashtbl.create 8 in
+  let violation = ref None in
+  List.iter
+    (fun (i, seq, digest) ->
+      if !violation = None then
+        match Hashtbl.find_opt by_seq seq with
+        | None -> Hashtbl.replace by_seq seq (i, digest)
+        | Some (j, digest') ->
+          if not (String.equal digest digest') then
+            violation :=
+              Some
+                (Printf.sprintf
+                   "processes %d and %d both delivered through seq %d yet \
+                    hold different state digests" j i seq))
+    states;
+  match !violation with None -> ok name | Some d -> fail name d
 
 (* ------------------------------------------------------ recovery liveness *)
 

@@ -33,6 +33,11 @@
       order-log entries than two checkpoint intervals plus slack.
     - {b Recovery liveness}: every crash-restarted process delivers again
       after its restart — it actually rejoined.
+    - {b Durability} (durable runs): every reply-certified request is still
+      held by f+1 live processes at run end — crashes forget nothing the
+      system vouched for.
+    - {b Repair correctness} (durable runs): equal delivered prefixes mean
+      equal state digests — recovery lands exactly on the agreed state.
 
     The delivery-stream checks are {e anchored}: a recovered process
     resumes above a checkpoint anchor rather than at sequence 1, so
@@ -88,6 +93,21 @@ val recovery_liveness : Cluster.t -> by:Sof_sim.Simtime.t -> result
 (** Only restarts at or before [by] carry the obligation, so a restart
     scheduled at the very end of a run is not required to have caught up
     yet. *)
+
+val durability :
+  Cluster.t -> live:int list -> injected:Sof_smr.Request.Key_set.t -> result
+(** Durable runs only: every injected request that earned a reply
+    certificate (f+1 matching replicas) must still be held — per-client
+    delivery mark at or above its sequence number — by at least f+1 of the
+    [live] processes at run end.  Marks ride checkpoint images and
+    write-ahead-log replay, so crashes (including whole-cluster blackouts)
+    must not forget certified replies. *)
+
+val repair_correctness : Cluster.t -> live:int list -> result
+(** Live processes with equal delivered sequence numbers must hold equal
+    state digests: recovery — local replay or state transfer — must land a
+    repaired replica exactly on the agreed state.  Requires
+    [attach_machines]; processes without machines are skipped. *)
 
 val all_pass : result list -> bool
 

@@ -51,7 +51,8 @@ let analyze cluster ~warmup ~window =
       | P.Context.Span_close _ | P.Context.Checkpoint_stable _
       | P.Context.Log_truncated _ | P.Context.State_transfer_started _
       | P.Context.State_transfer_installed _
-      | P.Context.State_transfer_rejected _ | P.Context.Node_restarted ->
+      | P.Context.State_transfer_rejected _ | P.Context.Node_restarted
+      | P.Context.Wal_replayed _ ->
         ())
     events;
   let latencies = Statistics.create () in
@@ -90,14 +91,18 @@ let analyze cluster ~warmup ~window =
 type recovery = {
   rc_restarts : int;
   rc_recovered : int;
-      (* restarts followed by a state-transfer install on the same process *)
+      (* restarts followed by a local-replay recovery or a state-transfer
+         install on the same process *)
+  rc_local_replays : int;
+  rc_local_recoveries : int;
+      (* restarts that recovered from the local write-ahead log alone *)
   rc_transfers_started : int;
   rc_transfers_installed : int;
   rc_transfers_rejected : int;
   rc_checkpoints_stable : int;
   rc_truncations : int;
   rc_mean_recovery_ms : float option;
-      (* Node_restarted to that process's next State_transfer_installed *)
+      (* Node_restarted to that process's recovery completion *)
   rc_max_log_length : int;
 }
 
@@ -105,6 +110,8 @@ let recovery_stats cluster =
   let events = Cluster.events cluster in
   let restarts = ref 0 in
   let recovered = ref 0 in
+  let local_replays = ref 0 in
+  let local_recoveries = ref 0 in
   let started = ref 0 in
   let installed = ref 0 in
   let rejected = ref 0 in
@@ -112,21 +119,32 @@ let recovery_stats cluster =
   let truncations = ref 0 in
   let pending : (int, Simtime.t) Hashtbl.t = Hashtbl.create 8 in
   let recovery_ms = Statistics.create () in
+  let resolve who at =
+    match Hashtbl.find_opt pending who with
+    | Some since ->
+      incr recovered;
+      Statistics.add recovery_ms (Simtime.to_ms (Simtime.diff at since));
+      Hashtbl.remove pending who;
+      true
+    | None -> false
+  in
   List.iter
     (fun (at, who, event) ->
       match event with
       | P.Context.Node_restarted ->
         incr restarts;
         Hashtbl.replace pending who at
+      | P.Context.Wal_replayed { seq; entries; damaged } ->
+        incr local_replays;
+        (* A clean replay that restored anything completes the recovery
+           locally; a damaged or empty one leaves the restart pending until
+           peer state transfer installs. *)
+        if (not damaged) && (seq > 0 || entries > 0) && resolve who at then
+          incr local_recoveries
       | P.Context.State_transfer_started _ -> incr started
       | P.Context.State_transfer_installed _ ->
         incr installed;
-        (match Hashtbl.find_opt pending who with
-        | Some since ->
-          incr recovered;
-          Statistics.add recovery_ms (Simtime.to_ms (Simtime.diff at since));
-          Hashtbl.remove pending who
-        | None -> ())
+        ignore (resolve who at)
       | P.Context.State_transfer_rejected _ -> incr rejected
       | P.Context.Checkpoint_stable _ -> incr stable
       | P.Context.Log_truncated _ -> incr truncations
@@ -140,6 +158,8 @@ let recovery_stats cluster =
   {
     rc_restarts = !restarts;
     rc_recovered = !recovered;
+    rc_local_replays = !local_replays;
+    rc_local_recoveries = !local_recoveries;
     rc_transfers_started = !started;
     rc_transfers_installed = !installed;
     rc_transfers_rejected = !rejected;
@@ -150,6 +170,50 @@ let recovery_stats cluster =
        else Some (Statistics.summarize recovery_ms).Statistics.mean);
     rc_max_log_length = !max_log;
   }
+
+(* ------------------------------------------------ storage accounting *)
+
+type storage = {
+  st_appends : int;
+  st_syncs : int;
+  st_checkpoint_writes : int;
+  st_dropped : int;
+  st_replays : int;
+  st_replayed_entries : int;
+  st_damaged_replays : int;
+  st_lost_writes : int;
+  st_misdirected : int;
+  st_torn : int;
+  st_corrupt_reads : int;
+}
+
+let storage_stats cluster =
+  match Cluster.storage_totals cluster with
+  | None -> None
+  | Some sg ->
+    let replays = ref 0 and damaged = ref 0 in
+    List.iter
+      (fun (_, _, event) ->
+        match event with
+        | P.Context.Wal_replayed { damaged = d; _ } ->
+          incr replays;
+          if d then incr damaged
+        | _ -> ())
+      (Cluster.events cluster);
+    Some
+      {
+        st_appends = sg.Cluster.sg_appends;
+        st_syncs = sg.Cluster.sg_syncs;
+        st_checkpoint_writes = sg.Cluster.sg_checkpoint_writes;
+        st_dropped = sg.Cluster.sg_dropped;
+        st_replays = !replays;
+        st_replayed_entries = sg.Cluster.sg_replayed_entries;
+        st_damaged_replays = !damaged;
+        st_lost_writes = sg.Cluster.sg_lost_writes;
+        st_misdirected = sg.Cluster.sg_misdirected;
+        st_torn = sg.Cluster.sg_torn;
+        st_corrupt_reads = sg.Cluster.sg_corrupt_reads;
+      }
 
 (* ------------------------------------------------ phase breakdown *)
 

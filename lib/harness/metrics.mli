@@ -39,7 +39,12 @@ val pp_point : Format.formatter -> point -> unit
 type recovery = {
   rc_restarts : int;
   rc_recovered : int;
-      (** Restarts followed by a state-transfer install on that process. *)
+      (** Restarts that completed recovery — by clean local write-ahead-log
+          replay or by a state-transfer install on that process. *)
+  rc_local_replays : int;  (** [Wal_replayed] events (durable runs only). *)
+  rc_local_recoveries : int;
+      (** Restarts recovered from the local log alone: a clean, non-empty
+          replay with no escalation needed. *)
   rc_transfers_started : int;
   rc_transfers_installed : int;
   rc_transfers_rejected : int;
@@ -47,13 +52,35 @@ type recovery = {
   rc_checkpoints_stable : int;
   rc_truncations : int;
   rc_mean_recovery_ms : float option;
-      (** [Node_restarted] to that process's next
-          [State_transfer_installed], averaged; [None] without one. *)
+      (** [Node_restarted] to that process's recovery completion (local
+          replay or transfer install), averaged; [None] without one. *)
   rc_max_log_length : int;
       (** Largest retained order-log across live processes at run end. *)
 }
 
 val recovery_stats : Cluster.t -> recovery
+
+(** {2 Storage accounting}
+
+    Reduction of {!Cluster.storage_totals} and the [Wal_replayed] events
+    into the durable write path's cost and the fault atlas's hit counts. *)
+
+type storage = {
+  st_appends : int;  (** write-ahead-log entry frames appended *)
+  st_syncs : int;  (** disk flushes (one per commit under durability) *)
+  st_checkpoint_writes : int;  (** durable checkpoints — epoch turn-overs *)
+  st_dropped : int;  (** frames dropped on region overflow *)
+  st_replays : int;  (** restart-time log replays *)
+  st_replayed_entries : int;  (** entries those replays recovered *)
+  st_damaged_replays : int;  (** replays ending in a torn/corrupt suffix *)
+  st_lost_writes : int;
+  st_misdirected : int;
+  st_torn : int;
+  st_corrupt_reads : int;
+}
+
+val storage_stats : Cluster.t -> storage option
+(** [None] unless the cluster was built durable. *)
 
 (** {2 Phase breakdown}
 

@@ -14,6 +14,8 @@ type action =
   | Surge of float
   | Clear_surge
   | Restart of int
+  | Crash_all
+  | Restart_all
 
 type step = { at : Simtime.t; action : action }
 
@@ -39,6 +41,7 @@ type report = {
   corruptions_injected : int;
   restarted : int list;
   recovery : Metrics.recovery option;
+  storage : Metrics.storage option;
   passed : bool;
 }
 
@@ -116,7 +119,8 @@ let byz_fault ~rng ~kind ~f ~duration =
          this campaign checks precisely that the spam alone does no harm. *)
       [ ((if Rng.bool rng then 1 else (2 * f) + 2), P.Fault.Unwilling_spam) ])
 
-let random_plan ?(byz = false) ?(restart = false) ~rng ~kind ~f ~duration () =
+let random_plan ?(byz = false) ?(restart = false) ?(disk = false) ~rng ~kind ~f
+    ~duration () =
   let frac x = Simtime.scale duration x in
   let link_fault =
     Link_fault.make
@@ -170,7 +174,7 @@ let random_plan ?(byz = false) ?(restart = false) ~rng ~kind ~f ~duration () =
      target is read back from the crash step and the extra time draw only
      happens when asked, so plans without [restart] replay byte-for-byte. *)
   let steps =
-    if restart && not byz then
+    if restart && (not byz || disk) then
       match
         List.find_opt
           (fun s -> match s.action with Crash _ -> true | _ -> false)
@@ -184,7 +188,42 @@ let random_plan ?(byz = false) ?(restart = false) ~rng ~kind ~f ~duration () =
       | _ -> steps
     else steps
   in
+  (* Disk campaigns end with a whole-cluster blackout: every process goes
+     down at once — no live peer holds the state — and the subsequent mass
+     restart must recover it from the disks (write-ahead-log replay, with
+     state transfer only for damaged suffixes).  The extra draws happen only
+     under [disk], so plans without it replay byte-for-byte. *)
+  let steps =
+    if disk && restart then
+      let down_at = frac (0.68 +. Rng.float rng 0.03) in
+      let up_at = frac (0.74 +. Rng.float rng 0.03) in
+      List.sort
+        (fun a b -> Simtime.compare a.at b.at)
+        ({ at = down_at; action = Crash_all }
+        :: { at = up_at; action = Restart_all }
+        :: steps)
+    else steps
+  in
   if not byz then { steps; byz_faults = []; link_fault }
+  else if disk then begin
+    (* Storage-Byzantine campaign: the fault lives in the repair path — a
+       replica serving state transfers from a tampered local log — so the
+       crash-restart that triggers repair stays in the plan and the whole
+       f-budget goes to the tamperer.  The victim is never the crash
+       target: a repair server must be alive to lie. *)
+    let byz_faults =
+      match kind with
+      | Cluster.Ct_protocol -> []
+      | Cluster.Bft_protocol ->
+        [ (1 + Rng.int rng (max 1 ((3 * f) - 2)), P.Fault.Corrupt_wal_suffix) ]
+      | Cluster.Sc_protocol | Cluster.Scr_protocol ->
+        [
+          ( (if Rng.bool rng then 0 else (2 * f) + 1),
+            P.Fault.Corrupt_wal_suffix );
+        ]
+    in
+    { steps; byz_faults; link_fault }
+  end
   else begin
     (* The Byzantine fault replaces the crash in the f-budget; the draws
        above are kept so the substrate campaign is the same either way. *)
@@ -205,6 +244,14 @@ let apply_action cluster action =
   | Surge factor -> Network.set_surge net ~factor
   | Clear_surge -> Network.clear_surge net
   | Restart who -> Cluster.restart cluster who
+  | Crash_all ->
+    for i = 0 to Cluster.process_count cluster - 1 do
+      Cluster.crash cluster i
+    done
+  | Restart_all ->
+    for i = 0 to Cluster.process_count cluster - 1 do
+      Cluster.restart cluster i
+    done
 
 (* Synthetic clients, like Workload.install but recording every injected
    request key so validity can be judged. *)
@@ -236,20 +283,26 @@ let install_recorded_workload cluster ~rate ~duration ~injected =
 
 (* ----------------------------------------------------------------- run *)
 
-let run ?plan ?(byz = false) ?(restart = false) ?(checkpoint_interval = 0)
-    ?(rate = 150.0) ~kind ~f ~seed ~duration () =
+let run ?plan ?(byz = false) ?(restart = false) ?(durable = false)
+    ?(disk_faults = false) ?(checkpoint_interval = 0) ?(rate = 150.0) ~kind ~f
+    ~seed ~duration () =
   (* A restart campaign without checkpointing would recover by replaying
      the whole log; the point is recovery through a certified checkpoint,
-     so restart implies a default interval. *)
+     so restart implies a default interval.  Durable campaigns force it
+     too: the write-ahead log replays from the last persisted checkpoint
+     image, and delivery marks — what the durability invariant audits —
+     only exist when checkpointing is on. *)
+  let durable = durable || disk_faults in
   let checkpoint_interval =
-    if restart && checkpoint_interval = 0 then 8 else checkpoint_interval
+    if (restart || durable) && checkpoint_interval = 0 then 8
+    else checkpoint_interval
   in
   let plan =
     match plan with
     | Some p -> p
     | None ->
       (* Split so the campaign stream is distinct from the engine's root. *)
-      random_plan ~byz ~restart
+      random_plan ~byz ~restart ~disk:durable
         ~rng:(Rng.split (Rng.create seed))
         ~kind ~f ~duration ()
   in
@@ -265,6 +318,9 @@ let run ?plan ?(byz = false) ?(restart = false) ?(checkpoint_interval = 0)
       faults = plan.byz_faults;
       use_channel = true;
       checkpoint_interval;
+      durable;
+      disk_profile =
+        (if disk_faults then Some Sof_storage.Fault_atlas.default else None);
     }
   in
   let cluster = Cluster.build spec in
@@ -317,9 +373,15 @@ let run ?plan ?(byz = false) ?(restart = false) ?(checkpoint_interval = 0)
            Invariants.bounded_log cluster ~live:live_honest ~slack:64;
          ]
        else [])
+    @ (if restarted <> [] then
+         [ Invariants.recovery_liveness cluster ~by:heal_time ]
+       else [])
+    @ (if durable then
+         [ Invariants.durability cluster ~live:live_honest ~injected:!injected ]
+       else [])
     @
-    if restarted <> [] then
-      [ Invariants.recovery_liveness cluster ~by:heal_time ]
+    if durable && restarted <> [] then
+      [ Invariants.repair_correctness cluster ~live:live_honest ]
     else []
   in
   let deliveries = Array.make n 0 in
@@ -361,6 +423,7 @@ let run ?plan ?(byz = false) ?(restart = false) ?(checkpoint_interval = 0)
     recovery =
       (if checkpoint_interval > 0 then Some (Metrics.recovery_stats cluster)
        else None);
+    storage = Metrics.storage_stats cluster;
     passed = Invariants.all_pass invariants;
   }
 
@@ -384,6 +447,8 @@ let pp_action fmt = function
   | Surge factor -> Format.fprintf fmt "surge x%.1f" factor
   | Clear_surge -> Format.pp_print_string fmt "surge clear"
   | Restart who -> Format.fprintf fmt "restart p%d" who
+  | Crash_all -> Format.pp_print_string fmt "crash all"
+  | Restart_all -> Format.pp_print_string fmt "restart all"
 
 let pp_report fmt r =
   Format.fprintf fmt "chaos: protocol=%s f=%d seed=%Ld@." (kind_name r.kind) r.f
@@ -442,6 +507,17 @@ let pp_report fmt r =
       rc.Metrics.rc_transfers_installed rc.Metrics.rc_transfers_rejected
       rc.Metrics.rc_checkpoints_stable rc.Metrics.rc_truncations
       rc.Metrics.rc_max_log_length);
+  (match r.storage with
+  | None -> ()
+  | Some st ->
+    Format.fprintf fmt
+      "storage: %d appends, %d syncs, %d checkpoint writes; %d replays (%d \
+       entries, %d damaged); atlas hits: %d lost, %d misdirected, %d torn, %d \
+       corrupt reads@."
+      st.Metrics.st_appends st.Metrics.st_syncs st.Metrics.st_checkpoint_writes
+      st.Metrics.st_replays st.Metrics.st_replayed_entries
+      st.Metrics.st_damaged_replays st.Metrics.st_lost_writes
+      st.Metrics.st_misdirected st.Metrics.st_torn st.Metrics.st_corrupt_reads);
   Format.fprintf fmt "verdict: %s (seed %Ld replays this campaign)@."
     (if r.passed then "PASS" else "FAIL")
     r.seed

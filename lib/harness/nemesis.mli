@@ -23,6 +23,11 @@ type action =
   | Restart of int
       (** Bring a crashed process back with empty volatile state; it rejoins
           through state transfer ({!Cluster.restart}). *)
+  | Crash_all  (** Whole-cluster blackout: every process crashes at once. *)
+  | Restart_all
+      (** Bring every crashed process back.  On a durable cluster each
+          recovers from its own disk first (write-ahead-log replay); with no
+          live peer at blackout time, local recovery is the only source. *)
 
 type step = { at : Sof_sim.Simtime.t; action : action }
 
@@ -40,6 +45,7 @@ type plan = {
 val random_plan :
   ?byz:bool ->
   ?restart:bool ->
+  ?disk:bool ->
   rng:Sof_util.Rng.t ->
   kind:Cluster.kind ->
   f:int ->
@@ -61,11 +67,22 @@ val random_plan :
     crash.  The substrate draws are identical either way, so [byz:false]
     plans replay byte-for-byte as before.
 
-    With [restart:true] (default false, ignored under [byz] — the crash it
-    would revive is traded away) the crash target is brought back at ~62%
-    of [duration] with empty volatile state, to rejoin through state
-    transfer.  The extra time draw happens after all others, so
-    [restart:false] plans also replay byte-for-byte. *)
+    With [restart:true] (default false, ignored under [byz] alone — the
+    crash it would revive is traded away) the crash target is brought back
+    at ~62% of [duration] with empty volatile state, to rejoin through
+    state transfer.  The extra time draw happens after all others, so
+    [restart:false] plans also replay byte-for-byte.
+
+    With [disk:true] (default false) the plan targets a durable cluster.
+    [restart] additionally appends a whole-cluster blackout — {!Crash_all}
+    at ~68% of [duration], {!Restart_all} at ~74% — forcing recovery from
+    the disks with no live peer.  [byz] keeps the crash-restart (repair
+    must be triggered for the fault to matter) and spends the whole
+    f-budget on one {!Sof_protocol.Fault.Corrupt_wal_suffix} replica — a
+    repair server answering state transfers from a tampered local log —
+    chosen disjoint from the crash target (CT, with no Byzantine model,
+    gets none).  All [disk] draws happen after the others, so [disk:false]
+    plans replay byte-for-byte. *)
 
 type report = {
   kind : Cluster.kind;
@@ -86,6 +103,9 @@ type report = {
   recovery : Metrics.recovery option;
       (** Checkpoint/state-transfer accounting; [Some] iff checkpointing
           was on for the run. *)
+  storage : Metrics.storage option;
+      (** Durable write-path and fault-atlas accounting; [Some] iff the
+          cluster was built durable. *)
   passed : bool;
 }
 
@@ -93,6 +113,8 @@ val run :
   ?plan:plan ->
   ?byz:bool ->
   ?restart:bool ->
+  ?durable:bool ->
+  ?disk_faults:bool ->
   ?checkpoint_interval:int ->
   ?rate:float ->
   kind:Cluster.kind ->
@@ -113,7 +135,16 @@ val run :
     [checkpoint_interval] (default 0 = off; [restart] forces a default of
     8) turns on checkpointing, which adds the checkpoint-agreement and
     bounded-log invariants; a campaign that restarted anyone also judges
-    recovery liveness. *)
+    recovery liveness.
+
+    [durable] (default false) builds the cluster with simulated disks:
+    every commit is logged and synced before the reply, checkpoints are
+    persisted, and restarts recover locally first.  [disk_faults] implies
+    [durable] and arms the default {!Sof_storage.Fault_atlas} on replicas
+    1..f (torn writes, corrupt sectors, lost and misdirected writes).
+    Durable runs generate the plan with [disk:true] (blackout; storage-
+    Byzantine fault under [byz]) and additionally judge the durability
+    invariant — and, after any restart, repair correctness. *)
 
 val pp_action : Format.formatter -> action -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,27 @@
+(** A {!Sof_storage.Disk.t} backed by a real file.
+
+    The runtime counterpart of {!Sof_storage.Sim_disk}: the same
+    sector-addressed seam the write-ahead log is written against, with
+    durability provided by the operating system ([fsync]) instead of the
+    simulator's staged volatile cache.  The file is the platter — it
+    survives a process kill/restart, so {!Tcp_runtime.restart} can replay
+    it exactly as the simulated cluster replays its in-memory disk.
+
+    One file per replica; sectors map to fixed offsets ([sector *
+    sector_size]).  The file is sized on open, so unwritten sectors read
+    as zeros (file holes). *)
+
+type t
+
+val open_file :
+  path:string -> ?sector_size:int -> ?sector_count:int -> unit -> t
+(** Open or create [path] and size it to [sector_size * sector_count]
+    (defaults 256 x 8192 = 2 MiB).  Reopening an existing file keeps its
+    contents — that is the point.
+    @raise Invalid_argument if [sector_size < 16] or [sector_count < 4].
+    @raise Unix.Unix_error when the file cannot be opened. *)
+
+val disk : t -> Sof_storage.Disk.t
+(** The device view handed to the write-ahead log.  [sync] is [fsync]. *)
+
+val close : t -> unit

@@ -3,6 +3,8 @@ module P = Sof_protocol
 module Request = Sof_smr.Request
 module Keyring = Sof_crypto.Keyring
 module Scheme = Sof_crypto.Scheme
+module Codec = Sof_util.Codec
+module Wal = Sof_storage.Wal
 
 let client_id = 250
 
@@ -36,6 +38,9 @@ type node = {
   timer_cond : Condition.t;
   (* outbound sockets, one per peer, guarded per-socket *)
   out : (Unix.file_descr * Mutex.t) option array;
+  (* durable storage: the file is the platter — it survives kill/restart *)
+  disk : File_disk.t option;
+  mutable wal : Wal.t option;
 }
 
 type t = {
@@ -45,6 +50,7 @@ type t = {
   config : P.Config.t;
   kind : [ `Sc | `Scr ];
   keyring : Keyring.t;
+  digest_alg : Sof_crypto.Digest_alg.t;
   start_time : float;
   mutable stopping : bool;
   mutable threads : Thread.t list;
@@ -156,6 +162,56 @@ let timer_thread t node =
     List.iter (fun e -> enqueue node (Job_timer e.thunk)) due
   done
 
+(* ------------------------------------------------------------- durable *)
+
+(* The same write-ahead-log payloads the simulated cluster persists, so a
+   file written here and a Sim_disk written there hold the same format. *)
+let encode_checkpoint_payload cert image =
+  let w = Codec.Writer.create () in
+  P.Checkpoint.write_cert w cert;
+  Codec.Writer.string w image;
+  Codec.Writer.contents w
+
+let decode_checkpoint_payload payload =
+  match
+    let r = Codec.Reader.of_string payload in
+    let cert = P.Checkpoint.read_cert r in
+    let image = Codec.Reader.string r in
+    Codec.Reader.expect_end r;
+    (cert, image)
+  with
+  | pair -> Some pair
+  | exception Codec.Reader.Truncated -> None
+
+let encode_entry_payload entry =
+  let w = Codec.Writer.create () in
+  P.Checkpoint.write_entry w entry;
+  Codec.Writer.contents w
+
+let decode_entry_payload payload =
+  match
+    let r = Codec.Reader.of_string payload in
+    let e = P.Checkpoint.read_entry r in
+    Codec.Reader.expect_end r;
+    e
+  with
+  | e -> Some e
+  | exception Codec.Reader.Truncated -> None
+
+let persist_checkpoint node =
+  match (node.wal, node.proc) with
+  | Some wal, Some proc ->
+    let latest =
+      match proc with
+      | `Sc p -> P.Sc.latest_stable p
+      | `Scr p -> P.Scr.latest_stable p
+    in
+    (match latest with
+    | Some (cert, image) ->
+      Wal.write_checkpoint wal (encode_checkpoint_payload cert image)
+    | None -> ())
+  | _ -> ()
+
 (* ------------------------------------------------------------- context *)
 
 let make_context t node =
@@ -199,7 +255,22 @@ let make_context t node =
     Mutex.unlock node.timer_mutex;
     { P.Context.cancel = (fun () -> entry.cancelled <- true) }
   in
-  let deliver ~seq:_ (batch : P.Batch.t) =
+  let deliver ~seq (batch : P.Batch.t) =
+    (* Commit implies sync before the service acts: the entry is durable
+       on disk (fsync) before the state machine applies it. *)
+    (match node.wal with
+    | Some wal ->
+      let entry =
+        {
+          P.Checkpoint.e_o = seq;
+          e_digest =
+            P.Batch.digest t.digest_alg (P.Batch.make batch.P.Batch.requests);
+          e_requests = batch.P.Batch.requests;
+        }
+      in
+      Wal.append wal (encode_entry_payload entry);
+      Wal.sync wal
+    | None -> ());
     node.delivered_batches <- node.delivered_batches + 1;
     let now = Unix.gettimeofday () in
     Mutex.lock t.latency_mutex;
@@ -221,7 +292,11 @@ let make_context t node =
     multicast;
     set_timer;
     deliver;
-    emit = (fun _ -> ());
+    emit =
+      (fun ev ->
+        match ev with
+        | P.Context.Checkpoint_stable _ -> persist_checkpoint node
+        | _ -> ());
     (* [node.machine] is read at call time, so a restart's fresh machine is
        picked up without rebuilding the context. *)
     snapshot = (fun () -> Sof_smr.State_machine.snapshot node.machine);
@@ -346,7 +421,7 @@ let connect_with_hello ~port ~hello =
   fd
 
 let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 30)
-    ?(checkpoint_interval = 0) ~kind ~f () =
+    ?(checkpoint_interval = 0) ?data_dir ~kind ~f () =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -360,8 +435,31 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
   let n = P.Config.process_count config in
   let rng = Sof_util.Rng.create 2006L in
   let keyring = Keyring.create ~scheme ~rng ~node_count:n () in
+  (match data_dir with
+  | Some dir -> (
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
   let nodes =
     Array.init n (fun id ->
+        let disk =
+          Option.map
+            (fun dir ->
+              File_disk.open_file
+                ~path:(Filename.concat dir (Printf.sprintf "replica-%d.disk" id))
+                ())
+            data_dir
+        in
+        (* Each [start] begins a fresh log (new empty epoch): the runtime's
+           protocols start at sequence 1, so a previous run's log must not
+           replay under them.  Recovery is within a run, via kill/restart. *)
+        let wal =
+          Option.map
+            (fun fd ->
+              let wal = Wal.attach (File_disk.disk fd) in
+              Wal.reset wal;
+              wal)
+            disk
+        in
         {
           id;
           queue = Queue.create ();
@@ -375,6 +473,8 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
           timer_mutex = Mutex.create ();
           timer_cond = Condition.create ();
           out = Array.make n None;
+          disk;
+          wal;
         })
   in
   let t =
@@ -385,6 +485,7 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
       config;
       kind;
       keyring;
+      digest_alg = scheme.Scheme.digest;
       start_time = Unix.gettimeofday ();
       stopping = false;
       threads = [];
@@ -534,13 +635,46 @@ let restart t who =
     let proc = make_proc t node in
     node.proc <- Some proc;
     t.threads <- Thread.create (fun () -> worker_thread node) () :: t.threads;
-    match proc with
-    | `Sc p ->
-      P.Sc.start p;
-      P.Sc.request_recovery p
-    | `Scr p ->
-      P.Scr.start p;
-      P.Scr.request_recovery p
+    (match proc with `Sc p -> P.Sc.start p | `Scr p -> P.Scr.start p);
+    (* Local-first recovery: re-mount the on-disk log the previous
+       incarnation wrote and install what survives verification; only a
+       damaged or insufficient log escalates to peer state transfer. *)
+    let locally_recovered =
+      match node.disk with
+      | None -> false
+      | Some fd ->
+        let wal = Wal.attach (File_disk.disk fd) in
+        node.wal <- Some wal;
+        let rp = Wal.replay wal in
+        let cert_image =
+          Option.bind rp.Wal.rp_checkpoint decode_checkpoint_payload
+        in
+        let entries = List.filter_map decode_entry_payload rp.Wal.rp_entries in
+        let decode_damaged =
+          (Option.is_some rp.Wal.rp_checkpoint && Option.is_none cert_image)
+          || List.length entries < List.length rp.Wal.rp_entries
+        in
+        (* Turn the epoch over before re-delivery, so replayed entries are
+           re-logged into a fresh region rather than appended twice. *)
+        (match (rp.Wal.rp_checkpoint, cert_image) with
+        | Some payload, Some _ -> Wal.write_checkpoint wal payload
+        | _ -> Wal.reset wal);
+        let cert, image =
+          match cert_image with
+          | Some (c, i) -> (Some c, i)
+          | None -> (None, "")
+        in
+        let recovered =
+          match proc with
+          | `Sc p -> P.Sc.recover_local p ~cert ~image ~entries
+          | `Scr p -> P.Scr.recover_local p ~cert ~image ~entries
+        in
+        recovered && not (rp.Wal.rp_damaged || decode_damaged)
+    in
+    if not locally_recovered then
+      match proc with
+      | `Sc p -> P.Sc.request_recovery p
+      | `Scr p -> P.Scr.request_recovery p
   end
 
 let peer_downs t =
@@ -563,6 +697,10 @@ let stop t =
   Array.iter
     (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
     t.client_socks;
+  Array.iter
+    (fun node ->
+      match node.disk with Some fd -> File_disk.close fd | None -> ())
+    t.nodes;
   Thread.delay 0.05;
   let latencies =
     Hashtbl.fold

@@ -31,6 +31,7 @@ val start :
   ?scheme:Sof_crypto.Scheme.t ->
   ?batching_interval_ms:int ->
   ?checkpoint_interval:int ->
+  ?data_dir:string ->
   kind:[ `Sc | `Scr ] ->
   f:int ->
   unit ->
@@ -40,6 +41,12 @@ val start :
     [checkpoint_interval] (default 0 = off) enables periodic checkpoints,
     log truncation, and state transfer — required for {!restart} to recover
     the rejoining process.
+    [data_dir] makes the deployment durable: each process writes a
+    {!File_disk}-backed write-ahead log ([data_dir/replica-<i>.disk],
+    created if needed) where every delivered batch is logged and [fsync]ed
+    before the state machine applies it, and stable checkpoints are
+    persisted.  Each [start] begins a fresh log epoch; {!restart} then
+    recovers the killed process from its own file first.
     @raise Unix.Unix_error when ports are unavailable. *)
 
 val inject : t -> Sof_smr.Request.t -> unit
@@ -58,11 +65,15 @@ val kill : t -> int -> unit
 val restart : t -> int -> unit
 (** Bring a process taken down by {!kill} back with empty volatile state: a
     fresh protocol instance over a fresh state machine, the TCP mesh
-    re-dialed in both directions, and an immediate state-transfer request so
-    it rejoins from the latest certified checkpoint.  No-op unless the
-    process is currently killed.  The process's delivered-batch counter is
-    cumulative across incarnations (recovery installs the checkpointed
-    prefix without re-delivering it). *)
+    re-dialed in both directions, and — when the deployment has a
+    [data_dir] — local-first recovery: the process re-mounts its on-disk
+    write-ahead log and installs the certified checkpoint and verified
+    entries it finds there, escalating to a peer state-transfer request
+    only when the log is damaged or insufficient.  Without [data_dir] it
+    goes straight to state transfer.  No-op unless the process is
+    currently killed.  The process's delivered-batch counter is cumulative
+    across incarnations (recovery installs the checkpointed prefix without
+    re-delivering it). *)
 
 val peer_downs : t -> (int * int * string) list
 (** [(observer, peer, reason)] for every reader that ended on a broken

@@ -1,0 +1,35 @@
+(** A sector-addressed block device, as a record of closures.
+
+    This is the storage seam of the stack: the write-ahead log is written
+    against this record only, so the same persistence format and recovery
+    ladder run over the deterministic in-memory device ({!Sim_disk}, fault
+    atlas and all) and over a real file ([Sof_runtime.File_disk]).
+
+    Semantics expected of an implementation:
+    - [read sector] returns exactly [sector_size] bytes; an unwritten
+      sector reads as zeros;
+    - [write sector data] stages exactly one sector; writes become durable
+      only at [sync] (a crash may lose or tear staged writes);
+    - sector writes are the atomicity unit — a torn write leaves a prefix
+      of the new bytes, never an interleaving. *)
+
+type t = {
+  sector_size : int;
+  sector_count : int;
+  read : int -> string;
+  write : int -> string -> unit;
+  sync : unit -> unit;
+}
+
+val read : t -> sector:int -> string
+(** Bounds-checked read. @raise Invalid_argument out of range. *)
+
+val write : t -> sector:int -> string -> unit
+(** Bounds-checked whole-sector write.
+    @raise Invalid_argument out of range or wrong length. *)
+
+val sync : t -> unit
+(** Make every staged write durable. *)
+
+val zeros : t -> string
+(** One all-zero sector, the content of unwritten sectors. *)

@@ -1,0 +1,61 @@
+module Rng = Sof_util.Rng
+
+(* The atlas answers four questions, TigerBeetle-style: does this write
+   get lost, does it land on the wrong sector, does this stable sector
+   read back corrupted, and does the crash tear the last flushed sector?
+   Lost/misdirected/torn draws consume the replica's seeded stream at the
+   moment of the operation; corrupt reads are a *stable* property of the
+   (seed, replica, sector) triple so a damaged sector stays damaged across
+   re-reads and restarts, like a real grown defect. *)
+
+type profile = {
+  p_torn : bool;
+  p_corrupt_read : float;
+  p_lost_write : float;
+  p_misdirect : float;
+}
+
+let clean =
+  { p_torn = false; p_corrupt_read = 0.0; p_lost_write = 0.0; p_misdirect = 0.0 }
+
+let torn_only = { clean with p_torn = true }
+
+let default =
+  { p_torn = true; p_corrupt_read = 0.02; p_lost_write = 0.01; p_misdirect = 0.005 }
+
+type t = { profile : profile; seed : int; replica : int; rng : Rng.t }
+
+let make ~seed ~replica profile =
+  let mixed =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.of_int (replica + 1))
+  in
+  { profile; seed; replica; rng = Rng.create mixed }
+
+let profile t = t.profile
+
+let lose_write t =
+  t.profile.p_lost_write > 0.0 && Rng.float t.rng 1.0 < t.profile.p_lost_write
+
+let misdirect t ~sector_count =
+  if t.profile.p_misdirect > 0.0 && Rng.float t.rng 1.0 < t.profile.p_misdirect
+  then Some (Rng.int t.rng sector_count)
+  else None
+
+(* One draw from a throwaway generator keyed by (seed, replica, sector):
+   the same sector always answers the same way. *)
+let corrupt_sector t ~sector =
+  t.profile.p_corrupt_read > 0.0
+  &&
+  let key =
+    Int64.logxor
+      (Int64.mul (Int64.of_int t.seed) 0xBF58476D1CE4E5B9L)
+      (Int64.add
+         (Int64.mul (Int64.of_int sector) 0x94D049BB133111EBL)
+         (Int64.of_int t.replica))
+  in
+  Rng.float (Rng.create key) 1.0 < t.profile.p_corrupt_read
+
+let tear_length t ~sector_size =
+  if t.profile.p_torn then Some (Rng.int t.rng sector_size) else None

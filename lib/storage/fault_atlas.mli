@@ -1,0 +1,50 @@
+(** Seeded storage-fault atlas: decides, per replica, which disk
+    operations misbehave.
+
+    Four fault classes, mirroring the taxonomy of production storage fault
+    models: writes silently lost, writes landing on the wrong sector,
+    sectors that read back corrupted, and the last flushed sector being
+    torn at a crash (the drive lied about the flush).  Lost / misdirected
+    / torn decisions consume the replica's seeded stream as the operations
+    happen; corrupt-read decisions are a stable function of
+    (seed, replica, sector), so a bad sector stays bad across re-reads and
+    restarts. *)
+
+type profile = {
+  p_torn : bool;  (** tear the last flushed sector at crash *)
+  p_corrupt_read : float;  (** per-sector probability of stable corruption *)
+  p_lost_write : float;  (** per-write probability the write is dropped *)
+  p_misdirect : float;  (** per-write probability it lands elsewhere *)
+}
+
+val clean : profile
+(** No faults — a well-behaved disk. *)
+
+val torn_only : profile
+(** Only crash-time torn writes, the fault every real disk has. *)
+
+val default : profile
+(** The standard chaos mix: torn writes plus low-rate corruption,
+    lost and misdirected writes. *)
+
+type t
+
+val make : seed:int -> replica:int -> profile -> t
+(** Equal (seed, replica, profile) give identical fault schedules. *)
+
+val profile : t -> profile
+
+val lose_write : t -> bool
+(** Draw: is this write silently dropped?  Consumes the stream. *)
+
+val misdirect : t -> sector_count:int -> int option
+(** Draw: [Some s] redirects this write to sector [s].  Consumes the
+    stream. *)
+
+val corrupt_sector : t -> sector:int -> bool
+(** Stable per-sector verdict: does this sector read back corrupted?
+    Does not consume the stream. *)
+
+val tear_length : t -> sector_size:int -> int option
+(** At crash: [Some k] keeps only the first [k] bytes of the last flushed
+    sector.  Consumes the stream. *)

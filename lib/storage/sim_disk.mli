@@ -1,0 +1,33 @@
+(** Deterministic in-memory disk with crash semantics and fault
+    injection.
+
+    Writes are staged in a volatile cache and become durable only at
+    sync.  {!crash} discards the cache and, under a torn-write atlas,
+    keeps only a prefix of the last flushed sector — modeling a drive
+    that acknowledged a flush it had not finished.  The disk object
+    itself survives a process crash/restart (it is the platter, not the
+    process). *)
+
+type stats = {
+  sd_writes : int;
+  sd_reads : int;
+  sd_syncs : int;
+  sd_lost : int;  (** writes silently dropped by the atlas *)
+  sd_misdirected : int;  (** writes the atlas sent to the wrong sector *)
+  sd_torn : int;  (** sectors torn at crash *)
+  sd_corrupt_reads : int;  (** reads served with flipped bytes *)
+}
+
+type t
+
+val create : ?atlas:Fault_atlas.t -> sector_size:int -> sector_count:int -> unit -> t
+(** @raise Invalid_argument if [sector_size < 16] or [sector_count < 4]. *)
+
+val disk : t -> Disk.t
+(** The {!Disk.t} view handed to the write-ahead log. *)
+
+val crash : t -> unit
+(** Lose all unsynced writes; under a torn-write atlas, also tear the
+    last flushed sector. *)
+
+val stats : t -> stats

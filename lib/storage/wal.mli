@@ -1,0 +1,58 @@
+(** Write-ahead log of delivered batches plus checkpoint images, over a
+    {!Disk.t}.
+
+    Two data regions alternate: a checkpoint starts a new epoch in the
+    other region, which logically truncates the log (the old region's
+    frames carry a stale epoch and read as a clean end).  Every frame is
+    checksummed and epoch-stamped; {!replay} distinguishes a clean end of
+    log from a damaged suffix (torn or corrupt frames), which is the
+    signal to fall back from local replay to peer repair.
+
+    Crash safety: a checkpoint's data is written and synced before the
+    superblock flips to the new epoch, so a crash mid-checkpoint recovers
+    the previous epoch intact.  Appends overwrite any damaged suffix
+    found at attach time. *)
+
+type t
+
+type replay = {
+  rp_checkpoint : string option;
+      (** latest checkpoint frame payload, if any *)
+  rp_entries : string list;  (** entry payloads after that checkpoint, in order *)
+  rp_damaged : bool;  (** the log ended in damage, not a clean end *)
+}
+
+type stats = {
+  w_appends : int;
+  w_syncs : int;
+  w_checkpoints : int;
+  w_dropped : int;  (** appends/checkpoints dropped on region overflow *)
+}
+
+val attach : Disk.t -> t
+(** Mount the log: pick the newest valid superblock, walk the active
+    region's frames, and position appends after the valid prefix.  A
+    blank disk attaches as an empty epoch-0 log. *)
+
+val replay : t -> replay
+(** What {!attach} recovered from the disk. *)
+
+val append : t -> string -> unit
+(** Stage an entry frame (durable only after {!sync}).  Dropped, with the
+    [w_dropped] counter bumped, if the region is full. *)
+
+val sync : t -> unit
+(** Make all staged frames durable. *)
+
+val write_checkpoint : t -> string -> unit
+(** Start a new epoch whose log is just this checkpoint image — the
+    durable form of log truncation. *)
+
+val reset : t -> unit
+(** Start a new, empty epoch: discards all logged state.  Used when
+    restarting with no usable checkpoint so stale entries cannot be
+    replayed twice. *)
+
+val epoch : t -> int
+
+val stats : t -> stats

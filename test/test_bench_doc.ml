@@ -32,9 +32,10 @@ let tiny_doc =
      (* Seed 1 is the vetted restart campaign: every protocol's restarted
         process recovers, so mean_recovery_ms is a number in the skeleton. *)
      let recovery = H.Experiments.recovery_costs ~f:2 ~seed:1L () in
+     let storage = H.Experiments.durable_recovery_costs ~f:2 ~seed:1L () in
      let doc =
        H.Bench_doc.make ~seed ~fast:true ~fig4_5 ~message_counts ~recovery
-         ~breakdowns ()
+         ~storage ~breakdowns ()
      in
      (doc, breakdowns))
 

@@ -1,0 +1,447 @@
+(* Durable storage tests: write-ahead-log roundtrips, checkpoint
+   truncation and epoch turn-over, crash semantics, damage detection
+   (torn tails and corrupt sectors), the fault atlas, the file-backed
+   disk, vote-tally pruning, and the end-to-end durability acceptance
+   campaigns — whole-cluster blackout under a storage-fault atlas,
+   recovered by local replay across every protocol. *)
+
+module Simtime = Sof_sim.Simtime
+module P = Sof_protocol
+module H = Sof_harness
+module Cluster = H.Cluster
+module Checkpoint = P.Checkpoint
+module Recovery = P.Recovery
+module Disk = Sof_storage.Disk
+module Sim_disk = Sof_storage.Sim_disk
+module Wal = Sof_storage.Wal
+module Fault_atlas = Sof_storage.Fault_atlas
+module File_disk = Sof_runtime.File_disk
+module Kv = Sof_smr.Kv_store
+
+let sec = Simtime.sec
+
+let kind_name = function
+  | Cluster.Sc_protocol -> "sc"
+  | Cluster.Scr_protocol -> "scr"
+  | Cluster.Bft_protocol -> "bft"
+  | Cluster.Ct_protocol -> "ct"
+
+let fresh_disk ?atlas () =
+  Sim_disk.create ?atlas ~sector_size:64 ~sector_count:64 ()
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> String.equal x y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+(* The last sector of the active region holding any frame bytes — the
+   natural target for a deterministic tear. *)
+let last_data_sector disk =
+  let nonzero s =
+    String.exists (fun c -> not (Char.equal c '\000')) (Disk.read disk ~sector:s)
+  in
+  let found = ref None in
+  for s = 2 to disk.Disk.sector_count - 1 do
+    if nonzero s then found := Some s
+  done;
+  match !found with
+  | Some s -> s
+  | None -> Alcotest.fail "no data sectors written"
+
+(* ------------------------------------------------------------------ wal *)
+
+let test_wal_roundtrip () =
+  let sim = fresh_disk () in
+  let disk = Sim_disk.disk sim in
+  let t = Wal.attach disk in
+  let payloads = [ "alpha"; "beta"; ""; "gamma-with-a-longer-payload" ] in
+  List.iter (Wal.append t) payloads;
+  Wal.sync t;
+  let t' = Wal.attach disk in
+  let rp = Wal.replay t' in
+  Alcotest.(check (list string)) "entries in append order" payloads rp.Wal.rp_entries;
+  Alcotest.(check bool) "no checkpoint" true (Option.is_none rp.Wal.rp_checkpoint);
+  Alcotest.(check bool) "clean end" false rp.Wal.rp_damaged;
+  Alcotest.(check int) "epoch unchanged" 0 (Wal.epoch t')
+
+let test_wal_empty_replay () =
+  let sim = fresh_disk () in
+  let t = Wal.attach (Sim_disk.disk sim) in
+  let rp = Wal.replay t in
+  Alcotest.(check (list string)) "no entries" [] rp.Wal.rp_entries;
+  Alcotest.(check bool) "no checkpoint" true (Option.is_none rp.Wal.rp_checkpoint);
+  Alcotest.(check bool) "blank disk is clean, not damaged" false rp.Wal.rp_damaged
+
+let test_wal_checkpoint_truncation () =
+  let sim = fresh_disk () in
+  let disk = Sim_disk.disk sim in
+  let t = Wal.attach disk in
+  Wal.append t "pre-1";
+  Wal.append t "pre-2";
+  Wal.sync t;
+  Wal.write_checkpoint t "image-bytes";
+  Alcotest.(check int) "checkpoint starts a new epoch" 1 (Wal.epoch t);
+  Wal.append t "post-1";
+  Wal.append t "post-2";
+  Wal.sync t;
+  let rp = Wal.replay (Wal.attach disk) in
+  Alcotest.(check (option string))
+    "checkpoint image recovered" (Some "image-bytes") rp.Wal.rp_checkpoint;
+  Alcotest.(check (list string))
+    "only post-checkpoint entries replay" [ "post-1"; "post-2" ] rp.Wal.rp_entries;
+  Alcotest.(check bool) "clean" false rp.Wal.rp_damaged
+
+(* Successive checkpoints alternate regions; each re-attach must see only
+   the newest epoch, never resurrect frames from a previous occupancy. *)
+let test_wal_region_alternation () =
+  let sim = fresh_disk () in
+  let disk = Sim_disk.disk sim in
+  let t0 = Wal.attach disk in
+  Wal.append t0 "epoch0-entry";
+  Wal.sync t0;
+  List.iteri
+    (fun i image ->
+      let t = Wal.attach disk in
+      Wal.write_checkpoint t image;
+      Wal.append t (Printf.sprintf "after-%s" image);
+      Wal.sync t;
+      let t' = Wal.attach disk in
+      let rp = Wal.replay t' in
+      Alcotest.(check int) "epoch advances" (i + 1) (Wal.epoch t');
+      Alcotest.(check (option string)) "newest image" (Some image) rp.Wal.rp_checkpoint;
+      Alcotest.(check (list string))
+        "no stale frames from the region's previous occupancy"
+        [ Printf.sprintf "after-%s" image ]
+        rp.Wal.rp_entries;
+      Alcotest.(check bool) "clean" false rp.Wal.rp_damaged)
+    [ "cp-1"; "cp-2"; "cp-3" ]
+
+let test_wal_crash_loses_unsynced () =
+  let sim = fresh_disk () in
+  let disk = Sim_disk.disk sim in
+  let t = Wal.attach disk in
+  Wal.append t "durable";
+  Wal.sync t;
+  Wal.append t "volatile";
+  Sim_disk.crash sim;
+  let rp = Wal.replay (Wal.attach disk) in
+  Alcotest.(check (list string))
+    "synced entry survives, staged one is gone" [ "durable" ] rp.Wal.rp_entries;
+  Alcotest.(check bool) "losing staged writes is clean, not damage" false
+    rp.Wal.rp_damaged
+
+(* A torn tail: scribble a prefix-plus-zeros over the last data sector,
+   exactly what a torn sector write leaves.  Replay must flag damage and
+   keep the valid prefix; a subsequent append must overwrite the damaged
+   suffix so the next attach is clean again. *)
+let test_wal_torn_tail_detected () =
+  let sim = fresh_disk () in
+  let disk = Sim_disk.disk sim in
+  let t = Wal.attach disk in
+  let payloads = List.init 3 (fun i -> String.make 100 (Char.chr (97 + i))) in
+  List.iter (Wal.append t) payloads;
+  Wal.sync t;
+  let victim = last_data_sector disk in
+  let sect = Disk.read disk ~sector:victim in
+  Disk.write disk ~sector:victim
+    (String.sub sect 0 5 ^ String.make (String.length sect - 5) '\000');
+  Disk.sync disk;
+  let t' = Wal.attach disk in
+  let rp = Wal.replay t' in
+  Alcotest.(check bool) "torn tail flagged as damage" true rp.Wal.rp_damaged;
+  Alcotest.(check bool) "recovered entries are a strict prefix" true
+    (is_prefix rp.Wal.rp_entries payloads
+    && List.length rp.Wal.rp_entries < List.length payloads);
+  Wal.append t' "repaired";
+  Wal.sync t';
+  let rp' = Wal.replay (Wal.attach disk) in
+  Alcotest.(check bool) "append overwrote the damaged suffix" false
+    rp'.Wal.rp_damaged;
+  Alcotest.(check (list string))
+    "prefix plus repair entry"
+    (List.filteri (fun i _ -> i < List.length rp.Wal.rp_entries) payloads
+    @ [ "repaired" ])
+    rp'.Wal.rp_entries
+
+let test_wal_corrupt_payload_detected () =
+  let sim = fresh_disk () in
+  let disk = Sim_disk.disk sim in
+  let t = Wal.attach disk in
+  let payloads = [ String.make 100 'x'; String.make 100 'y' ] in
+  List.iter (Wal.append t) payloads;
+  Wal.sync t;
+  (* Flip one byte deep inside the second frame's payload (stream byte
+     67 of the second frame region; sector 4 of the region holds stream
+     bytes 128..191, all second-frame payload). *)
+  let victim = 2 + 2 in
+  let sect = Bytes.of_string (Disk.read disk ~sector:victim) in
+  Bytes.set sect 10 (Char.chr (Char.code (Bytes.get sect 10) lxor 0x55));
+  Disk.write disk ~sector:victim (Bytes.to_string sect);
+  Disk.sync disk;
+  let rp = Wal.replay (Wal.attach disk) in
+  Alcotest.(check bool) "checksum catches the flipped byte" true rp.Wal.rp_damaged;
+  Alcotest.(check (list string))
+    "first entry survives" [ String.make 100 'x' ] rp.Wal.rp_entries
+
+(* --------------------------------------------------------------- atlas *)
+
+let test_atlas_torn_crash () =
+  let atlas = Fault_atlas.make ~seed:42 ~replica:1 Fault_atlas.torn_only in
+  let sim = fresh_disk ~atlas () in
+  let disk = Sim_disk.disk sim in
+  let t = Wal.attach disk in
+  let payloads = List.init 3 (fun i -> String.make 100 (Char.chr (107 + i))) in
+  List.iter (Wal.append t) payloads;
+  Wal.sync t;
+  Sim_disk.crash sim;
+  let rp = Wal.replay (Wal.attach disk) in
+  Alcotest.(check bool) "recovered entries are a prefix of the synced log" true
+    (is_prefix rp.Wal.rp_entries payloads);
+  Alcotest.(check bool) "the tear was recorded" true
+    ((Sim_disk.stats sim).Sim_disk.sd_torn >= 1)
+
+let test_atlas_corrupt_read () =
+  let profile = { Fault_atlas.clean with Fault_atlas.p_corrupt_read = 1.0 } in
+  let atlas = Fault_atlas.make ~seed:7 ~replica:3 profile in
+  let sim = fresh_disk ~atlas () in
+  let disk = Sim_disk.disk sim in
+  let written = String.make 64 'A' in
+  Disk.write disk ~sector:5 written;
+  Disk.sync disk;
+  let got = Disk.read disk ~sector:5 in
+  (* Corruption is one flipped byte at (sector mod sector_size). *)
+  Alcotest.(check char)
+    "byte 5 flipped" (Char.chr (Char.code 'A' lxor 0x55)) got.[5];
+  String.iteri
+    (fun i c -> if i <> 5 then Alcotest.(check char) "other bytes intact" 'A' c)
+    got;
+  let again = Disk.read disk ~sector:5 in
+  Alcotest.(check string) "grown defect is stable across re-reads" got again;
+  Alcotest.(check bool) "corrupt reads counted" true
+    ((Sim_disk.stats sim).Sim_disk.sd_corrupt_reads >= 2);
+  (* Stable verdict: a second atlas with the same identity agrees. *)
+  let atlas' = Fault_atlas.make ~seed:7 ~replica:3 profile in
+  Alcotest.(check bool) "verdict is a function of (seed, replica, sector)"
+    (Fault_atlas.corrupt_sector atlas ~sector:9)
+    (Fault_atlas.corrupt_sector atlas' ~sector:9)
+
+let test_atlas_lost_write () =
+  let profile = { Fault_atlas.clean with Fault_atlas.p_lost_write = 1.0 } in
+  let atlas = Fault_atlas.make ~seed:11 ~replica:2 profile in
+  let sim = fresh_disk ~atlas () in
+  let disk = Sim_disk.disk sim in
+  Disk.write disk ~sector:3 (String.make 64 'B');
+  Disk.sync disk;
+  Alcotest.(check string)
+    "the write never reached the platter" (Disk.zeros disk)
+    (Disk.read disk ~sector:3);
+  Alcotest.(check bool) "lost writes counted" true
+    ((Sim_disk.stats sim).Sim_disk.sd_lost >= 1)
+
+(* --------------------------------------------------- tally and images *)
+
+let test_tally_dedup_and_prune () =
+  let tally = Recovery.Tally.create () in
+  Recovery.Tally.add tally ~seq:5 ~digest:"d5" ~signer:1 ~signature:"s1";
+  Recovery.Tally.add tally ~seq:5 ~digest:"d5" ~signer:1 ~signature:"s1-again";
+  Alcotest.(check int) "duplicate signer counted once" 1
+    (Recovery.Tally.count tally ~seq:5 ~digest:"d5");
+  Recovery.Tally.add tally ~seq:5 ~digest:"d5" ~signer:2 ~signature:"s2";
+  Recovery.Tally.add tally ~seq:6 ~digest:"d6" ~signer:1 ~signature:"s1@6";
+  Alcotest.(check int) "second signer counted" 2
+    (Recovery.Tally.count tally ~seq:5 ~digest:"d5");
+  Alcotest.(check (list (pair int string)))
+    "proof carries the first-seen signatures"
+    [ (1, "s1"); (2, "s2") ]
+    (List.sort compare (Recovery.Tally.proof tally ~seq:5 ~digest:"d5"));
+  Recovery.Tally.prune tally ~upto:5;
+  Alcotest.(check int) "pruned votes are gone" 0
+    (Recovery.Tally.count tally ~seq:5 ~digest:"d5");
+  Alcotest.(check int) "votes above the floor survive" 1
+    (Recovery.Tally.count tally ~seq:6 ~digest:"d6");
+  Recovery.Tally.add tally ~seq:5 ~digest:"d5" ~signer:3 ~signature:"s3";
+  Alcotest.(check int) "a fresh vote after prune starts a new tally" 1
+    (Recovery.Tally.count tally ~seq:5 ~digest:"d5")
+
+let test_image_rejection () =
+  let image =
+    Checkpoint.wrap_image ~state:"service-state" ~marks:[ (1, 4); (2, 9) ]
+  in
+  Alcotest.(check bool) "well-formed image accepted" true
+    (Option.is_some (Checkpoint.unwrap_image image));
+  for cut = 0 to String.length image - 1 do
+    match Checkpoint.unwrap_image (String.sub image 0 cut) with
+    | Some _ -> Alcotest.failf "truncated image (%d bytes) accepted" cut
+    | None -> ()
+  done;
+  Alcotest.(check bool) "garbage rejected" true
+    (Option.is_none (Checkpoint.unwrap_image "not a checkpoint image"))
+
+(* ----------------------------------------------------------- file disk *)
+
+let test_file_disk_persistence () =
+  let path = Filename.temp_file "sof-test" ".disk" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let fd = File_disk.open_file ~path ~sector_size:64 ~sector_count:32 () in
+      let disk = File_disk.disk fd in
+      Alcotest.(check string) "holes read as zeros" (Disk.zeros disk)
+        (Disk.read disk ~sector:7);
+      let t = Wal.attach disk in
+      Wal.append t "file-backed-entry";
+      Wal.sync t;
+      Wal.write_checkpoint t "file-backed-image";
+      Wal.append t "after-checkpoint";
+      Wal.sync t;
+      File_disk.close fd;
+      let fd' = File_disk.open_file ~path ~sector_size:64 ~sector_count:32 () in
+      let rp = Wal.replay (Wal.attach (File_disk.disk fd')) in
+      File_disk.close fd';
+      Alcotest.(check (option string))
+        "checkpoint survives close/reopen" (Some "file-backed-image")
+        rp.Wal.rp_checkpoint;
+      Alcotest.(check (list string))
+        "entries survive close/reopen" [ "after-checkpoint" ] rp.Wal.rp_entries;
+      Alcotest.(check bool) "clean" false rp.Wal.rp_damaged)
+
+(* ----------------------------------------------------------- acceptance *)
+
+(* The headline durability guarantee: a whole-cluster simultaneous
+   crash-restart under the full storage-fault atlas (torn writes, corrupt
+   sectors, lost and misdirected writes) recovers by local WAL replay —
+   with no live peer to transfer from at blackout — and every invariant,
+   durability and repair correctness included, holds.  Three seeds per
+   protocol. *)
+let test_durability_campaigns () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let report =
+            H.Nemesis.run ~restart:true ~disk_faults:true ~kind ~f:1 ~seed
+              ~duration:(sec 10) ()
+          in
+          if not report.H.Nemesis.passed then
+            Alcotest.failf "%s seed %Ld: %a" (kind_name kind) seed
+              H.Nemesis.pp_report report;
+          Alcotest.(check bool)
+            "storage accounting present" true
+            (Option.is_some report.H.Nemesis.storage);
+          Alcotest.(check bool)
+            "the campaign crash-restarted someone" true
+            (report.H.Nemesis.restarted <> []))
+        [ 3L; 5L; 7L ])
+    [ Cluster.Ct_protocol; Cluster.Sc_protocol; Cluster.Scr_protocol;
+      Cluster.Bft_protocol ]
+
+(* Durable TCP deployment: kill a replica, let checkpoints truncate the
+   history behind it, restart — with a data_dir the comeback re-mounts its
+   own file-backed log and recovers locally first. *)
+let test_tcp_durable_restart () =
+  let data_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sof-durable-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    (try
+       Array.iter
+         (fun f -> Sys.remove (Filename.concat data_dir f))
+         (Sys.readdir data_dir)
+     with Sys_error _ -> ());
+    try Unix.rmdir data_dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let module Runtime = Sof_runtime.Tcp_runtime in
+      let victim = 2 in
+      let t =
+        Runtime.start ~base_port:8211 ~kind:`Scr ~f:1 ~batching_interval_ms:15
+          ~checkpoint_interval:4 ~data_dir ()
+      in
+      for i = 1 to 6 do
+        Runtime.inject t
+          (Sof_smr.Request.make ~client:1 ~client_seq:i
+             ~op:(Kv.encode_op (Kv.Put (Printf.sprintf "pre%d" i, "v"))));
+        Thread.delay 0.002
+      done;
+      Alcotest.(check bool) "delivering before the kill" true
+        (Runtime.await_delivery t ~count:1 ~timeout_s:15.0);
+      Runtime.kill t victim;
+      for i = 1 to 40 do
+        Runtime.inject t
+          (Sof_smr.Request.make ~client:1 ~client_seq:(100 + i)
+             ~op:(Kv.encode_op (Kv.Put (Printf.sprintf "mid%d" i, "v"))));
+        Thread.delay 0.002
+      done;
+      Alcotest.(check bool) "survivors progress while the victim is down" true
+        (Runtime.await_delivery t ~count:4 ~timeout_s:15.0);
+      Runtime.restart t victim;
+      for i = 1 to 20 do
+        Runtime.inject t
+          (Sof_smr.Request.make ~client:1 ~client_seq:(200 + i)
+             ~op:(Kv.encode_op (Kv.Put (Printf.sprintf "post%d" i, "v"))));
+        Thread.delay 0.02
+      done;
+      Alcotest.(check bool) "restarted process delivers after rejoining" true
+        (Runtime.await_delivery t ~count:6 ~timeout_s:20.0);
+      Thread.delay 1.0;
+      let stats = Runtime.stop t in
+      Alcotest.(check bool) "per-replica disk files exist" true
+        (Sys.file_exists (Filename.concat data_dir "replica-1.disk"));
+      match List.map snd stats.Runtime.state_digests with
+      | [] -> Alcotest.fail "no digests"
+      | d :: rest ->
+        List.iteri
+          (fun i d' ->
+            if d' <> d then Alcotest.failf "state divergence at process %d" (i + 1))
+          rest)
+
+let suite =
+  [
+    ( "storage.wal",
+      [
+        Alcotest.test_case "append/sync/attach roundtrip" `Quick test_wal_roundtrip;
+        Alcotest.test_case "zero-length log replays clean" `Quick
+          test_wal_empty_replay;
+        Alcotest.test_case "checkpoint truncates and turns the epoch" `Quick
+          test_wal_checkpoint_truncation;
+        Alcotest.test_case "regions alternate without resurrecting frames" `Quick
+          test_wal_region_alternation;
+        Alcotest.test_case "crash loses only unsynced appends" `Quick
+          test_wal_crash_loses_unsynced;
+        Alcotest.test_case "torn tail detected, prefix kept, append repairs"
+          `Quick test_wal_torn_tail_detected;
+        Alcotest.test_case "corrupt payload byte detected by checksum" `Quick
+          test_wal_corrupt_payload_detected;
+      ] );
+    ( "storage.atlas",
+      [
+        Alcotest.test_case "torn crash leaves a replayable prefix" `Quick
+          test_atlas_torn_crash;
+        Alcotest.test_case "corrupt reads are stable single-byte flips" `Quick
+          test_atlas_corrupt_read;
+        Alcotest.test_case "lost writes never reach the platter" `Quick
+          test_atlas_lost_write;
+      ] );
+    ( "storage.recovery",
+      [
+        Alcotest.test_case "tally dedupes signers and prunes below the floor"
+          `Quick test_tally_dedup_and_prune;
+        Alcotest.test_case "truncated and garbage images are rejected" `Quick
+          test_image_rejection;
+      ] );
+    ( "storage.file_disk",
+      [
+        Alcotest.test_case "wal state survives close/reopen" `Quick
+          test_file_disk_persistence;
+      ] );
+    ( "storage.durability",
+      [
+        Alcotest.test_case
+          "blackout + disk faults recover locally (3 seeds x 4 protocols)"
+          `Slow test_durability_campaigns;
+        Alcotest.test_case "tcp restart recovers from its data_dir" `Slow
+          test_tcp_durable_restart;
+      ] );
+  ]
