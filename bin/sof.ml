@@ -534,11 +534,21 @@ let lint_cmd =
       List.iter
         (fun d -> Format.printf "%a@." L.Diagnostic.pp d)
         outcome.L.Engine.diags;
+      List.iter
+        (fun e ->
+          Format.printf "stale allowlist entry (matches no diagnostic): %a@."
+            L.Allow.pp_entry e)
+        outcome.L.Engine.stale;
       let n = List.length outcome.L.Engine.diags in
-      Format.printf "lint: %d file(s), %d diagnostic(s), %d allowlisted@."
-        outcome.L.Engine.files n outcome.L.Engine.suppressed;
-      if strict && n > 0 then
-        `Error (false, Printf.sprintf "lint --strict: %d diagnostic(s)" n)
+      let s = List.length outcome.L.Engine.stale in
+      Format.printf "lint: %d file(s), %d diagnostic(s), %d allowlisted, %d stale@."
+        outcome.L.Engine.files n outcome.L.Engine.suppressed s;
+      if strict && (n > 0 || s > 0) then
+        `Error
+          ( false,
+            Printf.sprintf "lint --strict: %d diagnostic(s), %d stale allow entr%s"
+              n s
+              (if s = 1 then "y" else "ies") )
       else `Ok ()
   in
   let strict =
@@ -576,9 +586,247 @@ let lint_cmd =
           (R1), no catch-all message dispatch in core (R2), no partial \
           stdlib calls in core/net (R3), no failwith/assert-false in \
           protocol code (R4), printing only through the report sink (R5), \
-          an .mli for every lib module (R6).  Deliberate exceptions live in \
-          lint.allow with a reason each.")
+          an .mli for every lib module (R6), no ambient \
+          randomness/wall-clock in core/net (R7), no mutable module-level \
+          state in core (R8).  Deliberate exceptions live in lint.allow \
+          with a reason each; entries that no longer match anything are \
+          reported stale and fail --strict.")
     Term.(ret (const lint $ strict $ only $ disable $ allow_file $ paths))
+
+(* ---------------------------------------------------------------- check *)
+
+let check_cmd =
+  let module C = Sof_check in
+  let protocol_conv =
+    let parse s =
+      match C.Model.protocol_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown protocol %S (sc|scr|bft|ct)" s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (C.Model.protocol_name p))
+  in
+  let check protocol f nodes batches faults equivocate spurious mutant watchdogs
+      depth seed no_sleep no_ample stats replay require_exhausted =
+    let protocols =
+      match protocol with Some p -> [ p ] | None -> C.Model.all_protocols
+    in
+    let spec_for p =
+      {
+        (C.Model.default p) with
+        C.Model.f;
+        batches;
+        crash_budget = faults;
+        equivocate;
+        spurious_fs = Option.map Sof_sim.Simtime.ms spurious;
+        digest_blind = mutant;
+        explore_watchdogs = watchdogs;
+        seed;
+      }
+    in
+    let validate spec =
+      match C.Model.validate spec with
+      | Error _ as e -> e
+      | Ok () -> (
+        match nodes with
+        | None -> Ok ()
+        | Some n ->
+          let expected =
+            C.Model.process_count spec.C.Model.protocol ~f:spec.C.Model.f
+          in
+          if n = expected then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s with f=%d has %d processes, not %d"
+                 (C.Model.protocol_name spec.C.Model.protocol)
+                 spec.C.Model.f expected n))
+    in
+    match replay with
+    | Some sched_str -> (
+      match protocols with
+      | [ p ] -> (
+        let spec = spec_for p in
+        match
+          match validate spec with
+          | Error e -> Error e
+          | Ok () -> C.Schedule.decode sched_str
+        with
+        | Error e -> `Error (false, e)
+        | Ok sched -> (
+          match C.Explore.replay spec sched with
+          | Error e -> `Error (false, "replay infeasible: " ^ e)
+          | Ok w ->
+            Format.printf "replay %s seed=%Ld@." (C.Model.describe spec)
+              spec.C.Model.seed;
+            List.iteri
+              (fun i line -> Format.printf "  %2d. %s@." (i + 1) line)
+              (C.Explore.trace_of spec sched);
+            (match C.World.violation w with
+            | Some r ->
+              Format.printf "VIOLATION of %s: %s@." r.H.Invariants.name
+                r.H.Invariants.detail;
+              `Error (false, "replay re-triggered " ^ r.H.Invariants.name)
+            | None ->
+              Format.printf "replay clean: no invariant violated@.";
+              `Ok ())))
+      | _ -> `Error (false, "--replay requires a single --protocol"))
+    | None ->
+      let reports =
+        List.map
+          (fun p ->
+            let spec = spec_for p in
+            match validate spec with
+            | Error e -> Error e
+            | Ok () ->
+              Ok
+                (C.Explore.run ~use_sleep:(not no_sleep)
+                   ~use_ample:(not no_ample) spec ~depth))
+          protocols
+      in
+      let bad = List.filter_map (function Error e -> Some e | Ok _ -> None) reports in
+      (match bad with
+      | e :: _ -> `Error (false, e)
+      | [] ->
+        let reports = List.filter_map Result.to_option reports in
+        List.iter
+          (fun r -> Format.printf "%s@." (C.Report.to_string ~stats r))
+          reports;
+        let violated =
+          List.filter
+            (fun r ->
+              match r.C.Explore.outcome with
+              | C.Explore.Violation _ -> true
+              | _ -> false)
+            reports
+        in
+        let capped =
+          List.filter
+            (fun r -> r.C.Explore.outcome = C.Explore.Depth_capped)
+            reports
+        in
+        if violated <> [] then
+          `Error
+            ( false,
+              Printf.sprintf "%d model(s) violated an invariant"
+                (List.length violated) )
+        else if require_exhausted && capped <> [] then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d model(s) hit the depth cap before exhausting (raise --depth)"
+                (List.length capped) )
+        else `Ok ())
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some protocol_conv) None
+      & info [ "protocol"; "p" ] ~docv:"NAME"
+          ~doc:"Protocol core to check: sc, scr, bft or ct (default: all four).")
+  in
+  let f =
+    Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Fault-tolerance parameter (keep at 1 for exhaustion).")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:"Expected process count; checked against the protocol's layout \
+                for $(b,--f) (SC 3f+1, SCR 3f+2, BFT 3f+1, CT 2f+1).")
+  in
+  let batches =
+    Arg.(value & opt int 1 & info [ "batches" ] ~docv:"B" ~doc:"Client requests (one per batch).")
+  in
+  let faults =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"N"
+          ~doc:"Crash budget: schedules may crash up to N processes (N <= f).")
+  in
+  let equivocate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "equivocate" ] ~docv:"SEQ"
+          ~doc:"Process 0 (the initial coordinator/primary) equivocates when \
+                minting this sequence number.")
+  in
+  let spurious =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spurious" ] ~docv:"MS"
+          ~doc:"Process 0 raises a baseless fail-signal at this simulated \
+                millisecond (sc/scr only).")
+  in
+  let mutant =
+    Arg.(
+      value & flag
+      & info [ "mutant" ]
+          ~doc:"Enable the bft digest-blind vote-pooling mutant (the \
+                historically observed safety bug) — expect a counterexample.")
+  in
+  let watchdogs =
+    Arg.(
+      value & flag
+      & info [ "watchdogs" ]
+          ~doc:"Also schedule watchdog timers (timing-failure simulation; \
+                outside the paper's synchrony assumptions for sc/scr and \
+                unbounded for bft/ct, so expect depth-capping).")
+  in
+  let depth =
+    Arg.(value & opt int 40 & info [ "depth" ] ~docv:"D" ~doc:"Maximum schedule length to explore.")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Key-derivation seed (replays must match).")
+  in
+  let no_sleep =
+    Arg.(
+      value & flag
+      & info [ "no-sleep" ]
+          ~doc:"Disable sleep-set pruning (slower, assumption-free search).")
+  in
+  let no_ample =
+    Arg.(
+      value & flag
+      & info [ "no-ample" ]
+          ~doc:"Disable the single-successor (ample) reduction over commuting \
+                vote deliveries; without it the bft/sc/scr vote rounds are \
+                unlikely to exhaust within any practical --depth.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics as key=value lines.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:"Replay a schedule (e.g. 'd0 d2 f1') against the model instead \
+                of searching; requires a single --protocol.")
+  in
+  let require_exhausted =
+    Arg.(
+      value & flag
+      & info [ "require-exhausted" ]
+          ~doc:"Exit nonzero unless every model was fully exhausted within \
+                --depth (what CI's check-smoke gate asks for).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustive-schedule model checker: drive the deterministic protocol \
+          cores through every interleaving of message delivery, timer firing \
+          and a bounded fault budget for a tiny model, checking agreement, \
+          commit coherence, prefix consistency, validity, checkpoint \
+          agreement and fail-signal soundness at every state.  Sleep-set \
+          (DPOR) pruning and a canonical-hash visited set keep the search \
+          tractable; violations are reported as minimal replayable schedules.")
+    Term.(
+      ret
+        (const check $ protocol $ f $ nodes $ batches $ faults $ equivocate
+       $ spurious $ mutant $ watchdogs $ depth $ seed $ no_sleep $ no_ample
+       $ stats $ replay $ require_exhausted))
 
 let main =
   Cmd.group
@@ -594,6 +842,7 @@ let main =
       chaos_cmd;
       fuzz_cmd;
       lint_cmd;
+      check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

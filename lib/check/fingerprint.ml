@@ -1,0 +1,121 @@
+module P = Sof_protocol
+
+(* FNV-1a, 64-bit: the same cheap stable hash Rng uses for substream
+   labels.  Collisions fold distinct states together and can only cause
+   missed exploration, never false violations; at tiny-model state counts
+   (≤ ~10^6) a 64-bit space keeps the collision odds negligible. *)
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+type acc = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 256 }
+
+let add_string t s =
+  (* Length-prefixed so field boundaries cannot alias across fields. *)
+  Buffer.add_string t.buf (string_of_int (String.length s));
+  Buffer.add_char t.buf ':';
+  Buffer.add_string t.buf s
+
+let add_int t n =
+  Buffer.add_string t.buf (string_of_int n);
+  Buffer.add_char t.buf ';'
+
+let add_bool t b = add_int t (if b then 1 else 0)
+
+let digest t =
+  let s = Buffer.contents t.buf in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* Canonical event encoding.  [Context.pp_event] is for humans and omits
+   digests; the fingerprint needs every value-bearing field, and needs the
+   encoding to be injective per constructor. *)
+let encode_event (ev : P.Context.event) =
+  let b = Buffer.create 48 in
+  let str s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  let int n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ';'
+  in
+  let tag s = Buffer.add_string b s in
+  (match ev with
+  | Batched { seq; requests; bytes } ->
+    tag "B";
+    int seq;
+    int requests;
+    int bytes
+  | Committed { seq; digest; keys } ->
+    tag "C";
+    int seq;
+    str digest;
+    List.iter
+      (fun (k : Sof_smr.Request.key) ->
+        int k.Sof_smr.Request.client;
+        int k.Sof_smr.Request.client_seq)
+      keys
+  | Delivered { seq; batch } ->
+    tag "D";
+    int seq;
+    List.iter (fun r -> str (Sof_smr.Request.encode r)) batch.P.Batch.requests
+  | Fail_signal_emitted { pair; value_domain } ->
+    tag "F";
+    int pair;
+    int (if value_domain then 1 else 0)
+  | Fail_signal_observed { pair } ->
+    tag "f";
+    int pair
+  | Coordinator_installed { rank } ->
+    tag "I";
+    int rank
+  | View_installed { v } ->
+    tag "V";
+    int v
+  | Pair_recovered { pair } ->
+    tag "P";
+    int pair
+  | Value_fault_detected { pair } ->
+    tag "X";
+    int pair
+  | Span_open { phase; seq } ->
+    tag "s<";
+    str (P.Context.phase_name phase);
+    int seq
+  | Span_close { phase; seq } ->
+    tag "s>";
+    str (P.Context.phase_name phase);
+    int seq
+  | Checkpoint_stable { seq; digest } ->
+    tag "K";
+    int seq;
+    str digest
+  | Log_truncated { upto; retained } ->
+    tag "T";
+    int upto;
+    int retained
+  | State_transfer_started { have } ->
+    tag "t<";
+    int have
+  | State_transfer_installed { seq; entries } ->
+    tag "t>";
+    int seq;
+    int entries
+  | State_transfer_rejected { from } ->
+    tag "t!";
+    int from
+  | Node_restarted -> tag "R"
+  | Wal_replayed { seq; entries; damaged } ->
+    tag "W";
+    int seq;
+    int entries;
+    int (if damaged then 1 else 0));
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(** Canonical state hashing for the visited set.
+
+    A fingerprint accumulator collects length-prefixed fields into a buffer
+    and digests them with 64-bit FNV-1a.  {!World.fingerprint} decides
+    {e what} goes in (and, as importantly, what stays out: the virtual
+    clock, message and timer identifiers, event timestamps); this module
+    only supplies the injective encoding and the hash. *)
+
+type acc
+
+val create : unit -> acc
+val add_string : acc -> string -> unit
+val add_int : acc -> int -> unit
+val add_bool : acc -> bool -> unit
+val digest : acc -> int64
+
+val encode_event : Sof_protocol.Context.event -> string
+(** Injective-per-constructor encoding of an event, including the digest
+    fields {!Sof_protocol.Context.pp_event} elides.  Timestamps are not an
+    event field, so per-process event sequences hash identically across
+    commuting interleavings. *)

@@ -1,0 +1,52 @@
+module Invariants = Sof_harness.Invariants
+
+let stats_lines (s : Explore.stats) =
+  [
+    Printf.sprintf "states=%d" s.Explore.states;
+    Printf.sprintf "transitions=%d" s.Explore.transitions;
+    Printf.sprintf "pruned_visited=%d" s.Explore.pruned_visited;
+    Printf.sprintf "pruned_sleep=%d" s.Explore.pruned_sleep;
+    Printf.sprintf "pruned_ample=%d" s.Explore.pruned_ample;
+    Printf.sprintf "cap_hits=%d" s.Explore.cap_hits;
+    Printf.sprintf "max_depth=%d" s.Explore.max_depth;
+    Printf.sprintf "replays=%d" s.Explore.replays;
+  ]
+
+let outcome_line (r : Explore.report) =
+  match r.Explore.outcome with
+  | Explore.Exhausted ->
+    Printf.sprintf "exhausted: %d states, %d transitions, depth <= %d"
+      r.Explore.stats.Explore.states r.Explore.stats.Explore.transitions
+      r.Explore.stats.Explore.max_depth
+  | Explore.Depth_capped ->
+    Printf.sprintf
+      "depth-capped at %d: no violation found, %d states had unexplored successors"
+      r.Explore.depth_limit r.Explore.stats.Explore.cap_hits
+  | Explore.Violation v ->
+    Printf.sprintf "VIOLATION of %s: %s" v.Explore.result.Invariants.name
+      v.Explore.result.Invariants.detail
+
+let to_lines ?(stats = false) (r : Explore.report) =
+  let header =
+    Printf.sprintf "check %s seed=%Ld" (Model.describe r.Explore.spec)
+      r.Explore.spec.Model.seed
+  in
+  let body =
+    match r.Explore.outcome with
+    | Explore.Exhausted | Explore.Depth_capped -> [ outcome_line r ]
+    | Explore.Violation v ->
+      outcome_line r
+      :: Printf.sprintf "schedule (%d steps, replay with --replay '%s'):"
+           (List.length v.Explore.schedule)
+           (Schedule.encode v.Explore.schedule)
+      :: List.mapi
+           (fun i line -> Printf.sprintf "  %2d. %s" (i + 1) line)
+           v.Explore.trace
+  in
+  let tail =
+    if stats then "stats:" :: List.map (fun l -> "  " ^ l) (stats_lines r.Explore.stats)
+    else []
+  in
+  (header :: body) @ tail
+
+let to_string ?stats r = String.concat "\n" (to_lines ?stats r)

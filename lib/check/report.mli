@@ -1,0 +1,16 @@
+(** Rendering of explorer reports.
+
+    Pure string builders: the library never prints (lint rule R5 — output
+    is [bin/sof]'s job), and the [--stats] artifact wants a stable
+    machine-readable [key=value] shape. *)
+
+val stats_lines : Explore.stats -> string list
+(** One [key=value] line per counter. *)
+
+val outcome_line : Explore.report -> string
+
+val to_lines : ?stats:bool -> Explore.report -> string list
+(** Header, outcome, counterexample trace when there is one (with the
+    [--replay] token string), and optionally the stats block. *)
+
+val to_string : ?stats:bool -> Explore.report -> string

@@ -1,0 +1,42 @@
+type action = Deliver of int | Fire of int | Crash of int
+
+type t = action list
+
+let equal_action a b =
+  match (a, b) with
+  | Deliver x, Deliver y | Fire x, Fire y | Crash x, Crash y -> Int.equal x y
+  | _ -> false
+
+let encode_action = function
+  | Deliver m -> Printf.sprintf "d%d" m
+  | Fire tid -> Printf.sprintf "f%d" tid
+  | Crash p -> Printf.sprintf "c%d" p
+
+let encode sched = String.concat " " (List.map encode_action sched)
+
+let decode_action tok =
+  if String.length tok < 2 then Error (Printf.sprintf "bad action %S" tok)
+  else
+    let num = String.sub tok 1 (String.length tok - 1) in
+    match (tok.[0], int_of_string_opt num) with
+    | 'd', Some m -> Ok (Deliver m)
+    | 'f', Some tid -> Ok (Fire tid)
+    | 'c', Some p -> Ok (Crash p)
+    | _ -> Error (Printf.sprintf "bad action %S" tok)
+
+let decode s =
+  let toks =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+      match decode_action tok with
+      | Ok a -> go (a :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] toks
+
+let pp_action ppf a = Format.pp_print_string ppf (encode_action a)

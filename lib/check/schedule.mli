@@ -1,0 +1,25 @@
+(** Schedules: the checker's replayable unit of nondeterminism.
+
+    A schedule is the complete record of the choices the checker made —
+    which pending message to deliver, when to let the earliest timer fire,
+    whom to crash.  World construction is deterministic given the model
+    spec, so [spec + schedule] replays to the exact same run; identifiers
+    refer to the deterministic allocation order of messages and timers
+    within that replay. *)
+
+type action =
+  | Deliver of int  (** Deliver the pending message with this id. *)
+  | Fire of int  (** Fire the armed timer with this id (the earliest due). *)
+  | Crash of int  (** Crash this process (within the fault budget). *)
+
+type t = action list
+
+val equal_action : action -> action -> bool
+
+val encode : t -> string
+(** Compact textual form, e.g. ["d0 d2 f1 c3 d5"] — what [sof check]
+    prints and [--replay] parses. *)
+
+val decode : string -> (t, string) result
+
+val pp_action : Format.formatter -> action -> unit

@@ -12,15 +12,17 @@ type config = {
   digest : Sof_crypto.Digest_alg.t;
   view_change_timeout : Simtime.t;
   checkpoint_interval : int;
+  unsafe_digest_blind_votes : bool;
 }
 
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
     ?(digest = Sof_crypto.Digest_alg.MD5) ?(view_change_timeout = Simtime.sec 2)
-    ?(checkpoint_interval = 0) ~f () =
+    ?(checkpoint_interval = 0) ?(unsafe_digest_blind_votes = false) ~f () =
   if f < 1 then raise (Config.Invalid_config "Bft.make_config: f must be at least 1");
   if checkpoint_interval < 0 then
     raise (Config.Invalid_config "Bft.make_config: checkpoint_interval must be non-negative");
-  { f; batching_interval; batch_size_limit; digest; view_change_timeout; checkpoint_interval }
+  { f; batching_interval; batch_size_limit; digest; view_change_timeout; checkpoint_interval;
+    unsafe_digest_blind_votes }
 
 let process_count config = (3 * config.f) + 1
 
@@ -136,8 +138,14 @@ let get_order t o =
 let add_vote votes ~sender ~digest =
   if Int_map.mem sender votes then votes else Int_map.add sender digest votes
 
-let votes_for votes ~digest =
-  Int_map.fold (fun _ d acc -> if String.equal d digest then acc + 1 else acc) votes 0
+let votes_for ?(blind = false) votes ~digest =
+  (* [blind] resurrects the pre-PR 7 pooling — votes counted regardless of
+     the digest they were cast for.  Never set outside the model checker's
+     mutant tests, where `sof check` must rediscover the safety violation
+     the blackout campaign originally found. *)
+  Int_map.fold
+    (fun _ d acc -> if blind || String.equal d digest then acc + 1 else acc)
+    votes 0
 
 (* Trace spans: [Context.emit] costs no simulated CPU, each sp_* flag means
    "open at this process", and closes only fire when the flag is set, so
@@ -272,7 +280,9 @@ let rec advance_delivery t =
 let try_commit_point t st =
   if
     st.pre_prepared && (not st.committed)
-    && votes_for st.commits ~digest:st.digest >= (2 * t.config.f) + 1
+    && votes_for ~blind:t.config.unsafe_digest_blind_votes st.commits
+         ~digest:st.digest
+       >= (2 * t.config.f) + 1
   then begin
     if st.sp_preprep then begin
       st.sp_preprep <- false;
@@ -301,7 +311,9 @@ let try_commit_point t st =
 let try_prepared_point t st =
   if
     st.pre_prepared && st.sent_prepare && (not st.sent_commit)
-    && votes_for st.prepares ~digest:st.digest >= 2 * t.config.f
+    && votes_for ~blind:t.config.unsafe_digest_blind_votes st.prepares
+         ~digest:st.digest
+       >= 2 * t.config.f
   then begin
     st.sent_commit <- true;
     if st.sp_prepare then begin
@@ -570,8 +582,15 @@ let fetch_target t =
         acc off.Recovery.st_entries)
     0 (Recovery.offers t.rcv)
 
+(* End the fetch only after offers from f+1 distinct responders (so at
+   least one is honest) all fall at or below what we have delivered: a
+   single early "nothing above your watermark" reply must not terminate
+   the fetch before a helpful offer arrives. *)
 let maybe_end_fetch t =
-  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  if
+    Recovery.fetching t.rcv
+    && List.length (Recovery.offers t.rcv) > t.config.f
+    && t.delivered >= fetch_target t
   then begin
     span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
     Recovery.end_fetch t.rcv;
@@ -687,7 +706,9 @@ let prepared_set t =
     (fun o st acc ->
       if
         st.pre_prepared && (not st.committed) && o > t.max_committed
-        && votes_for st.prepares ~digest:st.digest >= 2 * t.config.f
+        && votes_for ~blind:t.config.unsafe_digest_blind_votes st.prepares
+             ~digest:st.digest
+           >= 2 * t.config.f
       then { Message.o; digest = st.digest; keys = st.keys } :: acc
       else acc)
     t.orders []
@@ -695,8 +716,8 @@ let prepared_set t =
 
 let rec arm_vc_timer t =
   let h =
-    t.ctx.Context.set_timer ~delay:t.config.view_change_timeout (fun () ->
-        vc_tick t)
+    t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:t.config.view_change_timeout
+      (fun () -> vc_tick t)
   in
   t.vc_timer <- Some h
 

@@ -25,6 +25,12 @@ type config = {
       (** Checkpoint every this-many delivered sequence numbers; 0 (default)
           disables checkpointing and state transfer.  A checkpoint is stable
           once 2f+1 replicas sign the same state digest (PBFT §4.3). *)
+  unsafe_digest_blind_votes : bool;
+      (** Test-only mutant: count prepare/commit votes without matching them
+          against the slot's pre-prepared digest, reintroducing the vote-
+          pooling safety bug the durable-storage PR fixed.  Exists so the
+          model checker's counterexample tests have a real, historically
+          observed violation to rediscover; never enable it otherwise. *)
 }
 
 val make_config :
@@ -33,6 +39,7 @@ val make_config :
   ?digest:Sof_crypto.Digest_alg.t ->
   ?view_change_timeout:Sof_sim.Simtime.t ->
   ?checkpoint_interval:int ->
+  ?unsafe_digest_blind_votes:bool ->
   f:int ->
   unit ->
   config

@@ -1,5 +1,9 @@
 type timer = { cancel : unit -> unit }
 
+type timer_kind = Tick | Watchdog
+
+let timer_kind_name = function Tick -> "tick" | Watchdog -> "watchdog"
+
 type phase =
   | Batch_phase
   | Endorse_phase
@@ -61,7 +65,7 @@ type t = {
   digest_charge : int -> unit;
   send : dst:int -> Message.envelope -> unit;
   multicast : dsts:int list -> Message.envelope -> unit;
-  set_timer : delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
+  set_timer : ?kind:timer_kind -> delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
   deliver : seq:int -> Batch.t -> unit;
   emit : event -> unit;
   snapshot : unit -> string;

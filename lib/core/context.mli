@@ -7,6 +7,23 @@
 
 type timer = { cancel : unit -> unit }
 
+(** What a timer encodes, from the model checker's point of view.
+
+    [Tick] timers are progress drivers: batching intervals, fault-injection
+    delays, fetch retries.  The protocol cannot move without them, so the
+    checker must schedule them freely.  [Watchdog] timers encode a synchrony
+    assumption — "if X has not happened after [delay], suspect a fault"
+    (endorsement watchdogs, heartbeat silence, view-change and suspicion
+    timeouts).  Firing a watchdog while the watched message is still in
+    flight simulates a timing failure; whether that is in scope depends on
+    the protocol's fault model (the paper's SC/SCR assume pair-link
+    synchrony, BFT/CT do not), so the checker gates watchdog scheduling per
+    protocol.  The harness and runtime ignore the kind: under wall-clock or
+    simulated time both kinds just fire at [delay]. *)
+type timer_kind = Tick | Watchdog
+
+val timer_kind_name : timer_kind -> string
+
 (** Protocol phases instrumented with [Span_open]/[Span_close] pairs.  A span
     is local to one process; reducers recover a global phase interval as
     [earliest open .. latest close] over all processes for one sequence
@@ -92,7 +109,9 @@ type t = {
   send : dst:int -> Message.envelope -> unit;
   multicast : dsts:int list -> Message.envelope -> unit;
       (** One underlying send per destination; the envelope is signed once. *)
-  set_timer : delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
+  set_timer : ?kind:timer_kind -> delay:Sof_sim.Simtime.t -> (unit -> unit) -> timer;
+      (** Arm a one-shot timer.  [kind] defaults to [Tick]; implementations
+          that do not distinguish kinds may ignore it. *)
   deliver : seq:int -> Batch.t -> unit;
       (** Committed batch, called in strict sequence order. *)
   emit : event -> unit;  (** Observation hook for tests and experiments. *)

@@ -531,8 +531,15 @@ let fetch_target t =
         acc off.Recovery.st_entries)
     0 (Recovery.offers t.rcv)
 
+(* End the fetch only after offers from f+1 distinct responders (so at
+   least one is honest) all fall at or below what we have delivered: a
+   single early "nothing above your watermark" reply must not terminate
+   the fetch before a helpful offer arrives. *)
 let maybe_end_fetch t =
-  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  if
+    Recovery.fetching t.rcv
+    && List.length (Recovery.offers t.rcv) > t.config.f
+    && t.delivered >= fetch_target t
   then begin
     span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
     Recovery.end_fetch t.rcv;
@@ -659,7 +666,8 @@ and batch_tick t =
 
 let rec arm_suspect_timer t =
   let h =
-    t.ctx.Context.set_timer ~delay:t.config.suspect_timeout (fun () -> suspect_tick t)
+    t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:t.config.suspect_timeout
+      (fun () -> suspect_tick t)
   in
   t.suspect_timer <- Some h
 

@@ -14,6 +14,10 @@ type body =
       committed_digest : string;
       proof_c : int;
       proof : (int * string) list;
+      stable : Checkpoint.cert option;
+          (* the sender's stable checkpoint certificate: durable proof of
+             commitment through its sequence number, for a replica whose
+             volatile ack proof did not survive a crash-restart *)
       uncommitted : order_info list;
     }
   | Start of { c : int; start_o : int; anchor : int; new_back_log : order_info list }
@@ -94,7 +98,9 @@ let encode_body body =
   | Fail_signal { pair } ->
     Codec.Writer.u8 w 2;
     Codec.Writer.varint w pair
-  | Back_log { c; failed_pair; max_committed; committed_digest; proof_c; proof; uncommitted } ->
+  | Back_log
+      { c; failed_pair; max_committed; committed_digest; proof_c; proof; stable; uncommitted }
+    ->
     Codec.Writer.u8 w 3;
     Codec.Writer.varint w c;
     Codec.Writer.varint w failed_pair;
@@ -102,6 +108,7 @@ let encode_body body =
     Codec.Writer.string w committed_digest;
     Codec.Writer.varint w proof_c;
     Codec.Writer.list w write_tuple proof;
+    Codec.Writer.option w Checkpoint.write_cert stable;
     Codec.Writer.list w write_order_info uncommitted
   | Start { c; start_o; anchor; new_back_log } ->
     Codec.Writer.u8 w 4;
@@ -192,8 +199,10 @@ let decode_body s =
       let committed_digest = Codec.Reader.string r in
       let proof_c = Codec.Reader.varint r in
       let proof = Codec.Reader.list r read_tuple in
+      let stable = Codec.Reader.option r Checkpoint.read_cert in
       let uncommitted = Codec.Reader.list r read_order_info in
-      Back_log { c; failed_pair; max_committed; committed_digest; proof_c; proof; uncommitted }
+      Back_log
+        { c; failed_pair; max_committed; committed_digest; proof_c; proof; stable; uncommitted }
     | 4 ->
       let c = Codec.Reader.varint r in
       let start_o = Codec.Reader.varint r in

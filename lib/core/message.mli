@@ -34,12 +34,24 @@ type body =
       proof_c : int;  (** Coordinator rank under which it committed. *)
       proof : (int * string) list;
           (** (signer, ack signature) set proving the commitment. *)
-      uncommitted : order_info list;  (** Acked but uncommitted orders. *)
+      stable : Checkpoint.cert option;
+          (** The sender's stable checkpoint certificate: durable proof of
+              commitment through its sequence number for a crash-restarted
+              replica whose volatile ack proof is gone.  Without it, a
+              recovered replica's claim validates to nothing, the anchor can
+              regress below sequences the cluster committed, and the install
+              re-fills them as nulls — divergence. *)
+      uncommitted : order_info list;
+          (** Orders known above the sender's provable watermark — acked but
+              uncommitted ones, plus committed ones whose proof was lost to a
+              crash (so a rememberer re-offers them to the install). *)
     }
   | Start of {
       c : int;
       start_o : int;
-      anchor : int;  (** max({max_committed}) over the collected backlogs. *)
+      anchor : int;
+          (** max over the collected backlogs of the validated committed
+              watermark (ack-proven, or checkpoint-certificate-proven). *)
       new_back_log : order_info list;
     }
   | Start_ack of { c : int; start_digest : string }  (** Step IN3. *)

@@ -35,6 +35,7 @@ type backlog_rec = {
   bl_committed_digest : string;
   bl_proof_c : int;
   bl_proof : (int * string) list;
+  bl_stable : Checkpoint.cert option;
   bl_uncommitted : Message.order_info list;
 }
 
@@ -819,8 +820,16 @@ let fetch_target t =
         acc off.Recovery.st_entries)
     0 (Recovery.offers t.rcv)
 
+(* The fetch ends once we have caught up to everything offered — but only
+   after offers from f+1 distinct responders, so at least one is honest.
+   A single early "nothing above your watermark" reply (a peer that is
+   itself recovering, or one whose stable checkpoint the requester already
+   holds) must not terminate the fetch before a helpful offer arrives. *)
 let maybe_end_fetch t =
-  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  if
+    Recovery.fetching t.rcv
+    && List.length (Recovery.offers t.rcv) > t.config.Config.f
+    && t.delivered >= fetch_target t
   then begin
     span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
     Recovery.end_fetch t.rcv;
@@ -954,11 +963,23 @@ and begin_install t =
   let stash = List.rev t.stash_future in
   t.stash_future <- [];
   let replay () = List.iter (fun (src, env) -> on_message t ~src env) stash in
-  (* IN1: multicast BackLog. *)
+  (* IN1: multicast BackLog.  The watermark this process can PROVE to the
+     new coordinator: its ack proof when it survived, else its stable
+     checkpoint certificate (the durable proof a crash-restarted replica
+     still holds).  Orders known above that provable point are listed even
+     if locally committed — a replica that remembers a commit whose proof
+     died with a crash must re-offer it, or the install would null-fill
+     the sequence and diverge from the delivered history. *)
+  let stable = Option.map fst (Recovery.latest_stable t.rcv) in
+  let provable =
+    if t.committed_proof <> [] then t.max_committed
+    else
+      match stable with Some c -> c.Checkpoint.cp_seq | None -> 0
+  in
   let uncommitted =
     Hashtbl.fold
       (fun o st acc ->
-        if st.have_order && (not st.committed) && o > t.max_committed then
+        if st.have_order && o > provable then
           { Message.o; digest = st.digest; keys = st.keys } :: acc
         else acc)
       t.orders []
@@ -973,6 +994,7 @@ and begin_install t =
         committed_digest = t.committed_digest;
         proof_c = t.committed_proof_c;
         proof = t.committed_proof;
+        stable;
         uncommitted;
       }
   in
@@ -985,6 +1007,7 @@ and begin_install t =
       bl_committed_digest = t.committed_digest;
       bl_proof_c = t.committed_proof_c;
       bl_proof = t.committed_proof;
+      bl_stable = stable;
       bl_uncommitted = uncommitted;
     };
   replay ()
@@ -1291,6 +1314,11 @@ and finish_install t (start_env : Message.envelope) ~c ~start_o ~anchor ~new_bac
     span_close t Context.Failover_phase r
   | None -> ());
   t.ctx.Context.emit (Context.Coordinator_installed { rank = t.coord });
+  (* An anchor beyond our delivery point proves the cluster committed
+     sequences we will never see retransmitted (the rememberers may have
+     truncated them behind a stable checkpoint): catch up through state
+     transfer rather than stalling delivery for the whole new era. *)
+  if t.delivered < anchor then request_recovery t;
   (* Ack the Start through the normal part. *)
   send_ack t st;
   try_commit t st;
@@ -1372,7 +1400,8 @@ and issue_batch t pool =
       open_endorse_span t (get_order t o);
       send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
       let watch =
-        t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+        t.ctx.Context.set_timer ~kind:Context.Watchdog
+          ~delay:t.config.Config.pair_delay_estimate (fun () ->
             endorsement_overdue t o)
       in
       t.endorsement_watches <- (o, watch) :: t.endorsement_watches
@@ -1474,8 +1503,8 @@ and retry_stashed_later t =
      order is a timeout, not proof of misbehaviour — a slow wire is
      indistinguishable from an inventing primary. *)
   ignore
-    (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
-         retry_stashed t))
+    (t.ctx.Context.set_timer ~kind:Context.Watchdog
+       ~delay:t.config.Config.pair_delay_estimate (fun () -> retry_stashed t))
 
 and retry_stashed t =
   let stashed = t.stashed_endorsements in
@@ -1529,7 +1558,10 @@ and rearm_shadow_watch t =
         if Simtime.compare deadline now <= 0 then Simtime.ns 1
         else Simtime.diff deadline now
       in
-      let h = t.ctx.Context.set_timer ~delay (fun () -> shadow_watch_fired t) in
+      let h =
+        t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay (fun () ->
+            shadow_watch_fired t)
+      in
       t.watch_timer <- Some h
   end
 
@@ -1557,8 +1589,8 @@ and arm_heartbeat t =
   match (t.pair_rank, t.counterpart) with
   | Some rank, Some cp when t.pair_active ->
     let h =
-      t.ctx.Context.set_timer ~delay:t.config.Config.heartbeat_interval (fun () ->
-          heartbeat_tick t rank cp)
+      t.ctx.Context.set_timer ~kind:Context.Watchdog
+        ~delay:t.config.Config.heartbeat_interval (fun () -> heartbeat_tick t rank cp)
     in
     t.heartbeat_timer <- Some h
   | _ -> ()
@@ -1653,7 +1685,7 @@ and on_message t ~src (env : Message.envelope) =
       if st.have_order && String.equal st.digest digest then try_commit t st
     end
   | Message.Back_log
-      { c; failed_pair; max_committed; committed_digest; proof_c; proof; uncommitted }
+      { c; failed_pair; max_committed; committed_digest; proof_c; proof; stable; uncommitted }
     ->
     if authentic t env then begin
       if Int.equal c t.coord && t.installing then begin
@@ -1664,6 +1696,7 @@ and on_message t ~src (env : Message.envelope) =
             bl_committed_digest = committed_digest;
             bl_proof_c = proof_c;
             bl_proof = proof;
+            bl_stable = stable;
             bl_uncommitted = uncommitted;
           }
         in
@@ -1746,8 +1779,13 @@ and fail_signal_authentic t ~pair (env : Message.envelope) =
   && authentic t env
 
 (* New-coordinator-side sanity check of a backlog's commitment proof: at
-   least f+1 matching ack signatures, otherwise treat it as committing
-   nothing.  Only pair-c members pay these verifications. *)
+   least f+1 matching ack signatures — or, falling back, the sender's
+   stable checkpoint certificate, which proves commitment through its
+   sequence number even when the volatile ack proof died with a crash.
+   An unprovable remainder is clamped off the claim; without the durable
+   fallback a blackout restart would clamp every recovered claim to zero
+   and let the anchor regress below delivered history.  Only pair-c
+   members pay these verifications. *)
 and validate_backlog t rec_ =
   let am_new_member =
     List.mem (id t) (Config.candidate_members t.config t.coord)
@@ -1771,13 +1809,24 @@ and validate_backlog t rec_ =
       |> List.map fst |> List.sort_uniq Int.compare
     in
     if List.length valid >= t.config.Config.f + 1 then rec_
-    else
+    else begin
+      let cert_seq =
+        match rec_.bl_stable with
+        | Some c
+          when Recovery.verify_cert
+                 ~verify:(fun ~signer ~msg ~signature ->
+                   t.ctx.Context.verify ~signer ~msg ~signature)
+                 ~scheme:(ckpt_scheme t) c ->
+          c.Checkpoint.cp_seq
+        | Some _ | None -> 0
+      in
       {
         rec_ with
-        bl_max_committed = 0;
+        bl_max_committed = min rec_.bl_max_committed cert_seq;
         bl_committed_digest = "";
         bl_proof = [];
       }
+    end
   end
 
 (* ------------------------------------------------------------- requests *)

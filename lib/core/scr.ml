@@ -753,8 +753,15 @@ let fetch_target t =
         acc off.Recovery.st_entries)
     0 (Recovery.offers t.rcv)
 
+(* End the fetch only after offers from f+1 distinct responders (so at
+   least one is honest) all fall at or below what we have delivered: a
+   single early "nothing above your watermark" reply must not terminate
+   the fetch before a helpful offer arrives. *)
 let maybe_end_fetch t =
-  if Recovery.fetching t.rcv && Recovery.offers t.rcv <> [] && t.delivered >= fetch_target t
+  if
+    Recovery.fetching t.rcv
+    && List.length (Recovery.offers t.rcv) > t.config.Config.f
+    && t.delivered >= fetch_target t
   then begin
     span_close t Context.Recovery_phase (Recovery.fetch_anchor t.rcv);
     Recovery.end_fetch t.rcv;
@@ -999,7 +1006,8 @@ and arm_nv_watch t v =
     match Hashtbl.find_opt t.view_changes v with
     | Some cell when List.length !cell >= quorum t ->
       let h =
-        t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
+        t.ctx.Context.set_timer ~kind:Context.Watchdog
+          ~delay:t.config.Config.pair_delay_estimate (fun () ->
             t.nv_watch <- None;
             if t.changing_view && Int.equal v t.target_view && t.status = Up then begin
               emit_fail_signal t ~value_domain:false;
@@ -1196,8 +1204,8 @@ and issue_batch t pool =
     open_endorse_span t (get_order t o);
     send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
     let watch =
-      t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate (fun () ->
-          endorsement_overdue t o)
+      t.ctx.Context.set_timer ~kind:Context.Watchdog
+        ~delay:t.config.Config.pair_delay_estimate (fun () -> endorsement_overdue t o)
     in
     t.endorsement_watches <- (o, watch) :: t.endorsement_watches
 
@@ -1254,8 +1262,8 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
       open_endorse_span t st;
       t.stashed_endorsements <- (t.ctx.Context.now (), env, info) :: t.stashed_endorsements;
       ignore
-        (t.ctx.Context.set_timer ~delay:t.config.Config.pair_delay_estimate
-           (fun () -> retry_stashed t))
+        (t.ctx.Context.set_timer ~kind:Context.Watchdog
+           ~delay:t.config.Config.pair_delay_estimate (fun () -> retry_stashed t))
     | `Invalid -> begin
       match t.fault with
       | Fault.Endorse_corrupt_at at when Int.equal at info.Message.o -> shadow_endorse t env ~info
@@ -1328,7 +1336,10 @@ and rearm_shadow_watch t =
         if Simtime.compare deadline now <= 0 then Simtime.ns 1
         else Simtime.diff deadline now
       in
-      t.watch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> shadow_watch_fired t))
+      t.watch_timer <-
+        Some
+          (t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay (fun () ->
+               shadow_watch_fired t))
   end
 
 and shadow_watch_fired t =
@@ -1355,8 +1366,8 @@ and arm_heartbeat t =
   match (t.pair_rank, t.counterpart) with
   | Some rank, Some cp ->
     let h =
-      t.ctx.Context.set_timer ~delay:t.config.Config.heartbeat_interval (fun () ->
-          heartbeat_tick t rank cp)
+      t.ctx.Context.set_timer ~kind:Context.Watchdog
+        ~delay:t.config.Config.heartbeat_interval (fun () -> heartbeat_tick t rank cp)
     in
     t.heartbeat_timer <- Some h
   | _ -> ()

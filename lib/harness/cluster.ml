@@ -470,7 +470,7 @@ let make_context t i =
      value still holds re-arming timers (heartbeats, batch ticks) whose
      callbacks would otherwise keep sending from this endpoint. *)
   let gen = node.node_gen in
-  let set_timer ~delay k =
+  let set_timer ?kind:_ ~delay k =
     let h =
       Engine.schedule t.engine ~delay (fun () ->
           if Int.equal node.node_gen gen then k ())

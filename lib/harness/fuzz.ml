@@ -51,6 +51,18 @@ let random_body rng =
         committed_digest = random_string rng 16;
         proof_c = Rng.int rng 8;
         proof = random_sigs rng;
+        stable =
+          (if Rng.bool rng then
+             Some
+               {
+                 Checkpoint.cp_seq = Rng.int rng 1_000;
+                 cp_digest = random_string rng 16;
+                 cp_proof = random_sigs rng;
+                 cp_endorsement =
+                   (if Rng.bool rng then Some (Rng.int rng 8, random_string rng 16)
+                    else None);
+               }
+           else None);
         uncommitted = random_infos rng;
       }
   | 4 ->

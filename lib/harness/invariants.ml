@@ -8,6 +8,8 @@ type result = {
   detail : string;
 }
 
+type events = (Simtime.t * int * P.Context.event) list
+
 let ok name = { name; pass = true; detail = "ok" }
 let fail name detail = { name; pass = false; detail }
 
@@ -26,7 +28,7 @@ let all_pass = List.for_all (fun r -> r.pass)
    its segment (bumped at Node_restarted {e and} State_transfer_installed:
    an install jumps the delivery point above a checkpoint anchor, so a
    contiguity check must restart there). *)
-let deliveries cluster ~honest =
+let deliveries_of ~events ~honest =
   let inc : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let seg : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let bump tbl who =
@@ -46,13 +48,16 @@ let deliveries cluster ~honest =
       | P.Context.Delivered { seq; batch } when List.mem who honest ->
         Some (at, (who, current inc who, current seg who), seq, batch)
       | _ -> None)
-    (Cluster.events cluster)
+    events
+
+let deliveries cluster ~honest =
+  deliveries_of ~events:(Cluster.events cluster) ~honest
 
 let batch_keys batch = P.Batch.keys batch
 
 (* ----------------------------------------------------------- agreement *)
 
-let agreement cluster ~honest =
+let agreement_of ~events ~honest =
   let name = "agreement" in
   (* seq -> (process, keys) first seen; any later divergence is a violation. *)
   let by_seq : (int, int * Request.key list) Hashtbl.t = Hashtbl.create 256 in
@@ -70,8 +75,42 @@ let agreement cluster ~honest =
                 (Printf.sprintf
                    "processes %d and %d delivered different batches at seq %d"
                    other who seq))
-    (deliveries cluster ~honest);
+    (deliveries_of ~events ~honest);
   match !violation with None -> ok name | Some d -> fail name d
+
+let agreement cluster ~honest = agreement_of ~events:(Cluster.events cluster) ~honest
+
+(* ------------------------------------------------------ commit coherence *)
+
+(* Stronger than delivered-batch agreement when the adversary can equivocate
+   without changing the request set: two pre-prepares for the same slot that
+   differ only in digest carry identical keys, so only the committed digests
+   betray the split.  No two honest processes may commit different digests
+   at the same sequence number. *)
+let commit_coherence_of ~events ~honest =
+  let name = "commit-coherence" in
+  let by_seq : (int, int * string) Hashtbl.t = Hashtbl.create 64 in
+  let violation = ref None in
+  List.iter
+    (fun (_, who, ev) ->
+      if !violation = None then
+        match ev with
+        | P.Context.Committed { seq; digest; _ } when List.mem who honest -> (
+          match Hashtbl.find_opt by_seq seq with
+          | None -> Hashtbl.replace by_seq seq (who, digest)
+          | Some (other, digest') ->
+            if not (String.equal digest digest') then
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "processes %d and %d committed different digests at seq %d"
+                     other who seq))
+        | _ -> ())
+    events;
+  match !violation with None -> ok name | Some d -> fail name d
+
+let commit_coherence cluster ~honest =
+  commit_coherence_of ~events:(Cluster.events cluster) ~honest
 
 (* -------------------------------------------------- prefix consistency *)
 
@@ -82,7 +121,7 @@ let agreement cluster ~honest =
    two segments, overlapping sequence numbers must carry the same keys.
    Contiguity plus pointwise equality over the overlap is exactly the
    prefix property anchored at the later stream's first sequence number. *)
-let prefix_consistency cluster ~honest =
+let prefix_consistency_of ~events ~honest =
   let name = "prefix-consistency" in
   let streams : (int * int * int, (int * Request.key list) list ref) Hashtbl.t =
     Hashtbl.create 8
@@ -98,7 +137,7 @@ let prefix_consistency cluster ~honest =
           c
       in
       cell := (seq, batch_keys batch) :: !cell)
-    (deliveries cluster ~honest);
+    (deliveries_of ~events ~honest);
   let streams =
     Hashtbl.fold (fun pid cell acc -> (pid, List.rev !cell) :: acc) streams []
   in
@@ -140,6 +179,9 @@ let prefix_consistency cluster ~honest =
   | Some d, _ | None, Some d -> fail name d
   | None, None -> ok name
 
+let prefix_consistency cluster ~honest =
+  prefix_consistency_of ~events:(Cluster.events cluster) ~honest
+
 (* ------------------------------------------------------------ validity *)
 
 (* At-most-once is demanded per incarnation: a restarted process lost its
@@ -147,7 +189,7 @@ let prefix_consistency cluster ~honest =
    it (the service-level dedup for re-batched pre-checkpoint requests is a
    client concern — see DESIGN.md), so its new life may re-deliver requests
    the old life already handled. *)
-let validity cluster ~honest ~injected =
+let validity_of ~events ~honest ~injected =
   let name = "validity" in
   let seen : (int * int * Request.key, unit) Hashtbl.t = Hashtbl.create 1024 in
   let violation = ref None in
@@ -168,8 +210,11 @@ let validity cluster ~honest ~injected =
                      Request.pp_key key)
             else Hashtbl.replace seen (who, inc, key) ())
           (batch_keys batch))
-    (deliveries cluster ~honest);
+    (deliveries_of ~events ~honest);
   match !violation with None -> ok name | Some d -> fail name d
+
+let validity cluster ~honest ~injected =
+  validity_of ~events:(Cluster.events cluster) ~honest ~injected
 
 (* --------------------------------------------- fail-signal accountability *)
 
@@ -194,6 +239,59 @@ let pair_rank_of ~kind ~f p =
   else if p > 2 * f && p <= (2 * f) + pairs then Some (p - (2 * f))
   else None
 
+(* Soundness half of fail-signal accountability, over a bare event list: an
+   honest member's fail-signal must be attributable — a Byzantine or crashed
+   counterpart, or the counterpart's own signal (the join rule). *)
+let fs_soundness_violation ~events ~kind ~f ~byz ~crashed =
+  let emitted_by who pair =
+    List.exists
+      (fun (_, w, ev) ->
+        w = who
+        && match ev with
+           | P.Context.Fail_signal_emitted { pair = p; _ } -> p = pair
+           | _ -> false)
+      events
+  in
+  List.find_map
+    (fun (_, who, ev) ->
+      match ev with
+      | P.Context.Fail_signal_emitted { pair; value_domain }
+        when not (List.mem who byz) -> begin
+        match (pair_rank_of ~kind ~f who, counterpart_of ~kind ~f who) with
+        | Some own, Some cp when own = pair ->
+          if List.mem cp byz then None
+          else if value_domain then
+            (* Value-domain evidence is cryptographic: only a Byzantine
+               counterpart can produce it. *)
+            Some
+              (Printf.sprintf
+                 "process %d raised a value-domain fail-signal against \
+                  honest counterpart %d (pair %d)"
+                 who cp pair)
+          else if List.mem cp crashed || emitted_by cp pair then None
+          else
+            Some
+              (Printf.sprintf
+                 "process %d fail-signalled pair %d, but counterpart %d \
+                  neither misbehaved, crashed, nor signalled"
+                 who pair cp)
+        | _ ->
+          Some
+            (Printf.sprintf
+               "process %d emitted a fail-signal for pair %d, which is not \
+                its own pair" who pair)
+      end
+      | _ -> None)
+    events
+
+let fail_signal_soundness_of ~events ~kind ~f ~byz ~crashed =
+  let name = "fs-soundness" in
+  if pair_count_of ~kind ~f = 0 then ok name
+  else
+    match fs_soundness_violation ~events ~kind ~f ~byz ~crashed with
+    | None -> ok name
+    | Some d -> fail name d
+
 let byz_of_spec spec =
   List.filter_map
     (fun (i, fault) -> if fault = P.Fault.Honest then None else Some i)
@@ -207,15 +305,6 @@ let fail_signal_accountability cluster ~crashed ~by =
   else begin
     let events = Cluster.events cluster in
     let byz = byz_of_spec spec in
-    let emitted_by who pair =
-      List.exists
-        (fun (_, w, ev) ->
-          w = who
-          && match ev with
-             | P.Context.Fail_signal_emitted { pair = p; _ } -> p = pair
-             | _ -> false)
-        events
-    in
     let observed_by_honest pair =
       List.exists
         (fun (_, w, ev) ->
@@ -225,43 +314,10 @@ let fail_signal_accountability cluster ~crashed ~by =
              | _ -> false)
         events
     in
-    (* Soundness: an honest member's fail-signal must be attributable — a
-       Byzantine or crashed counterpart, or the counterpart's own signal
-       (the join rule; mutual time-domain accusations under surge fall here
-       too, as assumption 3(a)'s estimates are deliberately broken then). *)
-    let soundness =
-      List.find_map
-        (fun (_, who, ev) ->
-          match ev with
-          | P.Context.Fail_signal_emitted { pair; value_domain }
-            when not (List.mem who byz) -> begin
-            match (pair_rank_of ~kind ~f who, counterpart_of ~kind ~f who) with
-            | Some own, Some cp when own = pair ->
-              if List.mem cp byz then None
-              else if value_domain then
-                (* Value-domain evidence is cryptographic: only a Byzantine
-                   counterpart can produce it. *)
-                Some
-                  (Printf.sprintf
-                     "process %d raised a value-domain fail-signal against \
-                      honest counterpart %d (pair %d)"
-                     who cp pair)
-              else if List.mem cp crashed || emitted_by cp pair then None
-              else
-                Some
-                  (Printf.sprintf
-                     "process %d fail-signalled pair %d, but counterpart %d \
-                      neither misbehaved, crashed, nor signalled"
-                     who pair cp)
-            | _ ->
-              Some
-                (Printf.sprintf
-                   "process %d emitted a fail-signal for pair %d, which is \
-                    not its own pair" who pair)
-          end
-          | _ -> None)
-        events
-    in
+    (* Soundness (mutual time-domain accusations under surge are accepted by
+       the join rule, as assumption 3(a)'s estimates are deliberately broken
+       then), shared with the model checker's incremental check. *)
+    let soundness = fs_soundness_violation ~events ~kind ~f ~byz ~crashed in
     (* Detection: a fault that demonstrably fired against an honest
        counterpart must end in the pair being signalled.  Muteness is
        always detectable (heartbeats); a corrupt or equivocated order is
@@ -403,7 +459,7 @@ let liveness_after_heal cluster ~honest ~heal_time =
 
 (* --------------------------------------------------- checkpoint agreement *)
 
-let checkpoint_agreement cluster ~honest =
+let checkpoint_agreement_of ~events ~honest =
   let name = "checkpoint-agreement" in
   let by_seq : (int, int * string) Hashtbl.t = Hashtbl.create 16 in
   let violation = ref None in
@@ -423,8 +479,11 @@ let checkpoint_agreement cluster ~honest =
                      "processes %d and %d stabilised conflicting checkpoint \
                       certificates at seq %d" other who seq))
         | _ -> ())
-    (Cluster.events cluster);
+    events;
   match !violation with None -> ok name | Some d -> fail name d
+
+let checkpoint_agreement cluster ~honest =
+  checkpoint_agreement_of ~events:(Cluster.events cluster) ~honest
 
 (* ------------------------------------------------------------ bounded log *)
 

@@ -53,12 +53,54 @@ type result = {
   detail : string;  (** Human-readable; names the first violation found. *)
 }
 
+(** {2 Event-list cores}
+
+    The safety checks are also exposed over a bare event log — the triple
+    list a {!Cluster} accumulates, [(time, process, event)] in emission
+    order — so the model checker ([lib/check]) can run the {e same}
+    predicates against worlds it drives itself, without a [Cluster.t]. *)
+
+type events = (Sof_sim.Simtime.t * int * Sof_protocol.Context.event) list
+
+val agreement_of : events:events -> honest:int list -> result
+
+val prefix_consistency_of : events:events -> honest:int list -> result
+
+val validity_of :
+  events:events -> honest:int list -> injected:Sof_smr.Request.Key_set.t -> result
+
+val commit_coherence_of : events:events -> honest:int list -> result
+(** No two honest processes commit different digests at the same sequence
+    number.  Strictly stronger than delivered-batch agreement when an
+    equivocation changes only the batch digest and not the request keys —
+    the case the PR 7 digest-blind vote-pooling bug exploited. *)
+
+val checkpoint_agreement_of : events:events -> honest:int list -> result
+
+val fail_signal_soundness_of :
+  events:events ->
+  kind:Cluster.kind ->
+  f:int ->
+  byz:int list ->
+  crashed:int list ->
+  result
+(** The soundness half of {!fail_signal_accountability}: every honest
+    fail-signal is attributable (Byzantine or crashed counterpart, or the
+    counterpart's own signal).  Detection — faults must eventually be
+    signalled — is a liveness obligation that only makes sense at the end
+    of a timed campaign, so the event-list core omits it.  Trivially passes
+    for protocols without pairs. *)
+
+(** {2 Cluster checks} *)
+
 val agreement : Cluster.t -> honest:int list -> result
 
 val prefix_consistency : Cluster.t -> honest:int list -> result
 
 val validity :
   Cluster.t -> honest:int list -> injected:Sof_smr.Request.Key_set.t -> result
+
+val commit_coherence : Cluster.t -> honest:int list -> result
 
 val liveness_after_heal :
   Cluster.t -> honest:int list -> heal_time:Sof_sim.Simtime.t -> result

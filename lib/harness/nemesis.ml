@@ -301,9 +301,11 @@ let run ?plan ?(byz = false) ?(restart = false) ?(durable = false)
     match plan with
     | Some p -> p
     | None ->
-      (* Split so the campaign stream is distinct from the engine's root. *)
+      (* A labelled substream keeps the campaign stream distinct from the
+         engine's root without consuming from it: the plan drawn for a seed
+         no longer shifts when the engine's own draw order changes. *)
       random_plan ~byz ~restart ~disk:durable
-        ~rng:(Rng.split (Rng.create seed))
+        ~rng:(Rng.substream (Rng.create seed) "nemesis-plan")
         ~kind ~f ~duration ()
   in
   let spec =

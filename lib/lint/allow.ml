@@ -99,3 +99,10 @@ let entry_matches e (d : Diagnostic.t) =
   && match e.context with None -> true | Some c -> contains d.context c
 
 let suppresses t d = List.exists (fun e -> entry_matches e d) t
+
+let path_applies e ~file = has_suffix ~suffix:e.path file
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%s %s%s -- %s" e.rule e.path
+    (match e.context with None -> "" | Some c -> Printf.sprintf " %S" c)
+    e.reason

@@ -22,3 +22,13 @@ val load : string -> (t, string) result
     malformed entry. *)
 
 val suppresses : t -> Diagnostic.t -> bool
+
+val entry_matches : entry -> Diagnostic.t -> bool
+(** Does this one entry cover the diagnostic?  Exposed so the engine can
+    tell which entries earned their keep and report the stale remainder. *)
+
+val path_applies : entry -> file:string -> bool
+(** Does the entry's path suffix match [file]?  Used to restrict staleness
+    to entries whose file was actually scanned. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,6 +1,6 @@
-type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6
+type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_id = function
   | R0 -> "R0"
@@ -10,6 +10,8 @@ let rule_id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_of_id s =
   match String.uppercase_ascii s with
@@ -20,6 +22,8 @@ let rule_of_id s =
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
   | _ -> None
 
 let rule_doc = function
@@ -30,6 +34,8 @@ let rule_doc = function
   | R4 -> "failwith/invalid_arg/assert-false in protocol code in lib/core"
   | R5 -> "direct printing outside the report sink in lib/"
   | R6 -> "lib module without an interface file"
+  | R7 -> "ambient nondeterminism (Random/Unix.time/Sys.time) in lib/core or lib/net"
+  | R8 -> "mutable module-level state in lib/core"
 
 type t = {
   rule : rule;

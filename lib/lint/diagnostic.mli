@@ -1,9 +1,9 @@
 (** Lint findings: rule identifiers and positioned diagnostics. *)
 
-type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6
+type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 val all_rules : rule list
-(** The selectable rules (R1–R6; R0, the parse-error rule, is always on). *)
+(** The selectable rules (R1–R8; R0, the parse-error rule, is always on). *)
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option

@@ -7,6 +7,7 @@ type outcome = {
   diags : Diagnostic.t list;  (* kept, position-sorted *)
   suppressed : int;  (* allowlisted findings of enabled rules *)
   files : int;  (* .ml files scanned *)
+  stale : Allow.entry list;  (* applicable allow entries that matched nothing *)
 }
 
 let skip_dir name =
@@ -79,19 +80,47 @@ let run ~rules ~allow ~paths =
   let enabled (d : Diagnostic.t) =
     d.rule = Diagnostic.R0 || List.mem d.rule rules
   in
+  let hit = Array.make (List.length allow) false in
+  let mark d =
+    List.iteri (fun i e -> if Allow.entry_matches e d then hit.(i) <- true) allow
+  in
   let kept, suppressed =
     List.fold_left
       (fun (kept, suppressed) file ->
         List.fold_left
           (fun (kept, suppressed) d ->
             if not (enabled d) then (kept, suppressed)
-            else if Allow.suppresses allow d then (kept, suppressed + 1)
-            else (d :: kept, suppressed))
+            else begin
+              mark d;
+              if Allow.suppresses allow d then (kept, suppressed + 1)
+              else (d :: kept, suppressed)
+            end)
           (kept, suppressed) (lint_file file))
       ([], 0) files
+  in
+  (* A stale entry is one that could have matched — its rule is enabled (or
+     wildcarded) and its path suffix names a scanned file — yet covered no
+     diagnostic.  Entries whose rule or file was outside this run's scope
+     are left alone: `sof lint --rules R5 lib/core` must not condemn an R1
+     entry for lib/net. *)
+  let rule_enabled e =
+    e.Allow.rule = "*"
+    || (match Diagnostic.rule_of_id e.Allow.rule with
+       | Some Diagnostic.R0 -> true
+       | Some r -> List.mem r rules
+       | None -> false)
+  in
+  let stale =
+    List.filteri
+      (fun i e ->
+        (not hit.(i))
+        && rule_enabled e
+        && List.exists (fun f -> Allow.path_applies e ~file:(normalize f)) files)
+      allow
   in
   {
     diags = List.sort Diagnostic.compare_pos kept;
     suppressed;
     files = List.length files;
+    stale;
   }

@@ -4,6 +4,10 @@ type outcome = {
   diags : Diagnostic.t list;  (** kept diagnostics, position-sorted *)
   suppressed : int;  (** allowlisted findings of enabled rules *)
   files : int;  (** [.ml] files scanned *)
+  stale : Allow.entry list;
+      (** allow entries that matched no diagnostic although their rule was
+          enabled and their path named a scanned file — dead weight the
+          allowlist should shed ([sof lint --strict] fails on them) *)
 }
 
 val lint_file : string -> Diagnostic.t list

@@ -57,6 +57,28 @@ let partial_hint = function
   | "Hashtbl.find" -> "use Hashtbl.find_opt and handle the miss"
   | _ -> "use a total variant"
 
+(* Ambient nondeterminism for R7: every call answers differently run to run
+   (or machine to machine), so protocol code reaching for one has schedule-
+   or clock-dependent behaviour the model checker cannot enumerate.  All
+   randomness must come from [Rng], all time from [Context.now]. *)
+let ambient_clocks = [ "Unix.time"; "Unix.gettimeofday"; "Sys.time" ]
+
+let is_ambient_nondet name =
+  List.mem name ambient_clocks
+  || name = "Random"
+  || (String.length name > 7 && String.sub name 0 7 = "Random.")
+
+(* Mutable-state allocators for R8: a module-level binding whose right-hand
+   side is one of these (or an array literal) survives across protocol
+   instances, so two runs of the same schedule can diverge and the
+   checker's per-replica state hash misses it. *)
+let mutable_allocators =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
+    "Bytes.create"; "Bytes.make"; "Array.make"; "Array.create_float";
+    "Array.init"; "Atomic.make";
+  ]
+
 let printers =
   [
     "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
@@ -166,7 +188,13 @@ let lint_ast ~scope ~file ast =
       if List.mem name printers then
         add Diagnostic.R5 loc
           (Printf.sprintf "%s prints directly; route output through \
-                           Report/Metrics" name)
+                           Report/Metrics" name);
+    if (scope.core || scope.net) && is_ambient_nondet name then
+      add Diagnostic.R7 loc
+        (Printf.sprintf
+           "%s is ambient nondeterminism; route randomness through Rng and \
+            time through Context.now so schedules are the only source of \
+            choice" name)
   in
   let check_dispatch_cases cases =
     if List.exists (fun c -> pat_mentions_message_ctor c.pc_lhs) cases then
@@ -215,7 +243,36 @@ let lint_ast ~scope ~file ast =
     | _ -> ());
     Ast_iterator.default_iterator.expr iter e
   in
-  let iter = { Ast_iterator.default_iterator with expr } in
+  (* R8: a structure-level [let] whose right-hand side syntactically
+     allocates mutable state.  Bindings inside functions are per-call and
+     fine; this only fires on module-level items (including submodules),
+     which the iterator visits as structure items. *)
+  let rec mutable_alloc e =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) -> mutable_alloc e
+    | Pexp_array _ -> Some "array literal"
+    | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, _) ->
+      let name = stdlib_name lid.txt in
+      if List.mem name mutable_allocators then Some name else None
+    | _ -> None
+  in
+  let structure_item iter item =
+    (match item.pstr_desc with
+    | Pstr_value (_, bindings) when scope.core ->
+      List.iter
+        (fun vb ->
+          match mutable_alloc vb.pvb_expr with
+          | Some what ->
+            add Diagnostic.R8 vb.pvb_loc
+              (Printf.sprintf
+                 "module-level mutable state (%s); keep mutable state inside \
+                  the protocol's [t] so canonical state hashing sees it" what)
+          | None -> ())
+        bindings
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item iter item
+  in
+  let iter = { Ast_iterator.default_iterator with expr; structure_item } in
   iter.structure iter ast;
   !diags
 

@@ -1,4 +1,4 @@
-(** The protocol-hygiene rules (R1–R5 as one AST pass, R6 as a file check).
+(** The protocol-hygiene rules (R1–R5, R7, R8 as one AST pass, R6 as a file check).
 
     Rules apply per directory scope, derived from path segments so fixture
     trees under [test/lint_fixtures/<segment>/] exercise the same rules as
@@ -16,7 +16,7 @@ val scope_of_path : string -> scope
 
 val lint_ast :
   scope:scope -> file:string -> Parsetree.structure -> Diagnostic.t list
-(** Run R1–R5 over a parsed implementation.  Diagnostics come back in no
+(** Run R1–R5, R7 and R8 over a parsed implementation.  Diagnostics come back in no
     particular order, with empty [context] (the engine fills it in). *)
 
 val missing_mli : scope:scope -> file:string -> Diagnostic.t option

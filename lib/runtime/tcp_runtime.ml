@@ -240,7 +240,7 @@ let make_context t node =
           | None -> ())
       dsts
   in
-  let set_timer ~delay thunk =
+  let set_timer ?kind:_ ~delay thunk =
     let gen = node.gen in
     let entry =
       {

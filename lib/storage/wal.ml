@@ -42,6 +42,8 @@ type t = {
   mutable epoch : int;
   mutable mem : Buffer.t;  (* current epoch's valid log bytes *)
   mutable flushed : int;  (* prefix of [mem] already staged on disk *)
+  mutable dirty_lo : int;  (* region-relative sector range staged since *)
+  mutable dirty_hi : int;  (* the last verified sync; lo > hi when none *)
   mutable last_replay : replay;
   mutable appends : int;
   mutable syncs : int;
@@ -96,18 +98,28 @@ let flush t =
       if chunk > 0 then Bytes.blit_string content off sect 0 chunk;
       Disk.write t.disk ~sector:(base + s) (Bytes.to_string sect)
     done;
-    if Int.equal (len mod ss) 0 && len > 0 && last + 1 < t.region_sectors then
-      Disk.write t.disk ~sector:(base + last + 1) (Disk.zeros t.disk);
+    let hi =
+      if Int.equal (len mod ss) 0 && len > 0 && last + 1 < t.region_sectors
+      then begin
+        Disk.write t.disk ~sector:(base + last + 1) (Disk.zeros t.disk);
+        last + 1
+      end
+      else last
+    in
+    if first < t.dirty_lo then t.dirty_lo <- first;
+    if hi > t.dirty_hi then t.dirty_hi <- hi;
     t.flushed <- len
   end
 
-let write_superblock t epoch =
+let write_superblock_at t ~slot epoch =
   let ss = t.disk.Disk.sector_size in
   let b = Bytes.make ss '\000' in
   Bytes.blit_string magic 0 b 0 4;
   put_u32 b 4 epoch;
   put_u32 b 8 (crc (Bytes.sub_string b 0 8));
-  Disk.write t.disk ~sector:(epoch land 1) (Bytes.to_string b)
+  Disk.write t.disk ~sector:slot (Bytes.to_string b)
+
+let write_superblock t epoch = write_superblock_at t ~slot:(epoch land 1) epoch
 
 let read_superblock t slot =
   let s = Disk.read t.disk ~sector:slot in
@@ -180,6 +192,8 @@ let attach disk =
       epoch = 0;
       mem = Buffer.create 1024;
       flushed = 0;
+      dirty_lo = max_int;
+      dirty_hi = -1;
       last_replay = { rp_checkpoint = None; rp_entries = []; rp_damaged = false };
       appends = 0;
       syncs = 0;
@@ -211,24 +225,98 @@ let append t payload =
     flush t
   end
 
+(* Read-back verification.  The per-frame crc catches bytes that rot on
+   the platter, but not writes that never arrive: a lost or misdirected
+   write leaves the target sector holding its *previous* content, and
+   when that content is zeros (or a stale epoch's frames) replay sees a
+   clean end of log — silent truncation, indistinguishable from a crash
+   just before the append, so nothing escalates to peer repair.  Worse,
+   a lost superblock flip silently regresses the whole epoch.  So a sync
+   is not believed until the staged sectors read back byte-for-byte;
+   while [mem] still holds the truth, a mismatch is simply restaged.
+   Sectors with stable read corruption can never verify — after a few
+   attempts we leave them to the crc, which is the detectable-damage
+   path up the repair ladder. *)
+let heal_attempts = 3
+
+let clear_dirty t =
+  t.dirty_lo <- max_int;
+  t.dirty_hi <- -1
+
+let staged_sector t content len s =
+  let ss = t.disk.Disk.sector_size in
+  let off = s * ss in
+  let sect = Bytes.make ss '\000' in
+  let chunk = max 0 (min ss (len - off)) in
+  if chunk > 0 then Bytes.blit_string content off sect 0 chunk;
+  Bytes.to_string sect
+
+let each_dirty t f =
+  let base = region_base t in
+  let content = Buffer.contents t.mem in
+  let len = String.length content in
+  let ok = ref true in
+  for s = t.dirty_lo to t.dirty_hi do
+    if not (f ~sector:(base + s) (staged_sector t content len s)) then
+      ok := false
+  done;
+  !ok
+
+let rec sync_data t attempts =
+  Disk.sync t.disk;
+  if
+    t.dirty_hi < t.dirty_lo
+    || each_dirty t (fun ~sector expect ->
+           String.equal (Disk.read t.disk ~sector) expect)
+  then clear_dirty t
+  else if attempts > 0 then begin
+    ignore
+      (each_dirty t (fun ~sector expect ->
+           Disk.write t.disk ~sector expect;
+           true));
+    sync_data t (attempts - 1)
+  end
+  else clear_dirty t
+
+let rec sync_superblock_at t slot attempts =
+  match read_superblock t slot with
+  | Some e when Int.equal e t.epoch -> true
+  | _ when Int.equal attempts 0 -> false
+  | _ ->
+    write_superblock_at t ~slot t.epoch;
+    Disk.sync t.disk;
+    sync_superblock_at t slot (attempts - 1)
+
+(* Keep the canonical slot honest on every sync; if its sector has
+   stable read corruption, carry the epoch in the other slot instead
+   (attach takes the max of the valid slots, so recovery still lands on
+   the current epoch — the flip for epoch+1 will overwrite that slot
+   with a larger value, preserving the alternation invariant). *)
+let sync_superblock t =
+  if not (sync_superblock_at t (t.epoch land 1) heal_attempts) then
+    ignore (sync_superblock_at t (1 - (t.epoch land 1)) heal_attempts)
+
 let sync t =
   flush t;
-  Disk.sync t.disk;
+  sync_data t heal_attempts;
+  sync_superblock t;
   t.syncs <- t.syncs + 1
 
 (* Begin epoch+1 in the other region with [first] as its opening content;
-   data is durable before the superblock flips, so a crash in between
-   recovers the previous epoch intact. *)
+   data is durable (and read-back verified) before the superblock flips,
+   so a crash in between recovers the previous epoch intact. *)
 let turn_over t first =
   let e = t.epoch + 1 in
   t.epoch <- e;
   t.mem <- Buffer.create 1024;
   (match first with Some frame -> Buffer.add_string t.mem frame | None -> ());
   t.flushed <- 0;
+  clear_dirty t;
   flush t;
-  Disk.sync t.disk;
+  sync_data t heal_attempts;
   write_superblock t e;
-  Disk.sync t.disk
+  Disk.sync t.disk;
+  sync_superblock t
 
 let write_checkpoint t payload =
   let frame = make_frame ~kind:'C' ~epoch:(t.epoch + 1) payload in

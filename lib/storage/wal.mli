@@ -42,7 +42,13 @@ val append : t -> string -> unit
     [w_dropped] counter bumped, if the region is full. *)
 
 val sync : t -> unit
-(** Make all staged frames durable. *)
+(** Make all staged frames durable, then read the staged sectors (and the
+    current epoch's superblock) back and rewrite on mismatch, a bounded
+    number of times.  Lost and misdirected writes leave the old sector
+    content in place — which replay would see as a clean, shorter log, a
+    silent truncation no checksum catches — so a sync is not believed
+    until it verifies.  Stable read corruption cannot verify and is left
+    to the per-frame crc, the detectable-damage path to peer repair. *)
 
 val write_checkpoint : t -> string -> unit
 (** Start a new epoch whose log is just this checkpoint image — the

@@ -1,10 +1,12 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; seed : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = seed }
+let create seed = { state = seed; seed }
 
-let copy t = { state = t.state }
+let copy t = { state = t.state; seed = t.seed }
+
+let seed t = t.seed
 
 (* SplitMix64 output function: add the gamma, then two xor-shift-multiply
    mixing rounds. *)
@@ -18,6 +20,27 @@ let int64 t =
 let split t =
   let seed = int64 t in
   create seed
+
+(* FNV-1a over the label bytes, 64-bit variant.  Any decent string hash
+   works here; FNV is already the project's checksum workhorse and needs
+   no tables. *)
+let fnv1a_64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let substream t label =
+  (* Derive the child seed from the parent's creation seed, not its current
+     state: the substream for a given (seed, label) is the same no matter
+     how much of the parent stream has been consumed.  One SplitMix64 mixing
+     round over seed xor hash(label) decorrelates nearby labels. *)
+  let child = create (Int64.logxor t.seed (fnv1a_64 label)) in
+  int64 child |> ignore;
+  child
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

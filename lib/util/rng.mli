@@ -21,6 +21,18 @@ val split : t -> t
     each simulated node its own stream so that adding a node does not perturb
     the others. *)
 
+val seed : t -> int64
+(** The seed this generator was created with (unchanged by drawing). *)
+
+val substream : t -> string -> t
+(** [substream t label] is a labelled child generator derived from [t]'s
+    {e creation seed} and [label] only — unlike {!split} it does not consume
+    from (or depend on the consumption of) the parent stream.  Equal
+    (seed, label) pairs give equal streams on every call; distinct labels
+    give statistically independent streams.  This is what the model checker
+    and harness use to hand subsystems their own deterministic streams
+    without ad-hoc reseeding arithmetic. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -1,0 +1,6 @@
+(* Seeded R7 violation: ambient randomness in protocol code. *)
+
+let jitter () =
+  Random.int 100
+
+let _ = jitter

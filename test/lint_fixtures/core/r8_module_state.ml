@@ -1,0 +1,5 @@
+(* Seeded R8 violation: mutable state at module level. *)
+
+let seen : (int, unit) Hashtbl.t = Hashtbl.create 16
+
+let _ = seen

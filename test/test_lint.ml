@@ -29,6 +29,8 @@ let test_r3 = seeded "r3" ~rule:L.Diagnostic.R3 ~seg:"net" ~file:"r3_partial.ml"
 let test_r4 = seeded "r4" ~rule:L.Diagnostic.R4 ~seg:"core" ~file:"r4_failwith.ml" ~line:4
 let test_r5 = seeded "r5" ~rule:L.Diagnostic.R5 ~seg:"harness" ~file:"r5_print.ml" ~line:3
 let test_r6 = seeded "r6" ~rule:L.Diagnostic.R6 ~seg:"core" ~file:"r6_no_mli.ml" ~line:1
+let test_r7 = seeded "r7" ~rule:L.Diagnostic.R7 ~seg:"core" ~file:"r7_ambient.ml" ~line:4
+let test_r8 = seeded "r8" ~rule:L.Diagnostic.R8 ~seg:"core" ~file:"r8_module_state.ml" ~line:3
 
 (* Rules are directory-scoped: the same polymorphic [=] that fires in a core
    fixture is silent outside the linted subtrees. *)
@@ -75,6 +77,27 @@ let test_allow_load_rejects_reasonless () =
     Alcotest.(check bool) "error names the offending line" true
       (String.length e > 0)
 
+(* Staleness: an allow entry whose rule is enabled and whose path names a
+   scanned file, yet which covers no diagnostic, is reported; entries whose
+   rule or file is outside the run's scope are left alone. *)
+let test_stale_allow () =
+  let entry rule path = { L.Allow.rule; path; context = None; reason = "r" } in
+  let live = entry "R5" "r5_print.ml" in
+  let stale = entry "R1" "r5_print.ml" in
+  let off_rule = entry "R2" "r5_print.ml" in
+  let off_path = entry "R5" "no_such_file.ml" in
+  let o =
+    L.Engine.run
+      ~rules:[ L.Diagnostic.R1; L.Diagnostic.R5 ]
+      ~allow:[ live; stale; off_rule; off_path ]
+      ~paths:[ fixture "harness" "r5_print.ml" ]
+  in
+  Alcotest.(check int) "live entry suppresses" 1 o.L.Engine.suppressed;
+  Alcotest.(check (list string))
+    "only the in-scope unmatched entry is stale"
+    [ Format.asprintf "%a" L.Allow.pp_entry stale ]
+    (List.map (Format.asprintf "%a" L.Allow.pp_entry) o.L.Engine.stale)
+
 (* The tree `sof lint --strict` gates in CI: every rule over lib/, filtered
    by the checked-in allowlist, must produce zero diagnostics. *)
 let test_lib_tree_is_clean () =
@@ -87,7 +110,10 @@ let test_lib_tree_is_clean () =
   let render d = Format.asprintf "%a" L.Diagnostic.pp d in
   Alcotest.(check (list string))
     "lib/ is lint-clean under lint.allow" []
-    (List.map render o.L.Engine.diags)
+    (List.map render o.L.Engine.diags);
+  Alcotest.(check (list string))
+    "lint.allow carries no stale entries" []
+    (List.map (Format.asprintf "%a" L.Allow.pp_entry) o.L.Engine.stale)
 
 let suite =
   [
@@ -99,6 +125,10 @@ let suite =
         Alcotest.test_case "fixture r4: failwith in protocol" `Quick test_r4;
         Alcotest.test_case "fixture r5: direct print" `Quick test_r5;
         Alcotest.test_case "fixture r6: missing mli" `Quick test_r6;
+        Alcotest.test_case "fixture r7: ambient nondeterminism" `Quick test_r7;
+        Alcotest.test_case "fixture r8: module-level mutable state" `Quick test_r8;
+        Alcotest.test_case "stale allowlist entries are reported" `Quick
+          test_stale_allow;
         Alcotest.test_case "path scoping" `Quick test_scope;
         Alcotest.test_case "allowlist suppression semantics" `Quick test_allow_suppresses;
         Alcotest.test_case "allowlist rejects entries without a reason" `Quick

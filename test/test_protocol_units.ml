@@ -136,6 +136,14 @@ let all_bodies =
         committed_digest = "cd";
         proof_c = 1;
         proof = [ (0, "sig0"); (3, "sig3") ];
+        stable =
+          Some
+            {
+              P.Checkpoint.cp_seq = 8;
+              cp_digest = "id";
+              cp_proof = [ (0, "cs0") ];
+              cp_endorsement = Some (3, "ce3");
+            };
         uncommitted = [ sample_info ];
       };
     Message.Start { c = 2; start_o = 8; anchor = 6; new_back_log = [ sample_info ] };

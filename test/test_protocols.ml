@@ -278,7 +278,7 @@ let test_sc_create_validation () =
       digest_charge = ignore;
       send = (fun ~dst:_ _ -> ());
       multicast = (fun ~dsts:_ _ -> ());
-      set_timer = (fun ~delay:_ _ -> P.Context.null_timer);
+      set_timer = (fun ?kind:_ ~delay:_ _ -> P.Context.null_timer);
       deliver = (fun ~seq:_ _ -> ());
       emit = ignore;
       snapshot = (fun () -> "");

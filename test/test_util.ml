@@ -54,6 +54,30 @@ let test_rng_split_independent () =
   let a = Rng.int64 parent and b = Rng.int64 child in
   Alcotest.(check bool) "parent and child differ" true (a <> b)
 
+let test_rng_substream_deterministic () =
+  (* Same creation seed and label give the same stream, no matter how much
+     the parent has already been consumed — unlike [split], which hands out
+     a different child per call. *)
+  let a = Rng.create 5L in
+  for _ = 1 to 17 do
+    ignore (Rng.int64 a)
+  done;
+  let b = Rng.create 5L in
+  let sa = Rng.substream a "keys" and sb = Rng.substream b "keys" in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "label-derived stream" (Rng.int64 sa) (Rng.int64 sb)
+  done
+
+let test_rng_substream_labels_independent () =
+  let r = Rng.create 5L in
+  let a = Rng.substream r "alpha" and b = Rng.substream r "beta" in
+  Alcotest.(check bool) "distinct labels differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_substream_leaves_parent () =
+  let a = Rng.create 21L and b = Rng.create 21L in
+  ignore (Rng.substream a "anything");
+  Alcotest.(check int64) "parent stream unconsumed" (Rng.int64 b) (Rng.int64 a)
+
 let test_rng_copy () =
   let a = Rng.create 11L in
   ignore (Rng.int64 a);
@@ -400,6 +424,10 @@ let suite =
         Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
         Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
         Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "substream determinism" `Quick test_rng_substream_deterministic;
+        Alcotest.test_case "substream label independence" `Quick
+          test_rng_substream_labels_independent;
+        Alcotest.test_case "substream leaves parent" `Quick test_rng_substream_leaves_parent;
         Alcotest.test_case "copy" `Quick test_rng_copy;
         Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
         Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
