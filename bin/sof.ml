@@ -23,8 +23,20 @@ let scheme =
     value
     & opt scheme_arg Scheme.md5_rsa1024
     & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:(Printf.sprintf "Crypto scheme: %s." (String.concat ", " Scheme.names)))
+
+let auth =
+  Arg.(
+    value
+    & opt
+        (enum [ ("sign", Sof_crypto.Keyring.Sign); ("mac", Sof_crypto.Keyring.Mac) ])
+        Sof_crypto.Keyring.Sign
+    & info [ "auth" ] ~docv:"AUTH"
         ~doc:
-          "Crypto scheme: md5-rsa1024, md5-rsa1536, sha1-dsa1024, mock or null.")
+          "Wire authentication: $(b,sign) (default) signs every message with \
+           the scheme; $(b,mac) sends PBFT-style MAC authenticator vectors \
+           for the quorum phases while orders, fail-signals and checkpoints \
+           keep transferable scheme signatures.")
 
 let f_param =
   Arg.(value & opt int 2 & info [ "f"; "faults" ] ~docv:"F" ~doc:"Fault tolerance parameter.")
@@ -49,11 +61,12 @@ let protocol_arg =
     & info [ "protocol" ] ~docv:"PROTOCOL" ~doc:"One of sc, scr, bft, ct.")
 
 let run_cmd =
-  let run protocol f scheme interval_ms rate duration_s seed =
+  let run protocol f scheme auth interval_ms rate duration_s seed =
     let spec =
       {
         (H.Cluster.default_spec ~kind:protocol ~f) with
         H.Cluster.scheme;
+        auth;
         batching_interval = Simtime.ms interval_ms;
         pair_delay_estimate = Simtime.sec 30;
         heartbeat_interval = Simtime.sec 3600;
@@ -80,7 +93,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one fail-free scenario and print its metrics.")
-    Term.(const run $ protocol_arg $ f_param $ scheme $ interval $ rate $ duration $ seed)
+    Term.(
+      const run $ protocol_arg $ f_param $ scheme $ auth $ interval $ rate
+      $ duration $ seed)
 
 (* --------------------------------------------------------------- fig *)
 
@@ -161,23 +176,29 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig"
-       ~doc:"Regenerate a figure of the paper (fig4a..c, fig5a..c, fig6, f3, msgs, all).")
+       ~doc:
+         "Regenerate a figure of the paper (fig4a..c, fig5a..c, fig6, f3, \
+          msgs, all).  Schemes swept: md5-rsa1024, md5-rsa1536, sha1-dsa1024 \
+          (mac-vector, mock and null are available to $(b,sof run)).")
     Term.(ret (const fig $ fig_name $ f_param $ seed $ phases))
 
 (* --------------------------------------------------------------- bench *)
 
 let bench_cmd =
-  let bench f seed fast json_path =
+  let bench f seed fast auth json_path =
     let scheme = Scheme.md5_rsa1024 in
     let intervals_ms =
       if fast then [ 100; 300; 500 ] else H.Experiments.default_intervals_ms
     in
     let rate = if fast then 200.0 else 400.0 in
-    let fig4_5 = H.Experiments.fig4_5 ~f ~intervals_ms ~rate ~seed ~scheme () in
+    let fig4_5 = H.Experiments.fig4_5 ~auth ~f ~intervals_ms ~rate ~seed ~scheme () in
+    let duration = Simtime.sec (if fast then 5 else 10) in
+    (* Signed and MAC-mode breakdowns of the same configuration: the MAC
+       verdicts compare the two, so both always run regardless of the
+       sweep's $(b,--auth). *)
     let breakdowns =
-      H.Experiments.phase_breakdowns ~f ~seed ~scheme
-        ~duration:(Simtime.sec (if fast then 5 else 10))
-        ()
+      H.Experiments.phase_breakdowns ~f ~seed ~scheme ~duration ()
+      @ H.Experiments.mac_phase_breakdowns ~f ~seed ~scheme ~duration ()
     in
     let message_counts = H.Experiments.message_counts ~f () in
     let fig6 = if fast then None else Some (H.Experiments.fig6 ~f ~seed ~scheme ()) in
@@ -185,9 +206,10 @@ let bench_cmd =
        bench seed: its point is the cost of a recovery that happens. *)
     let recovery = H.Experiments.recovery_costs ~f () in
     let storage = H.Experiments.durable_recovery_costs ~f () in
+    let modexp = H.Experiments.modexp_micro () in
     let doc =
       H.Bench_doc.make ~seed ~fast ~fig4_5 ?fig6 ~message_counts ~recovery
-        ~storage ~breakdowns ()
+        ~storage ~modexp ~breakdowns ()
     in
     H.Report.print_fig4
       ~title:(Printf.sprintf "bench: order latency (ms), f=%d, %s" f scheme.Scheme.name)
@@ -211,10 +233,19 @@ let bench_cmd =
           st.H.Metrics.st_lost_writes st.H.Metrics.st_misdirected
           st.H.Metrics.st_torn st.H.Metrics.st_corrupt_reads)
       storage;
+    Format.printf "modexp micro-bench (host wall clock):@.";
+    List.iter
+      (fun (p : H.Experiments.modexp_point) ->
+        Format.printf "  %4d bits: montgomery %.2fms, knuth %.2fms@."
+          p.H.Experiments.mx_bits p.H.Experiments.mx_montgomery_ms
+          p.H.Experiments.mx_knuth_ms)
+      modexp;
     List.iter
       (fun (name, pass) ->
         Format.printf "  [%s] %s@." (if pass then "PASS" else "FAIL") name)
-      (H.Bench_doc.phase_verdicts breakdowns);
+      (H.Bench_doc.phase_verdicts breakdowns
+      @ H.Bench_doc.mac_verdicts breakdowns
+      @ H.Bench_doc.modexp_verdicts modexp);
     match json_path with
     | None -> `Ok ()
     | Some path ->
@@ -254,9 +285,11 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Run the figure sweep plus the phase breakdown and emit a \
-          machine-readable benchmark document.")
-    Term.(ret (const bench $ f_param $ seed $ fast $ json_path))
+         "Run the figure sweep plus the phase breakdown (signed and MAC \
+          wire-auth modes, schemes md5-rsa1024/md5-rsa1536/sha1-dsa1024/\
+          mac-vector/mock/null) and emit a machine-readable benchmark \
+          document.")
+    Term.(ret (const bench $ f_param $ seed $ fast $ auth $ json_path))
 
 (* ----------------------------------------------------------- failover *)
 
@@ -349,7 +382,7 @@ let census_cmd =
 (* --------------------------------------------------------------- chaos *)
 
 let chaos_cmd =
-  let chaos protocol f seed duration_s byz restart durable disk_faults long =
+  let chaos protocol f seed duration_s byz restart durable disk_faults long auth =
     if long then begin
       let report =
         H.Nemesis.long_run ~kind:protocol ~f ~seed
@@ -371,8 +404,8 @@ let chaos_cmd =
     end
     else begin
       let report =
-        H.Nemesis.run ~byz ~restart ~durable ~disk_faults ~kind:protocol ~f
-          ~seed ~duration:(Simtime.sec duration_s) ()
+        H.Nemesis.run ~byz ~restart ~durable ~disk_faults ~auth ~kind:protocol
+          ~f ~seed ~duration:(Simtime.sec duration_s) ()
       in
       Format.printf "%a" H.Nemesis.pp_report report;
       if report.H.Nemesis.passed then `Ok ()
@@ -457,7 +490,7 @@ let chaos_cmd =
     Term.(
       ret
         (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz $ restart
-       $ durable $ disk_faults $ long))
+       $ durable $ disk_faults $ long $ auth))
 
 (* ---------------------------------------------------------------- fuzz *)
 

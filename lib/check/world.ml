@@ -130,6 +130,12 @@ let make_context w i =
     verify =
       (fun ~signer ~msg ~signature ->
         Keyring.verify w.keyring ~signer ~msg ~signature);
+    (* The checker explores with one mechanism for all bodies: accountable
+       and wire signing coincide. *)
+    sign_acc = (fun payload -> Keyring.sign w.keyring ~signer:i payload);
+    verify_acc =
+      (fun ~signer ~msg ~signature ->
+        Keyring.verify w.keyring ~signer ~msg ~signature);
     digest_charge = ignore;
     send;
     multicast;

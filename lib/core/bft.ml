@@ -89,18 +89,30 @@ let delivered_seq t = t.delivered
 
 let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
 
+(* Checkpoints form transferable certificates, so they keep scheme
+   signatures; the agreement phases use the wire mode (MAC vectors under
+   [--auth mac], where a 2f+1 quorum of direct checks replaces
+   transferability). *)
+let signer_for t body =
+  if Message.accountable_body body then t.ctx.Context.sign_acc
+  else t.ctx.Context.sign
+
+let verifier_for t body =
+  if Message.accountable_body body then t.ctx.Context.verify_acc
+  else t.ctx.Context.verify
+
 let make_signed t body =
   let payload = Message.encode_body body in
   {
     Message.sender = id t;
     body;
-    signature = t.ctx.Context.sign payload;
+    signature = signer_for t body payload;
     endorsement = None;
   }
 
 let authentic t (env : Message.envelope) =
   env.Message.endorsement = None
-  && t.ctx.Context.verify ~signer:env.Message.sender
+  && verifier_for t env.Message.body ~signer:env.Message.sender
        ~msg:(Message.encode_body env.Message.body)
        ~signature:env.Message.signature
 
@@ -544,7 +556,7 @@ let recover_local t ~cert ~image ~entries =
       t.ctx.Context.digest_charge (String.length image);
       Recovery.verify_cert
         ~verify:(fun ~signer ~msg ~signature ->
-          t.ctx.Context.verify ~signer ~msg ~signature)
+          t.ctx.Context.verify_acc ~signer ~msg ~signature)
         ~scheme:(ckpt_scheme t) c
       && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
   in
@@ -627,7 +639,7 @@ let handle_state_response t ~src ~cert ~image ~entries =
         t.ctx.Context.digest_charge (String.length image);
         Recovery.verify_cert
           ~verify:(fun ~signer ~msg ~signature ->
-            t.ctx.Context.verify ~signer ~msg ~signature)
+            t.ctx.Context.verify_acc ~signer ~msg ~signature)
           ~scheme:(ckpt_scheme t) c
         && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
     in

@@ -62,6 +62,8 @@ type t = {
   now : unit -> Sof_sim.Simtime.t;
   sign : string -> string;
   verify : signer:int -> msg:string -> signature:string -> bool;
+  sign_acc : string -> string;
+  verify_acc : signer:int -> msg:string -> signature:string -> bool;
   digest_charge : int -> unit;
   send : dst:int -> Message.envelope -> unit;
   multicast : dsts:int list -> Message.envelope -> unit;

@@ -100,9 +100,22 @@ type t = {
   id : int;  (** This process's id (network endpoint). *)
   now : unit -> Sof_sim.Simtime.t;
   sign : string -> string;
-      (** Sign as this process; the harness charges one sign cost. *)
+      (** Sign as this process under the wire authentication mode; the
+          harness charges one sign cost (or one authenticator vector under
+          MAC mode).  Use for quorum-internal messages whose signatures are
+          only ever checked by their direct receivers. *)
   verify : signer:int -> msg:string -> signature:string -> bool;
-      (** Check another process's signature; charges one verify cost. *)
+      (** Check another process's wire signature; charges one verify cost
+          (one MAC-slice check under MAC mode). *)
+  sign_acc : string -> string;
+      (** Sign with the accountable (transferable) mechanism — always a
+          scheme signature, never a MAC vector.  Use for bodies a third
+          party must be able to verify: orders, fail-signals, checkpoints
+          (see {!Message.accountable_body}).  Under [--auth sign] this is
+          the same closure as [sign]. *)
+  verify_acc : signer:int -> msg:string -> signature:string -> bool;
+      (** Verify an accountable signature (see [sign_acc]).  This is the
+          path amortized verification may cache. *)
   digest_charge : int -> unit;
       (** Account for hashing [n] bytes (digesting is done with real digest
           functions; this only charges the virtual CPU). *)

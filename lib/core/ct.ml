@@ -492,7 +492,7 @@ let recover_local t ~cert ~image ~entries =
       t.ctx.Context.digest_charge (String.length image);
       Recovery.verify_cert
         ~verify:(fun ~signer ~msg ~signature ->
-          t.ctx.Context.verify ~signer ~msg ~signature)
+          t.ctx.Context.verify_acc ~signer ~msg ~signature)
         ~scheme:(ckpt_scheme t) c
       && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
   in
@@ -578,7 +578,7 @@ let handle_state_response t ~src ~cert ~image ~entries =
       | Some c ->
         t.ctx.Context.digest_charge (String.length image);
         Recovery.verify_cert
-          ~verify:(fun ~signer ~msg ~signature -> t.ctx.Context.verify ~signer ~msg ~signature)
+          ~verify:(fun ~signer ~msg ~signature -> t.ctx.Context.verify_acc ~signer ~msg ~signature)
           ~scheme:(ckpt_scheme t) c
         && String.equal (Checkpoint.image_digest t.config.digest image) c.Checkpoint.cp_digest
     in

@@ -328,6 +328,19 @@ let body_tag = function
   | State_request _ -> "state_request"
   | State_response _ -> "state_response"
 
+(* Bodies whose signatures serve as evidence shown to third parties — a
+   double-signed order or fail-signal is forwarded as proof of what a
+   coordinator said, and checkpoint certificates travel in state transfer.
+   These must stay transferable (asymmetric) even when the quorum phases
+   run on MAC authenticator vectors. *)
+let accountable_body = function
+  | Order _ | Fail_signal _ | Checkpoint _ -> true
+  | Ack _ | Back_log _ | Start _ | Start_ack _ | Start_tuples _
+  | View_change _ | New_view _ | Unwilling _ | Heartbeat _ | Pre_prepare _
+  | Prepare _ | Commit _ | Bft_view_change _ | Bft_new_view _
+  | State_request _ | State_response _ ->
+    false
+
 let pp fmt env =
   Format.fprintf fmt "%s from %d%s" (body_tag env.body) env.sender
     (match env.endorsement with

@@ -134,4 +134,9 @@ val equal : envelope -> envelope -> bool
 val body_tag : body -> string
 (** Short constructor name for tracing and per-type accounting. *)
 
+val accountable_body : body -> bool
+(** True for bodies whose signatures are third-party evidence (orders,
+    fail-signals, checkpoints) and must therefore stay transferable
+    asymmetric signatures even under MAC authenticator vectors. *)
+
 val pp : Format.formatter -> envelope -> unit

@@ -163,30 +163,42 @@ let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts
 
 let others t = List.filter (fun p -> not (Int.equal p (id t))) t.all_ids
 
+(* Accountable bodies (orders, fail-signals, checkpoints) are signed with
+   the transferable mechanism; everything else uses the wire mode, which
+   may be a cheap MAC authenticator vector. *)
+let signer_for t body =
+  if Message.accountable_body body then t.ctx.Context.sign_acc
+  else t.ctx.Context.sign
+
+let verifier_for t body =
+  if Message.accountable_body body then t.ctx.Context.verify_acc
+  else t.ctx.Context.verify
+
 let make_signed t body =
   let payload = Message.encode_body body in
   {
     Message.sender = id t;
     body;
-    signature = t.ctx.Context.sign payload;
+    signature = signer_for t body payload;
     endorsement = None;
   }
 
 let endorse t (env : Message.envelope) =
   let payload = Message.endorsement_payload env.Message.body env.Message.signature in
-  { env with Message.endorsement = Some (id t, t.ctx.Context.sign payload) }
+  { env with Message.endorsement = Some (id t, signer_for t env.Message.body payload) }
 
 (* Verify every signature an envelope carries. *)
 let authentic t (env : Message.envelope) =
   let payload = Message.encode_body env.Message.body in
-  t.ctx.Context.verify ~signer:env.Message.sender ~msg:payload
+  let verify = verifier_for t env.Message.body in
+  verify ~signer:env.Message.sender ~msg:payload
     ~signature:env.Message.signature
   && begin
        match env.Message.endorsement with
        | None -> true
        | Some (who, s) ->
          not (Int.equal who env.Message.sender)
-         && t.ctx.Context.verify ~signer:who
+         && verify ~signer:who
               ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
               ~signature:s
      end
@@ -780,7 +792,7 @@ let recover_local t ~cert ~image ~entries =
       t.ctx.Context.digest_charge (String.length image);
       Recovery.verify_cert
         ~verify:(fun ~signer ~msg ~signature ->
-          t.ctx.Context.verify ~signer ~msg ~signature)
+          t.ctx.Context.verify_acc ~signer ~msg ~signature)
         ~scheme:(ckpt_scheme t) c
       && String.equal
            (Checkpoint.image_digest t.config.Config.digest image)
@@ -866,7 +878,7 @@ let handle_state_response t ~src ~cert ~image ~entries =
         t.ctx.Context.digest_charge (String.length image);
         Recovery.verify_cert
           ~verify:(fun ~signer ~msg ~signature ->
-            t.ctx.Context.verify ~signer ~msg ~signature)
+            t.ctx.Context.verify_acc ~signer ~msg ~signature)
           ~scheme:(ckpt_scheme t) c
         && String.equal
              (Checkpoint.image_digest t.config.Config.digest image)
@@ -1815,7 +1827,7 @@ and validate_backlog t rec_ =
         | Some c
           when Recovery.verify_cert
                  ~verify:(fun ~signer ~msg ~signature ->
-                   t.ctx.Context.verify ~signer ~msg ~signature)
+                   t.ctx.Context.verify_acc ~signer ~msg ~signature)
                  ~scheme:(ckpt_scheme t) c ->
           c.Checkpoint.cp_seq
         | Some _ | None -> 0

@@ -145,29 +145,40 @@ let can_transmit t = not (Fault.is_mute t.fault ~now:(t.ctx.Context.now ()))
 let send t ~dst env = if can_transmit t then t.ctx.Context.send ~dst env
 let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts env
 
+(* Accountable bodies keep transferable signatures; the rest ride the wire
+   authentication mode (possibly MAC vectors).  See Sc for the argument. *)
+let signer_for t body =
+  if Message.accountable_body body then t.ctx.Context.sign_acc
+  else t.ctx.Context.sign
+
+let verifier_for t body =
+  if Message.accountable_body body then t.ctx.Context.verify_acc
+  else t.ctx.Context.verify
+
 let make_signed t body =
   let payload = Message.encode_body body in
   {
     Message.sender = id t;
     body;
-    signature = t.ctx.Context.sign payload;
+    signature = signer_for t body payload;
     endorsement = None;
   }
 
 let endorse t (env : Message.envelope) =
   let payload = Message.endorsement_payload env.Message.body env.Message.signature in
-  { env with Message.endorsement = Some (id t, t.ctx.Context.sign payload) }
+  { env with Message.endorsement = Some (id t, signer_for t env.Message.body payload) }
 
 let authentic t (env : Message.envelope) =
   let payload = Message.encode_body env.Message.body in
-  t.ctx.Context.verify ~signer:env.Message.sender ~msg:payload
+  let verify = verifier_for t env.Message.body in
+  verify ~signer:env.Message.sender ~msg:payload
     ~signature:env.Message.signature
   && begin
        match env.Message.endorsement with
        | None -> true
        | Some (who, s) ->
          not (Int.equal who env.Message.sender)
-         && t.ctx.Context.verify ~signer:who
+         && verify ~signer:who
               ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
               ~signature:s
      end
@@ -713,7 +724,7 @@ let recover_local t ~cert ~image ~entries =
       t.ctx.Context.digest_charge (String.length image);
       Recovery.verify_cert
         ~verify:(fun ~signer ~msg ~signature ->
-          t.ctx.Context.verify ~signer ~msg ~signature)
+          t.ctx.Context.verify_acc ~signer ~msg ~signature)
         ~scheme:(ckpt_scheme t) c
       && String.equal
            (Checkpoint.image_digest t.config.Config.digest image)
@@ -798,7 +809,7 @@ let handle_state_response t ~src ~cert ~image ~entries =
         t.ctx.Context.digest_charge (String.length image);
         Recovery.verify_cert
           ~verify:(fun ~signer ~msg ~signature ->
-            t.ctx.Context.verify ~signer ~msg ~signature)
+            t.ctx.Context.verify_acc ~signer ~msg ~signature)
           ~scheme:(ckpt_scheme t) c
         && String.equal
              (Checkpoint.image_digest t.config.Config.digest image)

@@ -245,20 +245,140 @@ let rem u v = snd (divmod u v)
 
 (* -------------------------------------------------------------- modular *)
 
-let mod_pow ~base:b ~exp ~modulus =
+let mod_pow_knuth ~base:b ~exp ~modulus =
   if is_zero modulus then raise Division_by_zero;
   if equal modulus one then zero
   else begin
     let b = rem b modulus in
     let result = ref one and b = ref b in
     let nbits = bit_length exp in
-    (* Right-to-left binary exponentiation. *)
+    (* Right-to-left binary exponentiation; every step reduces with the
+       Algorithm D division above. *)
     for i = 0 to nbits - 1 do
       if test_bit exp i then result := rem (mul !result !b) modulus;
       if i < nbits - 1 then b := rem (mul !b !b) modulus
     done;
     !result
   end
+
+(* Montgomery (CIOS) reduction over the 26-bit limbs.  With R = base^k the
+   inner accumulations stay within t + a_i*b_j + carry < 2^26 + 2^52 + 2^26,
+   comfortably inside the 63-bit native int.  Requires an odd modulus. *)
+
+(* -m^-1 mod 2^26, by Hensel lifting the inverse of the (odd) low limb:
+   x_{n+1} = x_n * (2 - m0 * x_n) doubles the valid bit count per step. *)
+let mont_inv_limb m0 =
+  let x = ref m0 in
+  (* 1 -> 2 -> 4 -> 8 -> 16 -> 32 valid bits; 5 steps cover 26. *)
+  for _ = 1 to 5 do
+    x := !x * (2 - (m0 * !x)) land limb_mask
+  done;
+  base - (!x land limb_mask)
+
+(* One CIOS pass: t <- (t + a*b + u*m) / base per outer limb, keeping the
+   running value < 2m.  [a], [b] are k-limb arrays (zero-padded), value < m. *)
+let mont_mul ~m ~m' ~k a b =
+  let t = Array.make (k + 2) 0 in
+  for i = 0 to k - 1 do
+    let ai = a.(i) in
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let v = t.(j) + (ai * b.(j)) + !carry in
+      t.(j) <- v land limb_mask;
+      carry := v lsr bits_per_limb
+    done;
+    let v = t.(k) + !carry in
+    t.(k) <- v land limb_mask;
+    t.(k + 1) <- t.(k + 1) + (v lsr bits_per_limb);
+    let u = t.(0) * m' land limb_mask in
+    let v = t.(0) + (u * m.(0)) in
+    let carry = ref (v lsr bits_per_limb) in
+    for j = 1 to k - 1 do
+      let v = t.(j) + (u * m.(j)) + !carry in
+      t.(j - 1) <- v land limb_mask;
+      carry := v lsr bits_per_limb
+    done;
+    let v = t.(k) + !carry in
+    t.(k - 1) <- v land limb_mask;
+    let v2 = t.(k + 1) + (v lsr bits_per_limb) in
+    t.(k) <- v2 land limb_mask;
+    t.(k + 1) <- v2 lsr bits_per_limb
+  done;
+  (* Value < 2m: at most one conditional subtraction brings it below m. *)
+  let ge_m =
+    t.(k + 1) > 0 || t.(k) > 0
+    ||
+    let rec go i =
+      if i < 0 then true
+      else if not (Int.equal t.(i) m.(i)) then t.(i) > m.(i)
+      else go (i - 1)
+    in
+    go (k - 1)
+  in
+  let out = Array.make k 0 in
+  if ge_m then begin
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = t.(i) - m.(i) - !borrow in
+      out.(i) <- d land limb_mask;
+      borrow := if d < 0 then 1 else 0
+    done
+  end
+  else Array.blit t 0 out 0 k;
+  out
+
+let pad_limbs a k =
+  let out = Array.make k 0 in
+  Array.blit a 0 out 0 (Array.length a);
+  out
+
+let mod_pow_montgomery ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if is_even modulus then invalid_arg "Bignum.mod_pow_montgomery: even modulus";
+  if equal modulus one then zero
+  else begin
+    let k = Array.length modulus in
+    let m = modulus in
+    let m' = mont_inv_limb m.(0) in
+    let to_mont x = pad_limbs (rem (shift_left x (k * bits_per_limb)) m) k in
+    let mont = mont_mul ~m ~m' ~k in
+    let one_m = to_mont one in
+    let nbits = bit_length exp in
+    if nbits = 0 then one (* x^0 = 1 for any x, since m > 1 here *)
+    else begin
+      (* Fixed 4-bit windows over the exponent, most-significant first. *)
+      let bm = to_mont (rem b m) in
+      let table = Array.make 16 one_m in
+      table.(1) <- bm;
+      for i = 2 to 15 do
+        table.(i) <- mont table.(i - 1) bm
+      done;
+      let windows = (nbits + 3) / 4 in
+      let acc = ref one_m in
+      for w = windows - 1 downto 0 do
+        if w < windows - 1 then begin
+          acc := mont !acc !acc;
+          acc := mont !acc !acc;
+          acc := mont !acc !acc;
+          acc := mont !acc !acc
+        end;
+        let wv =
+          (if test_bit exp ((4 * w) + 3) then 8 else 0)
+          + (if test_bit exp ((4 * w) + 2) then 4 else 0)
+          + (if test_bit exp ((4 * w) + 1) then 2 else 0)
+          + if test_bit exp (4 * w) then 1 else 0
+        in
+        if wv > 0 then acc := mont !acc table.(wv)
+      done;
+      (* Leave the Montgomery domain: multiply by 1 divides out R. *)
+      normalize (mont !acc (pad_limbs one k))
+    end
+  end
+
+let mod_pow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if not (is_even modulus) then mod_pow_montgomery ~base:b ~exp ~modulus
+  else mod_pow_knuth ~base:b ~exp ~modulus
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)
 

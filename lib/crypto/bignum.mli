@@ -74,7 +74,21 @@ val shift_right : t -> int -> t
 (** {1 Modular arithmetic} *)
 
 val mod_pow : base:t -> exp:t -> modulus:t -> t
-(** [mod_pow ~base ~exp ~modulus] is [base^exp mod modulus].
+(** [mod_pow ~base ~exp ~modulus] is [base^exp mod modulus].  Odd moduli
+    take the Montgomery fast path ({!mod_pow_montgomery}); even moduli fall
+    back to the Algorithm-D path ({!mod_pow_knuth}).  Both compute the same
+    canonical result.
+    @raise Division_by_zero when [modulus] is zero. *)
+
+val mod_pow_knuth : base:t -> exp:t -> modulus:t -> t
+(** Reference square-and-multiply exponentiation reducing each step with
+    Knuth's Algorithm D.  Works for any non-zero modulus; kept as the
+    differential-testing oracle for the Montgomery path.
+    @raise Division_by_zero when [modulus] is zero. *)
+
+val mod_pow_montgomery : base:t -> exp:t -> modulus:t -> t
+(** CIOS Montgomery exponentiation with a fixed 4-bit window ladder.
+    @raise Invalid_argument when [modulus] is even.
     @raise Division_by_zero when [modulus] is zero. *)
 
 val mod_inverse : t -> t -> t option

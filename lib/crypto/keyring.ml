@@ -3,17 +3,39 @@ type node_key =
   | Rsa_key of Rsa.secret
   | Dsa_key of Dsa.secret
 
+type auth = Sign | Mac
+
+let auth_name = function Sign -> "sign" | Mac -> "mac"
+
+let tag_size = Digest_alg.size Digest_alg.SHA256
+
 type t = {
   scheme : Scheme.t;
   keys : node_key array;
+  mac_keys : string array array;
+      (* Pairwise symmetric keys: [mac_keys.(i).(j) = mac_keys.(j).(i)] is
+         the key nodes i and j share.  Empty unless MACs are provisioned. *)
   rng : Sof_util.Rng.t; (* for DSA per-signature nonces *)
   signature_size : int;
 }
 
-let create ?key_bits ~scheme ~rng ~node_count () =
+(* One draw per unordered pair, mirrored, so the matrix is symmetric and the
+   dealer's RNG consumption is independent of who signs first. *)
+let provision_mac rng node_count =
+  let m = Array.make_matrix node_count node_count "" in
+  for i = 0 to node_count - 1 do
+    for j = i to node_count - 1 do
+      let key = Bytes.to_string (Sof_util.Rng.bytes rng 32) in
+      m.(i).(j) <- key;
+      m.(j).(i) <- key
+    done
+  done;
+  m
+
+let create ?key_bits ?(auth = Sign) ~scheme ~rng ~node_count () =
   let keys =
     match scheme.Scheme.mechanism with
-    | Scheme.Unsigned -> Array.make node_count (Hmac_key "")
+    | Scheme.Unsigned | Scheme.Mac_vector -> Array.make node_count (Hmac_key "")
     | Scheme.Mock_hmac ->
       Array.init node_count (fun _ ->
           Hmac_key (Bytes.to_string (Sof_util.Rng.bytes rng 32)))
@@ -26,14 +48,22 @@ let create ?key_bits ~scheme ~rng ~node_count () =
       let params = Dsa.generate_params rng ~pbits ~qbits in
       Array.init node_count (fun _ -> Dsa_key (Dsa.generate_key rng params))
   in
+  let mac_keys =
+    match (scheme.Scheme.mechanism, auth) with
+    | Scheme.Mac_vector, _ -> provision_mac rng node_count
+    | (Scheme.Mock_hmac | Scheme.Rsa _ | Scheme.Dsa _), Mac ->
+      provision_mac rng node_count
+    | Scheme.Unsigned, _ | _, Sign -> [||]
+  in
   let signature_size =
     match scheme.Scheme.mechanism with
     | Scheme.Unsigned -> 0
+    | Scheme.Mac_vector -> node_count * tag_size
     | Scheme.Mock_hmac ->
       (* Pad mock signatures up to the scheme's nominal wire size so that
          message sizes — and hence serialisation and transfer costs — match
          the real mechanism. *)
-      max (Digest_alg.size Digest_alg.SHA256) scheme.Scheme.costs.Scheme.signature_bytes
+      max tag_size scheme.Scheme.costs.Scheme.signature_bytes
     | Scheme.Rsa _ | Scheme.Dsa _ -> begin
       match keys.(0) with
       | Rsa_key k -> Rsa.signature_size (Rsa.public_of_secret k)
@@ -41,13 +71,17 @@ let create ?key_bits ~scheme ~rng ~node_count () =
       | Hmac_key _ -> assert false
     end
   in
-  { scheme; keys; rng; signature_size }
+  { scheme; keys; mac_keys; rng; signature_size }
 
 let scheme t = t.scheme
 
 let node_count t = Array.length t.keys
 
 let signature_size t = t.signature_size
+
+let mac_provisioned t = Array.length t.mac_keys > 0
+
+let vector_size t = node_count t * tag_size
 
 let check_range t signer =
   if signer < 0 || signer >= Array.length t.keys then
@@ -57,24 +91,71 @@ let pad_mock t tag =
   let pad = t.signature_size - String.length tag in
   if pad <= 0 then tag else tag ^ String.make pad '\000'
 
+(* ---------------------------------------------------- authenticator vectors *)
+
+let sign_vector t ~signer msg =
+  check_range t signer;
+  if not (mac_provisioned t) then
+    invalid_arg "Keyring.sign_vector: MAC keys not provisioned";
+  let n = node_count t in
+  let buf = Buffer.create (n * tag_size) in
+  for j = 0 to n - 1 do
+    Buffer.add_string buf
+      (Hmac.mac ~alg:Digest_alg.SHA256 ~key:t.mac_keys.(signer).(j) msg)
+  done;
+  Buffer.contents buf
+
+let vector_entry_ok t ~verifier ~signer ~msg ~signature =
+  Hmac.verify ~alg:Digest_alg.SHA256 ~key:t.mac_keys.(signer).(verifier) ~msg
+    ~tag:(String.sub signature (verifier * tag_size) tag_size)
+
+let verify_vector t ~verifier ~signer ~msg ~signature =
+  mac_provisioned t
+  && signer >= 0
+  && signer < node_count t
+  && verifier >= 0
+  && verifier < node_count t
+  && Int.equal (String.length signature) (vector_size t)
+  && vector_entry_ok t ~verifier ~signer ~msg ~signature
+
+(* ------------------------------------------------------ scheme signatures *)
+
 let sign t ~signer msg =
   check_range t signer;
   match t.keys.(signer) with
+  | Hmac_key "" when t.scheme.Scheme.mechanism = Scheme.Mac_vector ->
+    sign_vector t ~signer msg
   | Hmac_key "" -> ""
   | Hmac_key key -> pad_mock t (Hmac.mac ~alg:Digest_alg.SHA256 ~key msg)
   | Rsa_key key -> Rsa.sign key ~alg:t.scheme.Scheme.digest msg
   | Dsa_key key -> Dsa.sign t.rng key ~alg:t.scheme.Scheme.digest msg
 
-let verify t ~signer ~msg ~signature =
+let verify ?verifier t ~signer ~msg ~signature =
   signer >= 0
   && signer < Array.length t.keys
   && begin
        match t.keys.(signer) with
+       | Hmac_key "" when t.scheme.Scheme.mechanism = Scheme.Mac_vector -> begin
+         (* With a [verifier], check that receiver's entry; without one,
+            take the dealer's view and require every entry to be good. *)
+         match verifier with
+         | Some v -> verify_vector t ~verifier:v ~signer ~msg ~signature
+         | None ->
+           Int.equal (String.length signature) (vector_size t)
+           && begin
+                let ok = ref true in
+                for v = 0 to node_count t - 1 do
+                  ok :=
+                    !ok && vector_entry_ok t ~verifier:v ~signer ~msg ~signature
+                done;
+                !ok
+              end
+       end
        | Hmac_key "" -> String.length signature = 0
        | Hmac_key key ->
          Int.equal (String.length signature) t.signature_size
          && Hmac.verify ~alg:Digest_alg.SHA256 ~key ~msg
-              ~tag:(String.sub signature 0 (Digest_alg.size Digest_alg.SHA256))
+              ~tag:(String.sub signature 0 tag_size)
        | Rsa_key key ->
          Rsa.verify (Rsa.public_of_secret key) ~alg:t.scheme.Scheme.digest ~msg
            ~signature

@@ -1,4 +1,4 @@
-type mechanism = Unsigned | Mock_hmac | Rsa of int | Dsa of int
+type mechanism = Unsigned | Mock_hmac | Mac_vector | Rsa of int | Dsa of int
 
 type costs = {
   sign_ns : int;
@@ -59,6 +59,20 @@ let mock =
       { sign_ns = us 20.0; verify_ns = us 15.0; digest_ns_per_byte = 5; signature_bytes = 32 };
   }
 
+(* PBFT-style authenticator vector: one HMAC-SHA256 tag per receiver under
+   pairwise keys.  Per-tag costs are the mock scheme's HMAC timings (an HMAC
+   over a digest costs the same whether it stands in for a signature or is
+   one entry of a vector); [signature_bytes] is the per-entry wire size —
+   a vector for n nodes occupies n of these. *)
+let mac_vector =
+  {
+    name = "mac-vector";
+    digest = Digest_alg.SHA256;
+    mechanism = Mac_vector;
+    costs =
+      { sign_ns = us 20.0; verify_ns = us 15.0; digest_ns_per_byte = 5; signature_bytes = 32 };
+  }
+
 let null =
   {
     name = "null";
@@ -69,11 +83,16 @@ let null =
 
 let paper_schemes = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024 ]
 
-let all = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024; mock; null ]
+let all = [ md5_rsa1024; md5_rsa1536; sha1_dsa1024; mac_vector; mock; null ]
+
+let names = List.map (fun s -> s.name) all
 
 let of_name name =
   match List.find_opt (fun s -> String.equal s.name name) all with
   | Some s -> s
-  | None -> invalid_arg ("Scheme.of_name: unknown scheme " ^ name)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Scheme.of_name: unknown scheme %s (accepted: %s)" name
+         (String.concat ", " names))
 
 let pp fmt t = Format.pp_print_string fmt t.name

@@ -16,6 +16,11 @@
 type mechanism =
   | Unsigned  (** No signature bytes at all (the CT baseline). *)
   | Mock_hmac  (** HMAC-SHA256 under per-node keys held by the keyring. *)
+  | Mac_vector
+      (** PBFT-style authenticator vector: one HMAC-SHA256 tag per receiver
+          under pairwise keys.  Cheap but not transferable — a receiver can
+          check only its own entry, so a vector convinces its addressee
+          without being evidence to anyone else. *)
   | Rsa of int  (** Real RSA with the given modulus bits. *)
   | Dsa of int  (** Real DSA with the given p bits (q is 160). *)
 
@@ -44,6 +49,12 @@ val sha1_dsa1024 : t
     slower than RSA verification — the asymmetry the paper's Section 5
     discussion turns on. *)
 
+val mac_vector : t
+(** Authenticator-vector scheme: [costs] are per MAC tag (the mock scheme's
+    HMAC timings), so one vector sign costs [n] times [sign_ns] and one
+    receiver-side check costs one [verify_ns]; [signature_bytes] is the
+    per-entry size, a full vector occupying [n] entries. *)
+
 val mock : t
 (** Fast HMAC-based scheme with negligible costs, for protocol tests. *)
 
@@ -55,8 +66,16 @@ val paper_schemes : t list
 (** [[md5_rsa1024; md5_rsa1536; sha1_dsa1024]] — the three evaluated
     configurations, in figure order. *)
 
+val all : t list
+(** Every named scheme above — the paper's three configurations plus
+    [mac_vector], [mock] and [null] — in [of_name] acceptance order. *)
+
+val names : string list
+(** The [name] fields of {!all}, in the same order. *)
+
 val of_name : string -> t
 (** Accepts the [name] field of any scheme above.
-    @raise Invalid_argument on unknown names. *)
+    @raise Invalid_argument on unknown names; the message lists the
+    accepted names. *)
 
 val pp : Format.formatter -> t -> unit

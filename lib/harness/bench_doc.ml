@@ -5,7 +5,7 @@
 
 module Json = Sof_util.Json
 
-let schema_version = 3
+let schema_version = 4
 
 let json_of_point (p : Experiments.series_point) =
   Json.Obj
@@ -47,8 +47,11 @@ let json_of_crypto (c : Trace.crypto) =
     [
       ("signs", Json.num_of_int c.Trace.signs);
       ("verifies", Json.num_of_int c.Trace.verifies);
+      ("hmacs", Json.num_of_int c.Trace.hmacs);
       ("sign_ns", Json.num_of_int c.Trace.sign_ns);
       ("verify_ns", Json.num_of_int c.Trace.verify_ns);
+      ("hmac_ns", Json.num_of_int c.Trace.hmac_ns);
+      ("verify_cached", Json.num_of_int c.Trace.verify_cached);
       ("digest_bytes", Json.num_of_int c.Trace.digest_bytes);
       ("digest_ns", Json.num_of_int c.Trace.digest_ns);
     ]
@@ -70,6 +73,7 @@ let json_of_breakdown (bd : Metrics.breakdown) =
   Json.Obj
     [
       ("protocol", Json.Str bd.Metrics.bd_protocol);
+      ("auth", Json.Str bd.Metrics.bd_auth);
       ("n", Json.num_of_int bd.Metrics.bd_n);
       ("f", Json.num_of_int bd.Metrics.bd_f);
       ("batches", Json.num_of_int bd.Metrics.bd_batches);
@@ -78,6 +82,7 @@ let json_of_breakdown (bd : Metrics.breakdown) =
       ("n_to_n_share", Json.Num bd.Metrics.bd_n_to_n_share);
       ("signs_per_batch", Json.Num bd.Metrics.bd_signs_per_batch);
       ("verifies_per_batch", Json.Num bd.Metrics.bd_verifies_per_batch);
+      ("hmacs_per_batch", Json.Num bd.Metrics.bd_hmacs_per_batch);
       ("crypto", json_of_crypto bd.Metrics.bd_crypto);
       ( "message_counts",
         Json.List
@@ -143,12 +148,15 @@ let json_of_storage_row (label, (r : Metrics.recovery), (st : Metrics.storage))
 (* The critical-path claims the phase breakdown decides mechanically: the
    reason SC beats BFT in the paper's Section 5 is one fewer all-to-all
    round and cheaper per-batch authentication. *)
+let find_breakdown (breakdowns : Metrics.breakdown list) ~protocol ~auth =
+  List.find_opt
+    (fun (bd : Metrics.breakdown) ->
+      String.equal bd.Metrics.bd_protocol protocol
+      && String.equal bd.Metrics.bd_auth auth)
+    breakdowns
+
 let phase_verdicts (breakdowns : Metrics.breakdown list) =
-  let find p =
-    List.find_opt
-      (fun (bd : Metrics.breakdown) -> String.equal bd.Metrics.bd_protocol p)
-      breakdowns
-  in
+  let find p = find_breakdown breakdowns ~protocol:p ~auth:"sign" in
   match (find "SC", find "BFT") with
   | Some sc, Some bft ->
     [
@@ -161,6 +169,56 @@ let phase_verdicts (breakdowns : Metrics.breakdown list) =
     ]
   | _ -> []
 
+(* MAC-mode verdicts: under authenticator vectors the asymmetric
+   verifies/batch must collapse to the accountability residue — only
+   orders, fail-signals and checkpoints still carry scheme signatures.
+   On SC's fail-free path that is both order signatures (base plus
+   endorsement) checked by each of the n-1 non-originating receivers,
+   plus the endorser's own check of the base signature before endorsing
+   and the coordinator's check of the returned endorsement before
+   forwarding: 2(n-1) + 2 = 2n bounds it; anything above that would mean
+   a quorum phase still burning asymmetric verifies. *)
+let mac_verdicts (breakdowns : Metrics.breakdown list) =
+  match
+    ( find_breakdown breakdowns ~protocol:"SC" ~auth:"sign",
+      find_breakdown breakdowns ~protocol:"SC" ~auth:"mac" )
+  with
+  | Some signed, Some mac ->
+    let residue = float_of_int (2 * mac.Metrics.bd_n) in
+    [
+      ( "auth: SC mac-mode asymmetric verifies/batch within accountability \
+         residue",
+        mac.Metrics.bd_batches > 0
+        && mac.Metrics.bd_verifies_per_batch <= residue );
+      ( "auth: SC mac-mode asymmetric verifies/batch < signed mode",
+        mac.Metrics.bd_verifies_per_batch < signed.Metrics.bd_verifies_per_batch
+      );
+      ( "auth: SC mac-mode quorum traffic rides MAC vectors",
+        mac.Metrics.bd_hmacs_per_batch > 0.0
+        && signed.Metrics.bd_hmacs_per_batch = 0.0 );
+    ]
+  | _ -> []
+
+let modexp_verdicts (points : Experiments.modexp_point list) =
+  List.map
+    (fun (p : Experiments.modexp_point) ->
+      ( Printf.sprintf "modexp: Montgomery beats Knuth at %d bits"
+          p.Experiments.mx_bits,
+        p.Experiments.mx_montgomery_ms < p.Experiments.mx_knuth_ms ))
+    points
+
+let json_of_modexp (points : Experiments.modexp_point list) =
+  Json.List
+    (List.map
+       (fun (p : Experiments.modexp_point) ->
+         Json.Obj
+           [
+             ("bits", Json.num_of_int p.Experiments.mx_bits);
+             ("montgomery_ms", Json.Num p.Experiments.mx_montgomery_ms);
+             ("knuth_ms", Json.Num p.Experiments.mx_knuth_ms);
+           ])
+       points)
+
 let json_of_verdicts verdicts =
   Json.List
     (List.map
@@ -169,8 +227,12 @@ let json_of_verdicts verdicts =
        verdicts)
 
 let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ?storage
-    ~breakdowns () =
-  let verdicts = Report.shape_check_results fig4_5 @ phase_verdicts breakdowns in
+    ?(modexp = []) ~breakdowns () =
+  let verdicts =
+    Report.shape_check_results fig4_5
+    @ phase_verdicts breakdowns @ mac_verdicts breakdowns
+    @ modexp_verdicts modexp
+  in
   Json.Obj
     [
       ("schema_version", Json.num_of_int schema_version);
@@ -209,5 +271,6 @@ let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ?storage
         match storage with
         | Some rows -> Json.List (List.map json_of_storage_row rows)
         | None -> Json.Null );
+      ("modexp", json_of_modexp modexp);
       ("verdicts", json_of_verdicts verdicts);
     ]

@@ -4,7 +4,7 @@
     test all build and read the same JSON shape through this module:
 
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "generator": "sof-bench",
       "seed": <int>, "fast": <bool>,
       "figures": {
@@ -15,13 +15,17 @@
       "phases": [ per-protocol breakdowns, see {!json_of_breakdown} ],
       "recovery": [ crash-restart cost rows, see {!json_of_recovery} ] | null,
       "storage": [ durable-campaign rows, see {!json_of_storage_row} ] | null,
+      "modexp": [ { "bits", "montgomery_ms", "knuth_ms" } ],
       "verdicts": [ { "name", "pass" } ] }
     v}
 
     Schema history: v2 added the "recovery" section (crash-restart
     recovery cost per protocol); v3 added the "storage" section (durable
     write-path and fault-atlas accounting) and the local-replay fields in
-    "recovery" rows. *)
+    "recovery" rows; v4 split symmetric from asymmetric crypto counters
+    ("hmacs"/"hmac_ns"/"verify_cached" in crypto objects, "auth" and
+    "hmacs_per_batch" in phase rows) and added the "modexp"
+    micro-benchmark section with its Montgomery-vs-Knuth verdicts. *)
 
 val schema_version : int
 
@@ -44,10 +48,32 @@ val json_of_storage_row :
     write path's volume (appends, syncs, checkpoint writes, drops), the
     replayed/damaged entry counts, and the fault atlas's hits. *)
 
+val find_breakdown :
+  Metrics.breakdown list ->
+  protocol:string ->
+  auth:string ->
+  Metrics.breakdown option
+(** First breakdown matching both the protocol label ("SC", "BFT", ...)
+    and the wire-auth mode ("sign" or "mac"). *)
+
 val phase_verdicts : Metrics.breakdown list -> (string * bool) list
-(** The critical-path claims decided mechanically from the breakdowns:
-    SC shows two wide phases to BFT's three, a smaller n-to-n message
-    share, and fewer signature verifications per batch. *)
+(** The critical-path claims decided mechanically from the signed-mode
+    breakdowns: SC shows two wide phases to BFT's three, a smaller n-to-n
+    message share, and fewer signature verifications per batch. *)
+
+val mac_verdicts : Metrics.breakdown list -> (string * bool) list
+(** The authenticator-vector claims, decided from an SC signed/mac
+    breakdown pair: under MAC wire auth SC's asymmetric verifies/batch
+    stay within the accountability residue (2n: both order signatures at
+    each of the n-1 receivers, plus the endorser's base-signature check
+    and the coordinator's endorsement check), sit strictly below the
+    signed-mode count, and the quorum traffic demonstrably rides MAC
+    vectors.  Empty when either breakdown is missing. *)
+
+val modexp_verdicts :
+  Experiments.modexp_point list -> (string * bool) list
+(** One verdict per micro-benchmark point: the Montgomery path must beat
+    the Knuth path at that key size. *)
 
 val make :
   seed:int64 ->
@@ -57,8 +83,10 @@ val make :
   ?message_counts:(string * int * int) list ->
   ?recovery:(string * Metrics.recovery) list ->
   ?storage:(string * Metrics.recovery * Metrics.storage) list ->
+  ?modexp:Experiments.modexp_point list ->
   breakdowns:Metrics.breakdown list ->
   unit ->
   Sof_util.Json.t
 (** The whole document.  Verdicts combine
-    {!Report.shape_check_results} on [fig4_5] with {!phase_verdicts}. *)
+    {!Report.shape_check_results} on [fig4_5] with {!phase_verdicts},
+    {!mac_verdicts} and {!modexp_verdicts}. *)

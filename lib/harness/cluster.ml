@@ -19,6 +19,14 @@ type spec = {
   kind : kind;
   f : int;
   scheme : Scheme.t;
+  auth : Keyring.auth;
+      (* wire authentication for quorum-internal messages: [Sign] uses the
+         scheme for everything; [Mac] provisions pairwise keys and sends
+         MAC authenticator vectors for non-accountable bodies, while
+         orders, fail-signals and checkpoints keep scheme signatures *)
+  amortize_verify : bool;
+      (* cache verified (signer, msg, signature) triples on the accountable
+         path so quorum re-checks of an identical payload verify once *)
   batching_interval : Simtime.t;
   batch_size_limit : int;
   pair_delay_estimate : Simtime.t;
@@ -52,6 +60,8 @@ let default_spec ~kind ~f =
     kind;
     f;
     scheme = Scheme.mock;
+    auth = Keyring.Sign;
+    amortize_verify = false;
     batching_interval = Simtime.ms 100;
     batch_size_limit = 1024;
     pair_delay_estimate = Simtime.ms 100;
@@ -86,8 +96,11 @@ type proc = Sc of P.Sc.t | Scr of P.Scr.t | Bft of P.Bft.t | Ct of P.Ct.t
 type crypto_ctr = {
   mutable c_signs : int;
   mutable c_verifies : int;
+  mutable c_hmacs : int;
   mutable c_sign_ns : int;
   mutable c_verify_ns : int;
+  mutable c_hmac_ns : int;
+  mutable c_verify_cached : int;
   mutable c_digest_bytes : int;
   mutable c_digest_ns : int;
 }
@@ -183,8 +196,11 @@ let crypto_counts t i =
   {
     Trace.signs = c.c_signs;
     verifies = c.c_verifies;
+    hmacs = c.c_hmacs;
     sign_ns = c.c_sign_ns;
     verify_ns = c.c_verify_ns;
+    hmac_ns = c.c_hmac_ns;
+    verify_cached = c.c_verify_cached;
     digest_bytes = c.c_digest_bytes;
     digest_ns = c.c_digest_ns;
   }
@@ -413,17 +429,68 @@ let make_context t i =
   let node = t.nodes.(i) in
   let costs = t.spec.scheme.Scheme.costs in
   let ctr = node.node_crypto in
-  let sign payload =
+  let n = process_count t in
+  (* When the primary scheme itself is an authenticator vector, each "sign"
+     computes one tag per receiver; charge and count all n of them. *)
+  let acc_tags =
+    match t.spec.scheme.Scheme.mechanism with Scheme.Mac_vector -> n | _ -> 1
+  in
+  let sign_acc payload =
     ctr.c_signs <- ctr.c_signs + 1;
-    ctr.c_sign_ns <- ctr.c_sign_ns + costs.Scheme.sign_ns;
-    Cpu.extend node.node_cpu (Simtime.ns costs.Scheme.sign_ns);
+    ctr.c_sign_ns <- ctr.c_sign_ns + (acc_tags * costs.Scheme.sign_ns);
+    Cpu.extend node.node_cpu (Simtime.ns (acc_tags * costs.Scheme.sign_ns));
     Keyring.sign t.keyring ~signer:i payload
   in
-  let verify ~signer ~msg ~signature =
+  let verify_scheme ~signer ~msg ~signature =
     ctr.c_verifies <- ctr.c_verifies + 1;
     ctr.c_verify_ns <- ctr.c_verify_ns + costs.Scheme.verify_ns;
     Cpu.extend node.node_cpu (Simtime.ns costs.Scheme.verify_ns);
-    Keyring.verify t.keyring ~signer ~msg ~signature
+    Keyring.verify ~verifier:i t.keyring ~signer ~msg ~signature
+  in
+  (* Amortized verification: quorum protocols re-check the same signed
+     payload when it is echoed (an endorsed order repeats the order's base
+     signature; a relayed fail-signal repeats its envelope).  The cache
+     answers repeats without charging CPU.  Keyed on the full triple, so a
+     forgery attempt never aliases a cached good signature. *)
+  let verify_acc =
+    if not t.spec.amortize_verify then verify_scheme
+    else begin
+      let cache : (int * string * string, bool) Hashtbl.t = Hashtbl.create 64 in
+      fun ~signer ~msg ~signature ->
+        let key = (signer, msg, signature) in
+        match Hashtbl.find_opt cache key with
+        | Some ok ->
+          ctr.c_verify_cached <- ctr.c_verify_cached + 1;
+          ok
+        | None ->
+          let ok = verify_scheme ~signer ~msg ~signature in
+          if Hashtbl.length cache >= 8192 then Hashtbl.reset cache;
+          Hashtbl.replace cache key ok;
+          ok
+    end
+  in
+  (* Wire authentication: under [Mac] the quorum phases send PBFT-style
+     authenticator vectors — n tags computed per sign, one slice checked
+     per receive — at symmetric-crypto prices. *)
+  let mac_wire = Keyring.mac_provisioned t.keyring in
+  let mac_costs = Scheme.mac_vector.Scheme.costs in
+  let sign payload =
+    if mac_wire then begin
+      ctr.c_hmacs <- ctr.c_hmacs + n;
+      ctr.c_hmac_ns <- ctr.c_hmac_ns + (n * mac_costs.Scheme.sign_ns);
+      Cpu.extend node.node_cpu (Simtime.ns (n * mac_costs.Scheme.sign_ns));
+      Keyring.sign_vector t.keyring ~signer:i payload
+    end
+    else sign_acc payload
+  in
+  let verify ~signer ~msg ~signature =
+    if mac_wire then begin
+      ctr.c_hmacs <- ctr.c_hmacs + 1;
+      ctr.c_hmac_ns <- ctr.c_hmac_ns + mac_costs.Scheme.verify_ns;
+      Cpu.extend node.node_cpu (Simtime.ns mac_costs.Scheme.verify_ns);
+      Keyring.verify_vector t.keyring ~verifier:i ~signer ~msg ~signature
+    end
+    else verify_acc ~signer ~msg ~signature
   in
   let digest_charge n =
     ctr.c_digest_bytes <- ctr.c_digest_bytes + n;
@@ -538,6 +605,8 @@ let make_context t i =
     now = (fun () -> Engine.now t.engine);
     sign;
     verify;
+    sign_acc;
+    verify_acc;
     digest_charge;
     send;
     multicast;
@@ -591,10 +660,15 @@ let build spec =
     if spec.real_crypto then scheme
     else
       match scheme.Scheme.mechanism with
-      | Scheme.Unsigned | Scheme.Mock_hmac -> scheme
+      | Scheme.Unsigned | Scheme.Mock_hmac | Scheme.Mac_vector -> scheme
       | Scheme.Rsa _ | Scheme.Dsa _ -> { scheme with Scheme.mechanism = Scheme.Mock_hmac }
   in
-  let keyring = Keyring.create ~scheme:wire_scheme ~rng:key_rng ~node_count:n () in
+  (* Under [auth = Sign] no MAC matrix is provisioned and the dealer's RNG
+     consumption is unchanged, so seeded trajectories of older runs are
+     preserved bit-for-bit. *)
+  let keyring =
+    Keyring.create ~auth:spec.auth ~scheme:wire_scheme ~rng:key_rng ~node_count:n ()
+  in
   let nodes =
     Array.init n (fun i ->
         let node_disk =
@@ -622,8 +696,11 @@ let build spec =
             {
               c_signs = 0;
               c_verifies = 0;
+              c_hmacs = 0;
               c_sign_ns = 0;
               c_verify_ns = 0;
+              c_hmac_ns = 0;
+              c_verify_cached = 0;
               c_digest_bytes = 0;
               c_digest_ns = 0;
             };

@@ -12,6 +12,19 @@ type spec = {
   kind : kind;
   f : int;
   scheme : Sof_crypto.Scheme.t;
+  auth : Sof_crypto.Keyring.auth;
+      (** Wire authentication for quorum-internal messages.  [Sign] (the
+          default) authenticates everything with the scheme, exactly as
+          before.  [Mac] provisions pairwise symmetric keys and sends
+          PBFT-style MAC authenticator vectors for the ack/prepare/commit
+          phases, while orders, fail-signals and checkpoints — everything
+          {!Sof_protocol.Message.accountable_body} — keep transferable
+          scheme signatures. *)
+  amortize_verify : bool;
+      (** Cache verified (signer, msg, signature) triples per node so
+          quorum re-checks of an identical accountable payload verify
+          once.  Off by default: caching skips CPU charges and therefore
+          perturbs seeded trajectories. *)
   batching_interval : Sof_sim.Simtime.t;
   batch_size_limit : int;
   pair_delay_estimate : Sof_sim.Simtime.t;

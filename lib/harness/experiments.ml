@@ -1,5 +1,7 @@
 module Simtime = Sof_sim.Simtime
 module Scheme = Sof_crypto.Scheme
+module Keyring = Sof_crypto.Keyring
+module Bignum = Sof_crypto.Bignum
 module P = Sof_protocol
 
 type series_point = {
@@ -22,19 +24,24 @@ let default_intervals_ms = [ 40; 60; 80; 100; 150; 200; 300; 400; 500 ]
 
 (* Fail-free runs honour assumption 3(a)(i): delay estimates never falsely
    accuse, so the pair timeliness machinery is configured out of the way. *)
-let failfree_spec ~kind ~f ~scheme ~interval ~seed =
+let failfree_spec ?(auth = Keyring.Sign) ?(amortize = false) ~kind ~f ~scheme
+    ~interval ~seed () =
   {
     (Cluster.default_spec ~kind ~f) with
     Cluster.scheme;
+    auth;
+    amortize_verify = amortize;
     batching_interval = interval;
     pair_delay_estimate = Simtime.sec 30;
     heartbeat_interval = Simtime.sec 3600;
     seed;
   }
 
-let run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed =
+let run_point ?auth ?amortize ~kind ~f ~scheme ~interval_ms ~rate ~seed () =
   let interval = Simtime.ms interval_ms in
-  let cluster = Cluster.build (failfree_spec ~kind ~f ~scheme ~interval ~seed) in
+  let cluster =
+    Cluster.build (failfree_spec ?auth ?amortize ~kind ~f ~scheme ~interval ~seed ())
+  in
   let warmup = Simtime.sec 3 in
   let window = Simtime.sec 8 in
   let duration = Simtime.add warmup (Simtime.add window (Simtime.sec 1)) in
@@ -48,7 +55,7 @@ let run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed =
     throughput_rps = p.Metrics.throughput_rps;
   }
 
-let fig4_5 ?(f = 2) ?(intervals_ms = default_intervals_ms) ?(rate = 400.0)
+let fig4_5 ?auth ?(f = 2) ?(intervals_ms = default_intervals_ms) ?(rate = 400.0)
     ?(seed = 7L) ~scheme () =
   let protocols =
     [ ("CT", Cluster.Ct_protocol); ("SC", Cluster.Sc_protocol); ("BFT", Cluster.Bft_protocol) ]
@@ -57,7 +64,7 @@ let fig4_5 ?(f = 2) ?(intervals_ms = default_intervals_ms) ?(rate = 400.0)
     (fun (label, kind) ->
       let points =
         List.map
-          (fun interval_ms -> run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed)
+          (fun interval_ms -> run_point ?auth ~kind ~f ~scheme ~interval_ms ~rate ~seed ())
           intervals_ms
       in
       { label; points })
@@ -171,10 +178,12 @@ let fig6 ?(f = 2) ?(targets = [ 15; 30; 45; 60; 75 ]) ?(seed = 11L) ~scheme () =
 
 (* ------------------------------------------------- phase breakdown *)
 
-let phase_breakdown_for ~kind ~f ~scheme ~interval_ms ~rate ~seed ~duration =
+let phase_breakdown_for ?auth ?amortize ~kind ~f ~scheme ~interval_ms ~rate
+    ~seed ~duration () =
   let cluster =
     Cluster.build
-      (failfree_spec ~kind ~f ~scheme ~interval:(Simtime.ms interval_ms) ~seed)
+      (failfree_spec ?auth ?amortize ~kind ~f ~scheme
+         ~interval:(Simtime.ms interval_ms) ~seed ())
   in
   Workload.install cluster (Workload.make ~rate_per_sec:rate ()) ~duration;
   (* Drain past the workload's end so in-flight batches commit and close
@@ -183,11 +192,26 @@ let phase_breakdown_for ~kind ~f ~scheme ~interval_ms ~rate ~seed ~duration =
   Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 2));
   Metrics.phase_breakdown cluster
 
-let phase_breakdowns ?(f = 2) ?(interval_ms = 100) ?(rate = 400.0) ?(seed = 7L)
-    ?(duration = Simtime.sec 10) ~scheme () =
+let phase_breakdowns ?auth ?amortize ?(f = 2) ?(interval_ms = 100)
+    ?(rate = 400.0) ?(seed = 7L) ?(duration = Simtime.sec 10) ~scheme () =
   List.map
-    (fun kind -> phase_breakdown_for ~kind ~f ~scheme ~interval_ms ~rate ~seed ~duration)
+    (fun kind ->
+      phase_breakdown_for ?auth ?amortize ~kind ~f ~scheme ~interval_ms ~rate
+        ~seed ~duration ())
     [ Cluster.Ct_protocol; Cluster.Sc_protocol; Cluster.Bft_protocol ]
+
+(* MAC-mode comparison: the same fail-free configuration re-run under
+   [--auth mac] (with amortized verification on) for the protocols with an
+   n-to-n phase.  Appended to the signed breakdowns, these let the bench
+   verdicts show asymmetric verifies/batch collapsing to the accountable
+   residue while MAC slice checks absorb the quorum traffic. *)
+let mac_phase_breakdowns ?(f = 2) ?(interval_ms = 100) ?(rate = 400.0)
+    ?(seed = 7L) ?(duration = Simtime.sec 10) ~scheme () =
+  List.map
+    (fun kind ->
+      phase_breakdown_for ~auth:Keyring.Mac ~amortize:true ~kind ~f ~scheme
+        ~interval_ms ~rate ~seed ~duration ())
+    [ Cluster.Sc_protocol; Cluster.Bft_protocol ]
 
 (* ----------------------------------------- saturation threshold finder *)
 
@@ -197,12 +221,12 @@ let saturation_threshold ?(f = 2) ?(rate = 400.0) ?(seed = 7L) ~scheme kind =
      the reference (or nothing commits at all).  Binary search to 10 ms
      granularity over [10, 500]. *)
   let reference =
-    match (run_point ~kind ~f ~scheme ~interval_ms:500 ~rate ~seed).latency_ms with
+    match (run_point ~kind ~f ~scheme ~interval_ms:500 ~rate ~seed ()).latency_ms with
     | Some l -> l
     | None -> invalid_arg "saturation_threshold: no steady state at 500 ms"
   in
   let saturated interval_ms =
-    match (run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed).latency_ms with
+    match (run_point ~kind ~f ~scheme ~interval_ms ~rate ~seed ()).latency_ms with
     | None -> true
     | Some l -> l > 3.0 *. reference
   in
@@ -224,7 +248,7 @@ let message_counts ?(f = 2) ?(seed = 3L) () =
     let cluster =
       Cluster.build
         (failfree_spec ~kind ~f ~scheme:Scheme.mock ~interval:(Simtime.ms 100)
-           ~seed)
+           ~seed ())
     in
     Workload.install cluster
       (Workload.make ~rate_per_sec:200.0 ())
@@ -279,3 +303,46 @@ let durable_recovery_costs ?(f = 2) ?(seed = 1L) ?(duration = Simtime.sec 10) ()
       ("SCR", Cluster.Scr_protocol);
       ("BFT", Cluster.Bft_protocol);
     ]
+
+(* ----------------------------------------- mod_pow micro-benchmark *)
+
+type modexp_point = {
+  mx_bits : int;
+  mx_montgomery_ms : float;
+  mx_knuth_ms : float;
+}
+
+(* Host wall-clock timing, not simulated time: this measures the real
+   implementation the [real_crypto] path runs on, at the paper's RSA key
+   sizes.  Odd moduli with the top bit set, full-width exponents — the
+   shape of an RSA verification.  [iters] repetitions smooth scheduler
+   noise; the Montgomery margin (>1.5x) dwarfs what is left. *)
+let modexp_micro ?(bits = [ 1024; 1536 ]) ?(iters = 5) ?(seed = 17L) () =
+  let rng = Sof_util.Rng.create seed in
+  let time_of f =
+    let t0 = Sys.time () in
+    f ();
+    (Sys.time () -. t0) *. 1e3
+  in
+  List.map
+    (fun b ->
+      let modulus =
+        (* force odd and full-width *)
+        let m = Bignum.random_bits rng b in
+        let m = Bignum.add m (Bignum.shift_left Bignum.one (b - 1)) in
+        if Bignum.is_even m then Bignum.add m Bignum.one else m
+      in
+      let base = Bignum.random_below rng modulus in
+      let exp = Bignum.random_bits rng b in
+      let run pow () =
+        for _ = 1 to iters do
+          ignore (pow ~base ~exp ~modulus)
+        done
+      in
+      (* Warm both paths once so allocation effects hit neither side. *)
+      ignore (Bignum.mod_pow_montgomery ~base ~exp ~modulus);
+      ignore (Bignum.mod_pow_knuth ~base ~exp ~modulus);
+      let mont = time_of (run Bignum.mod_pow_montgomery) in
+      let knuth = time_of (run Bignum.mod_pow_knuth) in
+      { mx_bits = b; mx_montgomery_ms = mont; mx_knuth_ms = knuth })
+    bits

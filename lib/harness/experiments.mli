@@ -25,6 +25,7 @@ val default_intervals_ms : int list
 (** The paper's sweep: 40..500 ms. *)
 
 val fig4_5 :
+  ?auth:Sof_crypto.Keyring.auth ->
   ?f:int ->
   ?intervals_ms:int list ->
   ?rate:float ->
@@ -51,6 +52,8 @@ val fig6 :
     the measured encoded size is reported alongside. *)
 
 val phase_breakdown_for :
+  ?auth:Sof_crypto.Keyring.auth ->
+  ?amortize:bool ->
   kind:Cluster.kind ->
   f:int ->
   scheme:Sof_crypto.Scheme.t ->
@@ -58,12 +61,17 @@ val phase_breakdown_for :
   rate:float ->
   seed:int64 ->
   duration:Sof_sim.Simtime.t ->
+  unit ->
   Metrics.breakdown
 (** One fail-free run of [kind] reduced to its per-phase critical path
     (see {!Metrics.phase_breakdown}).  The cluster runs two seconds past
-    the workload so trailing batches commit and close their spans. *)
+    the workload so trailing batches commit and close their spans.
+    [auth] selects the wire authentication (default [Sign]); [amortize]
+    turns on the accountable-path verify cache. *)
 
 val phase_breakdowns :
+  ?auth:Sof_crypto.Keyring.auth ->
+  ?amortize:bool ->
   ?f:int ->
   ?interval_ms:int ->
   ?rate:float ->
@@ -75,6 +83,21 @@ val phase_breakdowns :
 (** {!phase_breakdown_for} over CT, SC and BFT — the protocols of
     Figures 4/5 — with the figures' defaults (f=2, 100 ms batching,
     400 req/s, 10 s workload). *)
+
+val mac_phase_breakdowns :
+  ?f:int ->
+  ?interval_ms:int ->
+  ?rate:float ->
+  ?seed:int64 ->
+  ?duration:Sof_sim.Simtime.t ->
+  scheme:Sof_crypto.Scheme.t ->
+  unit ->
+  Metrics.breakdown list
+(** The same fail-free configuration re-run under MAC wire authentication
+    with amortized verification, for SC and BFT (the protocols with an
+    n-to-n phase).  Appended to the signed breakdowns these feed the
+    bench's MAC-mode verdicts: asymmetric verifies/batch collapse to the
+    accountable residue while slice checks absorb the quorum traffic. *)
 
 val saturation_threshold :
   ?f:int ->
@@ -120,3 +143,19 @@ val durable_recovery_costs :
     mass restart.  Returns [(protocol, recovery, storage)] over CT, SC,
     SCR and BFT — local replays versus state transfers, plus the durable
     write-path and atlas-hit accounting. *)
+
+(** {2 mod_pow micro-benchmark} *)
+
+type modexp_point = {
+  mx_bits : int;
+  mx_montgomery_ms : float;  (** wall-clock ms for [iters] exponentiations *)
+  mx_knuth_ms : float;
+}
+
+val modexp_micro :
+  ?bits:int list -> ?iters:int -> ?seed:int64 -> unit -> modexp_point list
+(** Times {!Sof_crypto.Bignum.mod_pow_montgomery} against
+    {!Sof_crypto.Bignum.mod_pow_knuth} on full-width odd moduli at the
+    paper's RSA sizes (default 1024 and 1536 bits).  This is host
+    wall-clock time — the one deliberately non-deterministic number in the
+    bench document — backing the verdict that the Montgomery path wins. *)

@@ -230,6 +230,7 @@ type phase_stat = {
 
 type breakdown = {
   bd_protocol : string;
+  bd_auth : string;
   bd_n : int;
   bd_f : int;
   bd_batches : int;
@@ -239,6 +240,7 @@ type breakdown = {
   bd_n_to_n_share : float;
   bd_signs_per_batch : float;
   bd_verifies_per_batch : float;
+  bd_hmacs_per_batch : float;
   bd_crypto : Trace.crypto;
   bd_msg_counts : Trace.msg_count list;
 }
@@ -348,6 +350,7 @@ let phase_breakdown cluster =
   let crypto = Cluster.total_crypto_counts cluster in
   {
     bd_protocol = protocol_name spec.Cluster.kind;
+    bd_auth = Sof_crypto.Keyring.auth_name spec.Cluster.auth;
     bd_n = n;
     bd_f = spec.Cluster.f;
     bd_batches = batches;
@@ -359,6 +362,7 @@ let phase_breakdown cluster =
        else float_of_int n_to_n_msgs /. float_of_int total_msgs);
     bd_signs_per_batch = per_batch crypto.Trace.signs;
     bd_verifies_per_batch = per_batch crypto.Trace.verifies;
+    bd_hmacs_per_batch = per_batch crypto.Trace.hmacs;
     bd_crypto = crypto;
     bd_msg_counts = totals;
   }

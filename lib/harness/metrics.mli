@@ -106,6 +106,7 @@ type phase_stat = {
 
 type breakdown = {
   bd_protocol : string;
+  bd_auth : string;  (** wire auth mode the run used: ["sign"] or ["mac"] *)
   bd_n : int;
   bd_f : int;
   bd_batches : int;  (** sequences with a balanced batch span *)
@@ -115,7 +116,12 @@ type breakdown = {
   bd_n_to_n_share : float;
       (** fraction of all sent messages carried by n-to-n phases *)
   bd_signs_per_batch : float;
-  bd_verifies_per_batch : float;
+      (** asymmetric signs per batch — under MAC wire auth this shrinks to
+          the accountable residue (orders, fail-signals, checkpoints) *)
+  bd_verifies_per_batch : float;  (** asymmetric verifies per batch *)
+  bd_hmacs_per_batch : float;
+      (** symmetric ops per batch (vector tags + slice checks); 0 under
+          [--auth sign] *)
   bd_crypto : Trace.crypto;  (** whole-run totals across processes *)
   bd_msg_counts : Trace.msg_count list;  (** whole-run totals, by tag *)
 }

@@ -284,8 +284,8 @@ let install_recorded_workload cluster ~rate ~duration ~injected =
 (* ----------------------------------------------------------------- run *)
 
 let run ?plan ?(byz = false) ?(restart = false) ?(durable = false)
-    ?(disk_faults = false) ?(checkpoint_interval = 0) ?(rate = 150.0) ~kind ~f
-    ~seed ~duration () =
+    ?(disk_faults = false) ?(checkpoint_interval = 0) ?(rate = 150.0)
+    ?(auth = Sof_crypto.Keyring.Sign) ~kind ~f ~seed ~duration () =
   (* A restart campaign without checkpointing would recover by replaying
      the whole log; the point is recovery through a certified checkpoint,
      so restart implies a default interval.  Durable campaigns force it
@@ -311,7 +311,8 @@ let run ?plan ?(byz = false) ?(restart = false) ?(durable = false)
   let spec =
     {
       (Cluster.default_spec ~kind ~f) with
-      Cluster.batching_interval = Simtime.ms 50;
+      Cluster.auth;
+      batching_interval = Simtime.ms 50;
       (* Generous: retransmission over a lossy pair link adds delay that
          must not read as a time-domain pair failure. *)
       pair_delay_estimate = Simtime.ms 400;

@@ -117,6 +117,7 @@ val run :
   ?disk_faults:bool ->
   ?checkpoint_interval:int ->
   ?rate:float ->
+  ?auth:Sof_crypto.Keyring.auth ->
   kind:Cluster.kind ->
   f:int ->
   seed:int64 ->

@@ -165,8 +165,9 @@ let print_phase_breakdowns (breakdowns : Metrics.breakdown list) =
         bd.Metrics.bd_wide_phases
         (if bd.Metrics.bd_wide_phases = 1 then "" else "s")
         bd.Metrics.bd_n_to_n_share;
-      pf "  crypto/batch: %.1f signs, %.1f verifies\n"
-        bd.Metrics.bd_signs_per_batch bd.Metrics.bd_verifies_per_batch;
+      pf "  auth=%s  crypto/batch: %.1f signs, %.1f verifies, %.1f hmacs\n"
+        bd.Metrics.bd_auth bd.Metrics.bd_signs_per_batch
+        bd.Metrics.bd_verifies_per_batch bd.Metrics.bd_hmacs_per_batch;
       pf "  %-12s %10s %9s %12s %8s %6s %6s\n" "phase" "width(ms)" "share"
         "msgs/batch" "senders" "wide" "n-n";
       List.iter

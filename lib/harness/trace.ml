@@ -16,23 +16,39 @@ type span = {
 }
 
 type crypto = {
-  signs : int;
-  verifies : int;
+  signs : int;  (* asymmetric (scheme) signatures produced *)
+  verifies : int;  (* asymmetric (scheme) signatures checked *)
+  hmacs : int;  (* symmetric ops: MAC-vector tags computed + slices checked *)
   sign_ns : int;
   verify_ns : int;
+  hmac_ns : int;
+  verify_cached : int;  (* asymmetric verifies answered from the batch cache *)
   digest_bytes : int;
   digest_ns : int;
 }
 
 let zero_crypto =
-  { signs = 0; verifies = 0; sign_ns = 0; verify_ns = 0; digest_bytes = 0; digest_ns = 0 }
+  {
+    signs = 0;
+    verifies = 0;
+    hmacs = 0;
+    sign_ns = 0;
+    verify_ns = 0;
+    hmac_ns = 0;
+    verify_cached = 0;
+    digest_bytes = 0;
+    digest_ns = 0;
+  }
 
 let add_crypto a b =
   {
     signs = a.signs + b.signs;
     verifies = a.verifies + b.verifies;
+    hmacs = a.hmacs + b.hmacs;
     sign_ns = a.sign_ns + b.sign_ns;
     verify_ns = a.verify_ns + b.verify_ns;
+    hmac_ns = a.hmac_ns + b.hmac_ns;
+    verify_cached = a.verify_cached + b.verify_cached;
     digest_bytes = a.digest_bytes + b.digest_bytes;
     digest_ns = a.digest_ns + b.digest_ns;
   }

@@ -23,10 +23,17 @@ type span = {
 (** {2 Crypto-operation accounting} *)
 
 type crypto = {
-  signs : int;
-  verifies : int;
+  signs : int;  (** asymmetric (scheme) signatures produced *)
+  verifies : int;  (** asymmetric (scheme) signatures checked *)
+  hmacs : int;
+      (** symmetric operations: MAC-vector tags computed on send plus
+          slice checks on receive (0 unless wire auth is MAC) *)
   sign_ns : int;  (** simulated CPU time charged for signing *)
   verify_ns : int;  (** simulated CPU time charged for verifying *)
+  hmac_ns : int;  (** simulated CPU time charged for symmetric ops *)
+  verify_cached : int;
+      (** asymmetric verifies answered from the amortization cache —
+          no CPU charged, not counted in [verifies] *)
   digest_bytes : int;
   digest_ns : int;
 }

@@ -287,6 +287,10 @@ let make_context t node =
     now = (fun () -> Simtime.of_sec_float (Unix.gettimeofday () -. t.start_time));
     sign;
     verify;
+    (* The TCP runtime always signs with the scheme: accountable and wire
+       authentication coincide. *)
+    sign_acc = sign;
+    verify_acc = verify;
     digest_charge = (fun _ -> ());
     send;
     multicast;

@@ -27,15 +27,21 @@ let tiny_doc =
      let breakdowns =
        H.Experiments.phase_breakdowns ~f:2 ~interval_ms:100 ~rate:150.0 ~seed
          ~duration:(Simtime.sec 5) ~scheme ()
+       @ H.Experiments.mac_phase_breakdowns ~f:2 ~interval_ms:100 ~rate:150.0
+           ~seed ~duration:(Simtime.sec 5) ~scheme ()
      in
      let message_counts = H.Experiments.message_counts ~f:1 () in
      (* Seed 1 is the vetted restart campaign: every protocol's restarted
         process recovers, so mean_recovery_ms is a number in the skeleton. *)
      let recovery = H.Experiments.recovery_costs ~f:2 ~seed:1L () in
      let storage = H.Experiments.durable_recovery_costs ~f:2 ~seed:1L () in
+     (* Small modulus: the section's shape is under test here, not the
+        Montgomery-vs-Knuth outcome (test_bignum pins correctness and the
+        full-size bench pins the speed verdict). *)
+     let modexp = H.Experiments.modexp_micro ~bits:[ 512 ] ~iters:1 () in
      let doc =
        H.Bench_doc.make ~seed ~fast:true ~fig4_5 ~message_counts ~recovery
-         ~storage ~breakdowns ()
+         ~storage ~modexp ~breakdowns ()
      in
      (doc, breakdowns))
 
@@ -160,6 +166,28 @@ let test_critical_path_claim () =
       Alcotest.(check bool) (Printf.sprintf "verdict %S" name) true pass)
     (H.Bench_doc.phase_verdicts breakdowns)
 
+(* The authenticator-vector acceptance: re-running SC with [--auth mac] must
+   collapse the quorum phases onto MAC vectors, leaving only the accountable
+   residue (order signature + endorsement, checked by up to n-1 receivers)
+   on the asymmetric path.  All on the simulated clock, so deterministic. *)
+let test_mac_claim () =
+  let _, breakdowns = Lazy.force tiny_doc in
+  let verdicts = H.Bench_doc.mac_verdicts breakdowns in
+  Alcotest.(check bool) "mac verdicts present" true (List.length verdicts > 0);
+  List.iter
+    (fun (name, pass) ->
+      Alcotest.(check bool) (Printf.sprintf "verdict %S" name) true pass)
+    verdicts;
+  let mac_sc =
+    match H.Bench_doc.find_breakdown breakdowns ~protocol:"SC" ~auth:"mac" with
+    | Some bd -> bd
+    | None -> Alcotest.fail "mac-mode SC breakdown missing"
+  in
+  Alcotest.(check string) "find_breakdown respects auth" "mac"
+    mac_sc.H.Metrics.bd_auth;
+  Alcotest.(check bool) "mac-mode SC still orders batches" true
+    (mac_sc.H.Metrics.bd_batches > 0)
+
 let suite =
   [
     ( "bench_doc",
@@ -168,5 +196,6 @@ let suite =
         Alcotest.test_case "roundtrip and key paths" `Slow test_roundtrip_and_key_paths;
         Alcotest.test_case "critical-path claim (SC vs BFT)" `Slow
           test_critical_path_claim;
+        Alcotest.test_case "mac authenticator-vector claim" `Slow test_mac_claim;
       ] );
   ]

@@ -261,6 +261,96 @@ let prop_mod_pow_matches_naive =
         (B.mod_pow ~base:(B.of_int b) ~exp:(B.of_int e) ~modulus:(B.of_int m))
       = Some !naive)
 
+(* ------------------------------------------- differential battery
+   Montgomery vs Knuth over seeded random triples: same inputs, two
+   independent reduction algorithms, results must agree bit for bit.
+   Limb counts cycle 1..80 (26-bit limbs, so up to ~2080 bits), moduli
+   alternate odd/even (even moduli exercise the dispatch fallback), and
+   the exponent cycles through the structured classes that break ladder
+   implementations: 0, 1, 2^k, 2^k - 1, and bounded random.  Some bases
+   are drawn wider than the modulus so the initial reduction is hit. *)
+
+let test_differential_battery () =
+  let r = Sof_util.Rng.create 0x5eedL in
+  let trials = 1200 in
+  for i = 1 to trials do
+    let limbs = 1 + (i mod 80) in
+    let bits = limbs * 26 in
+    (* Force the top bit so the width is exact; odd/even alternates. *)
+    let m = B.add (B.random_bits r (bits - 1)) (B.shift_left B.one (bits - 1)) in
+    let m = if i mod 2 = 0 then if B.is_even m then B.add m B.one else m
+            else if B.is_even m then m else B.add m B.one in
+    let m = if B.compare m B.two < 0 then B.two else m in
+    let base_bits = if i mod 5 = 0 then bits + 64 else bits in
+    let base = B.random_bits r base_bits in
+    let exp =
+      match i mod 5 with
+      | 0 -> B.zero
+      | 1 -> B.one
+      | 2 -> B.shift_left B.one (1 + (i mod 61)) (* 2^k *)
+      | 3 -> B.sub (B.shift_left B.one (1 + (i mod 61))) B.one (* 2^k - 1 *)
+      | _ -> B.random_bits r (1 + (i mod 64))
+    in
+    let knuth = B.mod_pow_knuth ~base ~exp ~modulus:m in
+    let dispatched = B.mod_pow ~base ~exp ~modulus:m in
+    if not (B.equal knuth dispatched) then
+      Alcotest.failf "trial %d: mod_pow disagrees with Knuth (m %s)" i
+        (B.to_hex m);
+    if not (B.is_even m) then begin
+      let mont = B.mod_pow_montgomery ~base ~exp ~modulus:m in
+      if not (B.equal knuth mont) then
+        Alcotest.failf "trial %d: Montgomery disagrees with Knuth (m %s)" i
+          (B.to_hex m)
+    end
+  done
+
+let test_montgomery_rejects_even () =
+  Alcotest.check_raises "even modulus"
+    (Invalid_argument "Bignum.mod_pow_montgomery: even modulus") (fun () ->
+      ignore
+        (B.mod_pow_montgomery ~base:B.two ~exp:B.two ~modulus:(B.of_int 10)));
+  Alcotest.check_raises "zero modulus" Division_by_zero (fun () ->
+      ignore (B.mod_pow_montgomery ~base:B.two ~exp:B.two ~modulus:B.zero))
+
+(* Regression pins: fixed triples with independently computed results
+   (python3 pow()).  One odd and one even modulus, plus the classic
+   corner cases a windowed ladder can get wrong. *)
+let test_mod_pow_pins () =
+  let check name b e m expect =
+    List.iter
+      (fun (path, f) ->
+        let got =
+          f ~base:(B.of_hex b) ~exp:(B.of_hex e) ~modulus:(B.of_hex m)
+        in
+        Alcotest.(check string) (name ^ " [" ^ path ^ "]") expect (B.to_hex got))
+      (("dispatch", B.mod_pow)
+      ::
+      (if B.is_even (B.of_hex m) then [ ("knuth", B.mod_pow_knuth) ]
+       else
+         [ ("knuth", B.mod_pow_knuth); ("montgomery", B.mod_pow_montgomery) ]))
+  in
+  (* pow(0xdeadbeefcafebabe, 0x10001, 0xfffffffffffffff1) etc. *)
+  check "odd 64-bit" "deadbeefcafebabe" "10001" "fffffffffffffff1"
+    "de51d4948488a913";
+  check "even 64-bit" "deadbeefcafebabe" "10001" "fffffffffffffff0"
+    "77739bdfa7f0ecb0";
+  check "exp 0" "deadbeef" "0" "fffffffb" "1";
+  check "base = modulus" "fffffffb" "5" "fffffffb" "0";
+  check "modulus 1" "deadbeef" "2" "1" "0";
+  (* 2^1024 - 105 is odd; pin a full-width RSA-scale operand.
+     pow(3, 2**64 - 1, 2**1024 - 105) lower 64 bits cross-checked. *)
+  let m1024 = B.sub (B.shift_left B.one 1024) (B.of_int 105) in
+  let r =
+    B.mod_pow_montgomery ~base:(B.of_int 3)
+      ~exp:(B.sub (B.shift_left B.one 64) B.one)
+      ~modulus:m1024
+  in
+  Alcotest.(check bool) "1024-bit pin agrees across paths" true
+    (B.equal r
+       (B.mod_pow_knuth ~base:(B.of_int 3)
+          ~exp:(B.sub (B.shift_left B.one 64) B.one)
+          ~modulus:m1024))
+
 let suite =
   [
     ( "bignum.conversion",
@@ -297,6 +387,11 @@ let suite =
         Alcotest.test_case "gcd" `Quick test_gcd;
         QCheck_alcotest.to_alcotest prop_mod_inverse_valid;
         QCheck_alcotest.to_alcotest prop_mod_pow_matches_naive;
+        Alcotest.test_case "montgomery/knuth differential battery" `Quick
+          test_differential_battery;
+        Alcotest.test_case "montgomery rejects even modulus" `Quick
+          test_montgomery_rejects_even;
+        Alcotest.test_case "mod_pow regression pins" `Quick test_mod_pow_pins;
       ] );
     ( "bignum.primality",
       [

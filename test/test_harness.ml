@@ -137,6 +137,63 @@ let test_cluster_real_crypto_roundtrip () =
   in
   Alcotest.(check bool) "committed with real RSA" true committed
 
+let test_cluster_mac_auth_commits () =
+  (* Under [--auth mac] the quorum phases ride authenticator vectors; the
+     run must still commit, and the trace must show HMAC work with the
+     asymmetric counters reduced to the accountable bodies. *)
+  let run auth =
+    let spec =
+      {
+        (Cluster.default_spec ~kind:Cluster.Sc_protocol ~f:1) with
+        Cluster.auth;
+        batching_interval = ms 100;
+      }
+    in
+    let cluster = Cluster.build spec in
+    H.Workload.install cluster (H.Workload.make ~rate_per_sec:100.0 ()) ~duration:(sec 2);
+    Cluster.run cluster ~until:(sec 3);
+    let committed =
+      List.exists
+        (fun (_, _, e) -> match e with P.Context.Committed _ -> true | _ -> false)
+        (Cluster.events cluster)
+    in
+    (committed, Cluster.total_crypto_counts cluster)
+  in
+  let committed_mac, mac = run Sof_crypto.Keyring.Mac in
+  let committed_sign, signed = run Sof_crypto.Keyring.Sign in
+  Alcotest.(check bool) "mac mode commits" true committed_mac;
+  Alcotest.(check bool) "sign mode commits" true committed_sign;
+  Alcotest.(check bool) "mac mode computes hmacs" true (mac.H.Trace.hmacs > 0);
+  Alcotest.(check bool) "sign mode computes none" true (signed.H.Trace.hmacs = 0);
+  Alcotest.(check bool) "mac mode needs fewer asymmetric verifies" true
+    (mac.H.Trace.verifies < signed.H.Trace.verifies)
+
+let test_cluster_amortized_verify_cache () =
+  (* State transfer re-presents the same checkpoint certificate from every
+     responder; with [amortize_verify] the repeat verifications must be
+     served from the cache instead of burning simulated CPU again. *)
+  let spec =
+    {
+      (Cluster.default_spec ~kind:Cluster.Sc_protocol ~f:1) with
+      Cluster.batching_interval = ms 100;
+      checkpoint_interval = 4;
+      amortize_verify = true;
+    }
+  in
+  let cluster = Cluster.build spec in
+  H.Workload.install cluster (H.Workload.make ~rate_per_sec:150.0 ()) ~duration:(sec 5);
+  Cluster.run cluster ~until:(sec 2);
+  let victim = Cluster.process_count cluster - 1 in
+  Cluster.crash cluster victim;
+  Cluster.run cluster ~until:(sec 3);
+  Cluster.restart cluster victim;
+  Cluster.run cluster ~until:(sec 6);
+  Alcotest.(check bool) "restarted process caught up" true
+    (Cluster.delivered_seq cluster victim > 0);
+  let totals = Cluster.total_crypto_counts cluster in
+  Alcotest.(check bool) "verify cache hit at least once" true
+    (totals.H.Trace.verify_cached > 0)
+
 (* -------------------------------------------------------------- Metrics *)
 
 let test_metrics_latency_positive_and_bounded () =
@@ -248,6 +305,9 @@ let suite =
         Alcotest.test_case "seed sensitivity" `Quick test_cluster_seed_sensitivity;
         Alcotest.test_case "process counts" `Quick test_cluster_process_counts;
         Alcotest.test_case "real crypto end-to-end" `Slow test_cluster_real_crypto_roundtrip;
+        Alcotest.test_case "mac auth end-to-end" `Quick test_cluster_mac_auth_commits;
+        Alcotest.test_case "amortized verify cache" `Quick
+          test_cluster_amortized_verify_cache;
         Alcotest.test_case "reply certificate" `Quick test_cluster_reply_certificate;
       ] );
     ( "harness.metrics",

@@ -144,8 +144,18 @@ let test_scheme_names () =
         "roundtrip" s.Scheme.name
         (Scheme.of_name s.Scheme.name).Scheme.name)
     Scheme.paper_schemes;
-  Alcotest.check_raises "unknown" (Invalid_argument "Scheme.of_name: unknown scheme x")
-    (fun () -> ignore (Scheme.of_name "x"))
+  (* The error must name every accepted scheme (a bare echo of the bad
+     input was useless at the CLI). *)
+  Alcotest.check_raises "unknown"
+    (Invalid_argument
+       (Printf.sprintf "Scheme.of_name: unknown scheme x (accepted: %s)"
+          (String.concat ", " Scheme.names)))
+    (fun () -> ignore (Scheme.of_name "x"));
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        "names roundtrip" name (Scheme.of_name name).Scheme.name)
+    Scheme.names
 
 let test_scheme_cost_asymmetries () =
   (* The relationships the paper's analysis depends on. *)
@@ -219,6 +229,116 @@ let test_keyring_real_dsa () =
   Alcotest.(check bool) "cross-node rejected" false
     (Keyring.verify kr ~signer:0 ~msg:"m" ~signature:s)
 
+(* ---------------------------------------------------- conformance
+   Every mechanism the paper models, held to the same contract through
+   the one API the protocols use: a keyring signature round-trips, a
+   flipped bit in either the message or the signature is rejected, and a
+   signature never verifies against another node's identity.  Catches a
+   new mechanism (like the authenticator vectors) silently weakening the
+   boundary the protocol cores rely on. *)
+
+let flip_bit s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Bytes.to_string b
+
+let conformance_rings =
+  lazy
+    (List.map
+       (fun scheme ->
+         let key_bits =
+           match scheme.Scheme.mechanism with
+           | Scheme.Rsa _ | Scheme.Dsa _ -> Some 256
+           | Scheme.Unsigned | Scheme.Mock_hmac | Scheme.Mac_vector -> None
+         in
+         ( scheme,
+           Keyring.create ?key_bits ~scheme ~rng:(Sof_util.Rng.create 11L)
+             ~node_count:4 () ))
+       Scheme.all)
+
+let test_conformance_roundtrip () =
+  List.iter
+    (fun (scheme, kr) ->
+      let name = scheme.Scheme.name in
+      let msg = "conformance " ^ name in
+      let s = Keyring.sign kr ~signer:2 msg in
+      Alcotest.(check bool) (name ^ ": verifies") true
+        (Keyring.verify kr ~signer:2 ~msg ~signature:s);
+      (* A receiver holding only its own MAC row must also accept. *)
+      Alcotest.(check bool) (name ^ ": verifies for one receiver") true
+        (Keyring.verify ~verifier:0 kr ~signer:2 ~msg ~signature:s))
+    (Lazy.force conformance_rings)
+
+let test_conformance_tamper_rejection () =
+  List.iter
+    (fun (scheme, kr) ->
+      let name = scheme.Scheme.name in
+      if scheme.Scheme.mechanism <> Scheme.Unsigned then begin
+        let msg = "conformance " ^ name in
+        let s = Keyring.sign kr ~signer:2 msg in
+        Alcotest.(check bool) (name ^ ": flipped msg bit rejected") false
+          (Keyring.verify kr ~signer:2 ~msg:(flip_bit msg 3) ~signature:s);
+        (* Flip one bit in every signature byte position in turn: no
+           position may be ignored by the verifier. *)
+        String.iteri
+          (fun i _ ->
+            if Keyring.verify kr ~signer:2 ~msg ~signature:(flip_bit s i) then
+              Alcotest.failf "%s: flipped signature bit %d accepted" name i)
+          s;
+        Alcotest.(check bool) (name ^ ": truncated signature rejected") false
+          (Keyring.verify kr ~signer:2 ~msg
+             ~signature:(String.sub s 0 (String.length s - 1)))
+      end)
+    (Lazy.force conformance_rings)
+
+let test_conformance_wrong_identity () =
+  List.iter
+    (fun (scheme, kr) ->
+      let name = scheme.Scheme.name in
+      if scheme.Scheme.mechanism <> Scheme.Unsigned then begin
+        let msg = "conformance " ^ name in
+        let s = Keyring.sign kr ~signer:2 msg in
+        Alcotest.(check bool) (name ^ ": wrong signer rejected") false
+          (Keyring.verify kr ~signer:3 ~msg ~signature:s)
+      end)
+    (Lazy.force conformance_rings)
+
+let test_mac_mode_vectors () =
+  (* [--auth mac] provisions the pairwise matrix alongside any signing
+     scheme; the vector path must hold to the same contract. *)
+  let kr =
+    Keyring.create ~auth:Keyring.Mac ~scheme:Scheme.mock
+      ~rng:(Sof_util.Rng.create 12L) ~node_count:4 ()
+  in
+  Alcotest.(check bool) "matrix provisioned" true (Keyring.mac_provisioned kr);
+  Alcotest.(check int) "vector size" (4 * Keyring.tag_size)
+    (Keyring.vector_size kr);
+  let v = Keyring.sign_vector kr ~signer:1 "m" in
+  for recv = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "entry %d verifies" recv)
+      true
+      (Keyring.verify_vector kr ~verifier:recv ~signer:1 ~msg:"m" ~signature:v)
+  done;
+  Alcotest.(check bool) "flipped tag rejected for its receiver" false
+    (Keyring.verify_vector kr ~verifier:0 ~signer:1 ~msg:"m"
+       ~signature:(flip_bit v 0));
+  (* The flipped entry belongs to receiver 0 alone; receiver 2's slice is
+     untouched — the weak-certificate property MAC vectors live with. *)
+  Alcotest.(check bool) "other entries unaffected" true
+    (Keyring.verify_vector kr ~verifier:2 ~signer:1 ~msg:"m"
+       ~signature:(flip_bit v 0));
+  Alcotest.(check bool) "wrong signer rejected" false
+    (Keyring.verify_vector kr ~verifier:0 ~signer:2 ~msg:"m" ~signature:v);
+  (* Under the default [--auth sign] no matrix exists: determinism of the
+     seeded runs depends on the key-generation draws being identical. *)
+  let plain =
+    Keyring.create ~scheme:Scheme.mock ~rng:(Sof_util.Rng.create 12L)
+      ~node_count:4 ()
+  in
+  Alcotest.(check bool) "sign mode has no matrix" false
+    (Keyring.mac_provisioned plain)
+
 let suite =
   [
     ( "crypto.rsa",
@@ -255,5 +375,16 @@ let suite =
         Alcotest.test_case "unsigned scheme" `Quick test_keyring_unsigned;
         Alcotest.test_case "real rsa keyring" `Quick test_keyring_real_rsa;
         Alcotest.test_case "real dsa keyring" `Quick test_keyring_real_dsa;
+      ] );
+    ( "crypto.conformance",
+      [
+        Alcotest.test_case "every mechanism round-trips" `Quick
+          test_conformance_roundtrip;
+        Alcotest.test_case "every mechanism rejects tampering" `Quick
+          test_conformance_tamper_rejection;
+        Alcotest.test_case "every mechanism binds the signer" `Quick
+          test_conformance_wrong_identity;
+        Alcotest.test_case "mac-mode authenticator vectors" `Quick
+          test_mac_mode_vectors;
       ] );
   ]

@@ -275,6 +275,8 @@ let test_sc_create_validation () =
       now = (fun () -> Simtime.zero);
       sign = (fun _ -> "");
       verify = (fun ~signer:_ ~msg:_ ~signature:_ -> true);
+      sign_acc = (fun _ -> "");
+      verify_acc = (fun ~signer:_ ~msg:_ ~signature:_ -> true);
       digest_charge = ignore;
       send = (fun ~dst:_ _ -> ());
       multicast = (fun ~dsts:_ _ -> ());

@@ -10,10 +10,18 @@
 module Simtime = Sof_sim.Simtime
 module H = Sof_harness
 
-let check_campaign ~kind ~byz ~seed () =
+let check_campaign ?(auth = Sof_crypto.Keyring.Sign) ~kind ~byz ~seed () =
   let report =
-    H.Nemesis.run ~byz ~kind ~f:1 ~seed ~duration:(Simtime.sec 10) ()
+    H.Nemesis.run ~auth ~byz ~kind ~f:1 ~seed ~duration:(Simtime.sec 10) ()
   in
+  (* A Byzantine campaign must actually have drawn a fault — otherwise
+     fs-accountability passes vacuously.  CT has no Byzantine model and
+     keeps its crash instead. *)
+  if byz && kind <> H.Cluster.Ct_protocol then
+    Alcotest.(check bool)
+      (Printf.sprintf "byz fault drawn (seed %Ld)" seed)
+      true
+      (report.H.Nemesis.plan.H.Nemesis.byz_faults <> []);
   List.iter
     (fun r ->
       Alcotest.(check bool)
@@ -24,18 +32,24 @@ let check_campaign ~kind ~byz ~seed () =
     (Printf.sprintf "campaign verdict (seed %Ld)" seed)
     true report.H.Nemesis.passed
 
-let case ~kind ~byz ~proto seed =
+let case ?auth ~kind ~byz ~proto seed =
+  let mac =
+    match auth with Some Sof_crypto.Keyring.Mac -> " --auth mac" | _ -> ""
+  in
   Alcotest.test_case
-    (Printf.sprintf "%s%s seed %Ld" proto (if byz then " --byz" else "") seed)
+    (Printf.sprintf "%s%s%s seed %Ld" proto
+       (if byz then " --byz" else "")
+       mac seed)
     `Slow
-    (check_campaign ~kind ~byz ~seed)
+    (check_campaign ?auth ~kind ~byz ~seed)
 
 (* Crash-restart campaigns: the crash target comes back mid-run with empty
    volatile state and must rejoin through checkpointed state transfer.
    Replay with `sof chaos --protocol <p> --restart --seed <n>`. *)
-let check_restart_campaign ~kind ~seed () =
+let check_restart_campaign ?(auth = Sof_crypto.Keyring.Sign) ~kind ~seed () =
   let report =
-    H.Nemesis.run ~restart:true ~kind ~f:1 ~seed ~duration:(Simtime.sec 10) ()
+    H.Nemesis.run ~auth ~restart:true ~kind ~f:1 ~seed
+      ~duration:(Simtime.sec 10) ()
   in
   Alcotest.(check bool)
     (Printf.sprintf "someone restarted (seed %Ld)" seed)
@@ -57,11 +71,14 @@ let check_restart_campaign ~kind ~seed () =
     (Printf.sprintf "campaign verdict (seed %Ld)" seed)
     true report.H.Nemesis.passed
 
-let restart_case ~kind ~proto seed =
+let restart_case ?auth ~kind ~proto seed =
+  let mac =
+    match auth with Some Sof_crypto.Keyring.Mac -> " --auth mac" | _ -> ""
+  in
   Alcotest.test_case
-    (Printf.sprintf "%s --restart seed %Ld" proto seed)
+    (Printf.sprintf "%s --restart%s seed %Ld" proto mac seed)
     `Slow
-    (check_restart_campaign ~kind ~seed)
+    (check_restart_campaign ?auth ~kind ~seed)
 
 let suite =
   [
@@ -79,6 +96,27 @@ let suite =
       (* seed 1 mutes the coordinator primary mid-run, forcing an SCR
          view-change fail-over. *)
       @ [ case ~kind:H.Cluster.Scr_protocol ~byz:true ~proto:"scr" 1L ]
+      (* The same Byzantine campaigns under MAC wire authentication:
+         fail-signal accountability must still convict when the quorum
+         phases carry authenticator vectors instead of signatures —
+         accountable bodies (orders, fail-signals, checkpoints) keep
+         transferable scheme signatures either way. *)
+      @ [
+          case ~auth:Sof_crypto.Keyring.Mac ~kind:H.Cluster.Sc_protocol
+            ~byz:true ~proto:"sc" 2L;
+          case ~auth:Sof_crypto.Keyring.Mac ~kind:H.Cluster.Scr_protocol
+            ~byz:true ~proto:"scr" 1L;
+        ]
+      (* Restart under MAC auth: state-transfer certificates stay on the
+         asymmetric path, so rejoin must work identically. *)
+      @ List.map
+          (fun (kind, proto) ->
+            restart_case ~auth:Sof_crypto.Keyring.Mac ~kind ~proto 1L)
+          [
+            (H.Cluster.Sc_protocol, "sc");
+            (H.Cluster.Scr_protocol, "scr");
+            (H.Cluster.Bft_protocol, "bft");
+          ]
       @ List.concat_map
           (fun (kind, proto) ->
             List.map (restart_case ~kind ~proto) [ 1L; 2L; 3L ])
