@@ -257,6 +257,25 @@ let run_ablation_pair_link () =
     (fun d -> Printf.printf "%-28s %14.2f\n" (Printf.sprintf "%d ms" d) (latency d))
     [ 0; 2; 5; 10 ]
 
+(* Ablation 3: the delay estimate as a correctness knob.  One pinned gray
+   straggler campaign against SC, replayed at several static multiples of
+   the base estimate and once under the adaptive estimator: premature
+   fail-signals fall to zero as the static multiple clears the surge's
+   peak RTT, and the adaptive row gets there without the oracle value. *)
+let run_timeout_sensitivity () =
+  banner "Ablation: timeout sensitivity (premature signals vs delay estimate)";
+  let multipliers = if fast then [ 0.5; 1.0; 4.0 ] else [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  Printf.printf "%-14s %12s %14s %10s %16s\n" "estimate" "(ms)" "fail-signals"
+    "installs" "min deliveries";
+  List.iter
+    (fun (p : H.Experiments.timeout_point) ->
+      Printf.printf "%-14s %12.0f %14d %10d %16d%s\n" p.H.Experiments.ts_label
+        p.H.Experiments.ts_estimate_ms p.H.Experiments.ts_fail_signals
+        p.H.Experiments.ts_installs p.H.Experiments.ts_min_deliveries
+        (if p.H.Experiments.ts_degradation_live then "" else "  (stalled)"))
+    (H.Experiments.timeout_sensitivity ~multipliers ());
+  flush stdout
+
 let () =
   run_micro ();
   banner "Part 2: paper evaluation reproduction";
@@ -269,4 +288,5 @@ let () =
   run_msgs ();
   run_ablation_dumb ();
   run_ablation_pair_link ();
+  run_timeout_sensitivity ();
   print_newline ()

@@ -207,9 +207,18 @@ let bench_cmd =
     let recovery = H.Experiments.recovery_costs ~f () in
     let storage = H.Experiments.durable_recovery_costs ~f () in
     let modexp = H.Experiments.modexp_micro () in
+    (* The timeout-sensitivity sweep runs its own pinned gray campaign
+       (seed 1), not the bench seed: the point is the static-vs-adaptive
+       asymmetry on a vetted straggler schedule. *)
+    let timing =
+      let multipliers =
+        if fast then [ 1.0 ] else [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+      in
+      H.Experiments.timeout_sensitivity ~multipliers ()
+    in
     let doc =
       H.Bench_doc.make ~seed ~fast ~fig4_5 ?fig6 ~message_counts ~recovery
-        ~storage ~modexp ~breakdowns ()
+        ~storage ~modexp ~timing ~breakdowns ()
     in
     H.Report.print_fig4
       ~title:(Printf.sprintf "bench: order latency (ms), f=%d, %s" f scheme.Scheme.name)
@@ -240,12 +249,26 @@ let bench_cmd =
           p.H.Experiments.mx_bits p.H.Experiments.mx_montgomery_ms
           p.H.Experiments.mx_knuth_ms)
       modexp;
+    Format.printf
+      "timeout sensitivity (SC gray campaign, premature signals vs estimate):@.";
+    List.iter
+      (fun (p : H.Experiments.timeout_point) ->
+        Format.printf
+          "  %-12s %6.0fms estimate: %d fail-signals, %d installs, min \
+           deliveries %d%s@."
+          p.H.Experiments.ts_label p.H.Experiments.ts_estimate_ms
+          p.H.Experiments.ts_fail_signals p.H.Experiments.ts_installs
+          p.H.Experiments.ts_min_deliveries
+          (if p.H.Experiments.ts_degradation_live then ""
+           else " (delivery stalled)"))
+      timing;
     List.iter
       (fun (name, pass) ->
         Format.printf "  [%s] %s@." (if pass then "PASS" else "FAIL") name)
       (H.Bench_doc.phase_verdicts breakdowns
       @ H.Bench_doc.mac_verdicts breakdowns
-      @ H.Bench_doc.modexp_verdicts modexp);
+      @ H.Bench_doc.modexp_verdicts modexp
+      @ H.Bench_doc.timing_verdicts timing);
     match json_path with
     | None -> `Ok ()
     | Some path ->
@@ -382,8 +405,65 @@ let census_cmd =
 (* --------------------------------------------------------------- chaos *)
 
 let chaos_cmd =
-  let chaos protocol f seed duration_s byz restart durable disk_faults long auth =
-    if long then begin
+  let chaos protocol f seed duration_s byz restart durable disk_faults long gray
+      timing auth =
+    (* Flag-matrix validation: campaigns that cannot honour a flag reject it
+       outright rather than silently ignoring it. *)
+    let conflict =
+      if long && (byz || restart || durable || disk_faults || gray) then
+        Some
+          "--long is a fail-free endurance run; drop --byz/--restart/--durable/\
+           --disk-faults/--gray"
+      else if gray && byz then
+        Some
+          "--gray campaigns have no faulty process (everything is slow, \
+           nothing is wrong); drop --byz"
+      else if gray && restart then
+        Some "--gray campaigns crash nothing, so there is no target to --restart"
+      else if gray && disk_faults then
+        Some
+          "--gray pairs with --durable (slow-sector disks), not --disk-faults \
+           (the corruption atlas)"
+      else if gray && auth = Sof_crypto.Keyring.Mac then
+        Some "--gray campaigns run signed; drop --auth mac"
+      else if byz && restart then
+        Some
+          "--byz trades the campaign's crash away, leaving no crash target to \
+           --restart; pick one"
+      else if timing <> `Auto && not gray then
+        Some
+          "--timing selects the --gray estimator; classic campaigns run the \
+           paper's static (Sync) estimates"
+      else None
+    in
+    match conflict with
+    | Some msg -> `Error (false, msg)
+    | None ->
+    if gray then begin
+      let timing =
+        match timing with
+        | `Static -> Sof_protocol.Config.Static
+        | `Adaptive | `Auto -> Sof_protocol.Config.Adaptive
+      in
+      let report =
+        H.Nemesis.gray_run ~slow_disks:durable ~timing ~kind:protocol ~f ~seed
+          ~duration:(Simtime.sec duration_s) ()
+      in
+      Format.printf "%a" H.Nemesis.pp_gray_report report;
+      if report.H.Nemesis.gr_passed then `Ok ()
+      else begin
+        let failing =
+          List.filter_map
+            (fun r -> if r.H.Invariants.pass then None else Some r.H.Invariants.name)
+            report.H.Nemesis.gr_invariants
+        in
+        `Error
+          ( false,
+            Printf.sprintf "chaos FAIL seed=%Ld invariant=%s" seed
+              (String.concat "," failing) )
+      end
+    end
+    else if long then begin
       let report =
         H.Nemesis.long_run ~kind:protocol ~f ~seed
           ~duration:(Simtime.sec duration_s) ()
@@ -481,16 +561,58 @@ let chaos_cmd =
              retained order log stays bounded by truncation while the total \
              order grows.")
   in
+  let gray =
+    Arg.(
+      value & flag
+      & info [ "gray" ]
+          ~doc:
+            "Gray-failure campaign instead of a fault campaign: no process is \
+             faulty, but one replica straggles through a seeded jitter ramp \
+             while asymmetric slow links, degrading links and load surges \
+             compound it.  Judges degradation liveness (slow never becomes \
+             stopped) and — under adaptive timing — that no premature \
+             fail-signal, view change or coordinator rotation occurs.  With \
+             $(b,--durable), the cluster also runs over slow-sector disks \
+             (correct data, stalling reads).")
+  in
+  let timing =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("static", `Static); ("adaptive", `Adaptive) ]) `Auto
+      & info [ "timing" ] ~docv:"TIMING"
+          ~doc:
+            "Delay-estimate mode for $(b,--gray) campaigns: $(b,adaptive) \
+             (what $(b,auto) resolves to) drives every suspicion timer from \
+             per-link Jacobson round-trip estimators with exponential backoff \
+             and a hard cap; $(b,static) keeps the paper's fixed Sync-model \
+             estimate, under which a straggler is expected to draw premature \
+             fail-signals.  Classic campaigns always run static — the paper's \
+             timed detection obligations assume it.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded Nemesis fault campaign (lossy links, partitions, crash, \
           surge) over the reliable channel and check protocol invariants.  The \
-          same seed reproduces the same campaign.")
+          same seed reproduces the same campaign."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Valid flag combinations: the default campaign (crash + \
+              partitions + loss + surge) composes with $(b,--restart), \
+              $(b,--durable), $(b,--disk-faults) (implies durable) and \
+              $(b,--auth); $(b,--byz) trades the crash for a Byzantine fault \
+              and composes with $(b,--durable)/$(b,--disk-faults) and \
+              $(b,--auth) but not $(b,--restart); $(b,--gray) composes with \
+              $(b,--timing) and $(b,--durable) only; $(b,--long) composes \
+              with nothing.  Every other combination is rejected with an \
+              explanation rather than silently ignored.";
+         ])
     Term.(
       ret
         (const chaos $ protocol_arg $ f_param $ seed $ duration $ byz $ restart
-       $ durable $ disk_faults $ long $ auth))
+       $ durable $ disk_faults $ long $ gray $ timing $ auth))
 
 (* ---------------------------------------------------------------- fuzz *)
 

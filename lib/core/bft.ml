@@ -13,16 +13,20 @@ type config = {
   view_change_timeout : Simtime.t;
   checkpoint_interval : int;
   unsafe_digest_blind_votes : bool;
+  timing : Config.timing;
 }
 
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
     ?(digest = Sof_crypto.Digest_alg.MD5) ?(view_change_timeout = Simtime.sec 2)
-    ?(checkpoint_interval = 0) ?(unsafe_digest_blind_votes = false) ~f () =
+    ?(checkpoint_interval = 0) ?(unsafe_digest_blind_votes = false)
+    ?(timing = Config.Static) ~f () =
   if f < 1 then raise (Config.Invalid_config "Bft.make_config: f must be at least 1");
   if checkpoint_interval < 0 then
     raise (Config.Invalid_config "Bft.make_config: checkpoint_interval must be non-negative");
+  if Simtime.compare view_change_timeout Simtime.zero <= 0 then
+    raise (Config.Invalid_config "Bft.make_config: view_change_timeout must be positive");
   { f; batching_interval; batch_size_limit; digest; view_change_timeout; checkpoint_interval;
-    unsafe_digest_blind_votes }
+    unsafe_digest_blind_votes; timing }
 
 let process_count config = (3 * config.f) + 1
 
@@ -77,6 +81,13 @@ type t = {
          pruned one interval behind the stable checkpoint.  Only maintained
          when checkpointing is on. *)
   mutable fetch_timer : Context.timer option;
+  (* adaptive timing (Config.Adaptive only; untouched in Static mode so
+     seeded static runs keep the exact stream layout) *)
+  ests : Sof_net.Delay_estimator.t option array;  (* per-peer RTT, lazy *)
+  probe_accepted : int array;  (* highest reply nonce accepted per peer *)
+  mutable probe_nonce : int;
+  mutable fetch_backoff : int;  (* doublings applied to fetch retries *)
+  mutable vc_backoff : int;  (* doublings applied to consecutive suspicions *)
 }
 
 let id t = t.ctx.Context.id
@@ -119,6 +130,47 @@ let authentic t (env : Message.envelope) =
 let can_transmit t = not (Fault.is_mute t.fault ~now:(t.ctx.Context.now ()))
 
 let multicast t ~dsts env = if can_transmit t then t.ctx.Context.multicast ~dsts env
+
+(* ------------------------------------------------------ adaptive timing *)
+
+module Estimator = Sof_net.Delay_estimator
+
+let adaptive t =
+  match t.config.timing with Config.Adaptive -> true | Config.Static -> false
+
+let est_for t peer =
+  match t.ests.(peer) with
+  | Some e -> e
+  | None ->
+    let e = Estimator.create ~initial:t.config.view_change_timeout () in
+    t.ests.(peer) <- Some e;
+    e
+
+let timer_cap t = Simtime.ns (64 * Simtime.to_ns t.config.view_change_timeout)
+
+(* The stall budget a replica grants the current primary before suspecting
+   it: static mode keeps the configured view-change timeout; adaptive mode
+   tracks the measured round-trip to the primary and doubles per
+   consecutive suspicion, capped. *)
+let suspicion_delay t =
+  match t.config.timing with
+  | Config.Static -> t.config.view_change_timeout
+  | Config.Adaptive ->
+    Estimator.backed_off
+      (Estimator.timeout (est_for t (primary t)))
+      ~level:t.vc_backoff ~cap:(timer_cap t)
+
+let send_probe t dst =
+  t.probe_nonce <- t.probe_nonce + 1;
+  let at = Simtime.to_ns (t.ctx.Context.now ()) in
+  multicast t ~dsts:[ dst ] (make_signed t (Message.Probe { nonce = t.probe_nonce; at }))
+
+let note_probe_reply t ~src ~nonce ~at =
+  if adaptive t && nonce > t.probe_accepted.(src) then begin
+    t.probe_accepted.(src) <- nonce;
+    Estimator.observe (est_for t src)
+      (Simtime.diff (t.ctx.Context.now ()) (Simtime.ns at))
+  end
 
 let get_order t o =
   match Hashtbl.find_opt t.orders o with
@@ -608,6 +660,7 @@ let maybe_end_fetch t =
     Recovery.end_fetch t.rcv;
     (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
     t.fetch_timer <- None;
+    t.fetch_backoff <- 0;
     Recovery.clear_offers t.rcv
   end
 
@@ -616,10 +669,18 @@ let rec fetch_tick t =
     Recovery.clear_offers t.rcv;
     multicast t ~dsts:(others t)
       (make_signed t (Message.State_request { have = t.delivered }));
-    t.fetch_timer <-
-      Some
-        (t.ctx.Context.set_timer ~delay:t.config.view_change_timeout (fun () ->
-             fetch_tick t))
+    let delay =
+      if adaptive t then begin
+        let d =
+          Estimator.backed_off t.config.view_change_timeout ~level:t.fetch_backoff
+            ~cap:(timer_cap t)
+        in
+        t.fetch_backoff <- t.fetch_backoff + 1;
+        d
+      end
+      else t.config.view_change_timeout
+    in
+    t.fetch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> fetch_tick t))
   end
 
 let request_recovery t =
@@ -734,7 +795,8 @@ let rec arm_vc_timer t =
   t.vc_timer <- Some h
 
 and vc_tick t =
-  let budget = Simtime.add t.config.batching_interval t.config.view_change_timeout in
+  if adaptive t && not (i_am_primary t) then send_probe t (primary t);
+  let budget = Simtime.add t.config.batching_interval (suspicion_delay t) in
   let now = t.ctx.Context.now () in
   let stalled =
     Simtime.compare (Simtime.add t.last_progress budget) now <= 0
@@ -749,6 +811,7 @@ and vc_tick t =
 
 and start_view_change t v =
   if v > t.view then begin
+    t.vc_backoff <- t.vc_backoff + 1;
     (match t.vc_span with
     | Some old -> span_close t Context.View_change_phase old
     | None -> ());
@@ -804,6 +867,7 @@ let rec handle_view_change t ~src:_ ~v ~prepared (env : Message.envelope) =
 and enter_view t v pre_prepares =
   t.view <- v;
   t.changing_view <- false;
+  t.vc_backoff <- 0;
   (match t.vc_span with
   | Some old ->
     t.vc_span <- None;
@@ -883,6 +947,12 @@ let on_message t ~src (env : Message.envelope) =
   | Message.State_request { have } -> if authentic t env then serve_state_request t ~src ~have
   | Message.State_response { cert; image; entries } ->
     if authentic t env then handle_state_response t ~src ~cert ~image ~entries
+  | Message.Probe { nonce; at } ->
+    (* Echo the sender's timestamp back; replies are liveness-only input so
+       they need no verification beyond the estimator's nonce filter. *)
+    if adaptive t then
+      multicast t ~dsts:[ src ] (make_signed t (Message.Probe_reply { nonce; at }))
+  | Message.Probe_reply { nonce; at } -> note_probe_reply t ~src ~nonce ~at
   | Message.Order _ | Message.Ack _ | Message.Fail_signal _ | Message.Back_log _
   | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
   | Message.View_change _ | Message.New_view _ | Message.Unwilling _
@@ -917,4 +987,9 @@ let create ~ctx ~config ?(fault = Fault.Honest) () =
     rcv = Recovery.create ();
     recent_delivered = [];
     fetch_timer = None;
+    ests = Array.make (process_count config) None;
+    probe_accepted = Array.make (process_count config) 0;
+    probe_nonce = 0;
+    fetch_backoff = 0;
+    vc_backoff = 0;
   }

@@ -31,6 +31,12 @@ type config = {
           pooling safety bug the durable-storage PR fixed.  Exists so the
           model checker's counterexample tests have a real, historically
           observed violation to rediscover; never enable it otherwise. *)
+  timing : Config.timing;
+      (** [Static] (default) keeps the configured view-change timeout;
+          [Adaptive] probes the current primary, derives the suspicion
+          budget from the measured round-trip (Jacobson RTO), and doubles
+          it per consecutive view change, capped at 64 x the configured
+          timeout.  Liveness-only: no safety property depends on it. *)
 }
 
 val make_config :
@@ -40,10 +46,12 @@ val make_config :
   ?view_change_timeout:Sof_sim.Simtime.t ->
   ?checkpoint_interval:int ->
   ?unsafe_digest_blind_votes:bool ->
+  ?timing:Config.timing ->
   f:int ->
   unit ->
   config
-(** @raise Invalid_argument when [f < 1]. *)
+(** @raise Config.Invalid_config when [f < 1], [checkpoint_interval < 0],
+    or [view_change_timeout] is non-positive. *)
 
 val process_count : config -> int
 (** [3f+1]. *)

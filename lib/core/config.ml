@@ -7,6 +7,10 @@ exception Invalid_config of string
 
 type variant = SC | SCR
 
+type timing = Static | Adaptive
+
+let timing_name = function Static -> "static" | Adaptive -> "adaptive"
+
 type t = {
   f : int;
   variant : variant;
@@ -17,15 +21,23 @@ type t = {
   heartbeat_interval : Simtime.t;
   dumb_optimization : bool;
   checkpoint_interval : int;
+  timing : timing;
 }
 
 let make ?(variant = SC) ?(batching_interval = Simtime.ms 100)
     ?(batch_size_limit = 1024) ?(digest = Sof_crypto.Digest_alg.MD5)
     ?(pair_delay_estimate = Simtime.ms 10) ?(heartbeat_interval = Simtime.ms 20)
-    ?(dumb_optimization = true) ?(checkpoint_interval = 0) ~f () =
+    ?(dumb_optimization = true) ?(checkpoint_interval = 0) ?(timing = Static) ~f () =
   if f < 1 then raise (Invalid_config "Config.make: f must be at least 1");
   if checkpoint_interval < 0 then
     raise (Invalid_config "Config.make: checkpoint_interval must be non-negative");
+  let positive name v =
+    if Simtime.compare v Simtime.zero <= 0 then
+      raise (Invalid_config (Printf.sprintf "Config.make: %s must be positive" name))
+  in
+  positive "batching_interval" batching_interval;
+  positive "pair_delay_estimate" pair_delay_estimate;
+  positive "heartbeat_interval" heartbeat_interval;
   {
     f;
     variant;
@@ -36,6 +48,7 @@ let make ?(variant = SC) ?(batching_interval = Simtime.ms 100)
     heartbeat_interval;
     dumb_optimization;
     checkpoint_interval;
+    timing;
   }
 
 let replica_count t = (2 * t.f) + 1

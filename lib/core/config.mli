@@ -26,6 +26,23 @@ type variant =
       (** Signal-on-crash-and-recovery set-up: assumptions 3(b) — eventually
           accurate estimates, at most one fault per pair.  n = 3f+2. *)
 
+(** How the timeliness timers obtain their delay estimate.
+
+    [Static] is the paper's Sync reading of assumption 3(a): the
+    configured [pair_delay_estimate] is trusted as a bound and never
+    revised — the behaviour of every release before adaptive timing, so
+    seeded runs replay byte-for-byte.  [Adaptive] makes the PSync reading
+    of assumption 3(b) operational: processes exchange timestamped probes,
+    feed per-link Jacobson estimators, and derive their timeliness
+    deadlines from the measured round-trip distribution with exponential
+    backoff and a hard cap.  Adaptive timing can only delay or avoid a
+    fail-signal, never forge protocol evidence, so it affects liveness
+    only — safety never depends on a timer (DESIGN.md section 14). *)
+type timing = Static | Adaptive
+
+val timing_name : timing -> string
+(** ["static"] or ["adaptive"]. *)
+
 type t = {
   f : int;  (** Fault-tolerance parameter, f >= 1. *)
   variant : variant;
@@ -49,6 +66,10 @@ type t = {
           checkpoint, truncating the order log behind the latest stable one.
           0 (the default) disables checkpointing entirely — the log grows
           without bound, exactly the pre-checkpoint behaviour. *)
+  timing : timing;
+      (** [Static] (the default) keeps every timeliness deadline at the
+          configured estimate; [Adaptive] turns on probing and estimator-
+          driven deadlines. *)
 }
 
 val make :
@@ -60,12 +81,15 @@ val make :
   ?heartbeat_interval:Sof_sim.Simtime.t ->
   ?dumb_optimization:bool ->
   ?checkpoint_interval:int ->
+  ?timing:timing ->
   f:int ->
   unit ->
   t
 (** Defaults: SC, 100 ms interval, 1024-byte batches, MD5 digests, 10 ms
-    delay estimate, 20 ms heartbeat, checkpointing off.
-    @raise Invalid_config when [f < 1] or [checkpoint_interval < 0]. *)
+    delay estimate, 20 ms heartbeat, checkpointing off, static timing.
+    @raise Invalid_config when [f < 1], [checkpoint_interval < 0], or any
+    of [batching_interval], [pair_delay_estimate], [heartbeat_interval] is
+    non-positive. *)
 
 val replica_count : t -> int
 (** [2f+1]. *)

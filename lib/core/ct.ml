@@ -11,15 +11,19 @@ type config = {
   digest : Sof_crypto.Digest_alg.t;
   suspect_timeout : Simtime.t;
   checkpoint_interval : int;
+  timing : Config.timing;
 }
 
 let make_config ?(batching_interval = Simtime.ms 100) ?(batch_size_limit = 1024)
     ?(digest = Sof_crypto.Digest_alg.MD5) ?(suspect_timeout = Simtime.ms 500)
-    ?(checkpoint_interval = 0) ~f () =
+    ?(checkpoint_interval = 0) ?(timing = Config.Static) ~f () =
   if f < 1 then raise (Config.Invalid_config "Ct.make_config: f must be at least 1");
   if checkpoint_interval < 0 then
     raise (Config.Invalid_config "Ct.make_config: checkpoint_interval must be non-negative");
-  { f; batching_interval; batch_size_limit; digest; suspect_timeout; checkpoint_interval }
+  if Simtime.compare suspect_timeout Simtime.zero <= 0 then
+    raise (Config.Invalid_config "Ct.make_config: suspect_timeout must be positive");
+  { f; batching_interval; batch_size_limit; digest; suspect_timeout; checkpoint_interval;
+    timing }
 
 let process_count config = (2 * config.f) + 1
 
@@ -77,14 +81,74 @@ type t = {
          pruned one interval behind the stable checkpoint.  Only maintained
          when checkpointing is on. *)
   mutable fetch_timer : Context.timer option;
+  (* adaptive timing (Config.Adaptive only; untouched in Static mode so
+     seeded static runs keep the exact stream layout) *)
+  ests : Sof_net.Delay_estimator.t option array;  (* per-peer RTT, lazy *)
+  probe_accepted : int array;  (* highest reply nonce accepted per peer *)
+  mutable probe_nonce : int;
+  mutable fetch_backoff : int;  (* doublings applied to fetch retries *)
+  mutable suspect_backoff : int;  (* doublings per consecutive rotation *)
 }
 
 let id t = t.ctx.Context.id
 let coordinator t = t.epoch mod process_count t.config
+let epoch t = t.epoch
 let max_committed t = t.max_committed
 let delivered_seq t = t.delivered
 let quorum t = t.config.f + 1
 let i_am_coordinator t = Int.equal (id t) (coordinator t)
+
+(* ------------------------------------------------------ adaptive timing *)
+
+module Estimator = Sof_net.Delay_estimator
+
+let adaptive t =
+  match t.config.timing with Config.Adaptive -> true | Config.Static -> false
+
+let est_for t peer =
+  match t.ests.(peer) with
+  | Some e -> e
+  | None ->
+    let e = Estimator.create ~initial:t.config.suspect_timeout () in
+    t.ests.(peer) <- Some e;
+    e
+
+let timer_cap t = Simtime.ns (64 * Simtime.to_ns t.config.suspect_timeout)
+
+(* The measured stand-in for the static suspicion timeout: the Jacobson
+   deadline of the round-trip to the current coordinator.  Widening guards
+   (the quorum-contact window) take the max with the configured value so
+   adaptive mode never shrinks a window whose shrinking could stop the
+   coordinator from minting. *)
+let suspect_estimate t =
+  match t.config.timing with
+  | Config.Static -> t.config.suspect_timeout
+  | Config.Adaptive -> Estimator.timeout (est_for t (coordinator t))
+
+let suspicion_delay t =
+  match t.config.timing with
+  | Config.Static -> t.config.suspect_timeout
+  | Config.Adaptive ->
+    Estimator.backed_off (suspect_estimate t) ~level:t.suspect_backoff
+      ~cap:(timer_cap t)
+
+let send_rtt_probe t dst =
+  t.probe_nonce <- t.probe_nonce + 1;
+  let at = Simtime.to_ns (t.ctx.Context.now ()) in
+  t.ctx.Context.multicast ~dsts:[ dst ]
+    {
+      Message.sender = id t;
+      body = Message.Probe { nonce = t.probe_nonce; at };
+      signature = "";
+      endorsement = None;
+    }
+
+let note_probe_reply t ~src ~nonce ~at =
+  if adaptive t && nonce > t.probe_accepted.(src) then begin
+    t.probe_accepted.(src) <- nonce;
+    Estimator.observe (est_for t src)
+      (Simtime.diff (t.ctx.Context.now ()) (Simtime.ns at))
+  end
 
 (* A coordinator may mint new sequence numbers only while it has recent
    evidence that a quorum is reachable: an isolated coordinator that mints
@@ -97,7 +161,7 @@ let quorum_contact t =
   t.epoch = 0
   ||
   let now = t.ctx.Context.now () in
-  let window = t.config.suspect_timeout in
+  let window = Simtime.max t.config.suspect_timeout (suspect_estimate t) in
   let me = id t in
   let heard = ref 1 (* self *) in
   Array.iteri
@@ -292,6 +356,7 @@ let try_commit t st =
             span_close t Context.Batch_phase st.o
           end;
           t.last_progress <- t.ctx.Context.now ();
+          t.suspect_backoff <- 0;
           if st.o > t.max_committed then t.max_committed <- st.o;
           let keys = Option.value cand.c_keys ~default:[] in
           List.iter (fun k -> t.ordered_keys <- Key_set.add k t.ordered_keys) keys;
@@ -545,6 +610,7 @@ let maybe_end_fetch t =
     Recovery.end_fetch t.rcv;
     (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
     t.fetch_timer <- None;
+    t.fetch_backoff <- 0;
     Recovery.clear_offers t.rcv
   end
 
@@ -558,8 +624,18 @@ let rec fetch_tick t =
         signature = "";
         endorsement = None;
       };
-    t.fetch_timer <-
-      Some (t.ctx.Context.set_timer ~delay:t.config.suspect_timeout (fun () -> fetch_tick t))
+    let delay =
+      if adaptive t then begin
+        let d =
+          Estimator.backed_off t.config.suspect_timeout ~level:t.fetch_backoff
+            ~cap:(timer_cap t)
+        in
+        t.fetch_backoff <- t.fetch_backoff + 1;
+        d
+      end
+      else t.config.suspect_timeout
+    in
+    t.fetch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> fetch_tick t))
   end
 
 let request_recovery t =
@@ -672,9 +748,10 @@ let rec arm_suspect_timer t =
   t.suspect_timer <- Some h
 
 and suspect_tick t =
+  if adaptive t && not (i_am_coordinator t) then send_rtt_probe t (coordinator t);
   (* Crash fail-over: rotate the coordinator when a request has been waiting
      longer than the batching interval plus the suspicion timeout. *)
-  let budget = Simtime.add t.config.batching_interval t.config.suspect_timeout in
+  let budget = Simtime.add t.config.batching_interval (suspicion_delay t) in
   let now = t.ctx.Context.now () in
   let stalled =
     Simtime.compare (Simtime.add t.last_progress budget) now <= 0
@@ -686,6 +763,7 @@ and suspect_tick t =
   in
   if stalled then begin
     t.last_progress <- now;
+    t.suspect_backoff <- t.suspect_backoff + 1;
     t.epoch <- t.epoch + 1;
     (* Refresh arrivals so the next coordinator gets a full grace period. *)
     t.arrival <- Key_map.map (fun _ -> now) t.arrival;
@@ -813,6 +891,18 @@ let on_message t ~src (env : Message.envelope) =
   | Message.State_request { have } -> serve_state_request t ~src ~have
   | Message.State_response { cert; image; entries } ->
     handle_state_response t ~src ~cert ~image ~entries
+  | Message.Probe { nonce; at } ->
+    (* Echo the sender's timestamp back (unsigned, like all CT traffic);
+       replies are liveness-only input. *)
+    if adaptive t then
+      t.ctx.Context.multicast ~dsts:[ src ]
+        {
+          Message.sender = id t;
+          body = Message.Probe_reply { nonce; at };
+          signature = "";
+          endorsement = None;
+        }
+  | Message.Probe_reply { nonce; at } -> note_probe_reply t ~src ~nonce ~at
   | Message.Fail_signal _ | Message.Back_log _
   | Message.Start _ | Message.Start_ack _ | Message.Start_tuples _
   | Message.New_view _ | Message.Unwilling _
@@ -848,4 +938,9 @@ let create ~ctx ~config =
     rcv = Recovery.create ();
     recent_delivered = [];
     fetch_timer = None;
+    ests = Array.make (process_count config) None;
+    probe_accepted = Array.make (process_count config) 0;
+    probe_nonce = 0;
+    fetch_backoff = 0;
+    suspect_backoff = 0;
   }

@@ -24,6 +24,12 @@ type config = {
           disables checkpointing and state transfer.  Under the crash-only
           model a checkpoint is stable once f+1 distinct processes claim the
           same state digest — no signatures involved. *)
+  timing : Config.timing;
+      (** [Static] (default) keeps the configured suspicion timeout;
+          [Adaptive] probes the current coordinator, derives the suspicion
+          budget from the measured round-trip (Jacobson RTO), and doubles it
+          per consecutive rotation, capped at 64 x the configured timeout.
+          Liveness-only: no safety property depends on it. *)
 }
 
 val make_config :
@@ -32,10 +38,12 @@ val make_config :
   ?digest:Sof_crypto.Digest_alg.t ->
   ?suspect_timeout:Sof_sim.Simtime.t ->
   ?checkpoint_interval:int ->
+  ?timing:Config.timing ->
   f:int ->
   unit ->
   config
-(** @raise Invalid_argument when [f < 1]. *)
+(** @raise Config.Invalid_config when [f < 1], [checkpoint_interval < 0],
+    or [suspect_timeout] is non-positive. *)
 
 val process_count : config -> int
 (** [2f+1]. *)
@@ -50,6 +58,11 @@ val on_message : t -> src:int -> Message.envelope -> unit
 val id : t -> int
 val coordinator : t -> int
 (** Current coordinator's process id. *)
+
+val epoch : t -> int
+(** Coordinator rotations this process has gone through (0 = the initial
+    coordinator was never suspected) — the rotation-churn measure the
+    gray-failure invariants audit. *)
 
 val max_committed : t -> int
 val delivered_seq : t -> int

@@ -44,6 +44,8 @@ type body =
       image : string;
       entries : Checkpoint.entry list;
     }
+  | Probe of { nonce : int; at : int }
+  | Probe_reply of { nonce : int; at : int }
 
 type envelope = {
   sender : int;
@@ -177,7 +179,15 @@ let encode_body body =
     Codec.Writer.u8 w 18;
     Codec.Writer.option w Checkpoint.write_cert cert;
     Codec.Writer.string w image;
-    Codec.Writer.list w Checkpoint.write_entry entries);
+    Codec.Writer.list w Checkpoint.write_entry entries
+  | Probe { nonce; at } ->
+    Codec.Writer.u8 w 19;
+    Codec.Writer.varint w nonce;
+    Codec.Writer.varint w at
+  | Probe_reply { nonce; at } ->
+    Codec.Writer.u8 w 20;
+    Codec.Writer.varint w nonce;
+    Codec.Writer.varint w at);
   Codec.Writer.contents w
 
 let decode_body s =
@@ -257,6 +267,12 @@ let decode_body s =
       let image = Codec.Reader.string r in
       let entries = Codec.Reader.list r Checkpoint.read_entry in
       State_response { cert; image; entries }
+    | 19 ->
+      let nonce = Codec.Reader.varint r in
+      Probe { nonce; at = Codec.Reader.varint r }
+    | 20 ->
+      let nonce = Codec.Reader.varint r in
+      Probe_reply { nonce; at = Codec.Reader.varint r }
     | _ -> raise Codec.Reader.Truncated
   in
   Codec.Reader.expect_end r;
@@ -327,6 +343,8 @@ let body_tag = function
   | Checkpoint _ -> "checkpoint"
   | State_request _ -> "state_request"
   | State_response _ -> "state_response"
+  | Probe _ -> "probe"
+  | Probe_reply _ -> "probe_reply"
 
 (* Bodies whose signatures serve as evidence shown to third parties — a
    double-signed order or fail-signal is forwarded as proof of what a
@@ -338,7 +356,7 @@ let accountable_body = function
   | Ack _ | Back_log _ | Start _ | Start_ack _ | Start_tuples _
   | View_change _ | New_view _ | Unwilling _ | Heartbeat _ | Pre_prepare _
   | Prepare _ | Commit _ | Bft_view_change _ | Bft_new_view _
-  | State_request _ | State_response _ ->
+  | State_request _ | State_response _ | Probe _ | Probe_reply _ ->
     false
 
 let pp fmt env =

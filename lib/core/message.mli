@@ -92,6 +92,16 @@ type body =
           (** Committed log suffix above the certificate (or above [have]),
               with full request bodies. *)
     }
+  (* --- adaptive timing (all protocols, [Config.Adaptive] mode only) --- *)
+  | Probe of { nonce : int; at : int }
+      (** Round-trip probe: [at] is the sender's clock in nanoseconds,
+          echoed verbatim by the receiver; [nonce] increases per sender so
+          duplicated or reordered replies are never double-counted.  Never
+          sent in [Static] timing mode, so pre-adaptive seeded runs keep
+          their exact wire stream. *)
+  | Probe_reply of { nonce : int; at : int }
+      (** Echo of a {!Probe}; the prober computes the round-trip sample as
+          [now - at] and feeds its per-link delay estimator. *)
 
 type envelope = {
   sender : int;  (** Creator (first signatory), not the transport source. *)

@@ -3,6 +3,7 @@ module Request = Sof_smr.Request
 module Key_map = Request.Key_map
 module Key_set = Request.Key_set
 module Int_set = Set.Make (Int)
+module Estimator = Sof_net.Delay_estimator
 
 (* Votes for one sequence number, keyed by digest: a vote is either being a
    signatory of the doubly-signed order or having sent a matching ack.  The
@@ -116,6 +117,15 @@ type t = {
   mutable ckpt_certs : Checkpoint.cert list;
       (* verified certificates awaiting this process's own boundary image *)
   mutable fetch_timer : Context.timer option;
+  (* adaptive timing (Config.Adaptive only; untouched in Static mode so
+     seeded static runs keep the exact stream layout) *)
+  ests : Estimator.t option array;  (* per-peer RTT estimators, lazy *)
+  probe_accepted : int array;  (* highest reply nonce accepted per peer *)
+  mutable probe_nonce : int;
+  mutable fetch_backoff : int;  (* doublings applied to fetch retries *)
+  mutable shadow_watch_level : int;  (* doublings on the shadow's stall budget *)
+  mutable hb_level : int;  (* doublings on the heartbeat silence tolerance *)
+  mutable stash_retry_armed : bool;
 }
 
 (* ------------------------------------------------------------ accessors *)
@@ -182,6 +192,64 @@ let make_signed t body =
     signature = signer_for t body payload;
     endorsement = None;
   }
+
+(* ------------------------------------------------------ adaptive timing *)
+
+let adaptive t =
+  match t.config.Config.timing with Config.Adaptive -> true | Config.Static -> false
+
+let est_for t peer =
+  match t.ests.(peer) with
+  | Some e -> e
+  | None ->
+    let e = Estimator.create ~initial:t.config.Config.pair_delay_estimate () in
+    t.ests.(peer) <- Some e;
+    e
+
+(* The deadline standing in for the static differential-delay bound.  In
+   adaptive mode it is the counterpart link's Jacobson deadline; a round
+   trip upper-bounds the one-way differential, so the substitution is
+   conservative — it can only delay a time-domain fail-signal, never forge
+   evidence (timers gate accusations, not safety). *)
+let pair_estimate t =
+  match (t.config.Config.timing, t.counterpart) with
+  | Config.Static, _ | _, None -> t.config.Config.pair_delay_estimate
+  | Config.Adaptive, Some cp -> Estimator.timeout (est_for t cp)
+
+(* Hard cap on any backed-off retry timer: 64x the configured estimate
+   keeps degraded-mode detection latency finite. *)
+let timer_cap t = Simtime.ns (64 * Simtime.to_ns t.config.Config.pair_delay_estimate)
+
+(* Adaptive suspicion discipline.  An expired adaptive deadline is first
+   evidence of a wrong estimate, not of a failed counterpart: the Jacobson
+   estimate lags a delay that is still growing (each measurement is a full
+   round trip stale), so a merely-slow peer routinely overshoots it.  Each
+   watch therefore doubles its own budget and re-waits, and accuses only
+   once the backed-off budget has saturated the hard cap and the counterpart
+   still missed it.  Static mode keeps the paper's Sync reading — one
+   configured estimate, lateness is failure — untouched.  The trade is
+   explicit: adaptive detection of a genuinely dead counterpart takes up to
+   ~2x the cap (the doubling sum), bounded and documented, in exchange for
+   emitting no premature signal against a straggler. *)
+let budget_at t ~level =
+  Estimator.backed_off (pair_estimate t) ~level ~cap:(timer_cap t)
+
+(* True while backing off further is allowed; once the budget has walked to
+   the cap the next miss is an accusation. *)
+let can_back_off t ~level =
+  adaptive t && Simtime.compare (budget_at t ~level) (timer_cap t) < 0
+
+let send_probe t dst =
+  t.probe_nonce <- t.probe_nonce + 1;
+  let at = Simtime.to_ns (t.ctx.Context.now ()) in
+  send t ~dst (make_signed t (Message.Probe { nonce = t.probe_nonce; at }))
+
+let note_probe_reply t ~src ~nonce ~at =
+  if adaptive t && nonce > t.probe_accepted.(src) then begin
+    t.probe_accepted.(src) <- nonce;
+    Estimator.observe (est_for t src)
+      (Simtime.diff (t.ctx.Context.now ()) (Simtime.ns at))
+  end
 
 let endorse t (env : Message.envelope) =
   let payload = Message.endorsement_payload env.Message.body env.Message.signature in
@@ -847,6 +915,7 @@ let maybe_end_fetch t =
     Recovery.end_fetch t.rcv;
     (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
     t.fetch_timer <- None;
+    t.fetch_backoff <- 0;
     Recovery.clear_offers t.rcv
   end
 
@@ -855,8 +924,14 @@ let rec fetch_tick t =
     Recovery.clear_offers t.rcv;
     multicast t ~dsts:(others t)
       (make_signed t (Message.State_request { have = t.delivered }));
+    let base = Simtime.add t.config.Config.heartbeat_interval (pair_estimate t) in
     let delay =
-      Simtime.add t.config.Config.heartbeat_interval t.config.Config.pair_delay_estimate
+      if adaptive t then begin
+        let d = Estimator.backed_off base ~level:t.fetch_backoff ~cap:(timer_cap t) in
+        t.fetch_backoff <- t.fetch_backoff + 1;
+        d
+      end
+      else base
     in
     t.fetch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> fetch_tick t))
   end
@@ -1411,12 +1486,7 @@ and issue_batch t pool =
       (* Phase 1: 1-to-1 to the shadow for endorsement. *)
       open_endorse_span t (get_order t o);
       send t ~dst:(Config.shadow_of_pair t.config t.coord) env;
-      let watch =
-        t.ctx.Context.set_timer ~kind:Context.Watchdog
-          ~delay:t.config.Config.pair_delay_estimate (fun () ->
-            endorsement_overdue t o)
-      in
-      t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+      arm_endorsement_watch t o ~level:0
   end
   else begin
     (* Unpaired coordinator: singly-signed order straight to everyone. *)
@@ -1424,15 +1494,25 @@ and issue_batch t pool =
     accept_order t env ~c:t.coord ~info
   end
 
-and endorsement_overdue t o =
+and arm_endorsement_watch t o ~level =
+  let watch =
+    t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:(budget_at t ~level)
+      (fun () -> endorsement_overdue t o ~level)
+  in
+  t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+
+and endorsement_overdue t o ~level =
   t.endorsement_watches <- List.remove_assoc o t.endorsement_watches;
   let endorsed =
     match Hashtbl.find_opt t.orders o with Some st -> st.have_order | None -> false
   in
   if not endorsed then
-    (* Time-domain failure of the shadow (assumption 3(a)(i): the estimate is
-       accurate, so lateness means failure). *)
-    emit_fail_signal t ~value_domain:false
+    if can_back_off t ~level then arm_endorsement_watch t o ~level:(level + 1)
+    else
+      (* Time-domain failure of the shadow (assumption 3(a)(i): the estimate
+         is accurate, so lateness means failure; in adaptive mode the budget
+         already walked to the hard cap first). *)
+      emit_fail_signal t ~value_domain:false
 
 (* ------------------------------------- shadow checking and endorsement *)
 
@@ -1498,6 +1578,7 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
 and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
   t.expected_seq <- info.Message.o + 1;
   t.last_progress <- t.ctx.Context.now ();
+  t.shadow_watch_level <- 0;
   List.iter
     (fun k ->
       t.ordered_keys <- Key_set.add k t.ordered_keys;
@@ -1514,9 +1595,14 @@ and retry_stashed_later t =
      broadcast); recheck after the pair delay estimate.  A still-unresolvable
      order is a timeout, not proof of misbehaviour — a slow wire is
      indistinguishable from an inventing primary. *)
-  ignore
-    (t.ctx.Context.set_timer ~kind:Context.Watchdog
-       ~delay:t.config.Config.pair_delay_estimate (fun () -> retry_stashed t))
+  if not t.stash_retry_armed then begin
+    t.stash_retry_armed <- true;
+    ignore
+      (t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:(pair_estimate t)
+         (fun () ->
+           t.stash_retry_armed <- false;
+           retry_stashed t))
+  end
 
 and retry_stashed t =
   let stashed = t.stashed_endorsements in
@@ -1537,11 +1623,17 @@ and retry_stashed t =
       | `Invalid -> emit_fail_signal t ~value_domain:true
       | `Defer ->
         let age = Simtime.diff (t.ctx.Context.now ()) since in
-        if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
+        (* In adaptive mode the wire may legitimately hold a gap open for as
+           long as the hard cap — only a gap older than that is evidence. *)
+        let limit = if adaptive t then timer_cap t else pair_estimate t in
+        if Simtime.compare age limit >= 0 then
           (* Timeout, not proof: the referenced requests (or the gap
              predecessor) never showed up.  Time-domain. *)
           emit_fail_signal t ~value_domain:false
-        else t.stashed_endorsements <- (since, env, info) :: t.stashed_endorsements)
+        else begin
+          t.stashed_endorsements <- (since, env, info) :: t.stashed_endorsements;
+          if adaptive t then retry_stashed_later t
+        end)
     stashed
 
 (* Shadow watches the primary: every known request must be ordered within
@@ -1558,7 +1650,8 @@ and rearm_shadow_watch t =
     | None -> ()
     | Some (_, oldest) ->
       let budget =
-        Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+        Simtime.add t.config.Config.batching_interval
+          (budget_at t ~level:t.shadow_watch_level)
       in
       (* The primary is timely as long as it keeps ordering: it must produce
          an endorsable order within [budget] of max(last endorsement, oldest
@@ -1581,7 +1674,8 @@ and shadow_watch_fired t =
   t.watch_timer <- None;
   if i_am_coordinator_shadow t && t.pair_active then begin
     let budget =
-      Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+      Simtime.add t.config.Config.batching_interval
+        (budget_at t ~level:t.shadow_watch_level)
     in
     let now = t.ctx.Context.now () in
     let stalled =
@@ -1592,7 +1686,12 @@ and shadow_watch_fired t =
              && Simtime.compare (Simtime.add since budget) now <= 0)
            t.arrival
     in
-    if stalled then emit_fail_signal t ~value_domain:false else rearm_shadow_watch t
+    if not stalled then rearm_shadow_watch t
+    else if can_back_off t ~level:t.shadow_watch_level then begin
+      t.shadow_watch_level <- t.shadow_watch_level + 1;
+      rearm_shadow_watch t
+    end
+    else emit_fail_signal t ~value_domain:false
   end
 
 (* ------------------------------------------------------------ heartbeat *)
@@ -1612,14 +1711,22 @@ and heartbeat_tick t rank cp =
     t.beat <- t.beat + 1;
     let env = make_signed t (Message.Heartbeat { pair = rank; beat = t.beat }) in
     send t ~dst:cp env;
+    if adaptive t then send_probe t cp;
     let silence = Simtime.diff (t.ctx.Context.now ()) t.last_heard in
     let tolerance =
       Simtime.add
         (Simtime.add t.config.Config.heartbeat_interval t.config.Config.heartbeat_interval)
-        t.config.Config.pair_delay_estimate
+        (budget_at t ~level:t.hb_level)
     in
-    if Simtime.compare silence tolerance > 0 then emit_fail_signal t ~value_domain:false
-    else arm_heartbeat t
+    if Simtime.compare silence tolerance <= 0 then begin
+      t.hb_level <- 0;
+      arm_heartbeat t
+    end
+    else if can_back_off t ~level:t.hb_level then begin
+      t.hb_level <- t.hb_level + 1;
+      arm_heartbeat t
+    end
+    else emit_fail_signal t ~value_domain:false
   end
 
 (* -------------------------------------------------------------- inbound *)
@@ -1774,6 +1881,11 @@ and on_message t ~src (env : Message.envelope) =
   | Message.State_request { have } -> if authentic t env then serve_state_request t ~src ~have
   | Message.State_response { cert; image; entries } ->
     if authentic t env then handle_state_response t ~src ~cert ~image ~entries
+  | Message.Probe { nonce; at } ->
+    (* Echo the sender's timestamp back; replies are liveness-only input so
+       they need no verification beyond the estimator's nonce filter. *)
+    if adaptive t then send t ~dst:src (make_signed t (Message.Probe_reply { nonce; at }))
+  | Message.Probe_reply { nonce; at } -> note_probe_reply t ~src ~nonce ~at
   | Message.View_change _ | Message.New_view _ | Message.Unwilling _
   | Message.Pre_prepare _ | Message.Prepare _ | Message.Commit _
   | Message.Bft_view_change _ | Message.Bft_new_view _ ->
@@ -1933,4 +2045,11 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     ckpt_proposals = [];
     ckpt_certs = [];
     fetch_timer = None;
+    ests = Array.make (Config.process_count config) None;
+    probe_accepted = Array.make (Config.process_count config) 0;
+    probe_nonce = 0;
+    fetch_backoff = 0;
+    shadow_watch_level = 0;
+    hb_level = 0;
+    stash_retry_armed = false;
   }

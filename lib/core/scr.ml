@@ -1,4 +1,5 @@
 module Simtime = Sof_sim.Simtime
+module Estimator = Sof_net.Delay_estimator
 module Request = Sof_smr.Request
 module Key_map = Request.Key_map
 module Key_set = Request.Key_set
@@ -106,6 +107,15 @@ type t = {
   mutable ckpt_certs : Checkpoint.cert list;
       (* verified certificates awaiting this process's own boundary image *)
   mutable fetch_timer : Context.timer option;
+  (* adaptive timing (Config.Adaptive only; untouched in Static mode so
+     seeded static runs keep the exact stream layout) *)
+  ests : Estimator.t option array;  (* per-peer RTT estimators, lazy *)
+  probe_accepted : int array;  (* highest reply nonce accepted per peer *)
+  mutable probe_nonce : int;
+  mutable fetch_backoff : int;  (* doublings applied to fetch retries *)
+  mutable shadow_watch_level : int;  (* doublings on the shadow's stall budget *)
+  mutable hb_level : int;  (* doublings on the heartbeat silence tolerance *)
+  mutable stash_retry_armed : bool;
 }
 
 (* ------------------------------------------------------------ accessors *)
@@ -182,6 +192,48 @@ let authentic t (env : Message.envelope) =
               ~msg:(Message.endorsement_payload env.Message.body env.Message.signature)
               ~signature:s
      end
+
+(* ------------------------------------------------------ adaptive timing *)
+
+let adaptive t =
+  match t.config.Config.timing with Config.Adaptive -> true | Config.Static -> false
+
+let est_for t peer =
+  match t.ests.(peer) with
+  | Some e -> e
+  | None ->
+    let e = Estimator.create ~initial:t.config.Config.pair_delay_estimate () in
+    t.ests.(peer) <- Some e;
+    e
+
+let pair_estimate t =
+  match (t.config.Config.timing, t.counterpart) with
+  | Config.Static, _ | _, None -> t.config.Config.pair_delay_estimate
+  | Config.Adaptive, Some cp -> Estimator.timeout (est_for t cp)
+
+let timer_cap t = Simtime.ns (64 * Simtime.to_ns t.config.Config.pair_delay_estimate)
+
+(* Adaptive suspicion discipline, as in [Sc]: an expired adaptive deadline
+   doubles its own budget and re-waits — the estimate lags a still-growing
+   delay — and accuses only once the budget has walked to the hard cap.
+   Static mode keeps the configured estimate and accuses on first miss. *)
+let budget_at t ~level =
+  Estimator.backed_off (pair_estimate t) ~level ~cap:(timer_cap t)
+
+let can_back_off t ~level =
+  adaptive t && Simtime.compare (budget_at t ~level) (timer_cap t) < 0
+
+let send_probe t dst =
+  t.probe_nonce <- t.probe_nonce + 1;
+  let at = Simtime.to_ns (t.ctx.Context.now ()) in
+  send t ~dst (make_signed t (Message.Probe { nonce = t.probe_nonce; at }))
+
+let note_probe_reply t ~src ~nonce ~at =
+  if adaptive t && nonce > t.probe_accepted.(src) then begin
+    t.probe_accepted.(src) <- nonce;
+    Estimator.observe (est_for t src)
+      (Simtime.diff (t.ctx.Context.now ()) (Simtime.ns at))
+  end
 
 let doubly_signed_by_pair t ~rank (env : Message.envelope) =
   match env.Message.endorsement with
@@ -778,6 +830,7 @@ let maybe_end_fetch t =
     Recovery.end_fetch t.rcv;
     (match t.fetch_timer with Some h -> h.Context.cancel () | None -> ());
     t.fetch_timer <- None;
+    t.fetch_backoff <- 0;
     Recovery.clear_offers t.rcv
   end
 
@@ -786,8 +839,14 @@ let rec fetch_tick t =
     Recovery.clear_offers t.rcv;
     multicast t ~dsts:(others t)
       (make_signed t (Message.State_request { have = t.delivered }));
+    let base = Simtime.add t.config.Config.heartbeat_interval (pair_estimate t) in
     let delay =
-      Simtime.add t.config.Config.heartbeat_interval t.config.Config.pair_delay_estimate
+      if adaptive t then begin
+        let d = Estimator.backed_off base ~level:t.fetch_backoff ~cap:(timer_cap t) in
+        t.fetch_backoff <- t.fetch_backoff + 1;
+        d
+      end
+      else base
     in
     t.fetch_timer <- Some (t.ctx.Context.set_timer ~delay (fun () -> fetch_tick t))
   end
@@ -1017,8 +1076,8 @@ and arm_nv_watch t v =
     match Hashtbl.find_opt t.view_changes v with
     | Some cell when List.length !cell >= quorum t ->
       let h =
-        t.ctx.Context.set_timer ~kind:Context.Watchdog
-          ~delay:t.config.Config.pair_delay_estimate (fun () ->
+        t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:(pair_estimate t)
+          (fun () ->
             t.nv_watch <- None;
             if t.changing_view && Int.equal v t.target_view && t.status = Up then begin
               emit_fail_signal t ~value_domain:false;
@@ -1214,18 +1273,23 @@ and issue_batch t pool =
   | _ ->
     open_endorse_span t (get_order t o);
     send t ~dst:(Config.shadow_of_pair t.config (coordinator_rank t)) env;
-    let watch =
-      t.ctx.Context.set_timer ~kind:Context.Watchdog
-        ~delay:t.config.Config.pair_delay_estimate (fun () -> endorsement_overdue t o)
-    in
-    t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+    arm_endorsement_watch t o ~level:0
 
-and endorsement_overdue t o =
+and arm_endorsement_watch t o ~level =
+  let watch =
+    t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:(budget_at t ~level)
+      (fun () -> endorsement_overdue t o ~level)
+  in
+  t.endorsement_watches <- (o, watch) :: t.endorsement_watches
+
+and endorsement_overdue t o ~level =
   t.endorsement_watches <- List.remove_assoc o t.endorsement_watches;
   let endorsed =
     match Hashtbl.find_opt t.orders o with Some st -> st.have_order | None -> false
   in
-  if not endorsed then emit_fail_signal t ~value_domain:false
+  if not endorsed then
+    if can_back_off t ~level then arm_endorsement_watch t o ~level:(level + 1)
+    else emit_fail_signal t ~value_domain:false
 
 (* ----------------------------------------- shadow checks and endorsement *)
 
@@ -1272,9 +1336,7 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
       open_batch_span t st;
       open_endorse_span t st;
       t.stashed_endorsements <- (t.ctx.Context.now (), env, info) :: t.stashed_endorsements;
-      ignore
-        (t.ctx.Context.set_timer ~kind:Context.Watchdog
-           ~delay:t.config.Config.pair_delay_estimate (fun () -> retry_stashed t))
+      retry_stashed_later t
     | `Invalid -> begin
       match t.fault with
       | Fault.Endorse_corrupt_at at when Int.equal at info.Message.o -> shadow_endorse t env ~info
@@ -1287,9 +1349,20 @@ and shadow_handle_order t (env : Message.envelope) ~(info : Message.order_info) 
       shadow_endorse t env ~info
   end
 
+and retry_stashed_later t =
+  if not t.stash_retry_armed then begin
+    t.stash_retry_armed <- true;
+    ignore
+      (t.ctx.Context.set_timer ~kind:Context.Watchdog ~delay:(pair_estimate t)
+         (fun () ->
+           t.stash_retry_armed <- false;
+           retry_stashed t))
+  end
+
 and shadow_endorse t (env : Message.envelope) ~(info : Message.order_info) =
   t.expected_seq <- info.Message.o + 1;
   t.last_progress <- t.ctx.Context.now ();
+  t.shadow_watch_level <- 0;
   List.iter
     (fun k ->
       t.ordered_keys <- Key_set.add k t.ordered_keys;
@@ -1319,11 +1392,17 @@ and retry_stashed t =
       | `Invalid -> emit_fail_signal t ~value_domain:true
       | `Defer ->
         let age = Simtime.diff (t.ctx.Context.now ()) since in
-        if Simtime.compare age t.config.Config.pair_delay_estimate >= 0 then
+        (* In adaptive mode the wire may legitimately hold a gap open for as
+           long as the hard cap — only a gap older than that is evidence. *)
+        let limit = if adaptive t then timer_cap t else pair_estimate t in
+        if Simtime.compare age limit >= 0 then
           (* Timeout, not proof: the referenced requests (or the gap
              predecessor) never showed up.  Time-domain. *)
           emit_fail_signal t ~value_domain:false
-        else t.stashed_endorsements <- (since, env, info) :: t.stashed_endorsements)
+        else begin
+          t.stashed_endorsements <- (since, env, info) :: t.stashed_endorsements;
+          if adaptive t then retry_stashed_later t
+        end)
     stashed
 
 and rearm_shadow_watch t =
@@ -1337,7 +1416,8 @@ and rearm_shadow_watch t =
     | None -> ()
     | Some (_, oldest) ->
       let budget =
-        Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+        Simtime.add t.config.Config.batching_interval
+          (budget_at t ~level:t.shadow_watch_level)
       in
       (* Progress-based, as in SC: a backlogged-but-ordering primary is
          timely. *)
@@ -1357,7 +1437,8 @@ and shadow_watch_fired t =
   t.watch_timer <- None;
   if i_am_coordinator_shadow t then begin
     let budget =
-      Simtime.add t.config.Config.batching_interval t.config.Config.pair_delay_estimate
+      Simtime.add t.config.Config.batching_interval
+        (budget_at t ~level:t.shadow_watch_level)
     in
     let now = t.ctx.Context.now () in
     let stalled =
@@ -1368,7 +1449,12 @@ and shadow_watch_fired t =
              && Simtime.compare (Simtime.add since budget) now <= 0)
            t.arrival
     in
-    if stalled then emit_fail_signal t ~value_domain:false else rearm_shadow_watch t
+    if not stalled then rearm_shadow_watch t
+    else if can_back_off t ~level:t.shadow_watch_level then begin
+      t.shadow_watch_level <- t.shadow_watch_level + 1;
+      rearm_shadow_watch t
+    end
+    else emit_fail_signal t ~value_domain:false
   end
 
 (* --------------------------------------------------- heartbeat/recovery *)
@@ -1387,14 +1473,18 @@ and heartbeat_tick t rank cp =
   if t.status <> Permanently_down then begin
     t.beat <- t.beat + 1;
     send t ~dst:cp (make_signed t (Message.Heartbeat { pair = rank; beat = t.beat }));
+    if adaptive t then send_probe t cp;
     let silence = Simtime.diff (t.ctx.Context.now ()) t.last_heard in
     let tolerance =
       Simtime.add
         (Simtime.add t.config.Config.heartbeat_interval t.config.Config.heartbeat_interval)
-        t.config.Config.pair_delay_estimate
+        (budget_at t ~level:t.hb_level)
     in
     match t.status with
-    | Up -> if Simtime.compare silence tolerance > 0 then emit_fail_signal t ~value_domain:false
+    | Up ->
+      if Simtime.compare silence tolerance <= 0 then t.hb_level <- 0
+      else if can_back_off t ~level:t.hb_level then t.hb_level <- t.hb_level + 1
+      else emit_fail_signal t ~value_domain:false
     | Down ->
       (* Continued mutual checking: hearing from the counterpart again in a
          timely way means the bad period has passed (assumption 3(b)(i)) —
@@ -1402,6 +1492,7 @@ and heartbeat_tick t rank cp =
       if Simtime.compare silence tolerance <= 0 then begin
         t.status <- Up;
         t.fail_signalled <- false;
+        t.hb_level <- 0;
         t.ctx.Context.emit
           (Context.Pair_recovered { pair = Option.value t.pair_rank ~default:0 })
       end
@@ -1551,6 +1642,11 @@ and on_message t ~src (env : Message.envelope) =
   | Message.State_request { have } -> if authentic t env then serve_state_request t ~src ~have
   | Message.State_response { cert; image; entries } ->
     if authentic t env then handle_state_response t ~src ~cert ~image ~entries
+  | Message.Probe { nonce; at } ->
+    (* Echo the sender's timestamp back; replies are liveness-only input so
+       they need no verification beyond the estimator's nonce filter. *)
+    if adaptive t then send t ~dst:src (make_signed t (Message.Probe_reply { nonce; at }))
+  | Message.Probe_reply { nonce; at } -> note_probe_reply t ~src ~nonce ~at
   | Message.Back_log _ | Message.Start _ | Message.Start_ack _
   | Message.Start_tuples _ | Message.Pre_prepare _ | Message.Prepare _
   | Message.Commit _ | Message.Bft_view_change _ | Message.Bft_new_view _ ->
@@ -1652,4 +1748,11 @@ let create ~ctx ~config ?(fault = Fault.Honest) ?counterpart_fail_signal () =
     ckpt_proposals = [];
     ckpt_certs = [];
     fetch_timer = None;
+    ests = Array.make (Config.process_count config) None;
+    probe_accepted = Array.make (Config.process_count config) 0;
+    probe_nonce = 0;
+    fetch_backoff = 0;
+    shadow_watch_level = 0;
+    hb_level = 0;
+    stash_retry_armed = false;
   }

@@ -5,7 +5,7 @@
 
 module Json = Sof_util.Json
 
-let schema_version = 4
+let schema_version = 5
 
 let json_of_point (p : Experiments.series_point) =
   Json.Obj
@@ -207,6 +207,60 @@ let modexp_verdicts (points : Experiments.modexp_point list) =
         p.Experiments.mx_montgomery_ms < p.Experiments.mx_knuth_ms ))
     points
 
+(* Timing verdicts from the timeout-sensitivity sweep: the static x1.0 row
+   must show the premature accusations the gray campaign is built to
+   provoke, and the adaptive row must ride out the identical schedule with
+   zero fail-signals — that asymmetry is the whole case for the adaptive
+   estimator.  Degradation-liveness must hold on every row: a mis-set
+   timer may churn configurations, but it must never stop delivery. *)
+let timing_verdicts (points : Experiments.timeout_point list) =
+  match points with
+  | [] -> []
+  | _ ->
+    let static_base =
+      List.find_opt
+        (fun (p : Experiments.timeout_point) ->
+          p.Experiments.ts_multiplier = Some 1.0)
+        points
+    in
+    let adaptive =
+      List.find_opt
+        (fun (p : Experiments.timeout_point) ->
+          p.Experiments.ts_multiplier = None)
+        points
+    in
+    [
+      ( "timing: static x1.0 estimate accuses a healthy pair under gray delay",
+        match static_base with
+        | Some p -> p.Experiments.ts_fail_signals > 0
+        | None -> false );
+      ( "timing: adaptive estimator emits no fail-signal on the same schedule",
+        match adaptive with
+        | Some p -> p.Experiments.ts_fail_signals = 0 && p.Experiments.ts_passed
+        | None -> false );
+      ( "timing: delivery never stops during the surge at any estimate",
+        List.for_all
+          (fun (p : Experiments.timeout_point) ->
+            p.Experiments.ts_degradation_live)
+          points );
+    ]
+
+let json_of_timeout_point (p : Experiments.timeout_point) =
+  Json.Obj
+    [
+      ("label", Json.Str p.Experiments.ts_label);
+      ( "multiplier",
+        match p.Experiments.ts_multiplier with
+        | Some m -> Json.Num m
+        | None -> Json.Null );
+      ("estimate_ms", Json.Num p.Experiments.ts_estimate_ms);
+      ("fail_signals", Json.num_of_int p.Experiments.ts_fail_signals);
+      ("installs", Json.num_of_int p.Experiments.ts_installs);
+      ("min_deliveries", Json.num_of_int p.Experiments.ts_min_deliveries);
+      ("degradation_live", Json.Bool p.Experiments.ts_degradation_live);
+      ("passed", Json.Bool p.Experiments.ts_passed);
+    ]
+
 let json_of_modexp (points : Experiments.modexp_point list) =
   Json.List
     (List.map
@@ -227,11 +281,11 @@ let json_of_verdicts verdicts =
        verdicts)
 
 let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ?storage
-    ?(modexp = []) ~breakdowns () =
+    ?(modexp = []) ?(timing = []) ~breakdowns () =
   let verdicts =
     Report.shape_check_results fig4_5
     @ phase_verdicts breakdowns @ mac_verdicts breakdowns
-    @ modexp_verdicts modexp
+    @ modexp_verdicts modexp @ timing_verdicts timing
   in
   Json.Obj
     [
@@ -272,5 +326,9 @@ let make ~seed ~fast ~fig4_5 ?fig6 ?message_counts ?recovery ?storage
         | Some rows -> Json.List (List.map json_of_storage_row rows)
         | None -> Json.Null );
       ("modexp", json_of_modexp modexp);
+      ( "timing",
+        match timing with
+        | [] -> Json.Null
+        | points -> Json.List (List.map json_of_timeout_point points) );
       ("verdicts", json_of_verdicts verdicts);
     ]

@@ -4,7 +4,7 @@
     test all build and read the same JSON shape through this module:
 
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "generator": "sof-bench",
       "seed": <int>, "fast": <bool>,
       "figures": {
@@ -16,6 +16,9 @@
       "recovery": [ crash-restart cost rows, see {!json_of_recovery} ] | null,
       "storage": [ durable-campaign rows, see {!json_of_storage_row} ] | null,
       "modexp": [ { "bits", "montgomery_ms", "knuth_ms" } ],
+      "timing": [ { "label", "multiplier" | null, "estimate_ms",
+                    "fail_signals", "installs", "min_deliveries",
+                    "degradation_live", "passed" } ] | null,
       "verdicts": [ { "name", "pass" } ] }
     v}
 
@@ -25,7 +28,11 @@
     "recovery" rows; v4 split symmetric from asymmetric crypto counters
     ("hmacs"/"hmac_ns"/"verify_cached" in crypto objects, "auth" and
     "hmacs_per_batch" in phase rows) and added the "modexp"
-    micro-benchmark section with its Montgomery-vs-Knuth verdicts. *)
+    micro-benchmark section with its Montgomery-vs-Knuth verdicts; v5
+    added the "timing" section (the {!Experiments.timeout_sensitivity}
+    sweep: premature fail-signals and install churn versus the static
+    delay-estimate multiplier, plus the adaptive-estimator row) and its
+    static-vs-adaptive verdicts. *)
 
 val schema_version : int
 
@@ -75,6 +82,21 @@ val modexp_verdicts :
 (** One verdict per micro-benchmark point: the Montgomery path must beat
     the Knuth path at that key size. *)
 
+val timing_verdicts :
+  Experiments.timeout_point list -> (string * bool) list
+(** The timeout-sensitivity claims, decided from the sweep rows: the
+    static x1.0 estimate must accuse a healthy-but-slow pair under the
+    gray schedule, the adaptive estimator must emit zero fail-signals on
+    the identical schedule (and pass the whole campaign), and
+    degradation-liveness must hold on every row.  Empty when the sweep
+    was not run. *)
+
+val json_of_timeout_point : Experiments.timeout_point -> Sof_util.Json.t
+(** One sweep row as a "timing" entry: the estimate label and multiplier
+    ([null] on the adaptive row), premature fail-signal and install
+    counts, the slowest process's delivery count, and the per-row
+    degradation-liveness and whole-campaign verdicts. *)
+
 val make :
   seed:int64 ->
   fast:bool ->
@@ -84,9 +106,10 @@ val make :
   ?recovery:(string * Metrics.recovery) list ->
   ?storage:(string * Metrics.recovery * Metrics.storage) list ->
   ?modexp:Experiments.modexp_point list ->
+  ?timing:Experiments.timeout_point list ->
   breakdowns:Metrics.breakdown list ->
   unit ->
   Sof_util.Json.t
 (** The whole document.  Verdicts combine
     {!Report.shape_check_results} on [fig4_5] with {!phase_verdicts},
-    {!mac_verdicts} and {!modexp_verdicts}. *)
+    {!mac_verdicts}, {!modexp_verdicts} and {!timing_verdicts}. *)

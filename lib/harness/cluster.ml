@@ -53,6 +53,9 @@ type spec = {
       (* storage-fault atlas applied to the disks of replicas 1..f (the
          storage-fault budget mirrors the process-fault budget); [None] means
          all disks are well-behaved *)
+  timing : P.Config.timing;
+      (* Static keeps the paper's fixed delay estimate; Adaptive feeds every
+         suspicion/retransmit timer from measured round-trips *)
 }
 
 let default_spec ~kind ~f =
@@ -80,6 +83,7 @@ let default_spec ~kind ~f =
     checkpoint_interval = 0;
     durable = false;
     disk_profile = None;
+    timing = P.Config.Static;
   }
 
 (* 2 MiB per replica, split into two 1 MiB write-ahead-log regions — ample
@@ -121,6 +125,9 @@ type node = {
       (* the platter: survives crash/restart, unlike everything above *)
   mutable node_wal : Wal.t option;
       (* re-attached from [node_disk] on every restart *)
+  mutable node_slow_prior : int;
+      (* slow-sector ops already converted into CPU stall; the delta
+         against the disk's counter is charged at each disk interaction *)
 }
 
 type t = {
@@ -325,10 +332,27 @@ let decode_entry_payload s =
   | e -> Some e
   | exception Codec.Reader.Truncated -> None
 
+(* Gray storage failure: every slow-sector operation the disk noted since
+   the last interaction becomes a CPU stall — the write completed, the
+   drive reported no error, and the replica still fell behind. *)
+let charge_disk_slowness t i =
+  let node = t.nodes.(i) in
+  match node.node_disk with
+  | None -> ()
+  | Some sd ->
+    let slow = (Sim_disk.stats sd).Sim_disk.sd_slow_ops in
+    let fresh = slow - node.node_slow_prior in
+    if fresh > 0 then begin
+      node.node_slow_prior <- slow;
+      Cpu.extend node.node_cpu
+        (Cost_model.disk_slow_cost t.spec.cost ~slow_ops:fresh)
+    end
+
 let charge_disk_write t i ~size =
   let node = t.nodes.(i) in
   Cpu.extend node.node_cpu (Cost_model.disk_append_cost t.spec.cost ~size);
-  Cpu.extend node.node_cpu (Cost_model.disk_sync_cost t.spec.cost)
+  Cpu.extend node.node_cpu (Cost_model.disk_sync_cost t.spec.cost);
+  charge_disk_slowness t i
 
 (* Durable log truncation: when a checkpoint goes stable, persist its
    certificate and image as the head of a fresh write-ahead-log epoch. *)
@@ -707,6 +731,7 @@ let build spec =
           node_sends = Hashtbl.create 16;
           node_disk;
           node_wal = Option.map (fun sd -> Wal.attach (Sim_disk.disk sd)) node_disk;
+          node_slow_prior = 0;
         })
   in
   let t =
@@ -739,7 +764,8 @@ let build spec =
           ~pair_delay_estimate:spec.pair_delay_estimate
           ~heartbeat_interval:spec.heartbeat_interval
           ~dumb_optimization:spec.dumb_optimization
-          ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
+          ~checkpoint_interval:spec.checkpoint_interval ~timing:spec.timing
+          ~f:spec.f ()
       in
       (* Fast links inside each pair, both directions. *)
       for rank = 1 to P.Config.pair_count config do
@@ -763,7 +789,8 @@ let build spec =
       let config =
         P.Bft.make_config ~batching_interval:spec.batching_interval
           ~batch_size_limit:spec.batch_size_limit ~digest:scheme.Scheme.digest
-          ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
+          ~checkpoint_interval:spec.checkpoint_interval ~timing:spec.timing
+          ~f:spec.f ()
       in
       fun i ->
         let ctx = make_context t i in
@@ -773,7 +800,8 @@ let build spec =
       let config =
         P.Ct.make_config ~batching_interval:spec.batching_interval
           ~batch_size_limit:spec.batch_size_limit
-          ~checkpoint_interval:spec.checkpoint_interval ~f:spec.f ()
+          ~checkpoint_interval:spec.checkpoint_interval ~timing:spec.timing
+          ~f:spec.f ()
       in
       (* CT's config carries its own digest default (the crypto scheme is
          null); log-entry digests must agree with it or replay is rejected. *)
@@ -864,6 +892,7 @@ type storage_totals = {
   sg_misdirected : int;
   sg_torn : int;
   sg_corrupt_reads : int;
+  sg_slow_ops : int;
 }
 
 let storage_totals t =
@@ -874,7 +903,7 @@ let storage_totals t =
     let checkpoints = ref t.wal_prior.Wal.w_checkpoints in
     let dropped = ref t.wal_prior.Wal.w_dropped in
     let lost = ref 0 and misdirected = ref 0 and torn = ref 0 in
-    let corrupt = ref 0 in
+    let corrupt = ref 0 and slow = ref 0 in
     Array.iter
       (fun node ->
         (match node.node_wal with
@@ -891,7 +920,8 @@ let storage_totals t =
           lost := !lost + s.Sim_disk.sd_lost;
           misdirected := !misdirected + s.Sim_disk.sd_misdirected;
           torn := !torn + s.Sim_disk.sd_torn;
-          corrupt := !corrupt + s.Sim_disk.sd_corrupt_reads
+          corrupt := !corrupt + s.Sim_disk.sd_corrupt_reads;
+          slow := !slow + s.Sim_disk.sd_slow_ops
         | None -> ())
       t.nodes;
     Some
@@ -905,5 +935,6 @@ let storage_totals t =
         sg_misdirected = !misdirected;
         sg_torn = !torn;
         sg_corrupt_reads = !corrupt;
+        sg_slow_ops = !slow;
       }
   end

@@ -65,6 +65,14 @@ type spec = {
           storage-fault budget mirrors the process-fault budget, so a
           quorum's worth of disks stays well-behaved.  [None] (the default)
           means every disk is clean. *)
+  timing : Sof_protocol.Config.timing;
+      (** [Static] (the default) keeps the paper's fixed
+          [pair_delay_estimate] in every timeliness check, byte-identical
+          to older seeded runs.  [Adaptive] makes every process track
+          measured round-trips (Jacobson estimator fed by probe traffic)
+          and derive its suspicion, retransmit and view-change timers from
+          them, with exponential backoff capped at 64 x the configured
+          estimate.  Liveness-only in all four protocols. *)
 }
 
 val default_spec : kind:kind -> f:int -> spec
@@ -183,6 +191,9 @@ type storage_totals = {
   sg_misdirected : int;  (** atlas: writes sent to the wrong sector *)
   sg_torn : int;  (** atlas: sectors torn at crash *)
   sg_corrupt_reads : int;  (** atlas: reads served corrupted *)
+  sg_slow_ops : int;
+      (** atlas: operations that touched a slow sector — completed
+          correctly but each charged a gray-failure CPU stall *)
 }
 
 val storage_totals : t -> storage_totals option

@@ -8,6 +8,7 @@ type t = {
   backlog_penalty_per_ms : float;
   disk_append_per_byte_ns : int;
   disk_sync_latency : Simtime.t;
+  disk_slow_penalty : Simtime.t;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     backlog_penalty_per_ms = 0.001;
     disk_append_per_byte_ns = 25;
     disk_sync_latency = Simtime.ms 2;
+    disk_slow_penalty = Simtime.ms 20;
   }
 
 let max_penalty_factor = 4.0
@@ -39,3 +41,6 @@ let send_cost t ~size =
 let disk_append_cost t ~size = Simtime.ns (size * t.disk_append_per_byte_ns)
 
 let disk_sync_cost t = t.disk_sync_latency
+
+let disk_slow_cost t ~slow_ops =
+  Simtime.ns (slow_ops * Simtime.to_ns t.disk_slow_penalty)

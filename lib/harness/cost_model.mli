@@ -23,6 +23,10 @@ type t = {
       (** Staging a write-ahead-log frame (durable configurations only). *)
   disk_sync_latency : Sof_sim.Simtime.t;
       (** One disk flush — the price of commit-implies-sync. *)
+  disk_slow_penalty : Sof_sim.Simtime.t;
+      (** Extra stall per operation that touched a slow sector (gray
+          failure: retry storms inside a drive that never reports an
+          error).  10x the healthy flush latency by default. *)
 }
 
 val default : t
@@ -42,3 +46,7 @@ val disk_append_cost : t -> size:int -> Sof_sim.Simtime.t
 
 val disk_sync_cost : t -> Sof_sim.Simtime.t
 (** Simulated latency of one disk flush. *)
+
+val disk_slow_cost : t -> slow_ops:int -> Sof_sim.Simtime.t
+(** Stall charged for [slow_ops] slow-sector operations since the last
+    disk interaction. *)

@@ -346,3 +346,60 @@ let modexp_micro ?(bits = [ 1024; 1536 ]) ?(iters = 5) ?(seed = 17L) () =
       let knuth = time_of (run Bignum.mod_pow_knuth) in
       { mx_bits = b; mx_montgomery_ms = mont; mx_knuth_ms = knuth })
     bits
+
+type timeout_point = {
+  ts_label : string;
+  ts_multiplier : float option;
+  ts_estimate_ms : float;
+  ts_fail_signals : int;
+  ts_installs : int;
+  ts_min_deliveries : int;
+  ts_degradation_live : bool;
+  ts_passed : bool;
+}
+
+(* The paper's Sync reading makes the delay estimate a correctness input:
+   under-estimate it and pairs accuse healthy counterparts; over-estimate
+   it and genuine failures linger.  The sweep quantifies the first horn on
+   a pinned gray campaign — the same seeded straggler ramp at several
+   static multiples of the 400 ms base estimate — then runs the adaptive
+   estimator on the identical schedule as the final row.  Premature
+   fail-signals and install churn fall to zero as the static multiple
+   clears the ramp's peak RTT; the adaptive row gets there without the
+   oracle multiplier. *)
+let timeout_sensitivity ?(f = 1) ?(seed = 1L) ?(duration = Simtime.sec 12)
+    ?(multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]) () =
+  let base = Simtime.ms 400 in
+  let row ~label ~multiplier ~timing ~estimate =
+    let r =
+      Nemesis.gray_run ~timing ~pair_estimate:estimate
+        ~kind:Cluster.Sc_protocol ~f ~seed ~duration ()
+    in
+    let degradation_live =
+      List.exists
+        (fun (res : Invariants.result) ->
+          res.Invariants.name = "degradation-liveness" && res.Invariants.pass)
+        r.Nemesis.gr_invariants
+    in
+    {
+      ts_label = label;
+      ts_multiplier = multiplier;
+      ts_estimate_ms = Simtime.to_ms estimate;
+      ts_fail_signals = r.Nemesis.gr_fail_signals;
+      ts_installs = r.Nemesis.gr_signals.Metrics.fa_installs;
+      ts_min_deliveries = r.Nemesis.gr_min_deliveries;
+      ts_degradation_live = degradation_live;
+      ts_passed = r.Nemesis.gr_passed;
+    }
+  in
+  List.map
+    (fun m ->
+      row
+        ~label:(Printf.sprintf "static x%g" m)
+        ~multiplier:(Some m) ~timing:P.Config.Static
+        ~estimate:(Simtime.scale base m))
+    multipliers
+  @ [
+      row ~label:"adaptive" ~multiplier:None ~timing:P.Config.Adaptive
+        ~estimate:base;
+    ]

@@ -159,3 +159,34 @@ val modexp_micro :
     paper's RSA sizes (default 1024 and 1536 bits).  This is host
     wall-clock time — the one deliberately non-deterministic number in the
     bench document — backing the verdict that the Montgomery path wins. *)
+
+(** {2 Timeout-sensitivity sweep} *)
+
+type timeout_point = {
+  ts_label : string;  (** ["static x0.5"], ..., or ["adaptive"]. *)
+  ts_multiplier : float option;
+      (** Static multiple of the 400 ms base estimate; [None] for the
+          adaptive row. *)
+  ts_estimate_ms : float;  (** Configured estimate (initial, if adaptive). *)
+  ts_fail_signals : int;  (** Premature fail-signals emitted. *)
+  ts_installs : int;  (** Configuration installs those signals caused. *)
+  ts_min_deliveries : int;  (** Slowest process's delivery count. *)
+  ts_degradation_live : bool;  (** Deliveries continued during the surge. *)
+  ts_passed : bool;  (** Whole-campaign verdict. *)
+}
+
+val timeout_sensitivity :
+  ?f:int ->
+  ?seed:int64 ->
+  ?duration:Sof_sim.Simtime.t ->
+  ?multipliers:float list ->
+  unit ->
+  timeout_point list
+(** Premature-suspicion cost of a mis-set delay estimate, measured on one
+    pinned {!Nemesis.gray_run} straggler campaign against SC.  Each
+    multiplier scales the 400 ms static estimate for one run of the same
+    seeded schedule; the final row repeats it under the adaptive
+    estimator.  Small multiples accuse the straggling (healthy) pair and
+    churn configurations; large ones ride out the surge by brute
+    over-estimation; the adaptive row matches the large-multiple outcome
+    with no tuning.  Backs the bench document's "timing" section. *)

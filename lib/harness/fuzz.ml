@@ -36,7 +36,7 @@ let random_sigs rng =
   List.init (Rng.int rng 4) (fun _ -> (Rng.int rng 8, random_string rng 16))
 
 let random_body rng =
-  match Rng.int rng 16 with
+  match Rng.int rng 18 with
   | 0 -> Message.Order { c = Rng.int rng 8; info = random_info rng }
   | 1 ->
     Message.Ack
@@ -101,6 +101,9 @@ let random_body rng =
     Message.Commit
       { v = Rng.int rng 16; o = Rng.int rng 1_000; digest = random_string rng 16 }
   | 14 -> Message.Bft_view_change { v = Rng.int rng 16; prepared = random_infos rng }
+  | 15 -> Message.Probe { nonce = Rng.int rng 10_000; at = Rng.int rng 1_000_000 }
+  | 16 ->
+    Message.Probe_reply { nonce = Rng.int rng 10_000; at = Rng.int rng 1_000_000 }
   | _ -> Message.Bft_new_view { v = Rng.int rng 16; pre_prepares = random_infos rng }
 
 let random_envelope rng =

@@ -584,6 +584,65 @@ let repair_correctness cluster ~live =
     states;
   match !violation with None -> ok name | Some d -> fail name d
 
+(* -------------------------------------------------- gray-failure checks *)
+
+(* One churn number across all four protocols: fail-signals (SC/SCR),
+   view changes (BFT), coordinator rotations (CT, read off the live
+   processes' epoch counters since rotation emits no event).  Under a
+   gray campaign nothing is faulty — every unit of churn is a detector
+   giving up on a correct-but-slow process. *)
+let suspicion_churn cluster =
+  let signals = ref 0 and views = ref 0 in
+  List.iter
+    (fun (_, _, ev) ->
+      match ev with
+      | P.Context.Fail_signal_emitted _ -> incr signals
+      | P.Context.View_installed _ -> incr views
+      | _ -> ())
+    (Cluster.events cluster);
+  let rotations = ref 0 in
+  for i = 0 to Cluster.process_count cluster - 1 do
+    match Cluster.proc cluster i with
+    | Cluster.Ct ct -> rotations := max !rotations (P.Ct.epoch ct)
+    | Cluster.Sc _ | Cluster.Scr _ | Cluster.Bft _ -> ()
+  done;
+  (!signals, !views, !rotations)
+
+let no_premature_suspicion cluster =
+  let name = "no-premature-suspicion" in
+  let signals, views, rotations = suspicion_churn cluster in
+  if signals = 0 && views = 0 && rotations = 0 then ok name
+  else
+    fail name
+      (Printf.sprintf
+         "%d fail-signal(s), %d view change(s), %d coordinator rotation(s) \
+          against processes that were only slow"
+         signals views rotations)
+
+(* Gray failures degrade, they must not stop: every honest process keeps
+   delivering {e inside} the degraded window, not merely after it ends
+   (liveness-after-heal already covers the recovery tail). *)
+let degradation_liveness cluster ~honest ~degraded_from ~degraded_until =
+  let name = "degradation-liveness" in
+  let delivered_in_window = Hashtbl.create 8 in
+  List.iter
+    (fun (at, (who, _, _), _, _) ->
+      if
+        Simtime.compare at degraded_from >= 0
+        && Simtime.compare at degraded_until <= 0
+      then Hashtbl.replace delivered_in_window who ())
+    (deliveries cluster ~honest);
+  match
+    List.find_opt (fun who -> not (Hashtbl.mem delivered_in_window who)) honest
+  with
+  | None -> ok name
+  | Some who ->
+    fail name
+      (Format.asprintf
+         "process %d delivered nothing while degraded (%a..%a) — gray \
+          failure turned into an outage" who Simtime.pp degraded_from
+         Simtime.pp degraded_until)
+
 (* ------------------------------------------------------ recovery liveness *)
 
 let recovery_liveness cluster ~by =

@@ -38,6 +38,11 @@
       system vouched for.
     - {b Repair correctness} (durable runs): equal delivered prefixes mean
       equal state digests — recovery lands exactly on the agreed state.
+    - {b No premature suspicion} (gray campaigns): when nothing is faulty
+      and everything is merely slow, no fail-signal is emitted, no view
+      changes, no coordinator rotates.
+    - {b Degradation liveness} (gray campaigns): every honest process keeps
+      delivering inside the degraded window — slow never becomes stopped.
 
     The delivery-stream checks are {e anchored}: a recovered process
     resumes above a checkpoint anchor rather than at sequence 1, so
@@ -150,6 +155,34 @@ val repair_correctness : Cluster.t -> live:int list -> result
     state digests: recovery — local replay or state transfer — must land a
     repaired replica exactly on the agreed state.  Requires
     [attach_machines]; processes without machines are skipped. *)
+
+(** {2 Gray-failure checks}
+
+    For campaigns where nothing is faulty and everything is slow: no
+    Byzantine processes, no crashes, no partitions — only stragglers,
+    slow links and jitter.  Under that regime any suspicion is premature
+    and any outage is a detector overreaction. *)
+
+val suspicion_churn : Cluster.t -> int * int * int
+(** [(fail_signals, view_changes, coordinator_rotations)] across the run —
+    one churn measure over all four protocols.  CT rotations are read off
+    the live processes' epoch counters (rotation emits no event), so call
+    this at run end. *)
+
+val no_premature_suspicion : Cluster.t -> result
+(** All three churn counts must be zero.  Only meaningful on a campaign
+    with no genuine faults; a static-estimate run under a straggler is
+    {e expected} to fail this — that gap is the point of the adaptive
+    estimator. *)
+
+val degradation_liveness :
+  Cluster.t ->
+  honest:int list ->
+  degraded_from:Sof_sim.Simtime.t ->
+  degraded_until:Sof_sim.Simtime.t ->
+  result
+(** Every honest process delivers at least once {e inside} the degraded
+    window: slow must mean slow, never stopped. *)
 
 val all_pass : result list -> bool
 

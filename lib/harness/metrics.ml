@@ -185,6 +185,7 @@ type storage = {
   st_misdirected : int;
   st_torn : int;
   st_corrupt_reads : int;
+  st_slow_ops : int;
 }
 
 let storage_stats cluster =
@@ -213,7 +214,53 @@ let storage_stats cluster =
         st_misdirected = sg.Cluster.sg_misdirected;
         st_torn = sg.Cluster.sg_torn;
         st_corrupt_reads = sg.Cluster.sg_corrupt_reads;
+        st_slow_ops = sg.Cluster.sg_slow_ops;
       }
+
+(* ------------------------------------------------ fail-signal accounting *)
+
+type signal_accounting = {
+  fa_total : int;
+  fa_time_domain : int;
+  fa_value_domain : int;
+  fa_by_pair : (int * int) list;
+  fa_installs : int;
+}
+
+let signal_accounting cluster =
+  let total = ref 0 and time_domain = ref 0 and value_domain = ref 0 in
+  let installs = ref 0 in
+  let by_pair : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (_, _, event) ->
+      match event with
+      | P.Context.Fail_signal_emitted { pair; value_domain = vd } ->
+        incr total;
+        if vd then incr value_domain else incr time_domain;
+        (match Hashtbl.find_opt by_pair pair with
+        | Some r -> incr r
+        | None -> Hashtbl.replace by_pair pair (ref 1))
+      | P.Context.Coordinator_installed _ | P.Context.View_installed _ ->
+        incr installs
+      | _ -> ())
+    (Cluster.events cluster);
+  {
+    fa_total = !total;
+    fa_time_domain = !time_domain;
+    fa_value_domain = !value_domain;
+    fa_by_pair =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun pair r acc -> (pair, !r) :: acc) by_pair []);
+    fa_installs = !installs;
+  }
+
+let pp_signal_accounting fmt fa =
+  Format.fprintf fmt "%d fail-signals (%d time, %d value), %d installs"
+    fa.fa_total fa.fa_time_domain fa.fa_value_domain fa.fa_installs;
+  List.iter
+    (fun (pair, count) -> Format.fprintf fmt ", pair %d: %d" pair count)
+    fa.fa_by_pair
 
 (* ------------------------------------------------ phase breakdown *)
 

@@ -77,10 +77,32 @@ type storage = {
   st_misdirected : int;
   st_torn : int;
   st_corrupt_reads : int;
+  st_slow_ops : int;  (** slow-sector (gray) operations charged as stalls *)
 }
 
 val storage_stats : Cluster.t -> storage option
 (** [None] unless the cluster was built durable. *)
+
+(** {2 Fail-signal accounting}
+
+    Who blamed whom, and in which domain.  Under a gray-failure campaign
+    (no Byzantine faults, no partitions, every process correct-but-slow)
+    {e every} fail-signal is premature: the timeliness check fired on a
+    healthy pair.  The per-pair breakdown shows which pair the static
+    estimate gave up on. *)
+
+type signal_accounting = {
+  fa_total : int;  (** [Fail_signal_emitted] events across the run *)
+  fa_time_domain : int;  (** emitted by the time-domain (timeout) check *)
+  fa_value_domain : int;  (** emitted by the value-domain (mismatch) check *)
+  fa_by_pair : (int * int) list;
+      (** [(pair rank, emitted count)], sorted by rank *)
+  fa_installs : int;
+      (** coordinator/view installations — the churn those signals cost *)
+}
+
+val signal_accounting : Cluster.t -> signal_accounting
+val pp_signal_accounting : Format.formatter -> signal_accounting -> unit
 
 (** {2 Phase breakdown}
 

@@ -2,6 +2,7 @@ module Simtime = Sof_sim.Simtime
 module Engine = Sof_sim.Engine
 module Network = Sof_net.Network
 module Channel = Sof_net.Channel
+module Delay_model = Sof_net.Delay_model
 module Link_fault = Sof_net.Link_fault
 module Rng = Sof_util.Rng
 module P = Sof_protocol
@@ -16,6 +17,10 @@ type action =
   | Restart of int
   | Crash_all
   | Restart_all
+  | Straggler of { who : int; factor : float }
+  | Clear_straggler of int
+  | Slow_link of { src : int; dst : int; factor : float }
+  | Clear_slow_link of { src : int; dst : int }
 
 type step = { at : Simtime.t; action : action }
 
@@ -233,10 +238,141 @@ let random_plan ?(byz = false) ?(restart = false) ?(disk = false) ~rng ~kind ~f
     { steps; byz_faults = byz_fault ~rng ~kind ~f ~duration; link_fault }
   end
 
+(* ----------------------------------------------------------- gray plans *)
+
+(* The straggler: a process whose slowness the protocol must absorb
+   without suspicion in adaptive mode — and which challenges the detector
+   most directly.  SC/SCR: the shadow of pair 1, so the coordinator
+   primary's endorsement watch times every order against it.  BFT/CT: the
+   last backup — a gray follower the quorum does not need, so neither
+   timing mode has grounds to change views over it (the static/adaptive
+   contrast the campaign demonstrates is SC's pair detector). *)
+let gray_target ~kind ~f =
+  match kind with
+  | Cluster.Sc_protocol | Cluster.Scr_protocol -> (2 * f) + 1
+  | Cluster.Bft_protocol -> 3 * f
+  | Cluster.Ct_protocol -> 2 * f
+
+(* Two processes that are neither the straggler nor pair-1 members, for
+   the one-way slow-link and degrading-link components. *)
+let gray_bystanders ~kind ~f =
+  match kind with
+  | Cluster.Sc_protocol -> (f, f + 1) (* unpaired replicas *)
+  | Cluster.Scr_protocol -> (f + 1, (2 * f) + 2) (* unpaired + pair-2 shadow *)
+  | Cluster.Bft_protocol -> (1, 2)
+  | Cluster.Ct_protocol -> if f = 1 then (1, 0) else (1, 2)
+
+let gray_plan ~rng ~kind ~f ~duration () =
+  let frac x = Simtime.scale duration x in
+  let target = gray_target ~kind ~f in
+  let a, b = gray_bystanders ~kind ~f in
+  (* Straggler ramp: geometric, gentle (x1.25 per step) so an adaptive
+     estimator fed by 50 ms probes can track each increment inside its
+     srtt + 4*rttvar slack, while the cumulative slowdown (x~4000 at the
+     top) pushes pair round-trips far past any sane static estimate.  A
+     sudden jump would trip the adaptive detector too — gray failures
+     creep, they do not step. *)
+  let ramp_start = 0.08 and ramp_end = 0.68 in
+  let ramp_steps = 28 in
+  let growth = 1.25 and base_factor = 8.0 in
+  let ramp =
+    List.init ramp_steps (fun k ->
+        let x =
+          ramp_start
+          +. (ramp_end -. ramp_start) *. float_of_int k /. float_of_int ramp_steps
+        in
+        {
+          at = frac x;
+          action =
+            Straggler
+              { who = target; factor = base_factor *. (growth ** float_of_int k) };
+        })
+  in
+  (* Jitter surge ramp, confined to the early phase while the straggler
+     factor is still small: compounding a delay surge onto a near-peak
+     straggler would out-run any estimator. *)
+  let surge =
+    [
+      {
+        at = frac (0.14 +. Rng.float rng 0.02);
+        action = Surge (1.2 +. Rng.float rng 0.1);
+      };
+      {
+        at = frac (0.26 +. Rng.float rng 0.02);
+        action = Surge (1.45 +. Rng.float rng 0.15);
+      };
+      { at = frac (0.38 +. Rng.float rng 0.02); action = Clear_surge };
+    ]
+  in
+  (* One asymmetric one-way slowdown and, in the opposite direction, a
+     link that degrades in stages — both between bystanders the quorum
+     can route around. *)
+  let slow =
+    [
+      {
+        at = frac (0.18 +. Rng.float rng 0.04);
+        action =
+          Slow_link { src = a; dst = b; factor = 16.0 +. Rng.float rng 16.0 };
+      };
+      {
+        at = frac (0.58 +. Rng.float rng 0.04);
+        action = Clear_slow_link { src = a; dst = b };
+      };
+    ]
+  in
+  let degrade =
+    List.mapi
+      (fun i factor ->
+        {
+          at = frac (0.24 +. (0.1 *. float_of_int i));
+          action = Slow_link { src = b; dst = a; factor };
+        })
+      [ 4.0; 8.0; 16.0; 32.0 ]
+    @ [ { at = frac 0.72; action = Clear_slow_link { src = b; dst = a } } ]
+  in
+  let steps =
+    List.sort
+      (fun x y -> Simtime.compare x.at y.at)
+      (ramp
+      @ [ { at = frac 0.80; action = Clear_straggler target } ]
+      @ surge @ slow @ degrade)
+  in
+  { steps; byz_faults = []; link_fault = Link_fault.none }
+
 (* --------------------------------------------------------------- apply *)
+
+(* The delay model [Cluster.build] installed on a directed link: the fast
+   pair link inside a pair ({r, 2f+1+r} under Config's layout), the LAN
+   model everywhere else.  Gray actions scale {e relative to} this
+   baseline, so clearing one is just re-installing it. *)
+let baseline_delay spec ~src ~dst =
+  let f = spec.Cluster.f in
+  let pairs =
+    match spec.Cluster.kind with
+    | Cluster.Sc_protocol -> f
+    | Cluster.Scr_protocol -> f + 1
+    | Cluster.Bft_protocol | Cluster.Ct_protocol -> 0
+  in
+  let a = min src dst and b = max src dst in
+  if a < pairs && b = a + (2 * f) + 1 then spec.Cluster.pair_link
+  else spec.Cluster.lan
 
 let apply_action cluster action =
   let net = Cluster.network cluster in
+  let spec = Cluster.spec cluster in
+  let n = Cluster.process_count cluster in
+  let scale_link ~src ~dst factor =
+    Network.set_link net ~src ~dst
+      (Delay_model.scale (baseline_delay spec ~src ~dst) factor)
+  in
+  let scale_all_links who factor =
+    for j = 0 to n - 1 do
+      if j <> who then begin
+        scale_link ~src:who ~dst:j factor;
+        scale_link ~src:j ~dst:who factor
+      end
+    done
+  in
   match action with
   | Partition groups -> Network.partition net ~groups
   | Heal -> Network.heal net
@@ -252,6 +388,10 @@ let apply_action cluster action =
     for i = 0 to Cluster.process_count cluster - 1 do
       Cluster.restart cluster i
     done
+  | Straggler { who; factor } -> scale_all_links who factor
+  | Clear_straggler who -> scale_all_links who 1.0
+  | Slow_link { src; dst; factor } -> scale_link ~src ~dst factor
+  | Clear_slow_link { src; dst } -> scale_link ~src ~dst 1.0
 
 (* Synthetic clients, like Workload.install but recording every injected
    request key so validity can be judged. *)
@@ -430,6 +570,142 @@ let run ?plan ?(byz = false) ?(restart = false) ?(durable = false)
     passed = Invariants.all_pass invariants;
   }
 
+(* ------------------------------------------------------------- gray run *)
+
+type gray_report = {
+  gr_kind : Cluster.kind;
+  gr_f : int;
+  gr_seed : int64;
+  gr_timing : P.Config.timing;
+  gr_plan : plan;
+  gr_invariants : Invariants.result list;
+  gr_fail_signals : int;
+  gr_view_changes : int;
+  gr_rotations : int;
+  gr_signals : Metrics.signal_accounting;
+  gr_net : Network.stats;
+  gr_min_deliveries : int;
+  gr_injected : int;
+  gr_storage : Metrics.storage option;
+  gr_passed : bool;
+}
+
+let gray_run ?plan ?(rate = 150.0) ?(slow_disks = false)
+    ?(timing = P.Config.Static) ?(pair_estimate = Simtime.ms 400) ~kind ~f ~seed
+    ~duration () =
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+      (* Own labelled substream: gray draws never perturb the classic
+         campaign stream for the same seed, and vice versa. *)
+      gray_plan
+        ~rng:(Rng.substream (Rng.create seed) "nemesis-gray")
+        ~kind ~f ~duration ()
+  in
+  let spec =
+    {
+      (Cluster.default_spec ~kind ~f) with
+      Cluster.batching_interval = Simtime.ms 50;
+      (* The static estimate under test: generous by LAN standards — the
+         paper's assumption 3(a) bound — yet finite, which is all a gray
+         straggler needs.  [pair_estimate] overrides it for the
+         timeout-sensitivity sweep. *)
+      pair_delay_estimate = pair_estimate;
+      heartbeat_interval = Simtime.ms 50;
+      seed;
+      timing;
+      (* Links are reliable in a gray campaign (nothing fails, everything
+         is slow), so the protocols run bare — no reliable channel whose
+         retransmission storms would muddy the timing signal. *)
+      use_channel = false;
+      durable = slow_disks;
+      checkpoint_interval = (if slow_disks then 8 else 0);
+      disk_profile =
+        (if slow_disks then Some Sof_storage.Fault_atlas.slow_sectors else None);
+    }
+  in
+  let cluster = Cluster.build spec in
+  let net = Cluster.network cluster in
+  let engine = Cluster.engine cluster in
+  List.iter
+    (fun { at; action } ->
+      ignore (Engine.schedule_at engine ~at (fun () -> apply_action cluster action)))
+    plan.steps;
+  let heal_time =
+    List.fold_left (fun acc s -> Simtime.max acc s.at) Simtime.zero plan.steps
+  in
+  (* Degraded window: first straggler step to its clear — the interval
+     over which delivery must degrade rather than stop. *)
+  let degraded_from =
+    List.fold_left
+      (fun acc s ->
+        match s.action with Straggler _ -> Simtime.min acc s.at | _ -> acc)
+      heal_time plan.steps
+  in
+  let degraded_until =
+    List.fold_left
+      (fun acc s ->
+        match s.action with Clear_straggler _ -> Simtime.max acc s.at | _ -> acc)
+      degraded_from plan.steps
+  in
+  let injected = ref Request.Key_set.empty in
+  install_recorded_workload cluster ~rate ~duration ~injected;
+  Cluster.run cluster ~until:(Simtime.add duration (Simtime.sec 3));
+  let n = Cluster.process_count cluster in
+  let honest = List.init n Fun.id in
+  let fail_signals, view_changes, rotations = Invariants.suspicion_churn cluster in
+  let invariants =
+    [
+      Invariants.agreement cluster ~honest;
+      Invariants.prefix_consistency cluster ~honest;
+      Invariants.validity cluster ~honest ~injected:!injected;
+      Invariants.degradation_liveness cluster ~honest ~degraded_from
+        ~degraded_until;
+      Invariants.liveness_after_heal cluster ~honest ~heal_time;
+    ]
+    @ (match timing with
+      (* Adaptive timers are judged on zero churn; a static run under the
+         same straggler is expected to churn — the report carries its
+         counts instead of a verdict, and the differential test asserts
+         on them. *)
+      | P.Config.Adaptive -> [ Invariants.no_premature_suspicion cluster ]
+      | P.Config.Static -> [])
+    @
+    if slow_disks then
+      [
+        Invariants.checkpoint_agreement cluster ~honest;
+        Invariants.bounded_log cluster ~live:honest ~slack:64;
+        Invariants.durability cluster ~live:honest ~injected:!injected;
+      ]
+    else []
+  in
+  let deliveries = Array.make n 0 in
+  List.iter
+    (fun (_, who, event) ->
+      match event with
+      | P.Context.Delivered _ -> deliveries.(who) <- deliveries.(who) + 1
+      | _ -> ())
+    (Cluster.events cluster);
+  {
+    gr_kind = kind;
+    gr_f = f;
+    gr_seed = seed;
+    gr_timing = timing;
+    gr_plan = plan;
+    gr_invariants = invariants;
+    gr_fail_signals = fail_signals;
+    gr_view_changes = view_changes;
+    gr_rotations = rotations;
+    gr_signals = Metrics.signal_accounting cluster;
+    gr_net = Network.stats net;
+    gr_min_deliveries =
+      Array.fold_left min max_int deliveries;
+    gr_injected = Request.Key_set.cardinal !injected;
+    gr_storage = Metrics.storage_stats cluster;
+    gr_passed = Invariants.all_pass invariants;
+  }
+
 (* -------------------------------------------------------------- report *)
 
 let kind_name = function
@@ -452,6 +728,12 @@ let pp_action fmt = function
   | Restart who -> Format.fprintf fmt "restart p%d" who
   | Crash_all -> Format.pp_print_string fmt "crash all"
   | Restart_all -> Format.pp_print_string fmt "restart all"
+  | Straggler { who; factor } -> Format.fprintf fmt "straggler p%d x%.1f" who factor
+  | Clear_straggler who -> Format.fprintf fmt "straggler p%d clear" who
+  | Slow_link { src; dst; factor } ->
+    Format.fprintf fmt "slow link p%d->p%d x%.1f" src dst factor
+  | Clear_slow_link { src; dst } ->
+    Format.fprintf fmt "slow link p%d->p%d clear" src dst
 
 let pp_report fmt r =
   Format.fprintf fmt "chaos: protocol=%s f=%d seed=%Ld@." (kind_name r.kind) r.f
@@ -524,6 +806,39 @@ let pp_report fmt r =
   Format.fprintf fmt "verdict: %s (seed %Ld replays this campaign)@."
     (if r.passed then "PASS" else "FAIL")
     r.seed
+
+let pp_gray_report fmt r =
+  Format.fprintf fmt "chaos --gray: protocol=%s f=%d seed=%Ld timing=%s@."
+    (kind_name r.gr_kind) r.gr_f r.gr_seed
+    (P.Config.timing_name r.gr_timing);
+  Format.fprintf fmt "campaign (nothing faulty, everything slow):@.";
+  List.iter
+    (fun { at; action } ->
+      Format.fprintf fmt "  %8.1fms  %a@." (Simtime.to_ms at) pp_action action)
+    r.gr_plan.steps;
+  Format.fprintf fmt "invariants:@.";
+  List.iter
+    (fun res -> Format.fprintf fmt "  %a@." Invariants.pp_result res)
+    r.gr_invariants;
+  Format.fprintf fmt
+    "suspicion churn: %d fail-signals, %d view changes, %d coordinator \
+     rotations%s@."
+    r.gr_fail_signals r.gr_view_changes r.gr_rotations
+    (match r.gr_timing with
+    | P.Config.Adaptive -> ""
+    | P.Config.Static -> "  (every one premature: no process was faulty)");
+  Format.fprintf fmt "signals: %a@." Metrics.pp_signal_accounting r.gr_signals;
+  Format.fprintf fmt "network: %d sent, %d delivered@."
+    r.gr_net.Network.messages_sent r.gr_net.Network.messages_delivered;
+  Format.fprintf fmt "deliveries: min over processes = %d (of %d injected)@."
+    r.gr_min_deliveries r.gr_injected;
+  (match r.gr_storage with
+  | None -> ()
+  | Some st ->
+    Format.fprintf fmt
+      "storage: %d appends, %d syncs; %d slow-sector stalls@."
+      st.Metrics.st_appends st.Metrics.st_syncs st.Metrics.st_slow_ops);
+  Format.fprintf fmt "verdict: %s@." (if r.gr_passed then "PASS" else "FAIL")
 
 (* ------------------------------------------------------------- long run *)
 

@@ -28,6 +28,16 @@ type action =
       (** Bring every crashed process back.  On a durable cluster each
           recovers from its own disk first (write-ahead-log replay); with no
           live peer at blackout time, local recovery is the only source. *)
+  | Straggler of { who : int; factor : float }
+      (** Gray failure: multiply both directions of every link touching
+          [who] by [factor], relative to the built baselines (pair link or
+          LAN).  The process is correct and responsive — just slow. *)
+  | Clear_straggler of int  (** Restore the process's links to baseline. *)
+  | Slow_link of { src : int; dst : int; factor : float }
+      (** Asymmetric gray failure: one directed link slowed by [factor]
+          relative to its baseline; the reverse direction is untouched.
+          Re-issuing with a new factor models a degrading link. *)
+  | Clear_slow_link of { src : int; dst : int }
 
 type step = { at : Sof_sim.Simtime.t; action : action }
 
@@ -83,6 +93,27 @@ val random_plan :
     chosen disjoint from the crash target (CT, with no Byzantine model,
     gets none).  All [disk] draws happen after the others, so [disk:false]
     plans replay byte-for-byte. *)
+
+val gray_plan :
+  rng:Sof_util.Rng.t ->
+  kind:Cluster.kind ->
+  f:int ->
+  duration:Sof_sim.Simtime.t ->
+  unit ->
+  plan
+(** A gray-failure campaign: no Byzantine faults, no crashes, no
+    partitions, reliable links — every process correct, some of them slow.
+    The centrepiece is a straggler ramp on the process the detector watches
+    most closely (SC/SCR: the pair-1 shadow; BFT/CT: the last backup, which
+    the quorum routes around): 28 geometric steps of x1.25, reaching a
+    ~x3300 slowdown, then cleared at 80% of [duration].  The gentle slope
+    is the point — an adaptive estimator fed by 50 ms probes tracks each
+    step inside its variance slack, while the cumulative drift walks pair
+    round-trips far past any static estimate.  Layered on top: an early
+    jitter-surge ramp, an asymmetric one-way slow link, and a link that
+    degrades in stages — both between bystander processes.  Deterministic
+    in [rng]; drawn from its own labelled substream by {!gray_run}, so gray
+    draws never perturb classic campaign plans for the same seed. *)
 
 type report = {
   kind : Cluster.kind;
@@ -149,6 +180,72 @@ val run :
 
 val pp_action : Format.formatter -> action -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Gray-failure campaigns}
+
+    Everything works, nothing is fast: stragglers, asymmetric slow links,
+    degrading links, jitter ramps — and optionally slow-sector disks —
+    with no genuine fault anywhere.  The question a gray run answers is
+    about the {e detector}, not the protocol: does the timeliness check
+    give up on a correct-but-slow peer?  Under [timing = Static] the
+    paper's fixed delay estimate eventually must (the straggler walks past
+    any constant); under [timing = Adaptive] the per-link Jacobson
+    estimators are expected to keep every suspicion at zero. *)
+
+type gray_report = {
+  gr_kind : Cluster.kind;
+  gr_f : int;
+  gr_seed : int64;
+  gr_timing : Sof_protocol.Config.timing;
+  gr_plan : plan;
+  gr_invariants : Invariants.result list;
+  gr_fail_signals : int;  (** SC/SCR fail-signals — all premature here. *)
+  gr_view_changes : int;  (** BFT view installations. *)
+  gr_rotations : int;  (** CT coordinator rotations (max epoch). *)
+  gr_signals : Metrics.signal_accounting;
+      (** Per-pair breakdown of who blamed whom, plus install churn. *)
+  gr_net : Sof_net.Network.stats;
+  gr_min_deliveries : int;
+      (** Fewest batches delivered by any process — the straggler included;
+          gray failure must degrade delivery, never stop it. *)
+  gr_injected : int;
+  gr_storage : Metrics.storage option;
+      (** [Some] iff [slow_disks]; [st_slow_ops] counts the gray stalls. *)
+  gr_passed : bool;
+}
+
+val gray_run :
+  ?plan:plan ->
+  ?rate:float ->
+  ?slow_disks:bool ->
+  ?timing:Sof_protocol.Config.timing ->
+  ?pair_estimate:Sof_sim.Simtime.t ->
+  kind:Cluster.kind ->
+  f:int ->
+  seed:int64 ->
+  duration:Sof_sim.Simtime.t ->
+  unit ->
+  gray_report
+(** Build a cluster with the paper's generous 400 ms static estimate
+    ([pair_estimate] overrides it — the timeout-sensitivity sweep's knob; in
+    adaptive mode it is the estimators' initial value and sets the hard cap
+    at 64x), or adaptive timers per [timing] (default [Static]), run the gray campaign
+    ({!gray_plan} from [seed] when [plan] is not given) under a [rate]
+    req/s workload (default 150), and judge: safety invariants, degradation
+    liveness over the straggler window, liveness after the last clear —
+    and, for adaptive runs only, {!Invariants.no_premature_suspicion}.
+    Static runs are {e expected} to churn; their counts are reported
+    ([gr_fail_signals] / [gr_view_changes] / [gr_rotations]) rather than
+    judged, and the differential acceptance test asserts static > 0 while
+    adaptive = 0 on the same seeds.  [slow_disks] (default false) makes the
+    cluster durable with the {!Sof_storage.Fault_atlas.slow_sectors}
+    profile on replicas 1..f — correct disks that stall — adding the
+    checkpoint, bounded-log and durability invariants.  Links are reliable
+    and the protocols run without the reliable channel: in a gray campaign
+    nothing fails, so nothing may hide behind retransmission.
+    Deterministic in [seed]. *)
+
+val pp_gray_report : Format.formatter -> gray_report -> unit
 
 (** {2 Long runs}
 

@@ -1,0 +1,110 @@
+module Simtime = Sof_sim.Simtime
+
+(* All state is integer nanoseconds.  The classic TCP gains (1/8 for the
+   mean, 1/4 for the deviation) are integer shifts, so the estimator is
+   exactly reproducible across hosts. *)
+type t = {
+  initial_ns : int;
+  floor_ns : int;
+  cap_ns : int;
+  mutable srtt_ns : int;
+  mutable rttvar_ns : int;
+  mutable count : int;  (* samples observed, ever *)
+  mutable backoff : int;  (* accumulated doublings *)
+  window : int array;  (* ring of recent samples, ns *)
+  mutable win_next : int;
+  mutable win_filled : int;
+}
+
+let create ?(window = 64) ?(floor = Simtime.us 100) ?cap ~initial () =
+  let initial_ns = Simtime.to_ns initial in
+  if window < 1 then invalid_arg "Delay_estimator.create: window must be positive";
+  if initial_ns <= 0 then
+    invalid_arg "Delay_estimator.create: initial estimate must be positive";
+  let floor_ns = Simtime.to_ns floor in
+  let cap_ns =
+    match cap with Some c -> Simtime.to_ns c | None -> initial_ns * 64
+  in
+  if cap_ns < floor_ns then invalid_arg "Delay_estimator.create: cap below floor";
+  {
+    initial_ns;
+    floor_ns;
+    cap_ns;
+    srtt_ns = initial_ns;
+    rttvar_ns = initial_ns / 2;
+    count = 0;
+    backoff = 0;
+    window = Array.make window 0;
+    win_next = 0;
+    win_filled = 0;
+  }
+
+let observe t sample =
+  let s = max t.floor_ns (Simtime.to_ns sample) in
+  if t.count = 0 then begin
+    t.srtt_ns <- s;
+    t.rttvar_ns <- s / 2
+  end
+  else begin
+    let err = s - t.srtt_ns in
+    t.srtt_ns <- t.srtt_ns + (err / 8);
+    t.rttvar_ns <- t.rttvar_ns + ((abs err - t.rttvar_ns) / 4)
+  end;
+  t.count <- t.count + 1;
+  t.window.(t.win_next) <- s;
+  t.win_next <- (t.win_next + 1) mod Array.length t.window;
+  t.win_filled <- min (t.win_filled + 1) (Array.length t.window)
+
+let srtt t = Simtime.ns t.srtt_ns
+let rttvar t = Simtime.ns t.rttvar_ns
+let samples t = t.count
+let backoff_level t = t.backoff
+
+let clamp t ns = min t.cap_ns (max t.floor_ns ns)
+
+let timeout t =
+  let base = if t.count = 0 then t.initial_ns else t.srtt_ns + (4 * t.rttvar_ns) in
+  (* Shift with an overflow guard: past ~60 doublings the cap rules anyway. *)
+  let backed =
+    if t.backoff >= 60 then t.cap_ns
+    else
+      let shifted = base lsl t.backoff in
+      if shifted < base then t.cap_ns else shifted
+  in
+  Simtime.ns (clamp t backed)
+
+let backoff t =
+  (* Stop accumulating once the un-backed-off deadline already saturates
+     the cap — further doublings would be invisible and reset would then
+     have to unwind them all. *)
+  if Simtime.to_ns (timeout t) < t.cap_ns then t.backoff <- t.backoff + 1
+
+let reset_backoff t = t.backoff <- 0
+
+let backed_off base ~level ~cap =
+  let base_ns = max 1 (Simtime.to_ns base) in
+  let cap_ns = Simtime.to_ns cap in
+  let ns =
+    if level >= 60 then cap_ns
+    else
+      let shifted = base_ns lsl level in
+      if shifted < base_ns then cap_ns else shifted
+  in
+  Simtime.ns (min cap_ns (max base_ns ns))
+
+let percentile t p =
+  if t.win_filled = 0 then None
+  else begin
+    let sorted = Array.sub t.window 0 t.win_filled in
+    Array.sort Int.compare sorted;
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let idx =
+      let i = int_of_float (p *. float_of_int (t.win_filled - 1)) in
+      min (t.win_filled - 1) (max 0 i)
+    in
+    Some (Simtime.ns sorted.(idx))
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "est(srtt=%a, var=%a, rto=%a, n=%d, backoff=%d)" Simtime.pp
+    (srtt t) Simtime.pp (rttvar t) Simtime.pp (timeout t) t.count t.backoff

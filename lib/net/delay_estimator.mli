@@ -1,0 +1,79 @@
+(** Jacobson-style adaptive round-trip delay estimator.
+
+    One estimator tracks one directed peer link: an exponentially weighted
+    moving average of the round-trip time (the smoothed RTT), a mean-
+    deviation estimate (the Jacobson variance term), and a bounded window
+    of recent samples for percentile queries.  The retransmission-timeout
+    style deadline it derives — [srtt + 4 * rttvar], clamped between a
+    floor and a hard cap — replaces the paper's static
+    [Config.pair_delay_estimate] when a protocol runs in [Adaptive] timing
+    mode, and an exponential backoff multiplier (doubling per unproductive
+    retry, reset on progress, never exceeding the cap) paces retransmit,
+    coordinator-suspicion and view-change timers.
+
+    Everything is integer-nanosecond arithmetic over {!Sof_sim.Simtime}:
+    no wall clock, no randomness, so estimators never perturb seeded
+    trajectories (lint rule R7) and behave identically under the
+    simulator and the real-clock TCP runtime. *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?floor:Sof_sim.Simtime.t ->
+  ?cap:Sof_sim.Simtime.t ->
+  initial:Sof_sim.Simtime.t ->
+  unit ->
+  t
+(** [window] (default 64) bounds the percentile ring; [floor] (default
+    100 us) is the smallest deadline ever returned; [cap] (default
+    64 x [initial]) is the hard upper bound backoff can never push past.
+    Until the first sample arrives {!timeout} returns [initial] (clamped),
+    so an adaptive process starts from exactly the configured static
+    estimate.
+    @raise Invalid_argument if [window < 1], [initial] is non-positive, or
+    [cap < floor]. *)
+
+val observe : t -> Sof_sim.Simtime.t -> unit
+(** Feed one round-trip sample.  First sample initialises
+    [srtt = sample], [rttvar = sample / 2]; later samples apply the
+    Jacobson gains ([1/8] for the mean, [1/4] for the deviation).
+    Non-positive samples are counted as the floor. *)
+
+val srtt : t -> Sof_sim.Simtime.t
+(** Smoothed round-trip time; the configured initial before any sample. *)
+
+val rttvar : t -> Sof_sim.Simtime.t
+(** Smoothed mean deviation; half the initial before any sample. *)
+
+val samples : t -> int
+(** Total samples observed (not bounded by the window). *)
+
+val timeout : t -> Sof_sim.Simtime.t
+(** The adaptive deadline: [(srtt + 4 * rttvar) * 2^backoff], clamped to
+    [[floor, cap]].  This is what replaces the static delay estimate. *)
+
+val backoff : t -> unit
+(** One unproductive retry: double the deadline (until the cap absorbs
+    further doublings). *)
+
+val reset_backoff : t -> unit
+(** Progress observed: drop the backoff multiplier back to 1. *)
+
+val backoff_level : t -> int
+(** Current number of accumulated doublings. *)
+
+val backed_off :
+  Sof_sim.Simtime.t -> level:int -> cap:Sof_sim.Simtime.t -> Sof_sim.Simtime.t
+(** [backed_off base ~level ~cap] is [base * 2^level] clamped to [cap]
+    — the cap always wins, even against the base itself: the pure backoff
+    arithmetic for timers that pace a retry loop rather than track a link
+    — state-transfer retransmits, consecutive view changes, repeated
+    suspicions. *)
+
+val percentile : t -> float -> Sof_sim.Simtime.t option
+(** [percentile t p] is the [p]-quantile ([0 <= p <= 1]) of the windowed
+    samples, [None] before the first sample.  [p = 1.0] is the window
+    maximum. *)
+
+val pp : Format.formatter -> t -> unit

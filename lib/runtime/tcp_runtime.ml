@@ -425,7 +425,7 @@ let connect_with_hello ~port ~hello =
   fd
 
 let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 30)
-    ?(checkpoint_interval = 0) ?data_dir ~kind ~f () =
+    ?(checkpoint_interval = 0) ?(timing = P.Config.Static) ?data_dir ~kind ~f () =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -434,7 +434,7 @@ let start ?(base_port = 7465) ?(scheme = Scheme.mock) ?(batching_interval_ms = 3
     P.Config.make ~variant
       ~batching_interval:(Simtime.ms batching_interval_ms)
       ~pair_delay_estimate:(Simtime.ms 500) ~heartbeat_interval:(Simtime.ms 100)
-      ~checkpoint_interval ~f ()
+      ~checkpoint_interval ~timing ~f ()
   in
   let n = P.Config.process_count config in
   let rng = Sof_util.Rng.create 2006L in

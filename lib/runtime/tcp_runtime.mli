@@ -31,6 +31,7 @@ val start :
   ?scheme:Sof_crypto.Scheme.t ->
   ?batching_interval_ms:int ->
   ?checkpoint_interval:int ->
+  ?timing:Sof_protocol.Config.timing ->
   ?data_dir:string ->
   kind:[ `Sc | `Scr ] ->
   f:int ->
@@ -41,6 +42,9 @@ val start :
     [checkpoint_interval] (default 0 = off) enables periodic checkpoints,
     log truncation, and state transfer — required for {!restart} to recover
     the rejoining process.
+    [timing] (default [Static]) selects the paper's fixed delay estimate or
+    adaptive timers; here the runtime's clock is the wall clock, so
+    [Adaptive] makes every pair track genuine localhost round-trips.
     [data_dir] makes the deployment durable: each process writes a
     {!File_disk}-backed write-ahead log ([data_dir/replica-<i>.disk],
     created if needed) where every delivered batch is logged and [fsync]ed

@@ -13,15 +13,30 @@ type profile = {
   p_corrupt_read : float;
   p_lost_write : float;
   p_misdirect : float;
+  p_slow : float;
 }
 
 let clean =
-  { p_torn = false; p_corrupt_read = 0.0; p_lost_write = 0.0; p_misdirect = 0.0 }
+  {
+    p_torn = false;
+    p_corrupt_read = 0.0;
+    p_lost_write = 0.0;
+    p_misdirect = 0.0;
+    p_slow = 0.0;
+  }
 
 let torn_only = { clean with p_torn = true }
 
 let default =
-  { p_torn = true; p_corrupt_read = 0.02; p_lost_write = 0.01; p_misdirect = 0.005 }
+  {
+    p_torn = true;
+    p_corrupt_read = 0.02;
+    p_lost_write = 0.01;
+    p_misdirect = 0.005;
+    p_slow = 0.0;
+  }
+
+let slow_sectors = { clean with p_slow = 0.05 }
 
 type t = { profile : profile; seed : int; replica : int; rng : Rng.t }
 
@@ -56,6 +71,21 @@ let corrupt_sector t ~sector =
          (Int64.of_int t.replica))
   in
   Rng.float (Rng.create key) 1.0 < t.profile.p_corrupt_read
+
+(* Same stable-verdict scheme as [corrupt_sector], different mixing
+   constants: a slow sector is a grown media defect that stays slow for
+   the life of the disk, independent of which sectors are corrupt. *)
+let slow_sector t ~sector =
+  t.profile.p_slow > 0.0
+  &&
+  let key =
+    Int64.logxor
+      (Int64.mul (Int64.of_int t.seed) 0xD6E8FEB86659FD93L)
+      (Int64.add
+         (Int64.mul (Int64.of_int sector) 0xA24BAED4963EE407L)
+         (Int64.of_int t.replica))
+  in
+  Rng.float (Rng.create key) 1.0 < t.profile.p_slow
 
 let tear_length t ~sector_size =
   if t.profile.p_torn then Some (Rng.int t.rng sector_size) else None

@@ -15,6 +15,9 @@ type profile = {
   p_corrupt_read : float;  (** per-sector probability of stable corruption *)
   p_lost_write : float;  (** per-write probability the write is dropped *)
   p_misdirect : float;  (** per-write probability it lands elsewhere *)
+  p_slow : float;
+      (** per-sector probability the sector is slow — gray failure: every
+          operation touching it completes correctly but stalls the CPU *)
 }
 
 val clean : profile
@@ -25,7 +28,14 @@ val torn_only : profile
 
 val default : profile
 (** The standard chaos mix: torn writes plus low-rate corruption,
-    lost and misdirected writes. *)
+    lost and misdirected writes.  No slow sectors — those are a gray
+    (performance) failure, selected separately via {!slow_sectors}. *)
+
+val slow_sectors : profile
+(** Gray-failure disk: no data loss of any kind, but 5% of sectors are
+    slow — reads and flushes touching them stall the node's CPU without
+    ever failing.  The disk that is "fine" by every health check and
+    still drags the replica behind its pair. *)
 
 type t
 
@@ -44,6 +54,11 @@ val misdirect : t -> sector_count:int -> int option
 val corrupt_sector : t -> sector:int -> bool
 (** Stable per-sector verdict: does this sector read back corrupted?
     Does not consume the stream. *)
+
+val slow_sector : t -> sector:int -> bool
+(** Stable per-sector verdict: is this sector slow?  Independent of
+    {!corrupt_sector} (different key mixing).  Does not consume the
+    stream. *)
 
 val tear_length : t -> sector_size:int -> int option
 (** At crash: [Some k] keeps only the first [k] bytes of the last flushed

@@ -13,6 +13,7 @@ type stats = {
   sd_misdirected : int;
   sd_torn : int;
   sd_corrupt_reads : int;
+  sd_slow_ops : int;
 }
 
 type t = {
@@ -29,6 +30,7 @@ type t = {
   mutable misdirected : int;
   mutable torn : int;
   mutable corrupt_reads : int;
+  mutable slow_ops : int;
 }
 
 let create ?atlas ~sector_size ~sector_count () =
@@ -48,7 +50,16 @@ let create ?atlas ~sector_size ~sector_count () =
     misdirected = 0;
     torn = 0;
     corrupt_reads = 0;
+    slow_ops = 0;
   }
+
+(* Gray failure: the operation succeeds, but the sector drags.  The
+   caller polls [stats] to convert the count into simulated CPU stall. *)
+let note_slow t sector =
+  match t.atlas with
+  | Some atlas when Fault_atlas.slow_sector atlas ~sector ->
+    t.slow_ops <- t.slow_ops + 1
+  | Some _ | None -> ()
 
 (* Deterministic single-byte damage: enough to break any checksum, cheap
    to apply on every read of an afflicted sector. *)
@@ -64,6 +75,7 @@ let do_read t sector =
   match Hashtbl.find_opt t.volatile sector with
   | Some data -> data
   | None -> (
+    note_slow t sector;
     let data =
       match Hashtbl.find_opt t.stable sector with
       | Some data -> data
@@ -95,6 +107,7 @@ let do_sync t =
   let staged = List.sort (fun (a, _) (b, _) -> Int.compare a b) staged in
   List.iter
     (fun (sector, data) ->
+      note_slow t sector;
       Hashtbl.replace t.stable sector data;
       t.last_flushed <- Some (sector, data))
     staged;
@@ -132,4 +145,5 @@ let stats t =
     sd_misdirected = t.misdirected;
     sd_torn = t.torn;
     sd_corrupt_reads = t.corrupt_reads;
+    sd_slow_ops = t.slow_ops;
   }

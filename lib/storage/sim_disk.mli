@@ -16,6 +16,9 @@ type stats = {
   sd_misdirected : int;  (** writes the atlas sent to the wrong sector *)
   sd_torn : int;  (** sectors torn at crash *)
   sd_corrupt_reads : int;  (** reads served with flipped bytes *)
+  sd_slow_ops : int;
+      (** reads and flushes that touched a slow sector — correct but
+          dragging; the harness turns each into a CPU stall *)
 }
 
 type t

@@ -39,9 +39,13 @@ let tiny_doc =
         Montgomery-vs-Knuth outcome (test_bignum pins correctness and the
         full-size bench pins the speed verdict). *)
      let modexp = H.Experiments.modexp_micro ~bits:[ 512 ] ~iters:1 () in
+     (* One static point plus the adaptive row: enough to give the
+        "timing" section and its verdicts their shape (the full sweep and
+        the static/adaptive acceptance assertions live in test_gray). *)
+     let timing = H.Experiments.timeout_sensitivity ~multipliers:[ 1.0 ] () in
      let doc =
        H.Bench_doc.make ~seed ~fast:true ~fig4_5 ~message_counts ~recovery
-         ~storage ~modexp ~breakdowns ()
+         ~storage ~modexp ~timing ~breakdowns ()
      in
      (doc, breakdowns))
 

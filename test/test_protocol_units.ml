@@ -43,6 +43,22 @@ let test_config_counterpart_involution () =
 let test_config_rejects_bad_inputs () =
   Alcotest.check_raises "f=0" (Config.Invalid_config "Config.make: f must be at least 1")
     (fun () -> ignore (Config.make ~f:0 ()));
+  (* One check per timing field: zero and negative durations would arm
+     timers that fire immediately (or never), so [make] must refuse them
+     rather than let a cluster limp into spurious accusations. *)
+  Alcotest.check_raises "zero batching interval"
+    (Config.Invalid_config "Config.make: batching_interval must be positive")
+    (fun () -> ignore (Config.make ~batching_interval:Simtime.zero ~f:1 ()));
+  Alcotest.check_raises "zero pair delay estimate"
+    (Config.Invalid_config "Config.make: pair_delay_estimate must be positive")
+    (fun () ->
+      ignore (Config.make ~pair_delay_estimate:Simtime.zero ~f:1 ()));
+  Alcotest.check_raises "zero heartbeat interval"
+    (Config.Invalid_config "Config.make: heartbeat_interval must be positive")
+    (fun () -> ignore (Config.make ~heartbeat_interval:Simtime.zero ~f:1 ()));
+  Alcotest.check_raises "negative checkpoint interval"
+    (Config.Invalid_config "Config.make: checkpoint_interval must be non-negative")
+    (fun () -> ignore (Config.make ~checkpoint_interval:(-1) ~f:1 ()));
   let c = Config.make ~f:1 () in
   Alcotest.check_raises "rank 0" (Config.Invalid_config "Config: candidate rank 0 out of range")
     (fun () -> ignore (Config.primary_of_pair c 0));
